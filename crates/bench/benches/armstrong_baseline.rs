@@ -1,0 +1,101 @@
+//! Bench `armstrong_baseline` (EXPERIMENTS.md §B5): on flat schemas the
+//! NFD engine and the classical attribute-closure algorithm solve the
+//! same problem — this measures what the generality of NFDs costs.
+//!
+//! Expected shape: Armstrong closure is linear and allocation-light; the
+//! NFD engine pays a polynomial saturation cost up front (prefix /
+//! locality / resolution scans that can never fire on flat paths) and a
+//! fixpoint-chaining query. The baseline should win by one to two orders
+//! of magnitude — the price of handling nesting uniformly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nfd_bench::*;
+use nfd_core::engine::Engine;
+use nfd_core::Nfd;
+use nfd_relational::{attrs, closure, implies, Fd};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_implication(c: &mut Criterion) {
+    let mut group = c.benchmark_group("armstrong_baseline/implication");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for n in [4usize, 8, 16, 32] {
+        let schema = flat_schema(n);
+        let sigma_nfd = flat_chain_sigma(&schema, n);
+        let sigma_fd = flat_chain_fds(n);
+        let goal_nfd = Nfd::parse(&schema, &format!("R:[a0 -> a{}]", n - 1)).unwrap();
+        let goal_fd = Fd::of(["a0"], [format!("a{}", n - 1).as_str()]);
+
+        group.bench_with_input(BenchmarkId::new("armstrong", n), &n, |b, _| {
+            b.iter(|| implies(black_box(&sigma_fd), black_box(&goal_fd)))
+        });
+        group.bench_with_input(BenchmarkId::new("nfd_engine_cold", n), &n, |b, _| {
+            b.iter(|| {
+                Engine::new(black_box(&schema), black_box(&sigma_nfd))
+                    .unwrap()
+                    .implies(&goal_nfd)
+                    .unwrap()
+            })
+        });
+        let engine = Engine::new(&schema, &sigma_nfd).unwrap();
+        group.bench_with_input(BenchmarkId::new("nfd_engine_warm", n), &n, |b, _| {
+            b.iter(|| engine.implies(black_box(&goal_nfd)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_closure_computation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("armstrong_baseline/closure");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for n in [8usize, 32] {
+        let schema = flat_schema(n);
+        let sigma_nfd = flat_chain_sigma(&schema, n);
+        let sigma_fd = flat_chain_fds(n);
+        let engine = Engine::new(&schema, &sigma_nfd).unwrap();
+        let base = nfd_path::RootedPath::parse("R").unwrap();
+        let x_paths = vec![nfd_path::Path::parse("a0").unwrap()];
+        let x_attrs = attrs(["a0"]);
+
+        group.bench_with_input(BenchmarkId::new("armstrong", n), &n, |b, _| {
+            b.iter(|| closure(black_box(&sigma_fd), black_box(&x_attrs)).len())
+        });
+        group.bench_with_input(BenchmarkId::new("nfd_engine", n), &n, |b, _| {
+            b.iter(|| engine.closure(black_box(&base), black_box(&x_paths)).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_design_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("armstrong_baseline/design");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500));
+    let n = 8;
+    let sigma = flat_chain_fds(n);
+    let names: Vec<String> = (0..n).map(|i| format!("a{i}")).collect();
+    let universe = attrs(names.iter().map(String::as_str));
+    group.bench_function("candidate_keys", |b| {
+        b.iter(|| nfd_relational::candidate_keys(black_box(&universe), black_box(&sigma)).len())
+    });
+    group.bench_function("minimal_cover", |b| {
+        b.iter(|| nfd_relational::minimal_cover(black_box(&sigma)).len())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_implication,
+    bench_closure_computation,
+    bench_design_algorithms
+);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Bench `closure` (EXPERIMENTS.md §B1): cost of the saturation engine —
+//! pool construction and implication queries — as Σ grows (flat chains)
+//! and as nesting deepens (ladders).
+//!
+//! Expected shape: pool construction superlinear in |Σ| (resolution
+//! saturation), queries cheap after construction; depth multiplies the
+//! path vocabulary and the full-locality opportunities, so ladders grow
+//! faster than flat chains of the same |Σ|.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nfd_bench::*;
+use nfd_core::engine::Engine;
+use nfd_core::Nfd;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_flat_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("closure/flat_chain");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for n in [4usize, 8, 16, 32] {
+        let schema = flat_schema(n);
+        let sigma = flat_chain_sigma(&schema, n);
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
+            b.iter(|| Engine::new(black_box(&schema), black_box(&sigma)).unwrap().pool_size())
+        });
+        let engine = Engine::new(&schema, &sigma).unwrap();
+        let goal = Nfd::parse(&schema, &format!("R:[a0 -> a{}]", n - 1)).unwrap();
+        group.bench_with_input(BenchmarkId::new("query", n), &n, |b, _| {
+            b.iter(|| engine.implies(black_box(&goal)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_ladder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("closure/ladder_depth");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for depth in [1usize, 2, 3, 4] {
+        let schema = ladder_schema(depth);
+        let sigma = ladder_sigma(&schema, depth);
+        let goal = ladder_goal(&schema, depth);
+        group.bench_with_input(BenchmarkId::new("build", depth), &depth, |b, _| {
+            b.iter(|| Engine::new(black_box(&schema), black_box(&sigma)).unwrap().pool_size())
+        });
+        let engine = Engine::new(&schema, &sigma).unwrap();
+        group.bench_with_input(BenchmarkId::new("query", depth), &depth, |b, _| {
+            b.iter(|| engine.implies(black_box(&goal)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_closure_set(c: &mut Criterion) {
+    let mut group = c.benchmark_group("closure/closure_set");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for depth in [1usize, 2, 3] {
+        let schema = ladder_schema(depth);
+        let sigma = ladder_sigma(&schema, depth);
+        let engine = Engine::new(&schema, &sigma).unwrap();
+        let base = nfd_path::RootedPath::parse("R").unwrap();
+        let x = vec![nfd_path::Path::parse("k0").unwrap()];
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| engine.closure(black_box(&base), black_box(&x)).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flat_chain, bench_ladder, bench_closure_set);
+criterion_main!(benches);

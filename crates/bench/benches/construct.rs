@@ -1,0 +1,94 @@
+//! Bench `construct` (EXPERIMENTS.md §B4): the Appendix A counterexample
+//! construction as the schema widens and deepens.
+//!
+//! Expected shape: linear in the number of schema paths for fixed depth
+//! (one `assignVal` per closure path, one `assignNew` per non-closure
+//! child); deeper ladders additionally pay for the constants closures
+//! `(p, ∅)*` that `newRow` consults.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nfd_bench::*;
+use nfd_core::{construct, engine::Engine};
+use nfd_path::{Path, RootedPath};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_flat_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construct/flat_width");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for n in [4usize, 8, 16, 32] {
+        let schema = flat_schema(n);
+        let sigma = flat_chain_sigma(&schema, n);
+        let engine = Engine::new(&schema, &sigma).unwrap();
+        let base = RootedPath::parse("R").unwrap();
+        let x = vec![Path::parse("a0").unwrap()];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                construct::counterexample(black_box(&engine), &base, &x)
+                    .unwrap()
+                    .instance
+                    .base_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ladder_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construct/ladder_depth");
+    group
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    for depth in [1usize, 2, 3, 4] {
+        let schema = ladder_schema(depth);
+        let sigma = ladder_sigma(&schema, depth);
+        let engine = Engine::new(&schema, &sigma).unwrap();
+        let base = RootedPath::parse("R").unwrap();
+        let x = vec![Path::parse("k0").unwrap()];
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| {
+                construct::counterexample(black_box(&engine), &base, &x)
+                    .unwrap()
+                    .instance
+                    .base_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Construction + full Lemma A.1 validation (what the completeness test
+/// suite pays per trial).
+fn bench_construct_and_validate(c: &mut Criterion) {
+    let (schema, sigma, _) = worked_example();
+    let engine = Engine::new(&schema, &sigma).unwrap();
+    let base = RootedPath::parse("R").unwrap();
+    let x = vec![Path::parse("A:B:C").unwrap()];
+    let mut group = c.benchmark_group("construct/validate");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500));
+    group.bench_function("worked_example", |b| {
+        b.iter(|| {
+            let built = construct::counterexample(black_box(&engine), &base, &x).unwrap();
+            sigma
+                .iter()
+                .filter(|n| nfd_core::check(&schema, &built.instance, n).unwrap().holds)
+                .count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_flat_width,
+    bench_ladder_depth,
+    bench_construct_and_validate
+);
+criterion_main!(benches);

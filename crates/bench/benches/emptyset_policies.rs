@@ -1,0 +1,111 @@
+//! Bench `emptyset_policies` (EXPERIMENTS.md §B7): overhead of the
+//! Section 3.2 gated rules (modified transitivity via `follows`, modified
+//! prefix via annotations) relative to the Theorem 3.1 engine.
+//!
+//! Expected shape: the gates add per-step path comparisons during
+//! saturation and chaining — a modest constant factor; the pessimistic
+//! policy additionally *prunes* derivations, which can make its pool
+//! smaller and its queries faster despite the gate cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nfd_bench::*;
+use nfd_core::engine::Engine;
+use nfd_core::{EmptySetPolicy, Nfd};
+use nfd_path::RootedPath;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn policies(schema: &nfd_model::Schema, depth: usize) -> Vec<(&'static str, EmptySetPolicy)> {
+    // Annotate every spine set of the ladder as non-empty.
+    let rel = schema.relation_names().next().unwrap();
+    let mut spine = String::new();
+    let mut annotated = Vec::new();
+    for d in 0..depth {
+        if !spine.is_empty() {
+            spine.push(':');
+        }
+        spine.push_str(&format!("s{d}"));
+        annotated.push(RootedPath::parse(&format!("{rel}:{spine}")).unwrap());
+    }
+    vec![
+        ("forbidden", EmptySetPolicy::Forbidden),
+        ("pessimistic", EmptySetPolicy::pessimistic()),
+        ("annotated", EmptySetPolicy::non_empty(annotated)),
+    ]
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("emptyset_policies/build");
+    group
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    let depth = 3;
+    let schema = ladder_schema(depth);
+    let sigma = ladder_sigma(&schema, depth);
+    for (name, policy) in policies(&schema, depth) {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| {
+                Engine::with_policy(black_box(&schema), black_box(&sigma), policy.clone())
+                    .unwrap()
+                    .pool_size()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("emptyset_policies/query");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    let depth = 3;
+    let schema = ladder_schema(depth);
+    let sigma = ladder_sigma(&schema, depth);
+    let goal = ladder_goal(&schema, depth);
+    for (name, policy) in policies(&schema, depth) {
+        let engine = Engine::with_policy(&schema, &sigma, policy).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| engine.implies(black_box(&goal)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Satisfaction checking on instances with empty sets: vacuous branches
+/// make checking *cheaper*, quantifying the Section 3.2 phenomenon.
+fn bench_check_with_empties(c: &mut Criterion) {
+    use nfd_model::gen::{GenConfig, Generator};
+    let (schema, _) = course();
+    let global = Nfd::parse(&schema, "Course:[students:sid -> students:age]").unwrap();
+    let mut group = c.benchmark_group("emptyset_policies/check_vs_empty_rate");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for pct in [0u32, 25, 50, 75] {
+        let mut g = Generator::new(
+            7,
+            GenConfig {
+                min_set: 0,
+                max_set: 4,
+                empty_prob: f64::from(pct) / 100.0,
+                domain: 64,
+            },
+        );
+        let inst = g.instance(&schema);
+        group.bench_with_input(BenchmarkId::from_parameter(pct), &pct, |b, _| {
+            b.iter(|| {
+                nfd_core::check(&schema, black_box(&inst), &global)
+                    .unwrap()
+                    .assignments_checked
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_query, bench_check_with_empties);
+criterion_main!(benches);

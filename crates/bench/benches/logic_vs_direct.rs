@@ -1,0 +1,63 @@
+//! Bench `logic_vs_direct` (EXPERIMENTS.md §B3): the ablation between the
+//! two satisfaction checkers — the direct Definition 2.4 checker (hash
+//! grouping) and the Section 2.2 logic-translation evaluator (naive
+//! quantifier nesting).
+//!
+//! Expected shape: identical verdicts everywhere (property-tested);
+//! the logic evaluator pays a quadratic factor for the explicit `v1, v2`
+//! pair enumeration that grouping avoids, so the gap widens with tuple
+//! count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nfd_bench::*;
+use nfd_core::{check, Nfd};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_checkers(c: &mut Criterion) {
+    let (schema, _) = course();
+    let global = Nfd::parse(&schema, "Course:[students:sid -> students:age]").unwrap();
+    let formula = global.to_formula(&schema).unwrap();
+
+    let mut group = c.benchmark_group("logic_vs_direct");
+    group
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    for tuples in [2usize, 4, 8, 16, 32] {
+        let inst = course_instance(&schema, tuples, 3);
+        // Verdicts must agree — assert once outside the timed loop.
+        let direct_verdict = check(&schema, &inst, &global).unwrap().holds;
+        let logic_verdict = nfd_logic::eval(&inst, &formula).unwrap();
+        assert_eq!(direct_verdict, logic_verdict, "checkers must agree");
+
+        group.bench_with_input(BenchmarkId::new("direct", tuples), &tuples, |b, _| {
+            b.iter(|| check(&schema, black_box(&inst), &global).unwrap().holds)
+        });
+        group.bench_with_input(BenchmarkId::new("logic_eval", tuples), &tuples, |b, _| {
+            b.iter(|| nfd_logic::eval(black_box(&inst), &formula).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_translation(c: &mut Criterion) {
+    let (schema, sigma) = course();
+    let mut group = c.benchmark_group("logic_vs_direct/translate");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(500));
+    group.bench_function("translate_all_course_nfds", |b| {
+        b.iter(|| {
+            sigma
+                .iter()
+                .map(|n| n.to_formula(black_box(&schema)).unwrap().quantifier_count())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkers, bench_translation);
+criterion_main!(benches);

@@ -1,0 +1,194 @@
+//! # nfd-bench — workload generators for the benchmark harness
+//!
+//! The Criterion benches under `benches/` regenerate the performance
+//! characterization recorded in `EXPERIMENTS.md` (the paper itself is
+//! theory-only, so its "evaluation" artifacts are reproduced exactly in
+//! the test suite; the benches characterize the algorithms it introduces).
+//!
+//! Everything here is deterministic: workloads are parameterized by size,
+//! never by randomness, so bench runs are comparable.
+
+#![warn(missing_docs)]
+
+use nfd_core::nfd::parse_set;
+use nfd_core::Nfd;
+use nfd_model::gen::{GenConfig, Generator};
+use nfd_model::{Instance, Schema};
+
+/// A flat schema `R : {<a0: int, …, a{n-1}: int>}`.
+pub fn flat_schema(n: usize) -> Schema {
+    let fields = (0..n)
+        .map(|i| format!("a{i}: int"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    Schema::parse(&format!("R : {{<{fields}>}};")).expect("flat schema parses")
+}
+
+/// A transitive chain `a0 → a1, a1 → a2, …` over [`flat_schema`]`(n)`.
+pub fn flat_chain_sigma(schema: &Schema, n: usize) -> Vec<Nfd> {
+    let text = (0..n - 1)
+        .map(|i| format!("R:[a{i} -> a{}];", i + 1))
+        .collect::<String>();
+    parse_set(schema, &text).expect("chain parses")
+}
+
+/// The same chain as classical FDs for the Armstrong baseline.
+pub fn flat_chain_fds(n: usize) -> Vec<nfd_relational::Fd> {
+    (0..n - 1)
+        .map(|i| nfd_relational::Fd::of([format!("a{i}").as_str()], [format!("a{}", i + 1).as_str()]))
+        .collect()
+}
+
+/// A nested "ladder" schema of the given depth:
+/// `R : {<k0: int, v0: int, s0: {<k1: int, v1: int, s1: {…}>}>}`.
+pub fn ladder_schema(depth: usize) -> Schema {
+    fn level(d: usize, depth: usize) -> String {
+        if d == depth {
+            format!("{{<k{d}: int, v{d}: int>}}")
+        } else {
+            format!("{{<k{d}: int, v{d}: int, s{d}: {}>}}", level(d + 1, depth))
+        }
+    }
+    Schema::parse(&format!("R : {};", level(0, depth))).expect("ladder schema parses")
+}
+
+/// Per-level key constraints on a ladder: at every level, `k` determines
+/// `v` and the nested set.
+pub fn ladder_sigma(schema: &Schema, depth: usize) -> Vec<Nfd> {
+    let mut text = String::new();
+    let mut base = String::from("R");
+    for d in 0..=depth {
+        text.push_str(&format!("{base}:[k{d} -> v{d}];"));
+        if d < depth {
+            text.push_str(&format!("{base}:[k{d} -> s{d}];"));
+            base.push_str(&format!(":s{d}"));
+        }
+    }
+    parse_set(schema, &text).expect("ladder sigma parses")
+}
+
+/// The goal "the keys of every level jointly determine the innermost
+/// value" — derivable, but only by chaining through every level of the
+/// ladder (set determination at each step, then the local key inside).
+pub fn ladder_goal(schema: &Schema, depth: usize) -> Nfd {
+    let mut lhs = vec!["k0".to_string()];
+    let mut spine = String::new();
+    for d in 0..depth {
+        if !spine.is_empty() {
+            spine.push(':');
+        }
+        spine.push_str(&format!("s{d}"));
+        lhs.push(format!("{spine}:k{}", d + 1));
+    }
+    let rhs = if spine.is_empty() {
+        format!("v{depth}")
+    } else {
+        format!("{spine}:v{depth}")
+    };
+    Nfd::parse(schema, &format!("R:[{} -> {rhs}]", lhs.join(", "))).expect("ladder goal parses")
+}
+
+/// The Course schema and constraints of the paper (E1).
+pub fn course() -> (Schema, Vec<Nfd>) {
+    let schema = Schema::parse(
+        "Course : { <cnum: string, time: int,
+                     students: {<sid: int, age: int, grade: string>},
+                     books: {<isbn: string, title: string>}> };",
+    )
+    .unwrap();
+    let sigma = parse_set(
+        &schema,
+        "Course:[cnum -> time]; Course:[cnum -> students]; Course:[cnum -> books];
+         Course:[books:isbn -> books:title];
+         Course:students:[sid -> grade];
+         Course:[students:sid -> students:age];
+         Course:[time, students:sid -> cnum];",
+    )
+    .unwrap();
+    (schema, sigma)
+}
+
+/// A deterministic Course-shaped instance with `tuples` courses and
+/// `fanout` students/books each.
+pub fn course_instance(schema: &Schema, tuples: usize, fanout: usize) -> Instance {
+    let mut g = Generator::new(
+        42,
+        GenConfig {
+            min_set: fanout,
+            max_set: fanout,
+            empty_prob: 0.0,
+            domain: (tuples * fanout * 8).max(16) as u32,
+        },
+    );
+    // The generator draws set sizes; for the relation itself we assemble
+    // the requested number of tuples explicitly.
+    let rec = schema
+        .relation_type(nfd_model::Label::new("Course"))
+        .unwrap()
+        .element_record()
+        .unwrap()
+        .clone();
+    let elems: Vec<nfd_model::Value> = (0..tuples)
+        .map(|_| g.value(&nfd_model::Type::Record(rec.clone())))
+        .collect();
+    Instance::new(
+        schema,
+        vec![(nfd_model::Label::new("Course"), nfd_model::Value::set(elems))],
+    )
+    .expect("generated instance validates")
+}
+
+/// The Section 3.1 worked example: schema, Σ, goal.
+pub fn worked_example() -> (Schema, Vec<Nfd>, Nfd) {
+    let schema =
+        Schema::parse("R : { <A: {<B: {<C: int>}, E: {<F: int, G: int>}>}, D: int> };").unwrap();
+    let sigma = parse_set(&schema, "R:[A:B:C, D -> A:E:F]; R:A:[B -> E:G];").unwrap();
+    let goal = Nfd::parse(&schema, "R:A:[B -> E]").unwrap();
+    (schema, sigma, goal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfd_core::engine::Engine;
+
+    #[test]
+    fn flat_chain_workload_is_consistent() {
+        let schema = flat_schema(6);
+        let sigma = flat_chain_sigma(&schema, 6);
+        assert_eq!(sigma.len(), 5);
+        let engine = Engine::new(&schema, &sigma).unwrap();
+        let goal = Nfd::parse(&schema, "R:[a0 -> a5]").unwrap();
+        assert!(engine.implies(&goal).unwrap());
+    }
+
+    #[test]
+    fn ladder_workload_is_consistent() {
+        for depth in 1..=3 {
+            let schema = ladder_schema(depth);
+            let sigma = ladder_sigma(&schema, depth);
+            let goal = ladder_goal(&schema, depth);
+            let engine = Engine::new(&schema, &sigma).unwrap();
+            assert!(engine.implies(&goal).unwrap(), "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn course_instance_scales() {
+        let (schema, sigma) = course();
+        let inst = course_instance(&schema, 8, 3);
+        assert!(inst.relation(nfd_model::Label::new("Course")).unwrap().len() >= 6);
+        // The generated instance need not satisfy Σ — it is a checking
+        // workload — but checking must run without errors.
+        for nfd in &sigma {
+            nfd_core::check(&schema, &inst, nfd).unwrap();
+        }
+    }
+
+    #[test]
+    fn worked_example_is_consistent() {
+        let (schema, sigma, goal) = worked_example();
+        let engine = Engine::new(&schema, &sigma).unwrap();
+        assert!(engine.implies(&goal).unwrap());
+    }
+}

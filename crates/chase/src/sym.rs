@@ -1,0 +1,260 @@
+//! Symbolic values with labeled nulls, and their unifier.
+//!
+//! A tableau value is like a model value but its leaves are labeled nulls;
+//! two rows agree on a path exactly when their resolved values are
+//! syntactically identical. The chase equates values by *binding* nulls —
+//! an equality-generating dependency step.
+
+use nfd_model::Label;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A symbolic value.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SymValue {
+    /// A labeled null `⊥n`.
+    Null(u32),
+    /// A set of symbolic values. Element order is construction order; the
+    /// two rows of a tableau build isomorphic trees, so positional
+    /// unification of corresponding sets is meaningful.
+    Set(Vec<SymValue>),
+    /// A record.
+    Record(Vec<(Label, SymValue)>),
+}
+
+impl SymValue {
+    /// Projects a record field.
+    pub fn get(&self, label: Label) -> Option<&SymValue> {
+        match self {
+            SymValue::Record(fields) => fields
+                .iter()
+                .find(|(l, _)| *l == label)
+                .map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SymValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymValue::Null(n) => write!(f, "⊥{n}"),
+            SymValue::Set(es) => {
+                f.write_str("{")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                f.write_str("}")
+            }
+            SymValue::Record(fields) => {
+                f.write_str("<")?;
+                for (i, (l, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{l}: {v}")?;
+                }
+                f.write_str(">")
+            }
+        }
+    }
+}
+
+/// Null bindings with path compression. Binding a null to a value that
+/// contains the null itself is rejected (occurs check) — it cannot arise
+/// from the tableau shapes the chase builds, but the API stays total.
+#[derive(Default, Debug)]
+pub struct Unifier {
+    bindings: HashMap<u32, SymValue>,
+    next_null: u32,
+}
+
+impl Unifier {
+    /// A fresh unifier whose nulls start at 0.
+    pub fn new() -> Unifier {
+        Unifier::default()
+    }
+
+    /// Allocates a fresh null.
+    pub fn fresh(&mut self) -> SymValue {
+        let n = self.next_null;
+        self.next_null += 1;
+        SymValue::Null(n)
+    }
+
+    /// Fully resolves a value under the current bindings. Sets are
+    /// deduplicated after resolution (set semantics).
+    pub fn resolve(&self, v: &SymValue) -> SymValue {
+        match v {
+            SymValue::Null(n) => match self.bindings.get(n) {
+                Some(bound) => self.resolve(bound),
+                None => SymValue::Null(*n),
+            },
+            SymValue::Set(es) => {
+                let mut resolved: Vec<SymValue> = es.iter().map(|e| self.resolve(e)).collect();
+                resolved.sort();
+                resolved.dedup();
+                SymValue::Set(resolved)
+            }
+            SymValue::Record(fields) => SymValue::Record(
+                fields
+                    .iter()
+                    .map(|(l, v)| (*l, self.resolve(v)))
+                    .collect(),
+            ),
+        }
+    }
+
+    fn occurs(&self, n: u32, v: &SymValue) -> bool {
+        match v {
+            SymValue::Null(m) => *m == n,
+            SymValue::Set(es) => es.iter().any(|e| self.occurs(n, e)),
+            SymValue::Record(fields) => fields.iter().any(|(_, v)| self.occurs(n, v)),
+        }
+    }
+
+    /// Unifies two values (post-resolution), binding nulls as needed.
+    /// Returns `false` if they cannot be unified (shape mismatch, set
+    /// cardinality mismatch, or occurs-check failure).
+    pub fn unify(&mut self, a: &SymValue, b: &SymValue) -> bool {
+        let ra = self.resolve(a);
+        let rb = self.resolve(b);
+        if ra == rb {
+            return true;
+        }
+        match (&ra, &rb) {
+            (SymValue::Null(n), other) | (other, SymValue::Null(n)) => {
+                if self.occurs(*n, other) {
+                    return false;
+                }
+                self.bindings.insert(*n, other.clone());
+                true
+            }
+            (SymValue::Set(xs), SymValue::Set(ys)) => {
+                // Positional unification: tableau sets on the two sides
+                // are built by the same recursion, so position i on one
+                // side corresponds to position i on the other. Resolution
+                // may have collapsed duplicates on one side only; in that
+                // case unify the shorter against a prefix (the collapsed
+                // elements were already equal).
+                let n = xs.len().min(ys.len());
+                if n == 0 {
+                    return xs.len() == ys.len();
+                }
+                for i in 0..n {
+                    if !self.unify(&xs[i], &ys[i]) {
+                        return false;
+                    }
+                }
+                // Fold any remaining elements into the last shared slot.
+                let longer: &[SymValue] = if xs.len() > n { xs } else { ys };
+                for extra in &longer[n..] {
+                    let anchor = longer[n - 1].clone();
+                    if !self.unify(extra, &anchor) {
+                        return false;
+                    }
+                }
+                true
+            }
+            (SymValue::Record(xs), SymValue::Record(ys)) => {
+                if xs.len() != ys.len() {
+                    return false;
+                }
+                for ((la, va), (lb, vb)) in xs.iter().zip(ys) {
+                    if la != lb || !self.unify(va, vb) {
+                        return false;
+                    }
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of bound nulls — a progress measure; the chase terminates
+    /// because every productive step increases it.
+    pub fn bound_count(&self) -> usize {
+        self.bindings.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(s: &str) -> Label {
+        Label::new(s)
+    }
+
+    #[test]
+    fn bind_and_resolve() {
+        let mut u = Unifier::new();
+        let a = u.fresh();
+        let b = u.fresh();
+        assert!(u.unify(&a, &b));
+        assert_eq!(u.resolve(&a), u.resolve(&b));
+        assert_eq!(u.bound_count(), 1);
+    }
+
+    #[test]
+    fn record_unification() {
+        let mut u = Unifier::new();
+        let (a, b, c) = (u.fresh(), u.fresh(), u.fresh());
+        let r1 = SymValue::Record(vec![(l("x"), a.clone()), (l("y"), b.clone())]);
+        let r2 = SymValue::Record(vec![(l("x"), c.clone()), (l("y"), b.clone())]);
+        assert!(u.unify(&r1, &r2));
+        assert_eq!(u.resolve(&a), u.resolve(&c));
+    }
+
+    #[test]
+    fn set_unification_positional() {
+        let mut u = Unifier::new();
+        let (a, b, c, d) = (u.fresh(), u.fresh(), u.fresh(), u.fresh());
+        let s1 = SymValue::Set(vec![a.clone(), b.clone()]);
+        let s2 = SymValue::Set(vec![c.clone(), d.clone()]);
+        assert!(u.unify(&s1, &s2));
+        assert_eq!(u.resolve(&a), u.resolve(&c));
+        assert_eq!(u.resolve(&b), u.resolve(&d));
+    }
+
+    #[test]
+    fn collapsed_set_unifies_with_pair() {
+        let mut u = Unifier::new();
+        let (a, b, c) = (u.fresh(), u.fresh(), u.fresh());
+        // {a} vs {b, c}: b and c both fold onto a.
+        let s1 = SymValue::Set(vec![a.clone()]);
+        let s2 = SymValue::Set(vec![b.clone(), c.clone()]);
+        assert!(u.unify(&s1, &s2));
+        assert_eq!(u.resolve(&b), u.resolve(&a));
+        assert_eq!(u.resolve(&c), u.resolve(&a));
+    }
+
+    #[test]
+    fn resolution_dedups_sets() {
+        let mut u = Unifier::new();
+        let (a, b) = (u.fresh(), u.fresh());
+        let s = SymValue::Set(vec![a.clone(), b.clone()]);
+        assert!(u.unify(&a, &b));
+        match u.resolve(&s) {
+            SymValue::Set(es) => assert_eq!(es.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn occurs_check() {
+        let mut u = Unifier::new();
+        let a = u.fresh();
+        let s = SymValue::Set(vec![a.clone()]);
+        assert!(!u.unify(&a, &s));
+    }
+
+    #[test]
+    fn display_forms() {
+        let v = SymValue::Record(vec![(l("x"), SymValue::Null(7))]);
+        assert_eq!(v.to_string(), "<x: ⊥7>");
+    }
+}

@@ -1,0 +1,423 @@
+//! The two-row nested tableau and the chase loop.
+
+use crate::sym::{SymValue, Unifier};
+use nfd_core::{CoreError, Nfd};
+use nfd_model::{RecordType, Schema, Type};
+use nfd_path::{Path, PathTrie};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors raised by the chase.
+#[derive(Debug)]
+pub enum ChaseError {
+    /// Validation or navigation error from the core machinery.
+    Core(CoreError),
+    /// A forced unification failed (cannot happen for tableaux built by
+    /// this module; kept for API totality).
+    Stuck(String),
+    /// The step budget was exceeded.
+    Budget(usize),
+}
+
+impl fmt::Display for ChaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaseError::Core(e) => write!(f, "{e}"),
+            ChaseError::Stuck(m) => write!(f, "chase stuck: {m}"),
+            ChaseError::Budget(n) => write!(f, "chase exceeded {n} steps"),
+        }
+    }
+}
+
+impl std::error::Error for ChaseError {}
+
+/// The result of a chase run.
+#[derive(Debug)]
+pub struct ChaseRun {
+    /// The verdict: does Σ imply the goal?
+    pub implied: bool,
+    /// Number of equality-generating steps applied.
+    pub steps: usize,
+    /// Number of nulls allocated for the tableau.
+    pub nulls: usize,
+}
+
+/// Builds the two-row tableau for goal `R:[X → y]` (simple form) and
+/// chases it with the (simple-form, same-relation) dependencies `sigma`.
+pub(crate) fn run(schema: &Schema, sigma: &[&Nfd], goal: &Nfd) -> Result<ChaseRun, ChaseError> {
+    let rec = schema
+        .relation_type(goal.base.relation)
+        .map_err(|e| ChaseError::Core(CoreError::Parse(e.to_string())))?
+        .element_record()
+        .ok_or_else(|| {
+            ChaseError::Core(CoreError::Nav(format!(
+                "relation `{}` has no element record",
+                goal.base.relation
+            )))
+        })?;
+    let mut u = Unifier::new();
+    let x: Vec<Path> = goal.lhs().to_vec();
+    let mut builder = TemplateBuilder {
+        u: &mut u,
+        x: &x,
+        shared: HashMap::new(),
+    };
+    let t1 = builder.shared_element(rec, &Path::empty());
+    let t2 = builder.shared_element(rec, &Path::empty());
+    let mut tableau = vec![t1, t2];
+
+    // Chase to fixpoint.
+    const MAX_STEPS: usize = 100_000;
+    let mut steps = 0usize;
+    loop {
+        let mut progressed = false;
+        for dep in sigma {
+            while let Some((a, b)) = find_violation(&tableau, dep, &u) {
+                if !u.unify(&a, &b) {
+                    return Err(ChaseError::Stuck(format!(
+                        "cannot unify {a} with {b} while chasing {dep}"
+                    )));
+                }
+                progressed = true;
+                steps += 1;
+                if steps > MAX_STEPS {
+                    return Err(ChaseError::Budget(MAX_STEPS));
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+        // Normalize the tableau once per round so violation scans see the
+        // merged values (resolution also collapses duplicate set
+        // elements).
+        tableau = tableau.iter().map(|t| u.resolve(t)).collect();
+    }
+
+    let implied = find_violation(&tableau, goal, &u).is_none();
+    Ok(ChaseRun {
+        implied,
+        steps,
+        nulls: u.bound_count(),
+    })
+}
+
+/// Builds the tableau following the Appendix A shape with the goal's LHS
+/// `X` in the role of the closure: the value at an X path is **one
+/// globally shared symbolic tree** — every occurrence of that path,
+/// within either row and within any set element, points at the same
+/// value, just as every closure path carries the shared constant `0` in
+/// the paper's construction. Everything else is fresh, and every
+/// set-of-records carries two elements (any Σ-instance with smaller sets
+/// is a non-injective instantiation of this template, so generality is
+/// preserved).
+struct TemplateBuilder<'a> {
+    u: &'a mut Unifier,
+    x: &'a [Path],
+    shared: HashMap<Path, SymValue>,
+}
+
+impl TemplateBuilder<'_> {
+    /// The value of field path `at` with type `ty`. X paths receive the
+    /// globally shared tree (`assignVal`), everything else the generic
+    /// unshared shape (`assignNew` + `newRow`).
+    fn value(&mut self, ty: &Type, at: &Path) -> SymValue {
+        if self.x.contains(at) {
+            if let Some(v) = self.shared.get(at) {
+                return v.clone();
+            }
+            let v = self.shared_tree(ty, at);
+            self.shared.insert(at.clone(), v.clone());
+            return v;
+        }
+        self.unshared(ty, at)
+    }
+
+    /// Every set carries three elements: two that agree on X children
+    /// (realizing within-set X-agreement patterns, the `assignVal` shape
+    /// of Appendix A) and one entirely fresh (the `newRow` shape, keeping
+    /// the set's own value generic). Instantiating elements
+    /// non-injectively recovers every smaller configuration, so the
+    /// template subsumes the Appendix A witness for *any* closure ⊇ X.
+    fn shared_tree(&mut self, ty: &Type, at: &Path) -> SymValue {
+        match ty {
+            Type::Base(_) => self.u.fresh(),
+            Type::Set(elem) => match &**elem {
+                // Elements of base-valued sets cannot be addressed by
+                // paths; one null stands for the whole content.
+                Type::Base(_) => SymValue::Set(vec![self.u.fresh()]),
+                Type::Record(inner) => SymValue::Set(vec![
+                    self.shared_element(inner, at),
+                    self.shared_element(inner, at),
+                    self.fresh_element(inner, at),
+                ]),
+                Type::Set(_) => unreachable!("validated schemas have no sets of sets"),
+            },
+            Type::Record(_) => unreachable!("validated record fields are base- or set-typed"),
+        }
+    }
+
+    /// Sets outside X have the same three-element shape; the distinction
+    /// from [`Self::shared_tree`] is only that X paths memoize one global
+    /// tree while unshared paths build a fresh one per occurrence.
+    fn unshared(&mut self, ty: &Type, at: &Path) -> SymValue {
+        self.shared_tree(ty, at)
+    }
+
+    /// One record element whose fields go through [`Self::value`] (X
+    /// children shared, others generic).
+    fn shared_element(&mut self, rec: &RecordType, at: &Path) -> SymValue {
+        let fields = rec
+            .fields()
+            .iter()
+            .map(|f| (f.label, self.value(&f.ty, &at.child(f.label))))
+            .collect();
+        SymValue::Record(fields)
+    }
+
+    /// One record element with entirely fresh content, ignoring X (the
+    /// `newRow` analogue; the chase merges whatever Σ forces).
+    fn fresh_element(&mut self, rec: &RecordType, at: &Path) -> SymValue {
+        let fields = rec
+            .fields()
+            .iter()
+            .map(|f| {
+                let v = match &f.ty {
+                    Type::Base(_) => self.u.fresh(),
+                    Type::Set(elem) => match &**elem {
+                        Type::Base(_) => SymValue::Set(vec![self.u.fresh()]),
+                        Type::Record(inner) => {
+                            let p = at.child(f.label);
+                            SymValue::Set(vec![
+                                self.fresh_element(inner, &p),
+                                self.fresh_element(inner, &p),
+                            ])
+                        }
+                        Type::Set(_) => unreachable!("validated schemas have no sets of sets"),
+                    },
+                    Type::Record(_) => {
+                        unreachable!("validated record fields are base- or set-typed")
+                    }
+                };
+                (f.label, v)
+            })
+            .collect();
+        SymValue::Record(fields)
+    }
+}
+
+/// Finds one violation of `dep` on the tableau: two trie-consistent
+/// assignments (across or within rows) whose resolved LHS tuples agree
+/// but whose resolved RHS values differ. Returns the differing RHS values.
+fn find_violation(
+    tableau: &[SymValue],
+    dep: &Nfd,
+    u: &Unifier,
+) -> Option<(SymValue, SymValue)> {
+    let trie = PathTrie::new(dep.component_paths().cloned());
+    let lhs_idx: Vec<usize> = dep
+        .lhs()
+        .iter()
+        .map(|p| trie.target_index(p).expect("lhs inserted"))
+        .collect();
+    let rhs_idx = trie.target_index(&dep.rhs).expect("rhs inserted");
+
+    let mut groups: HashMap<Vec<SymValue>, SymValue> = HashMap::new();
+    let mut found: Option<(SymValue, SymValue)> = None;
+    for row in tableau {
+        if found.is_some() {
+            break;
+        }
+        for_each_sym_assignment(row, trie.roots(), &mut vec![None; trie.len()], &mut |vals| {
+            if found.is_some() {
+                return;
+            }
+            let key: Vec<SymValue> = lhs_idx
+                .iter()
+                .map(|&i| u.resolve(vals[i].as_ref().expect("total")))
+                .collect();
+            let rhs = u.resolve(vals[rhs_idx].as_ref().expect("total"));
+            match groups.get(&key) {
+                None => {
+                    groups.insert(key, rhs);
+                }
+                Some(existing) if *existing == rhs => {}
+                Some(existing) => {
+                    found = Some((existing.clone(), rhs));
+                }
+            }
+        });
+    }
+    found
+}
+
+/// Assignment enumeration over symbolic values — the `SymValue` analogue
+/// of `nfd_path::nav::for_each_assignment`.
+fn for_each_sym_assignment(
+    v: &SymValue,
+    nodes: &[nfd_path::trie::TrieNode],
+    values: &mut Vec<Option<SymValue>>,
+    emit: &mut dyn FnMut(&Vec<Option<SymValue>>),
+) {
+    // Fill sibling targets, then cross-product over internal siblings.
+    let mut set_targets = Vec::new();
+    for node in nodes {
+        if let Some(idx) = node.target {
+            let val = v.get(node.label).expect("well-typed tableau");
+            values[idx] = Some(val.clone());
+            set_targets.push(idx);
+        }
+    }
+    let internal: Vec<&nfd_path::trie::TrieNode> =
+        nodes.iter().filter(|n| !n.children.is_empty()).collect();
+    expand_sym(v, &internal, 0, values, emit);
+    for idx in set_targets {
+        values[idx] = None;
+    }
+}
+
+fn expand_sym(
+    v: &SymValue,
+    internal: &[&nfd_path::trie::TrieNode],
+    i: usize,
+    values: &mut Vec<Option<SymValue>>,
+    emit: &mut dyn FnMut(&Vec<Option<SymValue>>),
+) {
+    if i == internal.len() {
+        emit(values);
+        return;
+    }
+    let node = internal[i];
+    let SymValue::Set(elems) = v.get(node.label).expect("well-typed tableau") else {
+        unreachable!("internal trie nodes are set-valued");
+    };
+    for elem in elems {
+        let mut continue_next =
+            |values: &mut Vec<Option<SymValue>>| expand_sym(v, internal, i + 1, values, emit);
+        // Inline the with-siblings logic with the continuation.
+        let mut set_targets = Vec::new();
+        for child in &node.children {
+            if let Some(idx) = child.target {
+                let val = elem.get(child.label).expect("well-typed tableau");
+                values[idx] = Some(val.clone());
+                set_targets.push(idx);
+            }
+        }
+        let inner: Vec<&nfd_path::trie::TrieNode> = node
+            .children
+            .iter()
+            .filter(|n| !n.children.is_empty())
+            .collect();
+        expand_sym_k(elem, &inner, 0, values, &mut continue_next);
+        for idx in set_targets {
+            values[idx] = None;
+        }
+    }
+}
+
+fn expand_sym_k(
+    v: &SymValue,
+    internal: &[&nfd_path::trie::TrieNode],
+    i: usize,
+    values: &mut Vec<Option<SymValue>>,
+    k: &mut dyn FnMut(&mut Vec<Option<SymValue>>),
+) {
+    if i == internal.len() {
+        k(values);
+        return;
+    }
+    let node = internal[i];
+    let SymValue::Set(elems) = v.get(node.label).expect("well-typed tableau") else {
+        unreachable!("internal trie nodes are set-valued");
+    };
+    for elem in elems {
+        let mut set_targets = Vec::new();
+        for child in &node.children {
+            if let Some(idx) = child.target {
+                let val = elem.get(child.label).expect("well-typed tableau");
+                values[idx] = Some(val.clone());
+                set_targets.push(idx);
+            }
+        }
+        let inner: Vec<&nfd_path::trie::TrieNode> = node
+            .children
+            .iter()
+            .filter(|n| !n.children.is_empty())
+            .collect();
+        let mut continue_next =
+            |values: &mut Vec<Option<SymValue>>| expand_sym_k(v, internal, i + 1, values, k);
+        expand_sym_k2(elem, &inner, 0, values, &mut continue_next);
+        for idx in set_targets {
+            values[idx] = None;
+        }
+    }
+}
+
+fn expand_sym_k2(
+    v: &SymValue,
+    internal: &[&nfd_path::trie::TrieNode],
+    i: usize,
+    values: &mut Vec<Option<SymValue>>,
+    k: &mut dyn FnMut(&mut Vec<Option<SymValue>>),
+) {
+    expand_sym_k(v, internal, i, values, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfd_core::nfd::parse_set;
+    use nfd_core::simple;
+
+    #[test]
+    fn tableau_rows_share_exactly_x() {
+        let schema = Schema::parse("R : {<A: int, B: int>};").unwrap();
+        let rec = schema
+            .relation_type(nfd_model::Label::new("R"))
+            .unwrap()
+            .element_record()
+            .unwrap();
+        let mut u = Unifier::new();
+        let x = vec![Path::parse("A").unwrap()];
+        let mut b = TemplateBuilder {
+            u: &mut u,
+            x: &x,
+            shared: HashMap::new(),
+        };
+        let t1 = b.shared_element(rec, &Path::empty());
+        let t2 = b.shared_element(rec, &Path::empty());
+        let la = nfd_model::Label::new("A");
+        let lb = nfd_model::Label::new("B");
+        assert_eq!(t1.get(la), t2.get(la), "A shared");
+        assert_ne!(t1.get(lb), t2.get(lb), "B fresh");
+    }
+
+    #[test]
+    fn violation_found_and_chased() {
+        let schema = Schema::parse("R : {<A: int, B: int>};").unwrap();
+        let sigma = parse_set(&schema, "R:[A -> B];").unwrap();
+        let sigma_s: Vec<Nfd> = sigma.iter().map(simple::to_simple).collect();
+        let refs: Vec<&Nfd> = sigma_s.iter().collect();
+        let goal = simple::to_simple(&Nfd::parse(&schema, "R:[A -> B]").unwrap());
+        let run = run(&schema, &refs, &goal).unwrap();
+        assert!(run.implied);
+        assert!(run.steps >= 1, "the A → B merge is a chase step");
+    }
+
+    #[test]
+    fn no_dependencies_nothing_implied() {
+        let schema = Schema::parse("R : {<A: int, B: int>};").unwrap();
+        let goal = simple::to_simple(&Nfd::parse(&schema, "R:[A -> B]").unwrap());
+        let run = run(&schema, &[], &goal).unwrap();
+        assert!(!run.implied);
+        assert_eq!(run.steps, 0);
+    }
+
+    #[test]
+    fn trivial_goal_implied_without_steps() {
+        let schema = Schema::parse("R : {<A: int, B: int>};").unwrap();
+        let goal = simple::to_simple(&Nfd::parse(&schema, "R:[A, B -> A]").unwrap());
+        let run = run(&schema, &[], &goal).unwrap();
+        assert!(run.implied);
+    }
+}

@@ -1,0 +1,411 @@
+//! Dependency-set analysis: the "tools to operate on dependencies" the
+//! paper motivates (Section 1: equivalence-preserving transformations,
+//! redundancy elimination, design-style reasoning), built on the
+//! implication engine.
+//!
+//! Everything here is the nested analogue of classical FD design theory:
+//!
+//! * [`equivalent`] — mutual implication of two Σ sets;
+//! * [`minimize`] — a minimal cover: drop implied NFDs, then drop
+//!   extraneous LHS paths;
+//! * [`candidate_keys`] — minimal path sets determining every path of a
+//!   relation;
+//! * [`forced_singletons`] — set-valued paths that Σ forces to be
+//!   singletons (the Section 2.1 observation, decided by the engine);
+//! * [`equal_or_disjoint_sets`] — set-valued paths whose values Σ forces
+//!   to be pairwise equal or disjoint (the `x0:[x1:x2 → x1]` pattern).
+
+use crate::engine::Engine;
+use crate::error::CoreError;
+use crate::nfd::Nfd;
+use nfd_model::{Label, Schema};
+use nfd_path::typing::{paths_of_record, resolve_in_record};
+use nfd_path::{Path, RootedPath};
+
+/// Do `a` and `b` imply each other over `schema`?
+pub fn equivalent(schema: &Schema, a: &[Nfd], b: &[Nfd]) -> Result<bool, CoreError> {
+    let ea = Engine::new(schema, a)?;
+    for nfd in b {
+        if !ea.implies(nfd)? {
+            return Ok(false);
+        }
+    }
+    let eb = Engine::new(schema, b)?;
+    for nfd in a {
+        if !eb.implies(nfd)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Is `nfd` redundant in `sigma` (implied by the others)?
+pub fn is_redundant(schema: &Schema, sigma: &[Nfd], index: usize) -> Result<bool, CoreError> {
+    let rest: Vec<Nfd> = sigma
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != index)
+        .map(|(_, n)| n.clone())
+        .collect();
+    Engine::new(schema, &rest)?.implies(&sigma[index])
+}
+
+/// A minimal cover of Σ: equivalent to the input, with
+///
+/// 1. no extraneous LHS paths (no LHS path of any member can be dropped
+///    without weakening it), and
+/// 2. no redundant members (none is implied by the rest).
+///
+/// Like its classical counterpart the result depends on examination order;
+/// it is deterministic for a given input.
+pub fn minimize(schema: &Schema, sigma: &[Nfd]) -> Result<Vec<Nfd>, CoreError> {
+    let mut fds: Vec<Nfd> = sigma.to_vec();
+    fds.sort();
+    fds.dedup();
+
+    // 1. Trim extraneous LHS paths, one at a time.
+    let mut i = 0;
+    while i < fds.len() {
+        let mut changed = true;
+        while changed {
+            changed = false;
+            let lhs: Vec<Path> = fds[i].lhs().to_vec();
+            for drop in &lhs {
+                if fds[i].lhs().len() <= 1 && fds[i].lhs().contains(drop) && fds[i].lhs().len() == 1
+                {
+                    // Allow trimming down to the constant form only if it
+                    // still follows; handled by the same check below.
+                }
+                let reduced = Nfd::new(
+                    fds[i].base.clone(),
+                    lhs.iter().filter(|p| *p != drop).cloned(),
+                    fds[i].rhs.clone(),
+                )?;
+                if reduced == fds[i] {
+                    continue;
+                }
+                // The reduced NFD must follow from the CURRENT set.
+                let engine = Engine::new(schema, &fds)?;
+                if engine.implies(&reduced)? {
+                    fds[i] = reduced;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        i += 1;
+    }
+    fds.sort();
+    fds.dedup();
+
+    // 2. Drop redundant members.
+    let mut i = 0;
+    while i < fds.len() {
+        if is_redundant(schema, &fds, i)? {
+            fds.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    Ok(fds)
+}
+
+/// All candidate keys of `relation`: ⊆-minimal sets `X` of top-level
+/// attribute paths whose closure contains **every top-level attribute** —
+/// i.e. `X` determines the whole tuple. (A tuple of a nested relation is
+/// its record of top-level fields; deeper paths denote *elements inside*
+/// set-valued fields and are never functionally determined by tuple
+/// identity alone, so they do not belong to the key notion.)
+///
+/// Like the classical problem this is exponential in the worst case;
+/// `max_key_size` caps the search (keys larger than the cap are not
+/// reported).
+pub fn candidate_keys(
+    engine: &Engine<'_>,
+    relation: Label,
+    max_key_size: usize,
+) -> Result<Vec<Vec<Path>>, CoreError> {
+    let schema = engine.schema();
+    let rec = schema
+        .relation_type(relation)
+        .map_err(|_| CoreError::Nav(format!("unknown relation `{relation}`")))?
+        .element_record()
+        .ok_or_else(|| CoreError::Nav(format!("relation `{relation}` has no element record")))?;
+    // Candidate components and the coverage universe: top-level
+    // attributes (paths of length 1).
+    let attrs: Vec<Path> = rec.labels().map(|l| Path::new([l])).collect();
+    let base = RootedPath::relation_only(relation);
+
+    let covers = |x: &[Path]| -> Result<bool, CoreError> {
+        let cl = engine.closure(&base, x)?;
+        Ok(attrs
+            .iter()
+            .all(|a| cl.iter().any(|r| &r.path == a)))
+    };
+
+    let mut keys: Vec<Vec<Path>> = Vec::new();
+    for size in 0..=max_key_size.min(attrs.len()) {
+        let mut combo = Vec::with_capacity(size);
+        search(&attrs, size, 0, &mut combo, &mut |cand| {
+            if keys.iter().any(|k| k.iter().all(|p| cand.contains(p))) {
+                return Ok(()); // superset of a known key
+            }
+            if covers(cand)? {
+                keys.push(cand.to_vec());
+            }
+            Ok(())
+        })?;
+    }
+    keys.sort();
+    Ok(keys)
+}
+
+fn search(
+    items: &[Path],
+    size: usize,
+    start: usize,
+    combo: &mut Vec<Path>,
+    visit: &mut dyn FnMut(&[Path]) -> Result<(), CoreError>,
+) -> Result<(), CoreError> {
+    if combo.len() == size {
+        return visit(combo);
+    }
+    for i in start..items.len() {
+        combo.push(items[i].clone());
+        search(items, size, i + 1, combo, visit)?;
+        combo.pop();
+    }
+    Ok(())
+}
+
+/// Set-valued paths that Σ forces to be empty-or-singleton: those whose
+/// value is determined by each of its element attributes, i.e.
+/// `x0:[x → x:Ai]` is derivable for every attribute `Ai` (the paper's
+/// Section 2.1 singleton analysis). Returned as rooted paths.
+pub fn forced_singletons(engine: &Engine<'_>) -> Result<Vec<RootedPath>, CoreError> {
+    let schema = engine.schema();
+    let mut out = Vec::new();
+    for relation in schema.relation_names() {
+        let Some(rec) = schema
+            .relation_type(relation)
+            .expect("relation exists")
+            .element_record()
+        else {
+            continue;
+        };
+        for x in paths_of_record(rec) {
+            let Ok(ty) = resolve_in_record(rec, &x) else {
+                continue;
+            };
+            let Some(elem) = ty.element_record() else {
+                continue;
+            };
+            if elem.arity() == 0 {
+                continue;
+            }
+            let base = RootedPath::relation_only(relation);
+            let mut all = true;
+            for a in elem.labels() {
+                let goal = Nfd::new(base.clone(), [x.clone()], x.child(a))?;
+                if !engine.implies(&goal)? {
+                    all = false;
+                    break;
+                }
+            }
+            if all {
+                out.push(RootedPath::new(relation, x));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Set-valued paths `x1` for which Σ forces any two values to be equal or
+/// disjoint — the paper's observation about NFDs of form
+/// `x0:[x1:x2 → x1]`. A path qualifies if such an NFD is derivable for
+/// some child `x2`.
+pub fn equal_or_disjoint_sets(engine: &Engine<'_>) -> Result<Vec<RootedPath>, CoreError> {
+    let schema = engine.schema();
+    let mut out = Vec::new();
+    for relation in schema.relation_names() {
+        let Some(rec) = schema
+            .relation_type(relation)
+            .expect("relation exists")
+            .element_record()
+        else {
+            continue;
+        };
+        for x1 in paths_of_record(rec) {
+            let Ok(ty) = resolve_in_record(rec, &x1) else {
+                continue;
+            };
+            let Some(elem) = ty.element_record() else {
+                continue;
+            };
+            let base = RootedPath::relation_only(relation);
+            for a in elem.labels() {
+                let goal = Nfd::new(base.clone(), [x1.child(a)], x1.clone())?;
+                if engine.implies(&goal)? {
+                    out.push(RootedPath::new(relation, x1.clone()));
+                    break;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfd::parse_set;
+
+    fn course() -> (Schema, Vec<Nfd>) {
+        let schema = Schema::parse(
+            "Course : { <cnum: string, time: int,
+                         students: {<sid: int, age: int, grade: string>},
+                         books: {<isbn: string, title: string>}> };",
+        )
+        .unwrap();
+        let sigma = parse_set(
+            &schema,
+            "Course:[cnum -> time]; Course:[cnum -> students]; Course:[cnum -> books];
+             Course:[books:isbn -> books:title];
+             Course:students:[sid -> grade];
+             Course:[students:sid -> students:age];
+             Course:[time, students:sid -> cnum];",
+        )
+        .unwrap();
+        (schema, sigma)
+    }
+
+    #[test]
+    fn equivalence_of_presentations() {
+        let (schema, sigma) = course();
+        // Replacing the local grade constraint by its simple form keeps Σ
+        // equivalent.
+        let mut alt = sigma.clone();
+        alt[4] = crate::simple::to_simple(&alt[4]);
+        assert!(equivalent(&schema, &sigma, &alt).unwrap());
+        // Dropping the key constraint does not.
+        let weaker: Vec<Nfd> = sigma[1..].to_vec();
+        assert!(!equivalent(&schema, &sigma, &weaker).unwrap());
+    }
+
+    #[test]
+    fn minimize_removes_implied_members() {
+        let schema = Schema::parse("R : {<A: int, B: int, C: int>};").unwrap();
+        let sigma = parse_set(&schema, "R:[A -> B]; R:[B -> C]; R:[A -> C];").unwrap();
+        let min = minimize(&schema, &sigma).unwrap();
+        assert_eq!(min.len(), 2);
+        assert!(equivalent(&schema, &min, &sigma).unwrap());
+    }
+
+    #[test]
+    fn minimize_trims_extraneous_lhs() {
+        let schema = Schema::parse("R : {<A: int, B: int, C: int>};").unwrap();
+        // A,B → C with A → B: B is extraneous.
+        let sigma = parse_set(&schema, "R:[A, B -> C]; R:[A -> B];").unwrap();
+        let min = minimize(&schema, &sigma).unwrap();
+        assert!(min.contains(&Nfd::parse(&schema, "R:[A -> C]").unwrap()));
+        assert!(equivalent(&schema, &min, &sigma).unwrap());
+    }
+
+    #[test]
+    fn minimize_is_idempotent_on_course() {
+        let (schema, sigma) = course();
+        let min = minimize(&schema, &sigma).unwrap();
+        assert!(equivalent(&schema, &min, &sigma).unwrap());
+        let again = minimize(&schema, &min).unwrap();
+        assert_eq!(min, again);
+    }
+
+    #[test]
+    fn course_candidate_keys() {
+        let (schema, sigma) = course();
+        let engine = Engine::new(&schema, &sigma).unwrap();
+        let keys = candidate_keys(&engine, Label::new("Course"), 3).unwrap();
+        // cnum alone is a key (it determines everything at the top level
+        // and, because students/books are whole sets, everything below).
+        assert!(
+            keys.contains(&vec![Path::parse("cnum").unwrap()]),
+            "keys: {keys:?}"
+        );
+        // No key omits cnum-or-equivalent: time alone is not a key.
+        assert!(!keys.contains(&vec![Path::parse("time").unwrap()]));
+    }
+
+    #[test]
+    fn keys_identify_tuples_not_elements() {
+        // K → S makes {K} a key: it determines the whole tuple (K itself
+        // and the set S). It does NOT determine S:A — different elements
+        // of the same set may differ — and indeed S:A stays outside the
+        // closure; keys are about tuple identity, not element choice.
+        let schema = Schema::parse("R : {<K: int, S: {<A: int>}>};").unwrap();
+        let sigma = parse_set(&schema, "R:[K -> S];").unwrap();
+        let engine = Engine::new(&schema, &sigma).unwrap();
+        let keys = candidate_keys(&engine, Label::new("R"), 2).unwrap();
+        assert_eq!(keys, vec![vec![Path::parse("K").unwrap()]]);
+        let cl = engine
+            .closure(
+                &RootedPath::parse("R").unwrap(),
+                &[Path::parse("K").unwrap()],
+            )
+            .unwrap();
+        assert!(!cl.contains(&RootedPath::parse("R:S:A").unwrap()));
+        // Without any constraints, only the full attribute set is a key.
+        let bare = Engine::new(&schema, &[]).unwrap();
+        let keys = candidate_keys(&bare, Label::new("R"), 2).unwrap();
+        assert_eq!(
+            keys,
+            vec![vec![Path::parse("K").unwrap(), Path::parse("S").unwrap()]]
+        );
+    }
+
+    #[test]
+    fn forced_singletons_section_2_1() {
+        // R:[D → A:B], R:[D → A:C] forces A to be a singleton.
+        let schema = Schema::parse("R : {<A: {<B: int, C: int>}, D: int>};").unwrap();
+        let sigma = parse_set(&schema, "R:[D -> A:B]; R:[D -> A:C];").unwrap();
+        let engine = Engine::new(&schema, &sigma).unwrap();
+        let singles = forced_singletons(&engine).unwrap();
+        assert_eq!(singles, vec![RootedPath::parse("R:A").unwrap()]);
+        // One attribute is not enough.
+        let sigma2 = parse_set(&schema, "R:[D -> A:B];").unwrap();
+        let engine2 = Engine::new(&schema, &sigma2).unwrap();
+        assert!(forced_singletons(&engine2).unwrap().is_empty());
+    }
+
+    #[test]
+    fn forced_singleton_detection_is_semantic() {
+        // The constant form [∅ → A:B] also forces per-set constancy.
+        let schema = Schema::parse("R : {<A: {<B: int>}, D: int>};").unwrap();
+        let sigma = parse_set(&schema, "R:[ -> A:B];").unwrap();
+        let engine = Engine::new(&schema, &sigma).unwrap();
+        assert_eq!(
+            forced_singletons(&engine).unwrap(),
+            vec![RootedPath::parse("R:A").unwrap()]
+        );
+    }
+
+    #[test]
+    fn equal_or_disjoint_detection() {
+        let schema = Schema::parse("R : {<A: {<B: int>}, D: int>};").unwrap();
+        let sigma = parse_set(&schema, "R:[A:B -> A];").unwrap();
+        let engine = Engine::new(&schema, &sigma).unwrap();
+        assert_eq!(
+            equal_or_disjoint_sets(&engine).unwrap(),
+            vec![RootedPath::parse("R:A").unwrap()]
+        );
+        let none = Engine::new(&schema, &[]).unwrap();
+        assert!(equal_or_disjoint_sets(&none).unwrap().is_empty());
+    }
+
+    #[test]
+    fn redundancy_check() {
+        let schema = Schema::parse("R : {<A: int, B: int, C: int>};").unwrap();
+        let sigma = parse_set(&schema, "R:[A -> B]; R:[B -> C]; R:[A -> C];").unwrap();
+        assert!(is_redundant(&schema, &sigma, 2).unwrap());
+        assert!(!is_redundant(&schema, &sigma, 0).unwrap());
+    }
+}

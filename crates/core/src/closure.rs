@@ -1,0 +1,65 @@
+//! The path closure `(x0, X, Σ)*` (Appendix A).
+//!
+//! For a base path `x0`, a set `X` of paths and a set Σ of NFDs, the
+//! closure is the set of rooted paths `x0:q` such that `x0:[X → q]` is
+//! derivable from the NFD-rules. It plays the same role attribute closure
+//! plays for Armstrong's axioms: `Σ ⊨ x0:[X → y]` iff `x0:y` is in the
+//! closure, and the Appendix A instance construction consumes it directly.
+//!
+//! The computation lives on [`Engine::closure`](crate::engine::Engine::closure);
+//! this module adds the small conveniences the construction needs.
+
+use crate::engine::Engine;
+use crate::error::CoreError;
+use nfd_path::{Path, RootedPath};
+
+/// `(x0, X, Σ)*` as a sorted list of rooted paths. Thin alias for
+/// [`Engine::closure`].
+pub fn closure(
+    engine: &Engine<'_>,
+    base: &RootedPath,
+    lhs: &[Path],
+) -> Result<Vec<RootedPath>, CoreError> {
+    engine.closure(base, lhs)
+}
+
+/// The constants closure `(p, ∅)*`: the paths below `p` whose value is
+/// derivably constant within any value of `p`. Used by the `newRow` step
+/// of the Appendix A construction.
+pub fn constants(engine: &Engine<'_>, base: &RootedPath) -> Result<Vec<RootedPath>, CoreError> {
+    engine.closure(base, &[])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfd::parse_set;
+    use nfd_model::Schema;
+
+    #[test]
+    fn constants_closure() {
+        let schema = Schema::parse("R : {<A: int, E: {<F: int, G: int>}>};").unwrap();
+        // E's F attribute is constant inside every E set.
+        let sigma = parse_set(&schema, "R:E:[ -> F];").unwrap();
+        let engine = Engine::new(&schema, &sigma).unwrap();
+        let consts = constants(&engine, &RootedPath::parse("R:E").unwrap()).unwrap();
+        let shown: Vec<String> = consts.iter().map(|p| p.to_string()).collect();
+        assert_eq!(shown, ["R:E:F"]);
+    }
+
+    #[test]
+    fn closure_respects_base_scoping() {
+        let schema = Schema::parse("R : {<A: {<B: int, C: int>}, D: int>};").unwrap();
+        let sigma = parse_set(&schema, "R:A:[B -> C]; R:[D -> A];").unwrap();
+        let engine = Engine::new(&schema, &sigma).unwrap();
+        // Relative to base R:A, B determines C but not D (outside scope).
+        let c = closure(
+            &engine,
+            &RootedPath::parse("R:A").unwrap(),
+            &[Path::parse("B").unwrap()],
+        )
+        .unwrap();
+        let shown: Vec<String> = c.iter().map(|p| p.to_string()).collect();
+        assert_eq!(shown, ["R:A:B", "R:A:C"]);
+    }
+}

@@ -1,0 +1,541 @@
+//! The Appendix A counterexample construction.
+//!
+//! Given Σ, a base path `x0` and a LHS set `X`, Appendix A builds an
+//! instance `I` such that `I ⊨ Σ` while `I ⊭ x0:[X → y]` for **every**
+//! `y` with `x0:y ∉ (x0, X, Σ)*` — the witness family behind the
+//! completeness half of Theorem 3.1.
+//!
+//! The construction follows the paper's pseudocode (`newValue`,
+//! `assignX0`, `assignVal`, `assignNew`, `newRow`) exactly:
+//!
+//! * paths in the closure all share one base constant (the `0` of the
+//!   paper's tables), so any two rows agree exactly on the closure;
+//! * along the spine of `x0` the instance is a chain of singleton sets, so
+//!   the quantified pair `v1, v2` appears only at the end of `x0`;
+//! * at `x0` itself, two rows are built that agree on closure paths and
+//!   get fresh constants elsewhere;
+//! * a set-valued path outside the closure whose attributes are *all* in
+//!   the closure receives a second row (`newRow`), differing outside the
+//!   constants closure `(p, ∅)*`, so that the set value itself differs
+//!   between the two sides.
+//!
+//! The paper assumes an infinite domain for every base type; schemas using
+//! `bool` are therefore rejected.
+
+use crate::closure::constants;
+use crate::engine::Engine;
+use crate::error::CoreError;
+use nfd_model::{BaseType, Instance, RecordType, RecordValue, SetValue, Type, Value};
+use nfd_path::typing::resolve_rooted;
+use nfd_path::{Path, RootedPath};
+use std::collections::{HashMap, HashSet};
+
+/// The result of the Appendix A construction.
+#[derive(Clone, Debug)]
+pub struct Construction {
+    /// The constructed instance (`I ⊨ Σ`, `I ⊭ x0:[X → y]` for all `y`
+    /// outside the closure).
+    pub instance: Instance,
+    /// The closure `(x0, X, Σ)*` the construction was driven by.
+    pub closure: Vec<RootedPath>,
+}
+
+struct Ctx<'e, 's> {
+    engine: &'e Engine<'s>,
+    base: RootedPath,
+    closure: HashSet<RootedPath>,
+    /// `value(p)` of the pseudocode, memoized. Populated eagerly for
+    /// closure paths (deepest first) and on demand for `(p, ∅)*` members
+    /// referenced by `newRow`.
+    values: HashMap<RootedPath, Value>,
+    /// Constants closures `(p, ∅)*`, memoized per `p`.
+    consts: HashMap<RootedPath, HashSet<RootedPath>>,
+    next: i64,
+}
+
+impl Ctx<'_, '_> {
+    fn schema(&self) -> &nfd_model::Schema {
+        self.engine.schema()
+    }
+
+    fn type_of(&self, p: &RootedPath) -> Result<Type, CoreError> {
+        Ok(resolve_rooted(self.schema(), p)?.clone())
+    }
+
+    /// `newValue()`: a fresh constant of the given base type.
+    fn new_value(&mut self, b: BaseType) -> Result<Value, CoreError> {
+        let n = self.next;
+        self.next += 1;
+        match b {
+            BaseType::Int => Ok(Value::int(n)),
+            BaseType::String => Ok(Value::str(format!("v{n}"))),
+            BaseType::Bool => Err(CoreError::Construct(
+                "the completeness construction requires infinite base domains; \
+                 schemas using `bool` are not supported"
+                    .into(),
+            )),
+        }
+    }
+
+    /// A constant of the given base type carrying the shared closure value
+    /// `val` (the paper's `0`).
+    fn const_value(b: BaseType, val: i64) -> Result<Value, CoreError> {
+        match b {
+            BaseType::Int => Ok(Value::int(val)),
+            BaseType::String => Ok(Value::str(format!("v{val}"))),
+            BaseType::Bool => Err(CoreError::Construct(
+                "the completeness construction requires infinite base domains; \
+                 schemas using `bool` are not supported"
+                    .into(),
+            )),
+        }
+    }
+
+    /// `value(p)`: the memoized closure value, computing it on demand for
+    /// `(p, ∅)*` members outside the main closure.
+    fn value_of(&mut self, p: &RootedPath) -> Result<Value, CoreError> {
+        if let Some(v) = self.values.get(p) {
+            return Ok(v.clone());
+        }
+        let v = self.assign_val(0, p)?;
+        self.values.insert(p.clone(), v.clone());
+        Ok(v)
+    }
+
+    /// `assignVal(val, p)` of the pseudocode.
+    fn assign_val(&mut self, val: i64, p: &RootedPath) -> Result<Value, CoreError> {
+        match self.type_of(p)? {
+            Type::Base(b) => Self::const_value(b, val),
+            Type::Set(elem) => match &*elem {
+                Type::Base(b) => Ok(Value::Set(SetValue::new(vec![Self::const_value(*b, val)?]))),
+                Type::Record(rec) => {
+                    let r1 = self.closure_row(p, rec, val)?;
+                    let r2 = self.closure_row(p, rec, val)?;
+                    Ok(Value::Set(SetValue::new(vec![
+                        Value::Record(r1),
+                        Value::Record(r2),
+                    ])))
+                }
+                Type::Set(_) => Err(CoreError::Construct(
+                    "sets of sets cannot occur in a validated schema".into(),
+                )),
+            },
+            Type::Record(_) => Err(CoreError::Construct(
+                "paths never resolve to bare records in the nested model".into(),
+            )),
+        }
+    }
+
+    /// One row of `assignVal`'s two-row set: closure children share
+    /// `value(p:Ai)`, others are fresh per row.
+    fn closure_row(
+        &mut self,
+        p: &RootedPath,
+        rec: &RecordType,
+        _val: i64,
+    ) -> Result<RecordValue, CoreError> {
+        let mut fields = Vec::with_capacity(rec.arity());
+        for f in rec.fields() {
+            let child = p.child(f.label);
+            let v = if self.closure.contains(&child) {
+                self.value_of(&child)?
+            } else {
+                self.assign_new(&child)?
+            };
+            fields.push((f.label, v));
+        }
+        RecordValue::new(fields).map_err(|e| CoreError::Construct(e.to_string()))
+    }
+
+    /// `assignNew(p)` of the pseudocode.
+    fn assign_new(&mut self, p: &RootedPath) -> Result<Value, CoreError> {
+        match self.type_of(p)? {
+            Type::Base(b) => self.new_value(b),
+            Type::Set(elem) => match &*elem {
+                Type::Base(b) => {
+                    let b = *b;
+                    Ok(Value::Set(SetValue::new(vec![self.new_value(b)?])))
+                }
+                Type::Record(rec) => {
+                    let rec = rec.clone();
+                    let mut fields = Vec::with_capacity(rec.arity());
+                    let mut all_closure = true;
+                    for f in rec.fields() {
+                        let child = p.child(f.label);
+                        let v = if self.closure.contains(&child) {
+                            self.value_of(&child)?
+                        } else {
+                            all_closure = false;
+                            self.assign_new(&child)?
+                        };
+                        fields.push((f.label, v));
+                    }
+                    let r = Value::Record(
+                        RecordValue::new(fields).map_err(|e| CoreError::Construct(e.to_string()))?,
+                    );
+                    if all_closure && rec.arity() > 0 {
+                        let same_val = self.constants_of(p)?;
+                        let row2 = self.new_row(p, &rec, &same_val)?;
+                        Ok(Value::Set(SetValue::new(vec![r, Value::Record(row2)])))
+                    } else {
+                        Ok(Value::Set(SetValue::new(vec![r])))
+                    }
+                }
+                Type::Set(_) => Err(CoreError::Construct(
+                    "sets of sets cannot occur in a validated schema".into(),
+                )),
+            },
+            Type::Record(_) => Err(CoreError::Construct(
+                "paths never resolve to bare records in the nested model".into(),
+            )),
+        }
+    }
+
+    /// `(p, ∅)*`, memoized.
+    fn constants_of(&mut self, p: &RootedPath) -> Result<HashSet<RootedPath>, CoreError> {
+        if let Some(c) = self.consts.get(p) {
+            return Ok(c.clone());
+        }
+        let c: HashSet<RootedPath> = constants(self.engine, p)?.into_iter().collect();
+        self.consts.insert(p.clone(), c.clone());
+        Ok(c)
+    }
+
+    /// `newRow(p, sameVal)` of the pseudocode.
+    fn new_row(
+        &mut self,
+        p: &RootedPath,
+        rec: &RecordType,
+        same_val: &HashSet<RootedPath>,
+    ) -> Result<RecordValue, CoreError> {
+        let mut fields = Vec::with_capacity(rec.arity());
+        for f in rec.fields() {
+            let child = p.child(f.label);
+            let v = if same_val.contains(&child) {
+                self.value_of(&child)?
+            } else {
+                match &f.ty {
+                    Type::Base(b) => self.new_value(*b)?,
+                    Type::Set(elem) => match &**elem {
+                        Type::Base(b) => {
+                            let b = *b;
+                            Value::Set(SetValue::new(vec![self.new_value(b)?]))
+                        }
+                        Type::Record(inner) => {
+                            let inner = inner.clone();
+                            let row = self.new_row(&child, &inner, same_val)?;
+                            Value::Set(SetValue::new(vec![Value::Record(row)]))
+                        }
+                        Type::Set(_) => {
+                            return Err(CoreError::Construct(
+                                "sets of sets cannot occur in a validated schema".into(),
+                            ))
+                        }
+                    },
+                    Type::Record(_) => {
+                        return Err(CoreError::Construct(
+                            "record fields are base- or set-typed in the nested model".into(),
+                        ))
+                    }
+                }
+            };
+            fields.push((f.label, v));
+        }
+        RecordValue::new(fields).map_err(|e| CoreError::Construct(e.to_string()))
+    }
+
+    /// `assignX0(p)`: singleton chain along the spine of `x0`, doubling at
+    /// `x0` itself.
+    fn assign_x0(&mut self, p: &RootedPath) -> Result<Value, CoreError> {
+        if *p == self.base {
+            return self.assign_val(0, p);
+        }
+        let ty = self.type_of(p)?;
+        let Some(rec) = ty.element_record().cloned() else {
+            return Err(CoreError::Construct(format!(
+                "spine path `{p}` is not a set of records"
+            )));
+        };
+        let mut fields = Vec::with_capacity(rec.arity());
+        for f in rec.fields() {
+            let child = p.child(f.label);
+            let v = if child.is_prefix_of(&self.base) {
+                self.assign_x0(&child)?
+            } else {
+                self.assign_new(&child)?
+            };
+            fields.push((f.label, v));
+        }
+        let r = RecordValue::new(fields).map_err(|e| CoreError::Construct(e.to_string()))?;
+        Ok(Value::Set(SetValue::new(vec![Value::Record(r)])))
+    }
+}
+
+/// Runs the Appendix A construction for `x0:[X → ·]` against the engine's
+/// Σ. The returned instance satisfies Σ and violates `x0:[X → y]` for
+/// every well-typed `y` outside the returned closure (Lemma A.1) — both
+/// facts are property-tested in this repository.
+pub fn counterexample(
+    engine: &Engine<'_>,
+    base: &RootedPath,
+    lhs: &[Path],
+) -> Result<Construction, CoreError> {
+    let closure_list = engine.closure(base, lhs)?;
+    let mut ctx = Ctx {
+        engine,
+        base: base.clone(),
+        closure: closure_list.iter().cloned().collect(),
+        values: HashMap::new(),
+        consts: HashMap::new(),
+        next: 1,
+    };
+
+    // `value(p) := assignVal(val, p)` for all closure paths, deepest first
+    // so that references to deeper values are already evaluated.
+    let mut ordered = closure_list.clone();
+    ordered.sort_by_key(|p| std::cmp::Reverse(p.path.len()));
+    for p in &ordered {
+        let v = ctx.assign_val(0, p)?;
+        ctx.values.insert(p.clone(), v);
+    }
+
+    // `I := assignX0(R)`, plus fresh content for the other relations (the
+    // no-empty-sets regime forbids leaving them empty).
+    let schema = engine.schema();
+    let mut relations = Vec::new();
+    for name in schema.relation_names() {
+        let rooted = RootedPath::relation_only(name);
+        let v = if name == base.relation {
+            ctx.assign_x0(&rooted)?
+        } else {
+            ctx.assign_new(&rooted)?
+        };
+        relations.push((name, v));
+    }
+    let instance = Instance::new(schema, relations).map_err(|e| {
+        CoreError::Construct(format!("constructed instance failed validation: {e}"))
+    })?;
+    Ok(Construction {
+        instance,
+        closure: closure_list,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfd::{parse_set, Nfd};
+    use crate::satisfy;
+    use nfd_model::{Label, Schema};
+    use nfd_path::typing::paths_of_record;
+
+    fn a1() -> (Schema, Vec<Nfd>) {
+        let schema = Schema::parse(
+            "R : { <A: int, B: {<C: int>}, D: int, E: {<F: int, G: int>},
+                   H: {<J: int, L: int>}, I: int, M: {<N: int, O: int>}> };",
+        )
+        .unwrap();
+        let sigma = parse_set(
+            &schema,
+            "R:[A -> B:C]; R:[B:C -> D]; R:[D -> E:F];
+             R:[A -> E:G]; R:[B:C -> H]; R:[I -> H:J];",
+        )
+        .unwrap();
+        (schema, sigma)
+    }
+
+    /// Lemma A.1 on Example A.1: the constructed instance satisfies Σ and
+    /// violates x0:[X → y] exactly for the paths outside the closure.
+    #[test]
+    fn example_a1_lemma() {
+        let (schema, sigma) = a1();
+        let engine = Engine::new(&schema, &sigma).unwrap();
+        let base = RootedPath::parse("R").unwrap();
+        let x = vec![Path::parse("B").unwrap()];
+        let c = counterexample(&engine, &base, &x).unwrap();
+        assert!(!c.instance.contains_empty_set());
+
+        // I ⊨ Σ.
+        for nfd in &sigma {
+            let r = satisfy::check(&schema, &c.instance, nfd).unwrap();
+            assert!(r.holds, "constructed instance must satisfy {nfd}");
+        }
+
+        // For every relative path q: X → q holds on I iff q is in the
+        // closure.
+        let rec = schema
+            .relation_type(Label::new("R"))
+            .unwrap()
+            .element_record()
+            .unwrap();
+        let in_closure: std::collections::HashSet<&RootedPath> = c.closure.iter().collect();
+        for q in paths_of_record(rec) {
+            let rooted = RootedPath::new(Label::new("R"), q.clone());
+            let goal = Nfd::new(base.clone(), x.clone(), q.clone()).unwrap();
+            let holds = satisfy::check(&schema, &c.instance, &goal).unwrap().holds;
+            assert_eq!(
+                holds,
+                in_closure.contains(&rooted),
+                "path {rooted}: satisfaction must match closure membership"
+            );
+        }
+    }
+
+    /// Structural facts about the Example A.1 table: two rows, closure
+    /// columns shared (value 0), B a singleton {<C:0>}, H two rows with
+    /// J = 0.
+    #[test]
+    fn example_a1_structure() {
+        let (schema, sigma) = a1();
+        let engine = Engine::new(&schema, &sigma).unwrap();
+        let c = counterexample(
+            &engine,
+            &RootedPath::parse("R").unwrap(),
+            &[Path::parse("B").unwrap()],
+        )
+        .unwrap();
+        let rel = c.instance.relation(Label::new("R")).unwrap();
+        assert_eq!(rel.len(), 2, "two rows at x0");
+        let rows: Vec<&RecordValue> = rel.elems().iter().map(|e| e.as_record().unwrap()).collect();
+        let get = |r: &RecordValue, l: &str| r.get(Label::new(l)).unwrap().clone();
+        // Closure columns agree between the rows…
+        for col in ["B", "D", "H"] {
+            assert_eq!(get(rows[0], col), get(rows[1], col), "column {col} shared");
+        }
+        // …and non-closure columns differ.
+        for col in ["A", "I", "E", "M"] {
+            assert_ne!(get(rows[0], col), get(rows[1], col), "column {col} fresh");
+        }
+        // B is the singleton {<C: 0>}.
+        assert_eq!(
+            get(rows[0], "B"),
+            Value::set([Value::record_of(vec![("C", Value::int(0))])])
+        );
+        // D is the shared 0.
+        assert_eq!(get(rows[0], "D"), Value::int(0));
+        // H has two elements, both with J = 0 and distinct L.
+        let h = get(rows[0], "H");
+        let h = h.as_set().unwrap();
+        assert_eq!(h.len(), 2);
+        for e in h.elems() {
+            assert_eq!(e.as_record().unwrap().get(Label::new("J")), Some(&Value::int(0)));
+        }
+        // E is a singleton per row with F = 0 (closure) and fresh G.
+        for row in &rows {
+            let e = get(row, "E");
+            let e = e.as_set().unwrap();
+            assert_eq!(e.len(), 1);
+            assert_eq!(
+                e.elems()[0].as_record().unwrap().get(Label::new("F")),
+                Some(&Value::int(0))
+            );
+        }
+    }
+
+    /// Lemma A.1 on Example A.2 (deep nesting, set-valued RHS in Σ).
+    #[test]
+    fn example_a2_lemma() {
+        let schema = Schema::parse(
+            "R : { <A: {<B: {<C: int, D: int, E: {<F: int, G: int>}>}>}, H: int> };",
+        )
+        .unwrap();
+        let sigma = parse_set(
+            &schema,
+            "R:[A:B:C -> A:B]; R:[A:B:C -> A:B:E:F]; R:[H -> A:B:D];",
+        )
+        .unwrap();
+        let engine = Engine::new(&schema, &sigma).unwrap();
+        let base = RootedPath::parse("R").unwrap();
+        let x = vec![Path::parse("A:B:C").unwrap()];
+        let c = counterexample(&engine, &base, &x).unwrap();
+        assert!(!c.instance.contains_empty_set());
+        for nfd in &sigma {
+            assert!(
+                satisfy::check(&schema, &c.instance, nfd).unwrap().holds,
+                "constructed instance must satisfy {nfd}"
+            );
+        }
+        let rec = schema
+            .relation_type(Label::new("R"))
+            .unwrap()
+            .element_record()
+            .unwrap();
+        let in_closure: std::collections::HashSet<&RootedPath> = c.closure.iter().collect();
+        for q in paths_of_record(rec) {
+            let rooted = RootedPath::new(Label::new("R"), q.clone());
+            let goal = Nfd::new(base.clone(), x.clone(), q.clone()).unwrap();
+            let holds = satisfy::check(&schema, &c.instance, &goal).unwrap().holds;
+            assert_eq!(
+                holds,
+                in_closure.contains(&rooted),
+                "path {rooted}: satisfaction must match closure membership"
+            );
+        }
+    }
+
+    /// Deep base path: the spine of x0 is a chain of singleton sets.
+    #[test]
+    fn deep_base_spine_is_singleton_chain() {
+        let schema = Schema::parse("R : {<A: {<B: {<C: int, D: int>}>}>};").unwrap();
+        let sigma = parse_set(&schema, "R:A:B:[C -> D];").unwrap();
+        let engine = Engine::new(&schema, &sigma).unwrap();
+        let base = RootedPath::parse("R:A:B").unwrap();
+        let c = counterexample(&engine, &base, &[Path::parse("C").unwrap()]).unwrap();
+        let rel = c.instance.relation(Label::new("R")).unwrap();
+        assert_eq!(rel.len(), 1, "R spine is singleton");
+        let a = rel.elems()[0]
+            .as_record()
+            .unwrap()
+            .get(Label::new("A"))
+            .unwrap()
+            .as_set()
+            .unwrap();
+        assert_eq!(a.len(), 1, "A spine is singleton");
+        let b = a.elems()[0]
+            .as_record()
+            .unwrap()
+            .get(Label::new("B"))
+            .unwrap()
+            .as_set()
+            .unwrap();
+        // C is in the closure (reflexivity) and D follows by C → D, so the
+        // two constructed rows agree on every field and collapse into one
+        // under set semantics. That is fine: every path below x0 is in the
+        // closure, so there is nothing the instance needs to violate.
+        assert_eq!(b.len(), 1, "rows agree on the whole closure and collapse");
+        assert_eq!(
+            c.closure.len(),
+            2,
+            "closure below R:A:B is {{C, D}}: {:?}",
+            c.closure
+        );
+    }
+
+    #[test]
+    fn bool_schema_rejected() {
+        let schema = Schema::parse("R : {<A: bool, B: {<C: int>}>};").unwrap();
+        let engine = Engine::new(&schema, &[]).unwrap();
+        let err = counterexample(
+            &engine,
+            &RootedPath::parse("R").unwrap(),
+            &[Path::parse("B").unwrap()],
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::Construct(_)));
+    }
+
+    #[test]
+    fn multi_relation_schemas_fill_other_relations() {
+        let schema = Schema::parse("R : {<A: int, B: int>}; S : {<X: int>};").unwrap();
+        let sigma = parse_set(&schema, "R:[A -> B];").unwrap();
+        let engine = Engine::new(&schema, &sigma).unwrap();
+        let c = counterexample(
+            &engine,
+            &RootedPath::parse("R").unwrap(),
+            &[Path::parse("A").unwrap()],
+        )
+        .unwrap();
+        assert!(!c.instance.contains_empty_set());
+        assert!(!c.instance.relation(Label::new("S")).unwrap().is_empty());
+    }
+}

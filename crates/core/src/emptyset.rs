@@ -1,0 +1,181 @@
+//! Empty sets and the Section 3.2 rule modifications.
+//!
+//! Universal quantification over an empty set is vacuously true, so
+//! transitivity (Example 3.2) and prefix are unsound once instances may
+//! contain empty sets. The paper's remedy — analogous to `NOT NULL`
+//! declarations — is to let the user declare *where empty sets are known
+//! not to occur*, and to gate the affected rules on those declarations
+//! together with the [`follows`](nfd_path::Path::follows) relation
+//! (Definition 3.2).
+//!
+//! [`EmptySetPolicy`] packages this choice:
+//!
+//! * [`EmptySetPolicy::Forbidden`] — Theorem 3.1's regime: no instance
+//!   contains an empty set, all eight rules apply unconditionally.
+//! * [`EmptySetPolicy::Annotated`] — instances may contain empty sets
+//!   except at the declared set-valued paths. The engine then uses the
+//!   **modified transitivity** rule (every intermediate path must either
+//!   *follow* the conclusion's RHS or be known defined) and the **modified
+//!   prefix** rule (`x1` must be known non-empty); locality-style rules
+//!   require the dismissed paths to be defined for the same reason.
+
+use nfd_path::{Path, RootedPath};
+use std::collections::HashSet;
+
+/// How the implication engine treats empty sets.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum EmptySetPolicy {
+    /// No instance contains an empty set (the paper's main regime,
+    /// Theorem 3.1). All rules apply unconditionally.
+    #[default]
+    Forbidden,
+    /// Instances may contain empty sets, except at the listed set-valued
+    /// rooted paths which are declared to always have at least one element
+    /// (the paper's proposed `NON-NULL` analogue, Sections 3.2 and 4).
+    Annotated(HashSet<RootedPath>),
+}
+
+impl EmptySetPolicy {
+    /// An `Annotated` policy with no declarations: fully pessimistic.
+    pub fn pessimistic() -> EmptySetPolicy {
+        EmptySetPolicy::Annotated(HashSet::new())
+    }
+
+    /// An `Annotated` policy declaring the given rooted paths non-empty.
+    pub fn non_empty(paths: impl IntoIterator<Item = RootedPath>) -> EmptySetPolicy {
+        EmptySetPolicy::Annotated(paths.into_iter().collect())
+    }
+
+    /// Is the set at rooted path `R:p` known to be non-empty in every
+    /// navigation?
+    pub fn is_non_empty(&self, relation: nfd_model::Label, p: &Path) -> bool {
+        match self {
+            EmptySetPolicy::Forbidden => true,
+            EmptySetPolicy::Annotated(set) => {
+                set.contains(&RootedPath::new(relation, p.clone()))
+            }
+        }
+    }
+
+    /// Is the value of path `p` (relative to relation `R`'s element
+    /// records) *defined* in every navigation — i.e. is every set it
+    /// traverses (every non-empty proper prefix of `p`) known non-empty?
+    ///
+    /// A single-label path projects a record field and is always defined.
+    pub fn is_defined(&self, relation: nfd_model::Label, p: &Path) -> bool {
+        match self {
+            EmptySetPolicy::Forbidden => true,
+            EmptySetPolicy::Annotated(_) => p
+                .prefixes()
+                .filter(|q| q.is_proper_prefix_of(p))
+                .all(|q| self.is_non_empty(relation, &q)),
+        }
+    }
+
+    /// The **modified transitivity** gate (Section 3.2): an intermediate
+    /// path `p ∉ X` may justify a transitivity step concluding `y` iff it
+    /// follows `y` or is known defined.
+    pub fn transitivity_ok(&self, relation: nfd_model::Label, p: &Path, y: &Path) -> bool {
+        match self {
+            EmptySetPolicy::Forbidden => true,
+            EmptySetPolicy::Annotated(_) => p.follows(y) || self.is_defined(relation, p),
+        }
+    }
+
+    /// The **modified prefix** gate (Section 3.2): shortening `x1:A` to
+    /// `x1` requires `x1` to be known non-empty (and reachable: its own
+    /// traversals defined).
+    pub fn prefix_ok(&self, relation: nfd_model::Label, x1: &Path) -> bool {
+        match self {
+            EmptySetPolicy::Forbidden => true,
+            EmptySetPolicy::Annotated(_) => {
+                self.is_non_empty(relation, x1) && self.is_defined(relation, x1)
+            }
+        }
+    }
+
+    /// Gate for dismissing an out-of-subtree path `y` in the locality /
+    /// full-locality rules: the dismissed premise component must be
+    /// applicable whenever the conclusion is, i.e. `y` follows the RHS or
+    /// is known defined. (The paper leaves the empty-set treatment of
+    /// locality to future work; this conservative gate keeps the rule
+    /// sound — see DESIGN.md.)
+    pub fn locality_ok(&self, relation: nfd_model::Label, y: &Path, rhs: &Path) -> bool {
+        match self {
+            EmptySetPolicy::Forbidden => true,
+            EmptySetPolicy::Annotated(_) => y.follows(rhs) || self.is_defined(relation, y),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfd_model::Label;
+
+    fn p(s: &str) -> Path {
+        Path::parse(s).unwrap()
+    }
+
+    fn r() -> Label {
+        Label::new("R")
+    }
+
+    #[test]
+    fn forbidden_gates_everything_open() {
+        let pol = EmptySetPolicy::Forbidden;
+        assert!(pol.is_non_empty(r(), &p("B")));
+        assert!(pol.is_defined(r(), &p("B:C")));
+        assert!(pol.transitivity_ok(r(), &p("B:C"), &p("D")));
+        assert!(pol.prefix_ok(r(), &p("B")));
+        assert!(pol.locality_ok(r(), &p("Q"), &p("A:z")));
+    }
+
+    #[test]
+    fn example_3_2_gate() {
+        // R:[A → B:C], R:[B:C → D]: the intermediate B:C neither follows D
+        // nor is defined unless B is declared non-empty.
+        let pess = EmptySetPolicy::pessimistic();
+        assert!(!pess.transitivity_ok(r(), &p("B:C"), &p("D")));
+        let annotated = EmptySetPolicy::non_empty([RootedPath::parse("R:B").unwrap()]);
+        assert!(annotated.transitivity_ok(r(), &p("B:C"), &p("D")));
+    }
+
+    #[test]
+    fn follows_substitutes_for_annotation() {
+        // Intermediate path B follows B:C (single label follows any longer
+        // path); no annotation needed.
+        let pess = EmptySetPolicy::pessimistic();
+        assert!(pess.transitivity_ok(r(), &p("B"), &p("B:C")));
+        // …and any single-label intermediate is defined anyway.
+        assert!(pess.transitivity_ok(r(), &p("E"), &p("D")));
+    }
+
+    #[test]
+    fn defined_requires_all_traversed_sets() {
+        let pol = EmptySetPolicy::non_empty([RootedPath::parse("R:A").unwrap()]);
+        assert!(pol.is_defined(r(), &p("A:B")));
+        // A:B:C traverses A and A:B; only A is declared.
+        assert!(!pol.is_defined(r(), &p("A:B:C")));
+        let both = EmptySetPolicy::non_empty([
+            RootedPath::parse("R:A").unwrap(),
+            RootedPath::parse("R:A:B").unwrap(),
+        ]);
+        assert!(both.is_defined(r(), &p("A:B:C")));
+        // Single labels are always defined.
+        assert!(EmptySetPolicy::pessimistic().is_defined(r(), &p("A")));
+    }
+
+    #[test]
+    fn prefix_gate_needs_the_set_itself() {
+        // Shortening B:C → B needs B non-empty.
+        let pess = EmptySetPolicy::pessimistic();
+        assert!(!pess.prefix_ok(r(), &p("B")));
+        let ann = EmptySetPolicy::non_empty([RootedPath::parse("R:B").unwrap()]);
+        assert!(ann.prefix_ok(r(), &p("B")));
+        // Deeper: shortening A:B:C → A:B needs A:B non-empty AND A (its
+        // traversal) non-empty.
+        let only_ab = EmptySetPolicy::non_empty([RootedPath::parse("R:A:B").unwrap()]);
+        assert!(!only_ab.prefix_ok(r(), &p("A:B")));
+    }
+}

@@ -1,0 +1,958 @@
+//! The saturation-based implication engine.
+//!
+//! Deciding `Σ ⊨ σ` is the paper's central question; Theorem 3.1 shows the
+//! eight NFD-rules are sound and complete for it (without empty sets). The
+//! engine decides implication by working in the *simple form* of
+//! Section 3.2 (base paths normalized to relation names via push-in /
+//! pull-out) and saturating the dependency pool under the remaining rules:
+//!
+//! * **prefix-weakening** — each LHS path `x1:A` may be shortened to `x1`
+//!   when `x1` is not a prefix of the RHS;
+//! * **full-locality** — for every proper prefix `x` of the RHS, the
+//!   out-of-subtree LHS paths may be replaced by `x` itself;
+//! * **resolution** — transitivity composed at the pool level: a dependency
+//!   producing `p` may discharge `p` from another dependency's LHS;
+//! * **singleton introduction** — when the pool proves `x → x:Ai` for
+//!   every attribute of a set-of-records path `x`, the singleton rule's
+//!   conclusion `x:A1,…,x:An → x` joins the pool.
+//!
+//! A query `Σ ⊢ R:[X → y]` then chains over the saturated pool: starting
+//! from `C = X` (reflexivity), any pool dependency whose LHS is contained
+//! in `C` contributes its RHS (transitivity + augmentation), until `y`
+//! appears or the closure is stable. Subsumption pruning (same RHS, ⊆ LHS)
+//! keeps the pool an antichain.
+//!
+//! Every pool entry records provenance, so any positive answer can be
+//! replayed as a numbered derivation over the original eight rules (see
+//! [`crate::proof`]). Completeness is cross-checked in the test suite
+//! against the Appendix A construction: whenever the engine answers *no*,
+//! the constructed instance satisfies Σ and violates the goal.
+//!
+//! Under [`EmptySetPolicy::Annotated`], resolution, query chaining, prefix
+//! and locality apply only through their Section 3.2 gates; the engine is
+//! then sound for instances with empty sets (completeness in that regime
+//! is the paper's stated future work).
+
+use crate::emptyset::EmptySetPolicy;
+use crate::error::CoreError;
+use crate::nfd::Nfd;
+use crate::simple;
+use nfd_model::{Label, Schema};
+use nfd_path::typing::paths_of_record;
+use nfd_path::{Path, RootedPath};
+use std::collections::{HashMap, HashSet};
+
+/// Provenance of a pool dependency — enough to replay a rule-level proof.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Prov {
+    /// Normalized form of the `i`-th NFD of Σ.
+    Given(usize),
+    /// Prefix-weakening of pool entry `dep`, shortening the LHS path with
+    /// index `shortened`.
+    Prefix {
+        /// Pool index of the premise.
+        dep: usize,
+        /// Path id (in the relation's path table) that was shortened.
+        shortened: u32,
+    },
+    /// Full-locality of pool entry `dep` at prefix `x`.
+    FullLocality {
+        /// Pool index of the premise.
+        dep: usize,
+        /// Path id of the localized prefix.
+        x: u32,
+    },
+    /// Resolution: `supplier`'s RHS discharged path `on` from `target`'s
+    /// LHS (transitivity composed with reflexivity/augmentation).
+    Resolve {
+        /// Pool index of the dependency whose LHS was rewritten.
+        target: usize,
+        /// Pool index of the dependency supplying the discharged path.
+        supplier: usize,
+        /// Path id that was discharged.
+        on: u32,
+    },
+    /// Singleton introduction at set-valued path `x` (premises are the
+    /// closure facts `x → x:Ai`, replayed on demand).
+    Singleton {
+        /// Path id of the singleton set.
+        x: u32,
+    },
+}
+
+/// A dependency in the saturated pool (simple form, interned paths).
+#[derive(Clone, Debug)]
+pub struct Dep {
+    /// Sorted LHS path ids.
+    pub lhs: Box<[u32]>,
+    /// RHS path id.
+    pub rhs: u32,
+    /// How this dependency was obtained.
+    pub prov: Prov,
+    /// Subsumed by a later entry with the same RHS and smaller LHS; kept
+    /// for provenance but skipped by queries.
+    pub subsumed: bool,
+}
+
+/// Per-relation saturation state.
+pub(crate) struct RelEngine {
+    pub(crate) relation: Label,
+    /// All relative paths of the relation, the id space of the pool.
+    pub(crate) paths: Vec<Path>,
+    pub(crate) index: HashMap<Path, u32>,
+    pub(crate) deps: Vec<Dep>,
+    seen: HashSet<(Box<[u32]>, u32)>,
+    /// Set-of-records paths whose singleton rule has fired.
+    pub(crate) singletons_granted: Vec<u32>,
+}
+
+/// Is `a ⊆ b` for sorted slices?
+fn subset(a: &[u32], b: &[u32]) -> bool {
+    let mut j = 0;
+    'outer: for &x in a {
+        while j < b.len() {
+            match b[j].cmp(&x) {
+                std::cmp::Ordering::Less => j += 1,
+                std::cmp::Ordering::Equal => {
+                    j += 1;
+                    continue 'outer;
+                }
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+impl RelEngine {
+    fn new(relation: Label, schema: &Schema) -> Result<RelEngine, CoreError> {
+        let rec = schema
+            .relation_type(relation)
+            .map_err(|_| CoreError::Nav(format!("unknown relation `{relation}`")))?
+            .element_record()
+            .ok_or_else(|| CoreError::Nav(format!("relation `{relation}` has no element record")))?;
+        let paths = paths_of_record(rec);
+        let index = paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.clone(), u32::try_from(i).expect("path table fits u32")))
+            .collect();
+        Ok(RelEngine {
+            relation,
+            paths,
+            index,
+            deps: Vec::new(),
+            seen: HashSet::new(),
+            singletons_granted: Vec::new(),
+        })
+    }
+
+    fn path_id(&self, p: &Path) -> Result<u32, CoreError> {
+        self.index.get(p).copied().ok_or_else(|| {
+            CoreError::Nav(format!(
+                "path `{p}` is not a path of relation `{}`",
+                self.relation
+            ))
+        })
+    }
+
+    fn intern_lhs(&self, lhs: &[Path]) -> Result<Box<[u32]>, CoreError> {
+        let mut ids: Vec<u32> = lhs.iter().map(|p| self.path_id(p)).collect::<Result<_, _>>()?;
+        ids.sort_unstable();
+        ids.dedup();
+        Ok(ids.into_boxed_slice())
+    }
+
+    /// Adds a dependency unless trivial, already seen, or subsumed; marks
+    /// older entries this one subsumes. Returns whether it was added.
+    fn add(&mut self, lhs: Box<[u32]>, rhs: u32, prov: Prov, budget: usize) -> Result<bool, CoreError> {
+        if lhs.contains(&rhs) {
+            return Ok(false); // reflexivity instance: never useful in the pool
+        }
+        if !self.seen.insert((lhs.clone(), rhs)) {
+            return Ok(false);
+        }
+        for d in &self.deps {
+            if !d.subsumed && d.rhs == rhs && subset(&d.lhs, &lhs) {
+                return Ok(false);
+            }
+        }
+        for d in &mut self.deps {
+            if !d.subsumed && d.rhs == rhs && subset(&lhs, &d.lhs) {
+                d.subsumed = true;
+            }
+        }
+        if self.deps.len() >= budget {
+            return Err(CoreError::Rule(format!(
+                "saturation budget of {budget} dependencies exceeded for relation `{}`",
+                self.relation
+            )));
+        }
+        self.deps.push(Dep {
+            lhs,
+            rhs,
+            prov,
+            subsumed: false,
+        });
+        Ok(true)
+    }
+
+    /// Saturates the pool under prefix-weakening, full-locality and
+    /// resolution (all gated by `policy`).
+    fn saturate(&mut self, policy: &EmptySetPolicy, budget: usize) -> Result<(), CoreError> {
+        let mut i = 0;
+        while i < self.deps.len() {
+            if self.deps[i].subsumed {
+                i += 1;
+                continue;
+            }
+            self.unary_conclusions(i, policy, budget)?;
+            // Resolution against every earlier entry, both directions.
+            for j in 0..i {
+                if self.deps[j].subsumed {
+                    continue;
+                }
+                self.resolve_pair(i, j, policy, budget)?;
+                self.resolve_pair(j, i, policy, budget)?;
+            }
+            i += 1;
+        }
+        Ok(())
+    }
+
+    /// Prefix-weakening and full-locality conclusions of `deps[i]`.
+    fn unary_conclusions(
+        &mut self,
+        i: usize,
+        policy: &EmptySetPolicy,
+        budget: usize,
+    ) -> Result<(), CoreError> {
+        let (lhs, rhs) = (self.deps[i].lhs.clone(), self.deps[i].rhs);
+        let rhs_path = self.paths[rhs as usize].clone();
+
+        // prefix: shorten any LHS path x1:A to x1 (x1 non-empty, not a
+        // prefix of the RHS; under empty sets, x1 must be non-empty).
+        for &pid in lhs.iter() {
+            let p = &self.paths[pid as usize];
+            if p.len() < 2 {
+                continue;
+            }
+            let x1 = p.parent().expect("len >= 2");
+            if x1.is_prefix_of(&rhs_path) {
+                continue;
+            }
+            if !policy.prefix_ok(self.relation, &x1) {
+                continue;
+            }
+            let x1_id = self.path_id(&x1)?;
+            let mut new_lhs: Vec<u32> = lhs.iter().copied().filter(|&q| q != pid).collect();
+            if !new_lhs.contains(&x1_id) {
+                new_lhs.push(x1_id);
+                new_lhs.sort_unstable();
+            }
+            self.add(
+                new_lhs.into_boxed_slice(),
+                rhs,
+                Prov::Prefix {
+                    dep: i,
+                    shortened: pid,
+                },
+                budget,
+            )?;
+        }
+
+        // full-locality: for each proper prefix x of the RHS, keep only the
+        // x-prefixed LHS paths plus x itself; the dismissed paths must pass
+        // the locality gate under empty sets.
+        for x in rhs_path.prefixes() {
+            if !x.is_proper_prefix_of(&rhs_path) {
+                continue;
+            }
+            let x_id = self.path_id(&x)?;
+            let mut kept: Vec<u32> = vec![x_id];
+            let mut all_dismissed_ok = true;
+            for &pid in lhs.iter() {
+                let p = &self.paths[pid as usize];
+                if x.is_proper_prefix_of(p) {
+                    kept.push(pid);
+                } else if pid != x_id && !policy.locality_ok(self.relation, p, &rhs_path) {
+                    all_dismissed_ok = false;
+                    break;
+                }
+            }
+            if !all_dismissed_ok {
+                continue;
+            }
+            kept.sort_unstable();
+            kept.dedup();
+            self.add(
+                kept.into_boxed_slice(),
+                rhs,
+                Prov::FullLocality { dep: i, x: x_id },
+                budget,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Resolution: if `deps[supplier].rhs ∈ deps[target].lhs`, replace it
+    /// by `deps[supplier].lhs`.
+    fn resolve_pair(
+        &mut self,
+        target: usize,
+        supplier: usize,
+        policy: &EmptySetPolicy,
+        budget: usize,
+    ) -> Result<(), CoreError> {
+        let on = self.deps[supplier].rhs;
+        if !self.deps[target].lhs.contains(&on) {
+            return Ok(());
+        }
+        let t_rhs = self.deps[target].rhs;
+        // Modified transitivity gate on the discharged path (it is the
+        // intermediate value not present in the final LHS).
+        let on_path = &self.paths[on as usize];
+        let rhs_path = &self.paths[t_rhs as usize];
+        if !policy.transitivity_ok(self.relation, on_path, rhs_path) {
+            return Ok(());
+        }
+        let mut new_lhs: Vec<u32> = self.deps[target]
+            .lhs
+            .iter()
+            .copied()
+            .filter(|&q| q != on)
+            .chain(self.deps[supplier].lhs.iter().copied())
+            .collect();
+        new_lhs.sort_unstable();
+        new_lhs.dedup();
+        self.add(
+            new_lhs.into_boxed_slice(),
+            t_rhs,
+            Prov::Resolve {
+                target,
+                supplier,
+                on,
+            },
+            budget,
+        )?;
+        Ok(())
+    }
+
+    /// Query-level chaining: the closure `C(X)` of a set of path ids under
+    /// the saturated pool, with the modified-transitivity gate. Optionally
+    /// records which pool entry produced each path (for proofs).
+    pub(crate) fn chain(
+        &self,
+        x: &[u32],
+        policy: &EmptySetPolicy,
+        fired: Option<&mut HashMap<u32, usize>>,
+    ) -> Vec<bool> {
+        self.chain_bounded(x, policy, fired, self.deps.len())
+    }
+
+    /// [`RelEngine::chain`] restricted to pool entries with index `< max`
+    /// — used by proof reconstruction, where provenance is well-founded by
+    /// pool index.
+    pub(crate) fn chain_bounded(
+        &self,
+        x: &[u32],
+        policy: &EmptySetPolicy,
+        mut fired: Option<&mut HashMap<u32, usize>>,
+        max: usize,
+    ) -> Vec<bool> {
+        let mut in_c = vec![false; self.paths.len()];
+        for &p in x {
+            in_c[p as usize] = true;
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (di, d) in self.deps.iter().enumerate().take(max) {
+                // Subsumed entries are still sound; they must stay usable
+                // here because proof reconstruction bounds `max` below the
+                // index of the entry that subsumed them.
+                if in_c[d.rhs as usize] {
+                    continue;
+                }
+                if !d.lhs.iter().all(|&p| in_c[p as usize]) {
+                    continue;
+                }
+                let gate_ok = d.lhs.iter().all(|&p| {
+                    x.contains(&p)
+                        || policy.transitivity_ok(
+                            self.relation,
+                            &self.paths[p as usize],
+                            &self.paths[d.rhs as usize],
+                        )
+                });
+                if !gate_ok {
+                    continue;
+                }
+                in_c[d.rhs as usize] = true;
+                if let Some(f) = fired.as_deref_mut() {
+                    f.entry(d.rhs).or_insert(di);
+                }
+                changed = true;
+            }
+        }
+        in_c
+    }
+
+    /// One round of singleton introduction; returns whether any new
+    /// singleton conclusion joined the pool.
+    fn singleton_round(
+        &mut self,
+        schema: &Schema,
+        policy: &EmptySetPolicy,
+        budget: usize,
+    ) -> Result<bool, CoreError> {
+        let rec = schema
+            .relation_type(self.relation)
+            .expect("relation exists")
+            .element_record()
+            .expect("set of records");
+        let mut added = false;
+        for x_id in 0..self.paths.len() as u32 {
+            if self.singletons_granted.contains(&x_id) {
+                continue;
+            }
+            let x = self.paths[x_id as usize].clone();
+            let Ok(ty) = nfd_path::typing::resolve_in_record(rec, &x) else {
+                continue;
+            };
+            let Some(elem) = ty.element_record() else {
+                continue;
+            };
+            let attrs: Vec<u32> = elem
+                .labels()
+                .map(|a| self.path_id(&x.child(a)))
+                .collect::<Result<_, _>>()?;
+            if attrs.is_empty() {
+                continue;
+            }
+            let c = self.chain(&[x_id], policy, None);
+            if attrs.iter().all(|&a| c[a as usize]) {
+                let mut lhs = attrs.clone();
+                lhs.sort_unstable();
+                self.add(
+                    lhs.into_boxed_slice(),
+                    x_id,
+                    Prov::Singleton { x: x_id },
+                    budget,
+                )?;
+                self.singletons_granted.push(x_id);
+                added = true;
+            }
+        }
+        Ok(added)
+    }
+}
+
+/// The implication engine for a schema and a set Σ of NFDs.
+///
+/// Construction validates and normalizes Σ and saturates one pool per
+/// relation; queries are then cheap. See the module docs for the algorithm.
+pub struct Engine<'s> {
+    schema: &'s Schema,
+    /// The original Σ (used for proof display).
+    pub sigma: Vec<Nfd>,
+    pub(crate) rels: HashMap<Label, RelEngine>,
+    policy: EmptySetPolicy,
+    budget: usize,
+}
+
+impl<'s> Engine<'s> {
+    /// Builds an engine under [`EmptySetPolicy::Forbidden`] (Theorem 3.1's
+    /// regime) with the default saturation budget.
+    pub fn new(schema: &'s Schema, sigma: &[Nfd]) -> Result<Engine<'s>, CoreError> {
+        Engine::with_policy(schema, sigma, EmptySetPolicy::Forbidden)
+    }
+
+    /// Builds an engine under the given empty-set policy.
+    pub fn with_policy(
+        schema: &'s Schema,
+        sigma: &[Nfd],
+        policy: EmptySetPolicy,
+    ) -> Result<Engine<'s>, CoreError> {
+        Engine::with_policy_and_budget(schema, sigma, policy, 100_000)
+    }
+
+    /// Builds an engine with an explicit saturation budget (maximum pool
+    /// entries per relation; exceeding it is an error, not an incorrect
+    /// answer).
+    pub fn with_policy_and_budget(
+        schema: &'s Schema,
+        sigma: &[Nfd],
+        policy: EmptySetPolicy,
+        budget: usize,
+    ) -> Result<Engine<'s>, CoreError> {
+        let mut rels: HashMap<Label, RelEngine> = HashMap::new();
+        for name in schema.relation_names() {
+            rels.insert(name, RelEngine::new(name, schema)?);
+        }
+        for (i, nfd) in sigma.iter().enumerate() {
+            nfd.validate(schema)?;
+            let s = simple::to_simple(nfd);
+            let rel = rels
+                .get_mut(&s.base.relation)
+                .expect("validated NFD names a schema relation");
+            let lhs = rel.intern_lhs(s.lhs())?;
+            let rhs = rel.path_id(&s.rhs)?;
+            rel.add(lhs, rhs, Prov::Given(i), budget)?;
+        }
+        // Saturate each relation, interleaving singleton rounds until the
+        // whole system is stable.
+        for rel in rels.values_mut() {
+            loop {
+                rel.saturate(&policy, budget)?;
+                if !rel.singleton_round(schema, &policy, budget)? {
+                    break;
+                }
+            }
+        }
+        Ok(Engine {
+            schema,
+            sigma: sigma.to_vec(),
+            rels,
+            policy,
+            budget,
+        })
+    }
+
+    /// The schema the engine reasons over.
+    pub fn schema(&self) -> &Schema {
+        self.schema
+    }
+
+    /// The empty-set policy in force.
+    pub fn policy(&self) -> &EmptySetPolicy {
+        &self.policy
+    }
+
+    /// Total pool size across relations (a work measure for benches).
+    pub fn pool_size(&self) -> usize {
+        self.rels.values().map(|r| r.deps.len()).sum()
+    }
+
+    pub(crate) fn rel(&self, relation: Label) -> Result<&RelEngine, CoreError> {
+        self.rels.get(&relation).ok_or_else(|| CoreError::WrongRelation {
+            expected: self
+                .rels
+                .keys()
+                .map(|k| k.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+            found: relation.to_string(),
+        })
+    }
+
+    /// Normalizes a goal to simple form and returns `(relation, X ids,
+    /// rhs id)`.
+    pub(crate) fn normalize_goal(&self, goal: &Nfd) -> Result<(Label, Vec<u32>, u32), CoreError> {
+        goal.validate(self.schema)?;
+        let s = simple::to_simple(goal);
+        let rel = self.rel(s.base.relation)?;
+        let lhs = rel.intern_lhs(s.lhs())?;
+        let rhs = rel.path_id(&s.rhs)?;
+        Ok((s.base.relation, lhs.into_vec(), rhs))
+    }
+
+    /// Does Σ logically imply `goal` (over instances consistent with the
+    /// engine's empty-set policy)?
+    pub fn implies(&self, goal: &Nfd) -> Result<bool, CoreError> {
+        let (relation, lhs, rhs) = self.normalize_goal(goal)?;
+        if lhs.contains(&rhs) {
+            return Ok(true); // reflexivity
+        }
+        let rel = self.rel(relation)?;
+        let c = rel.chain(&lhs, &self.policy, None);
+        Ok(c[rhs as usize])
+    }
+
+    /// The closure `(x0, X, Σ)*` of Appendix A: all rooted paths `x0:q`
+    /// with `x0:[X → q]` derivable. Sorted by (length, path) for stable
+    /// output.
+    pub fn closure(&self, base: &RootedPath, lhs: &[Path]) -> Result<Vec<RootedPath>, CoreError> {
+        // Normalize through a synthetic goal: the closure is the set of
+        // RHS paths the normalized LHS chains to, restricted to paths
+        // below x0.
+        let rel = self.rel(base.relation)?;
+        let prefix = &base.path;
+        let mut x_ids: Vec<u32> = Vec::new();
+        if !prefix.is_empty() {
+            x_ids.push(rel.path_id(prefix)?);
+        }
+        for p in lhs {
+            if p.is_empty() {
+                return Err(CoreError::EmptyComponentPath);
+            }
+            x_ids.push(rel.path_id(&prefix.join(p))?);
+        }
+        x_ids.sort_unstable();
+        x_ids.dedup();
+        let c = rel.chain(&x_ids, &self.policy, None);
+        let mut out: Vec<RootedPath> = Vec::new();
+        for (i, &inside) in c.iter().enumerate() {
+            if !inside {
+                continue;
+            }
+            let p = &rel.paths[i];
+            // Only paths strictly below x0 belong to the closure (q ≥ 1
+            // labels relative to x0).
+            if prefix.is_proper_prefix_of(p) || prefix.is_empty() {
+                out.push(RootedPath::new(base.relation, p.clone()));
+            }
+        }
+        out.sort_by(|a, b| {
+            let ka: Vec<&str> = a.path.labels().iter().map(|l| l.as_str()).collect();
+            let kb: Vec<&str> = b.path.labels().iter().map(|l| l.as_str()).collect();
+            (a.path.len(), ka).cmp(&(b.path.len(), kb))
+        });
+        Ok(out)
+    }
+
+    /// Saturation budget (maximum pool entries per relation).
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Validates the engine's structural invariants; used by the test
+    /// suite after saturation. Checks, per relation:
+    ///
+    /// 1. no pool entry is reflexive (RHS ∈ LHS);
+    /// 2. the *active* (non-subsumed) entries form an antichain per RHS
+    ///    (no active entry's LHS contains another active entry's LHS with
+    ///    the same RHS);
+    /// 3. provenance is well-founded: every premise index is smaller than
+    ///    the entry's own index;
+    /// 4. every `Given` provenance points into Σ.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for rel in self.rels.values() {
+            for (i, d) in rel.deps.iter().enumerate() {
+                if d.lhs.contains(&d.rhs) {
+                    return Err(format!(
+                        "relation {}: pool entry {i} is reflexive",
+                        rel.relation
+                    ));
+                }
+                let premise_indices: Vec<usize> = match &d.prov {
+                    Prov::Given(k) => {
+                        if *k >= self.sigma.len() {
+                            return Err(format!(
+                                "relation {}: entry {i} cites Σ[{k}] out of range",
+                                rel.relation
+                            ));
+                        }
+                        vec![]
+                    }
+                    Prov::Prefix { dep, .. } | Prov::FullLocality { dep, .. } => vec![*dep],
+                    Prov::Resolve {
+                        target, supplier, ..
+                    } => vec![*target, *supplier],
+                    Prov::Singleton { .. } => vec![],
+                };
+                for p in premise_indices {
+                    if p >= i {
+                        return Err(format!(
+                            "relation {}: entry {i} cites premise {p} (not well-founded)",
+                            rel.relation
+                        ));
+                    }
+                }
+            }
+            let active: Vec<&Dep> = rel.deps.iter().filter(|d| !d.subsumed).collect();
+            for (i, a) in active.iter().enumerate() {
+                for (j, b) in active.iter().enumerate() {
+                    if i != j && a.rhs == b.rhs && subset(&a.lhs, &b.lhs) && subset(&b.lhs, &a.lhs)
+                    {
+                        return Err(format!(
+                            "relation {}: duplicate active entries for rhs {}",
+                            rel.relation, a.rhs
+                        ));
+                    }
+                    if i != j && a.rhs == b.rhs && subset(&a.lhs, &b.lhs) {
+                        return Err(format!(
+                            "relation {}: active pool is not an antichain at rhs {}",
+                            rel.relation, a.rhs
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfd::parse_set;
+
+    fn worked_example() -> (Schema, Vec<Nfd>) {
+        let schema = Schema::parse(
+            "R : { <A: {<B: {<C: int>}, E: {<F: int, G: int>}>}, D: int> };",
+        )
+        .unwrap();
+        let sigma = parse_set(
+            &schema,
+            "R:[A:B:C, D -> A:E:F];
+             R:A:[B -> E:G];",
+        )
+        .unwrap();
+        (schema, sigma)
+    }
+
+    #[test]
+    fn section_3_1_worked_example() {
+        let (schema, sigma) = worked_example();
+        let engine = Engine::new(&schema, &sigma).unwrap();
+        let goal = Nfd::parse(&schema, "R:A:[B -> E]").unwrap();
+        assert!(engine.implies(&goal).unwrap());
+    }
+
+    #[test]
+    fn section_3_1_intermediate_steps_all_derivable() {
+        let (schema, sigma) = worked_example();
+        let engine = Engine::new(&schema, &sigma).unwrap();
+        // The paper's eight numbered steps.
+        for step in [
+            "R:A:[B:C -> E:F]",
+            "R:A:[B -> E:F]",
+            "R:A:E:[ -> F]",
+            "R:A:[E -> E:F]",
+            "R:A:E:[ -> G]",
+            "R:A:[E -> E:G]",
+            "R:A:[E:F, E:G -> E]",
+            "R:A:[B -> E]",
+        ] {
+            let nfd = Nfd::parse(&schema, step).unwrap();
+            assert!(engine.implies(&nfd).unwrap(), "step {step} should be derivable");
+        }
+    }
+
+    #[test]
+    fn non_implied_goals_rejected() {
+        let (schema, sigma) = worked_example();
+        let engine = Engine::new(&schema, &sigma).unwrap();
+        for goal in [
+            "R:[D -> A]",
+            "R:A:[E:G -> B]",
+            "R:[A -> D]",
+            "R:A:[B -> B:C]",
+        ] {
+            let nfd = Nfd::parse(&schema, goal).unwrap();
+            assert!(!engine.implies(&nfd).unwrap(), "{goal} should NOT be derivable");
+        }
+    }
+
+    #[test]
+    fn reflexivity_and_augmentation_hold() {
+        let (schema, _) = worked_example();
+        let engine = Engine::new(&schema, &[]).unwrap();
+        assert!(engine
+            .implies(&Nfd::parse(&schema, "R:[D, A -> D]").unwrap())
+            .unwrap());
+        assert!(!engine
+            .implies(&Nfd::parse(&schema, "R:[D -> A]").unwrap())
+            .unwrap());
+    }
+
+    /// Example A.1's closure, exactly as printed in the paper.
+    #[test]
+    fn example_a1_closure() {
+        let schema = Schema::parse(
+            "R : { <A: int, B: {<C: int>}, D: int, E: {<F: int, G: int>},
+                   H: {<J: int, L: int>}, I: int, M: {<N: int, O: int>}> };",
+        )
+        .unwrap();
+        let sigma = parse_set(
+            &schema,
+            "R:[A -> B:C]; R:[B:C -> D]; R:[D -> E:F];
+             R:[A -> E:G]; R:[B:C -> H]; R:[I -> H:J];",
+        )
+        .unwrap();
+        let engine = Engine::new(&schema, &sigma).unwrap();
+        let closure = engine
+            .closure(
+                &RootedPath::parse("R").unwrap(),
+                &[Path::parse("B").unwrap()],
+            )
+            .unwrap();
+        let shown: Vec<String> = closure.iter().map(|r| r.to_string()).collect();
+        assert_eq!(shown, ["R:B", "R:D", "R:H", "R:B:C", "R:E:F", "R:H:J"]);
+    }
+
+    /// Example A.2's closure, exactly as printed in the paper.
+    #[test]
+    fn example_a2_closure() {
+        let schema = Schema::parse(
+            "R : { <A: {<B: {<C: int, D: int, E: {<F: int, G: int>}>}>}, H: int> };",
+        )
+        .unwrap();
+        let sigma = parse_set(
+            &schema,
+            "R:[A:B:C -> A:B]; R:[A:B:C -> A:B:E:F]; R:[H -> A:B:D];",
+        )
+        .unwrap();
+        let engine = Engine::new(&schema, &sigma).unwrap();
+        let closure = engine
+            .closure(
+                &RootedPath::parse("R").unwrap(),
+                &[Path::parse("A:B:C").unwrap()],
+            )
+            .unwrap();
+        let shown: Vec<String> = closure.iter().map(|r| r.to_string()).collect();
+        assert_eq!(shown, ["R:A:B", "R:A:B:C", "R:A:B:D", "R:A:B:E:F"]);
+    }
+
+    /// The Section 1 motivating inference: from the five Course NFDs,
+    /// sid and time determine the set of books.
+    #[test]
+    fn intro_books_inference() {
+        let schema = Schema::parse(
+            "Course : { <cnum: string, time: int,
+                         students: {<sid: int, age: int, grade: string>},
+                         books: {<isbn: string, title: string>}> };",
+        )
+        .unwrap();
+        let sigma = parse_set(
+            &schema,
+            "Course:[cnum -> time]; Course:[cnum -> students]; Course:[cnum -> books];
+             Course:[books:isbn -> books:title];
+             Course:students:[sid -> grade];
+             Course:[students:sid -> students:age];
+             Course:[time, students:sid -> cnum];",
+        )
+        .unwrap();
+        let engine = Engine::new(&schema, &sigma).unwrap();
+        let goal = Nfd::parse(&schema, "Course:[time, students:sid -> books]").unwrap();
+        assert!(engine.implies(&goal).unwrap());
+        // But sid alone does not determine books.
+        let weaker = Nfd::parse(&schema, "Course:[students:sid -> books]").unwrap();
+        assert!(!engine.implies(&weaker).unwrap());
+    }
+
+    /// Singleton reasoning (Section 2.1): D → A:B and D → A:C make the
+    /// whole set A determined by D.
+    #[test]
+    fn singleton_set_inference() {
+        let schema = Schema::parse("R : { <A: {<B: int, C: int>}, D: int> };").unwrap();
+        let sigma = parse_set(&schema, "R:[D -> A:B]; R:[D -> A:C];").unwrap();
+        let engine = Engine::new(&schema, &sigma).unwrap();
+        assert!(engine
+            .implies(&Nfd::parse(&schema, "R:[D -> A]").unwrap())
+            .unwrap());
+        // With only one attribute determined, A is not.
+        let sigma2 = parse_set(&schema, "R:[D -> A:B];").unwrap();
+        let engine2 = Engine::new(&schema, &sigma2).unwrap();
+        assert!(!engine2
+            .implies(&Nfd::parse(&schema, "R:[D -> A]").unwrap())
+            .unwrap());
+    }
+
+    /// Example 3.1: full-locality derives what locality cannot.
+    #[test]
+    fn example_3_1_full_locality() {
+        let schema = Schema::parse(
+            "R : { <A: {<B: {<C: int, E: {<W: int>}>}, D: int>}> };",
+        )
+        .unwrap();
+        let f1 = Nfd::parse(&schema, "R:[A:B:C, A:D -> A:B:E:W]").unwrap();
+        let engine = Engine::new(&schema, &[f1]).unwrap();
+        let strong = Nfd::parse(&schema, "R:[A:B, A:B:C -> A:B:E:W]").unwrap();
+        assert!(engine.implies(&strong).unwrap());
+    }
+
+    /// Empty-set mode: Example 3.2's inference chain must be refused
+    /// without an annotation and accepted with one.
+    #[test]
+    fn example_3_2_modified_transitivity() {
+        let schema = Schema::parse("R : { <A: int, B: {<C: int>}, D: int, E: int> };").unwrap();
+        let sigma = parse_set(&schema, "R:[A -> B:C]; R:[B:C -> D];").unwrap();
+        let goal = Nfd::parse(&schema, "R:[A -> D]").unwrap();
+
+        // Theorem 3.1 regime: derivable.
+        let strict = Engine::new(&schema, &sigma).unwrap();
+        assert!(strict.implies(&goal).unwrap());
+
+        // Pessimistic empty-set regime: refused.
+        let pess =
+            Engine::with_policy(&schema, &sigma, EmptySetPolicy::pessimistic()).unwrap();
+        assert!(!pess.implies(&goal).unwrap());
+
+        // Declaring B non-empty restores the inference.
+        let ann = Engine::with_policy(
+            &schema,
+            &sigma,
+            EmptySetPolicy::non_empty([RootedPath::parse("R:B").unwrap()]),
+        )
+        .unwrap();
+        assert!(ann.implies(&goal).unwrap());
+    }
+
+    /// Empty-set mode: the modified prefix rule (Section 3.2).
+    #[test]
+    fn example_3_2_modified_prefix() {
+        let schema = Schema::parse("R : { <A: int, B: {<C: int>}, D: int, E: int> };").unwrap();
+        let sigma = parse_set(&schema, "R:[B:C -> E];").unwrap();
+        let goal = Nfd::parse(&schema, "R:[B -> E]").unwrap();
+
+        let strict = Engine::new(&schema, &sigma).unwrap();
+        assert!(strict.implies(&goal).unwrap());
+
+        let pess =
+            Engine::with_policy(&schema, &sigma, EmptySetPolicy::pessimistic()).unwrap();
+        assert!(!pess.implies(&goal).unwrap());
+
+        let ann = Engine::with_policy(
+            &schema,
+            &sigma,
+            EmptySetPolicy::non_empty([RootedPath::parse("R:B").unwrap()]),
+        )
+        .unwrap();
+        assert!(ann.implies(&goal).unwrap());
+    }
+
+    #[test]
+    fn multi_relation_engine() {
+        let schema = Schema::parse("R : {<A: int, B: int>}; S : {<X: int, Y: int>};").unwrap();
+        let sigma = parse_set(&schema, "R:[A -> B]; S:[X -> Y];").unwrap();
+        let engine = Engine::new(&schema, &sigma).unwrap();
+        assert!(engine.implies(&Nfd::parse(&schema, "R:[A -> B]").unwrap()).unwrap());
+        assert!(engine.implies(&Nfd::parse(&schema, "S:[X -> Y]").unwrap()).unwrap());
+        // Dependencies do not leak across relations.
+        assert!(!engine.implies(&Nfd::parse(&schema, "S:[Y -> X]").unwrap()).unwrap());
+    }
+
+    #[test]
+    fn budget_exceeded_reports_error() {
+        let (schema, sigma) = worked_example();
+        match Engine::with_policy_and_budget(&schema, &sigma, EmptySetPolicy::Forbidden, 2) {
+            Err(CoreError::Rule(msg)) => assert!(msg.contains("budget")),
+            Err(other) => panic!("unexpected error {other}"),
+            Ok(_) => panic!("expected the saturation budget to be exceeded"),
+        }
+    }
+
+    #[test]
+    fn flat_schema_behaves_like_armstrong() {
+        let schema = Schema::parse("R : {<A: int, B: int, C: int, D: int>};").unwrap();
+        let sigma = parse_set(&schema, "R:[A -> B]; R:[B -> C];").unwrap();
+        let engine = Engine::new(&schema, &sigma).unwrap();
+        assert!(engine.implies(&Nfd::parse(&schema, "R:[A -> C]").unwrap()).unwrap());
+        assert!(engine.implies(&Nfd::parse(&schema, "R:[A, D -> C]").unwrap()).unwrap());
+        assert!(!engine.implies(&Nfd::parse(&schema, "R:[B -> A]").unwrap()).unwrap());
+        assert!(!engine.implies(&Nfd::parse(&schema, "R:[A -> D]").unwrap()).unwrap());
+    }
+
+    #[test]
+    fn subset_helper() {
+        assert!(subset(&[], &[1, 2]));
+        assert!(subset(&[1], &[1, 2]));
+        assert!(subset(&[1, 2], &[1, 2]));
+        assert!(!subset(&[3], &[1, 2]));
+        assert!(!subset(&[1, 3], &[1, 2]));
+        assert!(!subset(&[1], &[]));
+    }
+}

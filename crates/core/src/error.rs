@@ -1,0 +1,80 @@
+//! Error type for NFD construction, checking and inference.
+
+use nfd_path::typing::PathTypeError;
+use std::fmt;
+
+/// Errors raised by the NFD machinery.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoreError {
+    /// A component path of an NFD is `ε` (Definition 2.3 requires `ki ≥ 1`).
+    EmptyComponentPath,
+    /// A path failed to type-check against the schema.
+    Type(PathTypeError),
+    /// Parse error for the NFD syntax.
+    Parse(String),
+    /// The instance/schema pair is inconsistent with the NFD being checked
+    /// (e.g. navigation met a shape the schema forbids).
+    Nav(String),
+    /// The Appendix A construction was asked for something it cannot build
+    /// (e.g. a schema using the finite `bool` base type — the completeness
+    /// argument assumes infinite domains).
+    Construct(String),
+    /// An inference-rule application whose side conditions do not hold.
+    Rule(String),
+    /// Dependencies passed to an engine refer to different relations than
+    /// the one the engine was built for.
+    WrongRelation {
+        /// Relation the engine reasons about.
+        expected: String,
+        /// Relation the offending NFD is over.
+        found: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::EmptyComponentPath => {
+                f.write_str("NFD component paths must have at least one label")
+            }
+            CoreError::Type(e) => write!(f, "{e}"),
+            CoreError::Parse(m) => write!(f, "NFD parse error: {m}"),
+            CoreError::Nav(m) => write!(f, "navigation error: {m}"),
+            CoreError::Construct(m) => write!(f, "construction error: {m}"),
+            CoreError::Rule(m) => write!(f, "rule not applicable: {m}"),
+            CoreError::WrongRelation { expected, found } => {
+                write!(f, "engine is for relation `{expected}`, got NFD over `{found}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<PathTypeError> for CoreError {
+    fn from(e: PathTypeError) -> Self {
+        CoreError::Type(e)
+    }
+}
+
+impl From<nfd_path::nav::NavError> for CoreError {
+    fn from(e: nfd_path::nav::NavError) -> Self {
+        CoreError::Nav(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(CoreError::EmptyComponentPath.to_string().contains("at least one label"));
+        let e = CoreError::WrongRelation {
+            expected: "R".into(),
+            found: "S".into(),
+        };
+        assert!(e.to_string().contains("`R`"));
+        assert!(e.to_string().contains("`S`"));
+    }
+}

@@ -1,0 +1,327 @@
+//! Nested functional dependencies (Definition 2.3).
+//!
+//! An NFD over a schema is `x0:[x1,…,xm-1 → xm]` where the base path
+//! `x0 = R y` is rooted at a relation, and each component `xi` is a
+//! non-empty path well-typed with respect to the element records of `x0`.
+//!
+//! The concrete syntax mirrors the paper:
+//!
+//! ```text
+//! Course:[cnum -> time]                      # key component
+//! Course:[students:sid -> students:age]      # inter-set ("global")
+//! Course:students:[sid -> grade]             # intra-set ("local")
+//! R:[ -> A]                                  # degenerate: A is constant
+//! ```
+
+use crate::error::CoreError;
+use nfd_model::{ModelError, Schema};
+use nfd_path::typing::{base_element_record, resolve_in_record};
+use nfd_path::{Path, RootedPath};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A nested functional dependency `x0:[x1,…,xm-1 → xm]`.
+///
+/// The LHS is kept sorted and deduplicated, so NFDs compare as the paper
+/// intends (`X` is a *set* of paths).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Nfd {
+    /// The base path `x0 = R y`.
+    pub base: RootedPath,
+    /// The determining paths `x1 … xm-1` (possibly empty — the degenerate
+    /// "constant" form).
+    lhs: Vec<Path>,
+    /// The determined path `xm`.
+    pub rhs: Path,
+}
+
+impl Nfd {
+    /// Builds an NFD without schema validation (use [`Nfd::validate`] or
+    /// [`Nfd::parse`] for checked construction). Component paths must be
+    /// non-empty.
+    pub fn new(
+        base: RootedPath,
+        lhs: impl IntoIterator<Item = Path>,
+        rhs: Path,
+    ) -> Result<Nfd, CoreError> {
+        let mut lhs: Vec<Path> = lhs.into_iter().collect();
+        if rhs.is_empty() || lhs.iter().any(Path::is_empty) {
+            return Err(CoreError::EmptyComponentPath);
+        }
+        lhs.sort();
+        lhs.dedup();
+        Ok(Nfd { base, lhs, rhs })
+    }
+
+    /// The determining paths, sorted and deduplicated.
+    pub fn lhs(&self) -> &[Path] {
+        &self.lhs
+    }
+
+    /// Checks that the NFD is well-formed over `schema` (Definition 2.3):
+    /// the base resolves to a set of records and each component path
+    /// resolves in its element record.
+    pub fn validate(&self, schema: &Schema) -> Result<(), CoreError> {
+        let rec = base_element_record(schema, &self.base)?;
+        for p in self.lhs.iter().chain(std::iter::once(&self.rhs)) {
+            resolve_in_record(rec, p)?;
+        }
+        Ok(())
+    }
+
+    /// Parses an NFD in the paper's syntax and validates it against
+    /// `schema`, e.g. `Course:[students:sid -> students:age]` or
+    /// `Course:students:[sid -> grade]`. An empty LHS (`R:[ -> A]`) is the
+    /// degenerate constant form.
+    pub fn parse(schema: &Schema, text: &str) -> Result<Nfd, CoreError> {
+        let nfd = Self::parse_unchecked(text)?;
+        nfd.validate(schema)?;
+        Ok(nfd)
+    }
+
+    /// Parses without schema validation.
+    pub fn parse_unchecked(text: &str) -> Result<Nfd, CoreError> {
+        let text = text.trim();
+        let open = text
+            .find('[')
+            .ok_or_else(|| CoreError::Parse(format!("missing `[` in `{text}`")))?;
+        if !text.ends_with(']') {
+            return Err(CoreError::Parse(format!("missing trailing `]` in `{text}`")));
+        }
+        let base_text = text[..open].trim().trim_end_matches(':').trim();
+        let base = RootedPath::parse(base_text)
+            .map_err(|e| CoreError::Parse(format!("bad base path `{base_text}`: {e}")))?;
+        let inner = &text[open + 1..text.len() - 1];
+        let arrow = inner
+            .find("->")
+            .ok_or_else(|| CoreError::Parse(format!("missing `->` in `{text}`")))?;
+        let lhs_text = inner[..arrow].trim();
+        let rhs_text = inner[arrow + 2..].trim();
+        let mut lhs = Vec::new();
+        if !lhs_text.is_empty() && lhs_text != "∅" {
+            for part in lhs_text.split(',') {
+                let p = Path::parse(part)
+                    .map_err(|e| CoreError::Parse(format!("bad LHS path `{part}`: {e}")))?;
+                if p.is_empty() {
+                    return Err(CoreError::Parse(format!("empty LHS path in `{text}`")));
+                }
+                lhs.push(p);
+            }
+        }
+        let rhs = Path::parse(rhs_text)
+            .map_err(|e| CoreError::Parse(format!("bad RHS path `{rhs_text}`: {e}")))?;
+        if rhs.is_empty() {
+            return Err(CoreError::Parse(format!("empty RHS path in `{text}`")));
+        }
+        Nfd::new(base, lhs, rhs)
+    }
+
+    /// Is the RHS among the LHS paths? Such NFDs are instances of
+    /// reflexivity and hold on every instance.
+    pub fn is_trivial(&self) -> bool {
+        self.lhs.contains(&self.rhs)
+    }
+
+    /// Is the LHS empty (the degenerate `x0:[∅ → xm]` form, asserting that
+    /// `xm` is constant across the base)?
+    pub fn is_constant_form(&self) -> bool {
+        self.lhs.is_empty()
+    }
+
+    /// All component paths (LHS then RHS).
+    pub fn component_paths(&self) -> impl Iterator<Item = &Path> {
+        self.lhs.iter().chain(std::iter::once(&self.rhs))
+    }
+
+    /// Is this a "local" dependency in the paper's sense — base path longer
+    /// than a bare relation name (Section 2.3)?
+    pub fn is_local(&self) -> bool {
+        !self.base.path.is_empty()
+    }
+
+    /// Translates this NFD to its Section 2.2 logic formula.
+    pub fn to_formula(&self, schema: &Schema) -> Result<nfd_logic::Formula, CoreError> {
+        nfd_logic::translate_nfd(schema, &self.base, &self.lhs, &self.rhs).map_err(|e| match e {
+            nfd_logic::TranslateError::EmptyComponentPath => CoreError::EmptyComponentPath,
+            nfd_logic::TranslateError::Type(t) => CoreError::Type(t),
+        })
+    }
+}
+
+impl fmt::Display for Nfd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:[", self.base)?;
+        for (i, p) in self.lhs.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, " -> {}]", self.rhs)
+    }
+}
+
+impl fmt::Debug for Nfd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Nfd({self})")
+    }
+}
+
+/// Parses a `;`-separated list of NFDs (blank entries ignored; `#` starts
+/// a line comment), validating each against `schema`. Convenient for
+/// writing Σ in tests and examples.
+pub fn parse_set(schema: &Schema, text: &str) -> Result<Vec<Nfd>, CoreError> {
+    let cleaned: String = text
+        .lines()
+        .map(|l| l.split('#').next().unwrap_or(""))
+        .collect::<Vec<_>>()
+        .join("\n");
+    cleaned
+        .split(';')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| Nfd::parse(schema, s))
+        .collect()
+}
+
+impl From<ModelError> for CoreError {
+    fn from(e: ModelError) -> Self {
+        CoreError::Parse(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::parse(
+            "Course : { <cnum: string, time: int,
+                         students: {<sid: int, age: int, grade: string>},
+                         books: {<isbn: string, title: string>}> };",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parse_the_five_course_nfds() {
+        let s = schema();
+        // Examples 2.1–2.5 of the paper.
+        for text in [
+            "Course:[cnum -> time]",
+            "Course:[cnum -> students]",
+            "Course:[cnum -> books]",
+            "Course:[books:isbn -> books:title]",
+            "Course:students:[sid -> grade]",
+            "Course:[students:sid -> students:age]",
+            "Course:[time, students:sid -> cnum]",
+        ] {
+            let nfd = Nfd::parse(&s, text).unwrap();
+            assert_eq!(Nfd::parse(&s, &nfd.to_string()).unwrap(), nfd, "roundtrip {text}");
+        }
+    }
+
+    #[test]
+    fn local_vs_global() {
+        let s = schema();
+        let local = Nfd::parse(&s, "Course:students:[sid -> grade]").unwrap();
+        assert!(local.is_local());
+        let global = Nfd::parse(&s, "Course:[students:sid -> students:age]").unwrap();
+        assert!(!global.is_local());
+    }
+
+    #[test]
+    fn degenerate_constant_form() {
+        let s = schema();
+        let c = Nfd::parse(&s, "Course:[ -> time]").unwrap();
+        assert!(c.is_constant_form());
+        assert_eq!(c.to_string(), "Course:[ -> time]");
+        let c2 = Nfd::parse(&s, &c.to_string()).unwrap();
+        assert_eq!(c, c2);
+    }
+
+    #[test]
+    fn lhs_is_canonical() {
+        let s = schema();
+        let a = Nfd::parse(&s, "Course:[time, cnum -> books]").unwrap();
+        let b = Nfd::parse(&s, "Course:[cnum, time, cnum -> books]").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.lhs().len(), 2);
+    }
+
+    #[test]
+    fn validation_rejects_bad_paths() {
+        let s = schema();
+        assert!(matches!(
+            Nfd::parse(&s, "Course:[nope -> time]"),
+            Err(CoreError::Type(_))
+        ));
+        assert!(matches!(
+            Nfd::parse(&s, "Course:cnum:[x -> y]"),
+            Err(CoreError::Type(_))
+        ));
+        assert!(matches!(
+            Nfd::parse(&s, "Nope:[a -> b]"),
+            Err(CoreError::Type(_))
+        ));
+    }
+
+    #[test]
+    fn parse_errors() {
+        let s = schema();
+        assert!(matches!(Nfd::parse(&s, "Course cnum -> time"), Err(CoreError::Parse(_))));
+        assert!(matches!(Nfd::parse(&s, "Course:[cnum, time]"), Err(CoreError::Parse(_))));
+        assert!(matches!(Nfd::parse(&s, "Course:[cnum -> ]"), Err(CoreError::Parse(_))));
+        assert!(matches!(Nfd::parse(&s, "Course:[cnum -> time"), Err(CoreError::Parse(_))));
+    }
+
+    #[test]
+    fn trivial_detection() {
+        let s = schema();
+        assert!(Nfd::parse(&s, "Course:[cnum, time -> time]").unwrap().is_trivial());
+        assert!(!Nfd::parse(&s, "Course:[cnum -> time]").unwrap().is_trivial());
+    }
+
+    #[test]
+    fn parse_set_splits_on_semicolons() {
+        let s = schema();
+        let set = parse_set(
+            &s,
+            "Course:[cnum -> time];
+             Course:students:[sid -> grade];
+             ",
+        )
+        .unwrap();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn parse_set_strips_line_comments() {
+        let s = schema();
+        let set = parse_set(
+            &s,
+            "# the key constraint:
+             Course:[cnum -> time];  # inline trailing comment
+             # grades are local:
+             Course:students:[sid -> grade];",
+        )
+        .unwrap();
+        assert_eq!(set.len(), 2, "comments must not swallow constraints");
+    }
+
+    #[test]
+    fn component_paths_iterates_lhs_then_rhs() {
+        let s = schema();
+        let nfd = Nfd::parse(&s, "Course:[cnum, time -> books]").unwrap();
+        let comps: Vec<String> = nfd.component_paths().map(Path::to_string).collect();
+        assert_eq!(comps, ["cnum", "time", "books"]);
+    }
+
+    #[test]
+    fn to_formula_delegates() {
+        let s = schema();
+        let nfd = Nfd::parse(&s, "Course:students:[sid -> grade]").unwrap();
+        let f = nfd.to_formula(&s).unwrap();
+        assert_eq!(f.quantifier_count(), 3);
+    }
+}

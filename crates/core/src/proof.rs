@@ -1,0 +1,601 @@
+//! Derivation proofs.
+//!
+//! A positive implication answer from the [`crate::engine::Engine`]
+//! can be replayed as a numbered derivation over the paper's rules, in the
+//! style of the Section 3.1 worked example:
+//!
+//! ```text
+//!  1. R:[A:B:C, D -> A:E:F]          given (σ1)
+//!  2. R:[A:B, D -> A:E:F]            prefix of (1)
+//!  3. R:[A:E -> A:E:F]               full-locality of (2) at A:E
+//!  …
+//! ```
+//!
+//! Every proof produced by [`prove`] passes the independent checker
+//! [`verify`], which re-applies the cited rule to the cited premises and
+//! demands the recorded conclusion — so proofs are certificates, not logs.
+
+use crate::engine::{Engine, Prov, RelEngine};
+use crate::error::CoreError;
+use crate::nfd::Nfd;
+use crate::rules::{self, Rule};
+use crate::simple;
+use nfd_model::Label;
+use nfd_path::Path;
+use std::collections::HashMap;
+use std::fmt;
+
+/// How a proof step is justified.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Justification {
+    /// The `i`-th NFD of Σ, verbatim.
+    Given(usize),
+    /// An instance of reflexivity (RHS ∈ LHS).
+    Reflexivity,
+    /// Application of `rule` to the steps with the given indices.
+    Rule {
+        /// The rule applied.
+        rule: Rule,
+        /// Indices (into [`Proof::steps`]) of the premises.
+        premises: Vec<usize>,
+    },
+}
+
+/// One step of a derivation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProofStep {
+    /// The derived NFD (in simple form, except `Given` steps which carry
+    /// the original Σ entry).
+    pub conclusion: Nfd,
+    /// Why it holds.
+    pub justification: Justification,
+}
+
+/// A derivation of a goal NFD from Σ.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Proof {
+    /// The steps, in dependency order; the last step concludes the goal
+    /// (up to push-in/pull-out normalization).
+    pub steps: Vec<ProofStep>,
+    /// The goal as posed.
+    pub goal: Nfd,
+}
+
+impl fmt::Display for Proof {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Proof of {}:", self.goal)?;
+        let width = self
+            .steps
+            .iter()
+            .map(|s| s.conclusion.to_string().len())
+            .max()
+            .unwrap_or(0);
+        for (i, step) in self.steps.iter().enumerate() {
+            write!(f, "{:>3}. {:<width$}  ", i + 1, step.conclusion.to_string())?;
+            match &step.justification {
+                Justification::Given(k) => writeln!(f, "given (σ{})", k + 1)?,
+                Justification::Reflexivity => writeln!(f, "reflexivity")?,
+                Justification::Rule { rule, premises } => {
+                    write!(f, "{rule} of (")?;
+                    for (j, p) in premises.iter().enumerate() {
+                        if j > 0 {
+                            f.write_str(", ")?;
+                        }
+                        write!(f, "{}", p + 1)?;
+                    }
+                    writeln!(f, ")")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+struct Builder<'e, 's> {
+    engine: &'e Engine<'s>,
+    rel: &'e RelEngine,
+    relation: Label,
+    steps: Vec<ProofStep>,
+    by_conclusion: HashMap<Nfd, usize>,
+    dep_steps: HashMap<usize, usize>,
+}
+
+impl<'e, 's> Builder<'e, 's> {
+    fn push(&mut self, conclusion: Nfd, justification: Justification) -> usize {
+        if let Some(&i) = self.by_conclusion.get(&conclusion) {
+            return i;
+        }
+        let i = self.steps.len();
+        self.by_conclusion.insert(conclusion.clone(), i);
+        self.steps.push(ProofStep {
+            conclusion,
+            justification,
+        });
+        i
+    }
+
+    fn path(&self, id: u32) -> Path {
+        self.rel.paths[id as usize].clone()
+    }
+
+    fn base(&self) -> nfd_path::RootedPath {
+        nfd_path::RootedPath::relation_only(self.relation)
+    }
+
+    fn nfd_of(&self, lhs: &[u32], rhs: u32) -> Nfd {
+        Nfd::new(
+            self.base(),
+            lhs.iter().map(|&p| self.path(p)),
+            self.path(rhs),
+        )
+        .expect("pool paths are non-empty")
+    }
+
+    /// A step proving pool dependency `di` as an NFD.
+    fn dep_step(&mut self, di: usize) -> Result<usize, CoreError> {
+        if let Some(&s) = self.dep_steps.get(&di) {
+            return Ok(s);
+        }
+        let dep = self.rel.deps[di].clone();
+        let conclusion = self.nfd_of(&dep.lhs, dep.rhs);
+        let step = match dep.prov {
+            Prov::Given(i) => {
+                let original = self.engine.sigma[i].clone();
+                let mut step = self.push(original.clone(), Justification::Given(i));
+                // Normalize with one push-in step per base label, exactly
+                // as `simple::to_simple` does, so each step replays as a
+                // single rule application.
+                let mut cur = original;
+                while !simple::is_simple(&cur) {
+                    cur = rules::push_in(&cur, 1).expect("one-label push-in always applies");
+                    step = self.push(
+                        cur.clone(),
+                        Justification::Rule {
+                            rule: Rule::PushIn,
+                            premises: vec![step],
+                        },
+                    );
+                }
+                step
+            }
+            Prov::Prefix { dep: p, .. } => {
+                let prem = self.dep_step(p)?;
+                self.push(
+                    conclusion.clone(),
+                    Justification::Rule {
+                        rule: Rule::Prefix,
+                        premises: vec![prem],
+                    },
+                )
+            }
+            Prov::FullLocality { dep: p, .. } => {
+                let prem = self.dep_step(p)?;
+                self.push(
+                    conclusion.clone(),
+                    Justification::Rule {
+                        rule: Rule::FullLocality,
+                        premises: vec![prem],
+                    },
+                )
+            }
+            Prov::Resolve {
+                target, supplier, ..
+            } => {
+                let t = self.dep_step(target)?;
+                let s = self.dep_step(supplier)?;
+                // Resolution is transitivity over the combined LHS: the
+                // supplier's conclusion is first augmented to the full LHS.
+                let aug = augment_to(&self.steps[s].conclusion, &conclusion);
+                let s_aug = if aug == self.steps[s].conclusion {
+                    s
+                } else {
+                    self.push(
+                        aug,
+                        Justification::Rule {
+                            rule: Rule::Augmentation,
+                            premises: vec![s],
+                        },
+                    )
+                };
+                self.push(
+                    conclusion.clone(),
+                    Justification::Rule {
+                        rule: Rule::Transitivity,
+                        premises: vec![s_aug, t],
+                    },
+                )
+            }
+            Prov::Singleton { x } => {
+                // Premises: [x → x:Ai] for every attribute, provable from
+                // pool entries with index < di.
+                let _ = x;
+                let elem_attrs: Vec<u32> = dep.lhs.to_vec();
+                let mut premises = Vec::new();
+                for &attr in &elem_attrs {
+                    let s = self.fact_bounded(&[x], attr, di)?;
+                    premises.push(s);
+                }
+                self.push(
+                    conclusion.clone(),
+                    Justification::Rule {
+                        rule: Rule::Singleton,
+                        premises,
+                    },
+                )
+            }
+        };
+        self.dep_steps.insert(di, step);
+        Ok(step)
+    }
+
+    /// A step proving `[X → p]`, chaining over pool entries `< max`.
+    fn fact_bounded(&mut self, x: &[u32], p: u32, max: usize) -> Result<usize, CoreError> {
+        let goal = self.nfd_of(x, p);
+        if let Some(&i) = self.by_conclusion.get(&goal) {
+            return Ok(i);
+        }
+        if x.contains(&p) {
+            return Ok(self.push(goal, Justification::Reflexivity));
+        }
+        let mut fired = HashMap::new();
+        let reached =
+            self.rel
+                .chain_bounded(x, self.engine.policy(), Some(&mut fired), max);
+        if !reached[p as usize] {
+            return Err(CoreError::Rule(format!(
+                "internal: fact {goal} not derivable during proof reconstruction"
+            )));
+        }
+        self.fact_from_fired(x, p, &fired)
+    }
+
+    fn fact_from_fired(
+        &mut self,
+        x: &[u32],
+        p: u32,
+        fired: &HashMap<u32, usize>,
+    ) -> Result<usize, CoreError> {
+        let goal = self.nfd_of(x, p);
+        if let Some(&i) = self.by_conclusion.get(&goal) {
+            return Ok(i);
+        }
+        if x.contains(&p) {
+            return Ok(self.push(goal, Justification::Reflexivity));
+        }
+        let di = *fired.get(&p).ok_or_else(|| {
+            CoreError::Rule(format!(
+                "internal: no pool entry recorded for {goal} during proof reconstruction"
+            ))
+        })?;
+        let dep = self.rel.deps[di].clone();
+        let mut premises = Vec::new();
+        for &q in dep.lhs.iter() {
+            premises.push(self.fact_from_fired(x, q, fired)?);
+        }
+        let middle = self.dep_step(di)?;
+        if premises.is_empty() {
+            // A constant-form dependency ([∅ → p]): the fact [X → p]
+            // follows by augmentation, not transitivity (there is no
+            // premise carrying the LHS X).
+            return Ok(self.push(
+                goal,
+                Justification::Rule {
+                    rule: Rule::Augmentation,
+                    premises: vec![middle],
+                },
+            ));
+        }
+        premises.push(middle);
+        Ok(self.push(
+            goal,
+            Justification::Rule {
+                rule: Rule::Transitivity,
+                premises,
+            },
+        ))
+    }
+}
+
+/// Augments `nfd`'s LHS up to `target`'s LHS (a superset).
+fn augment_to(nfd: &Nfd, target: &Nfd) -> Nfd {
+    rules::augmentation(nfd, target.lhs().iter().cloned())
+        .expect("augmentation is total on valid NFDs")
+}
+
+/// Produces a derivation of `goal` from the engine's Σ, or `None` when the
+/// implication does not hold.
+pub fn prove(engine: &Engine<'_>, goal: &Nfd) -> Result<Option<Proof>, CoreError> {
+    let (relation, x, rhs) = engine.normalize_goal(goal)?;
+    let rel = engine.rel(relation)?;
+    let mut fired = HashMap::new();
+    let reached = rel.chain(&x, engine.policy(), Some(&mut fired));
+    if !x.contains(&rhs) && !reached[rhs as usize] {
+        return Ok(None);
+    }
+    let mut b = Builder {
+        engine,
+        rel,
+        relation,
+        steps: Vec::new(),
+        by_conclusion: HashMap::new(),
+        dep_steps: HashMap::new(),
+    };
+    let mut last = b.fact_from_fired(&x, rhs, &fired)?;
+    // If the goal was posed in local form, close with pull-out steps
+    // (one per base label, mirroring `simple::localize`).
+    if &b.steps[last].conclusion != goal {
+        let mut cur = b.steps[last].conclusion.clone();
+        while &cur != goal {
+            let candidate = cur
+                .lhs()
+                .iter()
+                .filter(|y| {
+                    y.is_proper_prefix_of(&cur.rhs)
+                        && cur.lhs().iter().all(|p| p == *y || y.is_proper_prefix_of(p))
+                })
+                .min_by_key(|y| y.len())
+                .cloned();
+            let Some(y) = candidate else {
+                break; // goal not a pure re-localization; leave as-is
+            };
+            cur = rules::pull_out(&cur, &y).expect("candidate satisfies pull-out conditions");
+            last = b.push(
+                cur.clone(),
+                Justification::Rule {
+                    rule: Rule::PullOut,
+                    premises: vec![last],
+                },
+            );
+        }
+    }
+    Ok(Some(prune(Proof {
+        steps: b.steps,
+        goal: goal.clone(),
+    })))
+}
+
+/// Removes steps not reachable from the final step (speculative premises
+/// that a later dedup made redundant), renumbering the rest.
+fn prune(proof: Proof) -> Proof {
+    let n = proof.steps.len();
+    if n == 0 {
+        return proof;
+    }
+    let mut keep = vec![false; n];
+    let mut stack = vec![n - 1];
+    while let Some(i) = stack.pop() {
+        if keep[i] {
+            continue;
+        }
+        keep[i] = true;
+        if let Justification::Rule { premises, .. } = &proof.steps[i].justification {
+            stack.extend(premises.iter().copied());
+        }
+    }
+    let mut remap = vec![usize::MAX; n];
+    let mut steps = Vec::with_capacity(keep.iter().filter(|&&k| k).count());
+    for (i, step) in proof.steps.into_iter().enumerate() {
+        if !keep[i] {
+            continue;
+        }
+        remap[i] = steps.len();
+        let justification = match step.justification {
+            Justification::Rule { rule, premises } => Justification::Rule {
+                rule,
+                premises: premises.into_iter().map(|p| remap[p]).collect(),
+            },
+            other => other,
+        };
+        steps.push(ProofStep {
+            conclusion: step.conclusion,
+            justification,
+        });
+    }
+    Proof {
+        steps,
+        goal: proof.goal,
+    }
+}
+
+/// Independently verifies a proof: every step must be a correct application
+/// of its cited rule to its cited premises, and the final step must
+/// conclude the proof's goal (up to push-in/pull-out equivalence).
+pub fn verify(engine: &Engine<'_>, proof: &Proof) -> Result<(), CoreError> {
+    let schema = engine.schema();
+    for (i, step) in proof.steps.iter().enumerate() {
+        step.conclusion.validate(schema)?;
+        let fail = |why: String| {
+            Err(CoreError::Rule(format!(
+                "proof step {} ({}) invalid: {why}",
+                i + 1,
+                step.conclusion
+            )))
+        };
+        match &step.justification {
+            Justification::Given(k) => {
+                if engine.sigma.get(*k) != Some(&step.conclusion) {
+                    return fail(format!("σ{} does not match", k + 1));
+                }
+            }
+            Justification::Reflexivity => {
+                if !step.conclusion.is_trivial() {
+                    return fail("RHS is not among the LHS paths".into());
+                }
+            }
+            Justification::Rule { rule, premises } => {
+                for &p in premises {
+                    if p >= i {
+                        return fail(format!("premise ({}) is not an earlier step", p + 1));
+                    }
+                }
+                let prems: Vec<&Nfd> =
+                    premises.iter().map(|&p| &proof.steps[p].conclusion).collect();
+                if !replays(schema, *rule, &prems, &step.conclusion) {
+                    return fail(format!("{rule} does not yield this conclusion"));
+                }
+            }
+        }
+    }
+    let Some(last) = proof.steps.last() else {
+        return Err(CoreError::Rule("empty proof".into()));
+    };
+    if last.conclusion != proof.goal && !simple::equivalent_form(&last.conclusion, &proof.goal) {
+        return Err(CoreError::Rule(format!(
+            "final step concludes {} rather than the goal {}",
+            last.conclusion, proof.goal
+        )));
+    }
+    Ok(())
+}
+
+/// Does applying `rule` to `premises` yield `conclusion`?
+fn replays(schema: &nfd_model::Schema, rule: Rule, premises: &[&Nfd], conclusion: &Nfd) -> bool {
+    match rule {
+        Rule::Reflexivity => conclusion.is_trivial(),
+        Rule::Augmentation => premises.len() == 1
+            && rules::augmentation(premises[0], conclusion.lhs().iter().cloned())
+                .is_ok_and(|n| &n == conclusion),
+        Rule::Transitivity => {
+            // Try each premise as the middle dependency.
+            premises.iter().enumerate().any(|(m, middle)| {
+                let others: Vec<Nfd> = premises
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != m)
+                    .map(|(_, n)| (*n).clone())
+                    .collect();
+                if others.is_empty() {
+                    return rules::transitivity(&[], middle).is_ok_and(|n| &n == conclusion);
+                }
+                rules::transitivity(&others, middle).is_ok_and(|n| &n == conclusion)
+            })
+        }
+        Rule::PushIn => premises.len() == 1
+            && (1..=premises[0].base.path.len())
+                .any(|k| rules::push_in(premises[0], k).is_ok_and(|n| &n == conclusion)),
+        Rule::PullOut => premises.len() == 1
+            && premises[0]
+                .lhs()
+                .iter()
+                .any(|y| rules::pull_out(premises[0], y).is_ok_and(|n| &n == conclusion)),
+        Rule::Locality => {
+            premises.len() == 1 && rules::locality(premises[0]).is_ok_and(|n| &n == conclusion)
+        }
+        Rule::FullLocality => premises.len() == 1
+            && premises[0]
+                .rhs
+                .prefixes()
+                .any(|x| rules::full_locality(premises[0], &x).is_ok_and(|n| &n == conclusion)),
+        Rule::Singleton => {
+            let x = &conclusion.rhs;
+            let prems: Vec<Nfd> = premises.iter().map(|n| (*n).clone()).collect();
+            rules::singleton(schema, &prems, x).is_ok_and(|n| &n == conclusion)
+        }
+        Rule::Prefix => premises.len() == 1
+            && premises[0]
+                .lhs()
+                .iter()
+                .any(|p| rules::prefix(premises[0], p).is_ok_and(|n| &n == conclusion)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfd::parse_set;
+    use nfd_model::Schema;
+
+    fn worked() -> (Schema, Vec<Nfd>) {
+        let schema = Schema::parse(
+            "R : { <A: {<B: {<C: int>}, E: {<F: int, G: int>}>}, D: int> };",
+        )
+        .unwrap();
+        let sigma = parse_set(&schema, "R:[A:B:C, D -> A:E:F]; R:A:[B -> E:G];").unwrap();
+        (schema, sigma)
+    }
+
+    #[test]
+    fn worked_example_proof_exists_and_verifies() {
+        let (schema, sigma) = worked();
+        let engine = Engine::new(&schema, &sigma).unwrap();
+        let goal = Nfd::parse(&schema, "R:A:[B -> E]").unwrap();
+        let proof = prove(&engine, &goal).unwrap().expect("implication holds");
+        verify(&engine, &proof).unwrap();
+        let shown = proof.to_string();
+        assert!(shown.contains("given (σ1)"), "{shown}");
+        assert!(shown.contains("singleton"), "{shown}");
+        assert!(shown.contains("transitivity"), "{shown}");
+    }
+
+    #[test]
+    fn non_implication_yields_no_proof() {
+        let (schema, sigma) = worked();
+        let engine = Engine::new(&schema, &sigma).unwrap();
+        let goal = Nfd::parse(&schema, "R:[D -> A]").unwrap();
+        assert!(prove(&engine, &goal).unwrap().is_none());
+    }
+
+    #[test]
+    fn trivial_goal_proof() {
+        let (schema, sigma) = worked();
+        let engine = Engine::new(&schema, &sigma).unwrap();
+        let goal = Nfd::parse(&schema, "R:[D -> D]").unwrap();
+        let proof = prove(&engine, &goal).unwrap().unwrap();
+        verify(&engine, &proof).unwrap();
+        assert!(matches!(
+            proof.steps[0].justification,
+            Justification::Reflexivity
+        ));
+    }
+
+    #[test]
+    fn every_intermediate_step_has_verifiable_proof() {
+        let (schema, sigma) = worked();
+        let engine = Engine::new(&schema, &sigma).unwrap();
+        for step in [
+            "R:A:[B:C -> E:F]",
+            "R:A:[B -> E:F]",
+            "R:A:E:[ -> F]",
+            "R:A:[E -> E:F]",
+            "R:A:E:[ -> G]",
+            "R:A:[E -> E:G]",
+            "R:A:[E:F, E:G -> E]",
+            "R:A:[B -> E]",
+        ] {
+            let goal = Nfd::parse(&schema, step).unwrap();
+            let proof = prove(&engine, &goal).unwrap().unwrap_or_else(|| {
+                panic!("{step} should have a proof")
+            });
+            verify(&engine, &proof).unwrap_or_else(|e| panic!("{step}: {e}"));
+        }
+    }
+
+    #[test]
+    fn tampered_proof_rejected() {
+        let (schema, sigma) = worked();
+        let engine = Engine::new(&schema, &sigma).unwrap();
+        let goal = Nfd::parse(&schema, "R:A:[B -> E:F]").unwrap();
+        let mut proof = prove(&engine, &goal).unwrap().unwrap();
+        // Corrupt the final conclusion.
+        let n = proof.steps.len();
+        proof.steps[n - 1].conclusion = Nfd::parse(&schema, "R:[D -> A]").unwrap();
+        assert!(verify(&engine, &proof).is_err());
+    }
+
+    #[test]
+    fn forward_premise_reference_rejected() {
+        let (schema, sigma) = worked();
+        let engine = Engine::new(&schema, &sigma).unwrap();
+        let bogus = Proof {
+            steps: vec![ProofStep {
+                conclusion: sigma[0].clone(),
+                justification: Justification::Rule {
+                    rule: Rule::Prefix,
+                    premises: vec![0], // cites itself
+                },
+            }],
+            goal: sigma[0].clone(),
+        };
+        assert!(verify(&engine, &bogus).is_err());
+    }
+}

@@ -1,0 +1,603 @@
+//! The NFD-rules of Section 3.1, plus *full-locality* from the simple-form
+//! system of Section 3.2.
+//!
+//! Each rule is a total function that checks its side conditions and either
+//! produces the conclusion NFD or reports why it does not apply
+//! ([`CoreError::Rule`]). The rules are purely syntactic; soundness over
+//! instances without empty sets is Theorem 3.1 (and is property-tested in
+//! this repository by evaluating premises and conclusions on random
+//! instances).
+
+use crate::error::CoreError;
+use crate::nfd::Nfd;
+use nfd_model::{Label, Schema};
+use nfd_path::typing::{base_element_record, resolve_in_record};
+use nfd_path::{Path, RootedPath};
+use std::fmt;
+
+/// Names of the inference rules, for proof display.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// `x ∈ X ⟹ x0:[X → x]`.
+    Reflexivity,
+    /// `x0:[X → z] ⟹ x0:[X Y → z]`.
+    Augmentation,
+    /// `x0:[X → x1], …, x0:[X → xn], x0:[x1…xn → y] ⟹ x0:[X → y]`.
+    Transitivity,
+    /// `x0:y:[X → z] ⟹ x0:[y, y:X → y:z]`.
+    PushIn,
+    /// `x0:[y, y:X → y:z] ⟹ x0:y:[X → z]`.
+    PullOut,
+    /// `x0:[A:X, B1,…,Bk → A:z] ⟹ x0:A:[X → z]`.
+    Locality,
+    /// If `x0:[x → x:Ai]` for every attribute `Ai` of `x`'s element type,
+    /// then `x0:[x:A1,…,x:An → x]`.
+    Singleton,
+    /// `x0:[x1:A, x2,…,xk → y]`, `x1` non-empty, `x1` not a prefix of `y`
+    /// ⟹ `x0:[x1, x2,…,xk → y]`.
+    Prefix,
+    /// Simple-form combination of pull-out and locality (Section 3.2):
+    /// `x0:[x:X, Y → x:z]`, `x` not a proper prefix of any `y ∈ Y`
+    /// ⟹ `x0:[x, x:X → x:z]`.
+    FullLocality,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Rule::Reflexivity => "reflexivity",
+            Rule::Augmentation => "augmentation",
+            Rule::Transitivity => "transitivity",
+            Rule::PushIn => "push-in",
+            Rule::PullOut => "pull-out",
+            Rule::Locality => "locality",
+            Rule::Singleton => "singleton",
+            Rule::Prefix => "prefix",
+            Rule::FullLocality => "full-locality",
+        })
+    }
+}
+
+fn rule_err(msg: impl Into<String>) -> CoreError {
+    CoreError::Rule(msg.into())
+}
+
+/// **Reflexivity**: if `x ∈ X` then `x0:[X → x]`.
+pub fn reflexivity(base: RootedPath, x_set: Vec<Path>, x: Path) -> Result<Nfd, CoreError> {
+    if !x_set.contains(&x) {
+        return Err(rule_err(format!("reflexivity: `{x}` is not in the LHS set")));
+    }
+    Nfd::new(base, x_set, x)
+}
+
+/// **Augmentation**: if `x0:[X → z]` then `x0:[X Y → z]`.
+pub fn augmentation(premise: &Nfd, extra: impl IntoIterator<Item = Path>) -> Result<Nfd, CoreError> {
+    Nfd::new(
+        premise.base.clone(),
+        premise.lhs().iter().cloned().chain(extra),
+        premise.rhs.clone(),
+    )
+}
+
+/// **Transitivity**: from `x0:[X → x1], …, x0:[X → xn]` and
+/// `x0:[x1,…,xn → y]`, conclude `x0:[X → y]`.
+///
+/// Premises for `xi ∈ X` may be omitted (they are reflexivity instances);
+/// each remaining LHS path of `middle` must be the RHS of some premise, and
+/// all NFDs must share the base path and the premises the LHS `X`.
+pub fn transitivity(premises: &[Nfd], middle: &Nfd) -> Result<Nfd, CoreError> {
+    let Some(first) = premises.first() else {
+        // No premises: middle's LHS must be within X = ∅, i.e. empty.
+        if middle.lhs().is_empty() {
+            return Ok(middle.clone());
+        }
+        return Err(rule_err("transitivity: no premises supplied"));
+    };
+    let base = &first.base;
+    let x_set = first.lhs();
+    for p in premises {
+        if &p.base != base || p.lhs() != x_set {
+            return Err(rule_err(format!(
+                "transitivity: premise `{p}` does not share base and LHS with `{first}`"
+            )));
+        }
+    }
+    if &middle.base != base {
+        return Err(rule_err(format!(
+            "transitivity: middle `{middle}` has a different base than `{first}`"
+        )));
+    }
+    for q in middle.lhs() {
+        let justified = x_set.contains(q) || premises.iter().any(|p| &p.rhs == q);
+        if !justified {
+            return Err(rule_err(format!(
+                "transitivity: middle LHS path `{q}` is not the RHS of any premise"
+            )));
+        }
+    }
+    Nfd::new(base.clone(), x_set.to_vec(), middle.rhs.clone())
+}
+
+/// **Push-in**: from `x0:y:[X → z]` conclude `x0:[y, y:X → y:z]`, where
+/// `y` is the suffix of the premise's base path consisting of its last
+/// `y_len` labels (`1 ≤ y_len ≤` base path length).
+pub fn push_in(premise: &Nfd, y_len: usize) -> Result<Nfd, CoreError> {
+    let inner = premise.base.path.labels();
+    if y_len == 0 || y_len > inner.len() {
+        return Err(rule_err(format!(
+            "push-in: cannot move {y_len} labels of base `{}`",
+            premise.base
+        )));
+    }
+    let split = inner.len() - y_len;
+    let new_base = RootedPath::new(
+        premise.base.relation,
+        Path::new(inner[..split].iter().copied()),
+    );
+    let y = Path::new(inner[split..].iter().copied());
+    let mut lhs: Vec<Path> = vec![y.clone()];
+    lhs.extend(premise.lhs().iter().map(|p| y.join(p)));
+    Nfd::new(new_base, lhs, y.join(&premise.rhs))
+}
+
+/// **Pull-out**: from `x0:[y, y:X → y:z]` conclude `x0:y:[X → z]`.
+///
+/// Side conditions: `y` is in the LHS, every other LHS path and the RHS are
+/// properly prefixed by `y`.
+pub fn pull_out(premise: &Nfd, y: &Path) -> Result<Nfd, CoreError> {
+    if y.is_empty() {
+        return Err(rule_err("pull-out: y must be non-empty"));
+    }
+    if !premise.lhs().contains(y) {
+        return Err(rule_err(format!("pull-out: `{y}` is not in the LHS of `{premise}`")));
+    }
+    let Some(z) = premise.rhs.strip_prefix(y) else {
+        return Err(rule_err(format!(
+            "pull-out: RHS `{}` is not prefixed by `{y}`",
+            premise.rhs
+        )));
+    };
+    if z.is_empty() {
+        return Err(rule_err("pull-out: RHS equals y, leaving an empty component"));
+    }
+    let mut new_lhs = Vec::new();
+    for p in premise.lhs() {
+        if p == y {
+            continue;
+        }
+        match p.strip_prefix(y) {
+            Some(rest) if !rest.is_empty() => new_lhs.push(rest),
+            _ => {
+                return Err(rule_err(format!(
+                    "pull-out: LHS path `{p}` is not of the form {y}:X"
+                )))
+            }
+        }
+    }
+    Nfd::new(premise.base.join(y), new_lhs, z)
+}
+
+/// **Locality**: from `x0:[A:X, B1,…,Bk → A:z]` — where the `Bi` are single
+/// labels — conclude `x0:A:[X → z]`.
+pub fn locality(premise: &Nfd) -> Result<Nfd, CoreError> {
+    let Some(a) = premise.rhs.first() else {
+        return Err(rule_err("locality: RHS is empty"));
+    };
+    let z = premise
+        .rhs
+        .tail()
+        .expect("rhs non-empty");
+    if z.is_empty() {
+        return Err(rule_err(format!(
+            "locality: RHS `{}` has no labels below `{a}`",
+            premise.rhs
+        )));
+    }
+    let mut x_set = Vec::new();
+    for p in premise.lhs() {
+        if p.first() == Some(a) {
+            let rest = p.tail().expect("non-empty");
+            if rest.is_empty() {
+                return Err(rule_err(format!(
+                    "locality: LHS path `{p}` equals the localized attribute `{a}`"
+                )));
+            }
+            x_set.push(rest);
+        } else if p.len() != 1 {
+            return Err(rule_err(format!(
+                "locality: LHS path `{p}` is neither under `{a}` nor a single label \
+                 (use full-locality for this shape)"
+            )));
+        }
+        // Single labels B1..Bk are simply dismissed.
+    }
+    Nfd::new(premise.base.child(a), x_set, z)
+}
+
+/// **Full-locality** (Section 3.2): from `x0:[x:X, Y → x:z]`, where `x` is
+/// not a proper prefix of any `y ∈ Y`, conclude `x0:[x, x:X → x:z]`.
+///
+/// The split is canonical: `x:X` collects exactly the LHS paths properly
+/// prefixed by `x`, so the side condition on `Y` holds by construction; the
+/// caller chooses `x`, which must be a non-empty proper prefix of the RHS.
+pub fn full_locality(premise: &Nfd, x: &Path) -> Result<Nfd, CoreError> {
+    if x.is_empty() {
+        return Err(rule_err("full-locality: x must be non-empty"));
+    }
+    if !x.is_proper_prefix_of(&premise.rhs) {
+        return Err(rule_err(format!(
+            "full-locality: `{x}` is not a proper prefix of the RHS `{}`",
+            premise.rhs
+        )));
+    }
+    let mut new_lhs = vec![x.clone()];
+    new_lhs.extend(
+        premise
+            .lhs()
+            .iter()
+            .filter(|p| x.is_proper_prefix_of(p))
+            .cloned(),
+    );
+    Nfd::new(premise.base.clone(), new_lhs, premise.rhs.clone())
+}
+
+/// **Singleton**: if `x0:[x → x:A1], …, x0:[x → x:An]` and the type of
+/// `x` (relative to the base's element records) is `{<A1,…,An>}`, conclude
+/// `x0:[x:A1,…,x:An → x]`.
+///
+/// `premises` must contain exactly the NFDs `x0:[x → x:Ai]`, one per
+/// attribute of `x`'s element record.
+pub fn singleton(schema: &Schema, premises: &[Nfd], x: &Path) -> Result<Nfd, CoreError> {
+    let Some(first) = premises.first() else {
+        return Err(rule_err("singleton: no premises supplied"));
+    };
+    let base = &first.base;
+    let rec = base_element_record(schema, base)?;
+    let x_ty = resolve_in_record(rec, x)?;
+    let Some(elem) = x_ty.element_record() else {
+        return Err(rule_err(format!(
+            "singleton: `{x}` is not a set-of-records path"
+        )));
+    };
+    let attrs: Vec<Label> = elem.labels().collect();
+    if attrs.is_empty() {
+        return Err(rule_err(format!("singleton: `{x}` has no attributes")));
+    }
+    for a in &attrs {
+        let wanted_rhs = x.child(*a);
+        let found = premises.iter().any(|p| {
+            &p.base == base && p.lhs() == [x.clone()] && p.rhs == wanted_rhs
+        });
+        if !found {
+            return Err(rule_err(format!(
+                "singleton: missing premise {base}:[{x} -> {wanted_rhs}]"
+            )));
+        }
+    }
+    Nfd::new(
+        base.clone(),
+        attrs.iter().map(|a| x.child(*a)),
+        x.clone(),
+    )
+}
+
+/// **Prefix**: from `x0:[x1:A, x2,…,xk → y]`, where `x1` has at least one
+/// label and is not a prefix of `y`, conclude `x0:[x1, x2,…,xk → y]`.
+///
+/// `which` selects the LHS path `x1:A` to shorten.
+pub fn prefix(premise: &Nfd, which: &Path) -> Result<Nfd, CoreError> {
+    if !premise.lhs().contains(which) {
+        return Err(rule_err(format!(
+            "prefix: `{which}` is not in the LHS of `{premise}`"
+        )));
+    }
+    if which.len() < 2 {
+        return Err(rule_err(format!(
+            "prefix: `{which}` is a single label; x1 would be empty"
+        )));
+    }
+    let x1 = which.parent().expect("len >= 2");
+    if x1.is_prefix_of(&premise.rhs) {
+        return Err(rule_err(format!(
+            "prefix: `{x1}` is a prefix of the RHS `{}`",
+            premise.rhs
+        )));
+    }
+    let new_lhs: Vec<Path> = premise
+        .lhs()
+        .iter()
+        .map(|p| if p == which { x1.clone() } else { p.clone() })
+        .collect();
+    Nfd::new(premise.base.clone(), new_lhs, premise.rhs.clone())
+}
+
+/// Enumerates every conclusion reachable from `premise` by **one**
+/// application of a unary rule (prefix, locality, full-locality, push-in,
+/// pull-out), tagged with the rule used. Useful for interactive
+/// exploration ("what can I deduce from this in one step?") and for
+/// exercising the rules exhaustively in tests.
+///
+/// Transitivity and singleton are not included: they need additional
+/// premises (use the [`crate::engine::Engine`] for multi-premise search).
+pub fn one_step_applications(premise: &Nfd) -> Vec<(Rule, Nfd)> {
+    let mut out: Vec<(Rule, Nfd)> = Vec::new();
+    let mut push = |rule: Rule, nfd: Nfd| {
+        if !out.iter().any(|(r, n)| *r == rule && n == &nfd) {
+            out.push((rule, nfd));
+        }
+    };
+    for p in premise.lhs() {
+        if let Ok(c) = prefix(premise, p) {
+            push(Rule::Prefix, c);
+        }
+    }
+    if let Ok(c) = locality(premise) {
+        push(Rule::Locality, c);
+    }
+    for x in premise.rhs.prefixes() {
+        if let Ok(c) = full_locality(premise, &x) {
+            push(Rule::FullLocality, c);
+        }
+    }
+    for k in 1..=premise.base.path.len() {
+        if let Ok(c) = push_in(premise, k) {
+            push(Rule::PushIn, c);
+        }
+    }
+    for y in premise.lhs() {
+        if let Ok(c) = pull_out(premise, y) {
+            push(Rule::PullOut, c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        // The schema of the Section 3.1 worked example.
+        Schema::parse("R : { <A: {<B: {<C: int>}, E: {<F: int, G: int>}>}, D: int> };").unwrap()
+    }
+
+    fn nfd(s: &Schema, t: &str) -> Nfd {
+        Nfd::parse(s, t).unwrap()
+    }
+
+    #[test]
+    fn reflexivity_requires_membership() {
+        let s = schema();
+        let base = RootedPath::parse("R").unwrap();
+        let x = Path::parse("D").unwrap();
+        let got = reflexivity(base.clone(), vec![x.clone()], x.clone()).unwrap();
+        assert_eq!(got, nfd(&s, "R:[D -> D]"));
+        assert!(reflexivity(base, vec![Path::parse("A").unwrap()], x).is_err());
+    }
+
+    #[test]
+    fn augmentation_adds_paths() {
+        let s = schema();
+        let p = nfd(&s, "R:[D -> A]");
+        let got = augmentation(&p, [Path::parse("A:B").unwrap()]).unwrap();
+        assert_eq!(got, nfd(&s, "R:[D, A:B -> A]"));
+    }
+
+    #[test]
+    fn transitivity_chains() {
+        let s = schema();
+        let p1 = nfd(&s, "R:[D -> A]");
+        let middle = nfd(&s, "R:[A -> A:B]");
+        let got = transitivity(&[p1], &middle).unwrap();
+        assert_eq!(got, nfd(&s, "R:[D -> A:B]"));
+    }
+
+    #[test]
+    fn transitivity_rejects_unjustified_middle() {
+        let s = schema();
+        let p1 = nfd(&s, "R:[D -> A]");
+        let middle = nfd(&s, "R:[A, A:B -> A:E]");
+        assert!(transitivity(&[p1], &middle).is_err());
+    }
+
+    #[test]
+    fn transitivity_allows_reflexive_middle_paths() {
+        let s = schema();
+        // X = {D, A}; premise X→A:B; middle [A, A:B → A:E]. The A premise is
+        // reflexivity and may be omitted.
+        let p1 = nfd(&s, "R:[D, A -> A:B]");
+        let middle = nfd(&s, "R:[A, A:B -> A:E]");
+        let got = transitivity(&[p1], &middle).unwrap();
+        assert_eq!(got, nfd(&s, "R:[D, A -> A:E]"));
+    }
+
+    #[test]
+    fn push_in_and_pull_out_invert() {
+        let s = schema();
+        let local = nfd(&s, "R:A:[B -> E:G]");
+        let pushed = push_in(&local, 1).unwrap();
+        assert_eq!(pushed, nfd(&s, "R:[A, A:B -> A:E:G]"));
+        let pulled = pull_out(&pushed, &Path::parse("A").unwrap()).unwrap();
+        assert_eq!(pulled, local);
+    }
+
+    #[test]
+    fn push_in_partial_split() {
+        let s = Schema::parse("R : {<A: {<B: {<C: int, D: int>}>}>};").unwrap();
+        let deep = nfd(&s, "R:A:B:[C -> D]");
+        // Move only the last label (y = B), base stays R:A.
+        let one = push_in(&deep, 1).unwrap();
+        assert_eq!(one, nfd(&s, "R:A:[B, B:C -> B:D]"));
+        // Move both labels (y = A:B), base becomes R.
+        let two = push_in(&deep, 2).unwrap();
+        assert_eq!(two, nfd(&s, "R:[A:B, A:B:C -> A:B:D]"));
+        assert!(push_in(&deep, 3).is_err());
+        assert!(push_in(&deep, 0).is_err());
+    }
+
+    #[test]
+    fn pull_out_conditions() {
+        let s = schema();
+        // y not in LHS:
+        assert!(pull_out(&nfd(&s, "R:[A:B -> A:E:F]"), &Path::parse("A").unwrap()).is_err());
+        // non-y-prefixed LHS path:
+        assert!(pull_out(&nfd(&s, "R:[A, D -> A:E:F]"), &Path::parse("A").unwrap()).is_err());
+        // RHS not prefixed by y:
+        assert!(pull_out(&nfd(&s, "R:[A, A:B -> D]"), &Path::parse("A").unwrap()).is_err());
+    }
+
+    #[test]
+    fn locality_dismisses_record_siblings() {
+        let s = schema();
+        // Step 1 of the worked example: locality of nfd1.
+        let nfd1 = nfd(&s, "R:[A:B:C, D -> A:E:F]");
+        let got = locality(&nfd1).unwrap();
+        assert_eq!(got, nfd(&s, "R:A:[B:C -> E:F]"));
+    }
+
+    #[test]
+    fn locality_rejects_multi_label_outsiders() {
+        // Example 3.1's point: locality cannot localize past A:B when the
+        // LHS contains A:D (a multi-label path outside A:B's subtree is
+        // fine at the A level, but at the A:B level A:D is neither under
+        // A:B nor a single label).
+        let s = Schema::parse(
+            "R : { <A: {<B: {<C: int, E: {<W: int>}>}, D: int>}> };",
+        )
+        .unwrap();
+        let f1 = nfd(&s, "R:A:[B:C, D -> B:E:W]");
+        // At base R:A, localize attribute B: LHS has D (single label, ok).
+        let ok = locality(&f1).unwrap();
+        assert_eq!(ok, nfd(&s, "R:A:B:[C -> E:W]"));
+        // But from the fully pushed-in form, locality at A fails on A:D? No
+        // — A:D is under A. Construct the failing shape directly:
+        let f2 = nfd(&s, "R:[A:B:C, A:D -> A:B:E:W]");
+        // locality at A succeeds (all paths under A):
+        assert!(locality(&f2).is_ok());
+        // full-locality at A:B gives the Example 3.1 conclusion:
+        let fl = full_locality(&f2, &Path::parse("A:B").unwrap()).unwrap();
+        assert_eq!(fl, nfd(&s, "R:[A:B, A:B:C -> A:B:E:W]"));
+    }
+
+    #[test]
+    fn full_locality_drops_outside_paths() {
+        let s = schema();
+        let nfd1 = nfd(&s, "R:[A:B:C, D -> A:E:F]");
+        let fl = full_locality(&nfd1, &Path::parse("A").unwrap()).unwrap();
+        assert_eq!(fl, nfd(&s, "R:[A, A:B:C -> A:E:F]"));
+        let fl2 = full_locality(&nfd1, &Path::parse("A:E").unwrap()).unwrap();
+        assert_eq!(fl2, nfd(&s, "R:[A:E -> A:E:F]"));
+        // x must properly prefix the RHS:
+        assert!(full_locality(&nfd1, &Path::parse("A:B").unwrap()).is_err());
+        assert!(full_locality(&nfd1, &Path::parse("A:E:F").unwrap()).is_err());
+    }
+
+    #[test]
+    fn singleton_needs_all_attributes() {
+        let s = schema();
+        // Type of A:E is {<F, G>}.
+        let pf = nfd(&s, "R:[A:E -> A:E:F]");
+        let pg = nfd(&s, "R:[A:E -> A:E:G]");
+        let x = Path::parse("A:E").unwrap();
+        let got = singleton(&s, &[pf.clone(), pg], &x).unwrap();
+        assert_eq!(got, nfd(&s, "R:[A:E:F, A:E:G -> A:E]"));
+        assert!(singleton(&s, &[pf], &x).is_err());
+    }
+
+    #[test]
+    fn singleton_rejects_non_set_paths() {
+        let s = schema();
+        let p = nfd(&s, "R:[D -> D]");
+        assert!(singleton(&s, &[p], &Path::parse("D").unwrap()).is_err());
+    }
+
+    #[test]
+    fn prefix_shortens_lhs_path() {
+        let s = schema();
+        // Step 2 of the worked example: prefix on R:A:[B:C → E:F].
+        let p = nfd(&s, "R:A:[B:C -> E:F]");
+        let got = prefix(&p, &Path::parse("B:C").unwrap()).unwrap();
+        assert_eq!(got, nfd(&s, "R:A:[B -> E:F]"));
+    }
+
+    #[test]
+    fn prefix_conditions() {
+        let s = schema();
+        // x1 must not be a prefix of the RHS:
+        let p = nfd(&s, "R:[A:B -> A:E:F]");
+        assert!(prefix(&p, &Path::parse("A:B").unwrap()).is_err());
+        // single-label paths cannot be shortened:
+        let q = nfd(&s, "R:[D -> A]");
+        assert!(prefix(&q, &Path::parse("D").unwrap()).is_err());
+        // the path must be in the LHS:
+        assert!(prefix(&q, &Path::parse("A:B").unwrap()).is_err());
+    }
+
+    #[test]
+    fn rule_names_display() {
+        assert_eq!(Rule::FullLocality.to_string(), "full-locality");
+        assert_eq!(Rule::PushIn.to_string(), "push-in");
+    }
+
+    #[test]
+    fn one_step_enumeration_covers_each_unary_rule() {
+        let s = schema();
+        // nfd1 of the worked example admits prefix, locality and two
+        // full-locality applications.
+        let nfd1 = nfd(&s, "R:[A:B:C, D -> A:E:F]");
+        let apps = one_step_applications(&nfd1);
+        let has = |rule: Rule, text: &str| {
+            apps.iter().any(|(r, n)| *r == rule && n == &nfd(&s, text))
+        };
+        assert!(has(Rule::Prefix, "R:[A:B, D -> A:E:F]"));
+        assert!(has(Rule::Locality, "R:A:[B:C -> E:F]"));
+        assert!(has(Rule::FullLocality, "R:[A, A:B:C -> A:E:F]"));
+        assert!(has(Rule::FullLocality, "R:[A:E -> A:E:F]"));
+        // A local NFD admits push-in; its simple form admits pull-out.
+        let local = nfd(&s, "R:A:[B -> E:G]");
+        let apps = one_step_applications(&local);
+        assert!(apps.iter().any(|(r, _)| *r == Rule::PushIn));
+        let simple = crate::simple::to_simple(&local);
+        let apps = one_step_applications(&simple);
+        assert!(apps
+            .iter()
+            .any(|(r, n)| *r == Rule::PullOut && n == &local));
+    }
+
+    #[test]
+    fn one_step_enumeration_is_sound_by_construction() {
+        // Every enumerated conclusion replays through its named rule — by
+        // re-deriving it with the specific rule functions over all
+        // parameter choices, mirroring the proof verifier's replay.
+        let s = schema();
+        for text in [
+            "R:[A:B:C, D -> A:E:F]",
+            "R:A:[B -> E:G]",
+            "R:[A, A:B, A:B:C -> A:E:G]",
+            "R:[D -> A]",
+        ] {
+            let premise = nfd(&s, text);
+            for (rule, conclusion) in one_step_applications(&premise) {
+                let replayed = match rule {
+                    Rule::Prefix => premise
+                        .lhs()
+                        .iter()
+                        .any(|p| prefix(&premise, p).is_ok_and(|c| c == conclusion)),
+                    Rule::Locality => locality(&premise).is_ok_and(|c| c == conclusion),
+                    Rule::FullLocality => premise
+                        .rhs
+                        .prefixes()
+                        .any(|x| full_locality(&premise, &x).is_ok_and(|c| c == conclusion)),
+                    Rule::PushIn => (1..=premise.base.path.len())
+                        .any(|k| push_in(&premise, k).is_ok_and(|c| c == conclusion)),
+                    Rule::PullOut => premise
+                        .lhs()
+                        .iter()
+                        .any(|y| pull_out(&premise, y).is_ok_and(|c| c == conclusion)),
+                    other => panic!("unexpected rule {other} in one-step enumeration"),
+                };
+                assert!(replayed, "{rule} conclusion {conclusion} does not replay");
+            }
+        }
+    }
+}

@@ -1,0 +1,497 @@
+//! Satisfaction of NFDs (`I ⊨ f`, Definition 2.4).
+//!
+//! The semantics implemented here is the Section 2.2 logic translation,
+//! which the paper presents as the precise meaning of an NFD:
+//!
+//! * the *interior* of the base path `x0` is walked with one shared choice
+//!   per label (`for_each_base_nav`);
+//! * the pair `v1, v2` ranges over the final set of each walk;
+//! * below each element, component paths are evaluated by *trie-consistent
+//!   assignments*: one element choice per shared prefix — Definition 2.4's
+//!   coincidence condition;
+//! * universal quantification over an empty set is vacuous, which realizes
+//!   the paper's "trivially true" clause for undefined `xi(v)`.
+//!
+//! Instead of materializing all `(v1, a1) × (v2, a2)` pairs, the checker
+//! groups assignments by their LHS tuple: the NFD holds iff no LHS tuple is
+//! associated with two distinct RHS values within one base navigation.
+//! This is equivalent (the pair condition is symmetric over the same
+//! collection of assignments) and linear in the number of assignments.
+
+use crate::error::CoreError;
+use crate::nfd::Nfd;
+use nfd_model::{Instance, Schema, Value};
+use nfd_path::nav::{for_each_assignment, for_each_base_nav};
+use nfd_path::PathTrie;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The outcome of checking one NFD on one instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SatisfyReport {
+    /// Does the instance satisfy the NFD?
+    pub holds: bool,
+    /// A witness for a violation, if any.
+    pub violation: Option<Violation>,
+    /// Number of (navigation, assignment) pairs examined — a work measure
+    /// used by the benches.
+    pub assignments_checked: usize,
+}
+
+/// A concrete violation witness: one LHS tuple observed with two distinct
+/// RHS values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The agreeing LHS values, in the order of [`Nfd::lhs`].
+    pub lhs_values: Vec<Value>,
+    /// The two conflicting RHS values.
+    pub rhs_values: (Value, Value),
+    /// The interior base-path navigation at which the conflict was found:
+    /// the element chosen at each interior label of `x0` (empty for
+    /// global NFDs, whose base is a bare relation name). Identifies
+    /// *where* a local dependency broke.
+    pub context: Vec<Value>,
+}
+
+impl Violation {
+    /// Constructs a witness without navigation context (global NFDs).
+    pub fn new(lhs_values: Vec<Value>, rhs_values: (Value, Value)) -> Violation {
+        Violation {
+            lhs_values,
+            rhs_values,
+            context: Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("LHS (")?;
+        for (i, v) in self.lhs_values.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(
+            f,
+            ") maps to both {} and {}",
+            self.rhs_values.0, self.rhs_values.1
+        )?;
+        if !self.context.is_empty() {
+            f.write_str(" (within ")?;
+            for (i, c) in self.context.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(" / ")?;
+                }
+                // Identify the navigation element by its scalar fields
+                // only — the set-valued payload would drown the message.
+                match c.as_record() {
+                    Some(rec) => {
+                        f.write_str("<")?;
+                        let mut first = true;
+                        for (l, v) in rec.fields() {
+                            if matches!(v, Value::Base(_)) {
+                                if !first {
+                                    f.write_str(", ")?;
+                                }
+                                write!(f, "{l}: {v}")?;
+                                first = false;
+                            }
+                        }
+                        f.write_str(if first { "…>" } else { ", …>" })?;
+                    }
+                    None => write!(f, "{c}")?,
+                }
+            }
+            f.write_str(")")?;
+        }
+        Ok(())
+    }
+}
+
+/// Checks `I ⊨ f`. The NFD is validated against `schema` first.
+pub fn check(schema: &Schema, instance: &Instance, nfd: &Nfd) -> Result<SatisfyReport, CoreError> {
+    nfd.validate(schema)?;
+
+    let trie = PathTrie::new(nfd.component_paths().cloned());
+    let lhs_idx: Vec<usize> = nfd
+        .lhs()
+        .iter()
+        .map(|p| trie.target_index(p).expect("lhs path inserted"))
+        .collect();
+    let rhs_idx = trie.target_index(&nfd.rhs).expect("rhs path inserted");
+
+    let mut violation: Option<Violation> = None;
+    let mut assignments_checked = 0usize;
+    let mut nav_err: Option<nfd_path::nav::NavError> = None;
+
+    for_each_base_nav(instance, &nfd.base, |nav| {
+        if violation.is_some() || nav_err.is_some() {
+            return;
+        }
+        // One grouping table per interior navigation: v1 and v2 are drawn
+        // from the same final set, under the same interior choices.
+        let mut groups: HashMap<Vec<Value>, Value> = HashMap::new();
+        for elem in nav.set.elems() {
+            let Some(rec) = elem.as_record() else {
+                nav_err = Some(nfd_path::nav::NavError::NotARecord(nfd.base.to_string()));
+                return;
+            };
+            let res = for_each_assignment(rec, &trie, |a| {
+                if violation.is_some() {
+                    return;
+                }
+                assignments_checked += 1;
+                let key = a.project(&lhs_idx);
+                let rhs = a.value(rhs_idx);
+                match groups.get(&key) {
+                    None => {
+                        groups.insert(key, rhs.clone());
+                    }
+                    Some(existing) if existing == rhs => {}
+                    Some(existing) => {
+                        violation = Some(Violation {
+                            lhs_values: key,
+                            rhs_values: (existing.clone(), rhs.clone()),
+                            context: nav
+                                .choices
+                                .iter()
+                                .map(|r| Value::Record((*r).clone()))
+                                .collect(),
+                        });
+                    }
+                }
+            });
+            if let Err(e) = res {
+                nav_err = Some(e);
+                return;
+            }
+        }
+    })?;
+
+    if let Some(e) = nav_err {
+        return Err(e.into());
+    }
+    Ok(SatisfyReport {
+        holds: violation.is_none(),
+        violation,
+        assignments_checked,
+    })
+}
+
+/// Checks a whole set of NFDs; returns the first violated one (with its
+/// witness) or `None` if all hold.
+pub fn check_all<'a>(
+    schema: &Schema,
+    instance: &Instance,
+    nfds: &'a [Nfd],
+) -> Result<Option<(&'a Nfd, Violation)>, CoreError> {
+    for nfd in nfds {
+        let report = check(schema, instance, nfd)?;
+        if let Some(v) = report.violation {
+            return Ok(Some((nfd, v)));
+        }
+    }
+    Ok(None)
+}
+
+/// Convenience wrapper: does the instance satisfy every NFD in `nfds`?
+pub fn satisfies_all(schema: &Schema, instance: &Instance, nfds: &[Nfd]) -> Result<bool, CoreError> {
+    Ok(check_all(schema, instance, nfds)?.is_none())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn course() -> (Schema, Instance) {
+        let schema = Schema::parse(
+            "Course : { <cnum: string, time: int,
+                         students: {<sid: int, age: int, grade: string>},
+                         books: {<isbn: string, title: string>}> };",
+        )
+        .unwrap();
+        let inst = Instance::parse(
+            &schema,
+            r#"Course = {
+                <cnum: "cis550", time: 10,
+                 students: {<sid: 1001, age: 20, grade: "A">,
+                            <sid: 2002, age: 22, grade: "B">},
+                 books: {<isbn: "0-13", title: "DB Systems">}>,
+                <cnum: "cis500", time: 12,
+                 students: {<sid: 1001, age: 20, grade: "C">},
+                 books: {<isbn: "0-13", title: "DB Systems">,
+                         <isbn: "0-14", title: "Found. of DB">}> };"#,
+        )
+        .unwrap();
+        (schema, inst)
+    }
+
+    #[test]
+    fn examples_21_to_25_hold() {
+        let (s, i) = course();
+        for text in [
+            "Course:[cnum -> time]",
+            "Course:[cnum -> students]",
+            "Course:[cnum -> books]",
+            "Course:[books:isbn -> books:title]",
+            "Course:students:[sid -> grade]",
+            "Course:[students:sid -> students:age]",
+            "Course:[time, students:sid -> cnum]",
+        ] {
+            let nfd = Nfd::parse(&s, text).unwrap();
+            let r = check(&s, &i, &nfd).unwrap();
+            assert!(r.holds, "{text} should hold");
+        }
+    }
+
+    #[test]
+    fn local_grade_dependency_allows_cross_course_difference() {
+        // Student 1001 has grade A in cis550 and C in cis500: fine locally…
+        let (s, i) = course();
+        let local = Nfd::parse(&s, "Course:students:[sid -> grade]").unwrap();
+        assert!(check(&s, &i, &local).unwrap().holds);
+        // …but the global version is violated.
+        let global = Nfd::parse(&s, "Course:[students:sid -> students:grade]").unwrap();
+        let r = check(&s, &i, &global).unwrap();
+        assert!(!r.holds);
+        let v = r.violation.unwrap();
+        assert_eq!(v.lhs_values, vec![Value::int(1001)]);
+        let mut grades = [
+            v.rhs_values.0.clone(),
+            v.rhs_values.1.clone(),
+        ];
+        grades.sort();
+        assert_eq!(grades, [Value::str("A"), Value::str("C")]);
+    }
+
+    #[test]
+    fn isbn_title_violation_detected() {
+        let (s, _) = course();
+        let i = Instance::parse(
+            &s,
+            r#"Course = {
+                <cnum: "a", time: 1, students: {<sid: 1, age: 1, grade: "A">},
+                 books: {<isbn: "X", title: "T1">}>,
+                <cnum: "b", time: 2, students: {<sid: 1, age: 1, grade: "A">},
+                 books: {<isbn: "X", title: "T2">}> };"#,
+        )
+        .unwrap();
+        let nfd = Nfd::parse(&s, "Course:[books:isbn -> books:title]").unwrap();
+        let r = check(&s, &i, &nfd).unwrap();
+        assert!(!r.holds);
+        assert!(r.violation.unwrap().to_string().contains("maps to both"));
+    }
+
+    /// Figure 1 of the paper: the instance violates R:[B:C → E:F].
+    #[test]
+    fn figure_1_violation() {
+        let schema = Schema::parse(
+            "R : { <A: int, B: {<C: int, D: int>}, E: {<F: int, G: int>}> };",
+        )
+        .unwrap();
+        let inst = Instance::parse(
+            &schema,
+            "R = { <A: 1, B: {<C: 1, D: 3>}, E: {<F: 5, G: 6>, <F: 5, G: 7>}>,
+                   <A: 2, B: {<C: 2, D: 2>, <C: 1, D: 3>}, E: {<F: 3, G: 4>, <F: 4, G: 4>}> };",
+        )
+        .unwrap();
+        let nfd = Nfd::parse(&schema, "R:[B:C -> E:F]").unwrap();
+        let r = check(&schema, &inst, &nfd).unwrap();
+        assert!(!r.holds, "Figure 1's instance violates R:[B:C → E:F]");
+        // Two independent reasons, per the paper's discussion: the second
+        // tuple alone has two F values for one C value, and C=1 appears in
+        // both tuples with different F values. The witness reports one.
+        assert!(r.violation.is_some());
+    }
+
+    /// First row of Figure 1 alone satisfies the NFD ("If we only consider
+    /// the first line in the table, the NFD is satisfied").
+    #[test]
+    fn figure_1_first_row_alone_satisfies() {
+        let schema = Schema::parse(
+            "R : { <A: int, B: {<C: int, D: int>}, E: {<F: int, G: int>}> };",
+        )
+        .unwrap();
+        let inst = Instance::parse(
+            &schema,
+            "R = { <A: 1, B: {<C: 1, D: 3>}, E: {<F: 5, G: 6>, <F: 5, G: 7>}> };",
+        )
+        .unwrap();
+        let nfd = Nfd::parse(&schema, "R:[B:C -> E:F]").unwrap();
+        assert!(check(&schema, &inst, &nfd).unwrap().holds);
+    }
+
+    /// The "unintuitive" reading of R:[B:C → E:F]: all F values must agree
+    /// within a tuple whenever B is non-empty.
+    #[test]
+    fn unintuitive_within_tuple_consequence() {
+        let schema = Schema::parse(
+            "R : { <A: int, B: {<C: int, D: int>}, E: {<F: int, G: int>}> };",
+        )
+        .unwrap();
+        // One tuple, one C value, two F values: violated.
+        let inst = Instance::parse(
+            &schema,
+            "R = { <A: 1, B: {<C: 1, D: 1>}, E: {<F: 1, G: 1>, <F: 2, G: 2>}> };",
+        )
+        .unwrap();
+        let nfd = Nfd::parse(&schema, "R:[B:C -> E:F]").unwrap();
+        assert!(!check(&schema, &inst, &nfd).unwrap().holds);
+        // Same shape but B empty: vacuously satisfied.
+        let inst2 = Instance::parse(
+            &schema,
+            "R = { <A: 1, B: {}, E: {<F: 1, G: 1>, <F: 2, G: 2>}> };",
+        )
+        .unwrap();
+        assert!(check(&schema, &inst2, &nfd).unwrap().holds);
+    }
+
+    /// Example 3.2's instance: satisfies A→B:C and B:C→D but not A→D.
+    #[test]
+    fn example_3_2_transitivity_failure() {
+        let schema =
+            Schema::parse("R : { <A: int, B: {<C: int>}, D: int, E: int> };").unwrap();
+        let inst = Instance::parse(
+            &schema,
+            "R = { <A: 1, B: {}, D: 2, E: 3>,
+                   <A: 1, B: {}, D: 3, E: 4>,
+                   <A: 2, B: {<C: 3>}, D: 4, E: 5> };",
+        )
+        .unwrap();
+        let holds = |t: &str| {
+            check(&schema, &inst, &Nfd::parse(&schema, t).unwrap())
+                .unwrap()
+                .holds
+        };
+        assert!(holds("R:[A -> B:C]"));
+        assert!(holds("R:[B:C -> D]"));
+        assert!(!holds("R:[A -> D]"));
+        // And the prefix-rule counterpart from Section 3.2:
+        assert!(holds("R:[B:C -> E]"));
+        assert!(!holds("R:[B -> E]"));
+    }
+
+    /// NFDs of form x0:[x1:x2 → x1] force equal-or-disjoint x1 sets.
+    #[test]
+    fn equal_or_disjoint_sets_property() {
+        let schema = Schema::parse("R : { <A: {<B: int>}, D: int> };").unwrap();
+        let nfd = Nfd::parse(&schema, "R:[A:B -> A]").unwrap();
+        // Overlapping but unequal A sets: violated.
+        let bad = Instance::parse(
+            &schema,
+            "R = { <A: {<B: 1>, <B: 2>}, D: 1>, <A: {<B: 2>, <B: 3>}, D: 2> };",
+        )
+        .unwrap();
+        assert!(!check(&schema, &bad, &nfd).unwrap().holds);
+        // Disjoint sets: fine.
+        let good = Instance::parse(
+            &schema,
+            "R = { <A: {<B: 1>}, D: 1>, <A: {<B: 2>, <B: 3>}, D: 2> };",
+        )
+        .unwrap();
+        assert!(check(&schema, &good, &nfd).unwrap().holds);
+        // Equal sets: fine.
+        let eq = Instance::parse(
+            &schema,
+            "R = { <A: {<B: 1>, <B: 2>}, D: 1>, <A: {<B: 1>, <B: 2>}, D: 2> };",
+        )
+        .unwrap();
+        assert!(check(&schema, &eq, &nfd).unwrap().holds);
+    }
+
+    /// Singleton forcing: R:[D→A:B] and R:[D→A:C] make A a singleton (the
+    /// Section 2.1 observation); a two-element A violates one of them.
+    #[test]
+    fn singleton_forcing_observation() {
+        let schema = Schema::parse("R : { <A: {<B: int, C: int>}, D: int> };").unwrap();
+        let f1 = Nfd::parse(&schema, "R:[D -> A:B]").unwrap();
+        let f2 = Nfd::parse(&schema, "R:[D -> A:C]").unwrap();
+        let two = Instance::parse(
+            &schema,
+            "R = { <A: {<B: 1, C: 1>, <B: 1, C: 2>}, D: 7> };",
+        )
+        .unwrap();
+        assert!(check(&schema, &two, &f1).unwrap().holds);
+        assert!(!check(&schema, &two, &f2).unwrap().holds);
+        let single = Instance::parse(&schema, "R = { <A: {<B: 1, C: 1>}, D: 7> };").unwrap();
+        assert!(check(&schema, &single, &f1).unwrap().holds);
+        assert!(check(&schema, &single, &f2).unwrap().holds);
+    }
+
+    #[test]
+    fn local_violation_reports_navigation_context() {
+        let schema = Schema::parse("R : {<name: string, B: {<C: int, D: int>}>};").unwrap();
+        let inst = Instance::parse(
+            &schema,
+            r#"R = { <name: "row1", B: {<C: 1, D: 1>}>,
+                    <name: "row2", B: {<C: 1, D: 1>, <C: 1, D: 2>}> };"#,
+        )
+        .unwrap();
+        let nfd = Nfd::parse(&schema, "R:B:[C -> D]").unwrap();
+        let v = check(&schema, &inst, &nfd).unwrap().violation.unwrap();
+        assert_eq!(v.context.len(), 1, "one interior navigation level");
+        let shown = v.to_string();
+        assert!(shown.contains("within"), "{shown}");
+        assert!(shown.contains("row2"), "context identifies the tuple: {shown}");
+        assert!(!shown.contains("row1"), "{shown}");
+        // Global NFDs carry no context.
+        let g = Nfd::parse(&schema, "R:[B:C -> B:D]").unwrap();
+        let v = check(&schema, &inst, &g).unwrap().violation.unwrap();
+        assert!(v.context.is_empty());
+    }
+
+    #[test]
+    fn constant_form() {
+        let schema = Schema::parse("R : { <A: int> };").unwrap();
+        let nfd = Nfd::parse(&schema, "R:[ -> A]").unwrap();
+        let konst = Instance::parse(&schema, "R = { <A: 5>, <A: 5> };").unwrap();
+        assert!(check(&schema, &konst, &nfd).unwrap().holds);
+        let varying = Instance::parse(&schema, "R = { <A: 5>, <A: 6> };").unwrap();
+        assert!(!check(&schema, &varying, &nfd).unwrap().holds);
+    }
+
+    #[test]
+    fn check_all_reports_first_failure() {
+        let (s, i) = course();
+        let nfds = vec![
+            Nfd::parse(&s, "Course:[cnum -> time]").unwrap(),
+            Nfd::parse(&s, "Course:[students:sid -> students:grade]").unwrap(),
+        ];
+        let (failed, _) = check_all(&s, &i, &nfds).unwrap().unwrap();
+        assert_eq!(failed, &nfds[1]);
+        assert!(!satisfies_all(&s, &i, &nfds).unwrap());
+        assert!(satisfies_all(&s, &i, &nfds[..1]).unwrap());
+    }
+
+    #[test]
+    fn deep_base_path_local_check() {
+        let schema = Schema::parse("R : {<A: {<B: {<C: int, D: int>}>}>};").unwrap();
+        let nfd = Nfd::parse(&schema, "R:A:B:[C -> D]").unwrap();
+        // Within a single B set, C determines D; two different B sets may
+        // disagree.
+        let ok = Instance::parse(
+            &schema,
+            "R = { <A: {<B: {<C: 1, D: 1>}>, <B: {<C: 1, D: 2>}>}> };",
+        )
+        .unwrap();
+        assert!(check(&schema, &ok, &nfd).unwrap().holds);
+        let bad = Instance::parse(
+            &schema,
+            "R = { <A: {<B: {<C: 1, D: 1>, <C: 1, D: 2>}>}> };",
+        )
+        .unwrap();
+        assert!(!check(&schema, &bad, &nfd).unwrap().holds);
+    }
+
+    #[test]
+    fn empty_relation_satisfies_everything() {
+        let (s, _) = course();
+        let i = Instance::parse(&s, "Course = {};").unwrap();
+        let nfd = Nfd::parse(&s, "Course:[students:grade -> students:sid]").unwrap();
+        let r = check(&s, &i, &nfd).unwrap();
+        assert!(r.holds);
+        assert_eq!(r.assignments_checked, 0);
+    }
+}

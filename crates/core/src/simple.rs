@@ -1,0 +1,184 @@
+//! The *simple form* of NFDs (Section 3.2).
+//!
+//! Push-in and pull-out only move between equivalent presentations of the
+//! same dependency: `R:y:[x1,…,xk → z]` is equivalent to
+//! `R:[y, y:x1,…,y:xk → y:z]`. Restricting base paths to bare relation
+//! names therefore loses no expressive power, and in that *simple form* six
+//! rules suffice (push-in and pull-out disappear; locality is strengthened
+//! to full-locality).
+//!
+//! The implication engine works internally in simple form; this module
+//! provides the conversions, including the maximal re-localization used for
+//! readable output (the paper argues the local form is "more intuitive").
+
+use crate::nfd::Nfd;
+use crate::rules;
+use nfd_path::Path;
+
+/// Is the NFD in simple form (base path a bare relation name)?
+pub fn is_simple(nfd: &Nfd) -> bool {
+    nfd.base.path.is_empty()
+}
+
+/// Converts to simple form by pushing the base path in one label at a
+/// time: `R:y1:…:yk:[X → z] ↦ R:[y1, y1:y2, …, y1:…:yk:X → y1:…:yk:z]`.
+/// Simple-form NFDs are returned unchanged.
+///
+/// One-label steps make [`localize`] an exact inverse (each pull-out
+/// removes the shortest prefix again), so `canonical_local` round-trips.
+/// The single-shot form `R:[y, y:X → y:z]` with a multi-label `y` is
+/// equivalent under the full rule set (full-locality at `y` recovers it)
+/// and the engine derives it during saturation.
+pub fn to_simple(nfd: &Nfd) -> Nfd {
+    let mut cur = nfd.clone();
+    while !is_simple(&cur) {
+        cur = rules::push_in(&cur, 1).expect("pushing one base label always applies");
+    }
+    cur
+}
+
+/// Maximally re-localizes a simple-form NFD: repeatedly pulls out while a
+/// LHS path `y` exists that properly prefixes the RHS and every other LHS
+/// path. Longest applicable `y` first, so `R:[A, A:B, A:B:C → A:B:E]`
+/// localizes to `R:A:B:[C → E]`… when `A` and `A:B` are themselves LHS
+/// members; otherwise it stops at the deepest valid level.
+pub fn localize(nfd: &Nfd) -> Nfd {
+    let mut cur = nfd.clone();
+    loop {
+        // Candidate ys: LHS paths that properly prefix the RHS and every
+        // other LHS path. Pick the shortest (pull out one step at a time —
+        // any order reaches the same fixpoint, shortest-first keeps each
+        // pull-out valid).
+        let candidate = cur
+            .lhs()
+            .iter()
+            .filter(|y| {
+                y.is_proper_prefix_of(&cur.rhs)
+                    && cur
+                        .lhs()
+                        .iter()
+                        .all(|p| p == *y || y.is_proper_prefix_of(p))
+            })
+            .min_by_key(|y| y.len())
+            .cloned();
+        match candidate {
+            Some(y) => {
+                cur = rules::pull_out(&cur, &y).expect("candidate satisfies pull-out conditions");
+            }
+            None => return cur,
+        }
+    }
+}
+
+/// Round-trips an NFD through simple form: `localize(to_simple(f))`. For
+/// NFDs written in the fully local style this is the identity; it is the
+/// canonical "pretty" presentation used in proofs.
+pub fn canonical_local(nfd: &Nfd) -> Nfd {
+    localize(&to_simple(nfd))
+}
+
+/// Are two NFDs equal up to the push-in/pull-out equivalence?
+pub fn equivalent_form(a: &Nfd, b: &Nfd) -> bool {
+    to_simple(a) == to_simple(b)
+}
+
+/// The simple-form LHS/RHS of an NFD as relative paths: the pair
+/// `({y} ∪ y:X, y:z)` for `R:y:[X → z]`.
+pub fn simple_components(nfd: &Nfd) -> (Vec<Path>, Path) {
+    let s = to_simple(nfd);
+    (s.lhs().to_vec(), s.rhs.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfd_model::Schema;
+
+    fn schema() -> Schema {
+        Schema::parse("R : { <A: {<B: {<C: int>}, E: {<F: int, G: int>}>}, D: int> };").unwrap()
+    }
+
+    fn nfd(s: &Schema, t: &str) -> Nfd {
+        Nfd::parse(s, t).unwrap()
+    }
+
+    #[test]
+    fn to_simple_pushes_fully() {
+        let s = schema();
+        assert_eq!(
+            to_simple(&nfd(&s, "R:A:[B -> E:G]")),
+            nfd(&s, "R:[A, A:B -> A:E:G]")
+        );
+        let already = nfd(&s, "R:[D -> A]");
+        assert_eq!(to_simple(&already), already);
+    }
+
+    #[test]
+    fn deep_base_pushes_all_levels() {
+        let s = schema();
+        // One-label push-in steps: the base prefixes accumulate in the
+        // LHS. (The stronger single-shot form `R:[A:B → A:B:C]` follows
+        // by full-locality and is reached during engine saturation.)
+        assert_eq!(
+            to_simple(&nfd(&s, "R:A:B:[ -> C]")),
+            nfd(&s, "R:[A, A:B -> A:B:C]")
+        );
+    }
+
+    #[test]
+    fn localize_inverts_to_simple() {
+        let s = schema();
+        for t in [
+            "R:A:[B -> E:G]",
+            "R:A:B:[ -> C]",
+            "R:A:E:[F -> G]",
+            "R:[D -> A]",
+        ] {
+            let f = nfd(&s, t);
+            assert_eq!(canonical_local(&f), f, "canonical form of {t}");
+        }
+    }
+
+    #[test]
+    fn localize_stops_without_full_prefix_chain() {
+        let s = schema();
+        // A:B is in the LHS but A is not: cannot pull out A, so the NFD
+        // stays global.
+        let f = nfd(&s, "R:[A:B, A:B:C -> A:E:F]");
+        assert_eq!(localize(&f), f);
+        // {A, A:B:C → A:E:F}: A can be pulled out (everything under A).
+        let g = nfd(&s, "R:[A, A:B:C -> A:E:F]");
+        assert_eq!(localize(&g), nfd(&s, "R:A:[B:C -> E:F]"));
+    }
+
+    #[test]
+    fn equivalence_across_forms() {
+        let s = schema();
+        assert!(equivalent_form(
+            &nfd(&s, "R:A:[B -> E:G]"),
+            &nfd(&s, "R:[A, A:B -> A:E:G]")
+        ));
+        assert!(!equivalent_form(
+            &nfd(&s, "R:A:[B -> E:G]"),
+            &nfd(&s, "R:[A:B -> A:E:G]")
+        ));
+    }
+
+    #[test]
+    fn is_simple_checks_base() {
+        let s = schema();
+        assert!(is_simple(&nfd(&s, "R:[D -> A]")));
+        assert!(!is_simple(&nfd(&s, "R:A:[B -> E]")));
+    }
+
+    #[test]
+    fn simple_components_shape() {
+        let s = schema();
+        let (lhs, rhs) = simple_components(&nfd(&s, "R:A:[B -> E:G]"));
+        assert_eq!(
+            lhs.iter().map(Path::to_string).collect::<Vec<_>>(),
+            ["A", "A:B"]
+        );
+        assert_eq!(rhs.to_string(), "A:E:G");
+    }
+}

@@ -1,0 +1,362 @@
+//! Restructuring views and dependency propagation.
+//!
+//! The paper's opening motivation: *"if a new database is created as a
+//! materialized view over multiple complex databases, knowing how
+//! dependencies are carried into this complex view could eliminate
+//! expensive checking"*. This module provides the machinery to study the
+//! question concretely:
+//!
+//! * a [`View`] is a named pipeline of nest/unnest operations
+//!   ([`nfd_model::algebra`]) over a source relation;
+//! * [`View::extend_schema`] / [`View::materialize`] compute the view's
+//!   schema and contents;
+//! * [`refute_view_dependency`] searches for a source instance that
+//!   satisfies Σ while its view violates a candidate view dependency — a
+//!   randomized refutation procedure. (Sound inference of view
+//!   dependencies is the paper's stated future work via the nested
+//!   chase; refutation is the half that needs no new theory.)
+//!
+//! The accompanying tests reproduce the Fischer–Saxton–Thomas–Van Gucht
+//! facts the paper cites: which FDs survive nesting and unnesting, and
+//! the role singleton sets play.
+
+use crate::error::CoreError;
+use crate::nfd::Nfd;
+use crate::satisfy;
+use nfd_model::algebra::{nest, nest_type, unnest, unnest_type};
+use nfd_model::gen::{GenConfig, Generator};
+use nfd_model::types::Strictness;
+use nfd_model::{Instance, Label, ModelError, Schema, Type};
+
+/// One restructuring step of a view pipeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ViewOp {
+    /// `μ_attr`: flatten the set-valued attribute into its parent.
+    Unnest {
+        /// The attribute to flatten.
+        attr: Label,
+    },
+    /// `ν_{attr=(grouped)}`: group the listed attributes into a new
+    /// set-valued attribute.
+    Nest {
+        /// Name for the new set-valued attribute.
+        attr: Label,
+        /// The attributes to group.
+        grouped: Vec<Label>,
+    },
+}
+
+/// A named restructuring view over one source relation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct View {
+    /// The view's relation name.
+    pub name: Label,
+    /// The source relation.
+    pub source: Label,
+    /// The pipeline, applied left to right.
+    pub ops: Vec<ViewOp>,
+}
+
+impl View {
+    /// Builds a view.
+    pub fn new(name: impl Into<Label>, source: impl Into<Label>, ops: Vec<ViewOp>) -> View {
+        View {
+            name: name.into(),
+            source: source.into(),
+            ops,
+        }
+    }
+
+    /// The view's output type under `schema`.
+    pub fn output_type(&self, schema: &Schema) -> Result<Type, CoreError> {
+        let mut ty = schema
+            .relation_type(self.source)
+            .map_err(model_err)?
+            .clone();
+        for op in &self.ops {
+            ty = match op {
+                ViewOp::Unnest { attr } => unnest_type(&ty, *attr).map_err(model_err)?,
+                ViewOp::Nest { attr, grouped } => {
+                    nest_type(&ty, *attr, grouped).map_err(model_err)?
+                }
+            };
+        }
+        Ok(ty)
+    }
+
+    /// A schema containing the source relations plus the view.
+    pub fn extend_schema(&self, schema: &Schema) -> Result<Schema, CoreError> {
+        let out_ty = self.output_type(schema)?;
+        let mut rels: Vec<(Label, Type)> = schema.relations().to_vec();
+        rels.push((self.name, out_ty));
+        Schema::new(rels, Strictness::AllowBaseSets).map_err(model_err)
+    }
+
+    /// The view's contents for a source instance.
+    pub fn compute(&self, instance: &Instance) -> Result<nfd_model::Value, CoreError> {
+        let mut v = instance
+            .relation_value(self.source)
+            .map_err(model_err)?
+            .clone();
+        for op in &self.ops {
+            v = match op {
+                ViewOp::Unnest { attr } => unnest(&v, *attr).map_err(model_err)?,
+                ViewOp::Nest { attr, grouped } => {
+                    nest(&v, *attr, grouped).map_err(model_err)?
+                }
+            };
+        }
+        Ok(v)
+    }
+
+    /// Materializes the view: an instance of [`View::extend_schema`]
+    /// holding the source relations plus the computed view.
+    pub fn materialize(
+        &self,
+        schema: &Schema,
+        instance: &Instance,
+    ) -> Result<(Schema, Instance), CoreError> {
+        let extended = self.extend_schema(schema)?;
+        let mut rels: Vec<(Label, nfd_model::Value)> = instance.relations().to_vec();
+        rels.push((self.name, self.compute(instance)?));
+        let inst = Instance::new(&extended, rels).map_err(model_err)?;
+        Ok((extended, inst))
+    }
+}
+
+fn model_err(e: ModelError) -> CoreError {
+    CoreError::Nav(e.to_string())
+}
+
+/// Outcome of a randomized view-dependency refutation.
+#[derive(Debug)]
+pub enum Refutation {
+    /// A source instance satisfying Σ whose view violates the candidate:
+    /// the dependency is **not** carried into the view.
+    Refuted(Instance),
+    /// No counterexample among the sampled Σ-satisfying instances. (Not a
+    /// proof — carrying view dependencies soundly is the paper's future
+    /// work — but `tried` successful samples of evidence.)
+    Unrefuted {
+        /// Number of Σ-satisfying instances examined.
+        tried: usize,
+    },
+}
+
+/// Randomized refutation: does some source instance satisfying `sigma`
+/// yield a view violating `view_nfd`? Samples `trials` random instances
+/// (deterministic in `seed`), keeping those that satisfy Σ.
+///
+/// `view_nfd` must be over the view's relation name in the extended
+/// schema.
+pub fn refute_view_dependency(
+    schema: &Schema,
+    sigma: &[Nfd],
+    view: &View,
+    view_nfd: &Nfd,
+    trials: usize,
+    seed: u64,
+) -> Result<Refutation, CoreError> {
+    let extended = view.extend_schema(schema)?;
+    view_nfd.validate(&extended)?;
+    let mut tried = 0usize;
+    for k in 0..trials {
+        let mut g = Generator::new(
+            seed.wrapping_add(k as u64),
+            GenConfig {
+                min_set: 0,
+                max_set: 3,
+                empty_prob: 0.15,
+                domain: 3,
+            },
+        );
+        let source = g.instance(schema);
+        if !satisfy::satisfies_all(schema, &source, sigma)? {
+            continue;
+        }
+        tried += 1;
+        let (ext_schema, materialized) = view.materialize(schema, &source)?;
+        if !satisfy::check(&ext_schema, &materialized, view_nfd)?.holds {
+            return Ok(Refutation::Refuted(source));
+        }
+    }
+    Ok(Refutation::Unrefuted { tried })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfd::parse_set;
+
+    fn l(s: &str) -> Label {
+        Label::new(s)
+    }
+
+    fn flat_schema() -> Schema {
+        Schema::parse("Enroll : {<sid: int, cnum: int, grade: int>};").unwrap()
+    }
+
+    #[test]
+    fn view_schema_and_contents() {
+        let schema = flat_schema();
+        // Group each student's courses: ν_{courses=(cnum, grade)}.
+        let view = View::new(
+            l("ByStudent"),
+            l("Enroll"),
+            vec![ViewOp::Nest {
+                attr: l("courses"),
+                grouped: vec![l("cnum"), l("grade")],
+            }],
+        );
+        let ty = view.output_type(&schema).unwrap();
+        assert_eq!(ty.to_string(), "{<sid: int, courses: {<cnum: int, grade: int>}>}");
+
+        let inst = Instance::parse(
+            &schema,
+            "Enroll = {<sid: 1, cnum: 10, grade: 3>,
+                       <sid: 1, cnum: 11, grade: 4>,
+                       <sid: 2, cnum: 10, grade: 5>};",
+        )
+        .unwrap();
+        let (ext, mat) = view.materialize(&schema, &inst).unwrap();
+        assert!(ext.has_relation(l("ByStudent")));
+        let by_student = mat.relation(l("ByStudent")).unwrap();
+        assert_eq!(by_student.len(), 2);
+    }
+
+    /// Fischer et al.: an FD among the ungrouped attributes survives
+    /// nesting; an FD whose RHS is grouped turns into a *local* NFD on
+    /// the view.
+    #[test]
+    fn fd_preservation_under_nest() {
+        let schema = Schema::parse("Enroll : {<sid: int, dept: int, cnum: int, grade: int>};")
+            .unwrap();
+        // Source constraints: sid → dept, and (sid, cnum) → grade.
+        let sigma = parse_set(&schema, "Enroll:[sid -> dept]; Enroll:[sid, cnum -> grade];")
+            .unwrap();
+        let view = View::new(
+            l("ByStudent"),
+            l("Enroll"),
+            vec![ViewOp::Nest {
+                attr: l("courses"),
+                grouped: vec![l("cnum"), l("grade")],
+            }],
+        );
+        // Carried: sid → dept among ungrouped attributes.
+        let ext = view.extend_schema(&schema).unwrap();
+        let carried = Nfd::parse(&ext, "ByStudent:[sid -> dept]").unwrap();
+        match refute_view_dependency(&schema, &sigma, &view, &carried, 400, 1).unwrap() {
+            Refutation::Unrefuted { tried } => assert!(tried > 30, "only {tried} samples"),
+            Refutation::Refuted(w) => panic!("sid → dept must be carried; witness {w}"),
+        }
+        // Carried as a LOCAL dependency: within one student's course set,
+        // cnum determines grade.
+        let local = Nfd::parse(&ext, "ByStudent:courses:[cnum -> grade]").unwrap();
+        match refute_view_dependency(&schema, &sigma, &view, &local, 400, 2).unwrap() {
+            Refutation::Unrefuted { tried } => assert!(tried > 30, "only {tried} samples"),
+            Refutation::Refuted(w) => panic!("(sid,cnum) → grade must carry locally; {w}"),
+        }
+        // NOT carried globally: cnum does not determine grade across
+        // students.
+        let global = Nfd::parse(&ext, "ByStudent:[courses:cnum -> courses:grade]").unwrap();
+        match refute_view_dependency(&schema, &sigma, &view, &global, 400, 3).unwrap() {
+            Refutation::Refuted(_) => {}
+            Refutation::Unrefuted { tried } => {
+                panic!("expected a refutation of the global form after {tried} samples")
+            }
+        }
+    }
+
+    /// Unnest destroys key constraints in the classical way: cnum is a
+    /// key of Course, but after unnesting students it repeats per
+    /// student; the *other* FDs survive.
+    #[test]
+    fn fd_preservation_under_unnest() {
+        let schema = Schema::parse(
+            "Course : {<cnum: int, time: int, students: {<sid: int, grade: int>}>};",
+        )
+        .unwrap();
+        let sigma = parse_set(
+            &schema,
+            "Course:[cnum -> time]; Course:[cnum -> students];
+             Course:students:[sid -> grade];",
+        )
+        .unwrap();
+        let view = View::new(l("Flat"), l("Course"), vec![ViewOp::Unnest { attr: l("students") }]);
+        let ext = view.extend_schema(&schema).unwrap();
+        assert_eq!(
+            view.output_type(&schema).unwrap().to_string(),
+            "{<cnum: int, time: int, sid: int, grade: int>}"
+        );
+        // Carried: cnum → time (ungrouped attributes).
+        let carried = Nfd::parse(&ext, "Flat:[cnum -> time]").unwrap();
+        match refute_view_dependency(&schema, &sigma, &view, &carried, 400, 4).unwrap() {
+            Refutation::Unrefuted { tried } => assert!(tried > 30),
+            Refutation::Refuted(w) => panic!("cnum → time must be carried; witness {w}"),
+        }
+        // Carried: the local sid → grade becomes (cnum, sid) → grade.
+        let pair_key = Nfd::parse(&ext, "Flat:[cnum, sid -> grade]").unwrap();
+        match refute_view_dependency(&schema, &sigma, &view, &pair_key, 400, 5).unwrap() {
+            Refutation::Unrefuted { tried } => assert!(tried > 30),
+            Refutation::Refuted(w) => panic!("(cnum,sid) → grade must be carried; witness {w}"),
+        }
+        // NOT carried: sid alone does not determine grade on the view.
+        let alone = Nfd::parse(&ext, "Flat:[sid -> grade]").unwrap();
+        assert!(matches!(
+            refute_view_dependency(&schema, &sigma, &view, &alone, 400, 6).unwrap(),
+            Refutation::Refuted(_)
+        ));
+    }
+
+    /// Round-trip pipeline: unnest then re-nest; with empty sets allowed
+    /// the view can differ from the source (tuples with empty sets are
+    /// dropped), mirroring the Section 3.2 phenomena.
+    #[test]
+    fn unnest_nest_pipeline_loses_empty_sets() {
+        let schema =
+            Schema::parse("Course : {<cnum: int, students: {<sid: int>}>};").unwrap();
+        let view = View::new(
+            l("RoundTrip"),
+            l("Course"),
+            vec![
+                ViewOp::Unnest { attr: l("students") },
+                ViewOp::Nest {
+                    attr: l("students"),
+                    grouped: vec![l("sid")],
+                },
+            ],
+        );
+        let with_empty = Instance::parse(
+            &schema,
+            "Course = {<cnum: 1, students: {<sid: 7>}>, <cnum: 2, students: {}>};",
+        )
+        .unwrap();
+        let v = view.compute(&with_empty).unwrap();
+        // cnum 2 vanished.
+        assert_eq!(v.as_set().unwrap().len(), 1);
+        let without_empty = Instance::parse(
+            &schema,
+            "Course = {<cnum: 1, students: {<sid: 7>}>, <cnum: 2, students: {<sid: 8>}>};",
+        )
+        .unwrap();
+        let v = view.compute(&without_empty).unwrap();
+        assert_eq!(
+            v,
+            *without_empty.relation_value(l("Course")).unwrap(),
+            "round trip is the identity without empty sets"
+        );
+    }
+
+    #[test]
+    fn view_errors_propagate() {
+        let schema = flat_schema();
+        let bad = View::new(l("V"), l("Enroll"), vec![ViewOp::Unnest { attr: l("sid") }]);
+        assert!(bad.output_type(&schema).is_err());
+        let unknown_source = View::new(l("V"), l("Nope"), vec![]);
+        assert!(unknown_source.output_type(&schema).is_err());
+        // View name colliding with an attribute label is rejected by the
+        // extended schema's validation.
+        let collide = View::new(l("sid"), l("Enroll"), vec![]);
+        assert!(collide.extend_schema(&schema).is_err());
+    }
+}

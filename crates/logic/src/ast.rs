@@ -1,0 +1,197 @@
+//! A first-order fragment sufficient for NFD semantics: universal
+//! quantification over set values, implication, conjunction, and equality of
+//! projection terms.
+
+use nfd_model::Label;
+use std::fmt;
+
+/// A quantified variable. Identified by `id`; `name` is only for display
+/// (the paper writes `c1, s1, s2, …`).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Var {
+    /// Unique index within a formula; the evaluator's environment is a
+    /// dense vector over these.
+    pub id: usize,
+    /// Display name, e.g. `students_1`.
+    pub name: String,
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// A reference to a set value: either a relation of the instance or the
+/// projection `v.A` of a bound variable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SetRef {
+    /// A relation `R` of the instance.
+    Relation(Label),
+    /// The set-valued field `A` of the record bound to a variable.
+    Proj(usize, String, Label),
+}
+
+impl fmt::Display for SetRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetRef::Relation(r) => write!(f, "{r}"),
+            SetRef::Proj(_, name, label) => write!(f, "{name}.{label}"),
+        }
+    }
+}
+
+/// A term: the projection `v.A` of a bound variable (the paper's
+/// `parent(A).A`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Term {
+    /// Variable id.
+    pub var: usize,
+    /// Variable display name.
+    pub var_name: String,
+    /// Projected label.
+    pub label: Label,
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.var_name, self.label)
+    }
+}
+
+/// A formula of the fragment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Formula {
+    /// `∀ v ∈ S. φ` — vacuously true when `S` is empty, which is exactly
+    /// the Section 3.2 phenomenon.
+    Forall(Var, SetRef, Box<Formula>),
+    /// `φ → ψ`.
+    Implies(Box<Formula>, Box<Formula>),
+    /// `φ1 ∧ … ∧ φn` (empty conjunction is `true`, as in the paper's
+    /// `(true ∧ …)` antecedent).
+    And(Vec<Formula>),
+    /// `t1 = t2`.
+    Eq(Term, Term),
+    /// `true`.
+    True,
+}
+
+impl Formula {
+    /// Number of universal quantifiers in prefix position (the paper counts
+    /// these: one per interior base label, two per doubled label).
+    pub fn quantifier_count(&self) -> usize {
+        match self {
+            Formula::Forall(_, _, body) => 1 + body.quantifier_count(),
+            _ => 0,
+        }
+    }
+
+    /// The body under all leading quantifiers.
+    pub fn matrix(&self) -> &Formula {
+        match self {
+            Formula::Forall(_, _, body) => body.matrix(),
+            other => other,
+        }
+    }
+
+    /// The quantifier prefix as `(variable, range)` pairs.
+    pub fn quantifier_prefix(&self) -> Vec<(&Var, &SetRef)> {
+        let mut out = Vec::new();
+        let mut cur = self;
+        while let Formula::Forall(v, s, body) = cur {
+            out.push((v, s));
+            cur = body;
+        }
+        out
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::Forall(v, s, body) => {
+                write!(f, "∀{v} ∈ {s}. {body}")
+            }
+            Formula::Implies(a, b) => write!(f, "({a} → {b})"),
+            Formula::And(cs) => {
+                if cs.is_empty() {
+                    return f.write_str("true");
+                }
+                if cs.len() == 1 {
+                    return write!(f, "{}", cs[0]);
+                }
+                for (i, c) in cs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" ∧ ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                Ok(())
+            }
+            Formula::Eq(a, b) => write!(f, "{a} = {b}"),
+            Formula::True => f.write_str("true"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(id: usize, name: &str) -> Var {
+        Var {
+            id,
+            name: name.into(),
+        }
+    }
+
+    fn term(id: usize, name: &str, label: &str) -> Term {
+        Term {
+            var: id,
+            var_name: name.into(),
+            label: Label::new(label),
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        // ∀s1 ∈ c.students. ∀s2 ∈ c.students. (s1.sid = s2.sid → s1.grade = s2.grade)
+        let f = Formula::Forall(
+            var(0, "s1"),
+            SetRef::Proj(9, "c".into(), Label::new("students")),
+            Box::new(Formula::Forall(
+                var(1, "s2"),
+                SetRef::Proj(9, "c".into(), Label::new("students")),
+                Box::new(Formula::Implies(
+                    Box::new(Formula::And(vec![Formula::Eq(
+                        term(0, "s1", "sid"),
+                        term(1, "s2", "sid"),
+                    )])),
+                    Box::new(Formula::Eq(
+                        term(0, "s1", "grade"),
+                        term(1, "s2", "grade"),
+                    )),
+                )),
+            )),
+        );
+        assert_eq!(
+            f.to_string(),
+            "∀s1 ∈ c.students. ∀s2 ∈ c.students. (s1.sid = s2.sid → s1.grade = s2.grade)"
+        );
+        assert_eq!(f.quantifier_count(), 2);
+        assert!(matches!(f.matrix(), Formula::Implies(_, _)));
+        assert_eq!(f.quantifier_prefix().len(), 2);
+    }
+
+    #[test]
+    fn empty_conjunction_is_true() {
+        assert_eq!(Formula::And(vec![]).to_string(), "true");
+        assert_eq!(Formula::True.to_string(), "true");
+    }
+
+    #[test]
+    fn relation_set_ref_displays_bare() {
+        let s = SetRef::Relation(Label::new("Course"));
+        assert_eq!(s.to_string(), "Course");
+    }
+}

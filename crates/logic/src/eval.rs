@@ -1,0 +1,261 @@
+//! Evaluation of formulas over database instances.
+//!
+//! This is the second, independent satisfaction checker: an NFD holds on an
+//! instance iff its Section 2.2 translation evaluates to `true`. Universal
+//! quantification over an empty set is vacuously `true` — which is how the
+//! paper's "trivially true" clause (Definition 2.4) and all the Section 3.2
+//! empty-set pathologies surface in this semantics.
+
+use crate::ast::{Formula, SetRef, Term};
+use nfd_model::{Instance, Value};
+use std::fmt;
+
+/// Errors raised during evaluation. These indicate a formula/instance
+/// mismatch (e.g. a formula translated against a different schema), never a
+/// mere "dependency violated".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// Variable used before being bound by a quantifier.
+    UnboundVar(String),
+    /// A quantifier range did not evaluate to a set.
+    NotASet(String),
+    /// A projection was applied to a non-record value.
+    NotARecord(String),
+    /// A record value lacks the projected field.
+    MissingField(String),
+    /// The instance has no such relation.
+    UnknownRelation(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundVar(v) => write!(f, "unbound variable `{v}`"),
+            EvalError::NotASet(s) => write!(f, "range `{s}` is not a set"),
+            EvalError::NotARecord(t) => write!(f, "`{t}` projects from a non-record"),
+            EvalError::MissingField(t) => write!(f, "`{t}` projects a missing field"),
+            EvalError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Evaluates `formula` over `instance`.
+pub fn eval(instance: &Instance, formula: &Formula) -> Result<bool, EvalError> {
+    let mut env: Vec<Option<Value>> = Vec::new();
+    eval_with(instance, formula, &mut env)
+}
+
+fn eval_with(
+    instance: &Instance,
+    formula: &Formula,
+    env: &mut Vec<Option<Value>>,
+) -> Result<bool, EvalError> {
+    match formula {
+        Formula::True => Ok(true),
+        Formula::And(cs) => {
+            for c in cs {
+                if !eval_with(instance, c, env)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Formula::Implies(a, b) => {
+            if eval_with(instance, a, env)? {
+                eval_with(instance, b, env)
+            } else {
+                Ok(true)
+            }
+        }
+        Formula::Eq(t1, t2) => Ok(resolve_term(t1, env)? == resolve_term(t2, env)?),
+        Formula::Forall(var, range, body) => {
+            let set = resolve_set(instance, range, env)?.clone();
+            if env.len() <= var.id {
+                env.resize(var.id + 1, None);
+            }
+            for elem in set.elems() {
+                env[var.id] = Some(elem.clone());
+                let ok = eval_with(instance, body, env)?;
+                env[var.id] = None;
+                if !ok {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+    }
+}
+
+fn resolve_set<'a>(
+    instance: &'a Instance,
+    range: &SetRef,
+    env: &'a [Option<Value>],
+) -> Result<&'a nfd_model::SetValue, EvalError> {
+    match range {
+        SetRef::Relation(r) => instance
+            .relation(*r)
+            .map_err(|_| EvalError::UnknownRelation(r.to_string())),
+        SetRef::Proj(var, name, label) => {
+            let bound = env
+                .get(*var)
+                .and_then(Option::as_ref)
+                .ok_or_else(|| EvalError::UnboundVar(name.clone()))?;
+            let rec = bound
+                .as_record()
+                .ok_or_else(|| EvalError::NotARecord(format!("{name}.{label}")))?;
+            let v = rec
+                .get(*label)
+                .ok_or_else(|| EvalError::MissingField(format!("{name}.{label}")))?;
+            v.as_set()
+                .ok_or_else(|| EvalError::NotASet(format!("{name}.{label}")))
+        }
+    }
+}
+
+fn resolve_term<'a>(term: &Term, env: &'a [Option<Value>]) -> Result<&'a Value, EvalError> {
+    let bound = env
+        .get(term.var)
+        .and_then(Option::as_ref)
+        .ok_or_else(|| EvalError::UnboundVar(term.var_name.clone()))?;
+    let rec = bound
+        .as_record()
+        .ok_or_else(|| EvalError::NotARecord(term.to_string()))?;
+    rec.get(term.label)
+        .ok_or_else(|| EvalError::MissingField(term.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::translate::translate_nfd;
+    use nfd_model::Schema;
+    use nfd_path::{Path, RootedPath};
+
+    fn p(s: &str) -> Path {
+        Path::parse(s).unwrap()
+    }
+
+    fn rp(s: &str) -> RootedPath {
+        RootedPath::parse(s).unwrap()
+    }
+
+    fn course_setup() -> (Schema, Instance) {
+        let schema = Schema::parse(
+            "Course : { <cnum: string, time: int,
+                         students: {<sid: int, grade: string>}> };",
+        )
+        .unwrap();
+        // The Section 2 instance of the paper.
+        let inst = Instance::parse(
+            &schema,
+            r#"Course = { <cnum: "cis550", time: 10,
+                           students: {<sid: 1001, grade: "A">,
+                                      <sid: 2002, grade: "B">}>,
+                          <cnum: "cis500", time: 12,
+                           students: {<sid: 1001, grade: "A">}> };"#,
+        )
+        .unwrap();
+        (schema, inst)
+    }
+
+    #[test]
+    fn section2_instance_satisfies_local_grade_dependency() {
+        let (s, i) = course_setup();
+        let f = translate_nfd(&s, &rp("Course:students"), &[p("sid")], &p("grade")).unwrap();
+        assert_eq!(eval(&i, &f), Ok(true));
+    }
+
+    #[test]
+    fn cnum_key_holds_on_section2_instance() {
+        let (s, i) = course_setup();
+        let f = translate_nfd(&s, &rp("Course"), &[p("cnum")], &p("time")).unwrap();
+        assert_eq!(eval(&i, &f), Ok(true));
+        let f = translate_nfd(&s, &rp("Course"), &[p("cnum")], &p("students")).unwrap();
+        assert_eq!(eval(&i, &f), Ok(true));
+    }
+
+    #[test]
+    fn violated_dependency_detected() {
+        let (s, i) = course_setup();
+        // Two students share grade "A" with different sids, so
+        // students:grade → students:sid is violated…
+        let inst2 = Instance::parse(
+            &s,
+            r#"Course = { <cnum: "cis550", time: 10,
+                           students: {<sid: 1001, grade: "A">,
+                                      <sid: 2002, grade: "A">}> };"#,
+        )
+        .unwrap();
+        let f = translate_nfd(
+            &s,
+            &rp("Course"),
+            &[p("students:grade")],
+            &p("students:sid"),
+        )
+        .unwrap();
+        assert_eq!(eval(&inst2, &f), Ok(false));
+        // …while the Section 2 instance satisfies sid → grade globally.
+        let g = translate_nfd(
+            &s,
+            &rp("Course"),
+            &[p("students:sid")],
+            &p("students:grade"),
+        )
+        .unwrap();
+        assert_eq!(eval(&i, &g), Ok(true));
+    }
+
+    #[test]
+    fn empty_set_makes_quantifier_vacuous() {
+        let schema = Schema::parse("R : {<A: int, B: {<C: int>}>};").unwrap();
+        let inst = Instance::parse(&schema, "R = { <A: 1, B: {}>, <A: 1, B: {}> };").unwrap();
+        // B:C → A would be violated if B had elements with equal C but the
+        // two A values differed; with B empty it is vacuously true — even
+        // though A is "determined" by nothing.
+        let inst2 = Instance::parse(&schema, "R = { <A: 1, B: {}>, <A: 2, B: {}> };").unwrap();
+        let f = translate_nfd(
+            &schema,
+            &RootedPath::parse("R").unwrap(),
+            &[p("B:C")],
+            &p("A"),
+        )
+        .unwrap();
+        assert_eq!(eval(&inst, &f), Ok(true));
+        assert_eq!(eval(&inst2, &f), Ok(true), "vacuous despite differing A");
+    }
+
+    #[test]
+    fn empty_relation_satisfies_everything() {
+        let schema = Schema::parse("R : {<A: int, B: {<C: int>}>};").unwrap();
+        let inst = Instance::parse(&schema, "R = {};").unwrap();
+        let f = translate_nfd(
+            &schema,
+            &RootedPath::parse("R").unwrap(),
+            &[p("A")],
+            &p("B"),
+        )
+        .unwrap();
+        assert_eq!(eval(&inst, &f), Ok(true));
+    }
+
+    #[test]
+    fn degenerate_constant_nfd() {
+        let schema = Schema::parse("R : {<A: int>};").unwrap();
+        let konst = Instance::parse(&schema, "R = { <A: 1>, <A: 1> };").unwrap();
+        let varying = Instance::parse(&schema, "R = { <A: 1>, <A: 2> };").unwrap();
+        let f = translate_nfd(&schema, &RootedPath::parse("R").unwrap(), &[], &p("A")).unwrap();
+        assert_eq!(eval(&konst, &f), Ok(true));
+        assert_eq!(eval(&varying, &f), Ok(false));
+    }
+
+    #[test]
+    fn eval_errors_on_schema_mismatch() {
+        let schema = Schema::parse("R : {<A: int>};").unwrap();
+        let other = Schema::parse("S : {<B: int>};").unwrap();
+        let inst = Instance::parse(&other, "S = {<B: 1>};").unwrap();
+        let f = translate_nfd(&schema, &RootedPath::parse("R").unwrap(), &[], &p("A")).unwrap();
+        assert!(matches!(eval(&inst, &f), Err(EvalError::UnknownRelation(_))));
+    }
+}

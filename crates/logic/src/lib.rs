@@ -1,0 +1,51 @@
+//! # nfd-logic — NFDs expressed in logic
+//!
+//! Section 2.2 of *"Reasoning about Nested Functional Dependencies"* (Hara &
+//! Davidson, PODS 1999) gives a "precise translation of NFDs to logic":
+//! every NFD `x0:[x1,…,xm-1 → xm]` denotes a universally quantified
+//! implication between conjunctions of equalities, with
+//!
+//! * **one** quantified variable per interior label of the base path `x0`,
+//! * **two** quantified variables (the ¹/² copies) for the last label of
+//!   `x0` and for every label of `x1…xm` that has a descendant in some
+//!   path, and
+//! * shared variables for shared path prefixes — the *coincidence*
+//!   condition of Definition 2.4.
+//!
+//! This crate provides:
+//!
+//! * [`ast`] — a small first-order fragment: `∀v ∈ S. φ`, implication,
+//!   conjunction, equality of projection terms;
+//! * [`translate`] — the `var`/`parent` construction of Section 2.2;
+//! * [`eval()`] — a formula evaluator over instances. Together with the
+//!   direct checker in `nfd-core`, this gives two independently derived
+//!   satisfaction procedures whose agreement is property-tested.
+//!
+//! ```
+//! use nfd_model::Schema;
+//! use nfd_path::{Path, RootedPath};
+//! use nfd_logic::translate::translate_nfd;
+//!
+//! let schema = Schema::parse(
+//!     "Course : { <cnum: string, time: int,
+//!                  students: {<sid: int, age: int, grade: string>}> };").unwrap();
+//! let f = translate_nfd(
+//!     &schema,
+//!     &RootedPath::parse("Course").unwrap(),
+//!     &[Path::parse("students:sid").unwrap()],
+//!     &Path::parse("students:age").unwrap(),
+//! ).unwrap();
+//! let shown = f.to_string();
+//! assert!(shown.contains("∀"));
+//! assert!(shown.contains("sid"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod eval;
+pub mod translate;
+
+pub use ast::{Formula, SetRef, Term, Var};
+pub use eval::{eval, EvalError};
+pub use translate::{translate_nfd, TranslateError};

@@ -1,0 +1,420 @@
+//! The Section 2.2 translation of NFDs to logic.
+//!
+//! Given `f = x0:[x1,…,xm-1 → xm]` with `x0 = A⁰1:…:A⁰k0` and `A⁰1 = R`,
+//! the paper's `var`/`parent` construction quantifies
+//!
+//! * one variable per *interior* base label `A⁰1 … A⁰k0-1`,
+//! * a ¹/² pair for the last base label `A⁰k0` (both drawn from the *same*
+//!   set — the shared interior navigation), and
+//! * a ¹/² pair for every label of `x1…xm` that has a descendant in some
+//!   path (the paper's `A*` labels).
+//!
+//! The body is `(true ∧ eq(x1) ∧ … ∧ eq(xm-1)) → eq(xm)` where `eq(xi)`
+//! equates the projections `parent(Aⁱki)¹.Aⁱki = parent(Aⁱki)².Aⁱki`.
+//!
+//! Because the paper assumes no repeated labels, keying variables by label
+//! is equivalent to keying them by path prefix; this implementation keys by
+//! prefix (via a [`PathTrie`]), which realizes the same sharing and stays
+//! correct even if label uniqueness were relaxed.
+
+use crate::ast::{Formula, SetRef, Term, Var};
+use nfd_model::{Label, Schema};
+use nfd_path::typing::{base_element_record, resolve_in_record, PathTypeError};
+use nfd_path::{Path, PathTrie, RootedPath};
+use std::fmt;
+
+/// Errors raised by the translation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TranslateError {
+    /// A component path is `ε` (Definition 2.3 requires `ki ≥ 1`).
+    EmptyComponentPath,
+    /// A path failed to type-check against the schema.
+    Type(PathTypeError),
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::EmptyComponentPath => {
+                f.write_str("NFD component paths must have at least one label")
+            }
+            TranslateError::Type(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+impl From<PathTypeError> for TranslateError {
+    fn from(e: PathTypeError) -> Self {
+        TranslateError::Type(e)
+    }
+}
+
+/// Allocates variables and remembers the ¹/² pair for each traversed
+/// prefix.
+struct VarAlloc {
+    next: usize,
+    quantifiers: Vec<(Var, SetRef)>,
+}
+
+impl VarAlloc {
+    fn new() -> VarAlloc {
+        VarAlloc {
+            next: 0,
+            quantifiers: Vec::new(),
+        }
+    }
+
+    fn fresh(&mut self, name: String, range: SetRef) -> usize {
+        let id = self.next;
+        self.next += 1;
+        self.quantifiers.push((Var { id, name }, range));
+        id
+    }
+}
+
+/// A variable copy: id and display name (for building projection terms).
+#[derive(Clone)]
+struct Copy {
+    id: usize,
+    name: String,
+}
+
+fn display_name(label: Label) -> String {
+    label.as_str().to_lowercase()
+}
+
+/// Translates an NFD (given by its base path, LHS paths and RHS path) into
+/// the Section 2.2 formula. The NFD must be well-typed: the base resolves
+/// to a set of records and every component path resolves inside its element
+/// record.
+pub fn translate_nfd(
+    schema: &Schema,
+    base: &RootedPath,
+    lhs: &[Path],
+    rhs: &Path,
+) -> Result<Formula, TranslateError> {
+    let elem_rec = base_element_record(schema, base)?;
+    for p in lhs.iter().chain(std::iter::once(rhs)) {
+        if p.is_empty() {
+            return Err(TranslateError::EmptyComponentPath);
+        }
+        resolve_in_record(elem_rec, p)?;
+    }
+
+    let mut alloc = VarAlloc::new();
+
+    // ---- Base path: interior chain with single variables. --------------
+    // x0 labels are [R, y1, …, yk]; quantify R, y1, …, y(k-1) singly, then
+    // the ¹/² pair over the last label's set.
+    let rel = base.relation;
+    let inner = base.path.labels();
+    let (pair1, pair2);
+    if inner.is_empty() {
+        // x0 = R: the pair is drawn from the relation itself.
+        let n = display_name(rel);
+        let id1 = alloc.fresh(format!("{n}1"), SetRef::Relation(rel));
+        let id2 = alloc.fresh(format!("{n}2"), SetRef::Relation(rel));
+        pair1 = Copy {
+            id: id1,
+            name: format!("{n}1"),
+        };
+        pair2 = Copy {
+            id: id2,
+            name: format!("{n}2"),
+        };
+    } else {
+        let rn = display_name(rel);
+        let mut parent_id = alloc.fresh(rn.clone(), SetRef::Relation(rel));
+        let mut parent_name = rn;
+        for &label in &inner[..inner.len() - 1] {
+            let n = display_name(label);
+            let id = alloc.fresh(n.clone(), SetRef::Proj(parent_id, parent_name.clone(), label));
+            parent_id = id;
+            parent_name = n;
+        }
+        let last = inner[inner.len() - 1];
+        let n = display_name(last);
+        let id1 = alloc.fresh(
+            format!("{n}1"),
+            SetRef::Proj(parent_id, parent_name.clone(), last),
+        );
+        let id2 = alloc.fresh(
+            format!("{n}2"),
+            SetRef::Proj(parent_id, parent_name.clone(), last),
+        );
+        pair1 = Copy {
+            id: id1,
+            name: format!("{n}1"),
+        };
+        pair2 = Copy {
+            id: id2,
+            name: format!("{n}2"),
+        };
+    }
+
+    // ---- Component paths: one ¹/² pair per internal trie node. ---------
+    let mut component_paths: Vec<Path> = lhs.to_vec();
+    component_paths.push(rhs.clone());
+    let trie = PathTrie::new(component_paths.iter().cloned());
+
+    // pairs[i] = the (copy1, copy2) for trie prefix i; prefix_of[path] maps
+    // each traversed prefix to its pair. We walk the trie in preorder.
+    struct NodePairs {
+        prefix: Path,
+        c1: Copy,
+        c2: Copy,
+    }
+    let mut node_pairs: Vec<NodePairs> = Vec::new();
+    {
+        // Preorder over internal nodes; parent pair is the base pair for
+        // roots, or the enclosing internal node's pair.
+        fn walk(
+            nodes: &[nfd_path::trie::TrieNode],
+            prefix: &Path,
+            parent: (&Copy, &Copy),
+            alloc: &mut VarAlloc,
+            out: &mut Vec<NodePairs>,
+        ) {
+            for node in nodes {
+                if node.children.is_empty() {
+                    continue;
+                }
+                let p = prefix.child(node.label);
+                let n = display_name(node.label);
+                let name1 = format!("{n}1");
+                let name2 = format!("{n}2");
+                let id1 = alloc.fresh(
+                    name1.clone(),
+                    SetRef::Proj(parent.0.id, parent.0.name.clone(), node.label),
+                );
+                let id2 = alloc.fresh(
+                    name2.clone(),
+                    SetRef::Proj(parent.1.id, parent.1.name.clone(), node.label),
+                );
+                let c1 = Copy {
+                    id: id1,
+                    name: name1,
+                };
+                let c2 = Copy {
+                    id: id2,
+                    name: name2,
+                };
+                out.push(NodePairs {
+                    prefix: p.clone(),
+                    c1: c1.clone(),
+                    c2: c2.clone(),
+                });
+                walk(&node.children, &p, (&c1, &c2), alloc, out);
+            }
+        }
+        walk(
+            trie.roots(),
+            &Path::empty(),
+            (&pair1, &pair2),
+            &mut alloc,
+            &mut node_pairs,
+        );
+    }
+
+    let pair_for = |prefix: &Path| -> (&Copy, &Copy) {
+        if prefix.is_empty() {
+            (&pair1, &pair2)
+        } else {
+            let np = node_pairs
+                .iter()
+                .find(|np| &np.prefix == prefix)
+                .expect("every traversed prefix has a pair");
+            (&np.c1, &np.c2)
+        }
+    };
+
+    let eq_of = |path: &Path| -> Formula {
+        let parent_prefix = path.parent().expect("component paths are non-empty");
+        let last = path.last().expect("component paths are non-empty");
+        let (p1, p2) = pair_for(&parent_prefix);
+        Formula::Eq(
+            Term {
+                var: p1.id,
+                var_name: p1.name.clone(),
+                label: last,
+            },
+            Term {
+                var: p2.id,
+                var_name: p2.name.clone(),
+                label: last,
+            },
+        )
+    };
+
+    let antecedent = Formula::And(lhs.iter().map(&eq_of).collect());
+    let consequent = eq_of(rhs);
+    let mut body = Formula::Implies(Box::new(antecedent), Box::new(consequent));
+
+    for (var, range) in alloc.quantifiers.into_iter().rev() {
+        body = Formula::Forall(var, range, Box::new(body));
+    }
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::parse(
+            "Course : { <cnum: string, time: int,
+                         students: {<sid: int, age: int, grade: string>},
+                         books: {<isbn: string, title: string>}> };",
+        )
+        .unwrap()
+    }
+
+    fn p(s: &str) -> Path {
+        Path::parse(s).unwrap()
+    }
+
+    fn rp(s: &str) -> RootedPath {
+        RootedPath::parse(s).unwrap()
+    }
+
+    /// Example 2.2's translation: Course:[books:isbn → books:title] has
+    /// exactly four quantifiers (two course copies, two book copies) even
+    /// though `books` occurs twice in the dependency.
+    #[test]
+    fn example_2_2_variable_count() {
+        let s = schema();
+        let f = translate_nfd(&s, &rp("Course"), &[p("books:isbn")], &p("books:title")).unwrap();
+        assert_eq!(f.quantifier_count(), 4);
+        assert_eq!(
+            f.to_string(),
+            "∀course1 ∈ Course. ∀course2 ∈ Course. \
+             ∀books1 ∈ course1.books. ∀books2 ∈ course2.books. \
+             (books1.isbn = books2.isbn → books1.title = books2.title)"
+        );
+    }
+
+    /// Example 2.3's translation: Course:students:[sid → grade] has one
+    /// shared course variable and two student copies.
+    #[test]
+    fn example_2_3_local_dependency() {
+        let s = schema();
+        let f = translate_nfd(&s, &rp("Course:students"), &[p("sid")], &p("grade")).unwrap();
+        assert_eq!(f.quantifier_count(), 3);
+        assert_eq!(
+            f.to_string(),
+            "∀course ∈ Course. \
+             ∀students1 ∈ course.students. ∀students2 ∈ course.students. \
+             (students1.sid = students2.sid → students1.grade = students2.grade)"
+        );
+    }
+
+    /// Example 2.4: the global age dependency shares the structure of 2.2.
+    #[test]
+    fn example_2_4_global_dependency() {
+        let s = schema();
+        let f = translate_nfd(
+            &s,
+            &rp("Course"),
+            &[p("students:sid")],
+            &p("students:age"),
+        )
+        .unwrap();
+        assert_eq!(f.quantifier_count(), 4);
+        let prefix = f.quantifier_prefix();
+        // Ranges: Course, Course, course1.students, course2.students.
+        assert_eq!(prefix[0].1.to_string(), "Course");
+        assert_eq!(prefix[1].1.to_string(), "Course");
+        assert_eq!(prefix[2].1.to_string(), "course1.students");
+        assert_eq!(prefix[3].1.to_string(), "course2.students");
+    }
+
+    /// Degenerate NFD x0:[∅ → xm]: antecedent is the empty conjunction.
+    #[test]
+    fn degenerate_constant_dependency() {
+        let s = schema();
+        let f = translate_nfd(&s, &rp("Course"), &[], &p("time")).unwrap();
+        assert!(f
+            .to_string()
+            .ends_with("(true → course1.time = course2.time)"));
+    }
+
+    /// Multiple LHS paths under a shared prefix use one variable pair.
+    #[test]
+    fn shared_prefix_shares_variables() {
+        let s = schema();
+        let f = translate_nfd(
+            &s,
+            &rp("Course"),
+            &[p("students:sid"), p("students:grade")],
+            &p("students:age"),
+        )
+        .unwrap();
+        // 2 course + 2 students copies = 4, despite three component paths.
+        assert_eq!(f.quantifier_count(), 4);
+    }
+
+    /// A set-valued component that is also traversed (X = {A, A:B}) uses a
+    /// projection for the set comparison and a pair for the traversal.
+    #[test]
+    fn set_compared_and_traversed() {
+        let s = Schema::parse("R : {<A: {<B: int, C: int>}>};").unwrap();
+        let f = translate_nfd(
+            &s,
+            &RootedPath::parse("R").unwrap(),
+            &[p("A"), p("A:B")],
+            &p("A:C"),
+        )
+        .unwrap();
+        // r1, r2, a1, a2.
+        assert_eq!(f.quantifier_count(), 4);
+        let shown = f.to_string();
+        // The set comparison projects A from the tuple copies…
+        assert!(shown.contains("r1.A = r2.A"));
+        // …while B and C project from the element copies.
+        assert!(shown.contains("a1.B = a2.B"));
+        assert!(shown.contains("a1.C = a2.C"));
+    }
+
+    #[test]
+    fn errors_reported() {
+        let s = schema();
+        assert_eq!(
+            translate_nfd(&s, &rp("Course"), &[Path::empty()], &p("time")).unwrap_err(),
+            TranslateError::EmptyComponentPath
+        );
+        assert!(matches!(
+            translate_nfd(&s, &rp("Course"), &[p("nope")], &p("time")),
+            Err(TranslateError::Type(_))
+        ));
+        assert!(matches!(
+            translate_nfd(&s, &rp("Course:cnum"), &[], &p("time")),
+            Err(TranslateError::Type(PathTypeError::BaseNotSet { .. }))
+        ));
+        assert!(matches!(
+            translate_nfd(&s, &rp("Nope"), &[], &p("time")),
+            Err(TranslateError::Type(PathTypeError::UnknownRelation(_)))
+        ));
+    }
+
+    /// Deep base paths chain single variables.
+    #[test]
+    fn deep_base_path() {
+        let s = Schema::parse("R : {<A: {<B: {<C: int, D: int>}>}>};").unwrap();
+        let f = translate_nfd(
+            &s,
+            &RootedPath::parse("R:A:B").unwrap(),
+            &[p("C")],
+            &p("D"),
+        )
+        .unwrap();
+        // r (single), a (single), b1, b2.
+        assert_eq!(f.quantifier_count(), 4);
+        let prefix = f.quantifier_prefix();
+        assert_eq!(prefix[0].1.to_string(), "R");
+        assert_eq!(prefix[1].1.to_string(), "r.A");
+        assert_eq!(prefix[2].1.to_string(), "a.B");
+        assert_eq!(prefix[3].1.to_string(), "a.B");
+    }
+}

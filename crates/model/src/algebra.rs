@@ -1,0 +1,305 @@
+//! Nest and unnest: the restructuring operations of the nested relational
+//! algebra.
+//!
+//! The paper's related work (Fischer, Saxton, Thomas & Van Gucht [7])
+//! studies how nesting and unnesting preserve or destroy functional
+//! dependencies, and its motivation — materialized views over complex
+//! databases — needs exactly these operations. This module implements
+//! them on schemas and instances:
+//!
+//! * [`unnest`] — `μ_A(R)`: flatten the set-valued attribute `A` of a
+//!   set-of-records value, pairing every element of `A` with its parent's
+//!   remaining fields. Tuples whose `A` is empty disappear (the classical
+//!   information loss that makes unnest lossy on empty sets — the same
+//!   phenomenon Section 3.2 wrestles with).
+//! * [`nest`] — `ν_{A=(B1…Bk)}(R)`: group tuples by the remaining
+//!   attributes and collect the `B1…Bk` projections of each group into a
+//!   new set-valued attribute `A`.
+//!
+//! The classical facts are property-tested in this repository:
+//! `unnest(nest(R)) = R` always, while `nest(unnest(R)) = R` only when no
+//! set is empty — and FD preservation across the operations follows the
+//! patterns of [7].
+
+use crate::error::ModelError;
+use crate::label::Label;
+use crate::types::{Field, RecordType, Type};
+use crate::value::{RecordValue, SetValue, Value};
+
+/// Unnests the set-of-records attribute `attr` of the set-of-records type
+/// `ty`: the attribute's element fields are spliced into the parent
+/// record, in place of `attr`.
+pub fn unnest_type(ty: &Type, attr: Label) -> Result<Type, ModelError> {
+    let rec = ty
+        .element_record()
+        .ok_or_else(|| ModelError::Malformed("unnest requires a set of records".into()))?;
+    let inner_ty = rec
+        .field_type(attr)
+        .ok_or(ModelError::MissingField(attr))?;
+    let inner_rec = inner_ty.element_record().ok_or_else(|| {
+        ModelError::Malformed(format!("attribute `{attr}` is not a set of records"))
+    })?;
+    let mut fields: Vec<Field> = Vec::new();
+    for f in rec.fields() {
+        if f.label == attr {
+            for g in inner_rec.fields() {
+                fields.push(g.clone());
+            }
+        } else {
+            fields.push(f.clone());
+        }
+    }
+    Ok(Type::Set(Box::new(Type::Record(RecordType::new(fields)?))))
+}
+
+/// Unnests attribute `attr` of a set-of-records value (`μ_attr`).
+///
+/// Each tuple is replaced by one tuple per element of its `attr` set;
+/// tuples with an empty `attr` vanish. The result conforms to
+/// [`unnest_type`] of the original type.
+pub fn unnest(value: &Value, attr: Label) -> Result<Value, ModelError> {
+    let set = value
+        .as_set()
+        .ok_or_else(|| ModelError::Malformed("unnest requires a set value".into()))?;
+    let mut out = SetValue::empty();
+    for elem in set.elems() {
+        let rec = elem
+            .as_record()
+            .ok_or_else(|| ModelError::Malformed("unnest requires record elements".into()))?;
+        let inner = rec
+            .get(attr)
+            .ok_or(ModelError::MissingField(attr))?
+            .as_set()
+            .ok_or_else(|| {
+                ModelError::Malformed(format!("attribute `{attr}` is not set-valued"))
+            })?;
+        for inner_elem in inner.elems() {
+            let inner_rec = inner_elem.as_record().ok_or_else(|| {
+                ModelError::Malformed(format!("elements of `{attr}` are not records"))
+            })?;
+            let mut fields: Vec<(Label, Value)> = Vec::new();
+            for (l, v) in rec.fields() {
+                if *l != attr {
+                    fields.push((*l, v.clone()));
+                }
+            }
+            for (l, v) in inner_rec.fields() {
+                fields.push((*l, v.clone()));
+            }
+            out.insert(Value::Record(RecordValue::new(fields)?));
+        }
+    }
+    Ok(Value::Set(out))
+}
+
+/// Nests the attributes `grouped` of the set-of-records type `ty` into a
+/// new set-valued attribute `attr` (`ν_{attr=(grouped)}`). The grouped
+/// fields are removed from the parent record and become the element
+/// record of `attr`, which is appended as the last field.
+pub fn nest_type(ty: &Type, attr: Label, grouped: &[Label]) -> Result<Type, ModelError> {
+    let rec = ty
+        .element_record()
+        .ok_or_else(|| ModelError::Malformed("nest requires a set of records".into()))?;
+    if rec.field_type(attr).is_some() {
+        return Err(ModelError::DuplicateLabel(attr));
+    }
+    let mut kept: Vec<Field> = Vec::new();
+    let mut inner: Vec<Field> = Vec::new();
+    for f in rec.fields() {
+        if grouped.contains(&f.label) {
+            inner.push(f.clone());
+        } else {
+            kept.push(f.clone());
+        }
+    }
+    if inner.len() != grouped.len() {
+        for g in grouped {
+            if rec.field_type(*g).is_none() {
+                return Err(ModelError::MissingField(*g));
+            }
+        }
+    }
+    if inner.is_empty() {
+        return Err(ModelError::Malformed("nest requires at least one grouped attribute".into()));
+    }
+    kept.push(Field {
+        label: attr,
+        ty: Type::Set(Box::new(Type::Record(RecordType::new(inner)?))),
+    });
+    Ok(Type::Set(Box::new(Type::Record(RecordType::new(kept)?))))
+}
+
+/// Nests the attributes `grouped` of a set-of-records value into a new
+/// set-valued attribute `attr` (`ν_{attr=(grouped)}`): tuples agreeing on
+/// all remaining attributes merge into one tuple whose `attr` collects
+/// their grouped projections.
+pub fn nest(value: &Value, attr: Label, grouped: &[Label]) -> Result<Value, ModelError> {
+    let set = value
+        .as_set()
+        .ok_or_else(|| ModelError::Malformed("nest requires a set value".into()))?;
+    // Group by the non-grouped fields, preserving canonical order.
+    let mut groups: Vec<(Vec<(Label, Value)>, SetValue)> = Vec::new();
+    for elem in set.elems() {
+        let rec = elem
+            .as_record()
+            .ok_or_else(|| ModelError::Malformed("nest requires record elements".into()))?;
+        let mut key: Vec<(Label, Value)> = Vec::new();
+        let mut member: Vec<(Label, Value)> = Vec::new();
+        for (l, v) in rec.fields() {
+            if grouped.contains(l) {
+                member.push((*l, v.clone()));
+            } else {
+                key.push((*l, v.clone()));
+            }
+        }
+        if member.len() != grouped.len() {
+            for g in grouped {
+                if rec.get(*g).is_none() {
+                    return Err(ModelError::MissingField(*g));
+                }
+            }
+        }
+        let member = Value::Record(RecordValue::new(member)?);
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, set)) => {
+                set.insert(member);
+            }
+            None => {
+                let mut s = SetValue::empty();
+                s.insert(member);
+                groups.push((key, s));
+            }
+        }
+    }
+    let mut out = SetValue::empty();
+    for (mut key, members) in groups {
+        key.push((attr, Value::Set(members)));
+        out.insert(Value::Record(RecordValue::new(key)?));
+    }
+    Ok(Value::Set(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{parse_type, parse_value};
+
+    fn l(s: &str) -> Label {
+        Label::new(s)
+    }
+
+    #[test]
+    fn unnest_type_splices_fields() {
+        let ty = parse_type("{<a: int, s: {<b: int, c: int>}, d: int>}").unwrap();
+        let flat = unnest_type(&ty, l("s")).unwrap();
+        assert_eq!(
+            flat.to_string(),
+            "{<a: int, b: int, c: int, d: int>}"
+        );
+        assert!(unnest_type(&ty, l("a")).is_err(), "a is not a set of records");
+        assert!(unnest_type(&ty, l("zz")).is_err());
+    }
+
+    #[test]
+    fn nest_type_groups_fields() {
+        let ty = parse_type("{<a: int, b: int, c: int>}").unwrap();
+        let nested = nest_type(&ty, l("s"), &[l("b"), l("c")]).unwrap();
+        assert_eq!(nested.to_string(), "{<a: int, s: {<b: int, c: int>}>}");
+        // attr must be fresh, grouped attrs must exist and be non-empty.
+        assert!(nest_type(&ty, l("a"), &[l("b")]).is_err());
+        assert!(nest_type(&ty, l("s"), &[l("zz")]).is_err());
+        assert!(nest_type(&ty, l("s"), &[]).is_err());
+    }
+
+    #[test]
+    fn unnest_flattens_and_drops_empty() {
+        let v = parse_value(
+            "{<a: 1, s: {<b: 10>, <b: 20>}>,
+              <a: 2, s: {}>,
+              <a: 3, s: {<b: 30>}>}",
+        )
+        .unwrap();
+        let flat = unnest(&v, l("s")).unwrap();
+        assert_eq!(
+            flat,
+            parse_value("{<a: 1, b: 10>, <a: 1, b: 20>, <a: 3, b: 30>}").unwrap()
+        );
+    }
+
+    #[test]
+    fn nest_groups_by_remaining_fields() {
+        let v = parse_value("{<a: 1, b: 10>, <a: 1, b: 20>, <a: 3, b: 30>}").unwrap();
+        let nested = nest(&v, l("s"), &[l("b")]).unwrap();
+        assert_eq!(
+            nested,
+            parse_value("{<a: 1, s: {<b: 10>, <b: 20>}>, <a: 3, s: {<b: 30>}>}").unwrap()
+        );
+    }
+
+    #[test]
+    fn unnest_nest_identity() {
+        // ν then μ is the identity on any flat relation.
+        let v = parse_value("{<a: 1, b: 10>, <a: 1, b: 20>, <a: 2, b: 10>}").unwrap();
+        let nested = nest(&v, l("s"), &[l("b")]).unwrap();
+        let back = unnest(&nested, l("s")).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn nest_unnest_identity_only_without_empty_sets() {
+        // μ then ν is the identity when no set is empty…
+        let v = parse_value("{<a: 1, s: {<b: 10>, <b: 20>}>, <a: 2, s: {<b: 30>}>}").unwrap();
+        let flat = unnest(&v, l("s")).unwrap();
+        let back = nest(&flat, l("s"), &[l("b")]).unwrap();
+        assert_eq!(back, v);
+        // …but an empty set is lost forever.
+        let w = parse_value("{<a: 1, s: {<b: 10>}>, <a: 2, s: {}>}").unwrap();
+        let flat = unnest(&w, l("s")).unwrap();
+        let back = nest(&flat, l("s"), &[l("b")]).unwrap();
+        assert_eq!(back, parse_value("{<a: 1, s: {<b: 10>}>}").unwrap());
+        assert_ne!(back, w);
+    }
+
+    #[test]
+    fn nest_merges_duplicate_members() {
+        // Set semantics: duplicate grouped projections collapse.
+        let v = parse_value("{<a: 1, b: 10>, <a: 1, b: 10>}").unwrap();
+        let nested = nest(&v, l("s"), &[l("b")]).unwrap();
+        assert_eq!(nested, parse_value("{<a: 1, s: {<b: 10>}>}").unwrap());
+    }
+
+    #[test]
+    fn unnest_typechecks_against_unnested_type() {
+        let ty = parse_type("{<a: int, s: {<b: int>}>}").unwrap();
+        let v = parse_value("{<a: 1, s: {<b: 10>, <b: 20>}>}").unwrap();
+        v.typecheck(&ty).unwrap();
+        let flat_ty = unnest_type(&ty, l("s")).unwrap();
+        let flat = unnest(&v, l("s")).unwrap();
+        flat.typecheck(&flat_ty).unwrap();
+    }
+
+    #[test]
+    fn nest_typechecks_against_nested_type() {
+        let ty = parse_type("{<a: int, b: int>}").unwrap();
+        let v = parse_value("{<a: 1, b: 2>, <a: 1, b: 3>}").unwrap();
+        v.typecheck(&ty).unwrap();
+        let nested_ty = nest_type(&ty, l("s"), &[l("b")]).unwrap();
+        let nested = nest(&v, l("s"), &[l("b")]).unwrap();
+        nested.typecheck(&nested_ty).unwrap();
+    }
+
+    #[test]
+    fn deep_unnest() {
+        // Unnesting at depth: unnest s, then t within the result.
+        let v = parse_value(
+            "{<a: 1, s: {<b: 1, t: {<c: 1>, <c: 2>}>, <b: 2, t: {<c: 3>}>}>}",
+        )
+        .unwrap();
+        let once = unnest(&v, l("s")).unwrap();
+        let twice = unnest(&once, l("t")).unwrap();
+        assert_eq!(
+            twice,
+            parse_value("{<a: 1, b: 1, c: 1>, <a: 1, b: 1, c: 2>, <a: 1, b: 2, c: 3>}").unwrap()
+        );
+    }
+}

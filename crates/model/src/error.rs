@@ -1,0 +1,88 @@
+//! Error types for the model crate.
+
+use crate::label::Label;
+use std::fmt;
+
+/// Errors raised while constructing or validating model objects.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModelError {
+    /// A label occurs twice within one type (the paper forbids repeated
+    /// labels anywhere in a type).
+    DuplicateLabel(Label),
+    /// A structural invariant of the nested model is violated.
+    Malformed(String),
+    /// A value does not conform to the expected type.
+    TypeMismatch {
+        /// What the type demanded.
+        expected: String,
+        /// What the value provided.
+        found: String,
+        /// Where in the value the mismatch occurred (a `/`-separated trail).
+        at: String,
+    },
+    /// A relation name was not found in the schema / instance.
+    UnknownRelation(Label),
+    /// A record is missing a field required by its type.
+    MissingField(Label),
+    /// A record carries a field its type does not declare.
+    UnexpectedField(Label),
+    /// A parse error, with 1-based line/column position.
+    Parse {
+        /// Human-readable description.
+        msg: String,
+        /// 1-based line.
+        line: u32,
+        /// 1-based column.
+        col: u32,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DuplicateLabel(l) => {
+                write!(f, "label `{l}` is repeated within a type")
+            }
+            ModelError::Malformed(m) => write!(f, "malformed type: {m}"),
+            ModelError::TypeMismatch {
+                expected,
+                found,
+                at,
+            } => write!(
+                f,
+                "type mismatch at `{at}`: expected {expected}, found {found}"
+            ),
+            ModelError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            ModelError::MissingField(l) => write!(f, "record is missing field `{l}`"),
+            ModelError::UnexpectedField(l) => write!(f, "record has undeclared field `{l}`"),
+            ModelError::Parse { msg, line, col } => {
+                write!(f, "parse error at {line}:{col}: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = ModelError::DuplicateLabel(Label::new("A"));
+        assert_eq!(e.to_string(), "label `A` is repeated within a type");
+        let e = ModelError::Parse {
+            msg: "expected `>`".into(),
+            line: 3,
+            col: 7,
+        };
+        assert_eq!(e.to_string(), "parse error at 3:7: expected `>`");
+        let e = ModelError::TypeMismatch {
+            expected: "int".into(),
+            found: "string".into(),
+            at: "Course/time".into(),
+        };
+        assert!(e.to_string().contains("Course/time"));
+    }
+}

@@ -1,0 +1,190 @@
+//! Database instances.
+//!
+//! An instance of a schema `(R, S)` is a record `I` with labels in `R` such
+//! that `π_R I ∈ [[S(R)]]` for each relation `R` (Section 2).
+
+use crate::error::ModelError;
+use crate::label::Label;
+use crate::schema::Schema;
+use crate::value::{SetValue, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A database instance: one set-of-records value per relation of a schema.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instance {
+    relations: Vec<(Label, Value)>,
+}
+
+impl Instance {
+    /// Builds an instance and typechecks it against `schema`. Every relation
+    /// of the schema must be assigned exactly once.
+    pub fn new(schema: &Schema, relations: Vec<(Label, Value)>) -> Result<Instance, ModelError> {
+        for (name, _) in &relations {
+            if !schema.has_relation(*name) {
+                return Err(ModelError::UnknownRelation(*name));
+            }
+        }
+        for name in schema.relation_names() {
+            let mut count = 0;
+            for (n, _) in &relations {
+                if *n == name {
+                    count += 1;
+                }
+            }
+            match count {
+                0 => return Err(ModelError::MissingField(name)),
+                1 => {}
+                _ => return Err(ModelError::DuplicateLabel(name)),
+            }
+        }
+        for (name, value) in &relations {
+            value.typecheck(schema.relation_type(*name)?)?;
+        }
+        Ok(Instance { relations })
+    }
+
+    /// Parses an instance literal against `schema`, e.g.
+    ///
+    /// ```text
+    /// Course = { <cnum: "cis550", time: 10, students: {<sid: 1001>}> };
+    /// ```
+    pub fn parse(schema: &Schema, text: &str) -> Result<Instance, ModelError> {
+        crate::parse::parse_instance(schema, text)
+    }
+
+    /// The value of relation `name` (a set of records).
+    pub fn relation(&self, name: Label) -> Result<&SetValue, ModelError> {
+        self.relations
+            .iter()
+            .find(|(n, _)| *n == name)
+            .and_then(|(_, v)| v.as_set())
+            .ok_or(ModelError::UnknownRelation(name))
+    }
+
+    /// The raw value of relation `name`.
+    pub fn relation_value(&self, name: Label) -> Result<&Value, ModelError> {
+        self.relations
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v)
+            .ok_or(ModelError::UnknownRelation(name))
+    }
+
+    /// Iterator over relation names.
+    pub fn relation_names(&self) -> impl Iterator<Item = Label> + '_ {
+        self.relations.iter().map(|(n, _)| *n)
+    }
+
+    /// All `(name, value)` pairs.
+    pub fn relations(&self) -> &[(Label, Value)] {
+        &self.relations
+    }
+
+    /// Does any set anywhere in the instance have zero elements?
+    ///
+    /// Theorem 3.1's axiomatization is sound and complete exactly for
+    /// instances where this returns `false`; Section 3.2 studies the general
+    /// case.
+    pub fn contains_empty_set(&self) -> bool {
+        self.relations.iter().any(|(_, v)| v.contains_empty_set())
+    }
+
+    /// Total number of base constants in the instance (a size measure).
+    pub fn base_count(&self) -> usize {
+        self.relations.iter().map(|(_, v)| v.base_count()).sum()
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, value) in &self.relations {
+            writeln!(f, "{name} = {value};")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn schema() -> Schema {
+        Schema::parse(
+            "Course : { <cnum: string, time: int,
+                         students: {<sid: int, grade: string>}> };",
+        )
+        .unwrap()
+    }
+
+    /// The exact instance of Section 2 of the paper.
+    fn paper_instance(s: &Schema) -> Instance {
+        Instance::parse(
+            s,
+            r#"Course = { <cnum: "cis550", time: 10,
+                           students: {<sid: 1001, grade: "A">,
+                                      <sid: 2002, grade: "B">}>,
+                          <cnum: "cis500", time: 12,
+                           students: {<sid: 1001, grade: "A">}> };"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_section2_instance_parses_and_validates() {
+        let s = schema();
+        let i = paper_instance(&s);
+        let course = i.relation(Label::new("Course")).unwrap();
+        assert_eq!(course.len(), 2);
+        assert!(!i.contains_empty_set());
+        assert_eq!(i.base_count(), 2 * 2 + 2 * 2 + 2); // 2 tuples × (cnum,time) + students
+    }
+
+    #[test]
+    fn missing_relation_rejected() {
+        let s = Schema::parse("A : {<x: int>}; B : {<y: int>};").unwrap();
+        let err = Instance::new(
+            &s,
+            vec![(Label::new("A"), Value::set([]))],
+        )
+        .unwrap_err();
+        assert_eq!(err, ModelError::MissingField(Label::new("B")));
+    }
+
+    #[test]
+    fn unknown_relation_rejected() {
+        let s = schema();
+        let err = Instance::new(&s, vec![(Label::new("Nope"), Value::set([]))]).unwrap_err();
+        assert_eq!(err, ModelError::UnknownRelation(Label::new("Nope")));
+    }
+
+    #[test]
+    fn ill_typed_relation_rejected() {
+        let s = schema();
+        let err = Instance::new(&s, vec![(Label::new("Course"), Value::int(3))]).unwrap_err();
+        assert!(matches!(err, ModelError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn empty_set_detection() {
+        let s = schema();
+        let i = Instance::parse(
+            &s,
+            r#"Course = { <cnum: "c", time: 1, students: {}> };"#,
+        )
+        .unwrap();
+        assert!(i.contains_empty_set());
+        // An empty relation itself also counts as an empty set.
+        let j = Instance::parse(&s, "Course = {};").unwrap();
+        assert!(j.contains_empty_set());
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        let s = schema();
+        let i = paper_instance(&s);
+        let j = Instance::parse(&s, &i.to_string()).unwrap();
+        assert_eq!(i, j);
+    }
+}

@@ -1,0 +1,68 @@
+//! # nfd-model — the nested relational model
+//!
+//! This crate implements the data model of Section 2 of *"Reasoning about
+//! Nested Functional Dependencies"* (Hara & Davidson, PODS 1999): types in
+//! which set and tuple constructors alternate, values, database schemas
+//! `(R, S)`, and database instances.
+//!
+//! The grammar of types is
+//!
+//! ```text
+//! τ ::= b | {τ} | <A1:τ1, …, An:τn>
+//! ```
+//!
+//! where `b` ranges over base types, `{τ}` is a set whose elements are
+//! records (the *strict* model of the paper; sets of base values are also
+//! accepted because the paper's Appendix A uses `{b}`), and record fields are
+//! base- or set-typed. A schema maps each relation name to a set-of-records
+//! type; an instance is a record assigning to each relation name a value of
+//! its schema type.
+//!
+//! Besides the model itself, the crate provides:
+//!
+//! * [`parse`] — text parsers for types, values, schemas and instances, so
+//!   that examples read like the paper;
+//! * [`render`] — a nested ASCII-table renderer that reproduces the look of
+//!   the paper's instance tables (Figure 1, Examples 3.2, A.1, A.2);
+//! * [`gen`] — a seeded random instance generator used by the property-test
+//!   and benchmark harnesses.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use nfd_model::{Schema, Instance};
+//!
+//! let schema = Schema::parse(
+//!     "Course : { <cnum: string, time: int,
+//!                  students: {<sid: int, grade: string>}> };",
+//! ).unwrap();
+//!
+//! let inst = Instance::parse(&schema,
+//!     r#"Course = { <cnum: "cis550", time: 10,
+//!                    students: {<sid: 1001, grade: "A">,
+//!                               <sid: 2002, grade: "B">}>,
+//!                   <cnum: "cis500", time: 12,
+//!                    students: {<sid: 1001, grade: "A">}> };"#,
+//! ).unwrap();
+//! assert_eq!(inst.relation_names().count(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod algebra;
+pub mod error;
+pub mod gen;
+pub mod instance;
+pub mod label;
+pub mod parse;
+pub mod render;
+pub mod schema;
+pub mod types;
+pub mod value;
+
+pub use error::ModelError;
+pub use instance::Instance;
+pub use label::Label;
+pub use schema::Schema;
+pub use types::{BaseType, Field, RecordType, Type};
+pub use value::{BaseValue, RecordValue, SetValue, Value};

@@ -1,0 +1,572 @@
+//! Text parsers for types, values, schemas and instances.
+//!
+//! The concrete syntax mirrors the paper:
+//!
+//! ```text
+//! type     ::= "int" | "string" | "bool" | "{" type "}" | "<" fields ">"
+//! fields   ::= [ ident ":" type { "," ident ":" type } ]
+//! schema   ::= { ident ":" type ";" }
+//! value    ::= int | string | "true" | "false"
+//!            | "{" [ value { "," value } ] "}"
+//!            | "<" [ ident ":" value { "," ident ":" value } ] ">"
+//! instance ::= { ident "=" value ";" }
+//! ```
+//!
+//! All parsers report 1-based line/column positions on error.
+
+use crate::error::ModelError;
+use crate::instance::Instance;
+use crate::label::Label;
+use crate::schema::Schema;
+use crate::types::{BaseType, RecordType, Strictness, Type};
+use crate::value::{RecordValue, Value};
+
+/// A lexical token with its position.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct Token {
+    kind: TokenKind,
+    line: u32,
+    col: u32,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum TokenKind {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    LBrace,
+    RBrace,
+    LAngle,
+    RAngle,
+    Colon,
+    Comma,
+    Semi,
+    Eq,
+    /// `->` (used by the NFD parser in `nfd-core`, which reuses this lexer).
+    Arrow,
+    LBracket,
+    RBracket,
+    Eof,
+}
+
+impl TokenKind {
+    fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Int(i) => format!("integer `{i}`"),
+            TokenKind::Str(s) => format!("string {s:?}"),
+            TokenKind::LBrace => "`{`".into(),
+            TokenKind::RBrace => "`}`".into(),
+            TokenKind::LAngle => "`<`".into(),
+            TokenKind::RAngle => "`>`".into(),
+            TokenKind::Colon => "`:`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Semi => "`;`".into(),
+            TokenKind::Eq => "`=`".into(),
+            TokenKind::Arrow => "`->`".into(),
+            TokenKind::LBracket => "`[`".into(),
+            TokenKind::RBracket => "`]`".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// Tokenizes `text`. Shared by the model parsers and (through
+/// `Lexer::tokenize`) by the NFD parser in `nfd-core`.
+pub struct Lexer;
+
+impl Lexer {
+    /// Produces the token stream for `text` (ending with `Eof`).
+    pub(crate) fn tokenize(text: &str) -> Result<Vec<Token>, ModelError> {
+        let mut tokens = Vec::new();
+        let mut line: u32 = 1;
+        let mut col: u32 = 1;
+        let mut chars = text.chars().peekable();
+        macro_rules! bump {
+            () => {{
+                let c = chars.next();
+                if c == Some('\n') {
+                    line += 1;
+                    col = 1;
+                } else if c.is_some() {
+                    col += 1;
+                }
+                c
+            }};
+        }
+        loop {
+            let (tl, tc) = (line, col);
+            let Some(&c) = chars.peek() else {
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    line: tl,
+                    col: tc,
+                });
+                return Ok(tokens);
+            };
+            let kind = match c {
+                ' ' | '\t' | '\r' | '\n' => {
+                    bump!();
+                    continue;
+                }
+                '#' => {
+                    // Line comment.
+                    while let Some(&c) = chars.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        bump!();
+                    }
+                    continue;
+                }
+                '{' => {
+                    bump!();
+                    TokenKind::LBrace
+                }
+                '}' => {
+                    bump!();
+                    TokenKind::RBrace
+                }
+                '<' => {
+                    bump!();
+                    TokenKind::LAngle
+                }
+                '>' => {
+                    bump!();
+                    TokenKind::RAngle
+                }
+                ':' => {
+                    bump!();
+                    TokenKind::Colon
+                }
+                ',' => {
+                    bump!();
+                    TokenKind::Comma
+                }
+                ';' => {
+                    bump!();
+                    TokenKind::Semi
+                }
+                '=' => {
+                    bump!();
+                    TokenKind::Eq
+                }
+                '[' => {
+                    bump!();
+                    TokenKind::LBracket
+                }
+                ']' => {
+                    bump!();
+                    TokenKind::RBracket
+                }
+                '-' => {
+                    bump!();
+                    match chars.peek() {
+                        Some('>') => {
+                            bump!();
+                            TokenKind::Arrow
+                        }
+                        Some(c) if c.is_ascii_digit() => {
+                            let n = lex_int(&mut chars, &mut line, &mut col)?;
+                            TokenKind::Int(-n)
+                        }
+                        _ => {
+                            return Err(ModelError::Parse {
+                                msg: "expected `>` or digits after `-`".into(),
+                                line: tl,
+                                col: tc,
+                            })
+                        }
+                    }
+                }
+                '"' => {
+                    bump!();
+                    let mut s = String::new();
+                    loop {
+                        match bump!() {
+                            Some('"') => break,
+                            Some('\\') => match bump!() {
+                                Some('"') => s.push('"'),
+                                Some('\\') => s.push('\\'),
+                                Some('n') => s.push('\n'),
+                                Some('t') => s.push('\t'),
+                                other => {
+                                    return Err(ModelError::Parse {
+                                        msg: format!("invalid escape `\\{}`", other.unwrap_or(' ')),
+                                        line,
+                                        col,
+                                    })
+                                }
+                            },
+                            Some(ch) => s.push(ch),
+                            None => {
+                                return Err(ModelError::Parse {
+                                    msg: "unterminated string literal".into(),
+                                    line: tl,
+                                    col: tc,
+                                })
+                            }
+                        }
+                    }
+                    TokenKind::Str(s)
+                }
+                c if c.is_ascii_digit() => {
+                    let n = lex_int(&mut chars, &mut line, &mut col)?;
+                    TokenKind::Int(n)
+                }
+                c if c.is_alphabetic() || c == '_' => {
+                    let mut s = String::new();
+                    while let Some(&c) = chars.peek() {
+                        if c.is_alphanumeric() || c == '_' {
+                            s.push(c);
+                            bump!();
+                        } else {
+                            break;
+                        }
+                    }
+                    TokenKind::Ident(s)
+                }
+                other => {
+                    return Err(ModelError::Parse {
+                        msg: format!("unexpected character `{other}`"),
+                        line: tl,
+                        col: tc,
+                    })
+                }
+            };
+            tokens.push(Token {
+                kind,
+                line: tl,
+                col: tc,
+            });
+        }
+    }
+}
+
+fn lex_int(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    line: &mut u32,
+    col: &mut u32,
+) -> Result<i64, ModelError> {
+    let mut n: i64 = 0;
+    while let Some(&c) = chars.peek() {
+        if let Some(d) = c.to_digit(10) {
+            n = n
+                .checked_mul(10)
+                .and_then(|n| n.checked_add(i64::from(d)))
+                .ok_or(ModelError::Parse {
+                    msg: "integer literal overflows i64".into(),
+                    line: *line,
+                    col: *col,
+                })?;
+            chars.next();
+            *col += 1;
+        } else {
+            break;
+        }
+    }
+    Ok(n)
+}
+
+/// A cursor over the token stream; recursive-descent helpers.
+pub(crate) struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    pub(crate) fn new(text: &str) -> Result<Parser, ModelError> {
+        Ok(Parser {
+            tokens: Lexer::tokenize(text)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error_at(&self, msg: String) -> ModelError {
+        let t = self.peek();
+        ModelError::Parse {
+            msg,
+            line: t.line,
+            col: t.col,
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<(), ModelError> {
+        if self.peek().kind == kind {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.error_at(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek().kind.describe()
+            )))
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ModelError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.advance();
+                Ok(s)
+            }
+            other => Err(self.error_at(format!("expected identifier, found {}", other.describe()))),
+        }
+    }
+
+    fn at_eof(&self) -> bool {
+        self.peek().kind == TokenKind::Eof
+    }
+
+    /// type ::= base | "{" type "}" | "<" fields ">"
+    fn ty(&mut self) -> Result<Type, ModelError> {
+        match &self.peek().kind {
+            TokenKind::LBrace => {
+                self.advance();
+                let elem = self.ty()?;
+                self.expect(TokenKind::RBrace)?;
+                Ok(Type::Set(Box::new(elem)))
+            }
+            TokenKind::LAngle => {
+                self.advance();
+                let mut fields = Vec::new();
+                if !self.eat(&TokenKind::RAngle) {
+                    loop {
+                        let name = self.ident()?;
+                        self.expect(TokenKind::Colon)?;
+                        let fty = self.ty()?;
+                        fields.push(Type::field(name.as_str(), fty));
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(TokenKind::RAngle)?;
+                }
+                Ok(Type::Record(RecordType::new(fields)?))
+            }
+            TokenKind::Ident(s) => {
+                let base = match s.as_str() {
+                    "int" => BaseType::Int,
+                    "string" => BaseType::String,
+                    "bool" => BaseType::Bool,
+                    other => {
+                        return Err(self.error_at(format!(
+                            "unknown base type `{other}` (expected int, string or bool)"
+                        )))
+                    }
+                };
+                self.advance();
+                Ok(Type::Base(base))
+            }
+            other => Err(self.error_at(format!("expected a type, found {}", other.describe()))),
+        }
+    }
+
+    /// value ::= int | string | bool | "{" … "}" | "<" … ">"
+    fn value(&mut self) -> Result<Value, ModelError> {
+        match self.peek().kind.clone() {
+            TokenKind::Int(i) => {
+                self.advance();
+                Ok(Value::int(i))
+            }
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(Value::str(s))
+            }
+            TokenKind::Ident(s) if s == "true" => {
+                self.advance();
+                Ok(Value::bool(true))
+            }
+            TokenKind::Ident(s) if s == "false" => {
+                self.advance();
+                Ok(Value::bool(false))
+            }
+            TokenKind::LBrace => {
+                self.advance();
+                let mut elems = Vec::new();
+                if !self.eat(&TokenKind::RBrace) {
+                    loop {
+                        elems.push(self.value()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(TokenKind::RBrace)?;
+                }
+                Ok(Value::set(elems))
+            }
+            TokenKind::LAngle => {
+                self.advance();
+                let mut fields = Vec::new();
+                if !self.eat(&TokenKind::RAngle) {
+                    loop {
+                        let name = self.ident()?;
+                        self.expect(TokenKind::Colon)?;
+                        let v = self.value()?;
+                        fields.push((Label::new(&name), v));
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(TokenKind::RAngle)?;
+                }
+                Ok(Value::Record(RecordValue::new(fields)?))
+            }
+            other => Err(self.error_at(format!("expected a value, found {}", other.describe()))),
+        }
+    }
+}
+
+/// Parses a schema (see module docs for the grammar).
+pub fn parse_schema(text: &str) -> Result<Schema, ModelError> {
+    let mut p = Parser::new(text)?;
+    let mut relations = Vec::new();
+    while !p.at_eof() {
+        let name = p.ident()?;
+        p.expect(TokenKind::Colon)?;
+        let ty = p.ty()?;
+        p.expect(TokenKind::Semi)?;
+        relations.push((Label::new(&name), ty));
+    }
+    Schema::new(relations, Strictness::AllowBaseSets)
+}
+
+/// Parses a bare type.
+pub fn parse_type(text: &str) -> Result<Type, ModelError> {
+    let mut p = Parser::new(text)?;
+    let t = p.ty()?;
+    if !p.at_eof() {
+        return Err(p.error_at("trailing input after type".into()));
+    }
+    Ok(t)
+}
+
+/// Parses a bare value.
+pub fn parse_value(text: &str) -> Result<Value, ModelError> {
+    let mut p = Parser::new(text)?;
+    let v = p.value()?;
+    if !p.at_eof() {
+        return Err(p.error_at("trailing input after value".into()));
+    }
+    Ok(v)
+}
+
+/// Parses an instance literal and typechecks it against `schema`.
+pub fn parse_instance(schema: &Schema, text: &str) -> Result<Instance, ModelError> {
+    let mut p = Parser::new(text)?;
+    let mut relations = Vec::new();
+    while !p.at_eof() {
+        let name = p.ident()?;
+        p.expect(TokenKind::Eq)?;
+        let v = p.value()?;
+        p.expect(TokenKind::Semi)?;
+        relations.push((Label::new(&name), v));
+    }
+    Instance::new(schema, relations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_base_types() {
+        assert_eq!(parse_type("int").unwrap(), Type::Base(BaseType::Int));
+        assert_eq!(parse_type("string").unwrap(), Type::Base(BaseType::String));
+        assert_eq!(parse_type("bool").unwrap(), Type::Base(BaseType::Bool));
+        assert!(parse_type("float").is_err());
+    }
+
+    #[test]
+    fn parse_nested_type() {
+        let t = parse_type("{<a: int, b: {<c: string>}>}").unwrap();
+        assert!(t.is_set_of_records());
+        assert_eq!(t.depth(), 2);
+    }
+
+    #[test]
+    fn parse_value_forms() {
+        assert_eq!(parse_value("42").unwrap(), Value::int(42));
+        assert_eq!(parse_value("-7").unwrap(), Value::int(-7));
+        assert_eq!(parse_value(r#""hi""#).unwrap(), Value::str("hi"));
+        assert_eq!(parse_value("true").unwrap(), Value::bool(true));
+        assert_eq!(parse_value("{}").unwrap(), Value::empty_set());
+        assert_eq!(
+            parse_value("{1, 2, 2}").unwrap(),
+            Value::set([Value::int(1), Value::int(2)])
+        );
+        assert_eq!(
+            parse_value("<a: 1, b: {<c: 2>}>").unwrap(),
+            Value::record_of(vec![
+                ("a", Value::int(1)),
+                ("b", Value::set([Value::record_of(vec![("c", Value::int(2))])])),
+            ])
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            parse_value(r#""a\"b\\c\nd""#).unwrap(),
+            Value::str("a\"b\\c\nd")
+        );
+        assert!(parse_value(r#""unterminated"#).is_err());
+        assert!(parse_value(r#""bad\q""#).is_err());
+    }
+
+    #[test]
+    fn comments_and_whitespace() {
+        let t = parse_type("{ # relation type\n  <a: int> }").unwrap();
+        assert!(t.is_set_of_records());
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse_type("{<a: int,\n   b int>}").unwrap_err();
+        match err {
+            ModelError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_input_rejected() {
+        assert!(parse_value("1 2").is_err());
+        assert!(parse_type("int int").is_err());
+    }
+
+    #[test]
+    fn integer_overflow_detected() {
+        assert!(parse_value("99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn empty_record_value() {
+        assert_eq!(
+            parse_value("<>").unwrap(),
+            Value::Record(RecordValue::new(vec![]).unwrap())
+        );
+    }
+}

@@ -1,0 +1,260 @@
+//! Nested ASCII-table rendering.
+//!
+//! Regenerates the look of the paper's instance tables (Figure 1, the
+//! Example 3.2 instance, the Appendix A constructions): a set-of-records
+//! value renders as a grid with one row per element; set-valued attributes
+//! render as nested sub-tables inside their cell.
+//!
+//! ```
+//! use nfd_model::{Schema, Instance, render};
+//!
+//! let schema = Schema::parse("R : {<A: int, B: {<C: int>}>};").unwrap();
+//! let inst = Instance::parse(&schema,
+//!     "R = { <A: 1, B: {<C: 3>}>, <A: 2, B: {}> };").unwrap();
+//! let table = render::render_instance(&schema, &inst);
+//! assert!(table.contains("| A |"));
+//! ```
+
+use crate::instance::Instance;
+use crate::label::Label;
+use crate::schema::Schema;
+use crate::types::Type;
+use crate::value::Value;
+
+/// A rectangular block of text lines, all padded to the same display width.
+#[derive(Clone, Debug)]
+struct Block {
+    lines: Vec<String>,
+    width: usize,
+}
+
+impl Block {
+    fn text(s: &str) -> Block {
+        let lines: Vec<String> = if s.is_empty() {
+            vec![String::new()]
+        } else {
+            s.lines().map(str::to_owned).collect()
+        };
+        let width = lines.iter().map(|l| l.chars().count()).max().unwrap_or(0);
+        let lines = lines
+            .into_iter()
+            .map(|l| pad(&l, width))
+            .collect();
+        Block { lines, width }
+    }
+
+    fn height(&self) -> usize {
+        self.lines.len()
+    }
+
+    fn pad_to(&self, width: usize, height: usize) -> Block {
+        let mut lines: Vec<String> = self.lines.iter().map(|l| pad(l, width)).collect();
+        while lines.len() < height {
+            lines.push(" ".repeat(width));
+        }
+        Block { lines, width }
+    }
+}
+
+fn pad(s: &str, width: usize) -> String {
+    let mut out = s.to_owned();
+    let len = s.chars().count();
+    for _ in len..width {
+        out.push(' ');
+    }
+    out
+}
+
+/// Renders an entire instance: each relation's name followed by its table.
+pub fn render_instance(schema: &Schema, instance: &Instance) -> String {
+    let mut out = String::new();
+    for (name, value) in instance.relations() {
+        let ty = schema
+            .relation_type(*name)
+            .expect("instance validated against schema");
+        out.push_str(name.as_str());
+        out.push_str(" =\n");
+        out.push_str(&render_value(value, ty));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one relation of an instance.
+pub fn render_relation(schema: &Schema, instance: &Instance, name: Label) -> String {
+    let ty = schema.relation_type(name).expect("relation exists");
+    let value = instance.relation_value(name).expect("relation exists");
+    render_value(value, ty)
+}
+
+/// Renders a single value of the given type. Set-of-records values become
+/// tables; everything else renders in the literal syntax.
+pub fn render_value(value: &Value, ty: &Type) -> String {
+    block_of(value, ty).lines.join("\n")
+}
+
+fn block_of(value: &Value, ty: &Type) -> Block {
+    match (value, ty) {
+        (Value::Set(s), Type::Set(elem)) if elem.is_record() => {
+            let rec_ty = elem.as_record().expect("element is record");
+            let labels: Vec<Label> = rec_ty.labels().collect();
+            if s.is_empty() {
+                // Render the header over a single "∅" row so empty sets are
+                // visible, as in the Example 3.2 table.
+                let header: Vec<Block> = labels
+                    .iter()
+                    .map(|l| Block::text(l.as_str()))
+                    .collect();
+                return grid(header, vec![vec![Block::text("∅"); labels.len().max(1)]]);
+            }
+            let header: Vec<Block> = labels.iter().map(|l| Block::text(l.as_str())).collect();
+            let rows: Vec<Vec<Block>> = s
+                .elems()
+                .iter()
+                .map(|e| {
+                    let rec = e.as_record().expect("typechecked element");
+                    labels
+                        .iter()
+                        .map(|l| {
+                            let v = rec.get(*l).expect("typechecked field");
+                            let fty = rec_ty.field_type(*l).expect("declared field");
+                            block_of(v, fty)
+                        })
+                        .collect()
+                })
+                .collect();
+            grid(header, rows)
+        }
+        (Value::Set(s), _) if s.is_empty() => Block::text("∅"),
+        _ => Block::text(&value.to_string()),
+    }
+}
+
+/// Assembles a bordered grid from a header row and data rows.
+fn grid(header: Vec<Block>, rows: Vec<Vec<Block>>) -> Block {
+    let ncols = header.len().max(rows.iter().map(Vec::len).max().unwrap_or(0));
+    let mut col_widths = vec![0usize; ncols];
+    for (i, h) in header.iter().enumerate() {
+        col_widths[i] = col_widths[i].max(h.width);
+    }
+    for row in &rows {
+        for (i, cell) in row.iter().enumerate() {
+            col_widths[i] = col_widths[i].max(cell.width);
+        }
+    }
+    let sep = {
+        let mut s = String::from("+");
+        for w in &col_widths {
+            s.push_str(&"-".repeat(w + 2));
+            s.push('+');
+        }
+        s
+    };
+    let mut lines = Vec::new();
+    lines.push(sep.clone());
+    emit_row(&mut lines, &header, &col_widths);
+    lines.push(sep.clone());
+    for row in &rows {
+        emit_row(&mut lines, row, &col_widths);
+        lines.push(sep.clone());
+    }
+    let width = sep.chars().count();
+    Block {
+        lines: lines.into_iter().map(|l| pad(&l, width)).collect(),
+        width,
+    }
+}
+
+fn emit_row(lines: &mut Vec<String>, cells: &[Block], col_widths: &[usize]) {
+    let height = cells.iter().map(Block::height).max().unwrap_or(1);
+    let padded: Vec<Block> = col_widths
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            cells
+                .get(i)
+                .cloned()
+                .unwrap_or_else(|| Block::text(""))
+                .pad_to(w, height)
+        })
+        .collect();
+    for line_idx in 0..height {
+        let mut line = String::from("|");
+        for cell in &padded {
+            line.push(' ');
+            line.push_str(&cell.lines[line_idx]);
+            line.push_str(" |");
+        }
+        lines.push(line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_table() {
+        let schema = Schema::parse("R : {<A: int, B: int>};").unwrap();
+        let inst = Instance::parse(&schema, "R = { <A: 1, B: 2>, <A: 3, B: 4> };").unwrap();
+        let t = render_relation(&schema, &inst, Label::new("R"));
+        assert!(t.contains("| A | B |"));
+        assert!(t.contains("| 1 | 2 |"));
+        assert!(t.contains("| 3 | 4 |"));
+    }
+
+    #[test]
+    fn nested_table_contains_subheader() {
+        let schema = Schema::parse("R : {<A: int, B: {<C: int, D: int>}>};").unwrap();
+        let inst = Instance::parse(
+            &schema,
+            "R = { <A: 1, B: {<C: 3, D: 4>, <C: 5, D: 6>}> };",
+        )
+        .unwrap();
+        let t = render_relation(&schema, &inst, Label::new("R"));
+        assert!(t.contains("| C | D |"));
+        assert!(t.contains("| 3 | 4 |"));
+        assert!(t.contains("| 5 | 6 |"));
+    }
+
+    #[test]
+    fn empty_set_renders_as_empty_symbol() {
+        let schema = Schema::parse("R : {<A: int, B: {<C: int>}>};").unwrap();
+        let inst = Instance::parse(&schema, "R = { <A: 1, B: {}> };").unwrap();
+        let t = render_relation(&schema, &inst, Label::new("R"));
+        assert!(t.contains('∅'));
+    }
+
+    #[test]
+    fn base_set_renders_inline() {
+        let schema = Schema::parse("R : {<A: int, B: {int}>};").unwrap();
+        let inst = Instance::parse(&schema, "R = { <A: 1, B: {7, 8}> };").unwrap();
+        let t = render_relation(&schema, &inst, Label::new("R"));
+        assert!(t.contains("{7, 8}"));
+    }
+
+    #[test]
+    fn render_instance_names_relations() {
+        let schema = Schema::parse("R : {<A: int>}; S : {<B: int>};").unwrap();
+        let inst = Instance::parse(&schema, "R = {<A: 1>}; S = {<B: 2>};").unwrap();
+        let out = render_instance(&schema, &inst);
+        assert!(out.contains("R =\n"));
+        assert!(out.contains("S =\n"));
+    }
+
+    #[test]
+    fn ragged_heights_are_padded() {
+        // One row has a 2-element nested set, the other a 1-element one.
+        let schema = Schema::parse("R : {<A: int, B: {<C: int>}>};").unwrap();
+        let inst = Instance::parse(
+            &schema,
+            "R = { <A: 1, B: {<C: 1>, <C: 2>}>, <A: 2, B: {<C: 9>}> };",
+        )
+        .unwrap();
+        let t = render_relation(&schema, &inst, Label::new("R"));
+        // Every line has the same width.
+        let widths: std::collections::HashSet<usize> =
+            t.lines().map(|l| l.chars().count()).collect();
+        assert_eq!(widths.len(), 1, "table is rectangular:\n{t}");
+    }
+}

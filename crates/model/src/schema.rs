@@ -1,0 +1,186 @@
+//! Database schemas `(R, S)`.
+//!
+//! A schema is a finite set of relation names together with a mapping from
+//! each name to a set-of-records type (Section 2 of the paper).
+
+use crate::error::ModelError;
+use crate::label::Label;
+use crate::types::{Strictness, Type};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A database schema: relation names and their types.
+///
+/// Relations are kept in declaration order. Every relation type must be a
+/// set of records at its outermost level and satisfy the structural
+/// invariants of [`Type::validate`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    relations: Vec<(Label, Type)>,
+}
+
+impl Schema {
+    /// Builds a schema, validating every relation type under `strictness`.
+    ///
+    /// Checks performed:
+    /// * each relation type is a set of records at the outermost level;
+    /// * each type satisfies constructor alternation and label uniqueness;
+    /// * relation names are pairwise distinct **and** distinct from every
+    ///   attribute label (paths like `R:A` must parse unambiguously).
+    pub fn new(relations: Vec<(Label, Type)>, strictness: Strictness) -> Result<Schema, ModelError> {
+        let mut seen = std::collections::HashSet::new();
+        for (name, ty) in &relations {
+            if !seen.insert(*name) {
+                return Err(ModelError::DuplicateLabel(*name));
+            }
+            if !ty.is_set_of_records() {
+                return Err(ModelError::Malformed(format!(
+                    "relation `{name}` must be a set of records at its outermost level, got `{ty}`"
+                )));
+            }
+            ty.validate(strictness)?;
+        }
+        // Relation names must not collide with attribute labels.
+        for (name, _) in &relations {
+            for (_, ty) in &relations {
+                if ty.all_labels().contains(name) {
+                    return Err(ModelError::Malformed(format!(
+                        "relation name `{name}` also occurs as an attribute label"
+                    )));
+                }
+            }
+        }
+        Ok(Schema { relations })
+    }
+
+    /// Parses a schema from text, e.g.
+    ///
+    /// ```text
+    /// Course : { <cnum: string, students: {<sid: int>}> };
+    /// Dept   : { <name: string> };
+    /// ```
+    ///
+    /// Validation uses [`Strictness::AllowBaseSets`] (Appendix A's regime);
+    /// call [`Schema::new`] directly for the strict variant.
+    pub fn parse(text: &str) -> Result<Schema, ModelError> {
+        crate::parse::parse_schema(text)
+    }
+
+    /// The relations in declaration order.
+    pub fn relations(&self) -> &[(Label, Type)] {
+        &self.relations
+    }
+
+    /// Iterator over relation names.
+    pub fn relation_names(&self) -> impl Iterator<Item = Label> + '_ {
+        self.relations.iter().map(|(n, _)| *n)
+    }
+
+    /// The type `τ^R` of relation `name`.
+    pub fn relation_type(&self, name: Label) -> Result<&Type, ModelError> {
+        self.relations
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, t)| t)
+            .ok_or(ModelError::UnknownRelation(name))
+    }
+
+    /// Does the schema define relation `name`?
+    pub fn has_relation(&self, name: Label) -> bool {
+        self.relations.iter().any(|(n, _)| *n == name)
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Is the schema empty?
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, ty) in &self.relations {
+            writeln!(f, "{name} : {ty};")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::BaseType;
+
+    fn course_schema() -> Schema {
+        Schema::parse(
+            "Course : { <cnum: string, time: int,
+                         students: {<sid: int, age: int, grade: string>},
+                         books: {<isbn: string, title: string>}> };",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parse_and_lookup() {
+        let s = course_schema();
+        assert_eq!(s.len(), 1);
+        let t = s.relation_type(Label::new("Course")).unwrap();
+        assert!(t.is_set_of_records());
+        assert!(s.has_relation(Label::new("Course")));
+        assert!(!s.has_relation(Label::new("Dept")));
+        assert!(matches!(
+            s.relation_type(Label::new("Dept")),
+            Err(ModelError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn non_set_of_records_relation_rejected() {
+        let err = Schema::new(
+            vec![(Label::new("R"), Type::Base(BaseType::Int))],
+            Strictness::Strict,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("set of records"));
+    }
+
+    #[test]
+    fn duplicate_relation_names_rejected() {
+        let ty = Type::set_of_records(vec![Type::field("a", Type::Base(BaseType::Int))]).unwrap();
+        let ty2 = Type::set_of_records(vec![Type::field("b", Type::Base(BaseType::Int))]).unwrap();
+        let err = Schema::new(
+            vec![(Label::new("R"), ty), (Label::new("R"), ty2)],
+            Strictness::Strict,
+        )
+        .unwrap_err();
+        assert_eq!(err, ModelError::DuplicateLabel(Label::new("R")));
+    }
+
+    #[test]
+    fn relation_name_colliding_with_attribute_rejected() {
+        let ty = Type::set_of_records(vec![Type::field("R", Type::Base(BaseType::Int))]).unwrap();
+        let err = Schema::new(vec![(Label::new("R"), ty)], Strictness::Strict).unwrap_err();
+        assert!(err.to_string().contains("also occurs as an attribute"));
+    }
+
+    #[test]
+    fn display_roundtrips_through_parse() {
+        let s = course_schema();
+        let s2 = Schema::parse(&s.to_string()).unwrap();
+        assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn multi_relation_schema() {
+        let s = Schema::parse(
+            "Course : { <cnum: string> };
+             Dept : { <name: string, heads: {<hid: int>}> };",
+        )
+        .unwrap();
+        assert_eq!(s.relation_names().count(), 2);
+    }
+}

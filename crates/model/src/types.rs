@@ -1,0 +1,433 @@
+//! Types of the nested relational model.
+//!
+//! ```text
+//! τ ::= b | {τ} | <A1:τ1, …, An:τn>
+//! ```
+//!
+//! The paper's *strict* model requires set and tuple constructors to
+//! alternate: the element type of a set is a record, and every record field
+//! is base- or set-typed. Appendix A of the paper additionally manipulates
+//! sets of base values (`{b}`), so those are first-class here too;
+//! [`Type::validate`] distinguishes the two regimes via [`Strictness`].
+//!
+//! The paper also assumes **no repeated labels within a type** (Section 2):
+//! this is what lets the logic translation key its variables by label. The
+//! same assumption is enforced by [`Type::validate`] and relied upon by the
+//! inference engines.
+
+use crate::error::ModelError;
+use crate::label::Label;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Base (atomic) types. The paper leaves the set of base types abstract but
+/// finite; `int`, `string` and `bool` cover every example in the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BaseType {
+    /// 64-bit signed integers.
+    Int,
+    /// UTF-8 strings.
+    String,
+    /// Booleans.
+    Bool,
+}
+
+impl fmt::Display for BaseType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BaseType::Int => "int",
+            BaseType::String => "string",
+            BaseType::Bool => "bool",
+        })
+    }
+}
+
+/// A labelled record field.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Field {
+    /// Field label.
+    pub label: Label,
+    /// Field type; base or set in the strict model.
+    pub ty: Type,
+}
+
+/// A record type `<A1:τ1, …, An:τn>`.
+///
+/// Field order is preserved as declared (it affects rendering only); equality
+/// is order-sensitive, matching the paper's treatment of record types as
+/// label-to-type maps with a fixed presentation.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RecordType {
+    fields: Vec<Field>,
+}
+
+impl RecordType {
+    /// Builds a record type from `(label, type)` pairs.
+    ///
+    /// Duplicate labels *within this record* are rejected eagerly; the
+    /// stronger whole-type uniqueness check lives in [`Type::validate`].
+    pub fn new(fields: Vec<Field>) -> Result<RecordType, ModelError> {
+        let mut seen = HashSet::with_capacity(fields.len());
+        for f in &fields {
+            if !seen.insert(f.label) {
+                return Err(ModelError::DuplicateLabel(f.label));
+            }
+        }
+        Ok(RecordType { fields })
+    }
+
+    /// The fields in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Looks up the type of field `label`.
+    pub fn field_type(&self, label: Label) -> Option<&Type> {
+        self.fields.iter().find(|f| f.label == label).map(|f| &f.ty)
+    }
+
+    /// Iterator over the field labels in declaration order.
+    pub fn labels(&self) -> impl Iterator<Item = Label> + '_ {
+        self.fields.iter().map(|f| f.label)
+    }
+}
+
+/// Which structural regime [`Type::validate`] enforces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strictness {
+    /// Section 2's model: set elements must be records, record fields must be
+    /// base or set types (constructors alternate).
+    Strict,
+    /// Appendix A's relaxation: sets of base values (`{b}`) are also allowed.
+    /// Records directly inside records remain disallowed.
+    AllowBaseSets,
+}
+
+/// A type of the nested relational model.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Type {
+    /// A base type `b`.
+    Base(BaseType),
+    /// A set type `{τ}`.
+    Set(Box<Type>),
+    /// A record type `<A1:τ1, …, An:τn>`.
+    Record(RecordType),
+}
+
+impl Type {
+    /// Convenience constructor: `{<fields…>}`, the shape of every relation.
+    pub fn set_of_records(fields: Vec<Field>) -> Result<Type, ModelError> {
+        Ok(Type::Set(Box::new(Type::Record(RecordType::new(fields)?))))
+    }
+
+    /// Convenience constructor for a field.
+    pub fn field(label: impl Into<Label>, ty: Type) -> Field {
+        Field {
+            label: label.into(),
+            ty,
+        }
+    }
+
+    /// Is this a base type?
+    pub fn is_base(&self) -> bool {
+        matches!(self, Type::Base(_))
+    }
+
+    /// Is this a set type?
+    pub fn is_set(&self) -> bool {
+        matches!(self, Type::Set(_))
+    }
+
+    /// Is this a record type?
+    pub fn is_record(&self) -> bool {
+        matches!(self, Type::Record(_))
+    }
+
+    /// Is this a set-of-records type (the shape of a relation)?
+    pub fn is_set_of_records(&self) -> bool {
+        matches!(self, Type::Set(elem) if elem.is_record())
+    }
+
+    /// The element type, if this is a set type.
+    pub fn element(&self) -> Option<&Type> {
+        match self {
+            Type::Set(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The record type, if this is a record.
+    pub fn as_record(&self) -> Option<&RecordType> {
+        match self {
+            Type::Record(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The record type of this set's elements, if this is a set of records.
+    pub fn element_record(&self) -> Option<&RecordType> {
+        self.element().and_then(Type::as_record)
+    }
+
+    /// Checks the structural invariants of the model:
+    ///
+    /// 1. constructor alternation according to `strictness`, and
+    /// 2. **no repeated labels anywhere in the type** (the paper's global
+    ///    assumption, e.g. `<A:int, B:{<A:int>}>` is rejected).
+    pub fn validate(&self, strictness: Strictness) -> Result<(), ModelError> {
+        let mut seen = HashSet::new();
+        self.validate_inner(strictness, &mut seen, Position::Top)
+    }
+
+    fn validate_inner(
+        &self,
+        strictness: Strictness,
+        seen: &mut HashSet<Label>,
+        pos: Position,
+    ) -> Result<(), ModelError> {
+        match self {
+            Type::Base(_) => Ok(()),
+            Type::Set(elem) => {
+                match (&**elem, strictness) {
+                    (Type::Record(_), _) => {}
+                    (Type::Base(_), Strictness::AllowBaseSets) => {}
+                    (Type::Base(_), Strictness::Strict) => {
+                        return Err(ModelError::Malformed(
+                            "strict model forbids sets of base values".into(),
+                        ))
+                    }
+                    (Type::Set(_), _) => {
+                        return Err(ModelError::Malformed(
+                            "sets of sets are not allowed (constructors must alternate)".into(),
+                        ))
+                    }
+                }
+                elem.validate_inner(strictness, seen, Position::SetElement)
+            }
+            Type::Record(rec) => {
+                if pos == Position::RecordField {
+                    return Err(ModelError::Malformed(
+                        "records directly inside records are not allowed \
+                         (constructors must alternate)"
+                            .into(),
+                    ));
+                }
+                for f in rec.fields() {
+                    if !seen.insert(f.label) {
+                        return Err(ModelError::DuplicateLabel(f.label));
+                    }
+                    if f.ty.is_record() {
+                        return Err(ModelError::Malformed(format!(
+                            "field `{}` has a bare record type; record fields must be \
+                             base- or set-typed",
+                            f.label
+                        )));
+                    }
+                    f.ty.validate_inner(strictness, seen, Position::RecordField)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Maximum number of set constructors on any root-to-leaf path: the
+    /// nesting depth. A flat (1NF) relation type `{<A:b, …>}` has depth 1.
+    pub fn depth(&self) -> usize {
+        match self {
+            Type::Base(_) => 0,
+            Type::Set(e) => 1 + e.depth(),
+            Type::Record(r) => r.fields().iter().map(|f| f.ty.depth()).max().unwrap_or(0),
+        }
+    }
+
+    /// Total number of labels occurring in the type.
+    pub fn label_count(&self) -> usize {
+        match self {
+            Type::Base(_) => 0,
+            Type::Set(e) => e.label_count(),
+            Type::Record(r) => r
+                .fields()
+                .iter()
+                .map(|f| 1 + f.ty.label_count())
+                .sum::<usize>(),
+        }
+    }
+
+    /// All labels occurring in the type, in preorder.
+    pub fn all_labels(&self) -> Vec<Label> {
+        let mut out = Vec::new();
+        self.collect_labels(&mut out);
+        out
+    }
+
+    fn collect_labels(&self, out: &mut Vec<Label>) {
+        match self {
+            Type::Base(_) => {}
+            Type::Set(e) => e.collect_labels(out),
+            Type::Record(r) => {
+                for f in r.fields() {
+                    out.push(f.label);
+                    f.ty.collect_labels(out);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Base(b) => write!(f, "{b}"),
+            Type::Set(e) => write!(f, "{{{e}}}"),
+            Type::Record(r) => {
+                f.write_str("<")?;
+                for (i, fld) in r.fields().iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{}: {}", fld.label, fld.ty)?;
+                }
+                f.write_str(">")
+            }
+        }
+    }
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Position {
+    Top,
+    SetElement,
+    RecordField,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(s: &str) -> Label {
+        Label::new(s)
+    }
+
+    /// The Course type from the paper's introduction.
+    fn course_type() -> Type {
+        Type::set_of_records(vec![
+            Type::field("cnum", Type::Base(BaseType::String)),
+            Type::field("time", Type::Base(BaseType::Int)),
+            Type::field(
+                "students",
+                Type::Set(Box::new(Type::Record(
+                    RecordType::new(vec![
+                        Type::field("sid", Type::Base(BaseType::Int)),
+                        Type::field("age", Type::Base(BaseType::Int)),
+                        Type::field("grade", Type::Base(BaseType::String)),
+                    ])
+                    .unwrap(),
+                ))),
+            ),
+            Type::field(
+                "books",
+                Type::Set(Box::new(Type::Record(
+                    RecordType::new(vec![
+                        Type::field("isbn", Type::Base(BaseType::String)),
+                        Type::field("title", Type::Base(BaseType::String)),
+                    ])
+                    .unwrap(),
+                ))),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn course_type_is_valid_and_displays() {
+        let t = course_type();
+        t.validate(Strictness::Strict).unwrap();
+        let s = t.to_string();
+        assert!(s.starts_with("{<cnum: string"));
+        assert!(s.contains("students: {<sid: int, age: int, grade: string>}"));
+    }
+
+    #[test]
+    fn depth_and_label_count() {
+        let t = course_type();
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.label_count(), 9);
+        assert!(t.is_set_of_records());
+    }
+
+    #[test]
+    fn duplicate_label_within_record_rejected() {
+        let err = RecordType::new(vec![
+            Type::field("a", Type::Base(BaseType::Int)),
+            Type::field("a", Type::Base(BaseType::Int)),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, ModelError::DuplicateLabel(x) if x == l("a")));
+    }
+
+    #[test]
+    fn repeated_label_across_nesting_rejected() {
+        // <A:int, B:{<A:int>}> — the paper's canonical disallowed example.
+        let t = Type::set_of_records(vec![
+            Type::field("A", Type::Base(BaseType::Int)),
+            Type::field(
+                "B",
+                Type::Set(Box::new(Type::Record(
+                    RecordType::new(vec![Type::field("A", Type::Base(BaseType::Int))]).unwrap(),
+                ))),
+            ),
+        ])
+        .unwrap();
+        assert!(matches!(
+            t.validate(Strictness::Strict),
+            Err(ModelError::DuplicateLabel(x)) if x == l("A")
+        ));
+    }
+
+    #[test]
+    fn set_of_sets_rejected() {
+        let t = Type::Set(Box::new(Type::Set(Box::new(Type::Base(BaseType::Int)))));
+        assert!(t.validate(Strictness::AllowBaseSets).is_err());
+    }
+
+    #[test]
+    fn base_sets_only_in_relaxed_mode() {
+        let t = Type::Set(Box::new(Type::Base(BaseType::Int)));
+        assert!(t.validate(Strictness::Strict).is_err());
+        assert!(t.validate(Strictness::AllowBaseSets).is_ok());
+    }
+
+    #[test]
+    fn record_inside_record_rejected() {
+        let inner = Type::Record(RecordType::new(vec![]).unwrap());
+        let t = Type::Record(RecordType::new(vec![Type::field("r", inner)]).unwrap());
+        let err = t.validate(Strictness::AllowBaseSets).unwrap_err();
+        assert!(err.to_string().contains("base- or set-typed"));
+    }
+
+    #[test]
+    fn field_type_lookup() {
+        let t = course_type();
+        let rec = t.element_record().unwrap();
+        assert!(rec.field_type(l("cnum")).unwrap().is_base());
+        assert!(rec.field_type(l("students")).unwrap().is_set());
+        assert!(rec.field_type(l("nope")).is_none());
+        assert_eq!(rec.arity(), 4);
+    }
+
+    #[test]
+    fn all_labels_preorder() {
+        let t = course_type();
+        let names: Vec<&str> = t.all_labels().iter().map(|x| x.as_str()).collect();
+        assert_eq!(
+            names,
+            ["cnum", "time", "students", "sid", "age", "grade", "books", "isbn", "title"]
+        );
+    }
+}

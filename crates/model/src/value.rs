@@ -1,0 +1,493 @@
+//! Values of the nested relational model.
+//!
+//! A value is a base constant, a finite set, or a record. Sets are kept in a
+//! canonical sorted, deduplicated representation so that `==` is genuine set
+//! equality — the paper's dependencies compare set-valued attributes
+//! extensionally (e.g. `Course:[cnum → students]` compares whole student
+//! sets).
+
+use crate::error::ModelError;
+use crate::label::Label;
+use crate::types::{RecordType, Type};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A constant of a base type.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum BaseValue {
+    /// An integer constant.
+    Int(i64),
+    /// A string constant.
+    Str(String),
+    /// A boolean constant.
+    Bool(bool),
+}
+
+impl fmt::Display for BaseValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaseValue::Int(i) => write!(f, "{i}"),
+            BaseValue::Str(s) => write!(f, "{s:?}"),
+            BaseValue::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// A finite set value in canonical (sorted, deduplicated) form.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SetValue {
+    elems: Vec<Value>,
+}
+
+impl SetValue {
+    /// Builds a set from arbitrary elements; duplicates collapse.
+    pub fn new(mut elems: Vec<Value>) -> SetValue {
+        elems.sort();
+        elems.dedup();
+        SetValue { elems }
+    }
+
+    /// The empty set.
+    pub fn empty() -> SetValue {
+        SetValue { elems: Vec::new() }
+    }
+
+    /// Elements in canonical order.
+    pub fn elems(&self) -> &[Value] {
+        &self.elems
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Is the set empty? Empty sets are the crux of Section 3.2.
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// Membership test (binary search over the canonical order).
+    pub fn contains(&self, v: &Value) -> bool {
+        self.elems.binary_search(v).is_ok()
+    }
+
+    /// Inserts an element, preserving canonical form. Returns `true` if the
+    /// element was new.
+    pub fn insert(&mut self, v: Value) -> bool {
+        match self.elems.binary_search(&v) {
+            Ok(_) => false,
+            Err(i) => {
+                self.elems.insert(i, v);
+                true
+            }
+        }
+    }
+
+    /// Do the two sets share no elements? Used for the paper's observation
+    /// that `x0:[x1:x2 → x1]` forces distinct `x1` sets to be disjoint.
+    pub fn is_disjoint(&self, other: &SetValue) -> bool {
+        // Merge walk over the two canonical orders.
+        let (mut i, mut j) = (0, 0);
+        while i < self.elems.len() && j < other.elems.len() {
+            match self.elems[i].cmp(&other.elems[j]) {
+                Ordering::Less => i += 1,
+                Ordering::Greater => j += 1,
+                Ordering::Equal => return false,
+            }
+        }
+        true
+    }
+}
+
+impl FromIterator<Value> for SetValue {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> SetValue {
+        SetValue::new(iter.into_iter().collect())
+    }
+}
+
+/// A record value `<A1 ↦ v1, …, An ↦ vn>`.
+///
+/// Fields are stored sorted by label symbol so that records compare
+/// structurally regardless of construction order.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RecordValue {
+    fields: Vec<(Label, Value)>,
+}
+
+impl RecordValue {
+    /// Builds a record from `(label, value)` pairs. Duplicate labels are
+    /// rejected.
+    pub fn new(mut fields: Vec<(Label, Value)>) -> Result<RecordValue, ModelError> {
+        fields.sort_by_key(|(l, _)| *l);
+        for w in fields.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(ModelError::DuplicateLabel(w[0].0));
+            }
+        }
+        Ok(RecordValue { fields })
+    }
+
+    /// The fields in canonical (label-symbol) order.
+    pub fn fields(&self) -> &[(Label, Value)] {
+        &self.fields
+    }
+
+    /// Projects field `label` (the paper's `π_A`), if present.
+    pub fn get(&self, label: Label) -> Option<&Value> {
+        self.fields
+            .binary_search_by_key(&label, |(l, _)| *l)
+            .ok()
+            .map(|i| &self.fields[i].1)
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+}
+
+/// A value of the nested relational model.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Value {
+    /// A base constant.
+    Base(BaseValue),
+    /// A set value.
+    Set(SetValue),
+    /// A record value.
+    Record(RecordValue),
+}
+
+impl Value {
+    /// Integer constant shorthand.
+    pub fn int(i: i64) -> Value {
+        Value::Base(BaseValue::Int(i))
+    }
+
+    /// String constant shorthand.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Base(BaseValue::Str(s.into()))
+    }
+
+    /// Boolean constant shorthand.
+    pub fn bool(b: bool) -> Value {
+        Value::Base(BaseValue::Bool(b))
+    }
+
+    /// Set shorthand.
+    pub fn set(elems: impl IntoIterator<Item = Value>) -> Value {
+        Value::Set(elems.into_iter().collect())
+    }
+
+    /// The empty set.
+    pub fn empty_set() -> Value {
+        Value::Set(SetValue::empty())
+    }
+
+    /// Record shorthand; panics on duplicate labels (builder convenience for
+    /// tests and examples — use [`RecordValue::new`] to handle the error).
+    pub fn record(fields: Vec<(Label, Value)>) -> Value {
+        Value::Record(RecordValue::new(fields).expect("duplicate label in record literal"))
+    }
+
+    /// Record shorthand over `&str` labels.
+    pub fn record_of(fields: Vec<(&str, Value)>) -> Value {
+        Value::record(
+            fields
+                .into_iter()
+                .map(|(l, v)| (Label::new(l), v))
+                .collect(),
+        )
+    }
+
+    /// Set view, if this is a set.
+    pub fn as_set(&self) -> Option<&SetValue> {
+        match self {
+            Value::Set(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Record view, if this is a record.
+    pub fn as_record(&self) -> Option<&RecordValue> {
+        match self {
+            Value::Record(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Base view, if this is a base constant.
+    pub fn as_base(&self) -> Option<&BaseValue> {
+        match self {
+            Value::Base(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Checks that `self` inhabits `ty`. Returns the first mismatch found,
+    /// with a `/`-separated trail to its location.
+    pub fn typecheck(&self, ty: &Type) -> Result<(), ModelError> {
+        self.typecheck_at(ty, &mut String::new())
+    }
+
+    fn typecheck_at(&self, ty: &Type, at: &mut String) -> Result<(), ModelError> {
+        let mismatch = |expected: &Type, found: &Value, at: &str| ModelError::TypeMismatch {
+            expected: expected.to_string(),
+            found: found.brief(),
+            at: if at.is_empty() { "<root>".into() } else { at.into() },
+        };
+        match (self, ty) {
+            (Value::Base(BaseValue::Int(_)), Type::Base(crate::types::BaseType::Int))
+            | (Value::Base(BaseValue::Str(_)), Type::Base(crate::types::BaseType::String))
+            | (Value::Base(BaseValue::Bool(_)), Type::Base(crate::types::BaseType::Bool)) => Ok(()),
+            (Value::Set(s), Type::Set(elem_ty)) => {
+                for (i, e) in s.elems().iter().enumerate() {
+                    let len = at.len();
+                    if !at.is_empty() {
+                        at.push('/');
+                    }
+                    at.push_str(&format!("[{i}]"));
+                    e.typecheck_at(elem_ty, at)?;
+                    at.truncate(len);
+                }
+                Ok(())
+            }
+            (Value::Record(r), Type::Record(rt)) => {
+                check_record(r, rt, at)?;
+                Ok(())
+            }
+            _ => Err(mismatch(ty, self, at)),
+        }
+    }
+
+    /// A short description of the value's shape, for error messages.
+    fn brief(&self) -> String {
+        match self {
+            Value::Base(b) => format!("base value {b}"),
+            Value::Set(s) => format!("set of {} elements", s.len()),
+            Value::Record(r) => format!("record of arity {}", r.arity()),
+        }
+    }
+
+    /// Does any set anywhere inside this value have zero elements? The
+    /// Theorem 3.1 axiomatization is only complete for instances where this
+    /// is `false`.
+    pub fn contains_empty_set(&self) -> bool {
+        match self {
+            Value::Base(_) => false,
+            Value::Set(s) => s.is_empty() || s.elems().iter().any(Value::contains_empty_set),
+            Value::Record(r) => r.fields().iter().any(|(_, v)| v.contains_empty_set()),
+        }
+    }
+
+    /// Total number of base constants in the value (a size measure for
+    /// benches and generators).
+    pub fn base_count(&self) -> usize {
+        match self {
+            Value::Base(_) => 1,
+            Value::Set(s) => s.elems().iter().map(Value::base_count).sum(),
+            Value::Record(r) => r.fields().iter().map(|(_, v)| v.base_count()).sum(),
+        }
+    }
+}
+
+fn check_record(r: &RecordValue, rt: &RecordType, at: &mut String) -> Result<(), ModelError> {
+    for f in rt.fields() {
+        let Some(v) = r.get(f.label) else {
+            return Err(ModelError::MissingField(f.label));
+        };
+        let len = at.len();
+        if !at.is_empty() {
+            at.push('/');
+        }
+        at.push_str(f.label.as_str());
+        v.typecheck_at(&f.ty, at)?;
+        at.truncate(len);
+    }
+    if r.arity() != rt.arity() {
+        for (l, _) in r.fields() {
+            if rt.field_type(*l).is_none() {
+                return Err(ModelError::UnexpectedField(*l));
+            }
+        }
+    }
+    Ok(())
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Base(b) => write!(f, "{b}"),
+            Value::Set(s) => {
+                f.write_str("{")?;
+                for (i, e) in s.elems().iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                f.write_str("}")
+            }
+            Value::Record(r) => {
+                f.write_str("<")?;
+                for (i, (l, v)) in r.fields().iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{l}: {v}")?;
+                }
+                f.write_str(">")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{BaseType, Strictness};
+
+    #[test]
+    fn set_equality_is_extensional() {
+        let a = Value::set([Value::int(1), Value::int(2)]);
+        let b = Value::set([Value::int(2), Value::int(1), Value::int(2)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_set_detection() {
+        let v = Value::record_of(vec![
+            ("A", Value::int(1)),
+            ("B", Value::empty_set()),
+        ]);
+        assert!(v.contains_empty_set());
+        let w = Value::record_of(vec![
+            ("A", Value::int(1)),
+            ("B", Value::set([Value::record_of(vec![("C", Value::int(3))])])),
+        ]);
+        assert!(!w.contains_empty_set());
+    }
+
+    #[test]
+    fn record_field_order_is_canonical() {
+        let a = Value::record_of(vec![("x", Value::int(1)), ("y", Value::int(2))]);
+        let b = Value::record_of(vec![("y", Value::int(2)), ("x", Value::int(1))]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn record_projection() {
+        let r = Value::record_of(vec![("sid", Value::int(1001)), ("grade", Value::str("A"))]);
+        let rec = r.as_record().unwrap();
+        assert_eq!(rec.get(Label::new("sid")), Some(&Value::int(1001)));
+        assert_eq!(rec.get(Label::new("nope")), None);
+    }
+
+    #[test]
+    fn duplicate_record_label_rejected() {
+        let err = RecordValue::new(vec![
+            (Label::new("d"), Value::int(1)),
+            (Label::new("d"), Value::int(2)),
+        ])
+        .unwrap_err();
+        assert_eq!(err, ModelError::DuplicateLabel(Label::new("d")));
+    }
+
+    #[test]
+    fn typecheck_accepts_conforming_value() {
+        let ty = Type::set_of_records(vec![
+            Type::field("sid", Type::Base(BaseType::Int)),
+            Type::field("grade", Type::Base(BaseType::String)),
+        ])
+        .unwrap();
+        ty.validate(Strictness::Strict).unwrap();
+        let v = Value::set([
+            Value::record_of(vec![("sid", Value::int(1)), ("grade", Value::str("A"))]),
+            Value::record_of(vec![("sid", Value::int(2)), ("grade", Value::str("B"))]),
+        ]);
+        v.typecheck(&ty).unwrap();
+    }
+
+    #[test]
+    fn typecheck_rejects_wrong_base_type() {
+        let ty = Type::Base(BaseType::Int);
+        let err = Value::str("oops").typecheck(&ty).unwrap_err();
+        assert!(matches!(err, ModelError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn typecheck_reports_nested_location() {
+        let ty = Type::set_of_records(vec![Type::field("sid", Type::Base(BaseType::Int))]).unwrap();
+        let v = Value::set([Value::record_of(vec![("sid", Value::str("bad"))])]);
+        let err = v.typecheck(&ty).unwrap_err();
+        match err {
+            ModelError::TypeMismatch { at, .. } => assert_eq!(at, "[0]/sid"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn typecheck_missing_and_extra_fields() {
+        let ty = Type::set_of_records(vec![
+            Type::field("a", Type::Base(BaseType::Int)),
+            Type::field("b", Type::Base(BaseType::Int)),
+        ])
+        .unwrap();
+        let missing = Value::set([Value::record_of(vec![("a", Value::int(1))])]);
+        assert!(matches!(
+            missing.typecheck(&ty),
+            Err(ModelError::MissingField(l)) if l == Label::new("b")
+        ));
+        let extra = Value::set([Value::record_of(vec![
+            ("a", Value::int(1)),
+            ("b", Value::int(2)),
+            ("c", Value::int(3)),
+        ])]);
+        assert!(matches!(
+            extra.typecheck(&ty),
+            Err(ModelError::UnexpectedField(l)) if l == Label::new("c")
+        ));
+    }
+
+    #[test]
+    fn set_insert_and_contains() {
+        let mut s = SetValue::empty();
+        assert!(s.insert(Value::int(5)));
+        assert!(!s.insert(Value::int(5)));
+        assert!(s.insert(Value::int(3)));
+        assert!(s.contains(&Value::int(5)));
+        assert!(!s.contains(&Value::int(4)));
+        assert_eq!(s.elems(), &[Value::int(3), Value::int(5)]);
+    }
+
+    #[test]
+    fn disjointness() {
+        let a: SetValue = [Value::int(1), Value::int(2)].into_iter().collect();
+        let b: SetValue = [Value::int(3), Value::int(4)].into_iter().collect();
+        let c: SetValue = [Value::int(2), Value::int(3)].into_iter().collect();
+        assert!(a.is_disjoint(&b));
+        assert!(!a.is_disjoint(&c));
+        assert!(SetValue::empty().is_disjoint(&a));
+    }
+
+    #[test]
+    fn display_forms() {
+        let v = Value::record_of(vec![
+            ("cnum", Value::str("cis550")),
+            ("students", Value::set([Value::record_of(vec![("sid", Value::int(1))])])),
+        ]);
+        let s = v.to_string();
+        assert!(s.contains("cnum: \"cis550\""));
+        assert!(s.contains("students: {<sid: 1>}"));
+    }
+
+    #[test]
+    fn base_count() {
+        let v = Value::set([
+            Value::record_of(vec![("a", Value::int(1)), ("b", Value::set([Value::int(2)]))]),
+            Value::record_of(vec![("a", Value::int(3)), ("b", Value::empty_set())]),
+        ]);
+        assert_eq!(v.base_count(), 3);
+    }
+}

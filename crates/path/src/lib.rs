@@ -1,0 +1,31 @@
+//! # nfd-path — path expressions over nested relational types
+//!
+//! Implements Section 2.1 of *"Reasoning about Nested Functional
+//! Dependencies"* (Hara & Davidson, PODS 1999):
+//!
+//! * [`Path`] — path expressions `A1:…:Ak` (Definition 2.1), where `:`
+//!   denotes traversal into a set, with parsing, display, and the
+//!   prefix / proper-prefix (Definition 2.2) and *follows* (Definition 3.2)
+//!   relations;
+//! * [`RootedPath`] — a path anchored at a relation name (`x0 = R y`), the
+//!   base paths of NFDs;
+//! * [`typing`] — well-typedness of paths with respect to a type, and
+//!   enumeration of `Paths(SC)` (Definition A.1);
+//! * [`trie`] — prefix tries over path sets, realizing the *coincidence*
+//!   condition of Definition 2.4 (paths that share a prefix share the
+//!   element choices along it);
+//! * [`nav`] — navigation of values along paths: enumeration of base-path
+//!   navigations and of trie-consistent assignments, the semantic engine
+//!   behind both satisfaction checkers.
+
+#![warn(missing_docs)]
+
+pub mod nav;
+pub mod path;
+pub mod trie;
+pub mod typing;
+
+pub use nav::{Assignment, BaseNav};
+pub use path::{Path, RootedPath};
+pub use trie::PathTrie;
+pub use typing::PathTypeError;

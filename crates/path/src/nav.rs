@@ -1,0 +1,474 @@
+//! Navigation of values along paths.
+//!
+//! Two enumerations drive the semantics of NFDs (Definition 2.4 read
+//! through the logic translation of Section 2.2):
+//!
+//! 1. **Base navigations** ([`for_each_base_nav`]): the base path
+//!    `x0 = R:y1:…:yk` is walked with *one shared variable per interior
+//!    label*; each complete walk ends at a set value, from which the
+//!    quantified pair `v1, v2` is drawn.
+//! 2. **Assignments** ([`for_each_assignment`]): below a chosen element
+//!    `v`, the component paths `x1…xm` are evaluated with one element
+//!    choice per internal trie node (the *coincidence* condition). An
+//!    assignment is **total**: it fixes a value for every target path. If
+//!    any traversed set is empty, no total assignment exists along that
+//!    branch — the corresponding universally quantified formula is
+//!    vacuously true, which is how the paper's "trivially true" clause and
+//!    the Section 3.2 phenomena arise.
+
+use crate::path::{Path, RootedPath};
+use crate::trie::{PathTrie, TrieNode};
+use nfd_model::{Instance, RecordValue, SetValue, Value};
+
+/// A total assignment: one value per target path of a [`PathTrie`], indexed
+/// compatibly with [`PathTrie::targets`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Assignment {
+    values: Vec<Value>,
+}
+
+impl Assignment {
+    /// The value assigned to target `idx`.
+    pub fn value(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// All values, in target order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Projects the assignment onto a subset of target indices (used to
+    /// extract the LHS tuple of an NFD).
+    pub fn project(&self, indices: &[usize]) -> Vec<Value> {
+        indices.iter().map(|&i| self.values[i].clone()).collect()
+    }
+}
+
+/// One interior walk of a base path, ending at a set value.
+///
+/// `choices` records the interior element picks (for witness reporting);
+/// `set` is the final set from which `v1, v2` are drawn.
+#[derive(Clone, Debug)]
+pub struct BaseNav<'a> {
+    /// The interior elements chosen, outermost first (empty when the base
+    /// path is a bare relation name).
+    pub choices: Vec<&'a RecordValue>,
+    /// The set value at the end of the base path.
+    pub set: &'a SetValue,
+}
+
+/// Enumerates every interior navigation of `base` over `instance`, calling
+/// `f` with each complete walk. Walks blocked by an empty interior set are
+/// simply absent (vacuous quantification).
+///
+/// Returns an error only if the instance lacks the relation or the walked
+/// values have the wrong shape (impossible for instances validated against
+/// a schema the path is well-typed in).
+pub fn for_each_base_nav<'a, F>(
+    instance: &'a Instance,
+    base: &RootedPath,
+    mut f: F,
+) -> Result<(), NavError>
+where
+    F: FnMut(&BaseNav<'a>),
+{
+    let root = instance
+        .relation(base.relation)
+        .map_err(|_| NavError::UnknownRelation(base.relation.to_string()))?;
+    let labels = base.path.labels();
+    if labels.is_empty() {
+        f(&BaseNav {
+            choices: Vec::new(),
+            set: root,
+        });
+        return Ok(());
+    }
+    let mut choices: Vec<&'a RecordValue> = Vec::with_capacity(labels.len());
+    walk_base(root, labels, &mut choices, &mut f)?;
+    Ok(())
+}
+
+fn walk_base<'a, F>(
+    set: &'a SetValue,
+    labels: &[nfd_model::Label],
+    choices: &mut Vec<&'a RecordValue>,
+    f: &mut F,
+) -> Result<(), NavError>
+where
+    F: FnMut(&BaseNav<'a>),
+{
+    let (label, rest) = (labels[0], &labels[1..]);
+    for elem in set.elems() {
+        let rec = elem
+            .as_record()
+            .ok_or_else(|| NavError::NotARecord(label.to_string()))?;
+        let v = rec
+            .get(label)
+            .ok_or_else(|| NavError::MissingField(label.to_string()))?;
+        let inner = v
+            .as_set()
+            .ok_or_else(|| NavError::NotASet(label.to_string()))?;
+        choices.push(rec);
+        if rest.is_empty() {
+            f(&BaseNav {
+                choices: choices.clone(),
+                set: inner,
+            });
+        } else {
+            walk_base(inner, rest, choices, f)?;
+        }
+        choices.pop();
+    }
+    Ok(())
+}
+
+/// Errors raised during navigation; with validated instances and well-typed
+/// paths these are unreachable, but the API does not assume that.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NavError {
+    /// The instance has no such relation.
+    UnknownRelation(String),
+    /// Traversed into a set whose elements are not records.
+    NotARecord(String),
+    /// Projected a field that the record value lacks.
+    MissingField(String),
+    /// Traversed a label whose value is not a set.
+    NotASet(String),
+}
+
+impl std::fmt::Display for NavError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NavError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            NavError::NotARecord(l) => write!(f, "elements under `{l}` are not records"),
+            NavError::MissingField(l) => write!(f, "record value lacks field `{l}`"),
+            NavError::NotASet(l) => write!(f, "value of `{l}` is not a set"),
+        }
+    }
+}
+
+impl std::error::Error for NavError {}
+
+/// Enumerates every total, trie-consistent assignment of the trie's target
+/// paths below the record `v`, calling `f` for each.
+///
+/// The cross product is taken over sibling subtrees; one element choice is
+/// made per internal node. If a traversed set is empty the entire product
+/// below it is empty: **no** assignment is produced for that combination of
+/// outer choices.
+pub fn for_each_assignment<F>(v: &RecordValue, trie: &PathTrie, mut f: F) -> Result<(), NavError>
+where
+    F: FnMut(&Assignment),
+{
+    let mut values: Vec<Option<Value>> = vec![None; trie.len()];
+    let mut emit = |vals: &mut Vec<Option<Value>>| -> Result<(), NavError> {
+        f(&Assignment {
+            values: vals
+                .iter()
+                .map(|v| v.clone().expect("assignment is total at emit time"))
+                .collect(),
+        });
+        Ok(())
+    };
+    with_siblings(v, trie.roots(), &mut values, &mut emit)
+}
+
+/// The continuation invoked once the current subtree is fully assigned.
+/// Recursion through nesting levels is unbounded, so the continuation is a
+/// trait object (a generic closure here would monomorphize without bound).
+type Cont<'c> = &'c mut dyn FnMut(&mut Vec<Option<Value>>) -> Result<(), NavError>;
+
+/// Handles the sibling nodes `nodes` under record `rec`: fills in target
+/// values (no choice involved), then takes the cross product of element
+/// choices over the internal siblings, calling `k` for each combination.
+/// Restores `values` afterwards.
+fn with_siblings(
+    rec: &RecordValue,
+    nodes: &[TrieNode],
+    values: &mut Vec<Option<Value>>,
+    k: Cont<'_>,
+) -> Result<(), NavError> {
+    let mut set_targets: Vec<usize> = Vec::new();
+    for node in nodes {
+        if let Some(idx) = node.target {
+            let val = rec
+                .get(node.label)
+                .ok_or_else(|| NavError::MissingField(node.label.to_string()))?;
+            values[idx] = Some(val.clone());
+            set_targets.push(idx);
+        }
+    }
+    let internal: Vec<&TrieNode> = nodes.iter().filter(|n| !n.children.is_empty()).collect();
+    expand_internal(rec, &internal, 0, values, k)?;
+    for idx in set_targets {
+        values[idx] = None;
+    }
+    Ok(())
+}
+
+/// Expands internal sibling `i` of `internal`: one element choice per
+/// iteration, each completed by recursing into the element's subtree and
+/// then moving on to sibling `i + 1`.
+fn expand_internal(
+    rec: &RecordValue,
+    internal: &[&TrieNode],
+    i: usize,
+    values: &mut Vec<Option<Value>>,
+    k: Cont<'_>,
+) -> Result<(), NavError> {
+    if i == internal.len() {
+        return k(values);
+    }
+    let node = internal[i];
+    let val = rec
+        .get(node.label)
+        .ok_or_else(|| NavError::MissingField(node.label.to_string()))?;
+    let set = val
+        .as_set()
+        .ok_or_else(|| NavError::NotASet(node.label.to_string()))?;
+    for elem in set.elems() {
+        let inner = elem
+            .as_record()
+            .ok_or_else(|| NavError::NotARecord(node.label.to_string()))?;
+        // Split the borrow of `k` across the two nested uses via a local
+        // trampoline closure.
+        let mut continue_with_next =
+            |values: &mut Vec<Option<Value>>| expand_internal(rec, internal, i + 1, values, k);
+        with_siblings(inner, &node.children, values, &mut continue_with_next)?;
+    }
+    Ok(())
+}
+
+/// Collects all assignments into a vector (convenience for tests and small
+/// inputs; the streaming form is [`for_each_assignment`]).
+pub fn assignments(v: &RecordValue, trie: &PathTrie) -> Result<Vec<Assignment>, NavError> {
+    let mut out = Vec::new();
+    for_each_assignment(v, trie, |a| out.push(a.clone()))?;
+    Ok(out)
+}
+
+/// All values reachable from `v` along `path` (one per branch choice),
+/// ignoring trie consistency — the plain path semantics `p(v)` of
+/// Section 2.1. Values blocked by empty sets are absent.
+pub fn eval_path<'a>(v: &'a RecordValue, path: &Path) -> Vec<&'a Value> {
+    let mut out = Vec::new();
+    fn go<'a>(rec: &'a RecordValue, labels: &[nfd_model::Label], out: &mut Vec<&'a Value>) {
+        let Some((&label, rest)) = labels.split_first() else {
+            return;
+        };
+        let Some(val) = rec.get(label) else {
+            return;
+        };
+        if rest.is_empty() {
+            out.push(val);
+        } else if let Some(set) = val.as_set() {
+            for e in set.elems() {
+                if let Some(r) = e.as_record() {
+                    go(r, rest, out);
+                }
+            }
+        }
+    }
+    go(v, path.labels(), &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfd_model::{Instance, Label, Schema};
+
+    fn p(s: &str) -> Path {
+        Path::parse(s).unwrap()
+    }
+
+    fn setup() -> (Schema, Instance) {
+        let schema = Schema::parse(
+            "R : { <A: int, B: {<C: int, D: int>}, E: {<F: int>}> };",
+        )
+        .unwrap();
+        let inst = Instance::parse(
+            &schema,
+            "R = { <A: 1,
+                    B: {<C: 10, D: 11>, <C: 20, D: 21>},
+                    E: {<F: 5>}>,
+                   <A: 2, B: {}, E: {<F: 6>, <F: 7>}> };",
+        )
+        .unwrap();
+        (schema, inst)
+    }
+
+    #[test]
+    fn base_nav_bare_relation() {
+        let (_, inst) = setup();
+        let mut navs = 0;
+        for_each_base_nav(&inst, &RootedPath::parse("R").unwrap(), |nav| {
+            navs += 1;
+            assert!(nav.choices.is_empty());
+            assert_eq!(nav.set.len(), 2);
+        })
+        .unwrap();
+        assert_eq!(navs, 1);
+    }
+
+    #[test]
+    fn base_nav_one_level() {
+        let (_, inst) = setup();
+        // R:B — one navigation per tuple of R, ending at that tuple's B set.
+        let mut sizes = Vec::new();
+        for_each_base_nav(&inst, &RootedPath::parse("R:B").unwrap(), |nav| {
+            assert_eq!(nav.choices.len(), 1);
+            sizes.push(nav.set.len());
+        })
+        .unwrap();
+        sizes.sort_unstable();
+        assert_eq!(sizes, [0, 2]);
+    }
+
+    #[test]
+    fn base_nav_unknown_relation() {
+        let (_, inst) = setup();
+        assert!(for_each_base_nav(&inst, &RootedPath::parse("Z").unwrap(), |_| {}).is_err());
+    }
+
+    fn first_tuple(inst: &Instance) -> &RecordValue {
+        // Canonical order puts A:1 first.
+        inst.relation(Label::new("R")).unwrap().elems()[0]
+            .as_record()
+            .unwrap()
+    }
+
+    #[test]
+    fn assignments_cross_product() {
+        let (_, inst) = setup();
+        let v = first_tuple(&inst);
+        // Paths B:C and E:F: 2 choices in B × 1 choice in E = 2 assignments.
+        let trie = PathTrie::new([p("B:C"), p("E:F")]);
+        let asg = assignments(v, &trie).unwrap();
+        assert_eq!(asg.len(), 2);
+        let mut cs: Vec<i64> = asg
+            .iter()
+            .map(|a| match a.value(0) {
+                Value::Base(nfd_model::BaseValue::Int(i)) => *i,
+                _ => panic!(),
+            })
+            .collect();
+        cs.sort_unstable();
+        assert_eq!(cs, [10, 20]);
+    }
+
+    #[test]
+    fn coincidence_shared_prefix() {
+        let (_, inst) = setup();
+        let v = first_tuple(&inst);
+        // B:C and B:D share the traversal of B: 2 assignments, and in each
+        // the C and D come from the SAME element.
+        let trie = PathTrie::new([p("B:C"), p("B:D")]);
+        let asg = assignments(v, &trie).unwrap();
+        assert_eq!(asg.len(), 2);
+        for a in &asg {
+            let c = a.value(0).as_base().unwrap();
+            let d = a.value(1).as_base().unwrap();
+            match (c, d) {
+                (nfd_model::BaseValue::Int(c), nfd_model::BaseValue::Int(d)) => {
+                    assert_eq!(*d, *c + 1, "C and D must come from the same element");
+                }
+                _ => panic!(),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_set_kills_whole_product() {
+        let (_, inst) = setup();
+        // Second tuple has B = {}: no assignment involving B:C exists, even
+        // though E:F alone has choices.
+        let v = inst.relation(Label::new("R")).unwrap().elems()[1]
+            .as_record()
+            .unwrap();
+        let trie = PathTrie::new([p("B:C"), p("E:F")]);
+        assert_eq!(assignments(v, &trie).unwrap().len(), 0);
+        // E:F alone: two assignments.
+        let trie = PathTrie::new([p("E:F")]);
+        assert_eq!(assignments(v, &trie).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn target_and_internal_node() {
+        let (_, inst) = setup();
+        let v = first_tuple(&inst);
+        // {B, B:C}: B is the whole set, B:C picks elements of the same set.
+        let trie = PathTrie::new([p("B"), p("B:C")]);
+        let asg = assignments(v, &trie).unwrap();
+        assert_eq!(asg.len(), 2);
+        for a in &asg {
+            let b = a.value(0).as_set().unwrap();
+            assert_eq!(b.len(), 2);
+        }
+    }
+
+    #[test]
+    fn base_path_target_only() {
+        let (_, inst) = setup();
+        let v = first_tuple(&inst);
+        let trie = PathTrie::new([p("A")]);
+        let asg = assignments(v, &trie).unwrap();
+        assert_eq!(asg.len(), 1);
+        assert_eq!(asg[0].value(0), &Value::int(1));
+    }
+
+    #[test]
+    fn eval_path_all_branches() {
+        let (_, inst) = setup();
+        let v = first_tuple(&inst);
+        let vals = eval_path(v, &p("B:C"));
+        assert_eq!(vals.len(), 2);
+        let vals = eval_path(v, &p("A"));
+        assert_eq!(vals, vec![&Value::int(1)]);
+        assert!(eval_path(v, &p("nope")).is_empty());
+    }
+
+    #[test]
+    fn assignment_projection() {
+        let (_, inst) = setup();
+        let v = first_tuple(&inst);
+        let trie = PathTrie::new([p("A"), p("E:F")]);
+        let asg = assignments(v, &trie).unwrap();
+        assert_eq!(asg.len(), 1);
+        assert_eq!(asg[0].project(&[1]), vec![Value::int(5)]);
+        assert_eq!(asg[0].values().len(), 2);
+    }
+
+    #[test]
+    fn deep_nesting_three_levels() {
+        let schema = Schema::parse("R : {<A: {<B: {<C: int>}, H: int>}>};").unwrap();
+        let inst = Instance::parse(
+            &schema,
+            "R = { <A: {<B: {<C: 1>, <C: 2>}, H: 9>,
+                       <B: {<C: 3>}, H: 8>}> };",
+        )
+        .unwrap();
+        let v = inst.relation(Label::new("R")).unwrap().elems()[0]
+            .as_record()
+            .unwrap();
+        let trie = PathTrie::new([p("A:B:C"), p("A:H")]);
+        let asg = assignments(v, &trie).unwrap();
+        // Element <B:{1,2},H:9> gives 2, element <B:{3},H:8> gives 1.
+        assert_eq!(asg.len(), 3);
+        // Coincidence: (C,H) pairs must be (1,9),(2,9),(3,8).
+        let mut pairs: Vec<(Value, Value)> = asg
+            .iter()
+            .map(|a| (a.value(0).clone(), a.value(1).clone()))
+            .collect();
+        pairs.sort();
+        assert_eq!(
+            pairs,
+            vec![
+                (Value::int(1), Value::int(9)),
+                (Value::int(2), Value::int(9)),
+                (Value::int(3), Value::int(8)),
+            ]
+        );
+    }
+}

@@ -1,0 +1,393 @@
+//! Path expressions and their syntactic relations.
+//!
+//! A [`Path`] is a (possibly empty) sequence of labels `A1:…:Ak`; the `:`
+//! separating consecutive labels denotes traversal into the set value of the
+//! preceding label (Definition 2.1). The empty path is `ε`.
+//!
+//! A [`RootedPath`] anchors a path at a relation name, the form `x0 = R y`
+//! required of NFD base paths (Definition 2.3).
+
+use nfd_model::{Label, ModelError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A path expression `A1:…:Ak` (`k ≥ 0`; `k = 0` is the empty path `ε`).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Path {
+    labels: Box<[Label]>,
+}
+
+impl Path {
+    /// The empty path `ε`.
+    pub fn empty() -> Path {
+        Path { labels: Box::new([]) }
+    }
+
+    /// Builds a path from labels.
+    pub fn new(labels: impl IntoIterator<Item = Label>) -> Path {
+        Path {
+            labels: labels.into_iter().collect(),
+        }
+    }
+
+    /// Builds a path from `&str` label names: `Path::of(["students", "sid"])`.
+    pub fn of<'a>(labels: impl IntoIterator<Item = &'a str>) -> Path {
+        Path::new(labels.into_iter().map(Label::new))
+    }
+
+    /// Parses `"A:B:C"`; the empty string parses to `ε`.
+    pub fn parse(text: &str) -> Result<Path, ModelError> {
+        let text = text.trim();
+        if text.is_empty() {
+            return Ok(Path::empty());
+        }
+        let mut labels = Vec::new();
+        for part in text.split(':') {
+            let part = part.trim();
+            if part.is_empty()
+                || !part
+                    .chars()
+                    .all(|c| c.is_alphanumeric() || c == '_')
+                || part.chars().next().is_some_and(|c| c.is_ascii_digit())
+            {
+                return Err(ModelError::Parse {
+                    msg: format!("invalid path segment `{part}` in `{text}`"),
+                    line: 1,
+                    col: 1,
+                });
+            }
+            labels.push(Label::new(part));
+        }
+        Ok(Path::new(labels))
+    }
+
+    /// The labels of the path.
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Number of labels (`|p|`).
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Is this the empty path `ε`?
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// First label, if any.
+    pub fn first(&self) -> Option<Label> {
+        self.labels.first().copied()
+    }
+
+    /// Last label, if any.
+    pub fn last(&self) -> Option<Label> {
+        self.labels.last().copied()
+    }
+
+    /// The path without its last label (`A1:…:Ak-1`); `None` for `ε`.
+    pub fn parent(&self) -> Option<Path> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(Path::new(self.labels[..self.labels.len() - 1].iter().copied()))
+        }
+    }
+
+    /// The path without its first label; `None` for `ε`.
+    pub fn tail(&self) -> Option<Path> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(Path::new(self.labels[1..].iter().copied()))
+        }
+    }
+
+    /// Concatenation `self : other` (written `x:X` in the paper's rules).
+    pub fn join(&self, other: &Path) -> Path {
+        Path::new(self.labels.iter().chain(other.labels.iter()).copied())
+    }
+
+    /// Extends the path by one label.
+    pub fn child(&self, label: Label) -> Path {
+        Path::new(self.labels.iter().copied().chain(std::iter::once(label)))
+    }
+
+    /// Definition 2.2: `self` is a **prefix** of `other` iff
+    /// `other = self · p'` (every path is a prefix of itself; `ε` is a
+    /// prefix of every path).
+    pub fn is_prefix_of(&self, other: &Path) -> bool {
+        self.len() <= other.len() && self.labels[..] == other.labels[..self.len()]
+    }
+
+    /// Definition 2.2: proper prefix (`self` is a prefix of `other` and
+    /// `self ≠ other`).
+    pub fn is_proper_prefix_of(&self, other: &Path) -> bool {
+        self.len() < other.len() && self.is_prefix_of(other)
+    }
+
+    /// Definition 3.2: `self` **follows** `other` iff `self = p·A` and `p`
+    /// is a *proper* prefix of `other`. Intuitively, `self` only traverses
+    /// set-valued attributes that `other` also traverses.
+    ///
+    /// Examples from the paper: `A` follows any path of length ≥ 1;
+    /// `A:B` follows `A:B` and `A:C:D`, but neither `A` nor `F:G`.
+    pub fn follows(&self, other: &Path) -> bool {
+        match self.parent() {
+            Some(p) => p.is_proper_prefix_of(other),
+            None => false, // ε follows nothing (it has no last label)
+        }
+    }
+
+    /// The longest common prefix of two paths.
+    pub fn common_prefix(&self, other: &Path) -> Path {
+        let n = self
+            .labels
+            .iter()
+            .zip(other.labels.iter())
+            .take_while(|(a, b)| a == b)
+            .count();
+        Path::new(self.labels[..n].iter().copied())
+    }
+
+    /// If `prefix` is a prefix of `self`, the remainder `p'` with
+    /// `self = prefix · p'`.
+    pub fn strip_prefix(&self, prefix: &Path) -> Option<Path> {
+        if prefix.is_prefix_of(self) {
+            Some(Path::new(self.labels[prefix.len()..].iter().copied()))
+        } else {
+            None
+        }
+    }
+
+    /// All non-empty prefixes, shortest first (including `self`).
+    pub fn prefixes(&self) -> impl Iterator<Item = Path> + '_ {
+        (1..=self.len()).map(move |k| Path::new(self.labels[..k].iter().copied()))
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("ε");
+        }
+        for (i, l) in self.labels.iter().enumerate() {
+            if i > 0 {
+                f.write_str(":")?;
+            }
+            write!(f, "{l}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Path({self})")
+    }
+}
+
+/// A path anchored at a relation: `x0 = R y` (Definition 2.3). The base
+/// paths of NFDs and the elements of `Paths(SC)` (Definition A.1) have this
+/// shape.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RootedPath {
+    /// The relation name `R`.
+    pub relation: Label,
+    /// The remainder `y` (relative to the element records of `R`).
+    pub path: Path,
+}
+
+impl RootedPath {
+    /// Builds `R:y`.
+    pub fn new(relation: Label, path: Path) -> RootedPath {
+        RootedPath { relation, path }
+    }
+
+    /// A bare relation name (`y = ε`).
+    pub fn relation_only(relation: Label) -> RootedPath {
+        RootedPath {
+            relation,
+            path: Path::empty(),
+        }
+    }
+
+    /// Parses `"R:A:B"`: the first segment is the relation name.
+    pub fn parse(text: &str) -> Result<RootedPath, ModelError> {
+        let p = Path::parse(text)?;
+        let Some(relation) = p.first() else {
+            return Err(ModelError::Parse {
+                msg: "a rooted path needs at least a relation name".into(),
+                line: 1,
+                col: 1,
+            });
+        };
+        Ok(RootedPath {
+            relation,
+            path: p.tail().expect("nonempty"),
+        })
+    }
+
+    /// Total number of labels including the relation name.
+    pub fn len(&self) -> usize {
+        1 + self.path.len()
+    }
+
+    /// Never empty: there is always at least the relation name.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Extends the relative part by one label.
+    pub fn child(&self, label: Label) -> RootedPath {
+        RootedPath {
+            relation: self.relation,
+            path: self.path.child(label),
+        }
+    }
+
+    /// Concatenates a relative path.
+    pub fn join(&self, rel: &Path) -> RootedPath {
+        RootedPath {
+            relation: self.relation,
+            path: self.path.join(rel),
+        }
+    }
+
+    /// Prefix relation lifted to rooted paths (same relation, relative
+    /// prefix).
+    pub fn is_prefix_of(&self, other: &RootedPath) -> bool {
+        self.relation == other.relation && self.path.is_prefix_of(&other.path)
+    }
+
+    /// Proper-prefix relation lifted to rooted paths.
+    pub fn is_proper_prefix_of(&self, other: &RootedPath) -> bool {
+        self.relation == other.relation && self.path.is_proper_prefix_of(&other.path)
+    }
+}
+
+impl fmt::Display for RootedPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.relation)?;
+        if !self.path.is_empty() {
+            write!(f, ":{}", self.path)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for RootedPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RootedPath({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Path {
+        Path::parse(s).unwrap()
+    }
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for s in ["A", "A:B", "students:sid", "a_1:b2:c"] {
+            assert_eq!(p(s).to_string(), s);
+        }
+        assert_eq!(Path::empty().to_string(), "ε");
+        assert_eq!(p(""), Path::empty());
+        assert_eq!(p(" A : B "), p("A:B"));
+    }
+
+    #[test]
+    fn parse_rejects_bad_segments() {
+        assert!(Path::parse("A::B").is_err());
+        assert!(Path::parse(":A").is_err());
+        assert!(Path::parse("A:").is_err());
+        assert!(Path::parse("1abc").is_err());
+        assert!(Path::parse("a-b").is_err());
+    }
+
+    #[test]
+    fn prefix_relation() {
+        assert!(p("A").is_prefix_of(&p("A:B")));
+        assert!(p("A:B").is_prefix_of(&p("A:B")));
+        assert!(!p("A:B").is_proper_prefix_of(&p("A:B")));
+        assert!(p("A").is_proper_prefix_of(&p("A:B")));
+        assert!(!p("B").is_prefix_of(&p("A:B")));
+        assert!(Path::empty().is_prefix_of(&p("A")));
+        assert!(Path::empty().is_proper_prefix_of(&p("A")));
+    }
+
+    #[test]
+    fn follows_matches_paper_examples() {
+        // "A path A follows any path p, |p| ≥ 1."
+        assert!(p("A").follows(&p("Z")));
+        assert!(p("A").follows(&p("X:Y")));
+        // "A path A:B follows A:B, A:C:D, but not A, E, and F:G."
+        assert!(p("A:B").follows(&p("A:B")));
+        assert!(p("A:B").follows(&p("A:C:D")));
+        assert!(!p("A:B").follows(&p("A")));
+        assert!(!p("A:B").follows(&p("E")));
+        assert!(!p("A:B").follows(&p("F:G")));
+        // ε follows nothing.
+        assert!(!Path::empty().follows(&p("A")));
+    }
+
+    #[test]
+    fn common_prefix_and_strip() {
+        assert_eq!(p("A:B:C").common_prefix(&p("A:B:D")), p("A:B"));
+        assert_eq!(p("A").common_prefix(&p("B")), Path::empty());
+        assert_eq!(p("A:B:C").strip_prefix(&p("A")), Some(p("B:C")));
+        assert_eq!(p("A:B").strip_prefix(&p("A:B")), Some(Path::empty()));
+        assert_eq!(p("A:B").strip_prefix(&p("B")), None);
+    }
+
+    #[test]
+    fn join_child_parent_tail() {
+        assert_eq!(p("A").join(&p("B:C")), p("A:B:C"));
+        assert_eq!(p("A").child(Label::new("B")), p("A:B"));
+        assert_eq!(p("A:B").parent(), Some(p("A")));
+        assert_eq!(p("A").parent(), Some(Path::empty()));
+        assert_eq!(Path::empty().parent(), None);
+        assert_eq!(p("A:B:C").tail(), Some(p("B:C")));
+    }
+
+    #[test]
+    fn prefixes_iterator() {
+        let pres: Vec<Path> = p("A:B:C").prefixes().collect();
+        assert_eq!(pres, vec![p("A"), p("A:B"), p("A:B:C")]);
+        assert_eq!(Path::empty().prefixes().count(), 0);
+    }
+
+    #[test]
+    fn rooted_paths() {
+        let r = RootedPath::parse("Course:students:sid").unwrap();
+        assert_eq!(r.relation, Label::new("Course"));
+        assert_eq!(r.path, p("students:sid"));
+        assert_eq!(r.to_string(), "Course:students:sid");
+        assert_eq!(RootedPath::relation_only(Label::new("R")).to_string(), "R");
+        assert!(RootedPath::parse("").is_err());
+    }
+
+    #[test]
+    fn rooted_prefixes() {
+        let a = RootedPath::parse("R:A").unwrap();
+        let ab = RootedPath::parse("R:A:B").unwrap();
+        let s = RootedPath::parse("S:A").unwrap();
+        assert!(a.is_prefix_of(&ab));
+        assert!(a.is_proper_prefix_of(&ab));
+        assert!(!s.is_prefix_of(&ab));
+        assert!(RootedPath::relation_only(Label::new("R")).is_prefix_of(&a));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_on_labels() {
+        // Only consistency matters (used for canonical forms).
+        let mut v = [p("B"), p("A:B"), p("A")];
+        v.sort();
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,175 @@
+//! Prefix tries over sets of paths.
+//!
+//! The satisfaction condition of Definition 2.4 requires that when two
+//! component paths `xi, xj` of an NFD share a common prefix `x`, their
+//! values are obtained by *coinciding* choices along `x`. A [`PathTrie`]
+//! makes this structural: shared prefixes become shared trie nodes, and one
+//! element choice is made per set-valued node, exactly as the logic
+//! translation of Section 2.2 introduces one quantified variable per label.
+
+use crate::path::Path;
+use nfd_model::Label;
+
+/// A node of a [`PathTrie`]; identified by the path from the root.
+#[derive(Clone, Debug)]
+pub struct TrieNode {
+    /// Label of this step.
+    pub label: Label,
+    /// If the path ending here is one of the trie's target paths, its index
+    /// in [`PathTrie::targets`].
+    pub target: Option<usize>,
+    /// Children (paths extending through this node). Non-empty children
+    /// means this node's value is traversed into, so it must be a set of
+    /// records.
+    pub children: Vec<TrieNode>,
+}
+
+/// A trie over a set of non-empty paths (the `x1…xm` of an NFD).
+#[derive(Clone, Debug)]
+pub struct PathTrie {
+    roots: Vec<TrieNode>,
+    targets: Vec<Path>,
+}
+
+impl PathTrie {
+    /// Builds a trie from target paths. Duplicate paths collapse onto one
+    /// target slot. Empty paths are ignored (NFD components have ≥ 1
+    /// label).
+    pub fn new(paths: impl IntoIterator<Item = Path>) -> PathTrie {
+        let mut trie = PathTrie {
+            roots: Vec::new(),
+            targets: Vec::new(),
+        };
+        for p in paths {
+            if p.is_empty() {
+                continue;
+            }
+            trie.insert(&p);
+        }
+        trie
+    }
+
+    fn insert(&mut self, path: &Path) {
+        if self.target_index(path).is_some() {
+            return;
+        }
+        let idx = self.targets.len();
+        self.targets.push(path.clone());
+        let mut nodes = &mut self.roots;
+        let labels = path.labels();
+        for (i, &label) in labels.iter().enumerate() {
+            let pos = match nodes.iter().position(|n| n.label == label) {
+                Some(p) => p,
+                None => {
+                    nodes.push(TrieNode {
+                        label,
+                        target: None,
+                        children: Vec::new(),
+                    });
+                    nodes.len() - 1
+                }
+            };
+            if i + 1 == labels.len() {
+                nodes[pos].target = Some(idx);
+                return;
+            }
+            nodes = &mut nodes[pos].children;
+        }
+    }
+
+    /// The target paths, in insertion order. Assignment values are indexed
+    /// compatibly with this list.
+    pub fn targets(&self) -> &[Path] {
+        &self.targets
+    }
+
+    /// Index of `path` among the targets, if present.
+    pub fn target_index(&self, path: &Path) -> Option<usize> {
+        self.targets.iter().position(|t| t == path)
+    }
+
+    /// Root nodes (one per distinct first label).
+    pub fn roots(&self) -> &[TrieNode] {
+        &self.roots
+    }
+
+    /// Number of target paths.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Is the trie empty (no target paths)?
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// Number of *traversed* (internal) nodes — each contributes one
+    /// quantified variable in the logic translation.
+    pub fn internal_node_count(&self) -> usize {
+        fn count(nodes: &[TrieNode]) -> usize {
+            nodes
+                .iter()
+                .map(|n| usize::from(!n.children.is_empty()) + count(&n.children))
+                .sum()
+        }
+        count(&self.roots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Path {
+        Path::parse(s).unwrap()
+    }
+
+    #[test]
+    fn shared_prefixes_share_nodes() {
+        let t = PathTrie::new([p("students:sid"), p("students:age"), p("cnum")]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.roots().len(), 2); // students, cnum
+        let students = t
+            .roots()
+            .iter()
+            .find(|n| n.label == Label::new("students"))
+            .unwrap();
+        assert_eq!(students.children.len(), 2);
+        assert!(students.target.is_none());
+        assert_eq!(t.internal_node_count(), 1);
+    }
+
+    #[test]
+    fn node_can_be_target_and_internal() {
+        // X = {A, A:B}: A is compared as a set AND traversed.
+        let t = PathTrie::new([p("A"), p("A:B")]);
+        let a = &t.roots()[0];
+        assert_eq!(a.target, Some(0));
+        assert_eq!(a.children.len(), 1);
+        assert_eq!(a.children[0].target, Some(1));
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let t = PathTrie::new([p("A:B"), p("A:B")]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.target_index(&p("A:B")), Some(0));
+    }
+
+    #[test]
+    fn empty_paths_ignored() {
+        let t = PathTrie::new([Path::empty(), p("A")]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn target_order_is_insertion_order() {
+        let t = PathTrie::new([p("B"), p("A"), p("C:D")]);
+        assert_eq!(
+            t.targets().iter().map(Path::to_string).collect::<Vec<_>>(),
+            ["B", "A", "C:D"]
+        );
+        assert_eq!(t.target_index(&p("C:D")), Some(2));
+        assert_eq!(t.target_index(&p("C")), None);
+    }
+}

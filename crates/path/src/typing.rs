@@ -1,0 +1,311 @@
+//! Well-typedness of path expressions (Definition 2.1) and enumeration of
+//! the paths of a schema (Definition A.1).
+//!
+//! A path `A1:…:Ak` is resolved against a type by alternating projection
+//! (label) and set traversal (`:`): each interior label must be a
+//! set-of-records attribute so that traversal can continue; the last label
+//! may be base- or set-typed.
+
+use crate::path::{Path, RootedPath};
+use nfd_model::{Label, RecordType, Schema, Type};
+use std::fmt;
+
+/// Errors raised while typing a path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PathTypeError {
+    /// The path mentions a label the current record type does not declare.
+    NoSuchLabel {
+        /// The offending label.
+        label: Label,
+        /// The path being resolved.
+        path: String,
+    },
+    /// An interior label of the path is not set-of-records typed, so
+    /// traversal cannot continue past it.
+    NotTraversable {
+        /// The offending label.
+        label: Label,
+        /// The path being resolved.
+        path: String,
+    },
+    /// The relation is not part of the schema.
+    UnknownRelation(Label),
+    /// A base path must resolve to a set type (its value supplies the
+    /// quantified tuples `v1, v2` of Definition 2.4).
+    BaseNotSet {
+        /// The offending rooted path.
+        path: String,
+    },
+}
+
+impl fmt::Display for PathTypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathTypeError::NoSuchLabel { label, path } => {
+                write!(f, "label `{label}` in path `{path}` does not exist")
+            }
+            PathTypeError::NotTraversable { label, path } => write!(
+                f,
+                "cannot traverse past `{label}` in path `{path}`: it is not a set of records"
+            ),
+            PathTypeError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            PathTypeError::BaseNotSet { path } => {
+                write!(f, "base path `{path}` does not resolve to a set type")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PathTypeError {}
+
+/// Resolves `path` starting from a record type: the first label projects a
+/// field of `rec`; each subsequent label traverses into the preceding
+/// (set-of-records) field. Returns the type of the last label.
+///
+/// The empty path is not resolvable from a record (the paper's NFD
+/// components always have `k ≥ 1` labels); callers handle `ε` themselves.
+pub fn resolve_in_record<'t>(rec: &'t RecordType, path: &Path) -> Result<&'t Type, PathTypeError> {
+    let mut labels = path.labels().iter();
+    let Some(&first) = labels.next() else {
+        // ε has no "type of the last label"; report as a missing label.
+        return Err(PathTypeError::NoSuchLabel {
+            label: Label::new("ε"),
+            path: path.to_string(),
+        });
+    };
+    let mut cur: &Type = rec.field_type(first).ok_or(PathTypeError::NoSuchLabel {
+        label: first,
+        path: path.to_string(),
+    })?;
+    let mut prev = first;
+    for &label in labels {
+        let inner = cur
+            .element_record()
+            .ok_or(PathTypeError::NotTraversable {
+                label: prev,
+                path: path.to_string(),
+            })?;
+        cur = inner.field_type(label).ok_or(PathTypeError::NoSuchLabel {
+            label,
+            path: path.to_string(),
+        })?;
+        prev = label;
+    }
+    Ok(cur)
+}
+
+/// Is `path` well-typed with respect to the record type `rec`
+/// (Definition 2.1)? `ε` is well-typed with respect to everything.
+pub fn is_well_typed(rec: &RecordType, path: &Path) -> bool {
+    path.is_empty() || resolve_in_record(rec, path).is_ok()
+}
+
+/// Resolves a rooted path `R:y` against a schema: the relation name selects
+/// `τ^R` and `y` resolves inside its element records. A bare relation name
+/// resolves to `τ^R` itself.
+pub fn resolve_rooted<'s>(
+    schema: &'s Schema,
+    rooted: &RootedPath,
+) -> Result<&'s Type, PathTypeError> {
+    let ty = schema
+        .relation_type(rooted.relation)
+        .map_err(|_| PathTypeError::UnknownRelation(rooted.relation))?;
+    if rooted.path.is_empty() {
+        return Ok(ty);
+    }
+    let rec = ty.element_record().ok_or(PathTypeError::NotTraversable {
+        label: rooted.relation,
+        path: rooted.to_string(),
+    })?;
+    resolve_in_record(rec, &rooted.path)
+}
+
+/// The element record type at the end of a base path: a base path must
+/// resolve to a set-of-records type whose elements are what the NFD's
+/// component paths are typed against.
+pub fn base_element_record<'s>(
+    schema: &'s Schema,
+    base: &RootedPath,
+) -> Result<&'s RecordType, PathTypeError> {
+    let ty = resolve_rooted(schema, base)?;
+    ty.element_record().ok_or(PathTypeError::BaseNotSet {
+        path: base.to_string(),
+    })
+}
+
+/// All non-empty paths well-typed with respect to a record type, in
+/// shortest-first (then declaration) order. These are the relative versions
+/// of `Paths(SC)` (Definition A.1).
+pub fn paths_of_record(rec: &RecordType) -> Vec<Path> {
+    let mut out = Vec::new();
+    let mut frontier: Vec<(Path, &RecordType)> = vec![(Path::empty(), rec)];
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for (prefix, r) in frontier {
+            for f in r.fields() {
+                let p = prefix.child(f.label);
+                out.push(p.clone());
+                if let Some(inner) = f.ty.element_record() {
+                    next.push((p, inner));
+                }
+            }
+        }
+        frontier = next;
+    }
+    out
+}
+
+/// `Paths_SC(R)` (Definition A.1): all rooted paths `R:p'` of the schema,
+/// including the bare relation name.
+pub fn paths_of_relation(schema: &Schema, relation: Label) -> Result<Vec<RootedPath>, PathTypeError> {
+    let ty = schema
+        .relation_type(relation)
+        .map_err(|_| PathTypeError::UnknownRelation(relation))?;
+    let mut out = vec![RootedPath::relation_only(relation)];
+    if let Some(rec) = ty.element_record() {
+        out.extend(
+            paths_of_record(rec)
+                .into_iter()
+                .map(|p| RootedPath::new(relation, p)),
+        );
+    }
+    Ok(out)
+}
+
+/// `Paths(SC)` (Definition A.1): all rooted paths of the schema.
+pub fn paths_of_schema(schema: &Schema) -> Vec<RootedPath> {
+    schema
+        .relation_names()
+        .flat_map(|r| paths_of_relation(schema, r).expect("relation exists"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::parse(
+            "Course : { <cnum: string, time: int,
+                         students: {<sid: int, age: int, grade: string>},
+                         books: {<isbn: string, title: string>}> };",
+        )
+        .unwrap()
+    }
+
+    fn course_rec(s: &Schema) -> &RecordType {
+        s.relation_type(Label::new("Course"))
+            .unwrap()
+            .element_record()
+            .unwrap()
+    }
+
+    #[test]
+    fn resolve_base_and_nested() {
+        let s = schema();
+        let rec = course_rec(&s);
+        let t = resolve_in_record(rec, &Path::of(["cnum"])).unwrap();
+        assert!(t.is_base());
+        let t = resolve_in_record(rec, &Path::of(["students"])).unwrap();
+        assert!(t.is_set());
+        let t = resolve_in_record(rec, &Path::of(["students", "sid"])).unwrap();
+        assert!(t.is_base());
+    }
+
+    #[test]
+    fn paper_welltyped_example() {
+        // "A:B is well-typed wrt <A:{<B:int, C:int>}>, but not wrt <A:int>."
+        let s = Schema::parse("R : {<A: {<B: int, C: int>}>}; S : {<A: int>};").unwrap();
+        let r = s
+            .relation_type(Label::new("R"))
+            .unwrap()
+            .element_record()
+            .unwrap();
+        let t = s
+            .relation_type(Label::new("S"))
+            .unwrap()
+            .element_record()
+            .unwrap();
+        assert!(is_well_typed(r, &Path::of(["A", "B"])));
+        assert!(!is_well_typed(t, &Path::of(["A", "B"])));
+        assert!(is_well_typed(t, &Path::of(["A"])));
+        assert!(is_well_typed(t, &Path::empty()));
+    }
+
+    #[test]
+    fn resolve_errors() {
+        let s = schema();
+        let rec = course_rec(&s);
+        assert!(matches!(
+            resolve_in_record(rec, &Path::of(["nope"])),
+            Err(PathTypeError::NoSuchLabel { .. })
+        ));
+        assert!(matches!(
+            resolve_in_record(rec, &Path::of(["cnum", "x"])),
+            Err(PathTypeError::NotTraversable { .. })
+        ));
+        assert!(matches!(
+            resolve_in_record(rec, &Path::of(["students", "nope"])),
+            Err(PathTypeError::NoSuchLabel { .. })
+        ));
+    }
+
+    #[test]
+    fn resolve_rooted_paths() {
+        let s = schema();
+        let t = resolve_rooted(&s, &RootedPath::parse("Course").unwrap()).unwrap();
+        assert!(t.is_set_of_records());
+        let t = resolve_rooted(&s, &RootedPath::parse("Course:students").unwrap()).unwrap();
+        assert!(t.is_set());
+        assert!(matches!(
+            resolve_rooted(&s, &RootedPath::parse("Nope:x").unwrap()),
+            Err(PathTypeError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn base_element_record_requires_set() {
+        let s = schema();
+        let rec = base_element_record(&s, &RootedPath::parse("Course:students").unwrap()).unwrap();
+        assert!(rec.field_type(Label::new("sid")).is_some());
+        assert!(matches!(
+            base_element_record(&s, &RootedPath::parse("Course:cnum").unwrap()),
+            Err(PathTypeError::BaseNotSet { .. })
+        ));
+    }
+
+    #[test]
+    fn paths_enumeration_matches_schema() {
+        let s = schema();
+        let rec = course_rec(&s);
+        let ps: Vec<String> = paths_of_record(rec).iter().map(Path::to_string).collect();
+        assert_eq!(
+            ps,
+            [
+                "cnum", "time", "students", "books", // depth 1
+                "students:sid", "students:age", "students:grade", "books:isbn", "books:title",
+            ]
+        );
+        let rooted = paths_of_relation(&s, Label::new("Course")).unwrap();
+        assert_eq!(rooted.len(), 10); // the 9 above plus the bare relation
+        assert_eq!(rooted[0].to_string(), "Course");
+        assert_eq!(paths_of_schema(&s).len(), 10);
+    }
+
+    #[test]
+    fn base_sets_terminate_enumeration() {
+        let s = Schema::parse("R : {<A: {int}, B: int>};").unwrap();
+        let rec = s
+            .relation_type(Label::new("R"))
+            .unwrap()
+            .element_record()
+            .unwrap();
+        let ps: Vec<String> = paths_of_record(rec).iter().map(Path::to_string).collect();
+        assert_eq!(ps, ["A", "B"]);
+        // A is a set of base values: not traversable.
+        assert!(matches!(
+            resolve_in_record(rec, &Path::of(["A", "x"])),
+            Err(PathTypeError::NotTraversable { .. })
+        ));
+    }
+}

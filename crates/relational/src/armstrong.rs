@@ -1,0 +1,121 @@
+//! Armstrong's axioms as syntactic transformers.
+//!
+//! These are the flat counterparts of the first three NFD-rules
+//! (reflexivity, augmentation, transitivity); the derived rules (union,
+//! decomposition, pseudo-transitivity) are included because the paper
+//! leans on them when discussing what *fails* for NFDs with empty sets
+//! (Section 3.2: "the decomposition rule follows from reflexivity and
+//! transitivity and cannot therefore be uniformly applied").
+
+use crate::{AttrSet, Fd};
+
+/// **Reflexivity**: if `Y ⊆ X` then `X → Y`.
+pub fn reflexivity(x: &AttrSet, y: &AttrSet) -> Option<Fd> {
+    y.is_subset(x).then(|| Fd::new(x.clone(), y.clone()))
+}
+
+/// **Augmentation**: from `X → Y` conclude `XZ → YZ`.
+pub fn augmentation(fd: &Fd, z: &AttrSet) -> Fd {
+    Fd::new(
+        fd.lhs.union(z).cloned().collect(),
+        fd.rhs.union(z).cloned().collect(),
+    )
+}
+
+/// **Transitivity**: from `X → Y` and `Y → Z` conclude `X → Z`.
+pub fn transitivity(xy: &Fd, yz: &Fd) -> Option<Fd> {
+    yz.lhs
+        .is_subset(&xy.rhs)
+        .then(|| Fd::new(xy.lhs.clone(), yz.rhs.clone()))
+}
+
+/// **Union** (derived): from `X → Y` and `X → Z` conclude `X → YZ`.
+pub fn union(a: &Fd, b: &Fd) -> Option<Fd> {
+    (a.lhs == b.lhs).then(|| Fd::new(a.lhs.clone(), a.rhs.union(&b.rhs).cloned().collect()))
+}
+
+/// **Decomposition** (derived): from `X → Y` and `Z ⊆ Y` conclude `X → Z`.
+pub fn decomposition(fd: &Fd, z: &AttrSet) -> Option<Fd> {
+    z.is_subset(&fd.rhs).then(|| Fd::new(fd.lhs.clone(), z.clone()))
+}
+
+/// **Pseudo-transitivity** (derived): from `X → Y` and `WY → Z` conclude
+/// `WX → Z`.
+pub fn pseudo_transitivity(xy: &Fd, wyz: &Fd) -> Option<Fd> {
+    if !xy.rhs.is_subset(&wyz.lhs) {
+        return None;
+    }
+    let w: AttrSet = wyz.lhs.difference(&xy.rhs).cloned().collect();
+    Some(Fd::new(
+        w.union(&xy.lhs).cloned().collect(),
+        wyz.rhs.clone(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs;
+
+    #[test]
+    fn reflexivity_requires_subset() {
+        assert_eq!(
+            reflexivity(&attrs(["A", "B"]), &attrs(["A"])),
+            Some(Fd::of(["A", "B"], ["A"]))
+        );
+        assert_eq!(reflexivity(&attrs(["A"]), &attrs(["B"])), None);
+    }
+
+    #[test]
+    fn augmentation_adds_both_sides() {
+        let fd = Fd::of(["A"], ["B"]);
+        assert_eq!(
+            augmentation(&fd, &attrs(["C"])),
+            Fd::of(["A", "C"], ["B", "C"])
+        );
+    }
+
+    #[test]
+    fn transitivity_chains() {
+        let ab = Fd::of(["A"], ["B"]);
+        let bc = Fd::of(["B"], ["C"]);
+        assert_eq!(transitivity(&ab, &bc), Some(Fd::of(["A"], ["C"])));
+        assert_eq!(transitivity(&bc, &ab), None);
+    }
+
+    #[test]
+    fn union_and_decomposition() {
+        let ab = Fd::of(["A"], ["B"]);
+        let ac = Fd::of(["A"], ["C"]);
+        assert_eq!(union(&ab, &ac), Some(Fd::of(["A"], ["B", "C"])));
+        let abc = Fd::of(["A"], ["B", "C"]);
+        assert_eq!(
+            decomposition(&abc, &attrs(["B"])),
+            Some(Fd::of(["A"], ["B"]))
+        );
+        assert_eq!(decomposition(&abc, &attrs(["D"])), None);
+    }
+
+    #[test]
+    fn pseudo_transitivity_combines() {
+        // A→B, CB→D ⟹ CA→D.
+        let ab = Fd::of(["A"], ["B"]);
+        let cbd = Fd::of(["C", "B"], ["D"]);
+        assert_eq!(
+            pseudo_transitivity(&ab, &cbd),
+            Some(Fd::of(["A", "C"], ["D"]))
+        );
+        // B not in the middle LHS: inapplicable.
+        let cd = Fd::of(["C"], ["D"]);
+        assert_eq!(pseudo_transitivity(&ab, &cd), None);
+    }
+
+    /// Soundness of each axiom against the closure-based decision
+    /// procedure.
+    #[test]
+    fn axioms_agree_with_closure() {
+        let sigma = vec![Fd::of(["A"], ["B"]), Fd::of(["B", "C"], ["D"])];
+        let derived = pseudo_transitivity(&sigma[0], &sigma[1]).unwrap();
+        assert!(crate::implies(&sigma, &derived));
+    }
+}

@@ -1,0 +1,397 @@
+//! # nfd-relational — the classical FD baseline
+//!
+//! Nested functional dependencies generalize classical functional
+//! dependencies: on a flat (1NF) schema, an NFD `R:[A1,…,Ak → B]` *is* the
+//! FD `A1…Ak → B`, and the eight NFD-rules collapse to Armstrong's axioms
+//! (push-in, pull-out, locality, singleton and prefix become inapplicable —
+//! there is nothing nested to move through).
+//!
+//! This crate implements that baseline independently and classically:
+//!
+//! * [`Fd`] — functional dependencies over a set of attributes;
+//! * [`closure`] — the linear-time attribute-closure algorithm
+//!   (Beeri–Bernstein), the flat analogue of the paper's `(x0, X, Σ)*`;
+//! * [`implies`] — the implication test `Σ ⊨ X → Y`;
+//! * [`armstrong`] — Armstrong's axioms as syntactic transformers (the
+//!   flat analogues of `nfd-core::rules`);
+//! * [`candidate_keys`] and [`minimal_cover`] — the standard design-theory
+//!   algorithms built on closure.
+//!
+//! The test suites of this repository use it two ways: differential
+//! testing (the NFD engine restricted to flat schemas must agree with this
+//! crate on every random instance of the implication problem) and as the
+//! benchmark baseline measuring what the generality of NFDs costs.
+
+#![warn(missing_docs)]
+
+pub mod armstrong;
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// An attribute, identified by name.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Attribute(pub String);
+
+impl Attribute {
+    /// Builds an attribute from a name.
+    pub fn new(name: impl Into<String>) -> Attribute {
+        Attribute(name.into())
+    }
+}
+
+impl fmt::Display for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Attribute {
+    fn from(s: &str) -> Attribute {
+        Attribute::new(s)
+    }
+}
+
+/// A set of attributes, kept sorted (attribute sets are the LHS/RHS of
+/// FDs and the unit the closure algorithm manipulates).
+pub type AttrSet = BTreeSet<Attribute>;
+
+/// Builds an [`AttrSet`] from names: `attrs(["A", "B"])`.
+pub fn attrs<'a>(names: impl IntoIterator<Item = &'a str>) -> AttrSet {
+    names.into_iter().map(Attribute::from).collect()
+}
+
+/// A functional dependency `X → Y`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fd {
+    /// Determining attributes.
+    pub lhs: AttrSet,
+    /// Determined attributes.
+    pub rhs: AttrSet,
+}
+
+impl Fd {
+    /// Builds `X → Y`.
+    pub fn new(lhs: AttrSet, rhs: AttrSet) -> Fd {
+        Fd { lhs, rhs }
+    }
+
+    /// Builds `X → Y` from names.
+    pub fn of<'a>(
+        lhs: impl IntoIterator<Item = &'a str>,
+        rhs: impl IntoIterator<Item = &'a str>,
+    ) -> Fd {
+        Fd::new(attrs(lhs), attrs(rhs))
+    }
+
+    /// Is the FD trivial (`Y ⊆ X`)?
+    pub fn is_trivial(&self) -> bool {
+        self.rhs.is_subset(&self.lhs)
+    }
+
+    /// Splits into FDs with singleton RHS (the decomposition rule — which,
+    /// as Section 3.2 of the paper notes, is exactly what fails for NFDs
+    /// once empty sets are allowed).
+    pub fn split(&self) -> Vec<Fd> {
+        self.rhs
+            .iter()
+            .map(|a| Fd::new(self.lhs.clone(), [a.clone()].into_iter().collect()))
+            .collect()
+    }
+}
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let join = |s: &AttrSet| {
+            s.iter()
+                .map(|a| a.0.as_str())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        write!(f, "{} -> {}", join(&self.lhs), join(&self.rhs))
+    }
+}
+
+/// The attribute closure `X⁺` under Σ, via the linear-time counting
+/// algorithm of Beeri and Bernstein: each FD keeps a count of LHS
+/// attributes not yet in the closure; when a count hits zero the RHS joins.
+pub fn closure(sigma: &[Fd], x: &AttrSet) -> AttrSet {
+    let mut result: AttrSet = x.clone();
+    // count[i] = number of attributes of sigma[i].lhs not yet in result.
+    let mut count: Vec<usize> = sigma.iter().map(|fd| fd.lhs.len()).collect();
+    // For each attribute, the FDs whose LHS mentions it.
+    let mut uses: HashMap<&Attribute, Vec<usize>> = HashMap::new();
+    for (i, fd) in sigma.iter().enumerate() {
+        for a in &fd.lhs {
+            uses.entry(a).or_default().push(i);
+        }
+    }
+    let mut queue: Vec<Attribute> = x.iter().cloned().collect();
+    // FDs with empty LHS fire immediately.
+    for (i, fd) in sigma.iter().enumerate() {
+        if count[i] == 0 {
+            for a in &fd.rhs {
+                if result.insert(a.clone()) {
+                    queue.push(a.clone());
+                }
+            }
+        }
+    }
+    while let Some(a) = queue.pop() {
+        if let Some(indices) = uses.get(&a) {
+            for &i in indices {
+                count[i] -= 1;
+                if count[i] == 0 {
+                    for b in &sigma[i].rhs {
+                        if result.insert(b.clone()) {
+                            queue.push(b.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    result
+}
+
+/// Does Σ logically imply `fd`? (`fd.rhs ⊆ fd.lhs⁺`.)
+pub fn implies(sigma: &[Fd], fd: &Fd) -> bool {
+    fd.rhs.is_subset(&closure(sigma, &fd.lhs))
+}
+
+/// Are two FD sets equivalent (each implies every member of the other)?
+pub fn equivalent(a: &[Fd], b: &[Fd]) -> bool {
+    a.iter().all(|fd| implies(b, fd)) && b.iter().all(|fd| implies(a, fd))
+}
+
+/// All candidate keys of a relation with attributes `universe` under Σ,
+/// by the standard prune-and-minimize search. Exponential in the worst
+/// case, as the problem demands.
+pub fn candidate_keys(universe: &AttrSet, sigma: &[Fd]) -> Vec<AttrSet> {
+    // Attributes that appear on no RHS must be in every key.
+    let mut rhs_attrs: AttrSet = AttrSet::new();
+    for fd in sigma {
+        for a in &fd.rhs {
+            if !fd.lhs.contains(a) {
+                rhs_attrs.insert(a.clone());
+            }
+        }
+    }
+    let core: AttrSet = universe.difference(&rhs_attrs).cloned().collect();
+    let optional: Vec<Attribute> = universe.intersection(&rhs_attrs).cloned().collect();
+    let is_superkey = |s: &AttrSet| closure(sigma, s).is_superset(universe);
+
+    if is_superkey(&core) {
+        return vec![core];
+    }
+    let mut keys: Vec<AttrSet> = Vec::new();
+    // Breadth-first over subset sizes guarantees minimality w.r.t. size…
+    for size in 1..=optional.len() {
+        for combo in combinations(&optional, size) {
+            let mut cand = core.clone();
+            cand.extend(combo.iter().cloned());
+            if !is_superkey(&cand) {
+                continue;
+            }
+            // …and the explicit superset check guarantees minimality
+            // w.r.t. inclusion.
+            if keys.iter().any(|k| k.is_subset(&cand)) {
+                continue;
+            }
+            keys.push(cand);
+        }
+    }
+    keys.sort();
+    keys
+}
+
+fn combinations(items: &[Attribute], k: usize) -> Vec<Vec<Attribute>> {
+    let mut out = Vec::new();
+    let mut current = Vec::with_capacity(k);
+    fn go(
+        items: &[Attribute],
+        k: usize,
+        start: usize,
+        current: &mut Vec<Attribute>,
+        out: &mut Vec<Vec<Attribute>>,
+    ) {
+        if current.len() == k {
+            out.push(current.clone());
+            return;
+        }
+        for i in start..items.len() {
+            current.push(items[i].clone());
+            go(items, k, i + 1, current, out);
+            current.pop();
+        }
+    }
+    go(items, k, 0, &mut current, &mut out);
+    out
+}
+
+/// A minimal cover of Σ: singleton RHS, no extraneous LHS attributes, no
+/// redundant FDs. Equivalent to Σ.
+pub fn minimal_cover(sigma: &[Fd]) -> Vec<Fd> {
+    // 1. Singleton right-hand sides.
+    let mut fds: Vec<Fd> = sigma.iter().flat_map(Fd::split).collect();
+    fds.sort();
+    fds.dedup();
+    // 2. Remove extraneous LHS attributes.
+    let mut i = 0;
+    while i < fds.len() {
+        let mut changed = true;
+        while changed {
+            changed = false;
+            let lhs: Vec<Attribute> = fds[i].lhs.iter().cloned().collect();
+            for a in lhs {
+                if fds[i].lhs.len() <= 1 {
+                    break;
+                }
+                let mut reduced = fds[i].lhs.clone();
+                reduced.remove(&a);
+                if closure(&fds, &reduced).is_superset(&fds[i].rhs) {
+                    fds[i].lhs = reduced;
+                    changed = true;
+                }
+            }
+        }
+        i += 1;
+    }
+    fds.sort();
+    fds.dedup();
+    // 3. Remove redundant FDs.
+    let mut i = 0;
+    while i < fds.len() {
+        let fd = fds[i].clone();
+        let rest: Vec<Fd> = fds
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, f)| f.clone())
+            .collect();
+        if implies(&rest, &fd) {
+            fds.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    fds
+}
+
+/// Is `X` a superkey of the relation with attributes `universe`?
+pub fn is_superkey(universe: &AttrSet, sigma: &[Fd], x: &AttrSet) -> bool {
+    closure(sigma, x).is_superset(universe)
+}
+
+/// Is the schema in Boyce–Codd normal form (every non-trivial FD has a
+/// superkey LHS)?
+pub fn is_bcnf(universe: &AttrSet, sigma: &[Fd]) -> bool {
+    sigma
+        .iter()
+        .filter(|fd| !fd.is_trivial())
+        .all(|fd| is_superkey(universe, sigma, &fd.lhs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_textbook_example() {
+        // R(A,B,C,D,E,F), A→BC, B→E, CD→EF (Ullman).
+        let sigma = vec![
+            Fd::of(["A"], ["B", "C"]),
+            Fd::of(["B"], ["E"]),
+            Fd::of(["C", "D"], ["E", "F"]),
+        ];
+        let c = closure(&sigma, &attrs(["A", "D"]));
+        assert_eq!(c, attrs(["A", "B", "C", "D", "E", "F"]));
+        assert!(implies(&sigma, &Fd::of(["A", "D"], ["F"])));
+        assert!(!implies(&sigma, &Fd::of(["A"], ["F"])));
+    }
+
+    #[test]
+    fn empty_lhs_fd_is_a_constant() {
+        let sigma = vec![Fd::of([], ["A"]), Fd::of(["A"], ["B"])];
+        let c = closure(&sigma, &attrs([]));
+        assert_eq!(c, attrs(["A", "B"]));
+    }
+
+    #[test]
+    fn trivial_and_split() {
+        let fd = Fd::of(["A", "B"], ["A"]);
+        assert!(fd.is_trivial());
+        let fd2 = Fd::of(["A"], ["B", "C"]);
+        assert_eq!(
+            fd2.split(),
+            vec![Fd::of(["A"], ["B"]), Fd::of(["A"], ["C"])]
+        );
+    }
+
+    #[test]
+    fn candidate_keys_simple() {
+        // R(A,B,C): A→B, B→C. Key: {A}.
+        let sigma = vec![Fd::of(["A"], ["B"]), Fd::of(["B"], ["C"])];
+        let keys = candidate_keys(&attrs(["A", "B", "C"]), &sigma);
+        assert_eq!(keys, vec![attrs(["A"])]);
+    }
+
+    #[test]
+    fn candidate_keys_cyclic() {
+        // R(A,B): A→B, B→A. Keys: {A} and {B}.
+        let sigma = vec![Fd::of(["A"], ["B"]), Fd::of(["B"], ["A"])];
+        let keys = candidate_keys(&attrs(["A", "B"]), &sigma);
+        assert_eq!(keys, vec![attrs(["A"]), attrs(["B"])]);
+    }
+
+    #[test]
+    fn candidate_keys_no_fds() {
+        let keys = candidate_keys(&attrs(["A", "B"]), &[]);
+        assert_eq!(keys, vec![attrs(["A", "B"])]);
+    }
+
+    #[test]
+    fn minimal_cover_removes_redundancy() {
+        // A→B, B→C, A→C: the last is redundant.
+        let sigma = vec![
+            Fd::of(["A"], ["B"]),
+            Fd::of(["B"], ["C"]),
+            Fd::of(["A"], ["C"]),
+        ];
+        let cover = minimal_cover(&sigma);
+        assert_eq!(cover.len(), 2);
+        assert!(equivalent(&cover, &sigma));
+    }
+
+    #[test]
+    fn minimal_cover_trims_extraneous_lhs() {
+        // AB→C with A→B: B is extraneous.
+        let sigma = vec![Fd::of(["A", "B"], ["C"]), Fd::of(["A"], ["B"])];
+        let cover = minimal_cover(&sigma);
+        assert!(cover.contains(&Fd::of(["A"], ["C"])));
+        assert!(equivalent(&cover, &sigma));
+    }
+
+    #[test]
+    fn bcnf_check() {
+        let universe = attrs(["A", "B", "C"]);
+        // A→B with key A…C? A+ = AB ≠ universe: not a superkey → not BCNF.
+        assert!(!is_bcnf(&universe, &[Fd::of(["A"], ["B"])]));
+        // A→BC: A is a superkey → BCNF.
+        assert!(is_bcnf(&universe, &[Fd::of(["A"], ["B", "C"])]));
+    }
+
+    #[test]
+    fn equivalence() {
+        let a = vec![Fd::of(["A"], ["B", "C"])];
+        let b = vec![Fd::of(["A"], ["B"]), Fd::of(["A"], ["C"])];
+        assert!(equivalent(&a, &b));
+        let c = vec![Fd::of(["A"], ["B"])];
+        assert!(!equivalent(&a, &c));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Fd::of(["A", "B"], ["C"]).to_string(), "A,B -> C");
+    }
+}

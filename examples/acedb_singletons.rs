@@ -1,0 +1,129 @@
+//! AceDB-style schemas: every attribute is a set, empty sets model
+//! optional data, and some sets must be (maximally) singletons.
+//!
+//! The paper singles out AceDB (Section 2.1) as the motivation for
+//! reasoning about singleton sets: `x0:[x → x:A1], …, x0:[x → x:An]`
+//! forces `x` to be empty or a singleton, and the singleton inference rule
+//! lets the engine *derive* set-valuedness facts rather than assume them.
+//!
+//! Run with: `cargo run --example acedb_singletons`
+
+use nfd::core::{check, nfd::parse_set, proof};
+use nfd::model::render;
+use nfd::prelude::*;
+
+fn main() {
+    // A gene catalogue in the AceDB spirit: every field is a set, sparse
+    // by design. `name` should be a singleton per gene; `aliases` and
+    // `papers` are genuinely multi-valued.
+    let schema = Schema::parse(
+        "Genes : { <gid: int,
+                    name: {<text: string>},
+                    aliases: {<text2: string>},
+                    papers: {<pmid: int, year: int>}> };",
+    )
+    .unwrap();
+
+    // Declaring "name is singleton" as NFDs: the whole gene row (keyed by
+    // gid) determines every attribute of the name set.
+    let sigma = parse_set(
+        &schema,
+        "Genes:[gid -> name:text];   # forces |name| ≤ 1 per gid
+         Genes:[gid -> papers];      # the paper set is a function of gid
+         Genes:papers:[pmid -> year];",
+    )
+    .unwrap();
+
+    println!("Σ:");
+    for nfd in &sigma {
+        println!("  {nfd}");
+    }
+
+    // The engine derives that gid determines the name *set* itself — the
+    // singleton rule in action (Section 2.1's R:[D → A:B], R:[D → A:C] ⟹
+    // R:[D → A] observation, with a one-attribute set).
+    let engine = Engine::new(&schema, &sigma).unwrap();
+    let derived = Nfd::parse(&schema, "Genes:[gid -> name]").unwrap();
+    println!("\nΣ ⊢ {derived}?  {}", engine.implies(&derived).unwrap());
+    let pf = proof::prove(&engine, &derived).unwrap().unwrap();
+    proof::verify(&engine, &pf).unwrap();
+    println!("{pf}");
+
+    // Not so for aliases: nothing constrains them.
+    let not_derived = Nfd::parse(&schema, "Genes:[gid -> aliases]").unwrap();
+    println!("Σ ⊢ {not_derived}?  {}", engine.implies(&not_derived).unwrap());
+
+    // A conforming sparse instance: name empty (unknown) or singleton.
+    let inst = Instance::parse(
+        &schema,
+        r#"Genes = {
+            <gid: 1, name: {<text: "BRCA1">},
+             aliases: {<text2: "IRIS">, <text2: "PSCP">},
+             papers: {<pmid: 100, year: 1994>, <pmid: 101, year: 1995>}>,
+            <gid: 2, name: {},
+             aliases: {},
+             papers: {<pmid: 102, year: 1998>}> };"#,
+    )
+    .unwrap();
+    println!("Catalogue:\n{}", render::render_instance(&schema, &inst));
+    for nfd in &sigma {
+        println!(
+            "  {} {nfd}",
+            if check(&schema, &inst, nfd).unwrap().holds { "✓" } else { "✗" }
+        );
+    }
+
+    // A two-name gene violates the singleton constraint…
+    let bad = Instance::parse(
+        &schema,
+        r#"Genes = {
+            <gid: 1, name: {<text: "BRCA1">, <text: "BRCA-one">},
+             aliases: {}, papers: {}> };"#,
+    )
+    .unwrap();
+    let r = check(&schema, &bad, &sigma[0]).unwrap();
+    println!(
+        "\ntwo names for gid 1: {} ({})",
+        if r.holds { "accepted" } else { "rejected" },
+        r.violation
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "no witness".into())
+    );
+
+    // Empty-set reasoning on sparse data. Two transitive chains through
+    // the possibly-empty `papers` set:
+    //
+    //   (i)  gid → papers:pmid, papers:pmid → papers:year
+    //        The intermediate FOLLOWS the conclusion (same traversals), so
+    //        the chain is safe even when papers is empty — the paper's
+    //        Definition 3.2 at work, no declaration needed.
+    //   (ii) gid → papers:pmid, papers:pmid → aliases:text2
+    //        The intermediate does NOT follow the conclusion: with papers
+    //        empty the premises say nothing while the conclusion still
+    //        bites (Example 3.2's trap). Only a NON-EMPTY declaration on
+    //        papers restores the inference.
+    let chain_sigma = parse_set(
+        &schema,
+        "Genes:[gid -> papers:pmid];
+         Genes:[papers:pmid -> papers:year];
+         Genes:[papers:pmid -> aliases:text2];",
+    )
+    .unwrap();
+    let safe_goal = Nfd::parse(&schema, "Genes:[gid -> papers:year]").unwrap();
+    let risky_goal = Nfd::parse(&schema, "Genes:[gid -> aliases:text2]").unwrap();
+    let strict = Engine::new(&schema, &chain_sigma).unwrap();
+    let sparse = Engine::with_policy(&schema, &chain_sigma, EmptySetPolicy::pessimistic()).unwrap();
+    let declared = Engine::with_policy(
+        &schema,
+        &chain_sigma,
+        EmptySetPolicy::non_empty([RootedPath::parse("Genes:papers").unwrap()]),
+    )
+    .unwrap();
+    println!("\nChain (i): goal {safe_goal}");
+    println!("  assuming no empty sets anywhere:   {}", strict.implies(&safe_goal).unwrap());
+    println!("  AceDB-style sparse data:           {} (intermediate follows the conclusion)", sparse.implies(&safe_goal).unwrap());
+    println!("Chain (ii): goal {risky_goal}");
+    println!("  assuming no empty sets anywhere:   {}", strict.implies(&risky_goal).unwrap());
+    println!("  AceDB-style sparse data:           {}", sparse.implies(&risky_goal).unwrap());
+    println!("  with `papers` declared non-empty:  {}", declared.implies(&risky_goal).unwrap());
+}

@@ -1,0 +1,233 @@
+//! Regenerates every numbered artifact of the paper, in order: the
+//! Section 2 instance, Examples 2.1–2.5, Figure 1, the Section 2.2
+//! translations, the Section 3.1 worked derivation, Examples 3.1/3.2, and
+//! the Appendix A closures and constructed instances (Examples A.1, A.2).
+//!
+//! Run with: `cargo run --example paper_walkthrough`
+//! (EXPERIMENTS.md records this output against the paper.)
+
+use nfd::core::{check, construct, nfd::parse_set, proof, rules, satisfy};
+use nfd::model::render;
+use nfd::prelude::*;
+
+fn heading(s: &str) {
+    println!("\n━━━ {s} ━━━");
+}
+
+fn main() {
+    section_2();
+    figure_1();
+    section_2_2();
+    section_3_1();
+    example_3_1();
+    example_3_2();
+    appendix_a1();
+    appendix_a2();
+}
+
+fn section_2() {
+    heading("Section 2 — the Course instance");
+    let schema = Schema::parse(
+        "Course : { <cnum: string, time: int, students: {<sid: int, grade: string>}> };",
+    )
+    .unwrap();
+    let inst = Instance::parse(
+        &schema,
+        r#"Course = { <cnum: "cis550", time: 10,
+                       students: {<sid: 1001, grade: "A">, <sid: 2002, grade: "B">}>,
+                      <cnum: "cis500", time: 12,
+                       students: {<sid: 1001, grade: "A">}> };"#,
+    )
+    .unwrap();
+    println!("{}", render::render_instance(&schema, &inst));
+}
+
+fn figure_1() {
+    heading("Figure 1 — an instance violating R:[B:C → E:F]");
+    let schema =
+        Schema::parse("R : { <A: int, B: {<C: int, D: int>}, E: {<F: int, G: int>}> };").unwrap();
+    let inst = Instance::parse(
+        &schema,
+        "R = { <A: 1, B: {<C: 1, D: 3>}, E: {<F: 5, G: 6>, <F: 5, G: 7>}>,
+               <A: 2, B: {<C: 2, D: 2>, <C: 1, D: 3>}, E: {<F: 3, G: 4>, <F: 4, G: 4>}> };",
+    )
+    .unwrap();
+    println!("{}", render::render_instance(&schema, &inst));
+    let nfd = Nfd::parse(&schema, "R:[B:C -> E:F]").unwrap();
+    let report = check(&schema, &inst, &nfd).unwrap();
+    println!("I ⊨ {nfd}?  {}", report.holds);
+    if let Some(v) = report.violation {
+        println!("witness: {v}");
+    }
+}
+
+fn section_2_2() {
+    heading("Section 2.2 — NFDs expressed in logic");
+    let schema = Schema::parse(
+        "Course : { <cnum: string, time: int,
+                     students: {<sid: int, age: int, grade: string>},
+                     books: {<isbn: string, title: string>}> };",
+    )
+    .unwrap();
+    for text in [
+        "Course:[books:isbn -> books:title]",
+        "Course:students:[sid -> grade]",
+        "Course:[students:sid -> students:age]",
+    ] {
+        let nfd = Nfd::parse(&schema, text).unwrap();
+        println!("{nfd}\n  ≡ {}", nfd.to_formula(&schema).unwrap());
+    }
+}
+
+fn section_3_1() {
+    heading("Section 3.1 — the worked derivation R:A:[B → E]");
+    let schema =
+        Schema::parse("R : { <A: {<B: {<C: int>}, E: {<F: int, G: int>}>}, D: int> };").unwrap();
+    let sigma = parse_set(&schema, "R:[A:B:C, D -> A:E:F]; R:A:[B -> E:G];").unwrap();
+    println!("Σ: (nfd1) {}", sigma[0]);
+    println!("   (nfd2) {}", sigma[1]);
+
+    // The paper's eight steps, replayed through the rule functions.
+    let p = |s: &str| nfd::path::Path::parse(s).unwrap();
+    let s1 = rules::locality(&sigma[0]).unwrap();
+    let s2 = rules::prefix(&s1, &p("B:C")).unwrap();
+    let s3 = rules::locality(&s2).unwrap();
+    let s4 = rules::push_in(&s3, 1).unwrap();
+    let s5 = rules::locality(&sigma[1]).unwrap();
+    let s6 = rules::push_in(&s5, 1).unwrap();
+    let s7 = rules::singleton(&schema, &[s4.clone(), s6.clone()], &p("E")).unwrap();
+    let s8 = rules::transitivity(&[s2.clone(), sigma[1].clone()], &s7).unwrap();
+    for (i, (step, rule)) in [
+        (&s1, "locality of nfd1"),
+        (&s2, "prefix rule on (1)"),
+        (&s3, "locality of (2)"),
+        (&s4, "push-in"),
+        (&s5, "locality of nfd2"),
+        (&s6, "push-in"),
+        (&s7, "singleton with (4) and (6)"),
+        (&s8, "transitivity with (7), (2), and nfd2"),
+    ]
+    .iter()
+    .enumerate()
+    {
+        println!("  {}. {:<32} by {rule}", i + 1, step.to_string());
+    }
+
+    // …and the engine's own machine-found proof of the same goal.
+    let engine = Engine::new(&schema, &sigma).unwrap();
+    let goal = Nfd::parse(&schema, "R:A:[B -> E]").unwrap();
+    let pf = proof::prove(&engine, &goal).unwrap().unwrap();
+    proof::verify(&engine, &pf).unwrap();
+    println!("\nEngine-found certificate:\n{pf}");
+}
+
+fn example_3_1() {
+    heading("Example 3.1 — locality vs full-locality");
+    let schema =
+        Schema::parse("R : { <A: {<B: {<C: int, E: {<W: int>}>}, D: int>}> };").unwrap();
+    let f1 = Nfd::parse(&schema, "R:[A:B:C, A:D -> A:B:E:W]").unwrap();
+    println!("f1 = {f1}");
+    let weak = rules::locality(&f1).unwrap();
+    println!("locality       ⇒ {weak} (pushed in: {})", nfd::core::simple::to_simple(&weak));
+    let strong = rules::full_locality(&f1, &nfd::path::Path::parse("A:B").unwrap()).unwrap();
+    println!("full-locality  ⇒ {strong}");
+}
+
+fn example_3_2() {
+    heading("Example 3.2 — empty sets break transitivity");
+    let schema = Schema::parse("R : { <A: int, B: {<C: int>}, D: int, E: int> };").unwrap();
+    let inst = Instance::parse(
+        &schema,
+        "R = { <A: 1, B: {}, D: 2, E: 3>,
+               <A: 1, B: {}, D: 3, E: 4>,
+               <A: 2, B: {<C: 3>}, D: 4, E: 5> };",
+    )
+    .unwrap();
+    println!("{}", render::render_instance(&schema, &inst));
+    for t in ["R:[A -> B:C]", "R:[B:C -> D]", "R:[A -> D]", "R:[B:C -> E]", "R:[B -> E]"] {
+        let nfd = Nfd::parse(&schema, t).unwrap();
+        println!(
+            "  I ⊨ {t} ?  {}",
+            check(&schema, &inst, &nfd).unwrap().holds
+        );
+    }
+    let sigma = parse_set(&schema, "R:[A -> B:C]; R:[B:C -> D];").unwrap();
+    let goal = Nfd::parse(&schema, "R:[A -> D]").unwrap();
+    let strict = Engine::new(&schema, &sigma).unwrap();
+    let pess = Engine::with_policy(&schema, &sigma, EmptySetPolicy::pessimistic()).unwrap();
+    let ann = Engine::with_policy(
+        &schema,
+        &sigma,
+        EmptySetPolicy::non_empty([RootedPath::parse("R:B").unwrap()]),
+    )
+    .unwrap();
+    println!("  Σ ⊢ R:[A → D]  without empty sets:        {}", strict.implies(&goal).unwrap());
+    println!("  Σ ⊢ R:[A → D]  empty sets, no annotation: {}", pess.implies(&goal).unwrap());
+    println!("  Σ ⊢ R:[A → D]  with `R:B` NON-EMPTY:      {}", ann.implies(&goal).unwrap());
+}
+
+fn appendix(schema: &Schema, sigma_text: &str, x_text: &str, label: &str) {
+    let sigma = parse_set(schema, sigma_text).unwrap();
+    let engine = Engine::new(schema, &sigma).unwrap();
+    let base = RootedPath::relation_only(schema.relation_names().next().unwrap());
+    let x = vec![Path::parse(x_text).unwrap()];
+    let closure = engine.closure(&base, &x).unwrap();
+    println!(
+        "closure ({label}) = {{ {} }}",
+        closure
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let built = construct::counterexample(&engine, &base, &x).unwrap();
+    println!("{}", render::render_instance(schema, &built.instance));
+    let ok = sigma
+        .iter()
+        .all(|nfd| check(schema, &built.instance, nfd).unwrap().holds);
+    println!("constructed instance satisfies Σ: {ok}");
+    // And it violates X → y for a path outside the closure:
+    let rec = schema
+        .relation_type(base.relation)
+        .unwrap()
+        .element_record()
+        .unwrap();
+    for q in nfd::path::typing::paths_of_record(rec) {
+        let rooted = RootedPath::new(base.relation, q.clone());
+        if !closure.contains(&rooted) {
+            let goal = Nfd::new(base.clone(), x.clone(), q).unwrap();
+            let holds = satisfy::check(schema, &built.instance, &goal).unwrap().holds;
+            println!("  I ⊭ {goal} (as Lemma A.1 demands): {}", !holds);
+        }
+    }
+}
+
+fn appendix_a1() {
+    heading("Appendix A, Example A.1 — closure and construction");
+    let schema = Schema::parse(
+        "R : { <A: int, B: {<C: int>}, D: int, E: {<F: int, G: int>},
+               H: {<J: int, L: int>}, I: int, M: {<N: int, O: int>}> };",
+    )
+    .unwrap();
+    appendix(
+        &schema,
+        "R:[A -> B:C]; R:[B:C -> D]; R:[D -> E:F];
+         R:[A -> E:G]; R:[B:C -> H]; R:[I -> H:J];",
+        "B",
+        "(R, {B}, Σ)*",
+    );
+}
+
+fn appendix_a2() {
+    heading("Appendix A, Example A.2 — deep nesting");
+    let schema = Schema::parse(
+        "R : { <A: {<B: {<C: int, D: int, E: {<F: int, G: int>}>}>}, H: int> };",
+    )
+    .unwrap();
+    appendix(
+        &schema,
+        "R:[A:B:C -> A:B]; R:[A:B:C -> A:B:E:F]; R:[H -> A:B:D];",
+        "A:B:C",
+        "(R, {A:B:C}, Σ)*",
+    );
+}

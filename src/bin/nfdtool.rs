@@ -1,0 +1,9 @@
+//! `nfdtool` — command-line access to the NFD library. See `nfd::cli`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = String::new();
+    let code = nfd::cli::run(&args, &mut out);
+    print!("{out}");
+    std::process::exit(code);
+}

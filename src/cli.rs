@@ -1,0 +1,350 @@
+//! The `nfdtool` command-line interface.
+//!
+//! A thin, dependency-free front end over the library: schemas,
+//! dependency sets and instances are read from files in the textual
+//! syntaxes of [`nfd_model::parse`] and [`nfd_core::nfd`], and each
+//! subcommand maps to one library entry point.
+//!
+//! ```text
+//! nfdtool check    --schema S --deps D --instance I    # I ⊨ Σ? (witnesses)
+//! nfdtool implies  --schema S --deps D "R:[A -> B]"    # Σ ⊨ σ?
+//! nfdtool prove    --schema S --deps D "R:[A -> B]"    # derivation certificate
+//! nfdtool closure  --schema S --deps D --base R:A --lhs B:C,D
+//! nfdtool witness  --schema S --deps D --base R --lhs A   # Appendix A instance
+//! nfdtool keys     --schema S --deps D --relation R
+//! nfdtool analyze  --schema S --deps D            # singletons, redundancy, minimal cover
+//! nfdtool render   --schema S --instance I        # nested tables
+//! ```
+//!
+//! The entry point [`run`] writes to the supplied sink and returns a
+//! process exit code, so the whole CLI is unit-testable.
+
+use nfd_core::engine::Engine;
+use nfd_core::{analysis, construct, nfd::parse_set, proof, satisfy, Nfd};
+use nfd_model::{render, Instance, Schema};
+use nfd_path::{Path, RootedPath};
+use std::fmt::Write as _;
+
+/// Runs the CLI with the given arguments (excluding the program name),
+/// writing human-readable output to `out`. Returns the exit code:
+/// `0` success / property holds, `1` property fails (violation found or
+/// not implied), `2` usage or input error.
+pub fn run(args: &[String], out: &mut String) -> i32 {
+    match dispatch(args, out) {
+        Ok(code) => code,
+        Err(msg) => {
+            let _ = writeln!(out, "error: {msg}");
+            let _ = writeln!(out, "{USAGE}");
+            2
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  nfdtool check    --schema FILE --deps FILE --instance FILE
+  nfdtool implies  --schema FILE --deps FILE [--policy P] NFD
+  nfdtool prove    --schema FILE --deps FILE [--policy P] NFD
+  nfdtool closure  --schema FILE --deps FILE [--policy P] --base PATH [--lhs P1,P2,…]
+  nfdtool witness  --schema FILE --deps FILE --base PATH [--lhs P1,P2,…]
+  nfdtool keys     --schema FILE --deps FILE --relation NAME
+  nfdtool analyze  --schema FILE --deps FILE
+  nfdtool render   --schema FILE --instance FILE
+
+  --policy P controls empty-set reasoning (Section 3.2 of the paper):
+     strict            no instance contains an empty set (default; Theorem 3.1)
+     pessimistic       empty sets anywhere; only `follows`-safe inferences
+     nonempty:R:A,R:B  like pessimistic, with the listed set paths declared
+                       non-empty (the paper's NON-NULL analogue)";
+
+struct Opts {
+    schema: Option<String>,
+    deps: Option<String>,
+    instance: Option<String>,
+    base: Option<String>,
+    lhs: Option<String>,
+    relation: Option<String>,
+    policy: Option<String>,
+    positional: Vec<String>,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts {
+        schema: None,
+        deps: None,
+        instance: None,
+        base: None,
+        lhs: None,
+        relation: None,
+        policy: None,
+        positional: Vec::new(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("flag `{}` needs a value", args[*i - 1]))
+        };
+        match args[i].as_str() {
+            "--schema" => o.schema = Some(take(&mut i)?),
+            "--deps" => o.deps = Some(take(&mut i)?),
+            "--instance" => o.instance = Some(take(&mut i)?),
+            "--base" => o.base = Some(take(&mut i)?),
+            "--lhs" => o.lhs = Some(take(&mut i)?),
+            "--relation" => o.relation = Some(take(&mut i)?),
+            "--policy" => o.policy = Some(take(&mut i)?),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            other => o.positional.push(other.to_string()),
+        }
+        i += 1;
+    }
+    Ok(o)
+}
+
+fn read(path: &str, what: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {what} file `{path}`: {e}"))
+}
+
+fn load_schema(o: &Opts) -> Result<Schema, String> {
+    let path = o.schema.as_deref().ok_or("--schema is required")?;
+    Schema::parse(&read(path, "schema")?).map_err(|e| format!("schema: {e}"))
+}
+
+fn load_deps(o: &Opts, schema: &Schema) -> Result<Vec<Nfd>, String> {
+    let path = o.deps.as_deref().ok_or("--deps is required")?;
+    parse_set(schema, &read(path, "dependencies")?).map_err(|e| format!("dependencies: {e}"))
+}
+
+fn load_instance(o: &Opts, schema: &Schema) -> Result<Instance, String> {
+    let path = o.instance.as_deref().ok_or("--instance is required")?;
+    Instance::parse(schema, &read(path, "instance")?).map_err(|e| format!("instance: {e}"))
+}
+
+fn parse_lhs(o: &Opts) -> Result<Vec<Path>, String> {
+    match &o.lhs {
+        None => Ok(Vec::new()),
+        Some(text) => text
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .map(|s| Path::parse(s).map_err(|e| format!("--lhs: {e}")))
+            .collect(),
+    }
+}
+
+fn parse_policy(o: &Opts) -> Result<nfd_core::EmptySetPolicy, String> {
+    match o.policy.as_deref() {
+        None | Some("strict") => Ok(nfd_core::EmptySetPolicy::Forbidden),
+        Some("pessimistic") => Ok(nfd_core::EmptySetPolicy::pessimistic()),
+        Some(spec) if spec.starts_with("nonempty:") => {
+            let paths: Result<Vec<RootedPath>, String> = spec["nonempty:".len()..]
+                .split(',')
+                .filter(|s| !s.trim().is_empty())
+                .map(|s| RootedPath::parse(s.trim()).map_err(|e| format!("--policy: {e}")))
+                .collect();
+            Ok(nfd_core::EmptySetPolicy::non_empty(paths?))
+        }
+        Some(other) => Err(format!(
+            "--policy must be `strict`, `pessimistic` or `nonempty:R:A,…`, got `{other}`"
+        )),
+    }
+}
+
+fn dispatch(args: &[String], out: &mut String) -> Result<i32, String> {
+    let Some(cmd) = args.first() else {
+        return Err("no subcommand".into());
+    };
+    let o = parse_opts(&args[1..])?;
+    match cmd.as_str() {
+        "check" => {
+            let schema = load_schema(&o)?;
+            let sigma = load_deps(&o, &schema)?;
+            let inst = load_instance(&o, &schema)?;
+            let mut failures = 0usize;
+            for nfd in &sigma {
+                let r = satisfy::check(&schema, &inst, nfd).map_err(|e| e.to_string())?;
+                if r.holds {
+                    let _ = writeln!(out, "ok    {nfd}");
+                } else {
+                    failures += 1;
+                    let _ = writeln!(out, "FAIL  {nfd}");
+                    if let Some(v) = r.violation {
+                        let _ = writeln!(out, "      witness: {v}");
+                    }
+                }
+            }
+            let _ = writeln!(out, "{} of {} constraints hold", sigma.len() - failures, sigma.len());
+            Ok(if failures == 0 { 0 } else { 1 })
+        }
+        "implies" | "prove" => {
+            let schema = load_schema(&o)?;
+            let sigma = load_deps(&o, &schema)?;
+            let goal_text = o
+                .positional
+                .first()
+                .ok_or("expected the goal NFD as a positional argument")?;
+            let goal = Nfd::parse(&schema, goal_text).map_err(|e| format!("goal: {e}"))?;
+            let policy = parse_policy(&o)?;
+            let engine =
+                Engine::with_policy(&schema, &sigma, policy).map_err(|e| e.to_string())?;
+            if cmd == "implies" {
+                let yes = engine.implies(&goal).map_err(|e| e.to_string())?;
+                let _ = writeln!(out, "{}", if yes { "implied" } else { "not implied" });
+                Ok(if yes { 0 } else { 1 })
+            } else {
+                match proof::prove(&engine, &goal).map_err(|e| e.to_string())? {
+                    Some(pf) => {
+                        proof::verify(&engine, &pf)
+                            .map_err(|e| format!("internal: certificate rejected: {e}"))?;
+                        let _ = write!(out, "{pf}");
+                        Ok(0)
+                    }
+                    None => {
+                        let _ = writeln!(out, "not implied (no derivation exists)");
+                        Ok(1)
+                    }
+                }
+            }
+        }
+        "closure" => {
+            let schema = load_schema(&o)?;
+            let sigma = load_deps(&o, &schema)?;
+            let base_text = o.base.as_deref().ok_or("--base is required")?;
+            let base = RootedPath::parse(base_text).map_err(|e| format!("--base: {e}"))?;
+            let lhs = parse_lhs(&o)?;
+            let policy = parse_policy(&o)?;
+            let engine =
+                Engine::with_policy(&schema, &sigma, policy).map_err(|e| e.to_string())?;
+            let cl = engine.closure(&base, &lhs).map_err(|e| e.to_string())?;
+            for p in &cl {
+                let _ = writeln!(out, "{p}");
+            }
+            let _ = writeln!(out, "({} paths)", cl.len());
+            Ok(0)
+        }
+        "witness" => {
+            let schema = load_schema(&o)?;
+            let sigma = load_deps(&o, &schema)?;
+            let base_text = o.base.as_deref().ok_or("--base is required")?;
+            let base = RootedPath::parse(base_text).map_err(|e| format!("--base: {e}"))?;
+            let lhs = parse_lhs(&o)?;
+            let engine = Engine::new(&schema, &sigma).map_err(|e| e.to_string())?;
+            let built =
+                construct::counterexample(&engine, &base, &lhs).map_err(|e| e.to_string())?;
+            let _ = writeln!(
+                out,
+                "# Appendix-A instance: satisfies the dependency set and violates"
+            );
+            let _ = writeln!(
+                out,
+                "# {base}:[{} -> y] for every y outside the closure below.",
+                lhs.iter().map(Path::to_string).collect::<Vec<_>>().join(", ")
+            );
+            let _ = writeln!(
+                out,
+                "# closure: {}",
+                built
+                    .closure
+                    .iter()
+                    .map(|p| p.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            let _ = write!(out, "{}", built.instance);
+            Ok(0)
+        }
+        "keys" => {
+            let schema = load_schema(&o)?;
+            let sigma = load_deps(&o, &schema)?;
+            let rel_text = o.relation.as_deref().ok_or("--relation is required")?;
+            let relation = nfd_model::Label::new(rel_text);
+            let engine = Engine::new(&schema, &sigma).map_err(|e| e.to_string())?;
+            let keys =
+                analysis::candidate_keys(&engine, relation, 4).map_err(|e| e.to_string())?;
+            for k in &keys {
+                let _ = writeln!(
+                    out,
+                    "{{{}}}",
+                    k.iter().map(Path::to_string).collect::<Vec<_>>().join(", ")
+                );
+            }
+            let _ = writeln!(out, "({} candidate keys of size ≤ 4)", keys.len());
+            Ok(0)
+        }
+        "analyze" => {
+            let schema = load_schema(&o)?;
+            let sigma = load_deps(&o, &schema)?;
+            let engine = Engine::new(&schema, &sigma).map_err(|e| e.to_string())?;
+            let singles = analysis::forced_singletons(&engine).map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "forced singleton sets:");
+            if singles.is_empty() {
+                let _ = writeln!(out, "  (none)");
+            }
+            for s in singles {
+                let _ = writeln!(out, "  {s}");
+            }
+            let eod = analysis::equal_or_disjoint_sets(&engine).map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "equal-or-disjoint sets:");
+            if eod.is_empty() {
+                let _ = writeln!(out, "  (none)");
+            }
+            for s in eod {
+                let _ = writeln!(out, "  {s}");
+            }
+            let min = analysis::minimize(&schema, &sigma).map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "minimal cover ({} of {} kept):", min.len(), sigma.len());
+            for nfd in min {
+                let _ = writeln!(out, "  {nfd};");
+            }
+            Ok(0)
+        }
+        "render" => {
+            let schema = load_schema(&o)?;
+            let inst = load_instance(&o, &schema)?;
+            let _ = write!(out, "{}", render::render_instance(&schema, &inst));
+            Ok(0)
+        }
+        "help" | "--help" | "-h" => {
+            let _ = writeln!(out, "{USAGE}");
+            Ok(0)
+        }
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn no_subcommand_is_usage_error() {
+        let mut out = String::new();
+        assert_eq!(run(&[], &mut out), 2);
+        assert!(out.contains("usage:"));
+    }
+
+    #[test]
+    fn unknown_subcommand() {
+        let mut out = String::new();
+        assert_eq!(run(&args(&["frobnicate"]), &mut out), 2);
+        assert!(out.contains("unknown subcommand"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let mut out = String::new();
+        assert_eq!(run(&args(&["help"]), &mut out), 0);
+        assert!(out.contains("nfdtool implies"));
+    }
+
+    #[test]
+    fn missing_flag_value() {
+        let mut out = String::new();
+        assert_eq!(run(&args(&["closure", "--schema"]), &mut out), 2);
+        assert!(out.contains("needs a value"));
+    }
+}

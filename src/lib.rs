@@ -1,0 +1,64 @@
+//! # nfd — Reasoning about Nested Functional Dependencies
+//!
+//! A complete Rust implementation of Hara & Davidson, *"Reasoning about
+//! Nested Functional Dependencies"* (PODS 1999): the nested relational
+//! model, NFDs with path expressions, their logic translation, the sound
+//! and complete eight-rule axiomatization with a saturation-based
+//! implication engine and replayable proofs, the Appendix A
+//! counterexample construction, the empty-set rule variants of
+//! Section 3.2, a classical-FD baseline, and a nested tableau chase.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`model`] | types, values, schemas, instances, parsing, rendering, generation |
+//! | [`path`] | path expressions, typing, prefix/follows, navigation |
+//! | [`logic`] | Section 2.2 translation to first-order logic + evaluator |
+//! | [`core`] | NFDs, satisfaction, rules, engine, proofs, closure, construction |
+//! | [`relational`] | Armstrong's axioms / attribute closure baseline |
+//! | [`chase`] | nested tableau chase (the paper's future work) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nfd::prelude::*;
+//!
+//! let schema = Schema::parse(
+//!     "Course : { <cnum: string, time: int,
+//!                  students: {<sid: int, age: int, grade: string>},
+//!                  books: {<isbn: string, title: string>}> };").unwrap();
+//!
+//! // The five constraints from the paper's introduction.
+//! let sigma = nfd::core::nfd::parse_set(&schema, "
+//!     Course:[cnum -> time]; Course:[cnum -> students]; Course:[cnum -> books];
+//!     Course:[books:isbn -> books:title];
+//!     Course:students:[sid -> grade];
+//!     Course:[students:sid -> students:age];
+//!     Course:[time, students:sid -> cnum];
+//! ").unwrap();
+//!
+//! // The paper's motivating question: do sid and time determine books?
+//! let engine = Engine::new(&schema, &sigma).unwrap();
+//! let goal = Nfd::parse(&schema, "Course:[time, students:sid -> books]").unwrap();
+//! assert!(engine.implies(&goal).unwrap());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cli;
+
+pub use nfd_chase as chase;
+pub use nfd_core as core;
+pub use nfd_logic as logic;
+pub use nfd_model as model;
+pub use nfd_path as path;
+pub use nfd_relational as relational;
+
+/// The most commonly used items, for `use nfd::prelude::*`.
+pub mod prelude {
+    pub use nfd_core::engine::Engine;
+    pub use nfd_core::{check, EmptySetPolicy, Nfd, SatisfyReport, Violation};
+    pub use nfd_model::{Instance, Label, Schema, Type, Value};
+    pub use nfd_path::{Path, RootedPath};
+}

@@ -1,0 +1,168 @@
+//! Baseline differential: on flat (1NF) schemas, NFDs *are* classical
+//! functional dependencies, so the NFD implication engine must agree with
+//! the independent Armstrong/attribute-closure implementation on every
+//! instance of the problem.
+
+mod common;
+
+use nfd::core::engine::Engine;
+use nfd::core::Nfd;
+use nfd::model::{Label, Schema};
+use nfd::path::{Path, RootedPath};
+use nfd::relational::{attrs, closure, implies, AttrSet, Fd};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A flat schema with `n` int attributes `a0..a{n-1}`, plus the matching
+/// attribute universe.
+fn flat_schema(n: usize, tag: u64) -> (Schema, Vec<String>) {
+    let names: Vec<String> = (0..n).map(|i| format!("a{tag}_{i}")).collect();
+    let fields = names
+        .iter()
+        .map(|s| format!("{s}: int"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let schema = Schema::parse(&format!("F{tag} : {{<{fields}>}};")).unwrap();
+    (schema, names)
+}
+
+fn to_nfd(_schema: &Schema, relation: Label, fd: &Fd) -> Vec<Nfd> {
+    // NFDs have a single RHS path; split the FD.
+    fd.split()
+        .into_iter()
+        .map(|f| {
+            let lhs: Vec<Path> = f.lhs.iter().map(|a| Path::of([a.0.as_str()])).collect();
+            let rhs = Path::of([f.rhs.iter().next().unwrap().0.as_str()]);
+            Nfd::new(RootedPath::relation_only(relation), lhs, rhs).unwrap()
+        })
+        .collect()
+}
+
+fn random_fd(rng: &mut StdRng, names: &[String]) -> Fd {
+    let pick = |rng: &mut StdRng| names[rng.gen_range(0..names.len())].clone();
+    let lhs: AttrSet = (0..rng.gen_range(0..=2usize))
+        .map(|_| nfd::relational::Attribute::new(pick(rng)))
+        .collect();
+    let rhs: AttrSet = [nfd::relational::Attribute::new(pick(rng))]
+        .into_iter()
+        .collect();
+    Fd::new(lhs, rhs)
+}
+
+#[test]
+fn engines_agree_on_flat_implication() {
+    let mut implied_count = 0usize;
+    for seed in 0..200u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(3..=6);
+        let (schema, names) = flat_schema(n, seed);
+        let relation = schema.relation_names().next().unwrap();
+        let sigma_fd: Vec<Fd> = (0..rng.gen_range(1..=4)).map(|_| random_fd(&mut rng, &names)).collect();
+        let sigma_nfd: Vec<Nfd> = sigma_fd
+            .iter()
+            .flat_map(|fd| to_nfd(&schema, relation, fd))
+            .collect();
+        let engine = Engine::new(&schema, &sigma_nfd).unwrap();
+        for _ in 0..8 {
+            let goal_fd = random_fd(&mut rng, &names);
+            let by_armstrong = implies(&sigma_fd, &goal_fd);
+            for goal_nfd in to_nfd(&schema, relation, &goal_fd) {
+                let by_engine = engine.implies(&goal_nfd).unwrap();
+                // Split FDs: the NFD engine answers per split; combine.
+                // (Each split answer must match Armstrong on that split.)
+                let single = Fd::new(
+                    goal_fd.lhs.clone(),
+                    [nfd::relational::Attribute::new(
+                        goal_nfd.rhs.first().unwrap().as_str(),
+                    )]
+                    .into_iter()
+                    .collect(),
+                );
+                assert_eq!(
+                    by_engine,
+                    implies(&sigma_fd, &single),
+                    "seed {seed}: engines disagree on {goal_nfd}"
+                );
+            }
+            if by_armstrong {
+                implied_count += 1;
+            }
+        }
+    }
+    assert!(implied_count > 100, "only {implied_count} implied goals seen");
+}
+
+/// The NFD closure of a flat LHS is exactly the attribute closure.
+#[test]
+fn closures_coincide_on_flat_schemas() {
+    for seed in 0..120u64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF1A7);
+        let n = rng.gen_range(3..=6);
+        let (schema, names) = flat_schema(n, seed + 10_000);
+        let relation = schema.relation_names().next().unwrap();
+        let sigma_fd: Vec<Fd> = (0..rng.gen_range(1..=4)).map(|_| random_fd(&mut rng, &names)).collect();
+        let sigma_nfd: Vec<Nfd> = sigma_fd
+            .iter()
+            .flat_map(|fd| to_nfd(&schema, relation, fd))
+            .collect();
+        let engine = Engine::new(&schema, &sigma_nfd).unwrap();
+
+        let x_names: Vec<String> = (0..rng.gen_range(0..=2usize))
+            .map(|_| names[rng.gen_range(0..names.len())].clone())
+            .collect();
+        let x_paths: Vec<Path> = x_names.iter().map(|s| Path::of([s.as_str()])).collect();
+        let by_engine: std::collections::BTreeSet<String> = engine
+            .closure(&RootedPath::relation_only(relation), &x_paths)
+            .unwrap()
+            .into_iter()
+            .map(|r| r.path.to_string())
+            .collect();
+        let by_armstrong: std::collections::BTreeSet<String> =
+            closure(&sigma_fd, &attrs(x_names.iter().map(String::as_str)))
+                .into_iter()
+                .map(|a| a.0)
+                .collect();
+        assert_eq!(by_engine, by_armstrong, "seed {seed}: closures differ");
+    }
+}
+
+/// Candidate keys found through the NFD engine (brute force over LHS
+/// subsets whose closure covers every attribute) match the relational
+/// algorithm.
+#[test]
+fn candidate_keys_match() {
+    for seed in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x005E_ED0Fu64);
+        let n = rng.gen_range(3..=5);
+        let (schema, names) = flat_schema(n, seed + 20_000);
+        let relation = schema.relation_names().next().unwrap();
+        let sigma_fd: Vec<Fd> = (0..rng.gen_range(1..=3)).map(|_| random_fd(&mut rng, &names)).collect();
+        let sigma_nfd: Vec<Nfd> = sigma_fd
+            .iter()
+            .flat_map(|fd| to_nfd(&schema, relation, fd))
+            .collect();
+        let engine = Engine::new(&schema, &sigma_nfd).unwrap();
+
+        // Brute-force minimal superkeys via the NFD engine.
+        let universe: AttrSet = attrs(names.iter().map(String::as_str));
+        let mut engine_keys: Vec<AttrSet> = Vec::new();
+        for mask in 0u32..(1 << n) {
+            let subset: Vec<&String> =
+                names.iter().enumerate().filter(|(i, _)| mask >> i & 1 == 1).map(|(_, s)| s).collect();
+            let paths: Vec<Path> = subset.iter().map(|s| Path::of([s.as_str()])).collect();
+            let cl = engine
+                .closure(&RootedPath::relation_only(relation), &paths)
+                .unwrap();
+            if cl.len() == n {
+                let k: AttrSet = attrs(subset.iter().map(|s| s.as_str()));
+                if !engine_keys.iter().any(|e| e.is_subset(&k)) {
+                    engine_keys.retain(|e| !k.is_subset(e));
+                    engine_keys.push(k);
+                }
+            }
+        }
+        engine_keys.sort();
+        let expected = nfd::relational::candidate_keys(&universe, &sigma_fd);
+        assert_eq!(engine_keys, expected, "seed {seed}: candidate keys differ");
+    }
+}

@@ -1,0 +1,74 @@
+//! E10 / §4: the nested tableau chase and the axiomatic saturation engine
+//! are two unrelated decision procedures for the same problem; they must
+//! return identical verdicts.
+
+mod common;
+
+use common::*;
+use nfd::chase;
+use nfd::core::engine::Engine;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn differential_trial(seed: u64, shape: SchemaShape, goals: usize) {
+    let schema = random_schema(seed, shape);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFEED);
+    let sigma = random_sigma(&mut rng, &schema, 2);
+    let engine = Engine::new(&schema, &sigma).unwrap();
+    for _ in 0..goals {
+        let Some(goal) = random_nfd(&mut rng, &schema) else {
+            continue;
+        };
+        let by_axioms = engine.implies(&goal).unwrap();
+        let by_chase = chase::implies_by_chase(&schema, &sigma, &goal).unwrap();
+        assert_eq!(
+            by_axioms, by_chase,
+            "verdicts differ (seed {seed}) for {goal}\nΣ = {sigma:?}"
+        );
+    }
+}
+
+#[test]
+fn chase_agrees_on_flat_schemas() {
+    for seed in 0..200 {
+        differential_trial(
+            seed,
+            SchemaShape {
+                max_depth: 0,
+                fields: (2, 4),
+                set_prob: 0.0,
+            },
+            4,
+        );
+    }
+}
+
+#[test]
+fn chase_agrees_on_shallow_nested_schemas() {
+    for seed in 0..200 {
+        differential_trial(
+            seed + 1_000,
+            SchemaShape {
+                max_depth: 1,
+                fields: (2, 3),
+                set_prob: 0.5,
+            },
+            4,
+        );
+    }
+}
+
+#[test]
+fn chase_agrees_on_deeper_schemas() {
+    for seed in 0..80 {
+        differential_trial(
+            seed + 2_000,
+            SchemaShape {
+                max_depth: 2,
+                fields: (2, 2),
+                set_prob: 0.5,
+            },
+            3,
+        );
+    }
+}

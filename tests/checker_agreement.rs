@@ -1,0 +1,73 @@
+//! E4/E10: the two independently derived satisfaction checkers — the
+//! direct Definition 2.4 checker and the Section 2.2 logic-translation
+//! evaluator — must agree on every (schema, NFD, instance) triple.
+
+mod common;
+
+use common::{
+    random_instance_no_empty, random_instance_with_empties, random_nfd, random_schema,
+    SchemaShape,
+};
+use nfd::core::check;
+use nfd::logic;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn agreement_trial(seed: u64, with_empties: bool) {
+    let schema = random_schema(seed, SchemaShape::default());
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
+    for k in 0..6u64 {
+        let Some(nfd) = random_nfd(&mut rng, &schema) else {
+            continue;
+        };
+        let inst = if with_empties {
+            random_instance_with_empties(seed * 100 + k, &schema)
+        } else {
+            random_instance_no_empty(seed * 100 + k, &schema)
+        };
+        let direct = check(&schema, &inst, &nfd).unwrap().holds;
+        let formula = nfd.to_formula(&schema).unwrap();
+        let by_logic = logic::eval(&inst, &formula).unwrap();
+        assert_eq!(
+            direct, by_logic,
+            "checkers disagree (seed {seed}, k {k}) on {nfd}\nformula: {formula}\ninstance: {inst}"
+        );
+    }
+}
+
+#[test]
+fn checkers_agree_without_empty_sets() {
+    for seed in 0..150 {
+        agreement_trial(seed, false);
+    }
+}
+
+#[test]
+fn checkers_agree_with_empty_sets() {
+    for seed in 0..150 {
+        agreement_trial(seed, true);
+    }
+}
+
+/// Deeper schemas exercise multi-level coincidence.
+#[test]
+fn checkers_agree_on_deep_schemas() {
+    let shape = SchemaShape {
+        max_depth: 3,
+        fields: (2, 3),
+        set_prob: 0.6,
+    };
+    for seed in 0..60 {
+        let schema = random_schema(seed + 10_000, shape);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for k in 0..4u64 {
+            let Some(nfd) = random_nfd(&mut rng, &schema) else {
+                continue;
+            };
+            let inst = random_instance_with_empties(seed * 7 + k, &schema);
+            let direct = check(&schema, &inst, &nfd).unwrap().holds;
+            let by_logic = logic::eval(&inst, &nfd.to_formula(&schema).unwrap()).unwrap();
+            assert_eq!(direct, by_logic, "seed {seed}, k {k}, nfd {nfd}");
+        }
+    }
+}

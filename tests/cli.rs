@@ -1,0 +1,210 @@
+//! End-to-end tests of the `nfdtool` CLI (through `nfd::cli::run`, which
+//! the binary wraps 1:1).
+
+use std::path::PathBuf;
+
+struct Fixture {
+    dir: PathBuf,
+}
+
+impl Fixture {
+    fn new(tag: &str) -> Fixture {
+        let dir = std::env::temp_dir().join(format!("nfdtool-test-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        Fixture { dir }
+    }
+
+    fn file(&self, name: &str, contents: &str) -> String {
+        let path = self.dir.join(name);
+        std::fs::write(&path, contents).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn run(args: &[&str]) -> (i32, String) {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut out = String::new();
+    let code = nfd::cli::run(&args, &mut out);
+    (code, out)
+}
+
+const COURSE_SCHEMA: &str = "Course : { <cnum: string, time: int,
+    students: {<sid: int, age: int, grade: string>},
+    books: {<isbn: string, title: string>}> };";
+
+const COURSE_DEPS: &str = "
+    Course:[cnum -> time]; Course:[cnum -> students]; Course:[cnum -> books];
+    Course:[books:isbn -> books:title];
+    Course:students:[sid -> grade];
+    Course:[students:sid -> students:age];
+    Course:[time, students:sid -> cnum];";
+
+const GOOD_INSTANCE: &str = r#"Course = {
+    <cnum: "cis550", time: 10,
+     students: {<sid: 1001, age: 20, grade: "A">},
+     books: {<isbn: "0-13", title: "DB">}> };"#;
+
+const BAD_INSTANCE: &str = r#"Course = {
+    <cnum: "x", time: 1, students: {<sid: 1, age: 20, grade: "A">},
+     books: {<isbn: "i", title: "t">}>,
+    <cnum: "y", time: 2, students: {<sid: 1, age: 30, grade: "A">},
+     books: {<isbn: "i", title: "t">}> };"#;
+
+#[test]
+fn check_accepts_and_rejects() {
+    let f = Fixture::new("check");
+    let schema = f.file("s.nfds", COURSE_SCHEMA);
+    let deps = f.file("d.nfdd", COURSE_DEPS);
+    let good = f.file("good.nfdi", GOOD_INSTANCE);
+    let bad = f.file("bad.nfdi", BAD_INSTANCE);
+
+    let (code, out) = run(&["check", "--schema", &schema, "--deps", &deps, "--instance", &good]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("7 of 7 constraints hold"), "{out}");
+
+    let (code, out) = run(&["check", "--schema", &schema, "--deps", &deps, "--instance", &bad]);
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("FAIL"), "{out}");
+    assert!(out.contains("witness"), "{out}");
+}
+
+#[test]
+fn implies_and_prove() {
+    let f = Fixture::new("implies");
+    let schema = f.file("s.nfds", COURSE_SCHEMA);
+    let deps = f.file("d.nfdd", COURSE_DEPS);
+
+    let (code, out) = run(&[
+        "implies", "--schema", &schema, "--deps", &deps,
+        "Course:[time, students:sid -> books]",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("implied"), "{out}");
+
+    let (code, out) = run(&[
+        "implies", "--schema", &schema, "--deps", &deps,
+        "Course:[students:sid -> books]",
+    ]);
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("not implied"), "{out}");
+
+    let (code, out) = run(&[
+        "prove", "--schema", &schema, "--deps", &deps,
+        "Course:[time, students:sid -> books]",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("Proof of"), "{out}");
+    assert!(out.contains("transitivity"), "{out}");
+}
+
+#[test]
+fn closure_and_witness() {
+    let f = Fixture::new("closure");
+    let schema = f.file(
+        "s.nfds",
+        "R : { <A: int, B: {<C: int>}, D: int, E: {<F: int, G: int>},
+               H: {<J: int, L: int>}, I: int, M: {<N: int, O: int>}> };",
+    );
+    let deps = f.file(
+        "d.nfdd",
+        "R:[A -> B:C]; R:[B:C -> D]; R:[D -> E:F];
+         R:[A -> E:G]; R:[B:C -> H]; R:[I -> H:J];",
+    );
+    let (code, out) = run(&[
+        "closure", "--schema", &schema, "--deps", &deps, "--base", "R", "--lhs", "B",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    // Example A.1's closure, one path per line.
+    for p in ["R:B", "R:B:C", "R:D", "R:E:F", "R:H", "R:H:J"] {
+        assert!(out.contains(p), "missing {p} in:\n{out}");
+    }
+    assert!(out.contains("(6 paths)"), "{out}");
+
+    let (code, out) = run(&[
+        "witness", "--schema", &schema, "--deps", &deps, "--base", "R", "--lhs", "B",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("# closure:"), "{out}");
+    assert!(out.contains("R = {"), "{out}");
+}
+
+#[test]
+fn keys_and_analyze() {
+    let f = Fixture::new("keys");
+    let schema = f.file("s.nfds", COURSE_SCHEMA);
+    let deps = f.file("d.nfdd", COURSE_DEPS);
+    let (code, out) = run(&[
+        "keys", "--schema", &schema, "--deps", &deps, "--relation", "Course",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("{cnum}"), "{out}");
+
+    let (code, out) = run(&["analyze", "--schema", &schema, "--deps", &deps]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("minimal cover"), "{out}");
+    assert!(out.contains("forced singleton sets"), "{out}");
+}
+
+#[test]
+fn render_draws_tables() {
+    let f = Fixture::new("render");
+    let schema = f.file("s.nfds", COURSE_SCHEMA);
+    let inst = f.file("i.nfdi", GOOD_INSTANCE);
+    let (code, out) = run(&["render", "--schema", &schema, "--instance", &inst]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("| cnum"), "{out}");
+    assert!(out.contains("cis550"), "{out}");
+}
+
+#[test]
+fn policy_flag_switches_regime() {
+    let f = Fixture::new("policy");
+    let schema = f.file("s.nfds", "R : { <A: int, B: {<C: int>}, D: int> };");
+    let deps = f.file("d.nfdd", "R:[A -> B:C]; R:[B:C -> D];");
+    // Strict (default): Example 3.2's inference goes through.
+    let (code, out) = run(&["implies", "--schema", &schema, "--deps", &deps, "R:[A -> D]"]);
+    assert_eq!(code, 0, "{out}");
+    // Pessimistic: refused.
+    let (code, out) = run(&[
+        "implies", "--schema", &schema, "--deps", &deps, "--policy", "pessimistic",
+        "R:[A -> D]",
+    ]);
+    assert_eq!(code, 1, "{out}");
+    // Declaring R:B non-empty restores it.
+    let (code, out) = run(&[
+        "implies", "--schema", &schema, "--deps", &deps, "--policy", "nonempty:R:B",
+        "R:[A -> D]",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    // Bad policy string is a usage error.
+    let (code, out) = run(&[
+        "implies", "--schema", &schema, "--deps", &deps, "--policy", "maybe", "R:[A -> D]",
+    ]);
+    assert_eq!(code, 2);
+    assert!(out.contains("--policy"), "{out}");
+}
+
+#[test]
+fn error_paths() {
+    let f = Fixture::new("errors");
+    let schema = f.file("s.nfds", COURSE_SCHEMA);
+    // Missing required flags.
+    let (code, out) = run(&["closure", "--schema", &schema]);
+    assert_eq!(code, 2);
+    assert!(out.contains("--deps is required"), "{out}");
+    // Nonexistent file.
+    let (code, out) = run(&["check", "--schema", "/nonexistent/x", "--deps", "/y", "--instance", "/z"]);
+    assert_eq!(code, 2);
+    assert!(out.contains("cannot read"), "{out}");
+    // Malformed goal.
+    let deps = f.file("d.nfdd", COURSE_DEPS);
+    let (code, out) = run(&["implies", "--schema", &schema, "--deps", &deps, "not an nfd"]);
+    assert_eq!(code, 2);
+    assert!(out.contains("goal:"), "{out}");
+}

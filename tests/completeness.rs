@@ -1,0 +1,178 @@
+//! E8–E10 (completeness half of Theorem 3.1), property-tested through the
+//! Appendix A construction.
+//!
+//! For random Σ, base path x0 and LHS set X, the constructed instance
+//! must (Lemma A.1):
+//!
+//! * satisfy Σ, and
+//! * satisfy `x0:[X → q]` exactly for the paths `q` in the closure
+//!   `(x0, X, Σ)*`.
+//!
+//! Together the two bullets pin the engine from both sides: if the engine
+//! ever derived too little (incomplete), some in-closure path would be
+//! missing and the instance check would flag a mismatch against
+//! satisfaction; if it derived too much (unsound), the constructed
+//! instance would violate Σ or satisfy a claimed-underivable NFD.
+
+mod common;
+
+use common::*;
+use nfd::core::engine::Engine;
+use nfd::core::{construct, satisfy, Nfd};
+use nfd::path::typing::paths_of_record;
+use nfd::path::{Path, RootedPath};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn lemma_a1_trial(seed: u64, shape: SchemaShape) {
+    let schema = random_schema(seed, shape);
+    let relation = only_relation(&schema);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+    let sigma_size = rng.gen_range(1..=3);
+    let sigma = random_sigma(&mut rng, &schema, sigma_size);
+    let engine = Engine::new(&schema, &sigma).unwrap();
+
+    // Random base path and X.
+    let bases = base_candidates(&schema, relation);
+    let base = bases[rng.gen_range(0..bases.len())].clone();
+    let rec = nfd::path::typing::base_element_record(&schema, &base).unwrap();
+    let rel_paths = paths_of_record(rec);
+    if rel_paths.is_empty() {
+        return;
+    }
+    let x: Vec<Path> = (0..rng.gen_range(0..=2usize))
+        .map(|_| rel_paths[rng.gen_range(0..rel_paths.len())].clone())
+        .collect();
+
+    let c = construct::counterexample(&engine, &base, &x).unwrap();
+    assert!(
+        !c.instance.contains_empty_set(),
+        "construction must stay in the no-empty-sets regime (seed {seed})"
+    );
+
+    // I ⊨ Σ.
+    for nfd in &sigma {
+        assert!(
+            satisfy::check(&schema, &c.instance, nfd).unwrap().holds,
+            "Lemma A.1 violated (seed {seed}): constructed instance does not satisfy {nfd}\n\
+             Σ = {sigma:?}\nX = {x:?} at {base}\nI = {}",
+            c.instance
+        );
+    }
+
+    // Satisfaction of x0:[X → q] ⟺ q in the closure.
+    let in_closure: std::collections::HashSet<&RootedPath> = c.closure.iter().collect();
+    for q in &rel_paths {
+        let rooted = RootedPath::new(relation, base.path.join(q));
+        let goal = Nfd::new(base.clone(), x.clone(), q.clone()).unwrap();
+        let holds = satisfy::check(&schema, &c.instance, &goal).unwrap().holds;
+        assert_eq!(
+            holds,
+            in_closure.contains(&rooted),
+            "Lemma A.1 mismatch (seed {seed}) for q = {q}: satisfaction {holds} vs \
+             closure membership {}\nΣ = {sigma:?}\nX = {x:?} at {base}\nclosure = {:?}\nI = {}",
+            in_closure.contains(&rooted),
+            c.closure,
+            c.instance
+        );
+    }
+}
+
+#[test]
+fn lemma_a1_randomized_shallow() {
+    for seed in 0..200 {
+        lemma_a1_trial(
+            seed,
+            SchemaShape {
+                max_depth: 1,
+                fields: (2, 4),
+                set_prob: 0.5,
+            },
+        );
+    }
+}
+
+#[test]
+fn lemma_a1_randomized_default() {
+    for seed in 200..400 {
+        lemma_a1_trial(seed, SchemaShape::default());
+    }
+}
+
+#[test]
+fn lemma_a1_randomized_deep() {
+    for seed in 400..520 {
+        lemma_a1_trial(
+            seed,
+            SchemaShape {
+                max_depth: 3,
+                fields: (2, 3),
+                set_prob: 0.6,
+            },
+        );
+    }
+}
+
+/// The closure is monotone in X and idempotent — two structural sanity
+/// properties the completeness argument leans on.
+#[test]
+fn closure_is_monotone_and_idempotent() {
+    for seed in 0..80u64 {
+        let schema = random_schema(seed, SchemaShape::default());
+        let relation = only_relation(&schema);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9999);
+        let sigma = random_sigma(&mut rng, &schema, 2);
+        let engine = Engine::new(&schema, &sigma).unwrap();
+        let base = RootedPath::relation_only(relation);
+        let rec = schema
+            .relation_type(relation)
+            .unwrap()
+            .element_record()
+            .unwrap();
+        let paths = paths_of_record(rec);
+        if paths.len() < 2 {
+            continue;
+        }
+        let x1 = vec![paths[rng.gen_range(0..paths.len())].clone()];
+        let mut x2 = x1.clone();
+        x2.push(paths[rng.gen_range(0..paths.len())].clone());
+
+        let c1: std::collections::HashSet<_> =
+            engine.closure(&base, &x1).unwrap().into_iter().collect();
+        let c2: std::collections::HashSet<_> =
+            engine.closure(&base, &x2).unwrap().into_iter().collect();
+        assert!(
+            c1.is_subset(&c2),
+            "closure not monotone (seed {seed}): {x1:?} vs {x2:?}"
+        );
+
+        // Idempotence: closing the closure adds nothing.
+        let c1_paths: Vec<Path> = c1.iter().map(|r| r.path.clone()).collect();
+        let c1_again: std::collections::HashSet<_> = engine
+            .closure(&base, &c1_paths)
+            .unwrap()
+            .into_iter()
+            .collect();
+        assert_eq!(c1, c1_again, "closure not idempotent (seed {seed})");
+    }
+}
+
+/// Degenerate X = ∅: the closure of the empty set is exactly the paths
+/// that are derivably constant, and the construction still works.
+#[test]
+fn empty_lhs_closure_and_construction() {
+    let schema = nfd::model::Schema::parse("R : {<A: int, B: {<C: int>}, D: int>};").unwrap();
+    let sigma = nfd::core::nfd::parse_set(&schema, "R:[ -> A]; R:[A -> D];").unwrap();
+    let engine = Engine::new(&schema, &sigma).unwrap();
+    let base = RootedPath::parse("R").unwrap();
+    let c = engine.closure(&base, &[]).unwrap();
+    let shown: Vec<String> = c.iter().map(|p| p.to_string()).collect();
+    assert_eq!(shown, ["R:A", "R:D"]);
+    let built = construct::counterexample(&engine, &base, &[]).unwrap();
+    for nfd in &sigma {
+        assert!(satisfy::check(&schema, &built.instance, nfd).unwrap().holds);
+    }
+    // B:C is not constant: the instance must witness that.
+    let goal = Nfd::parse(&schema, "R:[ -> B:C]").unwrap();
+    assert!(!satisfy::check(&schema, &built.instance, &goal).unwrap().holds);
+}

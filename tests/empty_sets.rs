@@ -1,0 +1,203 @@
+//! E7: the empty-set phenomena of Section 3.2, end to end.
+
+mod common;
+
+use nfd::core::engine::Engine;
+use nfd::core::nfd::parse_set;
+use nfd::core::{check, satisfy, EmptySetPolicy, Nfd};
+use nfd::model::{render, Instance, Label, Schema};
+use nfd::path::{Path, RootedPath};
+
+fn ex32_schema() -> Schema {
+    Schema::parse("R : { <A: int, B: {<C: int>}, D: int, E: int> };").unwrap()
+}
+
+/// The exact instance of Example 3.2.
+fn ex32_instance(schema: &Schema) -> Instance {
+    Instance::parse(
+        schema,
+        "R = { <A: 1, B: {}, D: 2, E: 3>,
+               <A: 1, B: {}, D: 3, E: 4>,
+               <A: 2, B: {<C: 3>}, D: 4, E: 5> };",
+    )
+    .unwrap()
+}
+
+/// The table itself: satisfies the premises of transitivity, violates the
+/// conclusion.
+#[test]
+fn example_3_2_instance_breaks_transitivity() {
+    let schema = ex32_schema();
+    let inst = ex32_instance(&schema);
+    assert!(inst.contains_empty_set());
+    let holds = |t: &str| check(&schema, &inst, &Nfd::parse(&schema, t).unwrap()).unwrap().holds;
+    assert!(holds("R:[A -> B:C]"), "premise 1");
+    assert!(holds("R:[B:C -> D]"), "premise 2");
+    assert!(!holds("R:[A -> D]"), "transitivity conclusion fails");
+    // …and the prefix-rule counterpart on the same instance:
+    assert!(holds("R:[B:C -> E]"));
+    assert!(!holds("R:[B -> E]"));
+    // The renderer shows the empty sets.
+    let table = render::render_relation(&schema, &inst, Label::new("R"));
+    assert!(table.contains('∅'), "{table}");
+}
+
+/// The engine's three regimes on Example 3.2's inference.
+#[test]
+fn engine_regimes() {
+    let schema = ex32_schema();
+    let sigma = parse_set(&schema, "R:[A -> B:C]; R:[B:C -> D];").unwrap();
+    let goal = Nfd::parse(&schema, "R:[A -> D]").unwrap();
+
+    // (a) No empty sets anywhere: classical transitivity applies.
+    let strict = Engine::new(&schema, &sigma).unwrap();
+    assert!(strict.implies(&goal).unwrap());
+
+    // (b) Empty sets possible, nothing declared: refused.
+    let pess = Engine::with_policy(&schema, &sigma, EmptySetPolicy::pessimistic()).unwrap();
+    assert!(!pess.implies(&goal).unwrap());
+
+    // (c) B declared non-empty (the paper's NON-NULL analogue): accepted —
+    // and Example 3.2's instance is now excluded by the declaration.
+    let ann = Engine::with_policy(
+        &schema,
+        &sigma,
+        EmptySetPolicy::non_empty([RootedPath::parse("R:B").unwrap()]),
+    )
+    .unwrap();
+    assert!(ann.implies(&goal).unwrap());
+}
+
+/// Gated conclusions remain sound over the annotated instance family:
+/// instances respecting the annotation and satisfying Σ satisfy the
+/// conclusion.
+#[test]
+fn annotated_conclusions_hold_on_annotated_instances() {
+    let schema = ex32_schema();
+    let sigma = parse_set(&schema, "R:[A -> B:C]; R:[B:C -> D];").unwrap();
+    let goal = Nfd::parse(&schema, "R:[A -> D]").unwrap();
+    // An instance with B non-empty everywhere.
+    let inst = Instance::parse(
+        &schema,
+        "R = { <A: 1, B: {<C: 9>}, D: 2, E: 3>,
+               <A: 1, B: {<C: 9>}, D: 2, E: 4>,
+               <A: 2, B: {<C: 3>}, D: 4, E: 5> };",
+    )
+    .unwrap();
+    assert!(satisfy::satisfies_all(&schema, &inst, &sigma).unwrap());
+    assert!(check(&schema, &inst, &goal).unwrap().holds);
+}
+
+/// The `follows` relation substitutes for annotations: intermediates that
+/// only traverse what the conclusion traverses stay sound.
+#[test]
+fn follows_based_transitivity() {
+    let schema = Schema::parse("R : { <A: int, B: {<C: int, D: int>}> };").unwrap();
+    // A → B:C and B:C → B:D. The intermediate B:C follows B:D (same
+    // traversals), so the gated engine accepts A → B:D with no
+    // annotations.
+    let sigma = parse_set(&schema, "R:[A -> B:C]; R:[B:C -> B:D];").unwrap();
+    let goal = Nfd::parse(&schema, "R:[A -> B:D]").unwrap();
+    let pess = Engine::with_policy(&schema, &sigma, EmptySetPolicy::pessimistic()).unwrap();
+    assert!(pess.implies(&goal).unwrap());
+    // Sanity: the conclusion genuinely holds on an empty-set instance
+    // satisfying Σ.
+    let inst = Instance::parse(&schema, "R = { <A: 1, B: {}>, <A: 1, B: {}> };").unwrap();
+    assert!(satisfy::satisfies_all(&schema, &inst, &sigma).unwrap());
+    assert!(check(&schema, &inst, &goal).unwrap().holds);
+}
+
+/// Decomposition fails with empty sets (Section 3.2's remark): we encode
+/// the two-RHS dependency as two NFDs and show one chains and the other
+/// doesn't, so they cannot be merged into one "X → {y1, y2}".
+#[test]
+fn no_uniform_decomposition_with_empty_sets() {
+    let schema = Schema::parse("R : { <A: int, B: {<C: int>}, D: int> };").unwrap();
+    // With Σ = {A → B:C, B:C → D, B:C → B}, under the pessimistic policy:
+    let sigma = parse_set(&schema, "R:[A -> B:C]; R:[B:C -> D]; R:[B:C -> B];").unwrap();
+    let pess = Engine::with_policy(&schema, &sigma, EmptySetPolicy::pessimistic()).unwrap();
+    // A → B is acceptable: the intermediate B:C follows B? No — B:C does
+    // not follow B (B:C = (B):C and B is not a proper prefix of B…
+    // actually B:C follows any path of which B is a proper prefix). It is
+    // refused, like A → D:
+    assert!(!pess
+        .implies(&Nfd::parse(&schema, "R:[A -> D]").unwrap())
+        .unwrap());
+    assert!(!pess
+        .implies(&Nfd::parse(&schema, "R:[A -> B]").unwrap())
+        .unwrap());
+    // But A → B:C stays derivable (it is in Σ).
+    assert!(pess
+        .implies(&Nfd::parse(&schema, "R:[A -> B:C]").unwrap())
+        .unwrap());
+}
+
+/// Sanity across the policy lattice: everything the pessimistic engine
+/// derives, the annotated engine derives; everything the annotated engine
+/// derives, the strict engine derives.
+#[test]
+fn policy_monotonicity() {
+    use common::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    for seed in 0..60u64 {
+        let schema = random_schema(seed, SchemaShape::default());
+        let relation = only_relation(&schema);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x4242);
+        let sigma = random_sigma(&mut rng, &schema, 2);
+        // Annotate every set-valued path as non-empty: should coincide
+        // with the strict engine.
+        let rec = schema
+            .relation_type(relation)
+            .unwrap()
+            .element_record()
+            .unwrap();
+        let all_sets: Vec<RootedPath> = nfd::path::typing::paths_of_record(rec)
+            .into_iter()
+            .filter(|p| {
+                nfd::path::typing::resolve_in_record(rec, p)
+                    .map(nfd::model::Type::is_set)
+                    .unwrap_or(false)
+            })
+            .map(|p| RootedPath::new(relation, p))
+            .collect();
+        let strict = Engine::new(&schema, &sigma).unwrap();
+        let pess = Engine::with_policy(&schema, &sigma, EmptySetPolicy::pessimistic()).unwrap();
+        let full_ann =
+            Engine::with_policy(&schema, &sigma, EmptySetPolicy::non_empty(all_sets)).unwrap();
+        for _ in 0..5 {
+            let Some(goal) = random_nfd(&mut rng, &schema) else {
+                continue;
+            };
+            let s = strict.implies(&goal).unwrap();
+            let p = pess.implies(&goal).unwrap();
+            let f = full_ann.implies(&goal).unwrap();
+            assert!(!p || f, "pessimistic ⊆ fully-annotated (seed {seed}, {goal})");
+            assert!(!f || s, "fully-annotated ⊆ strict (seed {seed}, {goal})");
+        }
+    }
+}
+
+/// Empty relations: every NFD holds, including constants.
+#[test]
+fn empty_relation_is_a_model_of_everything() {
+    let schema = ex32_schema();
+    let inst = Instance::parse(&schema, "R = {};").unwrap();
+    for t in ["R:[A -> D]", "R:[ -> A]", "R:[B -> B:C]"] {
+        assert!(check(&schema, &inst, &Nfd::parse(&schema, t).unwrap()).unwrap().holds);
+    }
+}
+
+/// Path::parse on declared paths: declaring a deeper path does not imply
+/// the shallower one.
+#[test]
+fn annotations_do_not_leak_upward() {
+    let _schema = Schema::parse("R : { <A: {<B: {<C: int>}, D: int>}, E: int> };").unwrap();
+    let pol = EmptySetPolicy::non_empty([RootedPath::parse("R:A:B").unwrap()]);
+    let r = Label::new("R");
+    assert!(pol.is_non_empty(r, &Path::parse("A:B").unwrap()));
+    assert!(!pol.is_non_empty(r, &Path::parse("A").unwrap()));
+    // A:B:C is defined only if both A and A:B are non-empty; A is not
+    // declared.
+    assert!(!pol.is_defined(r, &Path::parse("A:B:C").unwrap()));
+}

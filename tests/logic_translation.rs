@@ -1,0 +1,109 @@
+//! E4: the Section 2.2 logic translations, exactly as printed in the
+//! paper, plus structural invariants of the translation.
+
+mod common;
+
+use common::{course_schema, random_nfd, random_schema, SchemaShape};
+use nfd::core::Nfd;
+use nfd::logic::Formula;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The paper's worked translation of Example 2.4
+/// (`Course:[students:sid → students:age]`).
+#[test]
+fn example_2_4_translation() {
+    let schema = course_schema();
+    let nfd = Nfd::parse(&schema, "Course:[students:sid -> students:age]").unwrap();
+    let f = nfd.to_formula(&schema).unwrap();
+    assert_eq!(
+        f.to_string(),
+        "∀course1 ∈ Course. ∀course2 ∈ Course. \
+         ∀students1 ∈ course1.students. ∀students2 ∈ course2.students. \
+         (students1.sid = students2.sid → students1.age = students2.age)"
+    );
+}
+
+/// Example 2.2: books occurs twice in the NFD but only two book variables
+/// appear ("only two variables for books are introduced").
+#[test]
+fn example_2_2_translation() {
+    let schema = course_schema();
+    let nfd = Nfd::parse(&schema, "Course:[books:isbn -> books:title]").unwrap();
+    let f = nfd.to_formula(&schema).unwrap();
+    assert_eq!(f.quantifier_count(), 4);
+    assert_eq!(
+        f.to_string(),
+        "∀course1 ∈ Course. ∀course2 ∈ Course. \
+         ∀books1 ∈ course1.books. ∀books2 ∈ course2.books. \
+         (books1.isbn = books2.isbn → books1.title = books2.title)"
+    );
+}
+
+/// Example 2.3: the local dependency has ONE course variable ("only one
+/// variable is introduced for labels in x0, except for the last label").
+#[test]
+fn example_2_3_translation() {
+    let schema = course_schema();
+    let nfd = Nfd::parse(&schema, "Course:students:[sid -> grade]").unwrap();
+    let f = nfd.to_formula(&schema).unwrap();
+    assert_eq!(
+        f.to_string(),
+        "∀course ∈ Course. ∀students1 ∈ course.students. ∀students2 ∈ course.students. \
+         (students1.sid = students2.sid → students1.grade = students2.grade)"
+    );
+}
+
+/// Structural invariant from Section 2.2: quantifier count =
+/// (|x0| − 1 single variables) + 2 + 2·(number of labels in x1…xm that
+/// have a descendant in some path).
+#[test]
+fn quantifier_count_formula() {
+    for seed in 0..80u64 {
+        let schema = random_schema(seed, SchemaShape::default());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xE4E4);
+        let Some(nfd) = random_nfd(&mut rng, &schema) else {
+            continue;
+        };
+        let f = match nfd.to_formula(&schema) {
+            Ok(f) => f,
+            Err(_) => continue,
+        };
+        let trie = nfd::path::PathTrie::new(nfd.component_paths().cloned());
+        let expected = nfd.base.path.len() + 2 + 2 * trie.internal_node_count();
+        assert_eq!(
+            f.quantifier_count(),
+            expected,
+            "seed {seed}: quantifier structure of {nfd}"
+        );
+    }
+}
+
+/// The antecedent has one equality per LHS path and the consequent is a
+/// single equality of the RHS's last label.
+#[test]
+fn matrix_shape() {
+    let schema = course_schema();
+    let nfd = Nfd::parse(&schema, "Course:[time, students:sid -> cnum]").unwrap();
+    let f = nfd.to_formula(&schema).unwrap();
+    match f.matrix() {
+        Formula::Implies(ante, cons) => {
+            match &**ante {
+                Formula::And(eqs) => assert_eq!(eqs.len(), 2),
+                other => panic!("unexpected antecedent {other:?}"),
+            }
+            assert!(matches!(&**cons, Formula::Eq(a, _) if a.label.as_str() == "cnum"));
+        }
+        other => panic!("unexpected matrix {other:?}"),
+    }
+}
+
+/// The degenerate constant form translates with a `true` antecedent.
+#[test]
+fn constant_form_translation() {
+    let schema = course_schema();
+    let nfd = Nfd::parse(&schema, "Course:[ -> time]").unwrap();
+    let f = nfd.to_formula(&schema).unwrap();
+    let shown = f.to_string();
+    assert!(shown.contains("(true → course1.time = course2.time)"), "{shown}");
+}

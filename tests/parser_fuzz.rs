@@ -1,0 +1,87 @@
+//! Parser robustness: arbitrary input must produce `Ok` or `Err`, never a
+//! panic, for every textual front end (types, values, schemas, instances,
+//! paths, NFDs, the CLI argument parser).
+
+use nfd::core::Nfd;
+use nfd::model::parse::{parse_schema, parse_type, parse_value};
+use nfd::model::Schema;
+use nfd::path::{Path, RootedPath};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn type_parser_never_panics(s in "\\PC{0,60}") {
+        let _ = parse_type(&s);
+    }
+
+    #[test]
+    fn value_parser_never_panics(s in "\\PC{0,60}") {
+        let _ = parse_value(&s);
+    }
+
+    #[test]
+    fn schema_parser_never_panics(s in "\\PC{0,80}") {
+        let _ = parse_schema(&s);
+    }
+
+    #[test]
+    fn path_parser_never_panics(s in "\\PC{0,40}") {
+        let _ = Path::parse(&s);
+        let _ = RootedPath::parse(&s);
+    }
+
+    #[test]
+    fn nfd_parser_never_panics(s in "\\PC{0,60}") {
+        let _ = Nfd::parse_unchecked(&s);
+    }
+
+    /// Structured near-miss inputs: syntactically plausible fragments with
+    /// deliberate mutations exercise the error paths more deeply than
+    /// uniform noise.
+    #[test]
+    fn near_miss_schema_inputs(
+        keyword in prop::sample::select(vec!["int", "in", "string", "str", "bool", "boool"]),
+        open in prop::sample::select(vec!["{<", "<{", "{", "<", ""]),
+        close in prop::sample::select(vec![">}", "}>", "}", ">", ""]),
+        sep in prop::sample::select(vec![":", ";", ",", " "]),
+    ) {
+        let candidate = format!("R {sep} {open}a{sep} {keyword}{close};");
+        let _ = parse_schema(&candidate);
+    }
+
+    #[test]
+    fn near_miss_nfd_inputs(
+        base in prop::sample::select(vec!["R", "R:", ":R", "R:A", ""]),
+        arrow in prop::sample::select(vec!["->", "→", "-", ">", ""]),
+        lhs in prop::sample::select(vec!["A", "A,B", "A:,B", ",", ""]),
+        brackets in prop::sample::select(vec![("[", "]"), ("[", ""), ("", "]"), ("(", ")")]),
+    ) {
+        let candidate = format!("{base}:{}{lhs} {arrow} C{}", brackets.0, brackets.1);
+        let _ = Nfd::parse_unchecked(&candidate);
+    }
+}
+
+// The instance parser typechecks against a schema; fuzz both sides.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn instance_parser_never_panics(s in "\\PC{0,80}") {
+        let schema = Schema::parse("R : {<A: int, B: {<C: int>}>};").unwrap();
+        let _ = nfd::model::Instance::parse(&schema, &s);
+    }
+}
+
+// CLI argument handling survives arbitrary argument vectors.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cli_never_panics(args in prop::collection::vec("[ -~]{0,20}", 0..6)) {
+        let mut out = String::new();
+        // Exit code is whatever it is; the property is "no panic".
+        let _ = nfd::cli::run(&args, &mut out);
+    }
+}

@@ -1,0 +1,156 @@
+//! Property tests: display/parse round-trips for every textual form, via
+//! proptest strategies over the concrete syntaxes.
+
+use nfd::core::Nfd;
+use nfd::model::parse::{parse_type, parse_value};
+use nfd::model::{Schema, Value};
+use nfd::path::Path;
+use proptest::prelude::*;
+
+// ---- Value round-trips --------------------------------------------------
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        any::<i64>().prop_map(Value::int),
+        "[a-zA-Z0-9 _.:-]{0,12}".prop_map(Value::str),
+        any::<bool>().prop_map(Value::bool),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::set),
+            prop::collection::vec(("[a-z][a-z0-9_]{0,6}", inner), 0..4).prop_map(|fields| {
+                // Deduplicate labels to satisfy the record invariant.
+                let mut seen = std::collections::HashSet::new();
+                let fields: Vec<(nfd::model::Label, Value)> = fields
+                    .into_iter()
+                    .filter(|(l, _)| seen.insert(l.clone()))
+                    .map(|(l, v)| (nfd::model::Label::new(&l), v))
+                    .collect();
+                Value::record(fields)
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn value_display_parses_back(v in value_strategy()) {
+        let text = v.to_string();
+        let parsed = parse_value(&text).unwrap();
+        prop_assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip(s in "\\PC{0,20}") {
+        let v = Value::str(s.clone());
+        let text = v.to_string();
+        // Only valid for strings our lexer can re-read (it supports
+        // \" \\ \n \t escapes; Rust's Debug may emit \u{...} for
+        // exotic characters).
+        if let Ok(parsed) = parse_value(&text) {
+            prop_assert_eq!(parsed, v);
+        }
+    }
+}
+
+// ---- Path round-trips ---------------------------------------------------
+
+proptest! {
+    #[test]
+    fn path_display_parses_back(labels in prop::collection::vec("[a-z][a-z0-9_]{0,8}", 1..5)) {
+        let path = Path::of(labels.iter().map(String::as_str));
+        let text = path.to_string();
+        prop_assert_eq!(Path::parse(&text).unwrap(), path);
+    }
+
+    /// Prefix/follows relations are consistent with concatenation.
+    #[test]
+    fn prefix_laws(a in prop::collection::vec("[a-z]{1,3}", 0..4),
+                   b in prop::collection::vec("[a-z]{1,3}", 0..4)) {
+        let pa = Path::of(a.iter().map(String::as_str));
+        let pb = Path::of(b.iter().map(String::as_str));
+        let joined = pa.join(&pb);
+        prop_assert!(pa.is_prefix_of(&joined));
+        prop_assert_eq!(joined.strip_prefix(&pa), Some(pb.clone()));
+        if !pb.is_empty() {
+            prop_assert!(pa.is_proper_prefix_of(&joined));
+            // p' A follows q iff p' is a proper prefix of q: any one-label
+            // extension of a proper prefix follows the longer path.
+            let one_more = pa.child(nfd::model::Label::new("zz"));
+            prop_assert!(one_more.follows(&joined));
+        }
+        prop_assert_eq!(pa.common_prefix(&joined), pa);
+    }
+}
+
+// ---- Schema & type round-trips -------------------------------------------
+
+fn type_text_strategy() -> impl Strategy<Value = String> {
+    // Build syntactically valid nested type strings with unique labels.
+    (1u32..1000).prop_flat_map(|tag| {
+        (1usize..4).prop_map(move |n| {
+            let mut fields = Vec::new();
+            for i in 0..n {
+                if i % 2 == 0 {
+                    fields.push(format!("b{tag}_{i}: int"));
+                } else {
+                    fields.push(format!("s{tag}_{i}: {{<c{tag}_{i}: string>}}"));
+                }
+            }
+            format!("{{<{}>}}", fields.join(", "))
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn type_display_parses_back(text in type_text_strategy()) {
+        let ty = parse_type(&text).unwrap();
+        let printed = ty.to_string();
+        prop_assert_eq!(parse_type(&printed).unwrap(), ty);
+    }
+
+    #[test]
+    fn schema_display_parses_back(text in type_text_strategy(), tag in 1u32..1000) {
+        let src = format!("Rel{tag} : {text};");
+        let schema = Schema::parse(&src).unwrap();
+        let printed = schema.to_string();
+        prop_assert_eq!(Schema::parse(&printed).unwrap(), schema);
+    }
+}
+
+// ---- NFD round-trips ------------------------------------------------------
+
+proptest! {
+    /// NFDs over the Course schema: display → parse is the identity.
+    #[test]
+    fn nfd_display_parses_back(
+        lhs_pick in prop::collection::vec(0usize..6, 0..3),
+        rhs_pick in 0usize..6,
+        local in any::<bool>(),
+    ) {
+        let schema = Schema::parse(
+            "Course : { <cnum: string, time: int,
+                         students: {<sid: int, age: int, grade: string>},
+                         books: {<isbn: string, title: string>}> };",
+        ).unwrap();
+        let global_paths = ["cnum", "time", "students:sid", "students:age",
+                            "books:isbn", "books:title"];
+        let local_paths = ["sid", "age", "grade", "sid", "age", "grade"];
+        let (base, paths): (&str, &[&str]) = if local {
+            ("Course:students", &local_paths)
+        } else {
+            ("Course", &global_paths)
+        };
+        let lhs: Vec<Path> = lhs_pick.iter().map(|&i| Path::parse(paths[i]).unwrap()).collect();
+        let rhs = Path::parse(paths[rhs_pick]).unwrap();
+        let nfd = Nfd::new(
+            nfd::path::RootedPath::parse(base).unwrap(),
+            lhs,
+            rhs,
+        ).unwrap();
+        nfd.validate(&schema).unwrap();
+        let printed = nfd.to_string();
+        prop_assert_eq!(Nfd::parse(&schema, &printed).unwrap(), nfd);
+    }
+}

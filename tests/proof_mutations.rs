@@ -1,0 +1,186 @@
+//! Adversarial proof checking: the verifier must reject systematically
+//! mutated certificates. A verifier that accepts a corrupted proof is as
+//! bad as an unsound engine, so each mutation class is exercised over
+//! randomized derivations.
+
+mod common;
+
+use common::*;
+use nfd::core::engine::Engine;
+use nfd::core::proof::{self, Justification, Proof};
+use nfd::core::rules::Rule;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Harvest (engine, proof) pairs from random implication problems.
+fn sample_proofs(seeds: std::ops::Range<u64>) -> Vec<(nfd::model::Schema, Vec<nfd::core::Nfd>, Proof)> {
+    let mut out = Vec::new();
+    for seed in seeds {
+        let schema = random_schema(seed, SchemaShape::default());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFACE);
+        let sigma = random_sigma(&mut rng, &schema, 3);
+        let engine = Engine::new(&schema, &sigma).unwrap();
+        for _ in 0..6 {
+            let Some(goal) = random_nfd(&mut rng, &schema) else {
+                continue;
+            };
+            if goal.is_trivial() {
+                continue;
+            }
+            if let Some(pf) = proof::prove(&engine, &goal).unwrap() {
+                if pf.steps.len() >= 2 {
+                    out.push((schema.clone(), sigma.clone(), pf));
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn verify(schema: &nfd::model::Schema, sigma: &[nfd::core::Nfd], pf: &Proof) -> bool {
+    let engine = Engine::new(schema, sigma).unwrap();
+    proof::verify(&engine, pf).is_ok()
+}
+
+#[test]
+fn pristine_proofs_verify() {
+    let samples = sample_proofs(0..80);
+    assert!(samples.len() > 25, "only {} proofs harvested", samples.len());
+    for (schema, sigma, pf) in &samples {
+        assert!(verify(schema, sigma, pf), "pristine proof rejected:\n{pf}");
+    }
+}
+
+#[test]
+fn swapped_conclusions_rejected() {
+    for (schema, sigma, pf) in sample_proofs(100..160) {
+        // Swap the conclusions of two distinct steps; at least one step's
+        // justification must now fail (conclusions are distinct by the
+        // builder's dedup).
+        let n = pf.steps.len();
+        let mut mutated = pf.clone();
+        mutated.steps.swap(0, n - 1);
+        // Keep premise indices as they are: the final step now sits first,
+        // citing itself or later steps, or justifies the wrong conclusion.
+        assert!(
+            !verify(&schema, &sigma, &mutated),
+            "verifier accepted swapped conclusions:\n{pf}"
+        );
+    }
+}
+
+#[test]
+fn wrong_rule_names_rejected() {
+    let mut rejected = 0usize;
+    let mut total = 0usize;
+    for (schema, sigma, pf) in sample_proofs(200..320) {
+        // Relabel every Rule justification with a different rule. For at
+        // least one step this must break (a derivation whose every step is
+        // simultaneously valid under a rotated rule name would be
+        // remarkable; we require overall rejection).
+        let mut mutated = pf.clone();
+        let mut changed = false;
+        for step in &mut mutated.steps {
+            if let Justification::Rule { rule, .. } = &mut step.justification {
+                *rule = match *rule {
+                    Rule::Transitivity => Rule::Prefix,
+                    Rule::Prefix => Rule::FullLocality,
+                    Rule::FullLocality => Rule::Transitivity,
+                    Rule::PushIn => Rule::PullOut,
+                    Rule::PullOut => Rule::PushIn,
+                    Rule::Singleton => Rule::Prefix,
+                    Rule::Augmentation => Rule::Prefix,
+                    other => other,
+                };
+                changed = true;
+            }
+        }
+        if !changed {
+            continue;
+        }
+        total += 1;
+        if !verify(&schema, &sigma, &mutated) {
+            rejected += 1;
+        }
+    }
+    assert!(total > 12, "only {total} mutations tried");
+    assert_eq!(rejected, total, "some relabeled proofs were accepted");
+}
+
+#[test]
+fn forged_sigma_citations_rejected() {
+    for (schema, sigma, pf) in sample_proofs(300..360) {
+        // Point a Given citation at a different Σ member (or out of
+        // range). Unless the two members are equal, verification fails.
+        let mut mutated = pf.clone();
+        let mut changed = false;
+        for step in &mut mutated.steps {
+            if let Justification::Given(k) = &mut step.justification {
+                let forged = (*k + 1) % (sigma.len() + 1);
+                if sigma.get(forged) != sigma.get(*k) {
+                    *k = forged;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        if !changed {
+            continue;
+        }
+        assert!(
+            !verify(&schema, &sigma, &mutated),
+            "verifier accepted a forged Σ citation"
+        );
+    }
+}
+
+#[test]
+fn dangling_premises_rejected() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for (schema, sigma, pf) in sample_proofs(400..440) {
+        let mut mutated = pf.clone();
+        // Make some premise point out of range.
+        let n = mutated.steps.len();
+        let idx = rng.gen_range(0..n);
+        if let Justification::Rule { premises, .. } = &mut mutated.steps[idx].justification {
+            if premises.is_empty() {
+                continue;
+            }
+            premises[0] = n; // one past the end
+        } else {
+            continue;
+        }
+        // Out-of-range premise must at minimum not panic, and must reject.
+        let engine = Engine::new(&schema, &sigma).unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            proof::verify(&engine, &mutated).is_ok()
+        }));
+        match result {
+            Ok(accepted) => assert!(!accepted, "accepted a dangling premise"),
+            Err(_) => panic!("verifier panicked on out-of-range premise index"),
+        }
+    }
+}
+
+#[test]
+fn truncated_proofs_rejected_or_weaker() {
+    for (schema, sigma, pf) in sample_proofs(500..540) {
+        if pf.steps.len() < 2 {
+            continue;
+        }
+        let mut mutated = pf.clone();
+        mutated.steps.pop();
+        // A truncated proof whose new last step still concludes the goal
+        // (up to push-in/pull-out form) is legitimately valid — e.g.
+        // dropping a final pull-out presentation step. Skip those.
+        if nfd::core::simple::equivalent_form(&mutated.steps.last().unwrap().conclusion, &pf.goal)
+        {
+            continue;
+        }
+        assert!(
+            !verify(&schema, &sigma, &mutated),
+            "verifier accepted a truncated proof:\n{pf}"
+        );
+    }
+}

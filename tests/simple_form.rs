@@ -1,0 +1,150 @@
+//! E6: the simple form of NFDs (Section 3.2) — push-in/pull-out
+//! equivalence, Example 3.1's full-locality, and the semantic equivalence
+//! of the two presentations on random instances.
+
+mod common;
+
+use common::*;
+use nfd::core::engine::Engine;
+use nfd::core::{rules, satisfy, simple, Nfd};
+use nfd::model::Schema;
+use nfd::path::Path;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Example 3.1: from f1 = R:[A:B:C, A:D → A:B:E], the locality rule can
+/// reach R:[A, A:B:C, A:D → A:B:E] but not R:[A:B, A:B:C → A:B:E];
+/// full-locality reaches the latter.
+#[test]
+fn example_3_1() {
+    let schema = Schema::parse(
+        "R : { <A: {<B: {<C: int, E: {<W: int>}>}, D: int>}> };",
+    )
+    .unwrap();
+    // The paper's f1 with E read as a path one level deeper (E is a set in
+    // a valid schema, so the determined attribute is its W).
+    let f1 = Nfd::parse(&schema, "R:[A:B:C, A:D -> A:B:E:W]").unwrap();
+
+    // locality at A gives the weaker localized form…
+    let local_a = rules::locality(&f1).unwrap();
+    assert_eq!(local_a, Nfd::parse(&schema, "R:A:[B:C, D -> B:E:W]").unwrap());
+    // …whose pushed-in form has A in the LHS:
+    assert_eq!(
+        simple::to_simple(&local_a),
+        Nfd::parse(&schema, "R:[A, A:B:C, A:D -> A:B:E:W]").unwrap()
+    );
+
+    // Full-locality at A:B drops A:D *without* adding A:
+    let strong = rules::full_locality(&f1, &Path::parse("A:B").unwrap()).unwrap();
+    assert_eq!(
+        strong,
+        Nfd::parse(&schema, "R:[A:B, A:B:C -> A:B:E:W]").unwrap()
+    );
+
+    // The locality rule alone cannot produce the strong form in one step
+    // (the paper's point): its only conclusion from f1 localizes at A.
+    assert_ne!(rules::locality(&f1).unwrap(), strong);
+    // No single locality application yields a base of R with LHS
+    // {A:B, A:B:C}: locality always extends the base path.
+    assert!(rules::locality(&f1).unwrap().is_local());
+
+    // The engine (with full-locality among its rules) derives both
+    // consequences from f1. The two are incomparable: the strong form
+    // does not determine anything given only set-level equality of A, and
+    // the weak form needs A in the LHS.
+    let engine = Engine::new(&schema, std::slice::from_ref(&f1)).unwrap();
+    assert!(engine.implies(&strong).unwrap());
+    assert!(engine.implies(&simple::to_simple(&local_a)).unwrap());
+}
+
+/// Push-in/pull-out preserve satisfaction on every instance — the §2.3
+/// claim that the two NFD forms have the same expressive power.
+#[test]
+fn form_conversion_preserves_satisfaction() {
+    let mut converted = 0usize;
+    for seed in 0..100u64 {
+        let schema = random_schema(seed, SchemaShape::default());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7777);
+        let Some(nfd) = random_nfd(&mut rng, &schema) else {
+            continue;
+        };
+        if !nfd.is_local() {
+            continue;
+        }
+        let simple_form = simple::to_simple(&nfd);
+        for k in 0..8u64 {
+            let inst = random_instance_no_empty(seed * 13 + k, &schema);
+            let a = satisfy::check(&schema, &inst, &nfd).unwrap().holds;
+            let b = satisfy::check(&schema, &inst, &simple_form).unwrap().holds;
+            assert_eq!(
+                a, b,
+                "forms disagree (seed {seed}, k {k}): {nfd} vs {simple_form}\nI = {inst}"
+            );
+            converted += 1;
+        }
+    }
+    assert!(converted > 100, "only {converted} conversions exercised");
+}
+
+/// The same equivalence holds on instances with empty sets (push-in and
+/// pull-out are not among the rules Section 3.2 needs to modify).
+#[test]
+fn form_conversion_preserves_satisfaction_with_empties() {
+    let mut converted = 0usize;
+    for seed in 0..100u64 {
+        let schema = random_schema(seed, SchemaShape::default());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x8888);
+        let Some(nfd) = random_nfd(&mut rng, &schema) else {
+            continue;
+        };
+        if !nfd.is_local() {
+            continue;
+        }
+        let simple_form = simple::to_simple(&nfd);
+        for k in 0..8u64 {
+            let inst = random_instance_with_empties(seed * 17 + k, &schema);
+            let a = satisfy::check(&schema, &inst, &nfd).unwrap().holds;
+            let b = satisfy::check(&schema, &inst, &simple_form).unwrap().holds;
+            assert_eq!(a, b, "forms disagree with empties (seed {seed}, k {k}): {nfd}");
+            converted += 1;
+        }
+    }
+    assert!(converted > 100, "only {converted} conversions exercised");
+}
+
+/// Implication is invariant under the presentation of Σ and the goal.
+#[test]
+fn implication_invariant_under_form() {
+    for seed in 0..60u64 {
+        let schema = random_schema(seed, SchemaShape::default());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x3333);
+        let sigma = random_sigma(&mut rng, &schema, 2);
+        let Some(goal) = random_nfd(&mut rng, &schema) else {
+            continue;
+        };
+        let sigma_simple: Vec<Nfd> = sigma.iter().map(simple::to_simple).collect();
+        let goal_simple = simple::to_simple(&goal);
+        let e1 = Engine::new(&schema, &sigma).unwrap();
+        let e2 = Engine::new(&schema, &sigma_simple).unwrap();
+        let a = e1.implies(&goal).unwrap();
+        assert_eq!(a, e1.implies(&goal_simple).unwrap(), "goal form (seed {seed})");
+        assert_eq!(a, e2.implies(&goal).unwrap(), "sigma form (seed {seed})");
+        assert_eq!(a, e2.implies(&goal_simple).unwrap(), "both forms (seed {seed})");
+    }
+}
+
+/// `canonical_local` round-trips and produces equivalent NFDs.
+#[test]
+fn canonical_local_is_equivalent_and_stable() {
+    for seed in 0..80u64 {
+        let schema = random_schema(seed, SchemaShape::default());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x2222);
+        let Some(nfd) = random_nfd(&mut rng, &schema) else {
+            continue;
+        };
+        let canon = simple::canonical_local(&nfd);
+        assert!(simple::equivalent_form(&nfd, &canon), "seed {seed}: {nfd} vs {canon}");
+        // Idempotent.
+        assert_eq!(simple::canonical_local(&canon), canon, "seed {seed}");
+    }
+}

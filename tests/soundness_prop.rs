@@ -1,0 +1,200 @@
+//! E10 (soundness half of Theorem 3.1), property-tested.
+//!
+//! 1. Whatever the implication engine derives must hold semantically: for
+//!    random Σ and goal with `Σ ⊢ goal`, no random instance may satisfy Σ
+//!    and violate the goal (instances without empty sets).
+//! 2. The same for the empty-set engine over instances *with* empty sets
+//!    (the Section 3.2 gated rules are sound, not just the full system).
+//! 3. Rule-level soundness: each of the eight rules, applied to random
+//!    premises, yields a conclusion that holds on every premise-satisfying
+//!    instance.
+
+mod common;
+
+use common::*;
+use nfd::core::engine::Engine;
+use nfd::core::{rules, satisfy, EmptySetPolicy, Nfd};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn engine_conclusions_hold_semantically() {
+    let mut nonvacuous = 0usize;
+    for seed in 0..120u64 {
+        let schema = random_schema(seed, SchemaShape::default());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let sigma = random_sigma(&mut rng, &schema, 2);
+        let Some(goal) = random_nfd(&mut rng, &schema) else {
+            continue;
+        };
+        let engine = Engine::new(&schema, &sigma).unwrap();
+        if !engine.implies(&goal).unwrap() {
+            continue;
+        }
+        for k in 0..20u64 {
+            let inst = random_instance_no_empty(seed * 1000 + k, &schema);
+            if !satisfy::satisfies_all(&schema, &inst, &sigma).unwrap() {
+                continue;
+            }
+            nonvacuous += 1;
+            assert!(
+                satisfy::check(&schema, &inst, &goal).unwrap().holds,
+                "UNSOUND (seed {seed}, k {k}): Σ ⊢ {goal} but instance satisfies Σ \
+                 and violates the goal\nΣ = {sigma:?}\nI = {inst}"
+            );
+        }
+    }
+    assert!(
+        nonvacuous > 100,
+        "soundness test exercised only {nonvacuous} satisfying instances — generator drifted"
+    );
+}
+
+#[test]
+fn empty_set_engine_is_sound_with_empty_sets() {
+    let mut nonvacuous = 0usize;
+    for seed in 0..120u64 {
+        let schema = random_schema(seed, SchemaShape::default());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5555);
+        let sigma = random_sigma(&mut rng, &schema, 2);
+        let Some(goal) = random_nfd(&mut rng, &schema) else {
+            continue;
+        };
+        let engine =
+            Engine::with_policy(&schema, &sigma, EmptySetPolicy::pessimistic()).unwrap();
+        if !engine.implies(&goal).unwrap() {
+            continue;
+        }
+        for k in 0..20u64 {
+            let inst = random_instance_with_empties(seed * 1000 + k, &schema);
+            if !satisfy::satisfies_all(&schema, &inst, &sigma).unwrap() {
+                continue;
+            }
+            nonvacuous += 1;
+            assert!(
+                satisfy::check(&schema, &inst, &goal).unwrap().holds,
+                "UNSOUND with empty sets (seed {seed}, k {k}): {goal}\nΣ = {sigma:?}\nI = {inst}"
+            );
+        }
+    }
+    assert!(nonvacuous > 100, "only {nonvacuous} satisfying instances");
+}
+
+/// The transitivity failure of Example 3.2 must NOT be reproducible
+/// through the gated engine: hunt for a counterexample to the pessimistic
+/// engine using instances with empty sets and report if one exists.
+#[test]
+fn strict_engine_is_unsound_with_empty_sets_but_gated_engine_is_not() {
+    // The fixed Example 3.2 witness: strict transitivity concludes A → D,
+    // the instance with empty B satisfies Σ and violates it.
+    let schema =
+        nfd::model::Schema::parse("R : { <A: int, B: {<C: int>}, D: int, E: int> };").unwrap();
+    let sigma = nfd::core::nfd::parse_set(&schema, "R:[A -> B:C]; R:[B:C -> D];").unwrap();
+    let goal = Nfd::parse(&schema, "R:[A -> D]").unwrap();
+    let inst = nfd::model::Instance::parse(
+        &schema,
+        "R = { <A: 1, B: {}, D: 2, E: 3>,
+               <A: 1, B: {}, D: 3, E: 4>,
+               <A: 2, B: {<C: 3>}, D: 4, E: 5> };",
+    )
+    .unwrap();
+    // The strict engine derives the goal (sound only without empty sets)…
+    let strict = Engine::new(&schema, &sigma).unwrap();
+    assert!(strict.implies(&goal).unwrap());
+    // …and the instance is exactly the witness that this is unsound once
+    // empty sets exist:
+    assert!(satisfy::satisfies_all(&schema, &inst, &sigma).unwrap());
+    assert!(!satisfy::check(&schema, &inst, &goal).unwrap().holds);
+    // The gated engine refuses the derivation.
+    let gated = Engine::with_policy(&schema, &sigma, EmptySetPolicy::pessimistic()).unwrap();
+    assert!(!gated.implies(&goal).unwrap());
+}
+
+/// Rule-level soundness: conclusions of single rule applications hold on
+/// all premise-satisfying instances (without empty sets).
+#[test]
+fn individual_rules_are_sound() {
+    let mut checked = 0usize;
+    for seed in 0..100u64 {
+        let schema = random_schema(seed, SchemaShape::default());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1234);
+        let Some(premise) = random_nfd(&mut rng, &schema) else {
+            continue;
+        };
+        // Candidate conclusions from each unary rule.
+        let mut conclusions: Vec<(&str, Nfd)> = Vec::new();
+        if let Ok(c) = rules::locality(&premise) {
+            conclusions.push(("locality", c));
+        }
+        for p in premise.lhs() {
+            if let Ok(c) = rules::prefix(&premise, p) {
+                conclusions.push(("prefix", c));
+            }
+        }
+        for x in premise.rhs.prefixes() {
+            if let Ok(c) = rules::full_locality(&premise, &x) {
+                conclusions.push(("full-locality", c));
+            }
+        }
+        for k in 1..=premise.base.path.len() {
+            if let Ok(c) = rules::push_in(&premise, k) {
+                conclusions.push(("push-in", c));
+            }
+        }
+        for y in premise.lhs() {
+            if let Ok(c) = rules::pull_out(&premise, y) {
+                conclusions.push(("pull-out", c));
+            }
+        }
+        if conclusions.is_empty() {
+            continue;
+        }
+        for k in 0..10u64 {
+            let inst = random_instance_no_empty(seed * 77 + k, &schema);
+            if !satisfy::check(&schema, &inst, &premise).unwrap().holds {
+                continue;
+            }
+            for (rule, conclusion) in &conclusions {
+                checked += 1;
+                assert!(
+                    satisfy::check(&schema, &inst, conclusion).unwrap().holds,
+                    "rule {rule} UNSOUND (seed {seed}, k {k}):\npremise {premise}\n\
+                     conclusion {conclusion}\ninstance {inst}"
+                );
+            }
+        }
+    }
+    assert!(checked > 200, "only {checked} rule applications exercised");
+}
+
+/// Augmentation and reflexivity are sound even with empty sets.
+#[test]
+fn reflexivity_and_augmentation_sound_with_empties() {
+    for seed in 0..60u64 {
+        let schema = random_schema(seed, SchemaShape::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let Some(premise) = random_nfd(&mut rng, &schema) else {
+            continue;
+        };
+        let Some(extra) = random_nfd(&mut rng, &schema) else {
+            continue;
+        };
+        if extra.base != premise.base {
+            continue;
+        }
+        let augmented =
+            rules::augmentation(&premise, extra.lhs().iter().cloned()).unwrap();
+        for k in 0..10u64 {
+            let inst = random_instance_with_empties(seed * 31 + k, &schema);
+            if satisfy::check(&schema, &inst, &premise).unwrap().holds {
+                assert!(
+                    satisfy::check(&schema, &inst, &augmented).unwrap().holds,
+                    "augmentation unsound (seed {seed}, k {k})"
+                );
+            }
+            if premise.is_trivial() {
+                assert!(satisfy::check(&schema, &inst, &premise).unwrap().holds);
+            }
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Property-based tests on the core data structures and algebraic
+//! invariants: canonical set values, path algebra, trie/assignment laws,
+//! the relational baseline's closure laws, and engine monotonicity.
+
+mod common;
+
+use common::*;
+use nfd::core::engine::Engine;
+use nfd::model::{SetValue, Value};
+use nfd::path::nav::{assignments, eval_path};
+use nfd::path::{Path, PathTrie};
+use nfd::relational::{attrs, closure, Fd};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+// ---- SetValue canonicalization -------------------------------------------
+
+proptest! {
+    #[test]
+    fn set_value_is_sorted_and_deduped(xs in prop::collection::vec(any::<i64>(), 0..20)) {
+        let s: SetValue = xs.iter().map(|&i| Value::int(i)).collect();
+        let elems = s.elems();
+        prop_assert!(elems.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+        let distinct: std::collections::BTreeSet<i64> = xs.iter().copied().collect();
+        prop_assert_eq!(elems.len(), distinct.len());
+        for x in &distinct {
+            prop_assert!(s.contains(&Value::int(*x)));
+        }
+    }
+
+    #[test]
+    fn set_equality_ignores_order_and_multiplicity(
+        xs in prop::collection::vec(any::<i16>(), 0..12)
+    ) {
+        let a: SetValue = xs.iter().map(|&i| Value::int(i64::from(i))).collect();
+        let mut rev = xs.clone();
+        rev.reverse();
+        rev.extend(xs.iter().copied()); // duplicate everything
+        let b: SetValue = rev.iter().map(|&i| Value::int(i64::from(i))).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn disjointness_is_symmetric_and_consistent(
+        xs in prop::collection::vec(0i64..20, 0..8),
+        ys in prop::collection::vec(0i64..20, 0..8),
+    ) {
+        let a: SetValue = xs.iter().map(|&i| Value::int(i)).collect();
+        let b: SetValue = ys.iter().map(|&i| Value::int(i)).collect();
+        prop_assert_eq!(a.is_disjoint(&b), b.is_disjoint(&a));
+        let overlap = xs.iter().any(|x| ys.contains(x));
+        prop_assert_eq!(a.is_disjoint(&b), !overlap);
+    }
+
+    #[test]
+    fn insert_is_idempotent(xs in prop::collection::vec(any::<i32>(), 0..10), x in any::<i32>()) {
+        let mut s: SetValue = xs.iter().map(|&i| Value::int(i64::from(i))).collect();
+        let first = s.insert(Value::int(i64::from(x)));
+        let second = s.insert(Value::int(i64::from(x)));
+        prop_assert!(!second, "second insert must be a no-op");
+        prop_assert_eq!(first, !xs.contains(&x));
+        prop_assert!(s.contains(&Value::int(i64::from(x))));
+    }
+}
+
+// ---- Path algebra ---------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn join_is_associative(
+        a in prop::collection::vec("[a-c]", 0..3),
+        b in prop::collection::vec("[a-c]", 0..3),
+        c in prop::collection::vec("[a-c]", 0..3),
+    ) {
+        let (pa, pb, pc) = (
+            Path::of(a.iter().map(String::as_str)),
+            Path::of(b.iter().map(String::as_str)),
+            Path::of(c.iter().map(String::as_str)),
+        );
+        prop_assert_eq!(pa.join(&pb).join(&pc), pa.join(&pb.join(&pc)));
+        prop_assert_eq!(Path::empty().join(&pa), pa.clone());
+        prop_assert_eq!(pa.join(&Path::empty()), pa);
+    }
+
+    #[test]
+    fn parent_child_inverse(labels in prop::collection::vec("[a-z]{1,4}", 1..5)) {
+        let p = Path::of(labels.iter().map(String::as_str));
+        let parent = p.parent().unwrap();
+        let last = p.last().unwrap();
+        prop_assert_eq!(parent.child(last), p.clone());
+        prop_assert_eq!(p.prefixes().count(), p.len());
+        // The prefixes are totally ordered by the prefix relation.
+        let prefixes: Vec<Path> = p.prefixes().collect();
+        for w in prefixes.windows(2) {
+            prop_assert!(w[0].is_proper_prefix_of(&w[1]));
+        }
+    }
+
+    #[test]
+    fn common_prefix_is_glb(
+        a in prop::collection::vec("[a-b]", 0..4),
+        b in prop::collection::vec("[a-b]", 0..4),
+    ) {
+        let pa = Path::of(a.iter().map(String::as_str));
+        let pb = Path::of(b.iter().map(String::as_str));
+        let g = pa.common_prefix(&pb);
+        prop_assert!(g.is_prefix_of(&pa) && g.is_prefix_of(&pb));
+        // Maximality: extending g by pa's next label is no longer a
+        // common prefix.
+        if g.len() < pa.len() && g.len() < pb.len() {
+            let next = pa.labels()[g.len()];
+            prop_assert!(!g.child(next).is_prefix_of(&pb));
+        }
+        prop_assert_eq!(pa.common_prefix(&pa), pa);
+    }
+}
+
+// ---- Trie and assignment enumeration --------------------------------------
+
+#[test]
+fn single_path_assignments_equal_eval_path() {
+    // For a trie with one target path, the trie-consistent assignments
+    // are exactly the plain path evaluations.
+    for seed in 0..60u64 {
+        let schema = random_schema(seed, SchemaShape::default());
+        let relation = only_relation(&schema);
+        let rec = schema
+            .relation_type(relation)
+            .unwrap()
+            .element_record()
+            .unwrap();
+        let paths = nfd::path::typing::paths_of_record(rec);
+        let inst = random_instance_no_empty(seed, &schema);
+        for p in paths.iter().take(5) {
+            let trie = PathTrie::new([p.clone()]);
+            for elem in inst.relation(relation).unwrap().elems() {
+                let v = elem.as_record().unwrap();
+                let asg = assignments(v, &trie).unwrap();
+                let direct = eval_path(v, p);
+                assert_eq!(
+                    asg.len(),
+                    direct.len(),
+                    "seed {seed}, path {p}: assignment count vs eval count"
+                );
+                let mut a: Vec<Value> = asg.iter().map(|x| x.value(0).clone()).collect();
+                let mut d: Vec<Value> = direct.into_iter().cloned().collect();
+                a.sort();
+                d.sort();
+                assert_eq!(a, d, "seed {seed}, path {p}");
+            }
+        }
+    }
+}
+
+#[test]
+fn assignment_count_factorizes_over_independent_branches() {
+    // For two paths with disjoint first labels, the assignment count is
+    // the product of the individual counts.
+    for seed in 0..60u64 {
+        let schema = random_schema(seed, SchemaShape::default());
+        let relation = only_relation(&schema);
+        let rec = schema
+            .relation_type(relation)
+            .unwrap()
+            .element_record()
+            .unwrap();
+        let paths = nfd::path::typing::paths_of_record(rec);
+        let inst = random_instance_no_empty(seed + 7, &schema);
+        // Find two paths with different first labels.
+        let mut pair: Option<(&Path, &Path)> = None;
+        'outer: for p in &paths {
+            for q in &paths {
+                if p.first() != q.first() {
+                    pair = Some((p, q));
+                    break 'outer;
+                }
+            }
+        }
+        let Some((p, q)) = pair else { continue };
+        for elem in inst.relation(relation).unwrap().elems() {
+            let v = elem.as_record().unwrap();
+            let np = assignments(v, &PathTrie::new([p.clone()])).unwrap().len();
+            let nq = assignments(v, &PathTrie::new([q.clone()])).unwrap().len();
+            let both = assignments(v, &PathTrie::new([p.clone(), q.clone()]))
+                .unwrap()
+                .len();
+            assert_eq!(both, np * nq, "seed {seed}: |{p} × {q}|");
+        }
+    }
+}
+
+#[test]
+fn trie_targets_are_set_semantics() {
+    let p = |s: &str| Path::parse(s).unwrap();
+    let t1 = PathTrie::new([p("a:b"), p("a:c"), p("a:b")]);
+    let t2 = PathTrie::new([p("a:c"), p("a:b")]);
+    assert_eq!(t1.len(), 2);
+    assert_eq!(t1.len(), t2.len());
+    assert_eq!(t1.internal_node_count(), 1);
+}
+
+// ---- Armstrong closure laws ------------------------------------------------
+
+proptest! {
+    #[test]
+    fn attribute_closure_laws(
+        fds in prop::collection::vec(
+            (prop::collection::vec(0usize..5, 0..3), 0usize..5),
+            0..6
+        ),
+        x in prop::collection::vec(0usize..5, 0..4),
+    ) {
+        let name = |i: usize| format!("A{i}");
+        let sigma: Vec<Fd> = fds
+            .iter()
+            .map(|(lhs, rhs)| {
+                let l: Vec<String> = lhs.iter().map(|&i| name(i)).collect();
+                Fd::of(l.iter().map(String::as_str), [name(*rhs).as_str()])
+            })
+            .collect();
+        let xs: Vec<String> = x.iter().map(|&i| name(i)).collect();
+        let x_set = attrs(xs.iter().map(String::as_str));
+        let c = closure(&sigma, &x_set);
+        // Extensive: X ⊆ X⁺.
+        prop_assert!(x_set.is_subset(&c));
+        // Idempotent: (X⁺)⁺ = X⁺.
+        prop_assert_eq!(closure(&sigma, &c), c.clone());
+        // Monotone: X ⊆ Y ⟹ X⁺ ⊆ Y⁺.
+        let mut y_set = x_set.clone();
+        y_set.insert(nfd::relational::Attribute::new(name(0)));
+        prop_assert!(c.is_subset(&closure(&sigma, &y_set)));
+    }
+}
+
+// ---- Engine monotonicity ----------------------------------------------------
+
+#[test]
+fn implication_is_monotone_in_sigma() {
+    for seed in 0..60u64 {
+        let schema = random_schema(seed, SchemaShape::default());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xAAAA);
+        let sigma = random_sigma(&mut rng, &schema, 3);
+        if sigma.len() < 2 {
+            continue;
+        }
+        let smaller = &sigma[..sigma.len() - 1];
+        let e_small = Engine::new(&schema, smaller).unwrap();
+        let e_full = Engine::new(&schema, &sigma).unwrap();
+        for _ in 0..6 {
+            let Some(goal) = random_nfd(&mut rng, &schema) else {
+                continue;
+            };
+            if e_small.implies(&goal).unwrap() {
+                assert!(
+                    e_full.implies(&goal).unwrap(),
+                    "seed {seed}: adding dependencies removed an implication of {goal}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sigma_members_are_always_implied() {
+    for seed in 0..60u64 {
+        let schema = random_schema(seed, SchemaShape::default());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xBBBB);
+        let sigma = random_sigma(&mut rng, &schema, 3);
+        let engine = Engine::new(&schema, &sigma).unwrap();
+        for nfd in &sigma {
+            assert!(engine.implies(nfd).unwrap(), "seed {seed}: Σ ⊬ its own member {nfd}");
+        }
+    }
+}
