@@ -1,0 +1,334 @@
+//! A small, dependency-free stand-in for the parts of the `criterion`
+//! benchmark harness this workspace uses.
+//!
+//! The workspace builds without crates.io access, so the real `criterion`
+//! cannot be fetched. This crate keeps the same authoring API
+//! ([`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`],
+//! [`criterion_group!`]/[`criterion_main!`]) and produces median /
+//! mean / total-time estimates on stderr-free plain stdout lines of the
+//! form `bench <group>/<id> ... median <t> mean <t>`.
+//!
+//! Differences from the real criterion: no statistical outlier analysis,
+//! no plots, no saved baselines. Warm-up and measurement windows are
+//! respected, and `cargo test` invocations (which pass `--test`) run each
+//! benchmark body once as a smoke test instead of timing it.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group (subset of
+/// `criterion::BenchmarkId`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name plus a parameter, rendered
+    /// `name/parameter` like the real criterion.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> BenchmarkId {
+        BenchmarkId { id }
+    }
+}
+
+/// Drives the timing loop for one benchmark (subset of
+/// `criterion::Bencher`).
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    smoke_only: bool,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, first warming up, then collecting `sample_size`
+    /// samples (each a batch of iterations sized so one sample fits the
+    /// measurement window).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke_only {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Warm-up: also estimates the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            std::hint::black_box(routine());
+            iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / u128::from(iters.max(1));
+        let budget_per_sample = self.measurement_time.as_nanos() / self.sample_size.max(1) as u128;
+        let batch = (budget_per_sample / per_iter.max(1)).clamp(1, u128::from(u32::MAX)) as u64;
+
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed() / batch as u32);
+        }
+    }
+}
+
+/// A named set of related benchmarks with shared settings (subset of
+/// `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets how long to run the routine before timing starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total time budget for the timed samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark under this group's settings.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run(&id, |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark, passing `input` through to the closure.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.run(&id, |b| f(b, input));
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &BenchmarkId, mut f: F) {
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&full) {
+            return;
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let mut bencher = Bencher {
+            samples: &mut samples,
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            smoke_only: self.criterion.smoke_only,
+        };
+        f(&mut bencher);
+        self.criterion.report(&full, &samples);
+    }
+
+    /// Ends the group. (The real criterion finalizes reports here; this
+    /// stand-in reports eagerly, so it is a no-op kept for API parity.)
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver (subset of `criterion::Criterion`).
+pub struct Criterion {
+    filter: Option<String>,
+    smoke_only: bool,
+}
+
+impl Default for Criterion {
+    /// Builds a driver configured from the command line that cargo's
+    /// bench/test harness passes: `--test` selects run-once smoke mode,
+    /// a bare (non-flag) argument filters benchmarks by substring, and
+    /// all real-criterion flags are accepted and ignored.
+    fn default() -> Criterion {
+        let mut filter = None;
+        let mut smoke_only = false;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => smoke_only = true,
+                "--bench" | "--profile-time" | "--save-baseline" | "--baseline"
+                | "--sample-size" | "--warm-up-time" | "--measurement-time" => {
+                    // Flags with a possible value; skip the value if the
+                    // flag requires one (--bench does not).
+                    if arg != "--bench" {
+                        let _ = args.next();
+                    }
+                }
+                s if s.starts_with("--") => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion { filter, smoke_only }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+
+    /// Runs a standalone benchmark with default settings.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut group = self.benchmark_group("");
+        group.bench_function(BenchmarkId::from(id), |b| f(b));
+        group.finish();
+        self
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    fn report(&self, name: &str, samples: &[Duration]) {
+        let name = name.trim_start_matches('/');
+        if self.smoke_only {
+            println!("bench {name} ... ok (smoke)");
+            return;
+        }
+        let mut sorted: Vec<Duration> = samples.to_vec();
+        sorted.sort();
+        let median = sorted.get(sorted.len() / 2).copied().unwrap_or_default();
+        let total: Duration = sorted.iter().sum();
+        let mean = total / sorted.len().max(1) as u32;
+        println!(
+            "bench {name} ... median {} mean {}",
+            fmt_duration(median),
+            fmt_duration(mean)
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` function, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_and_reports() {
+        let mut c = Criterion {
+            filter: None,
+            smoke_only: false,
+        };
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10));
+        let mut ran = 0u64;
+        group.bench_function("f", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("selected".into()),
+            smoke_only: true,
+        };
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("other", 1), &1, |b, _| {
+            b.iter(|| ran = true)
+        });
+        group.finish();
+        assert!(!ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("build", 4).to_string(), "build/4");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

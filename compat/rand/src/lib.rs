@@ -1,0 +1,158 @@
+//! A tiny, dependency-free stand-in for the parts of the `rand` crate this
+//! workspace uses (`StdRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::gen_range`, `Rng::gen_bool`).
+//!
+//! The workspace builds in environments with no crates.io access, so the
+//! real `rand` cannot be fetched; every consumer only needs a *seeded,
+//! deterministic* source of pseudo-randomness (reproducible property tests
+//! and workload generators), never cryptographic or statistical quality.
+//! The generator is splitmix64 — tiny, fast, and plenty uniform for test
+//! workloads. Streams differ from the real `StdRng`, which no consumer
+//! relies on.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable random number generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer types that [`Rng::gen_range`] can sample (subset of
+/// `rand::distributions::uniform::SampleUniform`).
+pub trait SampleUniform: Copy {
+    /// Converts from the generator's native `u64` modulo a bound.
+    fn from_u64(v: u64) -> Self;
+    /// Converts to `u64` for range arithmetic (values are non-negative in
+    /// every workspace use; negative bounds saturate at 0).
+    fn to_u64(self) -> u64;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn from_u64(v: u64) -> $t {
+                v as $t
+            }
+            fn to_u64(self) -> u64 {
+                if (self as i128) < 0 { 0 } else { self as u64 }
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(usize, u64, u32, u16, u8, i64, i32);
+
+/// Ranges that [`Rng::gen_range`] accepts (subset of
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// The inclusive lower bound and the number of representable values.
+    /// Panics if the range is empty, matching `rand`'s contract.
+    fn bounds(&self) -> (u64, u64);
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn bounds(&self) -> (u64, u64) {
+        let (lo, hi) = (self.start.to_u64(), self.end.to_u64());
+        assert!(lo < hi, "cannot sample empty range");
+        (lo, hi - lo)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn bounds(&self) -> (u64, u64) {
+        let (lo, hi) = (self.start().to_u64(), self.end().to_u64());
+        assert!(lo <= hi, "cannot sample empty range");
+        (lo, hi - lo + 1)
+    }
+}
+
+/// Random value generation (subset of `rand::Rng`).
+pub trait Rng {
+    /// The next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from `range` (half-open or inclusive).
+    fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let (lo, span) = range.bounds();
+        // Modulo bias is ~span/2^64 — irrelevant for test workloads.
+        T::from_u64(lo + self.next_u64() % span)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool needs p in [0,1]");
+        // 53 high bits give a uniform f64 in [0,1).
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        u < p
+    }
+}
+
+/// Named RNG types (subset of `rand::rngs`).
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic seeded generator (splitmix64). Streams are stable
+    /// across runs and platforms but differ from the real `rand::StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 (Steele, Lea & Flood 2014), public domain.
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert!((0..8).any(|_| c.next_u64() != xs[0]));
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: usize = r.gen_range(3..10);
+            assert!((3..10).contains(&x));
+            let y: u32 = r.gen_range(0..=4);
+            assert!(y <= 4);
+            let z: usize = r.gen_range(2..=2);
+            assert_eq!(z, 2);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(2);
+        assert!((0..100).all(|_| !r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+        let heads = (0..10_000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "{heads}");
+    }
+}

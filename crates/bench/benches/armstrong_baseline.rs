@@ -67,7 +67,12 @@ fn bench_closure_computation(c: &mut Criterion) {
             b.iter(|| closure(black_box(&sigma_fd), black_box(&x_attrs)).len())
         });
         group.bench_with_input(BenchmarkId::new("nfd_engine", n), &n, |b, _| {
-            b.iter(|| engine.closure(black_box(&base), black_box(&x_paths)).unwrap().len())
+            b.iter(|| {
+                engine
+                    .closure(black_box(&base), black_box(&x_paths))
+                    .unwrap()
+                    .len()
+            })
         });
     }
     group.finish();

@@ -102,5 +102,10 @@ fn bench_nested(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_worked_example, bench_flat_chains, bench_nested);
+criterion_group!(
+    benches,
+    bench_worked_example,
+    bench_flat_chains,
+    bench_nested
+);
 criterion_main!(benches);

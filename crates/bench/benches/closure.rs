@@ -24,7 +24,11 @@ fn bench_flat_chain(c: &mut Criterion) {
         let schema = flat_schema(n);
         let sigma = flat_chain_sigma(&schema, n);
         group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
-            b.iter(|| Engine::new(black_box(&schema), black_box(&sigma)).unwrap().pool_size())
+            b.iter(|| {
+                Engine::new(black_box(&schema), black_box(&sigma))
+                    .unwrap()
+                    .pool_size()
+            })
         });
         let engine = Engine::new(&schema, &sigma).unwrap();
         let goal = Nfd::parse(&schema, &format!("R:[a0 -> a{}]", n - 1)).unwrap();
@@ -46,7 +50,11 @@ fn bench_ladder(c: &mut Criterion) {
         let sigma = ladder_sigma(&schema, depth);
         let goal = ladder_goal(&schema, depth);
         group.bench_with_input(BenchmarkId::new("build", depth), &depth, |b, _| {
-            b.iter(|| Engine::new(black_box(&schema), black_box(&sigma)).unwrap().pool_size())
+            b.iter(|| {
+                Engine::new(black_box(&schema), black_box(&sigma))
+                    .unwrap()
+                    .pool_size()
+            })
         });
         let engine = Engine::new(&schema, &sigma).unwrap();
         group.bench_with_input(BenchmarkId::new("query", depth), &depth, |b, _| {
@@ -69,7 +77,12 @@ fn bench_closure_set(c: &mut Criterion) {
         let base = nfd_path::RootedPath::parse("R").unwrap();
         let x = vec![nfd_path::Path::parse("k0").unwrap()];
         group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
-            b.iter(|| engine.closure(black_box(&base), black_box(&x)).unwrap().len())
+            b.iter(|| {
+                engine
+                    .closure(black_box(&base), black_box(&x))
+                    .unwrap()
+                    .len()
+            })
         });
     }
     group.finish();

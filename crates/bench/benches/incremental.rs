@@ -72,11 +72,9 @@ fn bench_stream(c: &mut Criterion) {
                 for t in &tuples {
                     let mut with = accepted.clone();
                     with.push(Value::Record(t.clone()));
-                    let trial = Instance::new(
-                        &schema,
-                        vec![(Label::new("Course"), Value::set(with))],
-                    )
-                    .unwrap();
+                    let trial =
+                        Instance::new(&schema, vec![(Label::new("Course"), Value::set(with))])
+                            .unwrap();
                     if satisfy::satisfies_all(&schema, black_box(&trial), &sigma).unwrap() {
                         accepted.push(Value::Record(t.clone()));
                         count += 1;

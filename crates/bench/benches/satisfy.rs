@@ -27,11 +27,13 @@ fn bench_tuples(c: &mut Criterion) {
     for tuples in [4usize, 16, 64, 256] {
         let inst = course_instance(&schema, tuples, 3);
         for (name, nfd) in [("local", &local), ("global", &global), ("key", &key)] {
-            group.bench_with_input(
-                BenchmarkId::new(name, tuples),
-                &tuples,
-                |b, _| b.iter(|| check(&schema, black_box(&inst), nfd).unwrap().assignments_checked),
-            );
+            group.bench_with_input(BenchmarkId::new(name, tuples), &tuples, |b, _| {
+                b.iter(|| {
+                    check(&schema, black_box(&inst), nfd)
+                        .unwrap()
+                        .assignments_checked
+                })
+            });
         }
     }
     group.finish();
@@ -48,7 +50,11 @@ fn bench_fanout(c: &mut Criterion) {
     for fanout in [1usize, 2, 4, 8, 16] {
         let inst = course_instance(&schema, 32, fanout);
         group.bench_with_input(BenchmarkId::from_parameter(fanout), &fanout, |b, _| {
-            b.iter(|| check(&schema, black_box(&inst), &global).unwrap().assignments_checked)
+            b.iter(|| {
+                check(&schema, black_box(&inst), &global)
+                    .unwrap()
+                    .assignments_checked
+            })
         });
     }
     group.finish();
@@ -74,7 +80,11 @@ fn bench_lhs_width(c: &mut Criterion) {
     for (name, text) in goals {
         let nfd = Nfd::parse(&schema, text).unwrap();
         group.bench_function(name, |b| {
-            b.iter(|| check(&schema, black_box(&inst), &nfd).unwrap().assignments_checked)
+            b.iter(|| {
+                check(&schema, black_box(&inst), &nfd)
+                    .unwrap()
+                    .assignments_checked
+            })
         });
     }
     group.finish();

@@ -25,8 +25,7 @@ fn bench_normalization(c: &mut Criterion) {
         let schema = ladder_schema(depth);
         // The deepest local NFD of the ladder.
         let base: String = (0..depth).map(|d| format!(":s{d}")).collect();
-        let local =
-            Nfd::parse(&schema, &format!("R{base}:[k{depth} -> v{depth}]")).unwrap();
+        let local = Nfd::parse(&schema, &format!("R{base}:[k{depth} -> v{depth}]")).unwrap();
         group.bench_with_input(BenchmarkId::new("to_simple", depth), &depth, |b, _| {
             b.iter(|| simple::to_simple(black_box(&local)))
         });
@@ -49,10 +48,18 @@ fn bench_engine_by_input_form(c: &mut Criterion) {
         let sigma_local = ladder_sigma(&schema, depth);
         let sigma_simple: Vec<Nfd> = sigma_local.iter().map(simple::to_simple).collect();
         group.bench_with_input(BenchmarkId::new("path_form", depth), &depth, |b, _| {
-            b.iter(|| Engine::new(black_box(&schema), black_box(&sigma_local)).unwrap().pool_size())
+            b.iter(|| {
+                Engine::new(black_box(&schema), black_box(&sigma_local))
+                    .unwrap()
+                    .pool_size()
+            })
         });
         group.bench_with_input(BenchmarkId::new("simple_form", depth), &depth, |b, _| {
-            b.iter(|| Engine::new(black_box(&schema), black_box(&sigma_simple)).unwrap().pool_size())
+            b.iter(|| {
+                Engine::new(black_box(&schema), black_box(&sigma_simple))
+                    .unwrap()
+                    .pool_size()
+            })
         });
     }
     group.finish();

@@ -35,7 +35,9 @@ pub fn flat_chain_sigma(schema: &Schema, n: usize) -> Vec<Nfd> {
 /// The same chain as classical FDs for the Armstrong baseline.
 pub fn flat_chain_fds(n: usize) -> Vec<nfd_relational::Fd> {
     (0..n - 1)
-        .map(|i| nfd_relational::Fd::of([format!("a{i}").as_str()], [format!("a{}", i + 1).as_str()]))
+        .map(|i| {
+            nfd_relational::Fd::of([format!("a{i}").as_str()], [format!("a{}", i + 1).as_str()])
+        })
         .collect()
 }
 
@@ -133,7 +135,10 @@ pub fn course_instance(schema: &Schema, tuples: usize, fanout: usize) -> Instanc
         .collect();
     Instance::new(
         schema,
-        vec![(nfd_model::Label::new("Course"), nfd_model::Value::set(elems))],
+        vec![(
+            nfd_model::Label::new("Course"),
+            nfd_model::Value::set(elems),
+        )],
     )
     .expect("generated instance validates")
 }
@@ -177,7 +182,12 @@ mod tests {
     fn course_instance_scales() {
         let (schema, sigma) = course();
         let inst = course_instance(&schema, 8, 3);
-        assert!(inst.relation(nfd_model::Label::new("Course")).unwrap().len() >= 6);
+        assert!(
+            inst.relation(nfd_model::Label::new("Course"))
+                .unwrap()
+                .len()
+                >= 6
+        );
         // The generated instance need not satisfy Σ — it is a checking
         // workload — but checking must run without errors.
         for nfd in &sigma {

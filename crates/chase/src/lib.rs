@@ -91,10 +91,9 @@ mod tests {
 
     #[test]
     fn worked_example_by_chase() {
-        let schema = Schema::parse(
-            "R : { <A: {<B: {<C: int>}, E: {<F: int, G: int>}>}, D: int> };",
-        )
-        .unwrap();
+        let schema =
+            Schema::parse("R : { <A: {<B: {<C: int>}, E: {<F: int, G: int>}>}, D: int> };")
+                .unwrap();
         let sigma = parse_set(&schema, "R:[A:B:C, D -> A:E:F]; R:A:[B -> E:G];").unwrap();
         assert!(agree(&schema, &sigma, "R:A:[B -> E]"));
         assert!(!agree(&schema, &sigma, "R:[D -> A]"));

@@ -26,10 +26,7 @@ impl SymValue {
     /// Projects a record field.
     pub fn get(&self, label: Label) -> Option<&SymValue> {
         match self {
-            SymValue::Record(fields) => fields
-                .iter()
-                .find(|(l, _)| *l == label)
-                .map(|(_, v)| v),
+            SymValue::Record(fields) => fields.iter().find(|(l, _)| *l == label).map(|(_, v)| v),
             _ => None,
         }
     }
@@ -99,12 +96,9 @@ impl Unifier {
                 resolved.dedup();
                 SymValue::Set(resolved)
             }
-            SymValue::Record(fields) => SymValue::Record(
-                fields
-                    .iter()
-                    .map(|(l, v)| (*l, self.resolve(v)))
-                    .collect(),
-            ),
+            SymValue::Record(fields) => {
+                SymValue::Record(fields.iter().map(|(l, v)| (*l, self.resolve(v))).collect())
+            }
         }
     }
 

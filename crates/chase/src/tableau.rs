@@ -66,16 +66,22 @@ pub(crate) fn run(schema: &Schema, sigma: &[&Nfd], goal: &Nfd) -> Result<ChaseRu
     let t2 = builder.shared_element(rec, &Path::empty());
     let mut tableau = vec![t1, t2];
 
+    // Compile each dependency's trie and target indices once; the scan
+    // loop below revisits every dependency many times per run.
+    let compiled: Vec<CompiledDep<'_>> = sigma.iter().map(|d| CompiledDep::new(d)).collect();
+    let compiled_goal = CompiledDep::new(goal);
+
     // Chase to fixpoint.
     const MAX_STEPS: usize = 100_000;
     let mut steps = 0usize;
     loop {
         let mut progressed = false;
-        for dep in sigma {
+        for dep in &compiled {
             while let Some((a, b)) = find_violation(&tableau, dep, &u) {
                 if !u.unify(&a, &b) {
                     return Err(ChaseError::Stuck(format!(
-                        "cannot unify {a} with {b} while chasing {dep}"
+                        "cannot unify {a} with {b} while chasing {}",
+                        dep.nfd
                     )));
                 }
                 progressed = true;
@@ -94,7 +100,7 @@ pub(crate) fn run(schema: &Schema, sigma: &[&Nfd], goal: &Nfd) -> Result<ChaseRu
         tableau = tableau.iter().map(|t| u.resolve(t)).collect();
     }
 
-    let implied = find_violation(&tableau, goal, &u).is_none();
+    let implied = find_violation(&tableau, &compiled_goal, &u).is_none();
     Ok(ChaseRun {
         implied,
         steps,
@@ -206,21 +212,43 @@ impl TemplateBuilder<'_> {
     }
 }
 
+/// A dependency compiled for the violation scan: the component-path trie
+/// and its LHS/RHS target indices, resolved once per chase run instead of
+/// once per scan. The chase's slice of the compiled-dependency IR.
+struct CompiledDep<'a> {
+    nfd: &'a Nfd,
+    trie: PathTrie,
+    lhs_idx: Vec<usize>,
+    rhs_idx: usize,
+}
+
+impl<'a> CompiledDep<'a> {
+    fn new(nfd: &'a Nfd) -> CompiledDep<'a> {
+        let trie = PathTrie::new(nfd.component_paths().cloned());
+        let lhs_idx = nfd
+            .lhs()
+            .iter()
+            .map(|p| trie.target_index(p).expect("lhs inserted"))
+            .collect();
+        let rhs_idx = trie.target_index(&nfd.rhs).expect("rhs inserted");
+        CompiledDep {
+            nfd,
+            trie,
+            lhs_idx,
+            rhs_idx,
+        }
+    }
+}
+
 /// Finds one violation of `dep` on the tableau: two trie-consistent
 /// assignments (across or within rows) whose resolved LHS tuples agree
 /// but whose resolved RHS values differ. Returns the differing RHS values.
 fn find_violation(
     tableau: &[SymValue],
-    dep: &Nfd,
+    dep: &CompiledDep<'_>,
     u: &Unifier,
 ) -> Option<(SymValue, SymValue)> {
-    let trie = PathTrie::new(dep.component_paths().cloned());
-    let lhs_idx: Vec<usize> = dep
-        .lhs()
-        .iter()
-        .map(|p| trie.target_index(p).expect("lhs inserted"))
-        .collect();
-    let rhs_idx = trie.target_index(&dep.rhs).expect("rhs inserted");
+    let trie = &dep.trie;
 
     let mut groups: HashMap<Vec<SymValue>, SymValue> = HashMap::new();
     let mut found: Option<(SymValue, SymValue)> = None;
@@ -228,25 +256,31 @@ fn find_violation(
         if found.is_some() {
             break;
         }
-        for_each_sym_assignment(row, trie.roots(), &mut vec![None; trie.len()], &mut |vals| {
-            if found.is_some() {
-                return;
-            }
-            let key: Vec<SymValue> = lhs_idx
-                .iter()
-                .map(|&i| u.resolve(vals[i].as_ref().expect("total")))
-                .collect();
-            let rhs = u.resolve(vals[rhs_idx].as_ref().expect("total"));
-            match groups.get(&key) {
-                None => {
-                    groups.insert(key, rhs);
+        for_each_sym_assignment(
+            row,
+            trie.roots(),
+            &mut vec![None; trie.len()],
+            &mut |vals| {
+                if found.is_some() {
+                    return;
                 }
-                Some(existing) if *existing == rhs => {}
-                Some(existing) => {
-                    found = Some((existing.clone(), rhs));
+                let key: Vec<SymValue> = dep
+                    .lhs_idx
+                    .iter()
+                    .map(|&i| u.resolve(vals[i].as_ref().expect("total")))
+                    .collect();
+                let rhs = u.resolve(vals[dep.rhs_idx].as_ref().expect("total"));
+                match groups.get(&key) {
+                    None => {
+                        groups.insert(key, rhs);
+                    }
+                    Some(existing) if *existing == rhs => {}
+                    Some(existing) => {
+                        found = Some((existing.clone(), rhs));
+                    }
                 }
-            }
-        });
+            },
+        );
     }
     found
 }

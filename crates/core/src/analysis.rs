@@ -19,7 +19,7 @@ use crate::engine::Engine;
 use crate::error::CoreError;
 use crate::nfd::Nfd;
 use nfd_model::{Label, Schema};
-use nfd_path::typing::{paths_of_record, resolve_in_record};
+use nfd_path::table::{PathId, PathSet};
 use nfd_path::{Path, RootedPath};
 
 /// Do `a` and `b` imply each other over `schema`?
@@ -125,57 +125,58 @@ pub fn candidate_keys(
     relation: Label,
     max_key_size: usize,
 ) -> Result<Vec<Vec<Path>>, CoreError> {
-    let schema = engine.schema();
-    let rec = schema
+    engine
+        .schema()
         .relation_type(relation)
         .map_err(|_| CoreError::Nav(format!("unknown relation `{relation}`")))?
         .element_record()
         .ok_or_else(|| CoreError::Nav(format!("relation `{relation}` has no element record")))?;
+    let rel = engine.rel(relation)?;
+    let table = &rel.table;
     // Candidate components and the coverage universe: top-level
-    // attributes (paths of length 1).
-    let attrs: Vec<Path> = rec.labels().map(|l| Path::new([l])).collect();
-    let base = RootedPath::relation_only(relation);
+    // attributes (paths of length 1 — the ids with no parent).
+    let attrs: Vec<PathId> = (0..table.len() as PathId)
+        .filter(|&id| table.parent(id).is_none())
+        .collect();
+    let universe = PathSet::from_ids(table.words(), attrs.iter().copied());
 
-    let covers = |x: &[Path]| -> Result<bool, CoreError> {
-        let cl = engine.closure(&base, x)?;
-        Ok(attrs
-            .iter()
-            .all(|a| cl.iter().any(|r| &r.path == a)))
-    };
+    let covers = |x: &[PathId]| universe.is_subset(&rel.chain(x, None));
 
-    let mut keys: Vec<Vec<Path>> = Vec::new();
+    let mut keys: Vec<Vec<PathId>> = Vec::new();
     for size in 0..=max_key_size.min(attrs.len()) {
         let mut combo = Vec::with_capacity(size);
         search(&attrs, size, 0, &mut combo, &mut |cand| {
             if keys.iter().any(|k| k.iter().all(|p| cand.contains(p))) {
-                return Ok(()); // superset of a known key
+                return; // superset of a known key
             }
-            if covers(cand)? {
+            if covers(cand) {
                 keys.push(cand.to_vec());
             }
-            Ok(())
-        })?;
+        });
     }
+    let mut keys: Vec<Vec<Path>> = keys
+        .into_iter()
+        .map(|k| k.into_iter().map(|id| table.path(id).clone()).collect())
+        .collect();
     keys.sort();
     Ok(keys)
 }
 
 fn search(
-    items: &[Path],
+    items: &[PathId],
     size: usize,
     start: usize,
-    combo: &mut Vec<Path>,
-    visit: &mut dyn FnMut(&[Path]) -> Result<(), CoreError>,
-) -> Result<(), CoreError> {
+    combo: &mut Vec<PathId>,
+    visit: &mut dyn FnMut(&[PathId]),
+) {
     if combo.len() == size {
         return visit(combo);
     }
     for i in start..items.len() {
-        combo.push(items[i].clone());
-        search(items, size, i + 1, combo, visit)?;
+        combo.push(items[i]);
+        search(items, size, i + 1, combo, visit);
         combo.pop();
     }
-    Ok(())
 }
 
 /// Set-valued paths that Σ forces to be empty-or-singleton: those whose
@@ -183,37 +184,21 @@ fn search(
 /// `x0:[x → x:Ai]` is derivable for every attribute `Ai` (the paper's
 /// Section 2.1 singleton analysis). Returned as rooted paths.
 pub fn forced_singletons(engine: &Engine<'_>) -> Result<Vec<RootedPath>, CoreError> {
-    let schema = engine.schema();
     let mut out = Vec::new();
-    for relation in schema.relation_names() {
-        let Some(rec) = schema
-            .relation_type(relation)
-            .expect("relation exists")
-            .element_record()
-        else {
-            continue;
-        };
-        for x in paths_of_record(rec) {
-            let Ok(ty) = resolve_in_record(rec, &x) else {
-                continue;
-            };
-            let Some(elem) = ty.element_record() else {
-                continue;
-            };
-            if elem.arity() == 0 {
+    for relation in engine.schema().relation_names() {
+        let rel = engine.rel(relation)?;
+        let table = &rel.table;
+        for x_id in 0..table.len() as PathId {
+            if !table.is_set_record(x_id) {
                 continue;
             }
-            let base = RootedPath::relation_only(relation);
-            let mut all = true;
-            for a in elem.labels() {
-                let goal = Nfd::new(base.clone(), [x.clone()], x.child(a))?;
-                if !engine.implies(&goal)? {
-                    all = false;
-                    break;
-                }
+            let attrs = table.children(x_id);
+            if attrs.is_empty() {
+                continue;
             }
-            if all {
-                out.push(RootedPath::new(relation, x));
+            let c = rel.chain(&[x_id], None);
+            if attrs.iter().all(|&a| c.contains(a)) {
+                out.push(RootedPath::new(relation, table.path(x_id).clone()));
             }
         }
     }
@@ -225,28 +210,17 @@ pub fn forced_singletons(engine: &Engine<'_>) -> Result<Vec<RootedPath>, CoreErr
 /// `x0:[x1:x2 → x1]`. A path qualifies if such an NFD is derivable for
 /// some child `x2`.
 pub fn equal_or_disjoint_sets(engine: &Engine<'_>) -> Result<Vec<RootedPath>, CoreError> {
-    let schema = engine.schema();
     let mut out = Vec::new();
-    for relation in schema.relation_names() {
-        let Some(rec) = schema
-            .relation_type(relation)
-            .expect("relation exists")
-            .element_record()
-        else {
-            continue;
-        };
-        for x1 in paths_of_record(rec) {
-            let Ok(ty) = resolve_in_record(rec, &x1) else {
+    for relation in engine.schema().relation_names() {
+        let rel = engine.rel(relation)?;
+        let table = &rel.table;
+        for x1_id in 0..table.len() as PathId {
+            if !table.is_set_record(x1_id) {
                 continue;
-            };
-            let Some(elem) = ty.element_record() else {
-                continue;
-            };
-            let base = RootedPath::relation_only(relation);
-            for a in elem.labels() {
-                let goal = Nfd::new(base.clone(), [x1.child(a)], x1.clone())?;
-                if engine.implies(&goal)? {
-                    out.push(RootedPath::new(relation, x1.clone()));
+            }
+            for &a in table.children(x1_id) {
+                if rel.chain(&[a], None).contains(x1_id) {
+                    out.push(RootedPath::new(relation, table.path(x1_id).clone()));
                     break;
                 }
             }

@@ -26,9 +26,11 @@ use crate::closure::constants;
 use crate::engine::Engine;
 use crate::error::CoreError;
 use nfd_model::{BaseType, Instance, RecordType, RecordValue, SetValue, Type, Value};
+use nfd_path::table::{PathId, PathSet, PathTable};
 use nfd_path::typing::resolve_rooted;
 use nfd_path::{Path, RootedPath};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The result of the Appendix A construction.
 #[derive(Clone, Debug)]
@@ -42,20 +44,34 @@ pub struct Construction {
 
 struct Ctx<'e, 's> {
     engine: &'e Engine<'s>,
+    /// The base relation's compiled path table; closure membership is a
+    /// bitset test over its id space.
+    table: Arc<PathTable>,
     base: RootedPath,
-    closure: HashSet<RootedPath>,
+    closure: PathSet,
     /// `value(p)` of the pseudocode, memoized. Populated eagerly for
     /// closure paths (deepest first) and on demand for `(p, ∅)*` members
     /// referenced by `newRow`.
     values: HashMap<RootedPath, Value>,
-    /// Constants closures `(p, ∅)*`, memoized per `p`.
-    consts: HashMap<RootedPath, HashSet<RootedPath>>,
+    /// Constants closures `(p, ∅)*`, memoized per base path id.
+    consts: HashMap<PathId, PathSet>,
     next: i64,
 }
 
 impl Ctx<'_, '_> {
     fn schema(&self) -> &nfd_model::Schema {
         self.engine.schema()
+    }
+
+    /// Is `p` a member of the id set `set` (necessarily of the base
+    /// relation)? Paths of other relations are never members.
+    fn member(&self, set: &PathSet, p: &RootedPath) -> bool {
+        p.relation == self.base.relation
+            && self.table.id_of(&p.path).is_some_and(|id| set.contains(id))
+    }
+
+    fn in_closure(&self, p: &RootedPath) -> bool {
+        self.member(&self.closure, p)
     }
 
     fn type_of(&self, p: &RootedPath) -> Result<Type, CoreError> {
@@ -137,7 +153,7 @@ impl Ctx<'_, '_> {
         let mut fields = Vec::with_capacity(rec.arity());
         for f in rec.fields() {
             let child = p.child(f.label);
-            let v = if self.closure.contains(&child) {
+            let v = if self.in_closure(&child) {
                 self.value_of(&child)?
             } else {
                 self.assign_new(&child)?
@@ -162,7 +178,7 @@ impl Ctx<'_, '_> {
                     let mut all_closure = true;
                     for f in rec.fields() {
                         let child = p.child(f.label);
-                        let v = if self.closure.contains(&child) {
+                        let v = if self.in_closure(&child) {
                             self.value_of(&child)?
                         } else {
                             all_closure = false;
@@ -171,7 +187,8 @@ impl Ctx<'_, '_> {
                         fields.push((f.label, v));
                     }
                     let r = Value::Record(
-                        RecordValue::new(fields).map_err(|e| CoreError::Construct(e.to_string()))?,
+                        RecordValue::new(fields)
+                            .map_err(|e| CoreError::Construct(e.to_string()))?,
                     );
                     if all_closure && rec.arity() > 0 {
                         let same_val = self.constants_of(p)?;
@@ -191,14 +208,24 @@ impl Ctx<'_, '_> {
         }
     }
 
-    /// `(p, ∅)*`, memoized.
-    fn constants_of(&mut self, p: &RootedPath) -> Result<HashSet<RootedPath>, CoreError> {
-        if let Some(c) = self.consts.get(p) {
-            return Ok(c.clone());
+    /// `(p, ∅)*` as a bitset over the base table, memoized.
+    fn constants_of(&mut self, p: &RootedPath) -> Result<PathSet, CoreError> {
+        let id = self.table.id_of(&p.path);
+        if let Some(id) = id {
+            if let Some(c) = self.consts.get(&id) {
+                return Ok(c.clone());
+            }
         }
-        let c: HashSet<RootedPath> = constants(self.engine, p)?.into_iter().collect();
-        self.consts.insert(p.clone(), c.clone());
-        Ok(c)
+        let mut set = self.table.empty_set();
+        for q in constants(self.engine, p)? {
+            if let Some(qid) = self.table.id_of(&q.path) {
+                set.insert(qid);
+            }
+        }
+        if let Some(id) = id {
+            self.consts.insert(id, set.clone());
+        }
+        Ok(set)
     }
 
     /// `newRow(p, sameVal)` of the pseudocode.
@@ -206,12 +233,12 @@ impl Ctx<'_, '_> {
         &mut self,
         p: &RootedPath,
         rec: &RecordType,
-        same_val: &HashSet<RootedPath>,
+        same_val: &PathSet,
     ) -> Result<RecordValue, CoreError> {
         let mut fields = Vec::with_capacity(rec.arity());
         for f in rec.fields() {
             let child = p.child(f.label);
-            let v = if same_val.contains(&child) {
+            let v = if self.member(same_val, &child) {
                 self.value_of(&child)?
             } else {
                 match &f.ty {
@@ -281,10 +308,20 @@ pub fn counterexample(
     lhs: &[Path],
 ) -> Result<Construction, CoreError> {
     let closure_list = engine.closure(base, lhs)?;
+    let table = Arc::clone(engine.tables().get(base.relation).ok_or_else(|| {
+        CoreError::Nav(format!("relation `{}` is not in the schema", base.relation))
+    })?);
+    let mut closure = table.empty_set();
+    for p in &closure_list {
+        if let Some(id) = table.id_of(&p.path) {
+            closure.insert(id);
+        }
+    }
     let mut ctx = Ctx {
         engine,
+        table,
         base: base.clone(),
-        closure: closure_list.iter().cloned().collect(),
+        closure,
         values: HashMap::new(),
         consts: HashMap::new(),
         next: 1,
@@ -418,7 +455,10 @@ mod tests {
         let h = h.as_set().unwrap();
         assert_eq!(h.len(), 2);
         for e in h.elems() {
-            assert_eq!(e.as_record().unwrap().get(Label::new("J")), Some(&Value::int(0)));
+            assert_eq!(
+                e.as_record().unwrap().get(Label::new("J")),
+                Some(&Value::int(0))
+            );
         }
         // E is a singleton per row with F = 0 (closure) and fresh G.
         for row in &rows {
@@ -435,10 +475,9 @@ mod tests {
     /// Lemma A.1 on Example A.2 (deep nesting, set-valued RHS in Σ).
     #[test]
     fn example_a2_lemma() {
-        let schema = Schema::parse(
-            "R : { <A: {<B: {<C: int, D: int, E: {<F: int, G: int>}>}>}, H: int> };",
-        )
-        .unwrap();
+        let schema =
+            Schema::parse("R : { <A: {<B: {<C: int, D: int, E: {<F: int, G: int>}>}>}, H: int> };")
+                .unwrap();
         let sigma = parse_set(
             &schema,
             "R:[A:B:C -> A:B]; R:[A:B:C -> A:B:E:F]; R:[H -> A:B:D];",

@@ -51,9 +51,7 @@ impl EmptySetPolicy {
     pub fn is_non_empty(&self, relation: nfd_model::Label, p: &Path) -> bool {
         match self {
             EmptySetPolicy::Forbidden => true,
-            EmptySetPolicy::Annotated(set) => {
-                set.contains(&RootedPath::new(relation, p.clone()))
-            }
+            EmptySetPolicy::Annotated(set) => set.contains(&RootedPath::new(relation, p.clone())),
         }
     }
 

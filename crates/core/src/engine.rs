@@ -22,6 +22,16 @@
 //! appears or the closure is stable. Subsumption pruning (same RHS, ⊆ LHS)
 //! keeps the pool an antichain.
 //!
+//! The engine works over the compiled dependency IR of
+//! [`nfd_path::table`]: each relation's paths are interned once into a
+//! shared [`PathTable`], LHS sets are [`PathSet`] bitsets, and the prefix /
+//! follows relations are precomputed matrices — so subsumption, resolution
+//! and query chaining are word-wise bitset operations. The empty-set
+//! policy is compiled too: the `non_empty` / `defined` path sets are fixed
+//! at construction, and each pool entry precomputes the subset of its LHS
+//! that the modified-transitivity gate requires to sit in the query's `X`
+//! (`need_x`), turning the per-step gate into a single subset test.
+//!
 //! Every pool entry records provenance, so any positive answer can be
 //! replayed as a numbered derivation over the original eight rules (see
 //! [`crate::proof`]). Completeness is cross-checked in the test suite
@@ -38,9 +48,10 @@ use crate::error::CoreError;
 use crate::nfd::Nfd;
 use crate::simple;
 use nfd_model::{Label, Schema};
-use nfd_path::typing::paths_of_record;
+use nfd_path::table::{PathId, PathSet, PathTable, SchemaTables};
 use nfd_path::{Path, RootedPath};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Provenance of a pool dependency — enough to replay a rule-level proof.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -53,14 +64,14 @@ pub enum Prov {
         /// Pool index of the premise.
         dep: usize,
         /// Path id (in the relation's path table) that was shortened.
-        shortened: u32,
+        shortened: PathId,
     },
     /// Full-locality of pool entry `dep` at prefix `x`.
     FullLocality {
         /// Pool index of the premise.
         dep: usize,
         /// Path id of the localized prefix.
-        x: u32,
+        x: PathId,
     },
     /// Resolution: `supplier`'s RHS discharged path `on` from `target`'s
     /// LHS (transitivity composed with reflexivity/augmentation).
@@ -70,86 +81,86 @@ pub enum Prov {
         /// Pool index of the dependency supplying the discharged path.
         supplier: usize,
         /// Path id that was discharged.
-        on: u32,
+        on: PathId,
     },
     /// Singleton introduction at set-valued path `x` (premises are the
     /// closure facts `x → x:Ai`, replayed on demand).
     Singleton {
         /// Path id of the singleton set.
-        x: u32,
+        x: PathId,
     },
 }
 
-/// A dependency in the saturated pool (simple form, interned paths).
+/// A compiled dependency in the saturated pool (simple form, LHS as a
+/// bitset over the relation's [`PathTable`]).
 #[derive(Clone, Debug)]
-pub struct Dep {
-    /// Sorted LHS path ids.
-    pub lhs: Box<[u32]>,
+pub struct CDep {
+    /// LHS path ids.
+    pub lhs: PathSet,
     /// RHS path id.
-    pub rhs: u32,
+    pub rhs: PathId,
     /// How this dependency was obtained.
     pub prov: Prov,
     /// Subsumed by a later entry with the same RHS and smaller LHS; kept
     /// for provenance but skipped by queries.
     pub subsumed: bool,
+    /// The LHS paths that fail the compiled modified-transitivity gate
+    /// (`lhs \ followers(rhs) \ defined`): a chain step through this entry
+    /// is legal iff `need_x ⊆ X`. Empty under
+    /// [`EmptySetPolicy::Forbidden`].
+    need_x: PathSet,
 }
 
-/// Per-relation saturation state.
+/// Per-relation saturation state over the shared compiled path table.
 pub(crate) struct RelEngine {
     pub(crate) relation: Label,
-    /// All relative paths of the relation, the id space of the pool.
-    pub(crate) paths: Vec<Path>,
-    pub(crate) index: HashMap<Path, u32>,
-    pub(crate) deps: Vec<Dep>,
-    seen: HashSet<(Box<[u32]>, u32)>,
+    /// The relation's compiled path table — the id space of the pool.
+    pub(crate) table: Arc<PathTable>,
+    pub(crate) deps: Vec<CDep>,
+    seen: HashSet<(PathSet, PathId)>,
     /// Set-of-records paths whose singleton rule has fired.
-    pub(crate) singletons_granted: Vec<u32>,
-}
-
-/// Is `a ⊆ b` for sorted slices?
-fn subset(a: &[u32], b: &[u32]) -> bool {
-    let mut j = 0;
-    'outer: for &x in a {
-        while j < b.len() {
-            match b[j].cmp(&x) {
-                std::cmp::Ordering::Less => j += 1,
-                std::cmp::Ordering::Equal => {
-                    j += 1;
-                    continue 'outer;
-                }
-                std::cmp::Ordering::Greater => return false,
-            }
-        }
-        return false;
-    }
-    true
+    pub(crate) singletons_granted: Vec<PathId>,
+    /// Ids declared non-empty by the policy (all ids under `Forbidden`).
+    non_empty: PathSet,
+    /// Ids whose every proper prefix is non-empty (all ids under
+    /// `Forbidden`); the compiled form of [`EmptySetPolicy::is_defined`].
+    defined: PathSet,
 }
 
 impl RelEngine {
-    fn new(relation: Label, schema: &Schema) -> Result<RelEngine, CoreError> {
-        let rec = schema
-            .relation_type(relation)
-            .map_err(|_| CoreError::Nav(format!("unknown relation `{relation}`")))?
-            .element_record()
-            .ok_or_else(|| CoreError::Nav(format!("relation `{relation}` has no element record")))?;
-        let paths = paths_of_record(rec);
-        let index = paths
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (p.clone(), u32::try_from(i).expect("path table fits u32")))
-            .collect();
-        Ok(RelEngine {
+    fn new(relation: Label, table: Arc<PathTable>, policy: &EmptySetPolicy) -> RelEngine {
+        let (non_empty, defined) = match policy {
+            EmptySetPolicy::Forbidden => (table.full_set(), table.full_set()),
+            EmptySetPolicy::Annotated(_) => {
+                let non_empty = PathSet::from_ids(
+                    table.words(),
+                    (0..table.len() as PathId)
+                        .filter(|&id| policy.is_non_empty(relation, table.path(id))),
+                );
+                let defined = PathSet::from_ids(
+                    table.words(),
+                    (0..table.len() as PathId).filter(|&id| {
+                        let mut proper = table.prefixes_of(id).clone();
+                        proper.remove(id);
+                        proper.is_subset(&non_empty)
+                    }),
+                );
+                (non_empty, defined)
+            }
+        };
+        RelEngine {
             relation,
-            paths,
-            index,
+            table,
             deps: Vec::new(),
             seen: HashSet::new(),
             singletons_granted: Vec::new(),
-        })
+            non_empty,
+            defined,
+        }
     }
 
-    fn path_id(&self, p: &Path) -> Result<u32, CoreError> {
-        self.index.get(p).copied().ok_or_else(|| {
+    fn path_id(&self, p: &Path) -> Result<PathId, CoreError> {
+        self.table.id_of(p).ok_or_else(|| {
             CoreError::Nav(format!(
                 "path `{p}` is not a path of relation `{}`",
                 self.relation
@@ -157,29 +168,36 @@ impl RelEngine {
         })
     }
 
-    fn intern_lhs(&self, lhs: &[Path]) -> Result<Box<[u32]>, CoreError> {
-        let mut ids: Vec<u32> = lhs.iter().map(|p| self.path_id(p)).collect::<Result<_, _>>()?;
-        ids.sort_unstable();
-        ids.dedup();
-        Ok(ids.into_boxed_slice())
+    fn intern_lhs(&self, lhs: &[Path]) -> Result<PathSet, CoreError> {
+        let mut set = self.table.empty_set();
+        for p in lhs {
+            set.insert(self.path_id(p)?);
+        }
+        Ok(set)
     }
 
     /// Adds a dependency unless trivial, already seen, or subsumed; marks
     /// older entries this one subsumes. Returns whether it was added.
-    fn add(&mut self, lhs: Box<[u32]>, rhs: u32, prov: Prov, budget: usize) -> Result<bool, CoreError> {
-        if lhs.contains(&rhs) {
+    fn add(
+        &mut self,
+        lhs: PathSet,
+        rhs: PathId,
+        prov: Prov,
+        budget: usize,
+    ) -> Result<bool, CoreError> {
+        if lhs.contains(rhs) {
             return Ok(false); // reflexivity instance: never useful in the pool
         }
         if !self.seen.insert((lhs.clone(), rhs)) {
             return Ok(false);
         }
         for d in &self.deps {
-            if !d.subsumed && d.rhs == rhs && subset(&d.lhs, &lhs) {
+            if !d.subsumed && d.rhs == rhs && d.lhs.is_subset(&lhs) {
                 return Ok(false);
             }
         }
         for d in &mut self.deps {
-            if !d.subsumed && d.rhs == rhs && subset(&lhs, &d.lhs) {
+            if !d.subsumed && d.rhs == rhs && lhs.is_subset(&d.lhs) {
                 d.subsumed = true;
             }
         }
@@ -189,32 +207,36 @@ impl RelEngine {
                 self.relation
             )));
         }
-        self.deps.push(Dep {
+        let mut need_x = lhs.clone();
+        need_x.difference_with(self.table.followers_of(rhs));
+        need_x.difference_with(&self.defined);
+        self.deps.push(CDep {
             lhs,
             rhs,
             prov,
             subsumed: false,
+            need_x,
         });
         Ok(true)
     }
 
     /// Saturates the pool under prefix-weakening, full-locality and
-    /// resolution (all gated by `policy`).
-    fn saturate(&mut self, policy: &EmptySetPolicy, budget: usize) -> Result<(), CoreError> {
+    /// resolution (all through the compiled policy gates).
+    fn saturate(&mut self, budget: usize) -> Result<(), CoreError> {
         let mut i = 0;
         while i < self.deps.len() {
             if self.deps[i].subsumed {
                 i += 1;
                 continue;
             }
-            self.unary_conclusions(i, policy, budget)?;
+            self.unary_conclusions(i, budget)?;
             // Resolution against every earlier entry, both directions.
             for j in 0..i {
                 if self.deps[j].subsumed {
                     continue;
                 }
-                self.resolve_pair(i, j, policy, budget)?;
-                self.resolve_pair(j, i, policy, budget)?;
+                self.resolve_pair(i, j, budget)?;
+                self.resolve_pair(j, i, budget)?;
             }
             i += 1;
         }
@@ -222,37 +244,27 @@ impl RelEngine {
     }
 
     /// Prefix-weakening and full-locality conclusions of `deps[i]`.
-    fn unary_conclusions(
-        &mut self,
-        i: usize,
-        policy: &EmptySetPolicy,
-        budget: usize,
-    ) -> Result<(), CoreError> {
+    fn unary_conclusions(&mut self, i: usize, budget: usize) -> Result<(), CoreError> {
+        let table = Arc::clone(&self.table);
         let (lhs, rhs) = (self.deps[i].lhs.clone(), self.deps[i].rhs);
-        let rhs_path = self.paths[rhs as usize].clone();
 
-        // prefix: shorten any LHS path x1:A to x1 (x1 non-empty, not a
-        // prefix of the RHS; under empty sets, x1 must be non-empty).
-        for &pid in lhs.iter() {
-            let p = &self.paths[pid as usize];
-            if p.len() < 2 {
+        // prefix: shorten any LHS path x1:A to x1 (x1 not a prefix of the
+        // RHS; under empty sets, x1 must be non-empty and reachable).
+        for pid in lhs.iter() {
+            let Some(x1) = table.parent(pid) else {
+                continue; // single-label path: parent is the empty path
+            };
+            if table.is_prefix(x1, rhs) {
                 continue;
             }
-            let x1 = p.parent().expect("len >= 2");
-            if x1.is_prefix_of(&rhs_path) {
+            if !(self.non_empty.contains(x1) && self.defined.contains(x1)) {
                 continue;
             }
-            if !policy.prefix_ok(self.relation, &x1) {
-                continue;
-            }
-            let x1_id = self.path_id(&x1)?;
-            let mut new_lhs: Vec<u32> = lhs.iter().copied().filter(|&q| q != pid).collect();
-            if !new_lhs.contains(&x1_id) {
-                new_lhs.push(x1_id);
-                new_lhs.sort_unstable();
-            }
+            let mut new_lhs = lhs.clone();
+            new_lhs.remove(pid);
+            new_lhs.insert(x1);
             self.add(
-                new_lhs.into_boxed_slice(),
+                new_lhs,
                 rhs,
                 Prov::Prefix {
                     dep: i,
@@ -264,34 +276,20 @@ impl RelEngine {
 
         // full-locality: for each proper prefix x of the RHS, keep only the
         // x-prefixed LHS paths plus x itself; the dismissed paths must pass
-        // the locality gate under empty sets.
-        for x in rhs_path.prefixes() {
-            if !x.is_proper_prefix_of(&rhs_path) {
+        // the locality gate (follow the RHS or be defined) under empty sets.
+        for x_id in table.ancestors(rhs) {
+            let mut kept = lhs.clone();
+            kept.intersect_with(table.extensions_of(x_id));
+            let mut dismissed = lhs.clone();
+            dismissed.difference_with(&kept);
+            dismissed.remove(x_id);
+            dismissed.difference_with(table.followers_of(rhs));
+            dismissed.difference_with(&self.defined);
+            if !dismissed.is_empty() {
                 continue;
             }
-            let x_id = self.path_id(&x)?;
-            let mut kept: Vec<u32> = vec![x_id];
-            let mut all_dismissed_ok = true;
-            for &pid in lhs.iter() {
-                let p = &self.paths[pid as usize];
-                if x.is_proper_prefix_of(p) {
-                    kept.push(pid);
-                } else if pid != x_id && !policy.locality_ok(self.relation, p, &rhs_path) {
-                    all_dismissed_ok = false;
-                    break;
-                }
-            }
-            if !all_dismissed_ok {
-                continue;
-            }
-            kept.sort_unstable();
-            kept.dedup();
-            self.add(
-                kept.into_boxed_slice(),
-                rhs,
-                Prov::FullLocality { dep: i, x: x_id },
-                budget,
-            )?;
+            kept.insert(x_id);
+            self.add(kept, rhs, Prov::FullLocality { dep: i, x: x_id }, budget)?;
         }
         Ok(())
     }
@@ -302,32 +300,23 @@ impl RelEngine {
         &mut self,
         target: usize,
         supplier: usize,
-        policy: &EmptySetPolicy,
         budget: usize,
     ) -> Result<(), CoreError> {
         let on = self.deps[supplier].rhs;
-        if !self.deps[target].lhs.contains(&on) {
+        if !self.deps[target].lhs.contains(on) {
             return Ok(());
         }
         let t_rhs = self.deps[target].rhs;
         // Modified transitivity gate on the discharged path (it is the
         // intermediate value not present in the final LHS).
-        let on_path = &self.paths[on as usize];
-        let rhs_path = &self.paths[t_rhs as usize];
-        if !policy.transitivity_ok(self.relation, on_path, rhs_path) {
+        if !(self.table.follows(on, t_rhs) || self.defined.contains(on)) {
             return Ok(());
         }
-        let mut new_lhs: Vec<u32> = self.deps[target]
-            .lhs
-            .iter()
-            .copied()
-            .filter(|&q| q != on)
-            .chain(self.deps[supplier].lhs.iter().copied())
-            .collect();
-        new_lhs.sort_unstable();
-        new_lhs.dedup();
+        let mut new_lhs = self.deps[target].lhs.clone();
+        new_lhs.remove(on);
+        new_lhs.union_with(&self.deps[supplier].lhs);
         self.add(
-            new_lhs.into_boxed_slice(),
+            new_lhs,
             t_rhs,
             Prov::Resolve {
                 target,
@@ -344,11 +333,10 @@ impl RelEngine {
     /// records which pool entry produced each path (for proofs).
     pub(crate) fn chain(
         &self,
-        x: &[u32],
-        policy: &EmptySetPolicy,
-        fired: Option<&mut HashMap<u32, usize>>,
-    ) -> Vec<bool> {
-        self.chain_bounded(x, policy, fired, self.deps.len())
+        x: &[PathId],
+        fired: Option<&mut HashMap<PathId, usize>>,
+    ) -> PathSet {
+        self.chain_bounded(x, fired, self.deps.len())
     }
 
     /// [`RelEngine::chain`] restricted to pool entries with index `< max`
@@ -356,15 +344,12 @@ impl RelEngine {
     /// pool index.
     pub(crate) fn chain_bounded(
         &self,
-        x: &[u32],
-        policy: &EmptySetPolicy,
-        mut fired: Option<&mut HashMap<u32, usize>>,
+        x: &[PathId],
+        mut fired: Option<&mut HashMap<PathId, usize>>,
         max: usize,
-    ) -> Vec<bool> {
-        let mut in_c = vec![false; self.paths.len()];
-        for &p in x {
-            in_c[p as usize] = true;
-        }
+    ) -> PathSet {
+        let x_set = PathSet::from_ids(self.table.words(), x.iter().copied());
+        let mut c = x_set.clone();
         let mut changed = true;
         while changed {
             changed = false;
@@ -372,75 +357,48 @@ impl RelEngine {
                 // Subsumed entries are still sound; they must stay usable
                 // here because proof reconstruction bounds `max` below the
                 // index of the entry that subsumed them.
-                if in_c[d.rhs as usize] {
+                if c.contains(d.rhs) {
                     continue;
                 }
-                if !d.lhs.iter().all(|&p| in_c[p as usize]) {
+                if !d.lhs.is_subset(&c) {
                     continue;
                 }
-                let gate_ok = d.lhs.iter().all(|&p| {
-                    x.contains(&p)
-                        || policy.transitivity_ok(
-                            self.relation,
-                            &self.paths[p as usize],
-                            &self.paths[d.rhs as usize],
-                        )
-                });
-                if !gate_ok {
+                // Compiled modified-transitivity gate: every intermediate
+                // LHS path either follows the RHS, is defined, or sits in
+                // the query's own X.
+                if !d.need_x.is_subset(&x_set) {
                     continue;
                 }
-                in_c[d.rhs as usize] = true;
+                c.insert(d.rhs);
                 if let Some(f) = fired.as_deref_mut() {
                     f.entry(d.rhs).or_insert(di);
                 }
                 changed = true;
             }
         }
-        in_c
+        c
     }
 
     /// One round of singleton introduction; returns whether any new
     /// singleton conclusion joined the pool.
-    fn singleton_round(
-        &mut self,
-        schema: &Schema,
-        policy: &EmptySetPolicy,
-        budget: usize,
-    ) -> Result<bool, CoreError> {
-        let rec = schema
-            .relation_type(self.relation)
-            .expect("relation exists")
-            .element_record()
-            .expect("set of records");
+    fn singleton_round(&mut self, budget: usize) -> Result<bool, CoreError> {
+        let table = Arc::clone(&self.table);
         let mut added = false;
-        for x_id in 0..self.paths.len() as u32 {
+        for x_id in 0..table.len() as PathId {
             if self.singletons_granted.contains(&x_id) {
                 continue;
             }
-            let x = self.paths[x_id as usize].clone();
-            let Ok(ty) = nfd_path::typing::resolve_in_record(rec, &x) else {
+            if !table.is_set_record(x_id) {
                 continue;
-            };
-            let Some(elem) = ty.element_record() else {
-                continue;
-            };
-            let attrs: Vec<u32> = elem
-                .labels()
-                .map(|a| self.path_id(&x.child(a)))
-                .collect::<Result<_, _>>()?;
+            }
+            let attrs = table.children(x_id);
             if attrs.is_empty() {
                 continue;
             }
-            let c = self.chain(&[x_id], policy, None);
-            if attrs.iter().all(|&a| c[a as usize]) {
-                let mut lhs = attrs.clone();
-                lhs.sort_unstable();
-                self.add(
-                    lhs.into_boxed_slice(),
-                    x_id,
-                    Prov::Singleton { x: x_id },
-                    budget,
-                )?;
+            let c = self.chain(&[x_id], None);
+            if attrs.iter().all(|&a| c.contains(a)) {
+                let lhs = PathSet::from_ids(table.words(), attrs.iter().copied());
+                self.add(lhs, x_id, Prov::Singleton { x: x_id }, budget)?;
                 self.singletons_granted.push(x_id);
                 added = true;
             }
@@ -452,9 +410,11 @@ impl RelEngine {
 /// The implication engine for a schema and a set Σ of NFDs.
 ///
 /// Construction validates and normalizes Σ and saturates one pool per
-/// relation; queries are then cheap. See the module docs for the algorithm.
+/// relation over the schema's compiled [`SchemaTables`]; queries are then
+/// cheap. See the module docs for the algorithm.
 pub struct Engine<'s> {
     schema: &'s Schema,
+    tables: SchemaTables,
     /// The original Σ (used for proof display).
     pub sigma: Vec<Nfd>,
     pub(crate) rels: HashMap<Label, RelEngine>,
@@ -487,9 +447,26 @@ impl<'s> Engine<'s> {
         policy: EmptySetPolicy,
         budget: usize,
     ) -> Result<Engine<'s>, CoreError> {
+        let tables = SchemaTables::new(schema).map_err(|e| CoreError::Nav(e.to_string()))?;
+        Engine::with_tables(schema, tables, sigma, policy, budget)
+    }
+
+    /// Builds an engine over pre-compiled path tables, sharing them with
+    /// the caller instead of recompiling — the amortization hook used by
+    /// query sessions. The tables must have been compiled from `schema`.
+    pub fn with_tables(
+        schema: &'s Schema,
+        tables: SchemaTables,
+        sigma: &[Nfd],
+        policy: EmptySetPolicy,
+        budget: usize,
+    ) -> Result<Engine<'s>, CoreError> {
         let mut rels: HashMap<Label, RelEngine> = HashMap::new();
         for name in schema.relation_names() {
-            rels.insert(name, RelEngine::new(name, schema)?);
+            let table = tables
+                .get(name)
+                .ok_or_else(|| CoreError::Nav(format!("unknown relation `{name}`")))?;
+            rels.insert(name, RelEngine::new(name, Arc::clone(table), &policy));
         }
         for (i, nfd) in sigma.iter().enumerate() {
             nfd.validate(schema)?;
@@ -505,14 +482,15 @@ impl<'s> Engine<'s> {
         // whole system is stable.
         for rel in rels.values_mut() {
             loop {
-                rel.saturate(&policy, budget)?;
-                if !rel.singleton_round(schema, &policy, budget)? {
+                rel.saturate(budget)?;
+                if !rel.singleton_round(budget)? {
                     break;
                 }
             }
         }
         Ok(Engine {
             schema,
+            tables,
             sigma: sigma.to_vec(),
             rels,
             policy,
@@ -523,6 +501,11 @@ impl<'s> Engine<'s> {
     /// The schema the engine reasons over.
     pub fn schema(&self) -> &Schema {
         self.schema
+    }
+
+    /// The compiled path tables the engine (and its proofs) work over.
+    pub fn tables(&self) -> &SchemaTables {
+        &self.tables
     }
 
     /// The empty-set policy in force.
@@ -536,26 +519,31 @@ impl<'s> Engine<'s> {
     }
 
     pub(crate) fn rel(&self, relation: Label) -> Result<&RelEngine, CoreError> {
-        self.rels.get(&relation).ok_or_else(|| CoreError::WrongRelation {
-            expected: self
-                .rels
-                .keys()
-                .map(|k| k.to_string())
-                .collect::<Vec<_>>()
-                .join(","),
-            found: relation.to_string(),
-        })
+        self.rels
+            .get(&relation)
+            .ok_or_else(|| CoreError::WrongRelation {
+                expected: self
+                    .rels
+                    .keys()
+                    .map(|k| k.to_string())
+                    .collect::<Vec<_>>()
+                    .join(","),
+                found: relation.to_string(),
+            })
     }
 
     /// Normalizes a goal to simple form and returns `(relation, X ids,
     /// rhs id)`.
-    pub(crate) fn normalize_goal(&self, goal: &Nfd) -> Result<(Label, Vec<u32>, u32), CoreError> {
+    pub(crate) fn normalize_goal(
+        &self,
+        goal: &Nfd,
+    ) -> Result<(Label, Vec<PathId>, PathId), CoreError> {
         goal.validate(self.schema)?;
         let s = simple::to_simple(goal);
         let rel = self.rel(s.base.relation)?;
         let lhs = rel.intern_lhs(s.lhs())?;
         let rhs = rel.path_id(&s.rhs)?;
-        Ok((s.base.relation, lhs.into_vec(), rhs))
+        Ok((s.base.relation, lhs.to_vec(), rhs))
     }
 
     /// Does Σ logically imply `goal` (over instances consistent with the
@@ -566,8 +554,7 @@ impl<'s> Engine<'s> {
             return Ok(true); // reflexivity
         }
         let rel = self.rel(relation)?;
-        let c = rel.chain(&lhs, &self.policy, None);
-        Ok(c[rhs as usize])
+        Ok(rel.chain(&lhs, None).contains(rhs))
     }
 
     /// The closure `(x0, X, Σ)*` of Appendix A: all rooted paths `x0:q`
@@ -579,9 +566,12 @@ impl<'s> Engine<'s> {
         // below x0.
         let rel = self.rel(base.relation)?;
         let prefix = &base.path;
-        let mut x_ids: Vec<u32> = Vec::new();
+        let mut x_ids: Vec<PathId> = Vec::new();
+        let mut prefix_id = None;
         if !prefix.is_empty() {
-            x_ids.push(rel.path_id(prefix)?);
+            let id = rel.path_id(prefix)?;
+            prefix_id = Some(id);
+            x_ids.push(id);
         }
         for p in lhs {
             if p.is_empty() {
@@ -591,19 +581,16 @@ impl<'s> Engine<'s> {
         }
         x_ids.sort_unstable();
         x_ids.dedup();
-        let c = rel.chain(&x_ids, &self.policy, None);
-        let mut out: Vec<RootedPath> = Vec::new();
-        for (i, &inside) in c.iter().enumerate() {
-            if !inside {
-                continue;
-            }
-            let p = &rel.paths[i];
-            // Only paths strictly below x0 belong to the closure (q ≥ 1
-            // labels relative to x0).
-            if prefix.is_proper_prefix_of(p) || prefix.is_empty() {
-                out.push(RootedPath::new(base.relation, p.clone()));
-            }
+        let mut c = rel.chain(&x_ids, None);
+        // Only paths strictly below x0 belong to the closure (q ≥ 1
+        // labels relative to x0).
+        if let Some(id) = prefix_id {
+            c.intersect_with(rel.table.extensions_of(id));
         }
+        let mut out: Vec<RootedPath> = c
+            .iter()
+            .map(|i| RootedPath::new(base.relation, rel.table.path(i).clone()))
+            .collect();
         out.sort_by(|a, b| {
             let ka: Vec<&str> = a.path.labels().iter().map(|l| l.as_str()).collect();
             let kb: Vec<&str> = b.path.labels().iter().map(|l| l.as_str()).collect();
@@ -630,7 +617,7 @@ impl<'s> Engine<'s> {
     pub fn check_invariants(&self) -> Result<(), String> {
         for rel in self.rels.values() {
             for (i, d) in rel.deps.iter().enumerate() {
-                if d.lhs.contains(&d.rhs) {
+                if d.lhs.contains(d.rhs) {
                     return Err(format!(
                         "relation {}: pool entry {i} is reflexive",
                         rel.relation
@@ -661,17 +648,16 @@ impl<'s> Engine<'s> {
                     }
                 }
             }
-            let active: Vec<&Dep> = rel.deps.iter().filter(|d| !d.subsumed).collect();
+            let active: Vec<&CDep> = rel.deps.iter().filter(|d| !d.subsumed).collect();
             for (i, a) in active.iter().enumerate() {
                 for (j, b) in active.iter().enumerate() {
-                    if i != j && a.rhs == b.rhs && subset(&a.lhs, &b.lhs) && subset(&b.lhs, &a.lhs)
-                    {
+                    if i != j && a.rhs == b.rhs && a.lhs == b.lhs {
                         return Err(format!(
                             "relation {}: duplicate active entries for rhs {}",
                             rel.relation, a.rhs
                         ));
                     }
-                    if i != j && a.rhs == b.rhs && subset(&a.lhs, &b.lhs) {
+                    if i != j && a.rhs == b.rhs && a.lhs.is_subset(&b.lhs) {
                         return Err(format!(
                             "relation {}: active pool is not an antichain at rhs {}",
                             rel.relation, a.rhs
@@ -690,10 +676,9 @@ mod tests {
     use crate::nfd::parse_set;
 
     fn worked_example() -> (Schema, Vec<Nfd>) {
-        let schema = Schema::parse(
-            "R : { <A: {<B: {<C: int>}, E: {<F: int, G: int>}>}, D: int> };",
-        )
-        .unwrap();
+        let schema =
+            Schema::parse("R : { <A: {<B: {<C: int>}, E: {<F: int, G: int>}>}, D: int> };")
+                .unwrap();
         let sigma = parse_set(
             &schema,
             "R:[A:B:C, D -> A:E:F];
@@ -727,7 +712,10 @@ mod tests {
             "R:A:[B -> E]",
         ] {
             let nfd = Nfd::parse(&schema, step).unwrap();
-            assert!(engine.implies(&nfd).unwrap(), "step {step} should be derivable");
+            assert!(
+                engine.implies(&nfd).unwrap(),
+                "step {step} should be derivable"
+            );
         }
     }
 
@@ -742,7 +730,10 @@ mod tests {
             "R:A:[B -> B:C]",
         ] {
             let nfd = Nfd::parse(&schema, goal).unwrap();
-            assert!(!engine.implies(&nfd).unwrap(), "{goal} should NOT be derivable");
+            assert!(
+                !engine.implies(&nfd).unwrap(),
+                "{goal} should NOT be derivable"
+            );
         }
     }
 
@@ -786,10 +777,9 @@ mod tests {
     /// Example A.2's closure, exactly as printed in the paper.
     #[test]
     fn example_a2_closure() {
-        let schema = Schema::parse(
-            "R : { <A: {<B: {<C: int, D: int, E: {<F: int, G: int>}>}>}, H: int> };",
-        )
-        .unwrap();
+        let schema =
+            Schema::parse("R : { <A: {<B: {<C: int, D: int, E: {<F: int, G: int>}>}>}, H: int> };")
+                .unwrap();
         let sigma = parse_set(
             &schema,
             "R:[A:B:C -> A:B]; R:[A:B:C -> A:B:E:F]; R:[H -> A:B:D];",
@@ -854,10 +844,8 @@ mod tests {
     /// Example 3.1: full-locality derives what locality cannot.
     #[test]
     fn example_3_1_full_locality() {
-        let schema = Schema::parse(
-            "R : { <A: {<B: {<C: int, E: {<W: int>}>}, D: int>}> };",
-        )
-        .unwrap();
+        let schema =
+            Schema::parse("R : { <A: {<B: {<C: int, E: {<W: int>}>}, D: int>}> };").unwrap();
         let f1 = Nfd::parse(&schema, "R:[A:B:C, A:D -> A:B:E:W]").unwrap();
         let engine = Engine::new(&schema, &[f1]).unwrap();
         let strong = Nfd::parse(&schema, "R:[A:B, A:B:C -> A:B:E:W]").unwrap();
@@ -877,8 +865,7 @@ mod tests {
         assert!(strict.implies(&goal).unwrap());
 
         // Pessimistic empty-set regime: refused.
-        let pess =
-            Engine::with_policy(&schema, &sigma, EmptySetPolicy::pessimistic()).unwrap();
+        let pess = Engine::with_policy(&schema, &sigma, EmptySetPolicy::pessimistic()).unwrap();
         assert!(!pess.implies(&goal).unwrap());
 
         // Declaring B non-empty restores the inference.
@@ -901,8 +888,7 @@ mod tests {
         let strict = Engine::new(&schema, &sigma).unwrap();
         assert!(strict.implies(&goal).unwrap());
 
-        let pess =
-            Engine::with_policy(&schema, &sigma, EmptySetPolicy::pessimistic()).unwrap();
+        let pess = Engine::with_policy(&schema, &sigma, EmptySetPolicy::pessimistic()).unwrap();
         assert!(!pess.implies(&goal).unwrap());
 
         let ann = Engine::with_policy(
@@ -919,10 +905,16 @@ mod tests {
         let schema = Schema::parse("R : {<A: int, B: int>}; S : {<X: int, Y: int>};").unwrap();
         let sigma = parse_set(&schema, "R:[A -> B]; S:[X -> Y];").unwrap();
         let engine = Engine::new(&schema, &sigma).unwrap();
-        assert!(engine.implies(&Nfd::parse(&schema, "R:[A -> B]").unwrap()).unwrap());
-        assert!(engine.implies(&Nfd::parse(&schema, "S:[X -> Y]").unwrap()).unwrap());
+        assert!(engine
+            .implies(&Nfd::parse(&schema, "R:[A -> B]").unwrap())
+            .unwrap());
+        assert!(engine
+            .implies(&Nfd::parse(&schema, "S:[X -> Y]").unwrap())
+            .unwrap());
         // Dependencies do not leak across relations.
-        assert!(!engine.implies(&Nfd::parse(&schema, "S:[Y -> X]").unwrap()).unwrap());
+        assert!(!engine
+            .implies(&Nfd::parse(&schema, "S:[Y -> X]").unwrap())
+            .unwrap());
     }
 
     #[test]
@@ -940,19 +932,59 @@ mod tests {
         let schema = Schema::parse("R : {<A: int, B: int, C: int, D: int>};").unwrap();
         let sigma = parse_set(&schema, "R:[A -> B]; R:[B -> C];").unwrap();
         let engine = Engine::new(&schema, &sigma).unwrap();
-        assert!(engine.implies(&Nfd::parse(&schema, "R:[A -> C]").unwrap()).unwrap());
-        assert!(engine.implies(&Nfd::parse(&schema, "R:[A, D -> C]").unwrap()).unwrap());
-        assert!(!engine.implies(&Nfd::parse(&schema, "R:[B -> A]").unwrap()).unwrap());
-        assert!(!engine.implies(&Nfd::parse(&schema, "R:[A -> D]").unwrap()).unwrap());
+        assert!(engine
+            .implies(&Nfd::parse(&schema, "R:[A -> C]").unwrap())
+            .unwrap());
+        assert!(engine
+            .implies(&Nfd::parse(&schema, "R:[A, D -> C]").unwrap())
+            .unwrap());
+        assert!(!engine
+            .implies(&Nfd::parse(&schema, "R:[B -> A]").unwrap())
+            .unwrap());
+        assert!(!engine
+            .implies(&Nfd::parse(&schema, "R:[A -> D]").unwrap())
+            .unwrap());
     }
 
+    /// Engines built over shared pre-compiled tables answer exactly like
+    /// freshly built ones.
     #[test]
-    fn subset_helper() {
-        assert!(subset(&[], &[1, 2]));
-        assert!(subset(&[1], &[1, 2]));
-        assert!(subset(&[1, 2], &[1, 2]));
-        assert!(!subset(&[3], &[1, 2]));
-        assert!(!subset(&[1, 3], &[1, 2]));
-        assert!(!subset(&[1], &[]));
+    fn with_tables_matches_fresh_build() {
+        let (schema, sigma) = worked_example();
+        let tables = SchemaTables::new(&schema).unwrap();
+        let fresh = Engine::new(&schema, &sigma).unwrap();
+        let shared =
+            Engine::with_tables(&schema, tables, &sigma, EmptySetPolicy::Forbidden, 100_000)
+                .unwrap();
+        for goal in ["R:A:[B -> E]", "R:[D -> A]", "R:A:[E -> E:G]"] {
+            let nfd = Nfd::parse(&schema, goal).unwrap();
+            assert_eq!(
+                fresh.implies(&nfd).unwrap(),
+                shared.implies(&nfd).unwrap(),
+                "{goal}"
+            );
+        }
+        assert_eq!(fresh.pool_size(), shared.pool_size());
+    }
+
+    /// The compiled `need_x` gate: under the pessimistic policy, chaining
+    /// through an undefined intermediate is only allowed when the query's
+    /// X contains it.
+    #[test]
+    fn need_x_gate_matches_policy() {
+        let schema = Schema::parse("R : { <A: int, B: {<C: int>}, D: int> };").unwrap();
+        let sigma = parse_set(&schema, "R:[A -> B:C]; R:[B:C -> D];").unwrap();
+        let pess = Engine::with_policy(&schema, &sigma, EmptySetPolicy::pessimistic()).unwrap();
+        // A → D blocked (intermediate B:C undefined)…
+        assert!(!pess
+            .implies(&Nfd::parse(&schema, "R:[A -> D]").unwrap())
+            .unwrap());
+        // …but B:C → D fine when B:C is in X itself.
+        assert!(pess
+            .implies(&Nfd::parse(&schema, "R:[B:C -> D]").unwrap())
+            .unwrap());
+        assert!(pess
+            .implies(&Nfd::parse(&schema, "R:[A, B:C -> D]").unwrap())
+            .unwrap());
     }
 }

@@ -43,7 +43,10 @@ impl fmt::Display for CoreError {
             CoreError::Construct(m) => write!(f, "construction error: {m}"),
             CoreError::Rule(m) => write!(f, "rule not applicable: {m}"),
             CoreError::WrongRelation { expected, found } => {
-                write!(f, "engine is for relation `{expected}`, got NFD over `{found}`")
+                write!(
+                    f,
+                    "engine is for relation `{expected}`, got NFD over `{found}`"
+                )
             }
         }
     }
@@ -69,7 +72,9 @@ mod tests {
 
     #[test]
     fn display() {
-        assert!(CoreError::EmptyComponentPath.to_string().contains("at least one label"));
+        assert!(CoreError::EmptyComponentPath
+            .to_string()
+            .contains("at least one label"));
         let e = CoreError::WrongRelation {
             expected: "R".into(),
             found: "S".into(),

@@ -22,8 +22,10 @@ use crate::nfd::Nfd;
 use crate::satisfy::Violation;
 use nfd_model::{Instance, RecordValue, Schema, Value};
 use nfd_path::nav::for_each_assignment;
+use nfd_path::table::{PathId, PathSet, PathTable};
 use nfd_path::PathTrie;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Grouping state for one NFD.
 struct NfdIndex {
@@ -58,6 +60,11 @@ struct NfdIndex {
 /// ```
 pub struct ConstraintIndex {
     relation: nfd_model::Label,
+    /// The relation's compiled path table, shared by all per-NFD state.
+    /// Simple forms are interned against it at build time, which lets
+    /// syntactically different NFDs with the same compiled `(LHS, RHS)`
+    /// share one grouping table instead of maintaining duplicates.
+    table: Arc<PathTable>,
     indexes: Vec<NfdIndex>,
     tuples: usize,
 }
@@ -73,9 +80,15 @@ impl ConstraintIndex {
         sigma: &[Nfd],
     ) -> Result<ConstraintIndex, CoreError> {
         let Some(first) = sigma.first() else {
-            return Err(CoreError::Rule("ConstraintIndex needs at least one NFD".into()));
+            return Err(CoreError::Rule(
+                "ConstraintIndex needs at least one NFD".into(),
+            ));
         };
         let relation = first.base.relation;
+        let table = Arc::new(
+            PathTable::for_relation(schema, relation).map_err(|e| CoreError::Nav(e.to_string()))?,
+        );
+        let mut compiled_seen: HashSet<(PathSet, PathId)> = HashSet::new();
         let mut indexes = Vec::with_capacity(sigma.len());
         for nfd in sigma {
             nfd.validate(schema)?;
@@ -86,6 +99,22 @@ impl ConstraintIndex {
                 });
             }
             let simple = crate::simple::to_simple(nfd);
+            // Intern the simple form against the shared table. Two NFDs
+            // whose simple forms compile to the same (LHS set, RHS id) —
+            // e.g. a local constraint and its pushed-out global spelling —
+            // have identical satisfaction semantics, so the second one can
+            // reuse the first one's grouping table.
+            let lhs_ids = simple
+                .lhs()
+                .iter()
+                .map(|p| table.id_of(p).expect("validated simple-form path"));
+            let compiled_lhs = PathSet::from_ids(table.words(), lhs_ids);
+            let compiled_rhs = table
+                .id_of(&simple.rhs)
+                .expect("validated simple-form path");
+            if !compiled_seen.insert((compiled_lhs, compiled_rhs)) {
+                continue;
+            }
             let trie = PathTrie::new(simple.component_paths().cloned());
             let lhs_idx = simple
                 .lhs()
@@ -103,10 +132,14 @@ impl ConstraintIndex {
         }
         let mut index = ConstraintIndex {
             relation,
+            table,
             indexes,
             tuples: 0,
         };
-        for elem in instance.relation(relation).map_err(|e| CoreError::Nav(e.to_string()))?.elems()
+        for elem in instance
+            .relation(relation)
+            .map_err(|e| CoreError::Nav(e.to_string()))?
+            .elems()
         {
             let rec = elem
                 .as_record()
@@ -114,7 +147,12 @@ impl ConstraintIndex {
             if let Some(v) = index.insert(rec)? {
                 return Err(CoreError::Nav(format!(
                     "instance violates {} before indexing: {v}",
-                    index.indexes.iter().map(|i| i.nfd.to_string()).collect::<Vec<_>>().join("; ")
+                    index
+                        .indexes
+                        .iter()
+                        .map(|i| i.nfd.to_string())
+                        .collect::<Vec<_>>()
+                        .join("; ")
                 )));
             }
         }
@@ -124,6 +162,17 @@ impl ConstraintIndex {
     /// The relation this index maintains.
     pub fn relation(&self) -> nfd_model::Label {
         self.relation
+    }
+
+    /// The relation's compiled path table the index was built against.
+    pub fn table(&self) -> &Arc<PathTable> {
+        &self.table
+    }
+
+    /// Number of *distinct* compiled dependencies maintained. Smaller than
+    /// `sigma.len()` when two NFDs compile to the same simple form.
+    pub fn distinct_deps(&self) -> usize {
+        self.indexes.len()
     }
 
     /// Number of tuples currently accounted for.
@@ -157,19 +206,15 @@ impl ConstraintIndex {
                 let rhs = a.value(idx.rhs_idx).clone();
                 if let Some((existing, _)) = idx.groups.get(&key) {
                     if *existing != rhs {
-                        conflict = Some(Violation::new(
-                            key.clone(),
-                            (existing.clone(), rhs.clone()),
-                        ));
+                        conflict =
+                            Some(Violation::new(key.clone(), (existing.clone(), rhs.clone())));
                         return;
                     }
                 }
                 match local.get(&key) {
                     Some(existing) if *existing != rhs => {
-                        conflict = Some(Violation::new(
-                            key.clone(),
-                            (existing.clone(), rhs.clone()),
-                        ));
+                        conflict =
+                            Some(Violation::new(key.clone(), (existing.clone(), rhs.clone())));
                         return;
                     }
                     _ => {
@@ -376,6 +421,31 @@ mod tests {
         assert!(index.remove(&t1).is_err());
     }
 
+    /// A local constraint and its pushed-out global spelling compile to
+    /// the same `(LHS set, RHS id)` over the shared table, so the index
+    /// maintains one grouping table for the pair, not two.
+    #[test]
+    fn identical_simple_forms_share_one_grouping_table() {
+        let (schema, _) = course();
+        let sigma = parse_set(
+            &schema,
+            "Course:students:[sid -> grade];
+             Course:[students, students:sid -> students:grade];",
+        )
+        .unwrap();
+        let empty = Instance::parse(&schema, "Course = {};").unwrap();
+        let mut index = ConstraintIndex::build(&schema, &empty, &sigma).unwrap();
+        assert_eq!(index.distinct_deps(), 1, "duplicate simple forms collapse");
+        assert_eq!(index.table().relation(), Label::new("Course"));
+        // The collapsed index still enforces the constraint.
+        let t1 = tuple(
+            &schema,
+            r#"<cnum: "a", time: 1, students: {<sid: 1, age: 20, grade: "A">,
+                                               <sid: 1, age: 20, grade: "B">}>"#,
+        );
+        assert!(index.insert(&t1).unwrap().is_some());
+    }
+
     #[test]
     fn build_rejects_preexisting_violation() {
         let (schema, sigma) = course();
@@ -420,11 +490,8 @@ mod tests {
                 // satisfy Σ?
                 let mut with = accepted.clone();
                 with.push(candidate.clone());
-                let trial = Instance::new(
-                    &schema,
-                    vec![(Label::new("Course"), Value::set(with))],
-                )
-                .unwrap();
+                let trial =
+                    Instance::new(&schema, vec![(Label::new("Course"), Value::set(with))]).unwrap();
                 let ground_truth = satisfy::satisfies_all(&schema, &trial, &sigma).unwrap();
                 let incremental = index.insert(&rec).unwrap().is_none();
                 // Subtlety: set semantics — a candidate identical to an

@@ -50,14 +50,14 @@ pub mod closure;
 pub mod construct;
 pub mod emptyset;
 pub mod engine;
-pub mod incremental;
 pub mod error;
+pub mod incremental;
 pub mod nfd;
 pub mod proof;
 pub mod rules;
 pub mod satisfy;
-pub mod view;
 pub mod simple;
+pub mod view;
 
 pub use emptyset::EmptySetPolicy;
 pub use error::CoreError;

@@ -17,14 +17,13 @@ use crate::error::CoreError;
 use nfd_model::{ModelError, Schema};
 use nfd_path::typing::{base_element_record, resolve_in_record};
 use nfd_path::{Path, RootedPath};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A nested functional dependency `x0:[x1,…,xm-1 → xm]`.
 ///
 /// The LHS is kept sorted and deduplicated, so NFDs compare as the paper
 /// intends (`X` is a *set* of paths).
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Nfd {
     /// The base path `x0 = R y`.
     pub base: RootedPath,
@@ -86,7 +85,9 @@ impl Nfd {
             .find('[')
             .ok_or_else(|| CoreError::Parse(format!("missing `[` in `{text}`")))?;
         if !text.ends_with(']') {
-            return Err(CoreError::Parse(format!("missing trailing `]` in `{text}`")));
+            return Err(CoreError::Parse(format!(
+                "missing trailing `]` in `{text}`"
+            )));
         }
         let base_text = text[..open].trim().trim_end_matches(':').trim();
         let base = RootedPath::parse(base_text)
@@ -217,7 +218,11 @@ mod tests {
             "Course:[time, students:sid -> cnum]",
         ] {
             let nfd = Nfd::parse(&s, text).unwrap();
-            assert_eq!(Nfd::parse(&s, &nfd.to_string()).unwrap(), nfd, "roundtrip {text}");
+            assert_eq!(
+                Nfd::parse(&s, &nfd.to_string()).unwrap(),
+                nfd,
+                "roundtrip {text}"
+            );
         }
     }
 
@@ -269,17 +274,33 @@ mod tests {
     #[test]
     fn parse_errors() {
         let s = schema();
-        assert!(matches!(Nfd::parse(&s, "Course cnum -> time"), Err(CoreError::Parse(_))));
-        assert!(matches!(Nfd::parse(&s, "Course:[cnum, time]"), Err(CoreError::Parse(_))));
-        assert!(matches!(Nfd::parse(&s, "Course:[cnum -> ]"), Err(CoreError::Parse(_))));
-        assert!(matches!(Nfd::parse(&s, "Course:[cnum -> time"), Err(CoreError::Parse(_))));
+        assert!(matches!(
+            Nfd::parse(&s, "Course cnum -> time"),
+            Err(CoreError::Parse(_))
+        ));
+        assert!(matches!(
+            Nfd::parse(&s, "Course:[cnum, time]"),
+            Err(CoreError::Parse(_))
+        ));
+        assert!(matches!(
+            Nfd::parse(&s, "Course:[cnum -> ]"),
+            Err(CoreError::Parse(_))
+        ));
+        assert!(matches!(
+            Nfd::parse(&s, "Course:[cnum -> time"),
+            Err(CoreError::Parse(_))
+        ));
     }
 
     #[test]
     fn trivial_detection() {
         let s = schema();
-        assert!(Nfd::parse(&s, "Course:[cnum, time -> time]").unwrap().is_trivial());
-        assert!(!Nfd::parse(&s, "Course:[cnum -> time]").unwrap().is_trivial());
+        assert!(Nfd::parse(&s, "Course:[cnum, time -> time]")
+            .unwrap()
+            .is_trivial());
+        assert!(!Nfd::parse(&s, "Course:[cnum -> time]")
+            .unwrap()
+            .is_trivial());
     }
 
     #[test]

@@ -115,7 +115,7 @@ impl<'e, 's> Builder<'e, 's> {
     }
 
     fn path(&self, id: u32) -> Path {
-        self.rel.paths[id as usize].clone()
+        self.rel.table.path(id).clone()
     }
 
     fn base(&self) -> nfd_path::RootedPath {
@@ -137,7 +137,7 @@ impl<'e, 's> Builder<'e, 's> {
             return Ok(s);
         }
         let dep = self.rel.deps[di].clone();
-        let conclusion = self.nfd_of(&dep.lhs, dep.rhs);
+        let conclusion = self.nfd_of(&dep.lhs.to_vec(), dep.rhs);
         let step = match dep.prov {
             Prov::Given(i) => {
                 let original = self.engine.sigma[i].clone();
@@ -238,10 +238,8 @@ impl<'e, 's> Builder<'e, 's> {
             return Ok(self.push(goal, Justification::Reflexivity));
         }
         let mut fired = HashMap::new();
-        let reached =
-            self.rel
-                .chain_bounded(x, self.engine.policy(), Some(&mut fired), max);
-        if !reached[p as usize] {
+        let reached = self.rel.chain_bounded(x, Some(&mut fired), max);
+        if !reached.contains(p) {
             return Err(CoreError::Rule(format!(
                 "internal: fact {goal} not derivable during proof reconstruction"
             )));
@@ -269,7 +267,7 @@ impl<'e, 's> Builder<'e, 's> {
         })?;
         let dep = self.rel.deps[di].clone();
         let mut premises = Vec::new();
-        for &q in dep.lhs.iter() {
+        for q in dep.lhs.iter() {
             premises.push(self.fact_from_fired(x, q, fired)?);
         }
         let middle = self.dep_step(di)?;
@@ -308,8 +306,8 @@ pub fn prove(engine: &Engine<'_>, goal: &Nfd) -> Result<Option<Proof>, CoreError
     let (relation, x, rhs) = engine.normalize_goal(goal)?;
     let rel = engine.rel(relation)?;
     let mut fired = HashMap::new();
-    let reached = rel.chain(&x, engine.policy(), Some(&mut fired));
-    if !x.contains(&rhs) && !reached[rhs as usize] {
+    let reached = rel.chain(&x, Some(&mut fired));
+    if !x.contains(&rhs) && !reached.contains(rhs) {
         return Ok(None);
     }
     let mut b = Builder {
@@ -331,7 +329,10 @@ pub fn prove(engine: &Engine<'_>, goal: &Nfd) -> Result<Option<Proof>, CoreError
                 .iter()
                 .filter(|y| {
                     y.is_proper_prefix_of(&cur.rhs)
-                        && cur.lhs().iter().all(|p| p == *y || y.is_proper_prefix_of(p))
+                        && cur
+                            .lhs()
+                            .iter()
+                            .all(|p| p == *y || y.is_proper_prefix_of(p))
                 })
                 .min_by_key(|y| y.len())
                 .cloned();
@@ -428,8 +429,10 @@ pub fn verify(engine: &Engine<'_>, proof: &Proof) -> Result<(), CoreError> {
                         return fail(format!("premise ({}) is not an earlier step", p + 1));
                     }
                 }
-                let prems: Vec<&Nfd> =
-                    premises.iter().map(|&p| &proof.steps[p].conclusion).collect();
+                let prems: Vec<&Nfd> = premises
+                    .iter()
+                    .map(|&p| &proof.steps[p].conclusion)
+                    .collect();
                 if !replays(schema, *rule, &prems, &step.conclusion) {
                     return fail(format!("{rule} does not yield this conclusion"));
                 }
@@ -452,9 +455,11 @@ pub fn verify(engine: &Engine<'_>, proof: &Proof) -> Result<(), CoreError> {
 fn replays(schema: &nfd_model::Schema, rule: Rule, premises: &[&Nfd], conclusion: &Nfd) -> bool {
     match rule {
         Rule::Reflexivity => conclusion.is_trivial(),
-        Rule::Augmentation => premises.len() == 1
-            && rules::augmentation(premises[0], conclusion.lhs().iter().cloned())
-                .is_ok_and(|n| &n == conclusion),
+        Rule::Augmentation => {
+            premises.len() == 1
+                && rules::augmentation(premises[0], conclusion.lhs().iter().cloned())
+                    .is_ok_and(|n| &n == conclusion)
+        }
         Rule::Transitivity => {
             // Try each premise as the middle dependency.
             premises.iter().enumerate().any(|(m, middle)| {
@@ -470,32 +475,40 @@ fn replays(schema: &nfd_model::Schema, rule: Rule, premises: &[&Nfd], conclusion
                 rules::transitivity(&others, middle).is_ok_and(|n| &n == conclusion)
             })
         }
-        Rule::PushIn => premises.len() == 1
-            && (1..=premises[0].base.path.len())
-                .any(|k| rules::push_in(premises[0], k).is_ok_and(|n| &n == conclusion)),
-        Rule::PullOut => premises.len() == 1
-            && premises[0]
-                .lhs()
-                .iter()
-                .any(|y| rules::pull_out(premises[0], y).is_ok_and(|n| &n == conclusion)),
+        Rule::PushIn => {
+            premises.len() == 1
+                && (1..=premises[0].base.path.len())
+                    .any(|k| rules::push_in(premises[0], k).is_ok_and(|n| &n == conclusion))
+        }
+        Rule::PullOut => {
+            premises.len() == 1
+                && premises[0]
+                    .lhs()
+                    .iter()
+                    .any(|y| rules::pull_out(premises[0], y).is_ok_and(|n| &n == conclusion))
+        }
         Rule::Locality => {
             premises.len() == 1 && rules::locality(premises[0]).is_ok_and(|n| &n == conclusion)
         }
-        Rule::FullLocality => premises.len() == 1
-            && premises[0]
-                .rhs
-                .prefixes()
-                .any(|x| rules::full_locality(premises[0], &x).is_ok_and(|n| &n == conclusion)),
+        Rule::FullLocality => {
+            premises.len() == 1
+                && premises[0]
+                    .rhs
+                    .prefixes()
+                    .any(|x| rules::full_locality(premises[0], &x).is_ok_and(|n| &n == conclusion))
+        }
         Rule::Singleton => {
             let x = &conclusion.rhs;
             let prems: Vec<Nfd> = premises.iter().map(|n| (*n).clone()).collect();
             rules::singleton(schema, &prems, x).is_ok_and(|n| &n == conclusion)
         }
-        Rule::Prefix => premises.len() == 1
-            && premises[0]
-                .lhs()
-                .iter()
-                .any(|p| rules::prefix(premises[0], p).is_ok_and(|n| &n == conclusion)),
+        Rule::Prefix => {
+            premises.len() == 1
+                && premises[0]
+                    .lhs()
+                    .iter()
+                    .any(|p| rules::prefix(premises[0], p).is_ok_and(|n| &n == conclusion))
+        }
     }
 }
 
@@ -506,10 +519,9 @@ mod tests {
     use nfd_model::Schema;
 
     fn worked() -> (Schema, Vec<Nfd>) {
-        let schema = Schema::parse(
-            "R : { <A: {<B: {<C: int>}, E: {<F: int, G: int>}>}, D: int> };",
-        )
-        .unwrap();
+        let schema =
+            Schema::parse("R : { <A: {<B: {<C: int>}, E: {<F: int, G: int>}>}, D: int> };")
+                .unwrap();
         let sigma = parse_set(&schema, "R:[A:B:C, D -> A:E:F]; R:A:[B -> E:G];").unwrap();
         (schema, sigma)
     }
@@ -563,9 +575,9 @@ mod tests {
             "R:A:[B -> E]",
         ] {
             let goal = Nfd::parse(&schema, step).unwrap();
-            let proof = prove(&engine, &goal).unwrap().unwrap_or_else(|| {
-                panic!("{step} should have a proof")
-            });
+            let proof = prove(&engine, &goal)
+                .unwrap()
+                .unwrap_or_else(|| panic!("{step} should have a proof"));
             verify(&engine, &proof).unwrap_or_else(|e| panic!("{step}: {e}"));
         }
     }

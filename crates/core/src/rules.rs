@@ -65,13 +65,18 @@ fn rule_err(msg: impl Into<String>) -> CoreError {
 /// **Reflexivity**: if `x ∈ X` then `x0:[X → x]`.
 pub fn reflexivity(base: RootedPath, x_set: Vec<Path>, x: Path) -> Result<Nfd, CoreError> {
     if !x_set.contains(&x) {
-        return Err(rule_err(format!("reflexivity: `{x}` is not in the LHS set")));
+        return Err(rule_err(format!(
+            "reflexivity: `{x}` is not in the LHS set"
+        )));
     }
     Nfd::new(base, x_set, x)
 }
 
 /// **Augmentation**: if `x0:[X → z]` then `x0:[X Y → z]`.
-pub fn augmentation(premise: &Nfd, extra: impl IntoIterator<Item = Path>) -> Result<Nfd, CoreError> {
+pub fn augmentation(
+    premise: &Nfd,
+    extra: impl IntoIterator<Item = Path>,
+) -> Result<Nfd, CoreError> {
     Nfd::new(
         premise.base.clone(),
         premise.lhs().iter().cloned().chain(extra),
@@ -149,7 +154,9 @@ pub fn pull_out(premise: &Nfd, y: &Path) -> Result<Nfd, CoreError> {
         return Err(rule_err("pull-out: y must be non-empty"));
     }
     if !premise.lhs().contains(y) {
-        return Err(rule_err(format!("pull-out: `{y}` is not in the LHS of `{premise}`")));
+        return Err(rule_err(format!(
+            "pull-out: `{y}` is not in the LHS of `{premise}`"
+        )));
     }
     let Some(z) = premise.rhs.strip_prefix(y) else {
         return Err(rule_err(format!(
@@ -158,7 +165,9 @@ pub fn pull_out(premise: &Nfd, y: &Path) -> Result<Nfd, CoreError> {
         )));
     };
     if z.is_empty() {
-        return Err(rule_err("pull-out: RHS equals y, leaving an empty component"));
+        return Err(rule_err(
+            "pull-out: RHS equals y, leaving an empty component",
+        ));
     }
     let mut new_lhs = Vec::new();
     for p in premise.lhs() {
@@ -183,10 +192,7 @@ pub fn locality(premise: &Nfd) -> Result<Nfd, CoreError> {
     let Some(a) = premise.rhs.first() else {
         return Err(rule_err("locality: RHS is empty"));
     };
-    let z = premise
-        .rhs
-        .tail()
-        .expect("rhs non-empty");
+    let z = premise.rhs.tail().expect("rhs non-empty");
     if z.is_empty() {
         return Err(rule_err(format!(
             "locality: RHS `{}` has no labels below `{a}`",
@@ -265,20 +271,16 @@ pub fn singleton(schema: &Schema, premises: &[Nfd], x: &Path) -> Result<Nfd, Cor
     }
     for a in &attrs {
         let wanted_rhs = x.child(*a);
-        let found = premises.iter().any(|p| {
-            &p.base == base && p.lhs() == [x.clone()] && p.rhs == wanted_rhs
-        });
+        let found = premises
+            .iter()
+            .any(|p| &p.base == base && p.lhs() == [x.clone()] && p.rhs == wanted_rhs);
         if !found {
             return Err(rule_err(format!(
                 "singleton: missing premise {base}:[{x} -> {wanted_rhs}]"
             )));
         }
     }
-    Nfd::new(
-        base.clone(),
-        attrs.iter().map(|a| x.child(*a)),
-        x.clone(),
-    )
+    Nfd::new(base.clone(), attrs.iter().map(|a| x.child(*a)), x.clone())
 }
 
 /// **Prefix**: from `x0:[x1:A, x2,…,xk → y]`, where `x1` has at least one
@@ -461,10 +463,7 @@ mod tests {
         // LHS contains A:D (a multi-label path outside A:B's subtree is
         // fine at the A level, but at the A:B level A:D is neither under
         // A:B nor a single label).
-        let s = Schema::parse(
-            "R : { <A: {<B: {<C: int, E: {<W: int>}>}, D: int>}> };",
-        )
-        .unwrap();
+        let s = Schema::parse("R : { <A: {<B: {<C: int, E: {<W: int>}>}, D: int>}> };").unwrap();
         let f1 = nfd(&s, "R:A:[B:C, D -> B:E:W]");
         // At base R:A, localize attribute B: LHS has D (single label, ok).
         let ok = locality(&f1).unwrap();
@@ -546,9 +545,8 @@ mod tests {
         // full-locality applications.
         let nfd1 = nfd(&s, "R:[A:B:C, D -> A:E:F]");
         let apps = one_step_applications(&nfd1);
-        let has = |rule: Rule, text: &str| {
-            apps.iter().any(|(r, n)| *r == rule && n == &nfd(&s, text))
-        };
+        let has =
+            |rule: Rule, text: &str| apps.iter().any(|(r, n)| *r == rule && n == &nfd(&s, text));
         assert!(has(Rule::Prefix, "R:[A:B, D -> A:E:F]"));
         assert!(has(Rule::Locality, "R:A:[B:C -> E:F]"));
         assert!(has(Rule::FullLocality, "R:[A, A:B:C -> A:E:F]"));
@@ -559,9 +557,7 @@ mod tests {
         assert!(apps.iter().any(|(r, _)| *r == Rule::PushIn));
         let simple = crate::simple::to_simple(&local);
         let apps = one_step_applications(&simple);
-        assert!(apps
-            .iter()
-            .any(|(r, n)| *r == Rule::PullOut && n == &local));
+        assert!(apps.iter().any(|(r, n)| *r == Rule::PullOut && n == &local));
     }
 
     #[test]

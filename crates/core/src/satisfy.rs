@@ -197,7 +197,11 @@ pub fn check_all<'a>(
 }
 
 /// Convenience wrapper: does the instance satisfy every NFD in `nfds`?
-pub fn satisfies_all(schema: &Schema, instance: &Instance, nfds: &[Nfd]) -> Result<bool, CoreError> {
+pub fn satisfies_all(
+    schema: &Schema,
+    instance: &Instance,
+    nfds: &[Nfd],
+) -> Result<bool, CoreError> {
     Ok(check_all(schema, instance, nfds)?.is_none())
 }
 
@@ -258,10 +262,7 @@ mod tests {
         assert!(!r.holds);
         let v = r.violation.unwrap();
         assert_eq!(v.lhs_values, vec![Value::int(1001)]);
-        let mut grades = [
-            v.rhs_values.0.clone(),
-            v.rhs_values.1.clone(),
-        ];
+        let mut grades = [v.rhs_values.0.clone(), v.rhs_values.1.clone()];
         grades.sort();
         assert_eq!(grades, [Value::str("A"), Value::str("C")]);
     }
@@ -287,10 +288,9 @@ mod tests {
     /// Figure 1 of the paper: the instance violates R:[B:C → E:F].
     #[test]
     fn figure_1_violation() {
-        let schema = Schema::parse(
-            "R : { <A: int, B: {<C: int, D: int>}, E: {<F: int, G: int>}> };",
-        )
-        .unwrap();
+        let schema =
+            Schema::parse("R : { <A: int, B: {<C: int, D: int>}, E: {<F: int, G: int>}> };")
+                .unwrap();
         let inst = Instance::parse(
             &schema,
             "R = { <A: 1, B: {<C: 1, D: 3>}, E: {<F: 5, G: 6>, <F: 5, G: 7>}>,
@@ -310,10 +310,9 @@ mod tests {
     /// the first line in the table, the NFD is satisfied").
     #[test]
     fn figure_1_first_row_alone_satisfies() {
-        let schema = Schema::parse(
-            "R : { <A: int, B: {<C: int, D: int>}, E: {<F: int, G: int>}> };",
-        )
-        .unwrap();
+        let schema =
+            Schema::parse("R : { <A: int, B: {<C: int, D: int>}, E: {<F: int, G: int>}> };")
+                .unwrap();
         let inst = Instance::parse(
             &schema,
             "R = { <A: 1, B: {<C: 1, D: 3>}, E: {<F: 5, G: 6>, <F: 5, G: 7>}> };",
@@ -327,10 +326,9 @@ mod tests {
     /// within a tuple whenever B is non-empty.
     #[test]
     fn unintuitive_within_tuple_consequence() {
-        let schema = Schema::parse(
-            "R : { <A: int, B: {<C: int, D: int>}, E: {<F: int, G: int>}> };",
-        )
-        .unwrap();
+        let schema =
+            Schema::parse("R : { <A: int, B: {<C: int, D: int>}, E: {<F: int, G: int>}> };")
+                .unwrap();
         // One tuple, one C value, two F values: violated.
         let inst = Instance::parse(
             &schema,
@@ -351,8 +349,7 @@ mod tests {
     /// Example 3.2's instance: satisfies A→B:C and B:C→D but not A→D.
     #[test]
     fn example_3_2_transitivity_failure() {
-        let schema =
-            Schema::parse("R : { <A: int, B: {<C: int>}, D: int, E: int> };").unwrap();
+        let schema = Schema::parse("R : { <A: int, B: {<C: int>}, D: int, E: int> };").unwrap();
         let inst = Instance::parse(
             &schema,
             "R = { <A: 1, B: {}, D: 2, E: 3>,
@@ -408,11 +405,8 @@ mod tests {
         let schema = Schema::parse("R : { <A: {<B: int, C: int>}, D: int> };").unwrap();
         let f1 = Nfd::parse(&schema, "R:[D -> A:B]").unwrap();
         let f2 = Nfd::parse(&schema, "R:[D -> A:C]").unwrap();
-        let two = Instance::parse(
-            &schema,
-            "R = { <A: {<B: 1, C: 1>, <B: 1, C: 2>}, D: 7> };",
-        )
-        .unwrap();
+        let two =
+            Instance::parse(&schema, "R = { <A: {<B: 1, C: 1>, <B: 1, C: 2>}, D: 7> };").unwrap();
         assert!(check(&schema, &two, &f1).unwrap().holds);
         assert!(!check(&schema, &two, &f2).unwrap().holds);
         let single = Instance::parse(&schema, "R = { <A: {<B: 1, C: 1>}, D: 7> };").unwrap();
@@ -434,7 +428,10 @@ mod tests {
         assert_eq!(v.context.len(), 1, "one interior navigation level");
         let shown = v.to_string();
         assert!(shown.contains("within"), "{shown}");
-        assert!(shown.contains("row2"), "context identifies the tuple: {shown}");
+        assert!(
+            shown.contains("row2"),
+            "context identifies the tuple: {shown}"
+        );
         assert!(!shown.contains("row1"), "{shown}");
         // Global NFDs carry no context.
         let g = Nfd::parse(&schema, "R:[B:C -> B:D]").unwrap();
@@ -477,11 +474,8 @@ mod tests {
         )
         .unwrap();
         assert!(check(&schema, &ok, &nfd).unwrap().holds);
-        let bad = Instance::parse(
-            &schema,
-            "R = { <A: {<B: {<C: 1, D: 1>, <C: 1, D: 2>}>}> };",
-        )
-        .unwrap();
+        let bad =
+            Instance::parse(&schema, "R = { <A: {<B: {<C: 1, D: 1>, <C: 1, D: 2>}>}> };").unwrap();
         assert!(!check(&schema, &bad, &nfd).unwrap().holds);
     }
 

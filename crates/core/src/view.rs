@@ -101,9 +101,7 @@ impl View {
         for op in &self.ops {
             v = match op {
                 ViewOp::Unnest { attr } => unnest(&v, *attr).map_err(model_err)?,
-                ViewOp::Nest { attr, grouped } => {
-                    nest(&v, *attr, grouped).map_err(model_err)?
-                }
+                ViewOp::Nest { attr, grouped } => nest(&v, *attr, grouped).map_err(model_err)?,
             };
         }
         Ok(v)
@@ -209,7 +207,10 @@ mod tests {
             }],
         );
         let ty = view.output_type(&schema).unwrap();
-        assert_eq!(ty.to_string(), "{<sid: int, courses: {<cnum: int, grade: int>}>}");
+        assert_eq!(
+            ty.to_string(),
+            "{<sid: int, courses: {<cnum: int, grade: int>}>}"
+        );
 
         let inst = Instance::parse(
             &schema,
@@ -229,11 +230,14 @@ mod tests {
     /// the view.
     #[test]
     fn fd_preservation_under_nest() {
-        let schema = Schema::parse("Enroll : {<sid: int, dept: int, cnum: int, grade: int>};")
-            .unwrap();
+        let schema =
+            Schema::parse("Enroll : {<sid: int, dept: int, cnum: int, grade: int>};").unwrap();
         // Source constraints: sid → dept, and (sid, cnum) → grade.
-        let sigma = parse_set(&schema, "Enroll:[sid -> dept]; Enroll:[sid, cnum -> grade];")
-            .unwrap();
+        let sigma = parse_set(
+            &schema,
+            "Enroll:[sid -> dept]; Enroll:[sid, cnum -> grade];",
+        )
+        .unwrap();
         let view = View::new(
             l("ByStudent"),
             l("Enroll"),
@@ -272,17 +276,22 @@ mod tests {
     /// student; the *other* FDs survive.
     #[test]
     fn fd_preservation_under_unnest() {
-        let schema = Schema::parse(
-            "Course : {<cnum: int, time: int, students: {<sid: int, grade: int>}>};",
-        )
-        .unwrap();
+        let schema =
+            Schema::parse("Course : {<cnum: int, time: int, students: {<sid: int, grade: int>}>};")
+                .unwrap();
         let sigma = parse_set(
             &schema,
             "Course:[cnum -> time]; Course:[cnum -> students];
              Course:students:[sid -> grade];",
         )
         .unwrap();
-        let view = View::new(l("Flat"), l("Course"), vec![ViewOp::Unnest { attr: l("students") }]);
+        let view = View::new(
+            l("Flat"),
+            l("Course"),
+            vec![ViewOp::Unnest {
+                attr: l("students"),
+            }],
+        );
         let ext = view.extend_schema(&schema).unwrap();
         assert_eq!(
             view.output_type(&schema).unwrap().to_string(),
@@ -313,13 +322,14 @@ mod tests {
     /// dropped), mirroring the Section 3.2 phenomena.
     #[test]
     fn unnest_nest_pipeline_loses_empty_sets() {
-        let schema =
-            Schema::parse("Course : {<cnum: int, students: {<sid: int>}>};").unwrap();
+        let schema = Schema::parse("Course : {<cnum: int, students: {<sid: int>}>};").unwrap();
         let view = View::new(
             l("RoundTrip"),
             l("Course"),
             vec![
-                ViewOp::Unnest { attr: l("students") },
+                ViewOp::Unnest {
+                    attr: l("students"),
+                },
                 ViewOp::Nest {
                     attr: l("students"),
                     grouped: vec![l("sid")],

@@ -167,10 +167,7 @@ mod tests {
                         term(0, "s1", "sid"),
                         term(1, "s2", "sid"),
                     )])),
-                    Box::new(Formula::Eq(
-                        term(0, "s1", "grade"),
-                        term(1, "s2", "grade"),
-                    )),
+                    Box::new(Formula::Eq(term(0, "s1", "grade"), term(1, "s2", "grade"))),
                 )),
             )),
         );

@@ -256,6 +256,9 @@ mod tests {
         let other = Schema::parse("S : {<B: int>};").unwrap();
         let inst = Instance::parse(&other, "S = {<B: 1>};").unwrap();
         let f = translate_nfd(&schema, &RootedPath::parse("R").unwrap(), &[], &p("A")).unwrap();
-        assert!(matches!(eval(&inst, &f), Err(EvalError::UnknownRelation(_))));
+        assert!(matches!(
+            eval(&inst, &f),
+            Err(EvalError::UnknownRelation(_))
+        ));
     }
 }

@@ -130,7 +130,10 @@ pub fn translate_nfd(
         let mut parent_name = rn;
         for &label in &inner[..inner.len() - 1] {
             let n = display_name(label);
-            let id = alloc.fresh(n.clone(), SetRef::Proj(parent_id, parent_name.clone(), label));
+            let id = alloc.fresh(
+                n.clone(),
+                SetRef::Proj(parent_id, parent_name.clone(), label),
+            );
             parent_id = id;
             parent_name = n;
         }
@@ -314,13 +317,7 @@ mod tests {
     #[test]
     fn example_2_4_global_dependency() {
         let s = schema();
-        let f = translate_nfd(
-            &s,
-            &rp("Course"),
-            &[p("students:sid")],
-            &p("students:age"),
-        )
-        .unwrap();
+        let f = translate_nfd(&s, &rp("Course"), &[p("students:sid")], &p("students:age")).unwrap();
         assert_eq!(f.quantifier_count(), 4);
         let prefix = f.quantifier_prefix();
         // Ranges: Course, Course, course1.students, course2.students.
@@ -402,13 +399,8 @@ mod tests {
     #[test]
     fn deep_base_path() {
         let s = Schema::parse("R : {<A: {<B: {<C: int, D: int>}>}>};").unwrap();
-        let f = translate_nfd(
-            &s,
-            &RootedPath::parse("R:A:B").unwrap(),
-            &[p("C")],
-            &p("D"),
-        )
-        .unwrap();
+        let f =
+            translate_nfd(&s, &RootedPath::parse("R:A:B").unwrap(), &[p("C")], &p("D")).unwrap();
         // r (single), a (single), b1, b2.
         assert_eq!(f.quantifier_count(), 4);
         let prefix = f.quantifier_prefix();

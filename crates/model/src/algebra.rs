@@ -1,7 +1,7 @@
 //! Nest and unnest: the restructuring operations of the nested relational
 //! algebra.
 //!
-//! The paper's related work (Fischer, Saxton, Thomas & Van Gucht [7])
+//! The paper's related work (Fischer, Saxton, Thomas & Van Gucht \[7\])
 //! studies how nesting and unnesting preserve or destroy functional
 //! dependencies, and its motivation — materialized views over complex
 //! databases — needs exactly these operations. This module implements
@@ -19,7 +19,7 @@
 //! The classical facts are property-tested in this repository:
 //! `unnest(nest(R)) = R` always, while `nest(unnest(R)) = R` only when no
 //! set is empty — and FD preservation across the operations follows the
-//! patterns of [7].
+//! patterns of \[7\].
 
 use crate::error::ModelError;
 use crate::label::Label;
@@ -33,9 +33,7 @@ pub fn unnest_type(ty: &Type, attr: Label) -> Result<Type, ModelError> {
     let rec = ty
         .element_record()
         .ok_or_else(|| ModelError::Malformed("unnest requires a set of records".into()))?;
-    let inner_ty = rec
-        .field_type(attr)
-        .ok_or(ModelError::MissingField(attr))?;
+    let inner_ty = rec.field_type(attr).ok_or(ModelError::MissingField(attr))?;
     let inner_rec = inner_ty.element_record().ok_or_else(|| {
         ModelError::Malformed(format!("attribute `{attr}` is not a set of records"))
     })?;
@@ -120,7 +118,9 @@ pub fn nest_type(ty: &Type, attr: Label, grouped: &[Label]) -> Result<Type, Mode
         }
     }
     if inner.is_empty() {
-        return Err(ModelError::Malformed("nest requires at least one grouped attribute".into()));
+        return Err(ModelError::Malformed(
+            "nest requires at least one grouped attribute".into(),
+        ));
     }
     kept.push(Field {
         label: attr,
@@ -192,11 +192,11 @@ mod tests {
     fn unnest_type_splices_fields() {
         let ty = parse_type("{<a: int, s: {<b: int, c: int>}, d: int>}").unwrap();
         let flat = unnest_type(&ty, l("s")).unwrap();
-        assert_eq!(
-            flat.to_string(),
-            "{<a: int, b: int, c: int, d: int>}"
+        assert_eq!(flat.to_string(), "{<a: int, b: int, c: int, d: int>}");
+        assert!(
+            unnest_type(&ty, l("a")).is_err(),
+            "a is not a set of records"
         );
-        assert!(unnest_type(&ty, l("a")).is_err(), "a is not a set of records");
         assert!(unnest_type(&ty, l("zz")).is_err());
     }
 
@@ -291,10 +291,8 @@ mod tests {
     #[test]
     fn deep_unnest() {
         // Unnesting at depth: unnest s, then t within the result.
-        let v = parse_value(
-            "{<a: 1, s: {<b: 1, t: {<c: 1>, <c: 2>}>, <b: 2, t: {<c: 3>}>}>}",
-        )
-        .unwrap();
+        let v =
+            parse_value("{<a: 1, s: {<b: 1, t: {<c: 1>, <c: 2>}>, <b: 2, t: {<c: 3>}>}>}").unwrap();
         let once = unnest(&v, l("s")).unwrap();
         let twice = unnest(&once, l("t")).unwrap();
         assert_eq!(

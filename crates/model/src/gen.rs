@@ -63,7 +63,8 @@ impl Generator {
                 let n = if self.cfg.empty_prob > 0.0 && self.rng.gen_bool(self.cfg.empty_prob) {
                     0
                 } else {
-                    self.rng.gen_range(self.cfg.min_set..=self.cfg.max_set.max(self.cfg.min_set))
+                    self.rng
+                        .gen_range(self.cfg.min_set..=self.cfg.max_set.max(self.cfg.min_set))
                 };
                 let mut s = SetValue::empty();
                 for _ in 0..n {
@@ -120,10 +121,7 @@ mod tests {
     use super::*;
 
     fn schema() -> Schema {
-        Schema::parse(
-            "R : { <A: int, B: {<C: int, D: string>}, E: {<F: bool>}> };",
-        )
-        .unwrap()
+        Schema::parse("R : { <A: int, B: {<C: int, D: string>}, E: {<F: bool>}> };").unwrap()
     }
 
     #[test]
@@ -190,7 +188,11 @@ mod tests {
         );
         let i = g.instance(&s);
         for e in i.relation(crate::label::Label::new("R")).unwrap().elems() {
-            let v = e.as_record().unwrap().get(crate::label::Label::new("A")).unwrap();
+            let v = e
+                .as_record()
+                .unwrap()
+                .get(crate::label::Label::new("A"))
+                .unwrap();
             match v {
                 Value::Base(crate::value::BaseValue::Int(n)) => assert!((0..2).contains(n)),
                 other => panic!("unexpected {other:?}"),

@@ -7,11 +7,10 @@ use crate::error::ModelError;
 use crate::label::Label;
 use crate::schema::Schema;
 use crate::value::{SetValue, Value};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A database instance: one set-of-records value per relation of a schema.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Instance {
     relations: Vec<(Label, Value)>,
 }
@@ -144,11 +143,7 @@ mod tests {
     #[test]
     fn missing_relation_rejected() {
         let s = Schema::parse("A : {<x: int>}; B : {<y: int>};").unwrap();
-        let err = Instance::new(
-            &s,
-            vec![(Label::new("A"), Value::set([]))],
-        )
-        .unwrap_err();
+        let err = Instance::new(&s, vec![(Label::new("A"), Value::set([]))]).unwrap_err();
         assert_eq!(err, ModelError::MissingField(Label::new("B")));
     }
 
@@ -169,11 +164,7 @@ mod tests {
     #[test]
     fn empty_set_detection() {
         let s = schema();
-        let i = Instance::parse(
-            &s,
-            r#"Course = { <cnum: "c", time: 1, students: {}> };"#,
-        )
-        .unwrap();
+        let i = Instance::parse(&s, r#"Course = { <cnum: "c", time: 1, students: {}> };"#).unwrap();
         assert!(i.contains_empty_set());
         // An empty relation itself also counts as an empty set.
         let j = Instance::parse(&s, "Course = {};").unwrap();

@@ -10,10 +10,9 @@
 //! used to obtain canonical forms (e.g. sorted record fields, deduplicated
 //! sets) and is stable within a process.
 
-use parking_lot::RwLock;
 use std::fmt;
 use std::num::NonZeroU32;
-use std::sync::OnceLock;
+use std::sync::{OnceLock, RwLock};
 
 /// An interned attribute label or relation name.
 ///
@@ -56,10 +55,15 @@ impl Label {
     /// to equal labels.
     pub fn new(name: &str) -> Label {
         let table = interner();
-        if let Some(&id) = table.read().index.get(name) {
+        if let Some(&id) = table
+            .read()
+            .expect("interner lock poisoned")
+            .index
+            .get(name)
+        {
             return Label(NonZeroU32::new(id + 1).expect("id + 1 is nonzero"));
         }
-        let mut w = table.write();
+        let mut w = table.write().expect("interner lock poisoned");
         // Re-check under the write lock: another thread may have interned it.
         if let Some(&id) = w.index.get(name) {
             return Label(NonZeroU32::new(id + 1).expect("id + 1 is nonzero"));
@@ -73,7 +77,7 @@ impl Label {
 
     /// The label's text.
     pub fn as_str(self) -> &'static str {
-        interner().read().strings[(self.0.get() - 1) as usize]
+        interner().read().expect("interner lock poisoned").strings[(self.0.get() - 1) as usize]
     }
 }
 
@@ -98,28 +102,6 @@ impl From<&str> for Label {
 impl From<&Label> for Label {
     fn from(l: &Label) -> Label {
         *l
-    }
-}
-
-impl serde::Serialize for Label {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_str(self.as_str())
-    }
-}
-
-impl<'de> serde::Deserialize<'de> for Label {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Label, D::Error> {
-        struct V;
-        impl serde::de::Visitor<'_> for V {
-            type Value = Label;
-            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-                f.write_str("a label string")
-            }
-            fn visit_str<E: serde::de::Error>(self, v: &str) -> Result<Label, E> {
-                Ok(Label::new(v))
-            }
-        }
-        d.deserialize_str(V)
     }
 }
 
@@ -169,154 +151,5 @@ mod tests {
             .collect();
         let labels: Vec<Label> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         assert!(labels.windows(2).all(|w| w[0] == w[1]));
-    }
-
-    #[test]
-    fn serde_roundtrip() {
-        let l = Label::new("isbn");
-        let json = serde_json_like(&l);
-        assert_eq!(json, "isbn");
-    }
-
-    // Minimal check that Serialize emits the string; avoids a serde_json dep.
-    fn serde_json_like(l: &Label) -> String {
-        struct Sink(String);
-        impl serde::Serializer for &mut Sink {
-            type Ok = ();
-            type Error = std::fmt::Error;
-            type SerializeSeq = serde::ser::Impossible<(), Self::Error>;
-            type SerializeTuple = serde::ser::Impossible<(), Self::Error>;
-            type SerializeTupleStruct = serde::ser::Impossible<(), Self::Error>;
-            type SerializeTupleVariant = serde::ser::Impossible<(), Self::Error>;
-            type SerializeMap = serde::ser::Impossible<(), Self::Error>;
-            type SerializeStruct = serde::ser::Impossible<(), Self::Error>;
-            type SerializeStructVariant = serde::ser::Impossible<(), Self::Error>;
-            fn serialize_str(self, v: &str) -> Result<(), Self::Error> {
-                self.0.push_str(v);
-                Ok(())
-            }
-            fn serialize_bool(self, _: bool) -> Result<(), Self::Error> {
-                Err(std::fmt::Error)
-            }
-            fn serialize_i8(self, _: i8) -> Result<(), Self::Error> {
-                Err(std::fmt::Error)
-            }
-            fn serialize_i16(self, _: i16) -> Result<(), Self::Error> {
-                Err(std::fmt::Error)
-            }
-            fn serialize_i32(self, _: i32) -> Result<(), Self::Error> {
-                Err(std::fmt::Error)
-            }
-            fn serialize_i64(self, _: i64) -> Result<(), Self::Error> {
-                Err(std::fmt::Error)
-            }
-            fn serialize_u8(self, _: u8) -> Result<(), Self::Error> {
-                Err(std::fmt::Error)
-            }
-            fn serialize_u16(self, _: u16) -> Result<(), Self::Error> {
-                Err(std::fmt::Error)
-            }
-            fn serialize_u32(self, _: u32) -> Result<(), Self::Error> {
-                Err(std::fmt::Error)
-            }
-            fn serialize_u64(self, _: u64) -> Result<(), Self::Error> {
-                Err(std::fmt::Error)
-            }
-            fn serialize_f32(self, _: f32) -> Result<(), Self::Error> {
-                Err(std::fmt::Error)
-            }
-            fn serialize_f64(self, _: f64) -> Result<(), Self::Error> {
-                Err(std::fmt::Error)
-            }
-            fn serialize_char(self, _: char) -> Result<(), Self::Error> {
-                Err(std::fmt::Error)
-            }
-            fn serialize_bytes(self, _: &[u8]) -> Result<(), Self::Error> {
-                Err(std::fmt::Error)
-            }
-            fn serialize_none(self) -> Result<(), Self::Error> {
-                Err(std::fmt::Error)
-            }
-            fn serialize_some<T: serde::Serialize + ?Sized>(
-                self,
-                _: &T,
-            ) -> Result<(), Self::Error> {
-                Err(std::fmt::Error)
-            }
-            fn serialize_unit(self) -> Result<(), Self::Error> {
-                Err(std::fmt::Error)
-            }
-            fn serialize_unit_struct(self, _: &'static str) -> Result<(), Self::Error> {
-                Err(std::fmt::Error)
-            }
-            fn serialize_unit_variant(
-                self,
-                _: &'static str,
-                _: u32,
-                _: &'static str,
-            ) -> Result<(), Self::Error> {
-                Err(std::fmt::Error)
-            }
-            fn serialize_newtype_struct<T: serde::Serialize + ?Sized>(
-                self,
-                _: &'static str,
-                _: &T,
-            ) -> Result<(), Self::Error> {
-                Err(std::fmt::Error)
-            }
-            fn serialize_newtype_variant<T: serde::Serialize + ?Sized>(
-                self,
-                _: &'static str,
-                _: u32,
-                _: &'static str,
-                _: &T,
-            ) -> Result<(), Self::Error> {
-                Err(std::fmt::Error)
-            }
-            fn serialize_seq(self, _: Option<usize>) -> Result<Self::SerializeSeq, Self::Error> {
-                Err(std::fmt::Error)
-            }
-            fn serialize_tuple(self, _: usize) -> Result<Self::SerializeTuple, Self::Error> {
-                Err(std::fmt::Error)
-            }
-            fn serialize_tuple_struct(
-                self,
-                _: &'static str,
-                _: usize,
-            ) -> Result<Self::SerializeTupleStruct, Self::Error> {
-                Err(std::fmt::Error)
-            }
-            fn serialize_tuple_variant(
-                self,
-                _: &'static str,
-                _: u32,
-                _: &'static str,
-                _: usize,
-            ) -> Result<Self::SerializeTupleVariant, Self::Error> {
-                Err(std::fmt::Error)
-            }
-            fn serialize_map(self, _: Option<usize>) -> Result<Self::SerializeMap, Self::Error> {
-                Err(std::fmt::Error)
-            }
-            fn serialize_struct(
-                self,
-                _: &'static str,
-                _: usize,
-            ) -> Result<Self::SerializeStruct, Self::Error> {
-                Err(std::fmt::Error)
-            }
-            fn serialize_struct_variant(
-                self,
-                _: &'static str,
-                _: u32,
-                _: &'static str,
-                _: usize,
-            ) -> Result<Self::SerializeStructVariant, Self::Error> {
-                Err(std::fmt::Error)
-            }
-        }
-        let mut sink = Sink(String::new());
-        serde::Serialize::serialize(l, &mut sink).unwrap();
-        sink.0
     }
 }

@@ -521,7 +521,10 @@ mod tests {
             parse_value("<a: 1, b: {<c: 2>}>").unwrap(),
             Value::record_of(vec![
                 ("a", Value::int(1)),
-                ("b", Value::set([Value::record_of(vec![("c", Value::int(2))])])),
+                (
+                    "b",
+                    Value::set([Value::record_of(vec![("c", Value::int(2))])])
+                ),
             ])
         );
     }

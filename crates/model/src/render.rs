@@ -36,10 +36,7 @@ impl Block {
             s.lines().map(str::to_owned).collect()
         };
         let width = lines.iter().map(|l| l.chars().count()).max().unwrap_or(0);
-        let lines = lines
-            .into_iter()
-            .map(|l| pad(&l, width))
-            .collect();
+        let lines = lines.into_iter().map(|l| pad(&l, width)).collect();
         Block { lines, width }
     }
 
@@ -101,10 +98,7 @@ fn block_of(value: &Value, ty: &Type) -> Block {
             if s.is_empty() {
                 // Render the header over a single "∅" row so empty sets are
                 // visible, as in the Example 3.2 table.
-                let header: Vec<Block> = labels
-                    .iter()
-                    .map(|l| Block::text(l.as_str()))
-                    .collect();
+                let header: Vec<Block> = labels.iter().map(|l| Block::text(l.as_str())).collect();
                 return grid(header, vec![vec![Block::text("∅"); labels.len().max(1)]]);
             }
             let header: Vec<Block> = labels.iter().map(|l| Block::text(l.as_str())).collect();
@@ -132,7 +126,9 @@ fn block_of(value: &Value, ty: &Type) -> Block {
 
 /// Assembles a bordered grid from a header row and data rows.
 fn grid(header: Vec<Block>, rows: Vec<Vec<Block>>) -> Block {
-    let ncols = header.len().max(rows.iter().map(Vec::len).max().unwrap_or(0));
+    let ncols = header
+        .len()
+        .max(rows.iter().map(Vec::len).max().unwrap_or(0));
     let mut col_widths = vec![0usize; ncols];
     for (i, h) in header.iter().enumerate() {
         col_widths[i] = col_widths[i].max(h.width);
@@ -206,11 +202,8 @@ mod tests {
     #[test]
     fn nested_table_contains_subheader() {
         let schema = Schema::parse("R : {<A: int, B: {<C: int, D: int>}>};").unwrap();
-        let inst = Instance::parse(
-            &schema,
-            "R = { <A: 1, B: {<C: 3, D: 4>, <C: 5, D: 6>}> };",
-        )
-        .unwrap();
+        let inst =
+            Instance::parse(&schema, "R = { <A: 1, B: {<C: 3, D: 4>, <C: 5, D: 6>}> };").unwrap();
         let t = render_relation(&schema, &inst, Label::new("R"));
         assert!(t.contains("| C | D |"));
         assert!(t.contains("| 3 | 4 |"));

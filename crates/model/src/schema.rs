@@ -6,7 +6,6 @@
 use crate::error::ModelError;
 use crate::label::Label;
 use crate::types::{Strictness, Type};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A database schema: relation names and their types.
@@ -14,7 +13,7 @@ use std::fmt;
 /// Relations are kept in declaration order. Every relation type must be a
 /// set of records at its outermost level and satisfy the structural
 /// invariants of [`Type::validate`].
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Schema {
     relations: Vec<(Label, Type)>,
 }
@@ -27,7 +26,10 @@ impl Schema {
     /// * each type satisfies constructor alternation and label uniqueness;
     /// * relation names are pairwise distinct **and** distinct from every
     ///   attribute label (paths like `R:A` must parse unambiguously).
-    pub fn new(relations: Vec<(Label, Type)>, strictness: Strictness) -> Result<Schema, ModelError> {
+    pub fn new(
+        relations: Vec<(Label, Type)>,
+        strictness: Strictness,
+    ) -> Result<Schema, ModelError> {
         let mut seen = std::collections::HashSet::new();
         for (name, ty) in &relations {
             if !seen.insert(*name) {

@@ -17,13 +17,12 @@
 
 use crate::error::ModelError;
 use crate::label::Label;
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::fmt;
 
 /// Base (atomic) types. The paper leaves the set of base types abstract but
 /// finite; `int`, `string` and `bool` cover every example in the paper.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum BaseType {
     /// 64-bit signed integers.
     Int,
@@ -44,7 +43,7 @@ impl fmt::Display for BaseType {
 }
 
 /// A labelled record field.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Field {
     /// Field label.
     pub label: Label,
@@ -57,7 +56,7 @@ pub struct Field {
 /// Field order is preserved as declared (it affects rendering only); equality
 /// is order-sensitive, matching the paper's treatment of record types as
 /// label-to-type maps with a fixed presentation.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct RecordType {
     fields: Vec<Field>,
 }
@@ -110,7 +109,7 @@ pub enum Strictness {
 }
 
 /// A type of the nested relational model.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Type {
     /// A base type `b`.
     Base(BaseType),

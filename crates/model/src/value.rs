@@ -9,12 +9,11 @@
 use crate::error::ModelError;
 use crate::label::Label;
 use crate::types::{RecordType, Type};
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
 /// A constant of a base type.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum BaseValue {
     /// An integer constant.
     Int(i64),
@@ -35,7 +34,7 @@ impl fmt::Display for BaseValue {
 }
 
 /// A finite set value in canonical (sorted, deduplicated) form.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SetValue {
     elems: Vec<Value>,
 }
@@ -111,7 +110,7 @@ impl FromIterator<Value> for SetValue {
 ///
 /// Fields are stored sorted by label symbol so that records compare
 /// structurally regardless of construction order.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RecordValue {
     fields: Vec<(Label, Value)>,
 }
@@ -149,7 +148,7 @@ impl RecordValue {
 }
 
 /// A value of the nested relational model.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Value {
     /// A base constant.
     Base(BaseValue),
@@ -235,7 +234,11 @@ impl Value {
         let mismatch = |expected: &Type, found: &Value, at: &str| ModelError::TypeMismatch {
             expected: expected.to_string(),
             found: found.brief(),
-            at: if at.is_empty() { "<root>".into() } else { at.into() },
+            at: if at.is_empty() {
+                "<root>".into()
+            } else {
+                at.into()
+            },
         };
         match (self, ty) {
             (Value::Base(BaseValue::Int(_)), Type::Base(crate::types::BaseType::Int))
@@ -357,14 +360,14 @@ mod tests {
 
     #[test]
     fn empty_set_detection() {
-        let v = Value::record_of(vec![
-            ("A", Value::int(1)),
-            ("B", Value::empty_set()),
-        ]);
+        let v = Value::record_of(vec![("A", Value::int(1)), ("B", Value::empty_set())]);
         assert!(v.contains_empty_set());
         let w = Value::record_of(vec![
             ("A", Value::int(1)),
-            ("B", Value::set([Value::record_of(vec![("C", Value::int(3))])])),
+            (
+                "B",
+                Value::set([Value::record_of(vec![("C", Value::int(3))])]),
+            ),
         ]);
         assert!(!w.contains_empty_set());
     }
@@ -475,7 +478,10 @@ mod tests {
     fn display_forms() {
         let v = Value::record_of(vec![
             ("cnum", Value::str("cis550")),
-            ("students", Value::set([Value::record_of(vec![("sid", Value::int(1))])])),
+            (
+                "students",
+                Value::set([Value::record_of(vec![("sid", Value::int(1))])]),
+            ),
         ]);
         let s = v.to_string();
         assert!(s.contains("cnum: \"cis550\""));
@@ -485,7 +491,10 @@ mod tests {
     #[test]
     fn base_count() {
         let v = Value::set([
-            Value::record_of(vec![("a", Value::int(1)), ("b", Value::set([Value::int(2)]))]),
+            Value::record_of(vec![
+                ("a", Value::int(1)),
+                ("b", Value::set([Value::int(2)])),
+            ]),
             Value::record_of(vec![("a", Value::int(3)), ("b", Value::empty_set())]),
         ]);
         assert_eq!(v.base_count(), 3);

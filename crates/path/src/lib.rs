@@ -16,16 +16,21 @@
 //!   element choices along it);
 //! * [`nav`] — navigation of values along paths: enumeration of base-path
 //!   navigations and of trie-consistent assignments, the semantic engine
-//!   behind both satisfaction checkers.
+//!   behind both satisfaction checkers;
+//! * [`table`] — compiled per-relation path tables: dense [`PathId`]s with
+//!   the prefix/follows relations precomputed as bitset matrices, the
+//!   shared IR of every decision procedure.
 
 #![warn(missing_docs)]
 
 pub mod nav;
 pub mod path;
+pub mod table;
 pub mod trie;
 pub mod typing;
 
 pub use nav::{Assignment, BaseNav};
 pub use path::{Path, RootedPath};
+pub use table::{PathId, PathSet, PathTable, SchemaTables};
 pub use trie::PathTrie;
 pub use typing::PathTypeError;

@@ -284,10 +284,8 @@ mod tests {
     }
 
     fn setup() -> (Schema, Instance) {
-        let schema = Schema::parse(
-            "R : { <A: int, B: {<C: int, D: int>}, E: {<F: int>}> };",
-        )
-        .unwrap();
+        let schema =
+            Schema::parse("R : { <A: int, B: {<C: int, D: int>}, E: {<F: int>}> };").unwrap();
         let inst = Instance::parse(
             &schema,
             "R = { <A: 1,

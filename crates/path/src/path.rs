@@ -8,11 +8,10 @@
 //! required of NFD base paths (Definition 2.3).
 
 use nfd_model::{Label, ModelError};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A path expression `A1:…:Ak` (`k ≥ 0`; `k = 0` is the empty path `ε`).
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Path {
     labels: Box<[Label]>,
 }
@@ -20,7 +19,9 @@ pub struct Path {
 impl Path {
     /// The empty path `ε`.
     pub fn empty() -> Path {
-        Path { labels: Box::new([]) }
+        Path {
+            labels: Box::new([]),
+        }
     }
 
     /// Builds a path from labels.
@@ -45,9 +46,7 @@ impl Path {
         for part in text.split(':') {
             let part = part.trim();
             if part.is_empty()
-                || !part
-                    .chars()
-                    .all(|c| c.is_alphanumeric() || c == '_')
+                || !part.chars().all(|c| c.is_alphanumeric() || c == '_')
                 || part.chars().next().is_some_and(|c| c.is_ascii_digit())
             {
                 return Err(ModelError::Parse {
@@ -91,7 +90,9 @@ impl Path {
         if self.is_empty() {
             None
         } else {
-            Some(Path::new(self.labels[..self.labels.len() - 1].iter().copied()))
+            Some(Path::new(
+                self.labels[..self.labels.len() - 1].iter().copied(),
+            ))
         }
     }
 
@@ -191,7 +192,7 @@ impl fmt::Debug for Path {
 /// A path anchored at a relation: `x0 = R y` (Definition 2.3). The base
 /// paths of NFDs and the elements of `Paths(SC)` (Definition A.1) have this
 /// shape.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RootedPath {
     /// The relation name `R`.
     pub relation: Label,

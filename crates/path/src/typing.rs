@@ -79,12 +79,10 @@ pub fn resolve_in_record<'t>(rec: &'t RecordType, path: &Path) -> Result<&'t Typ
     })?;
     let mut prev = first;
     for &label in labels {
-        let inner = cur
-            .element_record()
-            .ok_or(PathTypeError::NotTraversable {
-                label: prev,
-                path: path.to_string(),
-            })?;
+        let inner = cur.element_record().ok_or(PathTypeError::NotTraversable {
+            label: prev,
+            path: path.to_string(),
+        })?;
         cur = inner.field_type(label).ok_or(PathTypeError::NoSuchLabel {
             label,
             path: path.to_string(),
@@ -157,7 +155,10 @@ pub fn paths_of_record(rec: &RecordType) -> Vec<Path> {
 
 /// `Paths_SC(R)` (Definition A.1): all rooted paths `R:p'` of the schema,
 /// including the bare relation name.
-pub fn paths_of_relation(schema: &Schema, relation: Label) -> Result<Vec<RootedPath>, PathTypeError> {
+pub fn paths_of_relation(
+    schema: &Schema,
+    relation: Label,
+) -> Result<Vec<RootedPath>, PathTypeError> {
     let ty = schema
         .relation_type(relation)
         .map_err(|_| PathTypeError::UnknownRelation(relation))?;
@@ -282,8 +283,15 @@ mod tests {
         assert_eq!(
             ps,
             [
-                "cnum", "time", "students", "books", // depth 1
-                "students:sid", "students:age", "students:grade", "books:isbn", "books:title",
+                "cnum",
+                "time",
+                "students",
+                "books", // depth 1
+                "students:sid",
+                "students:age",
+                "students:grade",
+                "books:isbn",
+                "books:title",
             ]
         );
         let rooted = paths_of_relation(&s, Label::new("Course")).unwrap();

@@ -36,7 +36,8 @@ pub fn union(a: &Fd, b: &Fd) -> Option<Fd> {
 
 /// **Decomposition** (derived): from `X → Y` and `Z ⊆ Y` conclude `X → Z`.
 pub fn decomposition(fd: &Fd, z: &AttrSet) -> Option<Fd> {
-    z.is_subset(&fd.rhs).then(|| Fd::new(fd.lhs.clone(), z.clone()))
+    z.is_subset(&fd.rhs)
+        .then(|| Fd::new(fd.lhs.clone(), z.clone()))
 }
 
 /// **Pseudo-transitivity** (derived): from `X → Y` and `WY → Z` conclude

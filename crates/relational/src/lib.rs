@@ -102,12 +102,7 @@ impl Fd {
 
 impl fmt::Display for Fd {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let join = |s: &AttrSet| {
-            s.iter()
-                .map(|a| a.0.as_str())
-                .collect::<Vec<_>>()
-                .join(",")
-        };
+        let join = |s: &AttrSet| s.iter().map(|a| a.0.as_str()).collect::<Vec<_>>().join(",");
         write!(f, "{} -> {}", join(&self.lhs), join(&self.rhs))
     }
 }

@@ -51,7 +51,10 @@ fn main() {
 
     // Not so for aliases: nothing constrains them.
     let not_derived = Nfd::parse(&schema, "Genes:[gid -> aliases]").unwrap();
-    println!("Σ ⊢ {not_derived}?  {}", engine.implies(&not_derived).unwrap());
+    println!(
+        "Σ ⊢ {not_derived}?  {}",
+        engine.implies(&not_derived).unwrap()
+    );
 
     // A conforming sparse instance: name empty (unknown) or singleton.
     let inst = Instance::parse(
@@ -69,7 +72,11 @@ fn main() {
     for nfd in &sigma {
         println!(
             "  {} {nfd}",
-            if check(&schema, &inst, nfd).unwrap().holds { "✓" } else { "✗" }
+            if check(&schema, &inst, nfd).unwrap().holds {
+                "✓"
+            } else {
+                "✗"
+            }
         );
     }
 
@@ -120,10 +127,25 @@ fn main() {
     )
     .unwrap();
     println!("\nChain (i): goal {safe_goal}");
-    println!("  assuming no empty sets anywhere:   {}", strict.implies(&safe_goal).unwrap());
-    println!("  AceDB-style sparse data:           {} (intermediate follows the conclusion)", sparse.implies(&safe_goal).unwrap());
+    println!(
+        "  assuming no empty sets anywhere:   {}",
+        strict.implies(&safe_goal).unwrap()
+    );
+    println!(
+        "  AceDB-style sparse data:           {} (intermediate follows the conclusion)",
+        sparse.implies(&safe_goal).unwrap()
+    );
     println!("Chain (ii): goal {risky_goal}");
-    println!("  assuming no empty sets anywhere:   {}", strict.implies(&risky_goal).unwrap());
-    println!("  AceDB-style sparse data:           {}", sparse.implies(&risky_goal).unwrap());
-    println!("  with `papers` declared non-empty:  {}", declared.implies(&risky_goal).unwrap());
+    println!(
+        "  assuming no empty sets anywhere:   {}",
+        strict.implies(&risky_goal).unwrap()
+    );
+    println!(
+        "  AceDB-style sparse data:           {}",
+        sparse.implies(&risky_goal).unwrap()
+    );
+    println!(
+        "  with `papers` declared non-empty:  {}",
+        declared.implies(&risky_goal).unwrap()
+    );
 }

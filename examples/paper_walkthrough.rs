@@ -123,12 +123,14 @@ fn section_3_1() {
 
 fn example_3_1() {
     heading("Example 3.1 — locality vs full-locality");
-    let schema =
-        Schema::parse("R : { <A: {<B: {<C: int, E: {<W: int>}>}, D: int>}> };").unwrap();
+    let schema = Schema::parse("R : { <A: {<B: {<C: int, E: {<W: int>}>}, D: int>}> };").unwrap();
     let f1 = Nfd::parse(&schema, "R:[A:B:C, A:D -> A:B:E:W]").unwrap();
     println!("f1 = {f1}");
     let weak = rules::locality(&f1).unwrap();
-    println!("locality       ⇒ {weak} (pushed in: {})", nfd::core::simple::to_simple(&weak));
+    println!(
+        "locality       ⇒ {weak} (pushed in: {})",
+        nfd::core::simple::to_simple(&weak)
+    );
     let strong = rules::full_locality(&f1, &nfd::path::Path::parse("A:B").unwrap()).unwrap();
     println!("full-locality  ⇒ {strong}");
 }
@@ -144,7 +146,13 @@ fn example_3_2() {
     )
     .unwrap();
     println!("{}", render::render_instance(&schema, &inst));
-    for t in ["R:[A -> B:C]", "R:[B:C -> D]", "R:[A -> D]", "R:[B:C -> E]", "R:[B -> E]"] {
+    for t in [
+        "R:[A -> B:C]",
+        "R:[B:C -> D]",
+        "R:[A -> D]",
+        "R:[B:C -> E]",
+        "R:[B -> E]",
+    ] {
         let nfd = Nfd::parse(&schema, t).unwrap();
         println!(
             "  I ⊨ {t} ?  {}",
@@ -161,9 +169,18 @@ fn example_3_2() {
         EmptySetPolicy::non_empty([RootedPath::parse("R:B").unwrap()]),
     )
     .unwrap();
-    println!("  Σ ⊢ R:[A → D]  without empty sets:        {}", strict.implies(&goal).unwrap());
-    println!("  Σ ⊢ R:[A → D]  empty sets, no annotation: {}", pess.implies(&goal).unwrap());
-    println!("  Σ ⊢ R:[A → D]  with `R:B` NON-EMPTY:      {}", ann.implies(&goal).unwrap());
+    println!(
+        "  Σ ⊢ R:[A → D]  without empty sets:        {}",
+        strict.implies(&goal).unwrap()
+    );
+    println!(
+        "  Σ ⊢ R:[A → D]  empty sets, no annotation: {}",
+        pess.implies(&goal).unwrap()
+    );
+    println!(
+        "  Σ ⊢ R:[A → D]  with `R:B` NON-EMPTY:      {}",
+        ann.implies(&goal).unwrap()
+    );
 }
 
 fn appendix(schema: &Schema, sigma_text: &str, x_text: &str, label: &str) {
@@ -196,7 +213,9 @@ fn appendix(schema: &Schema, sigma_text: &str, x_text: &str, label: &str) {
         let rooted = RootedPath::new(base.relation, q.clone());
         if !closure.contains(&rooted) {
             let goal = Nfd::new(base.clone(), x.clone(), q).unwrap();
-            let holds = satisfy::check(schema, &built.instance, &goal).unwrap().holds;
+            let holds = satisfy::check(schema, &built.instance, &goal)
+                .unwrap()
+                .holds;
             println!("  I ⊭ {goal} (as Lemma A.1 demands): {}", !holds);
         }
     }
@@ -220,10 +239,9 @@ fn appendix_a1() {
 
 fn appendix_a2() {
     heading("Appendix A, Example A.2 — deep nesting");
-    let schema = Schema::parse(
-        "R : { <A: {<B: {<C: int, D: int, E: {<F: int, G: int>}>}>}, H: int> };",
-    )
-    .unwrap();
+    let schema =
+        Schema::parse("R : { <A: {<B: {<C: int, D: int, E: {<F: int, G: int>}>}>}, H: int> };")
+            .unwrap();
     appendix(
         &schema,
         "R:[A:B:C -> A:B]; R:[A:B:C -> A:B:E:F]; R:[H -> A:B:D];",

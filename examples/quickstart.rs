@@ -45,14 +45,14 @@ fn main() {
              books: {<isbn: "0-13", title: "Database Systems">}> };"#,
     )
     .expect("instance parses and typechecks");
-    println!("\nInstance:\n{}", nfd::model::render::render_instance(&schema, &inst));
+    println!(
+        "\nInstance:\n{}",
+        nfd::model::render::render_instance(&schema, &inst)
+    );
 
     for nfd in &sigma {
         let report = check(&schema, &inst, nfd).expect("checkable");
-        println!(
-            "  {} {nfd}",
-            if report.holds { "✓" } else { "✗" },
-        );
+        println!("  {} {nfd}", if report.holds { "✓" } else { "✗" },);
         if let Some(v) = report.violation {
             println!("      witness: {v}");
         }
@@ -73,6 +73,10 @@ fn main() {
     let weaker = Nfd::parse(&schema, "Course:[students:sid -> books]").unwrap();
     println!(
         "Does Σ imply {weaker}?  {}",
-        if engine.implies(&weaker).unwrap() { "yes" } else { "no — a student may take many courses" }
+        if engine.implies(&weaker).unwrap() {
+            "yes"
+        } else {
+            "no — a student may take many courses"
+        }
     );
 }

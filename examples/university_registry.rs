@@ -37,7 +37,11 @@ fn main() {
     for nfd in &sigma {
         println!(
             "  {} {nfd}",
-            if nfd.is_local() { "[local] " } else { "[global]" }
+            if nfd.is_local() {
+                "[local] "
+            } else {
+                "[global]"
+            }
         );
     }
 
@@ -91,7 +95,12 @@ fn main() {
                           enrolled: {<sid: 1, age: 25, grade: "A">}>}> };"#,
     )
     .unwrap();
-    report("age drift for sid 1 across terms", &schema, &update2, &sigma);
+    report(
+        "age drift for sid 1 across terms",
+        &schema,
+        &update2,
+        &sigma,
+    );
 
     // --- Update 3: double-booked student within one row (local). --------
     let update3 = Instance::parse(
@@ -104,7 +113,12 @@ fn main() {
                           enrolled: {<sid: 1, age: 20, grade: "B">}>}> };"#,
     )
     .unwrap();
-    report("student 1 in two courses at time 10", &schema, &update3, &sigma);
+    report(
+        "student 1 in two courses at time 10",
+        &schema,
+        &update3,
+        &sigma,
+    );
 
     // --- What does a key determine? The engine answers via closure. -----
     let engine = Engine::new(&schema, &sigma).unwrap();

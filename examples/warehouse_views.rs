@@ -76,13 +76,14 @@ fn main() {
     // database the paper's completeness construction promises.
     if let Some(goal) = must_enforce.first() {
         println!("\nWhy `{goal}` is not guaranteed — a legal source database violating it:");
-        let built =
-            construct::counterexample(&engine, &goal.base, goal.lhs()).unwrap();
+        let built = construct::counterexample(&engine, &goal.base, goal.lhs()).unwrap();
         println!("{}", render::render_instance(&schema, &built.instance));
         let sat_sigma = source_sigma
             .iter()
             .all(|n| satisfy::check(&schema, &built.instance, n).unwrap().holds);
-        let sat_goal = satisfy::check(&schema, &built.instance, goal).unwrap().holds;
+        let sat_goal = satisfy::check(&schema, &built.instance, goal)
+            .unwrap()
+            .holds;
         println!("  satisfies every source constraint: {sat_sigma}");
         println!("  satisfies the view constraint:     {sat_goal}");
     }
@@ -104,10 +105,10 @@ fn main() {
     // Which invariants does the mart inherit? Randomized refutation over
     // Σ-satisfying source databases:
     let candidates = [
-        "LineFacts:[oid -> day]",        // carried: oid still fixes the day
-        "LineFacts:[sku -> price]",      // carried: catalogue pricing survives
-        "LineFacts:[oid -> sku]",        // NOT carried: an order has many lines
-        "LineFacts:[oid, sku -> qty]",   // NOT carried: same sku can repeat? (sets dedup — check!)
+        "LineFacts:[oid -> day]",      // carried: oid still fixes the day
+        "LineFacts:[sku -> price]",    // carried: catalogue pricing survives
+        "LineFacts:[oid -> sku]",      // NOT carried: an order has many lines
+        "LineFacts:[oid, sku -> qty]", // NOT carried: same sku can repeat? (sets dedup — check!)
     ];
     for text in candidates {
         let nfd = Nfd::parse(&ext, text).unwrap();

@@ -8,6 +8,7 @@
 //! ```text
 //! nfdtool check    --schema S --deps D --instance I    # I ⊨ Σ? (witnesses)
 //! nfdtool implies  --schema S --deps D "R:[A -> B]"    # Σ ⊨ σ?
+//! nfdtool implies  --schema S --deps D --goals G       # batch: one session, many σ
 //! nfdtool prove    --schema S --deps D "R:[A -> B]"    # derivation certificate
 //! nfdtool closure  --schema S --deps D --base R:A --lhs B:C,D
 //! nfdtool witness  --schema S --deps D --base R --lhs A   # Appendix A instance
@@ -16,11 +17,16 @@
 //! nfdtool render   --schema S --instance I        # nested tables
 //! ```
 //!
+//! The `implies`, `prove`, `closure` and `keys` subcommands are served by
+//! one compiled [`Session`]; batch mode (`--goals`) amortizes that
+//! compilation over every goal in the file.
+//!
 //! The entry point [`run`] writes to the supplied sink and returns a
 //! process exit code, so the whole CLI is unit-testable.
 
+use crate::session::Session;
 use nfd_core::engine::Engine;
-use nfd_core::{analysis, construct, nfd::parse_set, proof, satisfy, Nfd};
+use nfd_core::{analysis, construct, nfd::parse_set, satisfy, Nfd};
 use nfd_model::{render, Instance, Schema};
 use nfd_path::{Path, RootedPath};
 use std::fmt::Write as _;
@@ -43,12 +49,16 @@ pub fn run(args: &[String], out: &mut String) -> i32 {
 const USAGE: &str = "usage:
   nfdtool check    --schema FILE --deps FILE --instance FILE
   nfdtool implies  --schema FILE --deps FILE [--policy P] NFD
+  nfdtool implies  --schema FILE --deps FILE [--policy P] --goals FILE
   nfdtool prove    --schema FILE --deps FILE [--policy P] NFD
   nfdtool closure  --schema FILE --deps FILE [--policy P] --base PATH [--lhs P1,P2,…]
   nfdtool witness  --schema FILE --deps FILE --base PATH [--lhs P1,P2,…]
   nfdtool keys     --schema FILE --deps FILE --relation NAME
   nfdtool analyze  --schema FILE --deps FILE
   nfdtool render   --schema FILE --instance FILE
+
+  --goals FILE decides every NFD of the (semicolon-separated) file against
+  one compiled session; exit 0 iff all goals are implied.
 
   --policy P controls empty-set reasoning (Section 3.2 of the paper):
      strict            no instance contains an empty set (default; Theorem 3.1)
@@ -64,6 +74,7 @@ struct Opts {
     lhs: Option<String>,
     relation: Option<String>,
     policy: Option<String>,
+    goals: Option<String>,
     positional: Vec<String>,
 }
 
@@ -76,6 +87,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         lhs: None,
         relation: None,
         policy: None,
+        goals: None,
         positional: Vec::new(),
     };
     let mut i = 0;
@@ -94,6 +106,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--lhs" => o.lhs = Some(take(&mut i)?),
             "--relation" => o.relation = Some(take(&mut i)?),
             "--policy" => o.policy = Some(take(&mut i)?),
+            "--goals" => o.goals = Some(take(&mut i)?),
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             other => o.positional.push(other.to_string()),
         }
@@ -173,28 +186,58 @@ fn dispatch(args: &[String], out: &mut String) -> Result<i32, String> {
                     }
                 }
             }
-            let _ = writeln!(out, "{} of {} constraints hold", sigma.len() - failures, sigma.len());
+            let _ = writeln!(
+                out,
+                "{} of {} constraints hold",
+                sigma.len() - failures,
+                sigma.len()
+            );
             Ok(if failures == 0 { 0 } else { 1 })
         }
         "implies" | "prove" => {
             let schema = load_schema(&o)?;
             let sigma = load_deps(&o, &schema)?;
+            let policy = parse_policy(&o)?;
+            let session =
+                Session::with_policy(&schema, &sigma, policy).map_err(|e| e.to_string())?;
+            // Batch mode: one compiled session answers every goal of the
+            // file — the compilation cost is paid once, not per goal.
+            if cmd == "implies" && o.goals.is_some() {
+                let path = o.goals.as_deref().expect("checked is_some");
+                let goals =
+                    parse_set(&schema, &read(path, "goals")?).map_err(|e| format!("goals: {e}"))?;
+                if goals.is_empty() {
+                    return Err(format!("goals file `{path}` contains no NFDs"));
+                }
+                let mut implied = 0usize;
+                for goal in &goals {
+                    let yes = session.implies(goal).map_err(|e| e.to_string())?;
+                    if yes {
+                        implied += 1;
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}  {goal}",
+                        if yes { "implied    " } else { "not implied" }
+                    );
+                }
+                let _ = writeln!(out, "{implied} of {} goals implied", goals.len());
+                return Ok(if implied == goals.len() { 0 } else { 1 });
+            }
             let goal_text = o
                 .positional
                 .first()
-                .ok_or("expected the goal NFD as a positional argument")?;
+                .ok_or("expected the goal NFD as a positional argument (or --goals FILE)")?;
             let goal = Nfd::parse(&schema, goal_text).map_err(|e| format!("goal: {e}"))?;
-            let policy = parse_policy(&o)?;
-            let engine =
-                Engine::with_policy(&schema, &sigma, policy).map_err(|e| e.to_string())?;
             if cmd == "implies" {
-                let yes = engine.implies(&goal).map_err(|e| e.to_string())?;
+                let yes = session.implies(&goal).map_err(|e| e.to_string())?;
                 let _ = writeln!(out, "{}", if yes { "implied" } else { "not implied" });
                 Ok(if yes { 0 } else { 1 })
             } else {
-                match proof::prove(&engine, &goal).map_err(|e| e.to_string())? {
+                match session.prove(&goal).map_err(|e| e.to_string())? {
                     Some(pf) => {
-                        proof::verify(&engine, &pf)
+                        session
+                            .verify(&pf)
                             .map_err(|e| format!("internal: certificate rejected: {e}"))?;
                         let _ = write!(out, "{pf}");
                         Ok(0)
@@ -213,9 +256,9 @@ fn dispatch(args: &[String], out: &mut String) -> Result<i32, String> {
             let base = RootedPath::parse(base_text).map_err(|e| format!("--base: {e}"))?;
             let lhs = parse_lhs(&o)?;
             let policy = parse_policy(&o)?;
-            let engine =
-                Engine::with_policy(&schema, &sigma, policy).map_err(|e| e.to_string())?;
-            let cl = engine.closure(&base, &lhs).map_err(|e| e.to_string())?;
+            let session =
+                Session::with_policy(&schema, &sigma, policy).map_err(|e| e.to_string())?;
+            let cl = session.closure(&base, &lhs).map_err(|e| e.to_string())?;
             for p in &cl {
                 let _ = writeln!(out, "{p}");
             }
@@ -238,7 +281,10 @@ fn dispatch(args: &[String], out: &mut String) -> Result<i32, String> {
             let _ = writeln!(
                 out,
                 "# {base}:[{} -> y] for every y outside the closure below.",
-                lhs.iter().map(Path::to_string).collect::<Vec<_>>().join(", ")
+                lhs.iter()
+                    .map(Path::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
             );
             let _ = writeln!(
                 out,
@@ -258,9 +304,10 @@ fn dispatch(args: &[String], out: &mut String) -> Result<i32, String> {
             let sigma = load_deps(&o, &schema)?;
             let rel_text = o.relation.as_deref().ok_or("--relation is required")?;
             let relation = nfd_model::Label::new(rel_text);
-            let engine = Engine::new(&schema, &sigma).map_err(|e| e.to_string())?;
-            let keys =
-                analysis::candidate_keys(&engine, relation, 4).map_err(|e| e.to_string())?;
+            let session = Session::new(&schema, &sigma).map_err(|e| e.to_string())?;
+            let keys = session
+                .candidate_keys(relation, 4)
+                .map_err(|e| e.to_string())?;
             for k in &keys {
                 let _ = writeln!(
                     out,
@@ -292,7 +339,12 @@ fn dispatch(args: &[String], out: &mut String) -> Result<i32, String> {
                 let _ = writeln!(out, "  {s}");
             }
             let min = analysis::minimize(&schema, &sigma).map_err(|e| e.to_string())?;
-            let _ = writeln!(out, "minimal cover ({} of {} kept):", min.len(), sigma.len());
+            let _ = writeln!(
+                out,
+                "minimal cover ({} of {} kept):",
+                min.len(),
+                sigma.len()
+            );
             for nfd in min {
                 let _ = writeln!(out, "  {nfd};");
             }

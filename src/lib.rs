@@ -38,15 +38,17 @@
 //!     Course:[time, students:sid -> cnum];
 //! ").unwrap();
 //!
-//! // The paper's motivating question: do sid and time determine books?
-//! let engine = Engine::new(&schema, &sigma).unwrap();
-//! let goal = Nfd::parse(&schema, "Course:[time, students:sid -> books]").unwrap();
-//! assert!(engine.implies(&goal).unwrap());
+//! // Compile once, query forever: the paper's motivating question —
+//! // do sid and time determine books?
+//! let session = Session::new(&schema, &sigma).unwrap();
+//! assert!(session.implies_text("Course:[time, students:sid -> books]").unwrap());
+//! assert!(!session.implies_text("Course:[time -> cnum]").unwrap());
 //! ```
 
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod session;
 
 pub use nfd_chase as chase;
 pub use nfd_core as core;
@@ -57,6 +59,7 @@ pub use nfd_relational as relational;
 
 /// The most commonly used items, for `use nfd::prelude::*`.
 pub mod prelude {
+    pub use crate::session::{Chase, Decider, LogicEval, Saturation, Session};
     pub use nfd_core::engine::Engine;
     pub use nfd_core::{check, EmptySetPolicy, Nfd, SatisfyReport, Violation};
     pub use nfd_model::{Instance, Label, Schema, Type, Value};

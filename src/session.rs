@@ -1,0 +1,359 @@
+//! Query sessions and the unified [`Decider`] interface.
+//!
+//! The repository grew three independent decision procedures for
+//! `Σ ⊨ σ`:
+//!
+//! 1. **Saturation** — the eight-rule axiomatic engine of
+//!    [`nfd_core::engine`] (sound and complete, Theorem 3.1);
+//! 2. **Chase** — the nested tableau chase of [`nfd_chase`] (Section 4's
+//!    future work, implemented for the no-empty-sets regime);
+//! 3. **LogicEval** — the Appendix A counterexample construction combined
+//!    with the Section 2.2 logic translation: build the universal witness
+//!    instance for `x0:[X → ·]` and evaluate the translated goal on it.
+//!
+//! [`Decider`] puts the three behind one interface so differential tests
+//! (and curious users) can run them against each other.
+//!
+//! [`Session`] is the amortizing front end: it compiles `(Schema, Σ)`
+//! once — path tables, normalized dependency pool, full saturation — and
+//! then serves unlimited [`implies`](Session::implies) /
+//! [`closure`](Session::closure) / [`check`](Session::check) /
+//! [`prove`](Session::prove) queries against the cached state. Building a
+//! fresh [`Engine`] per query repeats that compilation every time; a
+//! session pays it once (see `crates/bench/benches/session_amortized.rs`
+//! for measurements).
+
+use nfd_core::engine::Engine;
+use nfd_core::proof::{self, Proof};
+use nfd_core::{analysis, construct, satisfy, CoreError, EmptySetPolicy, Nfd, SatisfyReport};
+use nfd_logic::{eval, translate_nfd};
+use nfd_model::{Instance, Label, Schema};
+use nfd_path::table::SchemaTables;
+use nfd_path::{Path, RootedPath};
+
+/// An error from a [`Decider`] — a human-readable description carrying
+/// the name of the procedure that failed.
+#[derive(Debug)]
+pub struct DeciderError {
+    /// Which procedure failed.
+    pub decider: &'static str,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for DeciderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.decider, self.message)
+    }
+}
+
+impl std::error::Error for DeciderError {}
+
+/// A decision procedure for NFD implication: does `Σ ⊨ goal` hold over
+/// `schema` (in the no-empty-sets regime)?
+///
+/// All implementations are sound and complete on their supported inputs,
+/// so any two must agree wherever both apply — a fact the differential
+/// test suite exercises.
+pub trait Decider {
+    /// A short stable name for reports and error messages.
+    fn name(&self) -> &'static str;
+
+    /// Decides `Σ ⊨ goal`.
+    fn implies(&self, schema: &Schema, sigma: &[Nfd], goal: &Nfd) -> Result<bool, DeciderError>;
+}
+
+/// The axiomatic saturation engine (Theorem 3.1).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Saturation;
+
+impl Decider for Saturation {
+    fn name(&self) -> &'static str {
+        "saturation"
+    }
+
+    fn implies(&self, schema: &Schema, sigma: &[Nfd], goal: &Nfd) -> Result<bool, DeciderError> {
+        let err = |e: CoreError| DeciderError {
+            decider: "saturation",
+            message: e.to_string(),
+        };
+        let engine = Engine::new(schema, sigma).map_err(err)?;
+        engine.implies(goal).map_err(err)
+    }
+}
+
+/// The nested tableau chase of [`nfd_chase`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Chase;
+
+impl Decider for Chase {
+    fn name(&self) -> &'static str {
+        "chase"
+    }
+
+    fn implies(&self, schema: &Schema, sigma: &[Nfd], goal: &Nfd) -> Result<bool, DeciderError> {
+        nfd_chase::implies_by_chase(schema, sigma, goal).map_err(|e| DeciderError {
+            decider: "chase",
+            message: e.to_string(),
+        })
+    }
+}
+
+/// The model-theoretic route: build the Appendix A universal witness for
+/// `goal.base:[goal.lhs → ·]` and evaluate the Section 2.2 logic
+/// translation of the goal on it. By Lemma A.1 the witness satisfies Σ
+/// and violates exactly the non-implied goals, so evaluation *is*
+/// decision. Requires infinite base domains (schemas using `bool` are
+/// rejected, as in the construction itself).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LogicEval;
+
+impl Decider for LogicEval {
+    fn name(&self) -> &'static str {
+        "logic-eval"
+    }
+
+    fn implies(&self, schema: &Schema, sigma: &[Nfd], goal: &Nfd) -> Result<bool, DeciderError> {
+        let err = |m: String| DeciderError {
+            decider: "logic-eval",
+            message: m,
+        };
+        let engine = Engine::new(schema, sigma).map_err(|e| err(e.to_string()))?;
+        let built = construct::counterexample(&engine, &goal.base, goal.lhs())
+            .map_err(|e| err(e.to_string()))?;
+        let formula = translate_nfd(schema, &goal.base, goal.lhs(), &goal.rhs)
+            .map_err(|e| err(e.to_string()))?;
+        eval(&built.instance, &formula).map_err(|e| err(e.to_string()))
+    }
+}
+
+/// Every built-in decision procedure, for differential testing.
+pub fn all_deciders() -> Vec<Box<dyn Decider>> {
+    vec![Box::new(Saturation), Box::new(Chase), Box::new(LogicEval)]
+}
+
+/// A compiled `(Schema, Σ)` serving unlimited queries.
+///
+/// Construction interns every path of every relation into dense
+/// [`SchemaTables`], normalizes Σ to simple form and saturates the
+/// per-relation dependency pools — once. Each query afterwards is a
+/// bitset fixed point over the cached state.
+///
+/// ```
+/// use nfd::session::Session;
+/// use nfd_core::Nfd;
+/// use nfd_model::Schema;
+///
+/// let schema = Schema::parse("R : {<A: int, B: int, C: int>};").unwrap();
+/// let sigma = nfd::core::nfd::parse_set(&schema, "R:[A -> B]; R:[B -> C];").unwrap();
+/// let session = Session::new(&schema, &sigma).unwrap();
+/// assert!(session.implies_text("R:[A -> C]").unwrap());
+/// assert!(!session.implies_text("R:[C -> A]").unwrap());
+/// ```
+pub struct Session<'s> {
+    schema: &'s Schema,
+    engine: Engine<'s>,
+}
+
+impl<'s> Session<'s> {
+    /// Compiles a session under [`EmptySetPolicy::Forbidden`] (the
+    /// paper's Theorem 3.1 regime).
+    pub fn new(schema: &'s Schema, sigma: &[Nfd]) -> Result<Session<'s>, CoreError> {
+        Session::with_policy(schema, sigma, EmptySetPolicy::Forbidden)
+    }
+
+    /// Compiles a session under the given empty-set policy
+    /// (Section 3.2).
+    pub fn with_policy(
+        schema: &'s Schema,
+        sigma: &[Nfd],
+        policy: EmptySetPolicy,
+    ) -> Result<Session<'s>, CoreError> {
+        let engine = Engine::with_policy(schema, sigma, policy)?;
+        Ok(Session { schema, engine })
+    }
+
+    /// Re-compiles this session's Σ under a different empty-set policy,
+    /// reusing the already-compiled path tables (schema interning is not
+    /// repeated; only saturation runs again).
+    pub fn reconfigure(&self, policy: EmptySetPolicy) -> Result<Session<'s>, CoreError> {
+        let engine = Engine::with_tables(
+            self.schema,
+            self.engine.tables().clone(),
+            &self.engine.sigma,
+            policy,
+            self.engine.budget(),
+        )?;
+        Ok(Session {
+            schema: self.schema,
+            engine,
+        })
+    }
+
+    /// The schema this session reasons over.
+    pub fn schema(&self) -> &'s Schema {
+        self.schema
+    }
+
+    /// The dependency set Σ the session was compiled from.
+    pub fn sigma(&self) -> &[Nfd] {
+        &self.engine.sigma
+    }
+
+    /// The compiled path tables (shared, cheap to clone).
+    pub fn tables(&self) -> &SchemaTables {
+        self.engine.tables()
+    }
+
+    /// The underlying saturated engine, for APIs that take one directly
+    /// (proof replay, counterexample construction, analyses).
+    pub fn engine(&self) -> &Engine<'s> {
+        &self.engine
+    }
+
+    /// Does Σ imply `goal`? One chained bitset fixed point over the
+    /// cached saturation.
+    pub fn implies(&self, goal: &Nfd) -> Result<bool, CoreError> {
+        self.engine.implies(goal)
+    }
+
+    /// Parses `text` as an NFD over the session schema and decides it.
+    pub fn implies_text(&self, text: &str) -> Result<bool, CoreError> {
+        let goal = Nfd::parse(self.schema, text)?;
+        self.implies(&goal)
+    }
+
+    /// The dependency closure `(base, X, Σ)*` (Definition 3.1).
+    pub fn closure(&self, base: &RootedPath, lhs: &[Path]) -> Result<Vec<RootedPath>, CoreError> {
+        self.engine.closure(base, lhs)
+    }
+
+    /// Checks an instance against every NFD of Σ. The reports are in
+    /// Σ order; `reports[i]` describes `self.sigma()[i]`.
+    pub fn check(&self, instance: &Instance) -> Result<Vec<SatisfyReport>, CoreError> {
+        self.engine
+            .sigma
+            .iter()
+            .map(|nfd| satisfy::check(self.schema, instance, nfd))
+            .collect()
+    }
+
+    /// Produces a replayable derivation certificate for `goal`, or `None`
+    /// when the goal is not implied.
+    pub fn prove(&self, goal: &Nfd) -> Result<Option<Proof>, CoreError> {
+        proof::prove(&self.engine, goal)
+    }
+
+    /// Verifies a certificate against this session's Σ.
+    pub fn verify(&self, pf: &Proof) -> Result<(), CoreError> {
+        proof::verify(&self.engine, pf)
+    }
+
+    /// Candidate keys of `relation` up to `max_size` paths, by closure
+    /// search over the cached saturation.
+    pub fn candidate_keys(
+        &self,
+        relation: Label,
+        max_size: usize,
+    ) -> Result<Vec<Vec<Path>>, CoreError> {
+        analysis::candidate_keys(&self.engine, relation, max_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfd_core::nfd::parse_set;
+
+    fn course() -> (Schema, &'static str) {
+        let schema = Schema::parse(
+            "Course : { <cnum: string, time: int,
+                         students: {<sid: int, age: int, grade: string>},
+                         books: {<isbn: string, title: string>}> };",
+        )
+        .unwrap();
+        let sigma = "Course:[cnum -> time]; Course:[cnum -> students]; Course:[cnum -> books];
+             Course:[books:isbn -> books:title];
+             Course:students:[sid -> grade];
+             Course:[students:sid -> students:age];
+             Course:[time, students:sid -> cnum];";
+        (schema, sigma)
+    }
+
+    #[test]
+    fn session_serves_all_query_kinds() {
+        let (schema, sigma_text) = course();
+        let sigma = parse_set(&schema, sigma_text).unwrap();
+        let s = Session::new(&schema, &sigma).unwrap();
+
+        // implies — the paper's motivating question.
+        assert!(s
+            .implies_text("Course:[time, students:sid -> books]")
+            .unwrap());
+        assert!(!s.implies_text("Course:[time -> cnum]").unwrap());
+
+        // closure.
+        let cl = s
+            .closure(
+                &RootedPath::parse("Course").unwrap(),
+                &[Path::parse("cnum").unwrap()],
+            )
+            .unwrap();
+        assert!(cl.iter().any(|p| p.to_string() == "Course:time"));
+
+        // prove + verify round-trip.
+        let goal = Nfd::parse(&schema, "Course:[time, students:sid -> books]").unwrap();
+        let pf = s.prove(&goal).unwrap().expect("implied goals have proofs");
+        s.verify(&pf).unwrap();
+        assert!(s
+            .prove(&Nfd::parse(&schema, "Course:[time -> cnum]").unwrap())
+            .unwrap()
+            .is_none());
+
+        // check.
+        let inst = Instance::parse(&schema, "Course = {};").unwrap();
+        let reports = s.check(&inst).unwrap();
+        assert_eq!(reports.len(), s.sigma().len());
+        assert!(reports.iter().all(|r| r.holds));
+
+        // keys.
+        let keys = s.candidate_keys(Label::new("Course"), 2).unwrap();
+        assert!(keys
+            .iter()
+            .any(|k| k.len() == 1 && k[0].to_string() == "cnum"));
+    }
+
+    #[test]
+    fn reconfigure_reuses_tables() {
+        let schema = Schema::parse("R : {<A: int, B: {<C: int>}>};").unwrap();
+        let sigma = parse_set(&schema, "R:[A -> B:C];").unwrap();
+        let strict = Session::new(&schema, &sigma).unwrap();
+        assert!(strict.implies_text("R:[A -> B:C]").unwrap());
+        let pessimistic = strict.reconfigure(EmptySetPolicy::pessimistic()).unwrap();
+        // Under empty-set pessimism the prefix rule loses its footing for
+        // B, but the given dependency itself still holds.
+        assert!(pessimistic.implies_text("R:[A -> B:C]").unwrap());
+    }
+
+    #[test]
+    fn deciders_agree_on_the_worked_example() {
+        let (schema, sigma_text) = course();
+        let sigma = parse_set(&schema, sigma_text).unwrap();
+        for goal_text in [
+            "Course:[time, students:sid -> books]",
+            "Course:[cnum -> students:age]",
+            "Course:[time -> cnum]",
+            "Course:[books:title -> books:isbn]",
+        ] {
+            let goal = Nfd::parse(&schema, goal_text).unwrap();
+            let verdicts: Vec<(&'static str, bool)> = all_deciders()
+                .iter()
+                .map(|d| (d.name(), d.implies(&schema, &sigma, &goal).unwrap()))
+                .collect();
+            assert!(
+                verdicts.windows(2).all(|w| w[0].1 == w[1].1),
+                "deciders disagree on {goal_text}: {verdicts:?}"
+            );
+        }
+    }
+}

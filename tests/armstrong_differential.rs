@@ -57,7 +57,9 @@ fn engines_agree_on_flat_implication() {
         let n = rng.gen_range(3..=6);
         let (schema, names) = flat_schema(n, seed);
         let relation = schema.relation_names().next().unwrap();
-        let sigma_fd: Vec<Fd> = (0..rng.gen_range(1..=4)).map(|_| random_fd(&mut rng, &names)).collect();
+        let sigma_fd: Vec<Fd> = (0..rng.gen_range(1..=4))
+            .map(|_| random_fd(&mut rng, &names))
+            .collect();
         let sigma_nfd: Vec<Nfd> = sigma_fd
             .iter()
             .flat_map(|fd| to_nfd(&schema, relation, fd))
@@ -89,7 +91,10 @@ fn engines_agree_on_flat_implication() {
             }
         }
     }
-    assert!(implied_count > 100, "only {implied_count} implied goals seen");
+    assert!(
+        implied_count > 100,
+        "only {implied_count} implied goals seen"
+    );
 }
 
 /// The NFD closure of a flat LHS is exactly the attribute closure.
@@ -100,7 +105,9 @@ fn closures_coincide_on_flat_schemas() {
         let n = rng.gen_range(3..=6);
         let (schema, names) = flat_schema(n, seed + 10_000);
         let relation = schema.relation_names().next().unwrap();
-        let sigma_fd: Vec<Fd> = (0..rng.gen_range(1..=4)).map(|_| random_fd(&mut rng, &names)).collect();
+        let sigma_fd: Vec<Fd> = (0..rng.gen_range(1..=4))
+            .map(|_| random_fd(&mut rng, &names))
+            .collect();
         let sigma_nfd: Vec<Nfd> = sigma_fd
             .iter()
             .flat_map(|fd| to_nfd(&schema, relation, fd))
@@ -136,7 +143,9 @@ fn candidate_keys_match() {
         let n = rng.gen_range(3..=5);
         let (schema, names) = flat_schema(n, seed + 20_000);
         let relation = schema.relation_names().next().unwrap();
-        let sigma_fd: Vec<Fd> = (0..rng.gen_range(1..=3)).map(|_| random_fd(&mut rng, &names)).collect();
+        let sigma_fd: Vec<Fd> = (0..rng.gen_range(1..=3))
+            .map(|_| random_fd(&mut rng, &names))
+            .collect();
         let sigma_nfd: Vec<Nfd> = sigma_fd
             .iter()
             .flat_map(|fd| to_nfd(&schema, relation, fd))
@@ -147,8 +156,12 @@ fn candidate_keys_match() {
         let universe: AttrSet = attrs(names.iter().map(String::as_str));
         let mut engine_keys: Vec<AttrSet> = Vec::new();
         for mask in 0u32..(1 << n) {
-            let subset: Vec<&String> =
-                names.iter().enumerate().filter(|(i, _)| mask >> i & 1 == 1).map(|(_, s)| s).collect();
+            let subset: Vec<&String> = names
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, s)| s)
+                .collect();
             let paths: Vec<Path> = subset.iter().map(|s| Path::of([s.as_str()])).collect();
             let cl = engine
                 .closure(&RootedPath::relation_only(relation), &paths)

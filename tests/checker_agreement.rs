@@ -5,8 +5,7 @@
 mod common;
 
 use common::{
-    random_instance_no_empty, random_instance_with_empties, random_nfd, random_schema,
-    SchemaShape,
+    random_instance_no_empty, random_instance_with_empties, random_nfd, random_schema, SchemaShape,
 };
 use nfd::core::check;
 use nfd::logic;

@@ -64,11 +64,27 @@ fn check_accepts_and_rejects() {
     let good = f.file("good.nfdi", GOOD_INSTANCE);
     let bad = f.file("bad.nfdi", BAD_INSTANCE);
 
-    let (code, out) = run(&["check", "--schema", &schema, "--deps", &deps, "--instance", &good]);
+    let (code, out) = run(&[
+        "check",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
+        "--instance",
+        &good,
+    ]);
     assert_eq!(code, 0, "{out}");
     assert!(out.contains("7 of 7 constraints hold"), "{out}");
 
-    let (code, out) = run(&["check", "--schema", &schema, "--deps", &deps, "--instance", &bad]);
+    let (code, out) = run(&[
+        "check",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
+        "--instance",
+        &bad,
+    ]);
     assert_eq!(code, 1, "{out}");
     assert!(out.contains("FAIL"), "{out}");
     assert!(out.contains("witness"), "{out}");
@@ -81,26 +97,79 @@ fn implies_and_prove() {
     let deps = f.file("d.nfdd", COURSE_DEPS);
 
     let (code, out) = run(&[
-        "implies", "--schema", &schema, "--deps", &deps,
+        "implies",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
         "Course:[time, students:sid -> books]",
     ]);
     assert_eq!(code, 0, "{out}");
     assert!(out.contains("implied"), "{out}");
 
     let (code, out) = run(&[
-        "implies", "--schema", &schema, "--deps", &deps,
+        "implies",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
         "Course:[students:sid -> books]",
     ]);
     assert_eq!(code, 1, "{out}");
     assert!(out.contains("not implied"), "{out}");
 
     let (code, out) = run(&[
-        "prove", "--schema", &schema, "--deps", &deps,
+        "prove",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
         "Course:[time, students:sid -> books]",
     ]);
     assert_eq!(code, 0, "{out}");
     assert!(out.contains("Proof of"), "{out}");
     assert!(out.contains("transitivity"), "{out}");
+}
+
+#[test]
+fn implies_batch_mode() {
+    let f = Fixture::new("batch");
+    let schema = f.file("s.nfds", COURSE_SCHEMA);
+    let deps = f.file("d.nfdd", COURSE_DEPS);
+
+    // All implied → exit 0, one verdict line per goal.
+    let all_good = f.file(
+        "good.goals",
+        "Course:[time, students:sid -> books];
+         Course:[books:isbn -> books:title];",
+    );
+    let (code, out) = run(&[
+        "implies", "--schema", &schema, "--deps", &deps, "--goals", &all_good,
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("2 of 2 goals implied"), "{out}");
+
+    // A mixed file → exit 1, with per-goal verdicts.
+    let mixed = f.file(
+        "mixed.goals",
+        "Course:[cnum -> time];
+         Course:[students:sid -> books];
+         Course:[time -> cnum];",
+    );
+    let (code, out) = run(&[
+        "implies", "--schema", &schema, "--deps", &deps, "--goals", &mixed,
+    ]);
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("1 of 3 goals implied"), "{out}");
+    assert!(out.contains("not implied  Course:[time -> cnum]"), "{out}");
+
+    // Empty goals file is a usage error.
+    let empty = f.file("empty.goals", "");
+    let (code, out) = run(&[
+        "implies", "--schema", &schema, "--deps", &deps, "--goals", &empty,
+    ]);
+    assert_eq!(code, 2, "{out}");
+    assert!(out.contains("no NFDs"), "{out}");
 }
 
 #[test]
@@ -140,7 +209,13 @@ fn keys_and_analyze() {
     let schema = f.file("s.nfds", COURSE_SCHEMA);
     let deps = f.file("d.nfdd", COURSE_DEPS);
     let (code, out) = run(&[
-        "keys", "--schema", &schema, "--deps", &deps, "--relation", "Course",
+        "keys",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
+        "--relation",
+        "Course",
     ]);
     assert_eq!(code, 0, "{out}");
     assert!(out.contains("{cnum}"), "{out}");
@@ -168,23 +243,49 @@ fn policy_flag_switches_regime() {
     let schema = f.file("s.nfds", "R : { <A: int, B: {<C: int>}, D: int> };");
     let deps = f.file("d.nfdd", "R:[A -> B:C]; R:[B:C -> D];");
     // Strict (default): Example 3.2's inference goes through.
-    let (code, out) = run(&["implies", "--schema", &schema, "--deps", &deps, "R:[A -> D]"]);
+    let (code, out) = run(&[
+        "implies",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
+        "R:[A -> D]",
+    ]);
     assert_eq!(code, 0, "{out}");
     // Pessimistic: refused.
     let (code, out) = run(&[
-        "implies", "--schema", &schema, "--deps", &deps, "--policy", "pessimistic",
+        "implies",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
+        "--policy",
+        "pessimistic",
         "R:[A -> D]",
     ]);
     assert_eq!(code, 1, "{out}");
     // Declaring R:B non-empty restores it.
     let (code, out) = run(&[
-        "implies", "--schema", &schema, "--deps", &deps, "--policy", "nonempty:R:B",
+        "implies",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
+        "--policy",
+        "nonempty:R:B",
         "R:[A -> D]",
     ]);
     assert_eq!(code, 0, "{out}");
     // Bad policy string is a usage error.
     let (code, out) = run(&[
-        "implies", "--schema", &schema, "--deps", &deps, "--policy", "maybe", "R:[A -> D]",
+        "implies",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
+        "--policy",
+        "maybe",
+        "R:[A -> D]",
     ]);
     assert_eq!(code, 2);
     assert!(out.contains("--policy"), "{out}");
@@ -199,12 +300,27 @@ fn error_paths() {
     assert_eq!(code, 2);
     assert!(out.contains("--deps is required"), "{out}");
     // Nonexistent file.
-    let (code, out) = run(&["check", "--schema", "/nonexistent/x", "--deps", "/y", "--instance", "/z"]);
+    let (code, out) = run(&[
+        "check",
+        "--schema",
+        "/nonexistent/x",
+        "--deps",
+        "/y",
+        "--instance",
+        "/z",
+    ]);
     assert_eq!(code, 2);
     assert!(out.contains("cannot read"), "{out}");
     // Malformed goal.
     let deps = f.file("d.nfdd", COURSE_DEPS);
-    let (code, out) = run(&["implies", "--schema", &schema, "--deps", &deps, "not an nfd"]);
+    let (code, out) = run(&[
+        "implies",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
+        "not an nfd",
+    ]);
     assert_eq!(code, 2);
     assert!(out.contains("goal:"), "{out}");
 }

@@ -174,5 +174,9 @@ fn empty_lhs_closure_and_construction() {
     }
     // B:C is not constant: the instance must witness that.
     let goal = Nfd::parse(&schema, "R:[ -> B:C]").unwrap();
-    assert!(!satisfy::check(&schema, &built.instance, &goal).unwrap().holds);
+    assert!(
+        !satisfy::check(&schema, &built.instance, &goal)
+            .unwrap()
+            .holds
+    );
 }

@@ -30,7 +30,11 @@ fn example_3_2_instance_breaks_transitivity() {
     let schema = ex32_schema();
     let inst = ex32_instance(&schema);
     assert!(inst.contains_empty_set());
-    let holds = |t: &str| check(&schema, &inst, &Nfd::parse(&schema, t).unwrap()).unwrap().holds;
+    let holds = |t: &str| {
+        check(&schema, &inst, &Nfd::parse(&schema, t).unwrap())
+            .unwrap()
+            .holds
+    };
     assert!(holds("R:[A -> B:C]"), "premise 1");
     assert!(holds("R:[B:C -> D]"), "premise 2");
     assert!(!holds("R:[A -> D]"), "transitivity conclusion fails");
@@ -172,7 +176,10 @@ fn policy_monotonicity() {
             let s = strict.implies(&goal).unwrap();
             let p = pess.implies(&goal).unwrap();
             let f = full_ann.implies(&goal).unwrap();
-            assert!(!p || f, "pessimistic ⊆ fully-annotated (seed {seed}, {goal})");
+            assert!(
+                !p || f,
+                "pessimistic ⊆ fully-annotated (seed {seed}, {goal})"
+            );
             assert!(!f || s, "fully-annotated ⊆ strict (seed {seed}, {goal})");
         }
     }
@@ -184,7 +191,11 @@ fn empty_relation_is_a_model_of_everything() {
     let schema = ex32_schema();
     let inst = Instance::parse(&schema, "R = {};").unwrap();
     for t in ["R:[A -> D]", "R:[ -> A]", "R:[B -> B:C]"] {
-        assert!(check(&schema, &inst, &Nfd::parse(&schema, t).unwrap()).unwrap().holds);
+        assert!(
+            check(&schema, &inst, &Nfd::parse(&schema, t).unwrap())
+                .unwrap()
+                .holds
+        );
     }
 }
 

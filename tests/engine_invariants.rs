@@ -18,9 +18,10 @@ fn invariants_hold_on_random_inputs() {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x1171);
         let sigma = random_sigma(&mut rng, &schema, 3);
         let engine = Engine::new(&schema, &sigma).unwrap();
-        engine.check_invariants().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-        let gated =
-            Engine::with_policy(&schema, &sigma, EmptySetPolicy::pessimistic()).unwrap();
+        engine
+            .check_invariants()
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let gated = Engine::with_policy(&schema, &sigma, EmptySetPolicy::pessimistic()).unwrap();
         gated
             .check_invariants()
             .unwrap_or_else(|e| panic!("seed {seed} (gated): {e}"));
@@ -32,7 +33,10 @@ fn invariants_hold_on_dense_flat_sigma() {
     // An adversarial flat input: a dense web of 2-attribute dependencies
     // drives resolution hard.
     let n = 7usize;
-    let fields = (0..n).map(|i| format!("a{i}: int")).collect::<Vec<_>>().join(", ");
+    let fields = (0..n)
+        .map(|i| format!("a{i}: int"))
+        .collect::<Vec<_>>()
+        .join(", ");
     let schema = Schema::parse(&format!("W : {{<{fields}>}};")).unwrap();
     let mut text = String::new();
     for i in 0..n {
@@ -66,8 +70,7 @@ fn tight_budget_fails_cleanly_generous_budget_succeeds() {
     }
     // A generous budget succeeds and answers the chained goal.
     let engine =
-        Engine::with_policy_and_budget(&schema, &sigma, EmptySetPolicy::Forbidden, 10_000)
-            .unwrap();
+        Engine::with_policy_and_budget(&schema, &sigma, EmptySetPolicy::Forbidden, 10_000).unwrap();
     assert!(engine
         .implies(&Nfd::parse(&schema, "R:[A -> D]").unwrap())
         .unwrap());

@@ -85,14 +85,15 @@ fn exhaustive_single_dependency() {
             // base); goals at R:B are covered through their simple forms,
             // which are base-R goals enumerated separately.
             if goal.base == base_r {
-                let built =
-                    construct::counterexample(&engine, &goal.base, goal.lhs()).unwrap();
+                let built = construct::counterexample(&engine, &goal.base, goal.lhs()).unwrap();
                 assert!(
                     satisfy::satisfies_all(&schema, &built.instance, &sigma).unwrap(),
                     "witness violates Σ for Σ = {{{sigma_member}}}, goal {goal}"
                 );
                 assert!(
-                    !satisfy::check(&schema, &built.instance, goal).unwrap().holds,
+                    !satisfy::check(&schema, &built.instance, goal)
+                        .unwrap()
+                        .holds,
                     "witness fails to violate the refused goal {goal} under {{{sigma_member}}}"
                 );
             }
@@ -124,10 +125,7 @@ fn exhaustive_pairs_engine_vs_chase() {
             for goal in goals.iter().step_by(2) {
                 let by_engine = engine.implies(goal).unwrap();
                 let by_chase = chase::implies_by_chase(&schema, &sigma, goal).unwrap();
-                assert_eq!(
-                    by_engine, by_chase,
-                    "Σ = {{{s1}; {s2}}}, goal {goal}"
-                );
+                assert_eq!(by_engine, by_chase, "Σ = {{{s1}; {s2}}}, goal {goal}");
                 checked += 1;
             }
         }

@@ -105,5 +105,8 @@ fn constant_form_translation() {
     let nfd = Nfd::parse(&schema, "Course:[ -> time]").unwrap();
     let f = nfd.to_formula(&schema).unwrap();
     let shown = f.to_string();
-    assert!(shown.contains("(true → course1.time = course2.time)"), "{shown}");
+    assert!(
+        shown.contains("(true → course1.time = course2.time)"),
+        "{shown}"
+    );
 }

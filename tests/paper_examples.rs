@@ -3,8 +3,8 @@
 mod common;
 
 use common::{course_schema, course_sigma};
-use nfd::core::{check, satisfy, Nfd};
 use nfd::core::engine::Engine;
+use nfd::core::{check, satisfy, Nfd};
 use nfd::model::{render, Instance, Label, Schema};
 
 /// A Course instance satisfying all of Examples 2.1–2.5.
@@ -161,7 +161,13 @@ fn figure_1() {
 
     // The nested renderer reproduces the table's content.
     let table = render::render_relation(&schema, &inst, Label::new("R"));
-    for needle in ["| C | D |", "| F | G |", "| 5 | 6 |", "| 5 | 7 |", "| 3 | 4 |"] {
+    for needle in [
+        "| C | D |",
+        "| F | G |",
+        "| 5 | 6 |",
+        "| 5 | 7 |",
+        "| 3 | 4 |",
+    ] {
         assert!(table.contains(needle), "table missing {needle}:\n{table}");
     }
 }
@@ -198,10 +204,9 @@ fn intro_inference_books() {
 /// school] forces schools not to share course numbers.
 #[test]
 fn schools_do_not_share_course_numbers() {
-    let schema = Schema::parse(
-        "Courses : { <school: string, scourses: {<cnum: string, time: int>}> };",
-    )
-    .unwrap();
+    let schema =
+        Schema::parse("Courses : { <school: string, scourses: {<cnum: string, time: int>}> };")
+            .unwrap();
     let nfd = Nfd::parse(&schema, "Courses:[scourses:cnum -> school]").unwrap();
     let sharing = Instance::parse(
         &schema,

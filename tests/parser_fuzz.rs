@@ -1,85 +1,124 @@
 //! Parser robustness: arbitrary input must produce `Ok` or `Err`, never a
 //! panic, for every textual front end (types, values, schemas, instances,
-//! paths, NFDs, the CLI argument parser).
+//! paths, NFDs, the CLI argument parser). Inputs come from a seeded
+//! deterministic generator, so every failure is reproducible by seed.
 
 use nfd::core::Nfd;
 use nfd::model::parse::{parse_schema, parse_type, parse_value};
 use nfd::model::Schema;
 use nfd::path::{Path, RootedPath};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+/// Printable characters plus the troublemakers: quotes, escapes, brackets,
+/// separators, multi-byte code points.
+const POOL: &[char] = &[
+    'a', 'b', 'z', 'A', 'Z', '0', '9', ' ', '\t', '\n', '"', '\'', '\\', '/', ':', ';', ',', '.',
+    '-', '_', '<', '>', '{', '}', '[', ']', '(', ')', '!', '#', '%', '&', '*', '+', '=', '?', '@',
+    '^', '|', '~', 'é', 'λ', '中', '🦀', '\u{2192}',
+];
 
-    #[test]
-    fn type_parser_never_panics(s in "\\PC{0,60}") {
-        let _ = parse_type(&s);
+fn random_text(rng: &mut StdRng, max_len: usize) -> String {
+    let n = rng.gen_range(0..=max_len);
+    (0..n).map(|_| POOL[rng.gen_range(0..POOL.len())]).collect()
+}
+
+#[test]
+fn type_parser_never_panics() {
+    for seed in 0..512u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let _ = parse_type(&random_text(&mut rng, 60));
     }
+}
 
-    #[test]
-    fn value_parser_never_panics(s in "\\PC{0,60}") {
-        let _ = parse_value(&s);
+#[test]
+fn value_parser_never_panics() {
+    for seed in 0..512u64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1111);
+        let _ = parse_value(&random_text(&mut rng, 60));
     }
+}
 
-    #[test]
-    fn schema_parser_never_panics(s in "\\PC{0,80}") {
-        let _ = parse_schema(&s);
+#[test]
+fn schema_parser_never_panics() {
+    for seed in 0..512u64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x2222);
+        let _ = parse_schema(&random_text(&mut rng, 80));
     }
+}
 
-    #[test]
-    fn path_parser_never_panics(s in "\\PC{0,40}") {
+#[test]
+fn path_parser_never_panics() {
+    for seed in 0..512u64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x3333);
+        let s = random_text(&mut rng, 40);
         let _ = Path::parse(&s);
         let _ = RootedPath::parse(&s);
     }
+}
 
-    #[test]
-    fn nfd_parser_never_panics(s in "\\PC{0,60}") {
-        let _ = Nfd::parse_unchecked(&s);
+#[test]
+fn nfd_parser_never_panics() {
+    for seed in 0..512u64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x4444);
+        let _ = Nfd::parse_unchecked(&random_text(&mut rng, 60));
     }
+}
 
-    /// Structured near-miss inputs: syntactically plausible fragments with
-    /// deliberate mutations exercise the error paths more deeply than
-    /// uniform noise.
-    #[test]
-    fn near_miss_schema_inputs(
-        keyword in prop::sample::select(vec!["int", "in", "string", "str", "bool", "boool"]),
-        open in prop::sample::select(vec!["{<", "<{", "{", "<", ""]),
-        close in prop::sample::select(vec![">}", "}>", "}", ">", ""]),
-        sep in prop::sample::select(vec![":", ";", ",", " "]),
-    ) {
-        let candidate = format!("R {sep} {open}a{sep} {keyword}{close};");
-        let _ = parse_schema(&candidate);
+/// Structured near-miss inputs: syntactically plausible fragments with
+/// deliberate mutations exercise the error paths more deeply than uniform
+/// noise. The full cross-product is small, so enumerate it exhaustively.
+#[test]
+fn near_miss_schema_inputs() {
+    for keyword in ["int", "in", "string", "str", "bool", "boool"] {
+        for open in ["{<", "<{", "{", "<", ""] {
+            for close in [">}", "}>", "}", ">", ""] {
+                for sep in [":", ";", ",", " "] {
+                    let candidate = format!("R {sep} {open}a{sep} {keyword}{close};");
+                    let _ = parse_schema(&candidate);
+                }
+            }
+        }
     }
+}
 
-    #[test]
-    fn near_miss_nfd_inputs(
-        base in prop::sample::select(vec!["R", "R:", ":R", "R:A", ""]),
-        arrow in prop::sample::select(vec!["->", "→", "-", ">", ""]),
-        lhs in prop::sample::select(vec!["A", "A,B", "A:,B", ",", ""]),
-        brackets in prop::sample::select(vec![("[", "]"), ("[", ""), ("", "]"), ("(", ")")]),
-    ) {
-        let candidate = format!("{base}:{}{lhs} {arrow} C{}", brackets.0, brackets.1);
-        let _ = Nfd::parse_unchecked(&candidate);
+#[test]
+fn near_miss_nfd_inputs() {
+    for base in ["R", "R:", ":R", "R:A", ""] {
+        for arrow in ["->", "→", "-", ">", ""] {
+            for lhs in ["A", "A,B", "A:,B", ",", ""] {
+                for brackets in [("[", "]"), ("[", ""), ("", "]"), ("(", ")")] {
+                    let candidate = format!("{base}:{}{lhs} {arrow} C{}", brackets.0, brackets.1);
+                    let _ = Nfd::parse_unchecked(&candidate);
+                }
+            }
+        }
     }
 }
 
 // The instance parser typechecks against a schema; fuzz both sides.
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn instance_parser_never_panics(s in "\\PC{0,80}") {
-        let schema = Schema::parse("R : {<A: int, B: {<C: int>}>};").unwrap();
-        let _ = nfd::model::Instance::parse(&schema, &s);
+#[test]
+fn instance_parser_never_panics() {
+    let schema = Schema::parse("R : {<A: int, B: {<C: int>}>};").unwrap();
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5555);
+        let _ = nfd::model::Instance::parse(&schema, &random_text(&mut rng, 80));
     }
 }
 
 // CLI argument handling survives arbitrary argument vectors.
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn cli_never_panics(args in prop::collection::vec("[ -~]{0,20}", 0..6)) {
+#[test]
+fn cli_never_panics() {
+    for seed in 0..128u64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6666);
+        let args: Vec<String> = (0..rng.gen_range(0..6usize))
+            .map(|_| {
+                let n = rng.gen_range(0..=20usize);
+                (0..n)
+                    .map(|_| (b' ' + rng.gen_range(0..95u8)) as char)
+                    .collect()
+            })
+            .collect();
         let mut out = String::new();
         // Exit code is whatever it is; the property is "no panic".
         let _ = nfd::cli::run(&args, &mut out);

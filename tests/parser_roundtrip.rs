@@ -1,156 +1,217 @@
-//! Property tests: display/parse round-trips for every textual form, via
-//! proptest strategies over the concrete syntaxes.
+//! Property tests: display/parse round-trips for every textual form, driven
+//! by seeded deterministic generators over the concrete syntaxes.
 
 use nfd::core::Nfd;
 use nfd::model::parse::{parse_type, parse_value};
-use nfd::model::{Schema, Value};
+use nfd::model::{Label, Schema, Value};
 use nfd::path::Path;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_ident(rng: &mut StdRng, prefix: &str) -> String {
+    let mut s = String::from(prefix);
+    for _ in 0..rng.gen_range(1..=6usize) {
+        s.push((b'a' + rng.gen_range(0..26u8)) as char);
+    }
+    s
+}
 
 // ---- Value round-trips --------------------------------------------------
 
-fn value_strategy() -> impl Strategy<Value = Value> {
-    let leaf = prop_oneof![
-        any::<i64>().prop_map(Value::int),
-        "[a-zA-Z0-9 _.:-]{0,12}".prop_map(Value::str),
-        any::<bool>().prop_map(Value::bool),
-    ];
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::set),
-            prop::collection::vec(("[a-z][a-z0-9_]{0,6}", inner), 0..4).prop_map(|fields| {
-                // Deduplicate labels to satisfy the record invariant.
-                let mut seen = std::collections::HashSet::new();
-                let fields: Vec<(nfd::model::Label, Value)> = fields
-                    .into_iter()
-                    .filter(|(l, _)| seen.insert(l.clone()))
-                    .map(|(l, v)| (nfd::model::Label::new(&l), v))
+fn random_value(rng: &mut StdRng, depth: usize) -> Value {
+    if depth == 0 || rng.gen_bool(0.45) {
+        return match rng.gen_range(0..3u8) {
+            0 => Value::int(rng.gen_range(0..2_000_000i64) - 1_000_000),
+            1 => {
+                const POOL: &[u8] = b"abcXYZ019 _.:-";
+                let n = rng.gen_range(0..=12usize);
+                let s: String = (0..n)
+                    .map(|_| POOL[rng.gen_range(0..POOL.len())] as char)
                     .collect();
-                Value::record(fields)
-            }),
-        ]
-    })
+                Value::str(s)
+            }
+            _ => Value::bool(rng.gen_bool(0.5)),
+        };
+    }
+    if rng.gen_bool(0.5) {
+        let n = rng.gen_range(0..4usize);
+        Value::set(
+            (0..n)
+                .map(|_| random_value(rng, depth - 1))
+                .collect::<Vec<_>>(),
+        )
+    } else {
+        // Deduplicate labels to satisfy the record invariant.
+        let mut seen = std::collections::HashSet::new();
+        let mut fields = Vec::new();
+        for _ in 0..rng.gen_range(0..4usize) {
+            let l = random_ident(rng, "f");
+            if seen.insert(l.clone()) {
+                fields.push((Label::new(&l), random_value(rng, depth - 1)));
+            }
+        }
+        Value::record(fields)
+    }
 }
 
-proptest! {
-    #[test]
-    fn value_display_parses_back(v in value_strategy()) {
+#[test]
+fn value_display_parses_back() {
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let v = random_value(&mut rng, 3);
         let text = v.to_string();
         let parsed = parse_value(&text).unwrap();
-        prop_assert_eq!(parsed, v);
+        assert_eq!(parsed, v, "seed {seed}: {text}");
     }
+}
 
-    #[test]
-    fn string_escapes_roundtrip(s in "\\PC{0,20}") {
-        let v = Value::str(s.clone());
+#[test]
+fn string_escapes_roundtrip() {
+    const POOL: &[char] = &[
+        'a', 'Z', '7', ' ', '"', '\\', '\n', '\t', 'é', 'λ', '中', '🦀', '\'', '/', '{', '}',
+    ];
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(0..=20usize);
+        let s: String = (0..n).map(|_| POOL[rng.gen_range(0..POOL.len())]).collect();
+        let v = Value::str(s);
         let text = v.to_string();
         // Only valid for strings our lexer can re-read (it supports
         // \" \\ \n \t escapes; Rust's Debug may emit \u{...} for
         // exotic characters).
         if let Ok(parsed) = parse_value(&text) {
-            prop_assert_eq!(parsed, v);
+            assert_eq!(parsed, v, "seed {seed}: {text}");
         }
     }
 }
 
 // ---- Path round-trips ---------------------------------------------------
 
-proptest! {
-    #[test]
-    fn path_display_parses_back(labels in prop::collection::vec("[a-z][a-z0-9_]{0,8}", 1..5)) {
+fn random_labels(rng: &mut StdRng, max_len: usize) -> Vec<String> {
+    (0..rng.gen_range(0..=max_len))
+        .map(|_| random_ident(rng, ""))
+        .collect()
+}
+
+#[test]
+fn path_display_parses_back() {
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut labels = random_labels(&mut rng, 4);
+        labels.push(random_ident(&mut rng, "")); // non-empty
         let path = Path::of(labels.iter().map(String::as_str));
         let text = path.to_string();
-        prop_assert_eq!(Path::parse(&text).unwrap(), path);
+        assert_eq!(Path::parse(&text).unwrap(), path, "seed {seed}");
     }
+}
 
-    /// Prefix/follows relations are consistent with concatenation.
-    #[test]
-    fn prefix_laws(a in prop::collection::vec("[a-z]{1,3}", 0..4),
-                   b in prop::collection::vec("[a-z]{1,3}", 0..4)) {
+/// Prefix/follows relations are consistent with concatenation.
+#[test]
+fn prefix_laws() {
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_labels(&mut rng, 3);
+        let b = random_labels(&mut rng, 3);
         let pa = Path::of(a.iter().map(String::as_str));
         let pb = Path::of(b.iter().map(String::as_str));
         let joined = pa.join(&pb);
-        prop_assert!(pa.is_prefix_of(&joined));
-        prop_assert_eq!(joined.strip_prefix(&pa), Some(pb.clone()));
+        assert!(pa.is_prefix_of(&joined), "seed {seed}");
+        assert_eq!(joined.strip_prefix(&pa), Some(pb.clone()), "seed {seed}");
         if !pb.is_empty() {
-            prop_assert!(pa.is_proper_prefix_of(&joined));
+            assert!(pa.is_proper_prefix_of(&joined), "seed {seed}");
             // p' A follows q iff p' is a proper prefix of q: any one-label
             // extension of a proper prefix follows the longer path.
-            let one_more = pa.child(nfd::model::Label::new("zz"));
-            prop_assert!(one_more.follows(&joined));
+            let one_more = pa.child(Label::new("zz"));
+            assert!(one_more.follows(&joined), "seed {seed}");
         }
-        prop_assert_eq!(pa.common_prefix(&joined), pa);
+        assert_eq!(pa.common_prefix(&joined), pa, "seed {seed}");
     }
 }
 
 // ---- Schema & type round-trips -------------------------------------------
 
-fn type_text_strategy() -> impl Strategy<Value = String> {
-    // Build syntactically valid nested type strings with unique labels.
-    (1u32..1000).prop_flat_map(|tag| {
-        (1usize..4).prop_map(move |n| {
-            let mut fields = Vec::new();
-            for i in 0..n {
-                if i % 2 == 0 {
-                    fields.push(format!("b{tag}_{i}: int"));
-                } else {
-                    fields.push(format!("s{tag}_{i}: {{<c{tag}_{i}: string>}}"));
-                }
-            }
-            format!("{{<{}>}}", fields.join(", "))
-        })
-    })
+/// A syntactically valid nested type string with unique labels.
+fn random_type_text(rng: &mut StdRng) -> String {
+    let tag = rng.gen_range(1..1000u32);
+    let n = rng.gen_range(1..4usize);
+    let mut fields = Vec::new();
+    for i in 0..n {
+        if i % 2 == 0 {
+            fields.push(format!("b{tag}_{i}: int"));
+        } else {
+            fields.push(format!("s{tag}_{i}: {{<c{tag}_{i}: string>}}"));
+        }
+    }
+    format!("{{<{}>}}", fields.join(", "))
 }
 
-proptest! {
-    #[test]
-    fn type_display_parses_back(text in type_text_strategy()) {
+#[test]
+fn type_display_parses_back() {
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let text = random_type_text(&mut rng);
         let ty = parse_type(&text).unwrap();
         let printed = ty.to_string();
-        prop_assert_eq!(parse_type(&printed).unwrap(), ty);
+        assert_eq!(parse_type(&printed).unwrap(), ty, "seed {seed}: {text}");
     }
+}
 
-    #[test]
-    fn schema_display_parses_back(text in type_text_strategy(), tag in 1u32..1000) {
+#[test]
+fn schema_display_parses_back() {
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let text = random_type_text(&mut rng);
+        let tag = rng.gen_range(1..1000u32);
         let src = format!("Rel{tag} : {text};");
         let schema = Schema::parse(&src).unwrap();
         let printed = schema.to_string();
-        prop_assert_eq!(Schema::parse(&printed).unwrap(), schema);
+        assert_eq!(
+            Schema::parse(&printed).unwrap(),
+            schema,
+            "seed {seed}: {src}"
+        );
     }
 }
 
 // ---- NFD round-trips ------------------------------------------------------
 
-proptest! {
-    /// NFDs over the Course schema: display → parse is the identity.
-    #[test]
-    fn nfd_display_parses_back(
-        lhs_pick in prop::collection::vec(0usize..6, 0..3),
-        rhs_pick in 0usize..6,
-        local in any::<bool>(),
-    ) {
-        let schema = Schema::parse(
-            "Course : { <cnum: string, time: int,
-                         students: {<sid: int, age: int, grade: string>},
-                         books: {<isbn: string, title: string>}> };",
-        ).unwrap();
-        let global_paths = ["cnum", "time", "students:sid", "students:age",
-                            "books:isbn", "books:title"];
-        let local_paths = ["sid", "age", "grade", "sid", "age", "grade"];
+/// NFDs over the Course schema: display → parse is the identity.
+#[test]
+fn nfd_display_parses_back() {
+    let schema = Schema::parse(
+        "Course : { <cnum: string, time: int,
+                     students: {<sid: int, age: int, grade: string>},
+                     books: {<isbn: string, title: string>}> };",
+    )
+    .unwrap();
+    let global_paths = [
+        "cnum",
+        "time",
+        "students:sid",
+        "students:age",
+        "books:isbn",
+        "books:title",
+    ];
+    let local_paths = ["sid", "age", "grade", "sid", "age", "grade"];
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let local = rng.gen_bool(0.5);
         let (base, paths): (&str, &[&str]) = if local {
             ("Course:students", &local_paths)
         } else {
             ("Course", &global_paths)
         };
-        let lhs: Vec<Path> = lhs_pick.iter().map(|&i| Path::parse(paths[i]).unwrap()).collect();
-        let rhs = Path::parse(paths[rhs_pick]).unwrap();
-        let nfd = Nfd::new(
-            nfd::path::RootedPath::parse(base).unwrap(),
-            lhs,
-            rhs,
-        ).unwrap();
+        let lhs: Vec<Path> = (0..rng.gen_range(0..3usize))
+            .map(|_| Path::parse(paths[rng.gen_range(0..paths.len())]).unwrap())
+            .collect();
+        let rhs = Path::parse(paths[rng.gen_range(0..paths.len())]).unwrap();
+        let nfd = Nfd::new(nfd::path::RootedPath::parse(base).unwrap(), lhs, rhs).unwrap();
         nfd.validate(&schema).unwrap();
         let printed = nfd.to_string();
-        prop_assert_eq!(Nfd::parse(&schema, &printed).unwrap(), nfd);
+        assert_eq!(
+            Nfd::parse(&schema, &printed).unwrap(),
+            nfd,
+            "seed {seed}: {printed}"
+        );
     }
 }

@@ -1,0 +1,146 @@
+//! The compiled path-table IR against the ground truth it compiles.
+//!
+//! `PathTable` flattens the prefix (Definition 2.2) and follows
+//! (Definition 3.2) relations of `Paths(SC)` into bitset matrices that
+//! every decision procedure now consumes. These properties pin the
+//! matrices to the original `Path`-level predicates on every pair of
+//! paths of random schemas: an error here would silently corrupt every
+//! verdict downstream.
+
+mod common;
+
+use common::{only_relation, random_schema, SchemaShape};
+use nfd::model::Schema;
+use nfd::path::typing::paths_of_record;
+use nfd::path::{PathId, PathTable};
+
+fn check_table(seed: u64, schema: &Schema) {
+    let relation = only_relation(schema);
+    let table = PathTable::for_relation(schema, relation).unwrap();
+    let rec = schema
+        .relation_type(relation)
+        .unwrap()
+        .element_record()
+        .unwrap();
+    let all = paths_of_record(rec);
+    assert_eq!(
+        table.len(),
+        all.len(),
+        "seed {seed}: the table interns exactly Paths(SC)"
+    );
+    for p in &all {
+        let id = table.id_of(p).expect("every schema path is interned");
+        assert_eq!(table.path(id), p, "seed {seed}: id_of/path round-trip");
+    }
+
+    let n = table.len() as PathId;
+    for a in 0..n {
+        let pa = table.path(a);
+        // The parent pointer is the one-label-shorter prefix (None for
+        // single-label paths).
+        let expected_parent =
+            (0..n).find(|&q| table.path(q).len() + 1 == pa.len() && table.path(q).is_prefix_of(pa));
+        assert_eq!(
+            table.parent(a),
+            expected_parent,
+            "seed {seed}: parent of {pa}"
+        );
+        // Ancestors are the proper prefixes, ascending by length.
+        let ancestors = table.ancestors(a);
+        let expected: Vec<PathId> = {
+            let mut v: Vec<PathId> = (0..n)
+                .filter(|&q| table.path(q).is_proper_prefix_of(pa))
+                .collect();
+            v.sort_by_key(|&q| table.path(q).len());
+            v
+        };
+        assert_eq!(ancestors, expected, "seed {seed}: ancestors of {pa}");
+
+        for b in 0..n {
+            let pb = table.path(b);
+            assert_eq!(
+                table.is_prefix(a, b),
+                pa.is_prefix_of(pb),
+                "seed {seed}: is_prefix({pa}, {pb})"
+            );
+            assert_eq!(
+                table.is_proper_prefix(a, b),
+                pa.is_proper_prefix_of(pb),
+                "seed {seed}: is_proper_prefix({pa}, {pb})"
+            );
+            assert_eq!(
+                table.follows(a, b),
+                pa.follows(pb),
+                "seed {seed}: follows({pa}, {pb})"
+            );
+            // The three bitset matrices say the same thing as the scalar
+            // accessors.
+            assert_eq!(
+                table.prefixes_of(b).contains(a),
+                pa.is_prefix_of(pb),
+                "seed {seed}: prefixes_of({pb}) ∋ {pa}"
+            );
+            assert_eq!(
+                table.extensions_of(a).contains(b),
+                pa.is_proper_prefix_of(pb),
+                "seed {seed}: extensions_of({pa}) ∋ {pb}"
+            );
+            assert_eq!(
+                table.followers_of(b).contains(a),
+                pa.follows(pb),
+                "seed {seed}: followers_of({pb}) ∋ {pa}"
+            );
+            // Children are exactly the paths whose parent is `a`.
+            assert_eq!(
+                table.children(a).contains(&b),
+                table.parent(b) == Some(a),
+                "seed {seed}: children({pa}) ∋ {pb}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bitsets_agree_with_path_predicates_flat() {
+    for seed in 0..60 {
+        let schema = random_schema(
+            seed,
+            SchemaShape {
+                max_depth: 0,
+                fields: (2, 5),
+                set_prob: 0.0,
+            },
+        );
+        check_table(seed, &schema);
+    }
+}
+
+#[test]
+fn bitsets_agree_with_path_predicates_nested() {
+    for seed in 0..60 {
+        let schema = random_schema(
+            seed,
+            SchemaShape {
+                max_depth: 2,
+                fields: (2, 4),
+                set_prob: 0.5,
+            },
+        );
+        check_table(seed, &schema);
+    }
+}
+
+#[test]
+fn bitsets_agree_with_path_predicates_deep() {
+    for seed in 0..30 {
+        let schema = random_schema(
+            seed,
+            SchemaShape {
+                max_depth: 3,
+                fields: (1, 3),
+                set_prob: 0.7,
+            },
+        );
+        check_table(seed, &schema);
+    }
+}

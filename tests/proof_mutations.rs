@@ -13,7 +13,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Harvest (engine, proof) pairs from random implication problems.
-fn sample_proofs(seeds: std::ops::Range<u64>) -> Vec<(nfd::model::Schema, Vec<nfd::core::Nfd>, Proof)> {
+fn sample_proofs(
+    seeds: std::ops::Range<u64>,
+) -> Vec<(nfd::model::Schema, Vec<nfd::core::Nfd>, Proof)> {
     let mut out = Vec::new();
     for seed in seeds {
         let schema = random_schema(seed, SchemaShape::default());
@@ -46,7 +48,11 @@ fn verify(schema: &nfd::model::Schema, sigma: &[nfd::core::Nfd], pf: &Proof) -> 
 #[test]
 fn pristine_proofs_verify() {
     let samples = sample_proofs(0..80);
-    assert!(samples.len() > 25, "only {} proofs harvested", samples.len());
+    assert!(
+        samples.len() > 25,
+        "only {} proofs harvested",
+        samples.len()
+    );
     for (schema, sigma, pf) in &samples {
         assert!(verify(schema, sigma, pf), "pristine proof rejected:\n{pf}");
     }
@@ -174,8 +180,7 @@ fn truncated_proofs_rejected_or_weaker() {
         // A truncated proof whose new last step still concludes the goal
         // (up to push-in/pull-out form) is legitimately valid — e.g.
         // dropping a final pull-out presentation step. Skip those.
-        if nfd::core::simple::equivalent_form(&mutated.steps.last().unwrap().conclusion, &pf.goal)
-        {
+        if nfd::core::simple::equivalent_form(&mutated.steps.last().unwrap().conclusion, &pf.goal) {
             continue;
         }
         assert!(

@@ -17,17 +17,17 @@ use rand::SeedableRng;
 /// full-locality reaches the latter.
 #[test]
 fn example_3_1() {
-    let schema = Schema::parse(
-        "R : { <A: {<B: {<C: int, E: {<W: int>}>}, D: int>}> };",
-    )
-    .unwrap();
+    let schema = Schema::parse("R : { <A: {<B: {<C: int, E: {<W: int>}>}, D: int>}> };").unwrap();
     // The paper's f1 with E read as a path one level deeper (E is a set in
     // a valid schema, so the determined attribute is its W).
     let f1 = Nfd::parse(&schema, "R:[A:B:C, A:D -> A:B:E:W]").unwrap();
 
     // locality at A gives the weaker localized form…
     let local_a = rules::locality(&f1).unwrap();
-    assert_eq!(local_a, Nfd::parse(&schema, "R:A:[B:C, D -> B:E:W]").unwrap());
+    assert_eq!(
+        local_a,
+        Nfd::parse(&schema, "R:A:[B:C, D -> B:E:W]").unwrap()
+    );
     // …whose pushed-in form has A in the LHS:
     assert_eq!(
         simple::to_simple(&local_a),
@@ -105,7 +105,10 @@ fn form_conversion_preserves_satisfaction_with_empties() {
             let inst = random_instance_with_empties(seed * 17 + k, &schema);
             let a = satisfy::check(&schema, &inst, &nfd).unwrap().holds;
             let b = satisfy::check(&schema, &inst, &simple_form).unwrap().holds;
-            assert_eq!(a, b, "forms disagree with empties (seed {seed}, k {k}): {nfd}");
+            assert_eq!(
+                a, b,
+                "forms disagree with empties (seed {seed}, k {k}): {nfd}"
+            );
             converted += 1;
         }
     }
@@ -127,9 +130,17 @@ fn implication_invariant_under_form() {
         let e1 = Engine::new(&schema, &sigma).unwrap();
         let e2 = Engine::new(&schema, &sigma_simple).unwrap();
         let a = e1.implies(&goal).unwrap();
-        assert_eq!(a, e1.implies(&goal_simple).unwrap(), "goal form (seed {seed})");
+        assert_eq!(
+            a,
+            e1.implies(&goal_simple).unwrap(),
+            "goal form (seed {seed})"
+        );
         assert_eq!(a, e2.implies(&goal).unwrap(), "sigma form (seed {seed})");
-        assert_eq!(a, e2.implies(&goal_simple).unwrap(), "both forms (seed {seed})");
+        assert_eq!(
+            a,
+            e2.implies(&goal_simple).unwrap(),
+            "both forms (seed {seed})"
+        );
     }
 }
 
@@ -143,7 +154,10 @@ fn canonical_local_is_equivalent_and_stable() {
             continue;
         };
         let canon = simple::canonical_local(&nfd);
-        assert!(simple::equivalent_form(&nfd, &canon), "seed {seed}: {nfd} vs {canon}");
+        assert!(
+            simple::equivalent_form(&nfd, &canon),
+            "seed {seed}: {nfd} vs {canon}"
+        );
         // Idempotent.
         assert_eq!(simple::canonical_local(&canon), canon, "seed {seed}");
     }

@@ -60,8 +60,7 @@ fn empty_set_engine_is_sound_with_empty_sets() {
         let Some(goal) = random_nfd(&mut rng, &schema) else {
             continue;
         };
-        let engine =
-            Engine::with_policy(&schema, &sigma, EmptySetPolicy::pessimistic()).unwrap();
+        let engine = Engine::with_policy(&schema, &sigma, EmptySetPolicy::pessimistic()).unwrap();
         if !engine.implies(&goal).unwrap() {
             continue;
         }
@@ -182,8 +181,7 @@ fn reflexivity_and_augmentation_sound_with_empties() {
         if extra.base != premise.base {
             continue;
         }
-        let augmented =
-            rules::augmentation(&premise, extra.lhs().iter().cloned()).unwrap();
+        let augmented = rules::augmentation(&premise, extra.lhs().iter().cloned()).unwrap();
         for k in 0..10u64 {
             let inst = random_instance_with_empties(seed * 31 + k, &schema);
             if satisfy::check(&schema, &inst, &premise).unwrap().holds {

@@ -1,6 +1,8 @@
 //! Property-based tests on the core data structures and algebraic
 //! invariants: canonical set values, path algebra, trie/assignment laws,
 //! the relational baseline's closure laws, and engine monotonicity.
+//! Randomness is a seeded deterministic generator, so every failure is
+//! reproducible by seed.
 
 mod common;
 
@@ -10,109 +12,152 @@ use nfd::model::{SetValue, Value};
 use nfd::path::nav::{assignments, eval_path};
 use nfd::path::{Path, PathTrie};
 use nfd::relational::{attrs, closure, Fd};
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+
+fn random_ints(rng: &mut StdRng, max_len: usize, bound: i64) -> Vec<i64> {
+    (0..rng.gen_range(0..=max_len))
+        .map(|_| rng.gen_range(0..bound * 2) - bound)
+        .collect()
+}
+
+fn random_small_labels(rng: &mut StdRng, alphabet: &[&str], max_len: usize) -> Vec<String> {
+    (0..rng.gen_range(0..=max_len))
+        .map(|_| alphabet[rng.gen_range(0..alphabet.len())].to_string())
+        .collect()
+}
 
 // ---- SetValue canonicalization -------------------------------------------
 
-proptest! {
-    #[test]
-    fn set_value_is_sorted_and_deduped(xs in prop::collection::vec(any::<i64>(), 0..20)) {
+#[test]
+fn set_value_is_sorted_and_deduped() {
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs = random_ints(&mut rng, 20, 1_000_000);
         let s: SetValue = xs.iter().map(|&i| Value::int(i)).collect();
         let elems = s.elems();
-        prop_assert!(elems.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+        assert!(
+            elems.windows(2).all(|w| w[0] < w[1]),
+            "seed {seed}: strictly increasing"
+        );
         let distinct: std::collections::BTreeSet<i64> = xs.iter().copied().collect();
-        prop_assert_eq!(elems.len(), distinct.len());
+        assert_eq!(elems.len(), distinct.len(), "seed {seed}");
         for x in &distinct {
-            prop_assert!(s.contains(&Value::int(*x)));
+            assert!(s.contains(&Value::int(*x)), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn set_equality_ignores_order_and_multiplicity(
-        xs in prop::collection::vec(any::<i16>(), 0..12)
-    ) {
-        let a: SetValue = xs.iter().map(|&i| Value::int(i64::from(i))).collect();
+#[test]
+fn set_equality_ignores_order_and_multiplicity() {
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x11);
+        let xs = random_ints(&mut rng, 12, 1000);
+        let a: SetValue = xs.iter().map(|&i| Value::int(i)).collect();
         let mut rev = xs.clone();
         rev.reverse();
         rev.extend(xs.iter().copied()); // duplicate everything
-        let b: SetValue = rev.iter().map(|&i| Value::int(i64::from(i))).collect();
-        prop_assert_eq!(a, b);
+        let b: SetValue = rev.iter().map(|&i| Value::int(i)).collect();
+        assert_eq!(a, b, "seed {seed}");
     }
+}
 
-    #[test]
-    fn disjointness_is_symmetric_and_consistent(
-        xs in prop::collection::vec(0i64..20, 0..8),
-        ys in prop::collection::vec(0i64..20, 0..8),
-    ) {
+#[test]
+fn disjointness_is_symmetric_and_consistent() {
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x22);
+        let xs: Vec<i64> = (0..rng.gen_range(0..=8usize))
+            .map(|_| rng.gen_range(0..20i64))
+            .collect();
+        let ys: Vec<i64> = (0..rng.gen_range(0..=8usize))
+            .map(|_| rng.gen_range(0..20i64))
+            .collect();
         let a: SetValue = xs.iter().map(|&i| Value::int(i)).collect();
         let b: SetValue = ys.iter().map(|&i| Value::int(i)).collect();
-        prop_assert_eq!(a.is_disjoint(&b), b.is_disjoint(&a));
+        assert_eq!(a.is_disjoint(&b), b.is_disjoint(&a), "seed {seed}");
         let overlap = xs.iter().any(|x| ys.contains(x));
-        prop_assert_eq!(a.is_disjoint(&b), !overlap);
+        assert_eq!(a.is_disjoint(&b), !overlap, "seed {seed}");
     }
+}
 
-    #[test]
-    fn insert_is_idempotent(xs in prop::collection::vec(any::<i32>(), 0..10), x in any::<i32>()) {
-        let mut s: SetValue = xs.iter().map(|&i| Value::int(i64::from(i))).collect();
-        let first = s.insert(Value::int(i64::from(x)));
-        let second = s.insert(Value::int(i64::from(x)));
-        prop_assert!(!second, "second insert must be a no-op");
-        prop_assert_eq!(first, !xs.contains(&x));
-        prop_assert!(s.contains(&Value::int(i64::from(x))));
+#[test]
+fn insert_is_idempotent() {
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x33);
+        let xs = random_ints(&mut rng, 10, 50);
+        let x = rng.gen_range(0..100i64) - 50;
+        let mut s: SetValue = xs.iter().map(|&i| Value::int(i)).collect();
+        let first = s.insert(Value::int(x));
+        let second = s.insert(Value::int(x));
+        assert!(!second, "seed {seed}: second insert must be a no-op");
+        assert_eq!(first, !xs.contains(&x), "seed {seed}");
+        assert!(s.contains(&Value::int(x)), "seed {seed}");
     }
 }
 
 // ---- Path algebra ---------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn join_is_associative(
-        a in prop::collection::vec("[a-c]", 0..3),
-        b in prop::collection::vec("[a-c]", 0..3),
-        c in prop::collection::vec("[a-c]", 0..3),
-    ) {
+#[test]
+fn join_is_associative() {
+    let alphabet = ["a", "b", "c"];
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x44);
+        let a = random_small_labels(&mut rng, &alphabet, 3);
+        let b = random_small_labels(&mut rng, &alphabet, 3);
+        let c = random_small_labels(&mut rng, &alphabet, 3);
         let (pa, pb, pc) = (
             Path::of(a.iter().map(String::as_str)),
             Path::of(b.iter().map(String::as_str)),
             Path::of(c.iter().map(String::as_str)),
         );
-        prop_assert_eq!(pa.join(&pb).join(&pc), pa.join(&pb.join(&pc)));
-        prop_assert_eq!(Path::empty().join(&pa), pa.clone());
-        prop_assert_eq!(pa.join(&Path::empty()), pa);
+        assert_eq!(
+            pa.join(&pb).join(&pc),
+            pa.join(&pb.join(&pc)),
+            "seed {seed}"
+        );
+        assert_eq!(Path::empty().join(&pa), pa.clone(), "seed {seed}");
+        assert_eq!(pa.join(&Path::empty()), pa, "seed {seed}");
     }
+}
 
-    #[test]
-    fn parent_child_inverse(labels in prop::collection::vec("[a-z]{1,4}", 1..5)) {
+#[test]
+fn parent_child_inverse() {
+    let alphabet = ["ab", "cd", "efg", "h"];
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x55);
+        let mut labels = random_small_labels(&mut rng, &alphabet, 3);
+        labels.push(alphabet[rng.gen_range(0..alphabet.len())].to_string()); // non-empty
         let p = Path::of(labels.iter().map(String::as_str));
         let parent = p.parent().unwrap();
         let last = p.last().unwrap();
-        prop_assert_eq!(parent.child(last), p.clone());
-        prop_assert_eq!(p.prefixes().count(), p.len());
+        assert_eq!(parent.child(last), p.clone(), "seed {seed}");
+        assert_eq!(p.prefixes().count(), p.len(), "seed {seed}");
         // The prefixes are totally ordered by the prefix relation.
         let prefixes: Vec<Path> = p.prefixes().collect();
         for w in prefixes.windows(2) {
-            prop_assert!(w[0].is_proper_prefix_of(&w[1]));
+            assert!(w[0].is_proper_prefix_of(&w[1]), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn common_prefix_is_glb(
-        a in prop::collection::vec("[a-b]", 0..4),
-        b in prop::collection::vec("[a-b]", 0..4),
-    ) {
+#[test]
+fn common_prefix_is_glb() {
+    let alphabet = ["a", "b"];
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x66);
+        let a = random_small_labels(&mut rng, &alphabet, 3);
+        let b = random_small_labels(&mut rng, &alphabet, 3);
         let pa = Path::of(a.iter().map(String::as_str));
         let pb = Path::of(b.iter().map(String::as_str));
         let g = pa.common_prefix(&pb);
-        prop_assert!(g.is_prefix_of(&pa) && g.is_prefix_of(&pb));
+        assert!(g.is_prefix_of(&pa) && g.is_prefix_of(&pb), "seed {seed}");
         // Maximality: extending g by pa's next label is no longer a
         // common prefix.
         if g.len() < pa.len() && g.len() < pb.len() {
             let next = pa.labels()[g.len()];
-            prop_assert!(!g.child(next).is_prefix_of(&pb));
+            assert!(!g.child(next).is_prefix_of(&pb), "seed {seed}");
         }
-        prop_assert_eq!(pa.common_prefix(&pa), pa);
+        assert_eq!(pa.common_prefix(&pa), pa, "seed {seed}");
     }
 }
 
@@ -202,34 +247,33 @@ fn trie_targets_are_set_semantics() {
 
 // ---- Armstrong closure laws ------------------------------------------------
 
-proptest! {
-    #[test]
-    fn attribute_closure_laws(
-        fds in prop::collection::vec(
-            (prop::collection::vec(0usize..5, 0..3), 0usize..5),
-            0..6
-        ),
-        x in prop::collection::vec(0usize..5, 0..4),
-    ) {
-        let name = |i: usize| format!("A{i}");
-        let sigma: Vec<Fd> = fds
-            .iter()
-            .map(|(lhs, rhs)| {
-                let l: Vec<String> = lhs.iter().map(|&i| name(i)).collect();
-                Fd::of(l.iter().map(String::as_str), [name(*rhs).as_str()])
+#[test]
+fn attribute_closure_laws() {
+    let name = |i: usize| format!("A{i}");
+    for seed in 0..256u64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x77);
+        let sigma: Vec<Fd> = (0..rng.gen_range(0..=6usize))
+            .map(|_| {
+                let l: Vec<String> = (0..rng.gen_range(0..3usize))
+                    .map(|_| name(rng.gen_range(0..5usize)))
+                    .collect();
+                let rhs = name(rng.gen_range(0..5usize));
+                Fd::of(l.iter().map(String::as_str), [rhs.as_str()])
             })
             .collect();
-        let xs: Vec<String> = x.iter().map(|&i| name(i)).collect();
+        let xs: Vec<String> = (0..rng.gen_range(0..=4usize))
+            .map(|_| name(rng.gen_range(0..5usize)))
+            .collect();
         let x_set = attrs(xs.iter().map(String::as_str));
         let c = closure(&sigma, &x_set);
         // Extensive: X ⊆ X⁺.
-        prop_assert!(x_set.is_subset(&c));
+        assert!(x_set.is_subset(&c), "seed {seed}");
         // Idempotent: (X⁺)⁺ = X⁺.
-        prop_assert_eq!(closure(&sigma, &c), c.clone());
+        assert_eq!(closure(&sigma, &c), c.clone(), "seed {seed}");
         // Monotone: X ⊆ Y ⟹ X⁺ ⊆ Y⁺.
         let mut y_set = x_set.clone();
         y_set.insert(nfd::relational::Attribute::new(name(0)));
-        prop_assert!(c.is_subset(&closure(&sigma, &y_set)));
+        assert!(c.is_subset(&closure(&sigma, &y_set)), "seed {seed}");
     }
 }
 
@@ -269,7 +313,10 @@ fn sigma_members_are_always_implied() {
         let sigma = random_sigma(&mut rng, &schema, 3);
         let engine = Engine::new(&schema, &sigma).unwrap();
         for nfd in &sigma {
-            assert!(engine.implies(nfd).unwrap(), "seed {seed}: Σ ⊬ its own member {nfd}");
+            assert!(
+                engine.implies(nfd).unwrap(),
+                "seed {seed}: Σ ⊬ its own member {nfd}"
+            );
         }
     }
 }

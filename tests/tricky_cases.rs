@@ -30,7 +30,9 @@ fn case(schema_text: &str, sigma_text: &str, goal_text: &str, expected: bool, wh
             "witness must satisfy Σ: {goal_text}"
         );
         assert!(
-            !satisfy::check(&schema, &built.instance, &goal).unwrap().holds,
+            !satisfy::check(&schema, &built.instance, &goal)
+                .unwrap()
+                .holds,
             "witness must violate the goal: {goal_text}"
         );
     } else {
@@ -45,24 +47,44 @@ const DEEP: &str = "R : { <A: {<B: {<C: int, D: int>}, E: {<F: int, G: int>}>}, 
 #[test]
 fn set_determination_does_not_reach_elements() {
     // Knowing the SET A does not fix values chosen inside it.
-    case(DEEP, "R:[H -> A];", "R:[H -> A:B]", false,
-         "A's value does not determine which B-set an element choice yields");
-    case(DEEP, "R:[H -> A];", "R:[H -> A:B:C]", false,
-         "two levels down is certainly not determined");
+    case(
+        DEEP,
+        "R:[H -> A];",
+        "R:[H -> A:B]",
+        false,
+        "A's value does not determine which B-set an element choice yields",
+    );
+    case(
+        DEEP,
+        "R:[H -> A];",
+        "R:[H -> A:B:C]",
+        false,
+        "two levels down is certainly not determined",
+    );
 }
 
 #[test]
 fn element_determination_does_not_reach_sets() {
     // Determining every element attribute reaches the set only through
     // the singleton rule — which needs ALL attributes.
-    case(DEEP, "R:[H -> A:B:C];", "R:[H -> A:B]", false,
-         "C alone does not pin the B-set (D is free)");
+    case(
+        DEEP,
+        "R:[H -> A:B:C];",
+        "R:[H -> A:B]",
+        false,
+        "C alone does not pin the B-set (D is free)",
+    );
     // Subtle: with BOTH leaf attributes pinned by H, every B-set anywhere
     // (under any A-element, in any tuple with that H) contains exactly
     // the one record <C:c, D:d> — so all B-sets coincide and H → A:B
     // holds. The engine sees this through full-locality + singleton.
-    case(DEEP, "R:[H -> A:B:C]; R:[H -> A:B:D];", "R:[H -> A:B]", true,
-         "all B-sets are pinned to the same singleton, hence equal");
+    case(
+        DEEP,
+        "R:[H -> A:B:C]; R:[H -> A:B:D];",
+        "R:[H -> A:B]",
+        true,
+        "all B-sets are pinned to the same singleton, hence equal",
+    );
 }
 
 #[test]
@@ -89,26 +111,56 @@ fn singleton_through_two_levels() {
 #[test]
 fn constants_propagate_into_sets() {
     // A constant RHS constrains every navigation, including within sets.
-    case(DEEP, "R:[ -> A:B:C];", "R:A:B:[ -> C]", true,
-         "a database-wide constant is in particular locally constant");
-    case(DEEP, "R:[ -> A:B:C];", "R:A:[B:C -> B:D]", false,
-         "constant C means ALL B:C agree; D remains free, so C cannot select D");
+    case(
+        DEEP,
+        "R:[ -> A:B:C];",
+        "R:A:B:[ -> C]",
+        true,
+        "a database-wide constant is in particular locally constant",
+    );
+    case(
+        DEEP,
+        "R:[ -> A:B:C];",
+        "R:A:[B:C -> B:D]",
+        false,
+        "constant C means ALL B:C agree; D remains free, so C cannot select D",
+    );
     // Local constants do NOT globalize into value determination:
-    case(DEEP, "R:A:B:[ -> C];", "R:[ -> A:B:C]", false,
-         "C constant within each B-set, but different sets may use different constants");
+    case(
+        DEEP,
+        "R:A:B:[ -> C];",
+        "R:[ -> A:B:C]",
+        false,
+        "C constant within each B-set, but different sets may use different constants",
+    );
 }
 
 #[test]
 fn local_to_global_and_back() {
     // Global implies local (restrict both navigations to one tuple)…
-    case(DEEP, "R:[A:B:C -> A:B:D];", "R:A:B:[C -> D]", true,
-         "a database-wide dependency holds in particular within each set");
+    case(
+        DEEP,
+        "R:[A:B:C -> A:B:D];",
+        "R:A:B:[C -> D]",
+        true,
+        "a database-wide dependency holds in particular within each set",
+    );
     // …but local does not imply global.
-    case(DEEP, "R:A:B:[C -> D];", "R:[A:B:C -> A:B:D]", false,
-         "per-set consistency says nothing across sets");
+    case(
+        DEEP,
+        "R:A:B:[C -> D];",
+        "R:[A:B:C -> A:B:D]",
+        false,
+        "per-set consistency says nothing across sets",
+    );
     // The simple-form equivalent of the local NFD IS implied.
-    case(DEEP, "R:A:B:[C -> D];", "R:[A, A:B, A:B:C -> A:B:D]", true,
-         "push-in equivalence");
+    case(
+        DEEP,
+        "R:A:B:[C -> D];",
+        "R:[A, A:B, A:B:C -> A:B:D]",
+        true,
+        "push-in equivalence",
+    );
 }
 
 #[test]
@@ -117,31 +169,66 @@ fn equal_or_disjoint_interactions() {
     // make C select an element within the set: one (shared) B-set may
     // contain <C:c, D:1> and <C:c, D:2>, satisfying Σ (within a tuple the
     // set trivially equals itself) while violating C → D.
-    case(DEEP, "R:[A:B:C -> A:B];", "R:[A:B:C -> A:B:D]", false,
-         "equal-or-disjoint constrains the sets, not element selection inside them");
-    case(DEEP, "R:[A:B:C -> A:B:D];", "R:[A:B:C -> A:B]", false,
-         "determining one attribute does not determine the containing set");
+    case(
+        DEEP,
+        "R:[A:B:C -> A:B];",
+        "R:[A:B:C -> A:B:D]",
+        false,
+        "equal-or-disjoint constrains the sets, not element selection inside them",
+    );
+    case(
+        DEEP,
+        "R:[A:B:C -> A:B:D];",
+        "R:[A:B:C -> A:B]",
+        false,
+        "determining one attribute does not determine the containing set",
+    );
 }
 
 #[test]
 fn lhs_set_values_scope_correctly() {
     // {A, A:E:F} → ... : equality of the whole A set plus an inner F.
-    case(DEEP, "R:A:[E:F -> E:G]; ", "R:[A, A:E:F -> A:E:G]", true,
-         "with A fixed as a set, the local dependency applies");
-    case(DEEP, "R:A:[E:F -> E:G]; ", "R:[A:E:F -> A:E:G]", false,
-         "without A in the LHS the dependency must hold across different A sets — it does not");
+    case(
+        DEEP,
+        "R:A:[E:F -> E:G]; ",
+        "R:[A, A:E:F -> A:E:G]",
+        true,
+        "with A fixed as a set, the local dependency applies",
+    );
+    case(
+        DEEP,
+        "R:A:[E:F -> E:G]; ",
+        "R:[A:E:F -> A:E:G]",
+        false,
+        "without A in the LHS the dependency must hold across different A sets — it does not",
+    );
     // The set-valued path A:E in the LHS scopes to matching E-sets only.
-    case(DEEP, "R:A:E:[F -> G];", "R:[A:E, A:E:F -> A:E:G]", true,
-         "equal E-sets have identical elements, so the per-set dependency transfers");
+    case(
+        DEEP,
+        "R:A:E:[F -> G];",
+        "R:[A:E, A:E:F -> A:E:G]",
+        true,
+        "equal E-sets have identical elements, so the per-set dependency transfers",
+    );
 }
 
 #[test]
 fn cross_branch_independence() {
     // Dependencies under B say nothing about E and vice versa.
-    case(DEEP, "R:[A:B:C -> A:B:D];", "R:[A:E:F -> A:E:G]", false,
-         "disjoint subtrees are independent");
-    case(DEEP, "R:A:[B -> E]; R:A:E:[ -> F];", "R:A:[B -> E:F]", true,
-         "B fixes the E-set; F is constant within every E-set; so B fixes F");
+    case(
+        DEEP,
+        "R:[A:B:C -> A:B:D];",
+        "R:[A:E:F -> A:E:G]",
+        false,
+        "disjoint subtrees are independent",
+    );
+    case(
+        DEEP,
+        "R:A:[B -> E]; R:A:E:[ -> F];",
+        "R:A:[B -> E:F]",
+        true,
+        "B fixes the E-set; F is constant within every E-set; so B fixes F",
+    );
 }
 
 #[test]
@@ -150,16 +237,39 @@ fn base_set_paths() {
     // no interior to traverse.
     let schema = "R : { <K: int, S: {int}, T: {int}> };";
     case(schema, "R:[K -> S];", "R:[K -> S]", true, "identity");
-    case(schema, "R:[K -> S]; R:[S -> T];", "R:[K -> T]", true, "chaining through a base set");
+    case(
+        schema,
+        "R:[K -> S]; R:[S -> T];",
+        "R:[K -> T]",
+        true,
+        "chaining through a base set",
+    );
     case(schema, "R:[K -> S];", "R:[S -> K]", false, "no inversion");
 }
 
 #[test]
 fn degenerate_and_trivial_shapes() {
     case(DEEP, "", "R:[A, H -> H]", true, "reflexivity needs no Σ");
-    case(DEEP, "R:[ -> H];", "R:[A -> H]", true, "constants are implied under any LHS");
-    case(DEEP, "R:[A -> H];", "R:[ -> H]", false, "conditioning cannot be dropped");
+    case(
+        DEEP,
+        "R:[ -> H];",
+        "R:[A -> H]",
+        true,
+        "constants are implied under any LHS",
+    );
+    case(
+        DEEP,
+        "R:[A -> H];",
+        "R:[ -> H]",
+        false,
+        "conditioning cannot be dropped",
+    );
     // An inconsistent-looking but satisfiable Σ: H constant and H → A.
-    case(DEEP, "R:[ -> H]; R:[H -> A];", "R:[ -> A]", true,
-         "H is constant and determines A, so A is constant");
+    case(
+        DEEP,
+        "R:[ -> H]; R:[H -> A];",
+        "R:[ -> A]",
+        true,
+        "H is constant and determines A, so A is constant",
+    );
 }
