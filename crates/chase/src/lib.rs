@@ -29,19 +29,32 @@ pub mod sym;
 pub mod tableau;
 
 use nfd_core::{simple, CoreError, Nfd};
+use nfd_govern::Budget;
 use nfd_model::Schema;
 
 pub use tableau::{ChaseError, ChaseRun};
 
 /// Decides `Σ ⊨ goal` by the nested tableau chase (no-empty-sets
-/// semantics). Independent of `nfd_core::engine::Engine`.
+/// semantics) under the standard budget. Independent of
+/// `nfd_core::engine::Engine`.
 pub fn implies_by_chase(schema: &Schema, sigma: &[Nfd], goal: &Nfd) -> Result<bool, ChaseError> {
     Ok(chase(schema, sigma, goal)?.implied)
 }
 
-/// Runs the chase and returns the full run (verdict plus step count, for
-/// benches and inspection).
+/// Runs the chase under the standard budget and returns the full run
+/// (verdict plus cost counters, for benches and inspection).
 pub fn chase(schema: &Schema, sigma: &[Nfd], goal: &Nfd) -> Result<ChaseRun, ChaseError> {
+    chase_with(schema, sigma, goal, &Budget::standard())
+}
+
+/// Runs the chase under an explicit resource [`Budget`]. Exhaustion is
+/// reported as [`ChaseError::Exhausted`], never as a wrong verdict.
+pub fn chase_with(
+    schema: &Schema,
+    sigma: &[Nfd],
+    goal: &Nfd,
+    budget: &Budget,
+) -> Result<ChaseRun, ChaseError> {
     goal.validate(schema).map_err(ChaseError::Core)?;
     for nfd in sigma {
         nfd.validate(schema).map_err(ChaseError::Core)?;
@@ -53,7 +66,7 @@ pub fn chase(schema: &Schema, sigma: &[Nfd], goal: &Nfd) -> Result<ChaseRun, Cha
         .iter()
         .filter(|n| n.base.relation == goal_s.base.relation)
         .collect();
-    tableau::run(schema, &relevant, &goal_s)
+    tableau::run(schema, &relevant, &goal_s, budget)
 }
 
 impl From<CoreError> for ChaseError {

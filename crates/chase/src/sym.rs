@@ -173,6 +173,13 @@ impl Unifier {
     pub fn bound_count(&self) -> usize {
         self.bindings.len()
     }
+
+    /// Total nulls allocated so far — the memory-dominating quantity of a
+    /// tableau, checked against [`nfd_govern::Budget::max_chase_nulls`]
+    /// during template construction.
+    pub fn allocated(&self) -> usize {
+        self.next_null as usize
+    }
 }
 
 #[cfg(test)]

@@ -2,8 +2,10 @@
 
 use crate::sym::{SymValue, Unifier};
 use nfd_core::{CoreError, Nfd};
+use nfd_govern::{Budget, ResourceKind, ResourceReport};
 use nfd_model::{RecordType, Schema, Type};
 use nfd_path::{Path, PathTrie};
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -15,8 +17,9 @@ pub enum ChaseError {
     /// A forced unification failed (cannot happen for tableaux built by
     /// this module; kept for API totality).
     Stuck(String),
-    /// The step budget was exceeded.
-    Budget(usize),
+    /// A resource budget ran out (steps, nulls, assignment enumerations,
+    /// deadline or cancellation) before the fixpoint was reached.
+    Exhausted(ResourceReport),
 }
 
 impl fmt::Display for ChaseError {
@@ -24,7 +27,7 @@ impl fmt::Display for ChaseError {
         match self {
             ChaseError::Core(e) => write!(f, "{e}"),
             ChaseError::Stuck(m) => write!(f, "chase stuck: {m}"),
-            ChaseError::Budget(n) => write!(f, "chase exceeded {n} steps"),
+            ChaseError::Exhausted(r) => write!(f, "chase exhausted: {r}"),
         }
     }
 }
@@ -40,11 +43,20 @@ pub struct ChaseRun {
     pub steps: usize,
     /// Number of nulls allocated for the tableau.
     pub nulls: usize,
+    /// Number of trie-consistent assignments enumerated by the violation
+    /// scans — the time-dominating quantity of a run.
+    pub assignments: u64,
 }
 
 /// Builds the two-row tableau for goal `R:[X → y]` (simple form) and
-/// chases it with the (simple-form, same-relation) dependencies `sigma`.
-pub(crate) fn run(schema: &Schema, sigma: &[&Nfd], goal: &Nfd) -> Result<ChaseRun, ChaseError> {
+/// chases it with the (simple-form, same-relation) dependencies `sigma`,
+/// under the given resource budget.
+pub(crate) fn run(
+    schema: &Schema,
+    sigma: &[&Nfd],
+    goal: &Nfd,
+    budget: &Budget,
+) -> Result<ChaseRun, ChaseError> {
     let rec = schema
         .relation_type(goal.base.relation)
         .map_err(|e| ChaseError::Core(CoreError::Parse(e.to_string())))?
@@ -61,23 +73,33 @@ pub(crate) fn run(schema: &Schema, sigma: &[&Nfd], goal: &Nfd) -> Result<ChaseRu
         u: &mut u,
         x: &x,
         shared: HashMap::new(),
+        budget,
+        elements: 0,
     };
-    let t1 = builder.shared_element(rec, &Path::empty());
-    let t2 = builder.shared_element(rec, &Path::empty());
+    // Template size is exponential in schema nesting depth (every
+    // set-of-records carries three elements), so the null cap is checked
+    // *during* construction — a deeply nested schema exhausts the budget
+    // instead of exhausting memory.
+    let t1 = builder.shared_element(rec, &Path::empty())?;
+    let t2 = builder.shared_element(rec, &Path::empty())?;
     let mut tableau = vec![t1, t2];
 
     // Compile each dependency's trie and target indices once; the scan
     // loop below revisits every dependency many times per run.
-    let compiled: Vec<CompiledDep<'_>> = sigma.iter().map(|d| CompiledDep::new(d)).collect();
-    let compiled_goal = CompiledDep::new(goal);
+    let compiled: Vec<CompiledDep<'_>> = sigma
+        .iter()
+        .map(|d| CompiledDep::new(d))
+        .collect::<Result<_, _>>()?;
+    let compiled_goal = CompiledDep::new(goal)?;
 
     // Chase to fixpoint.
-    const MAX_STEPS: usize = 100_000;
     let mut steps = 0usize;
+    let mut assignments = 0u64;
     loop {
+        budget.check_live().map_err(ChaseError::Exhausted)?;
         let mut progressed = false;
         for dep in &compiled {
-            while let Some((a, b)) = find_violation(&tableau, dep, &u) {
+            while let Some((a, b)) = find_violation(&tableau, dep, &u, budget, &mut assignments)? {
                 if !u.unify(&a, &b) {
                     return Err(ChaseError::Stuck(format!(
                         "cannot unify {a} with {b} while chasing {}",
@@ -86,9 +108,9 @@ pub(crate) fn run(schema: &Schema, sigma: &[&Nfd], goal: &Nfd) -> Result<ChaseRu
                 }
                 progressed = true;
                 steps += 1;
-                if steps > MAX_STEPS {
-                    return Err(ChaseError::Budget(MAX_STEPS));
-                }
+                budget
+                    .check_counter(ResourceKind::ChaseSteps, steps as u64)
+                    .map_err(ChaseError::Exhausted)?;
             }
         }
         if !progressed {
@@ -100,11 +122,12 @@ pub(crate) fn run(schema: &Schema, sigma: &[&Nfd], goal: &Nfd) -> Result<ChaseRu
         tableau = tableau.iter().map(|t| u.resolve(t)).collect();
     }
 
-    let implied = find_violation(&tableau, &compiled_goal, &u).is_none();
+    let implied = find_violation(&tableau, &compiled_goal, &u, budget, &mut assignments)?.is_none();
     Ok(ChaseRun {
         implied,
         steps,
         nulls: u.bound_count(),
+        assignments,
     })
 }
 
@@ -121,20 +144,37 @@ struct TemplateBuilder<'a> {
     u: &'a mut Unifier,
     x: &'a [Path],
     shared: HashMap<Path, SymValue>,
+    budget: &'a Budget,
+    /// Record elements built so far; charged alongside nulls so schemas
+    /// whose leaves allocate few nulls still cannot build an unbounded
+    /// tree.
+    elements: u64,
 }
 
 impl TemplateBuilder<'_> {
+    /// Charges the allocations made so far (nulls plus record elements)
+    /// against the budget. Called once per record element, so construction
+    /// stops within one element's worth of work once the cap is hit.
+    fn charge(&mut self) -> Result<(), ChaseError> {
+        self.elements += 1;
+        let used = self.u.allocated() as u64 + self.elements;
+        self.budget
+            .check_counter(ResourceKind::ChaseNulls, used)
+            .and_then(|()| self.budget.check_live())
+            .map_err(ChaseError::Exhausted)
+    }
+
     /// The value of field path `at` with type `ty`. X paths receive the
     /// globally shared tree (`assignVal`), everything else the generic
     /// unshared shape (`assignNew` + `newRow`).
-    fn value(&mut self, ty: &Type, at: &Path) -> SymValue {
+    fn value(&mut self, ty: &Type, at: &Path) -> Result<SymValue, ChaseError> {
         if self.x.contains(at) {
             if let Some(v) = self.shared.get(at) {
-                return v.clone();
+                return Ok(v.clone());
             }
-            let v = self.shared_tree(ty, at);
+            let v = self.shared_tree(ty, at)?;
             self.shared.insert(at.clone(), v.clone());
-            return v;
+            return Ok(v);
         }
         self.unshared(ty, at)
     }
@@ -145,45 +185,55 @@ impl TemplateBuilder<'_> {
     /// the set's own value generic). Instantiating elements
     /// non-injectively recovers every smaller configuration, so the
     /// template subsumes the Appendix A witness for *any* closure ⊇ X.
-    fn shared_tree(&mut self, ty: &Type, at: &Path) -> SymValue {
-        match ty {
+    fn shared_tree(&mut self, ty: &Type, at: &Path) -> Result<SymValue, ChaseError> {
+        Ok(match ty {
             Type::Base(_) => self.u.fresh(),
             Type::Set(elem) => match &**elem {
                 // Elements of base-valued sets cannot be addressed by
                 // paths; one null stands for the whole content.
                 Type::Base(_) => SymValue::Set(vec![self.u.fresh()]),
                 Type::Record(inner) => SymValue::Set(vec![
-                    self.shared_element(inner, at),
-                    self.shared_element(inner, at),
-                    self.fresh_element(inner, at),
+                    self.shared_element(inner, at)?,
+                    self.shared_element(inner, at)?,
+                    self.fresh_element(inner, at)?,
                 ]),
-                Type::Set(_) => unreachable!("validated schemas have no sets of sets"),
+                Type::Set(_) => {
+                    return Err(ChaseError::Core(CoreError::Nav(
+                        "validated schemas have no sets of sets".into(),
+                    )))
+                }
             },
-            Type::Record(_) => unreachable!("validated record fields are base- or set-typed"),
-        }
+            Type::Record(_) => {
+                return Err(ChaseError::Core(CoreError::Nav(
+                    "validated record fields are base- or set-typed".into(),
+                )))
+            }
+        })
     }
 
     /// Sets outside X have the same three-element shape; the distinction
     /// from [`Self::shared_tree`] is only that X paths memoize one global
     /// tree while unshared paths build a fresh one per occurrence.
-    fn unshared(&mut self, ty: &Type, at: &Path) -> SymValue {
+    fn unshared(&mut self, ty: &Type, at: &Path) -> Result<SymValue, ChaseError> {
         self.shared_tree(ty, at)
     }
 
     /// One record element whose fields go through [`Self::value`] (X
     /// children shared, others generic).
-    fn shared_element(&mut self, rec: &RecordType, at: &Path) -> SymValue {
+    fn shared_element(&mut self, rec: &RecordType, at: &Path) -> Result<SymValue, ChaseError> {
+        self.charge()?;
         let fields = rec
             .fields()
             .iter()
-            .map(|f| (f.label, self.value(&f.ty, &at.child(f.label))))
-            .collect();
-        SymValue::Record(fields)
+            .map(|f| Ok((f.label, self.value(&f.ty, &at.child(f.label))?)))
+            .collect::<Result<_, ChaseError>>()?;
+        Ok(SymValue::Record(fields))
     }
 
     /// One record element with entirely fresh content, ignoring X (the
     /// `newRow` analogue; the chase merges whatever Σ forces).
-    fn fresh_element(&mut self, rec: &RecordType, at: &Path) -> SymValue {
+    fn fresh_element(&mut self, rec: &RecordType, at: &Path) -> Result<SymValue, ChaseError> {
+        self.charge()?;
         let fields = rec
             .fields()
             .iter()
@@ -195,20 +245,26 @@ impl TemplateBuilder<'_> {
                         Type::Record(inner) => {
                             let p = at.child(f.label);
                             SymValue::Set(vec![
-                                self.fresh_element(inner, &p),
-                                self.fresh_element(inner, &p),
+                                self.fresh_element(inner, &p)?,
+                                self.fresh_element(inner, &p)?,
                             ])
                         }
-                        Type::Set(_) => unreachable!("validated schemas have no sets of sets"),
+                        Type::Set(_) => {
+                            return Err(ChaseError::Core(CoreError::Nav(
+                                "validated schemas have no sets of sets".into(),
+                            )))
+                        }
                     },
                     Type::Record(_) => {
-                        unreachable!("validated record fields are base- or set-typed")
+                        return Err(ChaseError::Core(CoreError::Nav(
+                            "validated record fields are base- or set-typed".into(),
+                        )))
                     }
                 };
-                (f.label, v)
+                Ok((f.label, v))
             })
-            .collect();
-        SymValue::Record(fields)
+            .collect::<Result<_, ChaseError>>()?;
+        Ok(SymValue::Record(fields))
     }
 }
 
@@ -223,53 +279,89 @@ struct CompiledDep<'a> {
 }
 
 impl<'a> CompiledDep<'a> {
-    fn new(nfd: &'a Nfd) -> CompiledDep<'a> {
+    fn new(nfd: &'a Nfd) -> Result<CompiledDep<'a>, ChaseError> {
         let trie = PathTrie::new(nfd.component_paths().cloned());
+        let missing = |p: &Path| {
+            ChaseError::Core(CoreError::Nav(format!(
+                "component path `{p}` missing from path trie"
+            )))
+        };
         let lhs_idx = nfd
             .lhs()
             .iter()
-            .map(|p| trie.target_index(p).expect("lhs inserted"))
-            .collect();
-        let rhs_idx = trie.target_index(&nfd.rhs).expect("rhs inserted");
-        CompiledDep {
+            .map(|p| trie.target_index(p).ok_or_else(|| missing(p)))
+            .collect::<Result<_, _>>()?;
+        let rhs_idx = trie
+            .target_index(&nfd.rhs)
+            .ok_or_else(|| missing(&nfd.rhs))?;
+        Ok(CompiledDep {
             nfd,
             trie,
             lhs_idx,
             rhs_idx,
-        }
+        })
     }
 }
 
 /// Finds one violation of `dep` on the tableau: two trie-consistent
 /// assignments (across or within rows) whose resolved LHS tuples agree
 /// but whose resolved RHS values differ. Returns the differing RHS values.
+///
+/// The enumeration is the exponential part of a scan, so every emitted
+/// assignment is charged against `budget` (cumulatively across the run
+/// via `assignments`), and the `stop` flag aborts the whole expansion
+/// tree as soon as either a violation or exhaustion is found.
 fn find_violation(
     tableau: &[SymValue],
     dep: &CompiledDep<'_>,
     u: &Unifier,
-) -> Option<(SymValue, SymValue)> {
+    budget: &Budget,
+    assignments: &mut u64,
+) -> Result<Option<(SymValue, SymValue)>, ChaseError> {
     let trie = &dep.trie;
 
     let mut groups: HashMap<Vec<SymValue>, SymValue> = HashMap::new();
     let mut found: Option<(SymValue, SymValue)> = None;
+    let mut exhausted: Option<ResourceReport> = None;
+    let stop = Cell::new(false);
     for row in tableau {
-        if found.is_some() {
+        if stop.get() {
             break;
         }
         for_each_sym_assignment(
             row,
             trie.roots(),
             &mut vec![None; trie.len()],
+            &stop,
             &mut |vals| {
-                if found.is_some() {
+                *assignments += 1;
+                if let Err(r) = budget
+                    .check_counter(ResourceKind::Assignments, *assignments)
+                    .and_then(|()| {
+                        if (*assignments).is_multiple_of(4096) {
+                            budget.check_live()
+                        } else {
+                            Ok(())
+                        }
+                    })
+                {
+                    exhausted = Some(r);
+                    stop.set(true);
                     return;
                 }
-                let key: Vec<SymValue> = dep
+                // A hole would mean the trie and the tableau disagree on
+                // shape; skip such an assignment rather than grouping it.
+                let Some(key) = dep
                     .lhs_idx
                     .iter()
-                    .map(|&i| u.resolve(vals[i].as_ref().expect("total")))
-                    .collect();
-                let rhs = u.resolve(vals[dep.rhs_idx].as_ref().expect("total"));
+                    .map(|&i| vals[i].as_ref().map(|v| u.resolve(v)))
+                    .collect::<Option<Vec<SymValue>>>()
+                else {
+                    return;
+                };
+                let Some(rhs) = vals[dep.rhs_idx].as_ref().map(|v| u.resolve(v)) else {
+                    return;
+                };
                 match groups.get(&key) {
                     None => {
                         groups.insert(key, rhs);
@@ -277,34 +369,42 @@ fn find_violation(
                     Some(existing) if *existing == rhs => {}
                     Some(existing) => {
                         found = Some((existing.clone(), rhs));
+                        stop.set(true);
                     }
                 }
             },
         );
     }
-    found
+    if let Some(r) = exhausted {
+        return Err(ChaseError::Exhausted(r));
+    }
+    Ok(found)
 }
 
 /// Assignment enumeration over symbolic values — the `SymValue` analogue
-/// of `nfd_path::nav::for_each_assignment`.
+/// of `nfd_path::nav::for_each_assignment`. Checks `stop` at every loop
+/// head so the caller can abort the exponential expansion promptly.
 fn for_each_sym_assignment(
     v: &SymValue,
     nodes: &[nfd_path::trie::TrieNode],
     values: &mut Vec<Option<SymValue>>,
+    stop: &Cell<bool>,
     emit: &mut dyn FnMut(&Vec<Option<SymValue>>),
 ) {
     // Fill sibling targets, then cross-product over internal siblings.
     let mut set_targets = Vec::new();
     for node in nodes {
         if let Some(idx) = node.target {
-            let val = v.get(node.label).expect("well-typed tableau");
+            let Some(val) = v.get(node.label) else {
+                return; // shape mismatch: no assignments through this node
+            };
             values[idx] = Some(val.clone());
             set_targets.push(idx);
         }
     }
     let internal: Vec<&nfd_path::trie::TrieNode> =
         nodes.iter().filter(|n| !n.children.is_empty()).collect();
-    expand_sym(v, &internal, 0, values, emit);
+    expand_sym(v, &internal, 0, values, stop, emit);
     for idx in set_targets {
         values[idx] = None;
     }
@@ -315,6 +415,7 @@ fn expand_sym(
     internal: &[&nfd_path::trie::TrieNode],
     i: usize,
     values: &mut Vec<Option<SymValue>>,
+    stop: &Cell<bool>,
     emit: &mut dyn FnMut(&Vec<Option<SymValue>>),
 ) {
     if i == internal.len() {
@@ -322,17 +423,22 @@ fn expand_sym(
         return;
     }
     let node = internal[i];
-    let SymValue::Set(elems) = v.get(node.label).expect("well-typed tableau") else {
-        unreachable!("internal trie nodes are set-valued");
+    let Some(SymValue::Set(elems)) = v.get(node.label) else {
+        return; // shape mismatch: internal trie nodes are set-valued
     };
     for elem in elems {
+        if stop.get() {
+            return;
+        }
         let mut continue_next =
-            |values: &mut Vec<Option<SymValue>>| expand_sym(v, internal, i + 1, values, emit);
+            |values: &mut Vec<Option<SymValue>>| expand_sym(v, internal, i + 1, values, stop, emit);
         // Inline the with-siblings logic with the continuation.
         let mut set_targets = Vec::new();
         for child in &node.children {
             if let Some(idx) = child.target {
-                let val = elem.get(child.label).expect("well-typed tableau");
+                let Some(val) = elem.get(child.label) else {
+                    continue;
+                };
                 values[idx] = Some(val.clone());
                 set_targets.push(idx);
             }
@@ -342,7 +448,7 @@ fn expand_sym(
             .iter()
             .filter(|n| !n.children.is_empty())
             .collect();
-        expand_sym_k(elem, &inner, 0, values, &mut continue_next);
+        expand_sym_k(elem, &inner, 0, values, stop, &mut continue_next);
         for idx in set_targets {
             values[idx] = None;
         }
@@ -354,6 +460,7 @@ fn expand_sym_k(
     internal: &[&nfd_path::trie::TrieNode],
     i: usize,
     values: &mut Vec<Option<SymValue>>,
+    stop: &Cell<bool>,
     k: &mut dyn FnMut(&mut Vec<Option<SymValue>>),
 ) {
     if i == internal.len() {
@@ -361,14 +468,19 @@ fn expand_sym_k(
         return;
     }
     let node = internal[i];
-    let SymValue::Set(elems) = v.get(node.label).expect("well-typed tableau") else {
-        unreachable!("internal trie nodes are set-valued");
+    let Some(SymValue::Set(elems)) = v.get(node.label) else {
+        return; // shape mismatch: internal trie nodes are set-valued
     };
     for elem in elems {
+        if stop.get() {
+            return;
+        }
         let mut set_targets = Vec::new();
         for child in &node.children {
             if let Some(idx) = child.target {
-                let val = elem.get(child.label).expect("well-typed tableau");
+                let Some(val) = elem.get(child.label) else {
+                    continue;
+                };
                 values[idx] = Some(val.clone());
                 set_targets.push(idx);
             }
@@ -379,22 +491,12 @@ fn expand_sym_k(
             .filter(|n| !n.children.is_empty())
             .collect();
         let mut continue_next =
-            |values: &mut Vec<Option<SymValue>>| expand_sym_k(v, internal, i + 1, values, k);
-        expand_sym_k2(elem, &inner, 0, values, &mut continue_next);
+            |values: &mut Vec<Option<SymValue>>| expand_sym_k(v, internal, i + 1, values, stop, k);
+        expand_sym_k(elem, &inner, 0, values, stop, &mut continue_next);
         for idx in set_targets {
             values[idx] = None;
         }
     }
-}
-
-fn expand_sym_k2(
-    v: &SymValue,
-    internal: &[&nfd_path::trie::TrieNode],
-    i: usize,
-    values: &mut Vec<Option<SymValue>>,
-    k: &mut dyn FnMut(&mut Vec<Option<SymValue>>),
-) {
-    expand_sym_k(v, internal, i, values, k)
 }
 
 #[cfg(test)]
@@ -413,13 +515,16 @@ mod tests {
             .unwrap();
         let mut u = Unifier::new();
         let x = vec![Path::parse("A").unwrap()];
+        let budget = Budget::standard();
         let mut b = TemplateBuilder {
             u: &mut u,
             x: &x,
             shared: HashMap::new(),
+            budget: &budget,
+            elements: 0,
         };
-        let t1 = b.shared_element(rec, &Path::empty());
-        let t2 = b.shared_element(rec, &Path::empty());
+        let t1 = b.shared_element(rec, &Path::empty()).unwrap();
+        let t2 = b.shared_element(rec, &Path::empty()).unwrap();
         let la = nfd_model::Label::new("A");
         let lb = nfd_model::Label::new("B");
         assert_eq!(t1.get(la), t2.get(la), "A shared");
@@ -433,16 +538,17 @@ mod tests {
         let sigma_s: Vec<Nfd> = sigma.iter().map(simple::to_simple).collect();
         let refs: Vec<&Nfd> = sigma_s.iter().collect();
         let goal = simple::to_simple(&Nfd::parse(&schema, "R:[A -> B]").unwrap());
-        let run = run(&schema, &refs, &goal).unwrap();
+        let run = run(&schema, &refs, &goal, &Budget::standard()).unwrap();
         assert!(run.implied);
         assert!(run.steps >= 1, "the A → B merge is a chase step");
+        assert!(run.assignments >= 1, "the scan enumerated assignments");
     }
 
     #[test]
     fn no_dependencies_nothing_implied() {
         let schema = Schema::parse("R : {<A: int, B: int>};").unwrap();
         let goal = simple::to_simple(&Nfd::parse(&schema, "R:[A -> B]").unwrap());
-        let run = run(&schema, &[], &goal).unwrap();
+        let run = run(&schema, &[], &goal, &Budget::standard()).unwrap();
         assert!(!run.implied);
         assert_eq!(run.steps, 0);
     }
@@ -451,7 +557,33 @@ mod tests {
     fn trivial_goal_implied_without_steps() {
         let schema = Schema::parse("R : {<A: int, B: int>};").unwrap();
         let goal = simple::to_simple(&Nfd::parse(&schema, "R:[A, B -> A]").unwrap());
-        let run = run(&schema, &[], &goal).unwrap();
+        let run = run(&schema, &[], &goal, &Budget::standard()).unwrap();
         assert!(run.implied);
+    }
+
+    #[test]
+    fn null_budget_stops_template_construction() {
+        // Three nesting levels → 3^depth record elements; a tiny null
+        // budget must stop construction with `Exhausted`, not OOM.
+        let schema = Schema::parse("R : {<A: {<B: {<C: {<D: int>}>}>}>};").unwrap();
+        let goal = simple::to_simple(&Nfd::parse(&schema, "R:[A -> A]").unwrap());
+        let mut budget = Budget::standard();
+        budget.max_chase_nulls = 10;
+        match run(&schema, &[], &goal, &budget) {
+            Err(ChaseError::Exhausted(r)) => assert_eq!(r.kind, ResourceKind::ChaseNulls),
+            other => panic!("expected null exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assignment_budget_stops_scan() {
+        let schema = Schema::parse("R : {<A: {<B: int, C: int>}, D: int>};").unwrap();
+        let goal = simple::to_simple(&Nfd::parse(&schema, "R:[A:B -> A:C]").unwrap());
+        let mut budget = Budget::standard();
+        budget.max_assignments = 1;
+        match run(&schema, &[], &goal, &budget) {
+            Err(ChaseError::Exhausted(r)) => assert_eq!(r.kind, ResourceKind::Assignments),
+            other => panic!("expected assignment exhaustion, got {other:?}"),
+        }
     }
 }

@@ -18,6 +18,7 @@
 use crate::engine::Engine;
 use crate::error::CoreError;
 use crate::nfd::Nfd;
+use nfd_govern::{ResourceKind, ResourceReport};
 use nfd_model::{Label, Schema};
 use nfd_path::table::{PathId, PathSet};
 use nfd_path::{Path, RootedPath};
@@ -142,17 +143,44 @@ pub fn candidate_keys(
 
     let covers = |x: &[PathId]| universe.is_subset(&rel.chain(x, None));
 
+    // Subset enumeration is exponential; count candidates against the
+    // engine's budget and abort the recursion (visitor returns `false`)
+    // the moment it runs out.
+    let budget = engine.budget();
+    let mut visited: u64 = 0;
+    let mut exhausted: Option<ResourceReport> = None;
     let mut keys: Vec<Vec<PathId>> = Vec::new();
     for size in 0..=max_key_size.min(attrs.len()) {
         let mut combo = Vec::with_capacity(size);
         search(&attrs, size, 0, &mut combo, &mut |cand| {
+            visited += 1;
+            if let Err(r) = budget
+                .check_counter(ResourceKind::KeyCandidates, visited)
+                .and_then(|()| {
+                    if visited.is_multiple_of(1024) {
+                        budget.check_live()
+                    } else {
+                        Ok(())
+                    }
+                })
+            {
+                exhausted = Some(r);
+                return false;
+            }
             if keys.iter().any(|k| k.iter().all(|p| cand.contains(p))) {
-                return; // superset of a known key
+                return true; // superset of a known key
             }
             if covers(cand) {
                 keys.push(cand.to_vec());
             }
+            true
         });
+        if exhausted.is_some() {
+            break;
+        }
+    }
+    if let Some(r) = exhausted {
+        return Err(CoreError::Exhausted(r));
     }
     let mut keys: Vec<Vec<Path>> = keys
         .into_iter()
@@ -162,21 +190,28 @@ pub fn candidate_keys(
     Ok(keys)
 }
 
+/// Enumerates `size`-subsets of `items`, calling `visit` on each; the
+/// visitor returns whether to continue, and `search` propagates an abort
+/// all the way out.
 fn search(
     items: &[PathId],
     size: usize,
     start: usize,
     combo: &mut Vec<PathId>,
-    visit: &mut dyn FnMut(&[PathId]),
-) {
+    visit: &mut dyn FnMut(&[PathId]) -> bool,
+) -> bool {
     if combo.len() == size {
         return visit(combo);
     }
     for i in start..items.len() {
         combo.push(items[i]);
-        search(items, size, i + 1, combo, visit);
+        let keep_going = search(items, size, i + 1, combo, visit);
         combo.pop();
+        if !keep_going {
+            return false;
+        }
     }
+    true
 }
 
 /// Set-valued paths that Σ forces to be empty-or-singleton: those whose
@@ -373,6 +408,26 @@ mod tests {
         );
         let none = Engine::new(&schema, &[]).unwrap();
         assert!(equal_or_disjoint_sets(&none).unwrap().is_empty());
+    }
+
+    #[test]
+    fn key_search_respects_candidate_budget() {
+        let (schema, sigma) = course();
+        let mut budget = nfd_govern::Budget::standard();
+        budget.max_key_candidates = 2;
+        let engine = Engine::with_budget(
+            &schema,
+            &sigma,
+            crate::emptyset::EmptySetPolicy::Forbidden,
+            budget,
+        )
+        .unwrap();
+        match candidate_keys(&engine, Label::new("Course"), 3) {
+            Err(CoreError::Exhausted(r)) => {
+                assert_eq!(r.kind, nfd_govern::ResourceKind::KeyCandidates)
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
     }
 
     #[test]

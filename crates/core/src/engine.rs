@@ -47,6 +47,7 @@ use crate::emptyset::EmptySetPolicy;
 use crate::error::CoreError;
 use crate::nfd::Nfd;
 use crate::simple;
+use nfd_govern::{Budget, ResourceKind};
 use nfd_model::{Label, Schema};
 use nfd_path::table::{PathId, PathSet, PathTable, SchemaTables};
 use nfd_path::{Path, RootedPath};
@@ -183,7 +184,7 @@ impl RelEngine {
         lhs: PathSet,
         rhs: PathId,
         prov: Prov,
-        budget: usize,
+        budget: &Budget,
     ) -> Result<bool, CoreError> {
         if lhs.contains(rhs) {
             return Ok(false); // reflexivity instance: never useful in the pool
@@ -201,12 +202,7 @@ impl RelEngine {
                 d.subsumed = true;
             }
         }
-        if self.deps.len() >= budget {
-            return Err(CoreError::Rule(format!(
-                "saturation budget of {budget} dependencies exceeded for relation `{}`",
-                self.relation
-            )));
-        }
+        budget.check_counter(ResourceKind::PoolDeps, self.deps.len() as u64 + 1)?;
         let mut need_x = lhs.clone();
         need_x.difference_with(self.table.followers_of(rhs));
         need_x.difference_with(&self.defined);
@@ -221,10 +217,14 @@ impl RelEngine {
     }
 
     /// Saturates the pool under prefix-weakening, full-locality and
-    /// resolution (all through the compiled policy gates).
-    fn saturate(&mut self, budget: usize) -> Result<(), CoreError> {
+    /// resolution (all through the compiled policy gates). Polls the
+    /// budget's liveness conditions (deadline, cancellation) every few
+    /// thousand resolution pairs so a runaway saturation stops promptly.
+    fn saturate(&mut self, budget: &Budget) -> Result<(), CoreError> {
         let mut i = 0;
+        let mut tick: u32 = 0;
         while i < self.deps.len() {
+            budget.check_live().map_err(CoreError::Exhausted)?;
             if self.deps[i].subsumed {
                 i += 1;
                 continue;
@@ -232,6 +232,10 @@ impl RelEngine {
             self.unary_conclusions(i, budget)?;
             // Resolution against every earlier entry, both directions.
             for j in 0..i {
+                tick = tick.wrapping_add(1);
+                if tick.is_multiple_of(4096) {
+                    budget.check_live().map_err(CoreError::Exhausted)?;
+                }
                 if self.deps[j].subsumed {
                     continue;
                 }
@@ -244,7 +248,7 @@ impl RelEngine {
     }
 
     /// Prefix-weakening and full-locality conclusions of `deps[i]`.
-    fn unary_conclusions(&mut self, i: usize, budget: usize) -> Result<(), CoreError> {
+    fn unary_conclusions(&mut self, i: usize, budget: &Budget) -> Result<(), CoreError> {
         let table = Arc::clone(&self.table);
         let (lhs, rhs) = (self.deps[i].lhs.clone(), self.deps[i].rhs);
 
@@ -300,7 +304,7 @@ impl RelEngine {
         &mut self,
         target: usize,
         supplier: usize,
-        budget: usize,
+        budget: &Budget,
     ) -> Result<(), CoreError> {
         let on = self.deps[supplier].rhs;
         if !self.deps[target].lhs.contains(on) {
@@ -381,9 +385,10 @@ impl RelEngine {
 
     /// One round of singleton introduction; returns whether any new
     /// singleton conclusion joined the pool.
-    fn singleton_round(&mut self, budget: usize) -> Result<bool, CoreError> {
+    fn singleton_round(&mut self, budget: &Budget) -> Result<bool, CoreError> {
         let table = Arc::clone(&self.table);
         let mut added = false;
+        budget.check_live().map_err(CoreError::Exhausted)?;
         for x_id in 0..table.len() as PathId {
             if self.singletons_granted.contains(&x_id) {
                 continue;
@@ -419,12 +424,12 @@ pub struct Engine<'s> {
     pub sigma: Vec<Nfd>,
     pub(crate) rels: HashMap<Label, RelEngine>,
     policy: EmptySetPolicy,
-    budget: usize,
+    budget: Budget,
 }
 
 impl<'s> Engine<'s> {
     /// Builds an engine under [`EmptySetPolicy::Forbidden`] (Theorem 3.1's
-    /// regime) with the default saturation budget.
+    /// regime) with the standard resource budget.
     pub fn new(schema: &'s Schema, sigma: &[Nfd]) -> Result<Engine<'s>, CoreError> {
         Engine::with_policy(schema, sigma, EmptySetPolicy::Forbidden)
     }
@@ -435,17 +440,16 @@ impl<'s> Engine<'s> {
         sigma: &[Nfd],
         policy: EmptySetPolicy,
     ) -> Result<Engine<'s>, CoreError> {
-        Engine::with_policy_and_budget(schema, sigma, policy, 100_000)
+        Engine::with_budget(schema, sigma, policy, Budget::standard())
     }
 
-    /// Builds an engine with an explicit saturation budget (maximum pool
-    /// entries per relation; exceeding it is an error, not an incorrect
-    /// answer).
-    pub fn with_policy_and_budget(
+    /// Builds an engine with an explicit resource [`Budget`]. Exhausting
+    /// it is a [`CoreError::Exhausted`], not an incorrect answer.
+    pub fn with_budget(
         schema: &'s Schema,
         sigma: &[Nfd],
         policy: EmptySetPolicy,
-        budget: usize,
+        budget: Budget,
     ) -> Result<Engine<'s>, CoreError> {
         let tables = SchemaTables::new(schema).map_err(|e| CoreError::Nav(e.to_string()))?;
         Engine::with_tables(schema, tables, sigma, policy, budget)
@@ -459,7 +463,7 @@ impl<'s> Engine<'s> {
         tables: SchemaTables,
         sigma: &[Nfd],
         policy: EmptySetPolicy,
-        budget: usize,
+        budget: Budget,
     ) -> Result<Engine<'s>, CoreError> {
         let mut rels: HashMap<Label, RelEngine> = HashMap::new();
         for name in schema.relation_names() {
@@ -471,19 +475,22 @@ impl<'s> Engine<'s> {
         for (i, nfd) in sigma.iter().enumerate() {
             nfd.validate(schema)?;
             let s = simple::to_simple(nfd);
-            let rel = rels
-                .get_mut(&s.base.relation)
-                .expect("validated NFD names a schema relation");
+            let rel = rels.get_mut(&s.base.relation).ok_or_else(|| {
+                CoreError::Nav(format!(
+                    "NFD #{i} names relation `{}` which is not in the schema",
+                    s.base.relation
+                ))
+            })?;
             let lhs = rel.intern_lhs(s.lhs())?;
             let rhs = rel.path_id(&s.rhs)?;
-            rel.add(lhs, rhs, Prov::Given(i), budget)?;
+            rel.add(lhs, rhs, Prov::Given(i), &budget)?;
         }
         // Saturate each relation, interleaving singleton rounds until the
         // whole system is stable.
         for rel in rels.values_mut() {
             loop {
-                rel.saturate(budget)?;
-                if !rel.singleton_round(budget)? {
+                rel.saturate(&budget)?;
+                if !rel.singleton_round(&budget)? {
                     break;
                 }
             }
@@ -549,6 +556,7 @@ impl<'s> Engine<'s> {
     /// Does Σ logically imply `goal` (over instances consistent with the
     /// engine's empty-set policy)?
     pub fn implies(&self, goal: &Nfd) -> Result<bool, CoreError> {
+        self.budget.check_live().map_err(CoreError::Exhausted)?;
         let (relation, lhs, rhs) = self.normalize_goal(goal)?;
         if lhs.contains(&rhs) {
             return Ok(true); // reflexivity
@@ -564,6 +572,7 @@ impl<'s> Engine<'s> {
         // Normalize through a synthetic goal: the closure is the set of
         // RHS paths the normalized LHS chains to, restricted to paths
         // below x0.
+        self.budget.check_live().map_err(CoreError::Exhausted)?;
         let rel = self.rel(base.relation)?;
         let prefix = &base.path;
         let mut x_ids: Vec<PathId> = Vec::new();
@@ -599,9 +608,11 @@ impl<'s> Engine<'s> {
         Ok(out)
     }
 
-    /// Saturation budget (maximum pool entries per relation).
-    pub fn budget(&self) -> usize {
-        self.budget
+    /// The resource budget the engine was built under; queries made
+    /// through this engine observe the same deadline and cancellation
+    /// token.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
     }
 
     /// Validates the engine's structural invariants; used by the test
@@ -920,10 +931,31 @@ mod tests {
     #[test]
     fn budget_exceeded_reports_error() {
         let (schema, sigma) = worked_example();
-        match Engine::with_policy_and_budget(&schema, &sigma, EmptySetPolicy::Forbidden, 2) {
-            Err(CoreError::Rule(msg)) => assert!(msg.contains("budget")),
+        match Engine::with_budget(
+            &schema,
+            &sigma,
+            EmptySetPolicy::Forbidden,
+            Budget::limited(2),
+        ) {
+            Err(CoreError::Exhausted(r)) => {
+                assert_eq!(r.kind, ResourceKind::PoolDeps);
+                assert_eq!(r.limit, 2);
+            }
             Err(other) => panic!("unexpected error {other}"),
             Ok(_) => panic!("expected the saturation budget to be exceeded"),
+        }
+    }
+
+    #[test]
+    fn cancelled_token_stops_construction() {
+        let (schema, sigma) = worked_example();
+        let budget = Budget::unlimited();
+        budget.cancel_token().cancel();
+        match Engine::with_budget(&schema, &sigma, EmptySetPolicy::Forbidden, budget) {
+            Err(CoreError::Exhausted(r)) => {
+                assert_eq!(r.kind, nfd_govern::ResourceKind::Cancelled)
+            }
+            other => panic!("expected cancellation, got {:?}", other.map(|_| ())),
         }
     }
 
@@ -953,9 +985,14 @@ mod tests {
         let (schema, sigma) = worked_example();
         let tables = SchemaTables::new(&schema).unwrap();
         let fresh = Engine::new(&schema, &sigma).unwrap();
-        let shared =
-            Engine::with_tables(&schema, tables, &sigma, EmptySetPolicy::Forbidden, 100_000)
-                .unwrap();
+        let shared = Engine::with_tables(
+            &schema,
+            tables,
+            &sigma,
+            EmptySetPolicy::Forbidden,
+            Budget::standard(),
+        )
+        .unwrap();
         for goal in ["R:A:[B -> E]", "R:[D -> A]", "R:A:[E -> E:G]"] {
             let nfd = Nfd::parse(&schema, goal).unwrap();
             assert_eq!(

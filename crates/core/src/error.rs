@@ -1,5 +1,6 @@
 //! Error type for NFD construction, checking and inference.
 
+use nfd_govern::ResourceReport;
 use nfd_path::typing::PathTypeError;
 use std::fmt;
 
@@ -21,6 +22,13 @@ pub enum CoreError {
     Construct(String),
     /// An inference-rule application whose side conditions do not hold.
     Rule(String),
+    /// A resource budget ran out before the computation finished — an
+    /// honest "don't know yet", never a wrong answer.
+    Exhausted(ResourceReport),
+    /// An internal invariant was violated (e.g. a contained panic from a
+    /// decision procedure). Seeing this is a bug; the variant exists so
+    /// the session/CLI boundary can report it instead of aborting.
+    Internal(String),
     /// Dependencies passed to an engine refer to different relations than
     /// the one the engine was built for.
     WrongRelation {
@@ -42,6 +50,8 @@ impl fmt::Display for CoreError {
             CoreError::Nav(m) => write!(f, "navigation error: {m}"),
             CoreError::Construct(m) => write!(f, "construction error: {m}"),
             CoreError::Rule(m) => write!(f, "rule not applicable: {m}"),
+            CoreError::Exhausted(r) => write!(f, "resources exhausted: {r}"),
+            CoreError::Internal(m) => write!(f, "internal error: {m}"),
             CoreError::WrongRelation { expected, found } => {
                 write!(
                     f,
@@ -63,6 +73,12 @@ impl From<PathTypeError> for CoreError {
 impl From<nfd_path::nav::NavError> for CoreError {
     fn from(e: nfd_path::nav::NavError) -> Self {
         CoreError::Nav(e.to_string())
+    }
+}
+
+impl From<ResourceReport> for CoreError {
+    fn from(r: ResourceReport) -> Self {
+        CoreError::Exhausted(r)
     }
 }
 

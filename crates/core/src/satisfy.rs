@@ -118,9 +118,14 @@ pub fn check(schema: &Schema, instance: &Instance, nfd: &Nfd) -> Result<SatisfyR
     let lhs_idx: Vec<usize> = nfd
         .lhs()
         .iter()
-        .map(|p| trie.target_index(p).expect("lhs path inserted"))
-        .collect();
-    let rhs_idx = trie.target_index(&nfd.rhs).expect("rhs path inserted");
+        .map(|p| {
+            trie.target_index(p)
+                .ok_or_else(|| CoreError::Nav(format!("LHS path `{p}` missing from path trie")))
+        })
+        .collect::<Result<_, _>>()?;
+    let rhs_idx = trie
+        .target_index(&nfd.rhs)
+        .ok_or_else(|| CoreError::Nav(format!("RHS path `{}` missing from path trie", nfd.rhs)))?;
 
     let mut violation: Option<Violation> = None;
     let mut assignments_checked = 0usize;

@@ -7,12 +7,13 @@
 //! empty-set pathologies surface in this semantics.
 
 use crate::ast::{Formula, SetRef, Term};
+use nfd_govern::{Budget, ResourceKind, ResourceReport};
 use nfd_model::{Instance, Value};
 use std::fmt;
 
 /// Errors raised during evaluation. These indicate a formula/instance
-/// mismatch (e.g. a formula translated against a different schema), never a
-/// mere "dependency violated".
+/// mismatch (e.g. a formula translated against a different schema) or an
+/// exhausted resource budget, never a mere "dependency violated".
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum EvalError {
     /// Variable used before being bound by a quantifier.
@@ -25,6 +26,9 @@ pub enum EvalError {
     MissingField(String),
     /// The instance has no such relation.
     UnknownRelation(String),
+    /// The assignment budget, deadline or cancellation token tripped
+    /// before evaluation finished.
+    Exhausted(ResourceReport),
 }
 
 impl fmt::Display for EvalError {
@@ -35,36 +39,54 @@ impl fmt::Display for EvalError {
             EvalError::NotARecord(t) => write!(f, "`{t}` projects from a non-record"),
             EvalError::MissingField(t) => write!(f, "`{t}` projects a missing field"),
             EvalError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            EvalError::Exhausted(r) => write!(f, "evaluation exhausted: {r}"),
         }
     }
 }
 
 impl std::error::Error for EvalError {}
 
-/// Evaluates `formula` over `instance`.
+/// Evaluates `formula` over `instance` with no resource limits beyond the
+/// standard budget (which leaves assignment enumeration unbounded).
 pub fn eval(instance: &Instance, formula: &Formula) -> Result<bool, EvalError> {
+    eval_budgeted(instance, formula, &Budget::standard())
+}
+
+/// Evaluates `formula` over `instance` under a resource [`Budget`]: every
+/// quantifier instantiation is charged against
+/// [`Budget::max_assignments`], and the deadline/cancellation token is
+/// polled every few thousand instantiations.
+pub fn eval_budgeted(
+    instance: &Instance,
+    formula: &Formula,
+    budget: &Budget,
+) -> Result<bool, EvalError> {
+    budget.check_live().map_err(EvalError::Exhausted)?;
     let mut env: Vec<Option<Value>> = Vec::new();
-    eval_with(instance, formula, &mut env)
+    let mut assignments = 0u64;
+    eval_with(instance, formula, &mut env, budget, &mut assignments)
 }
 
 fn eval_with(
     instance: &Instance,
     formula: &Formula,
     env: &mut Vec<Option<Value>>,
+    budget: &Budget,
+    assignments: &mut u64,
 ) -> Result<bool, EvalError> {
     match formula {
         Formula::True => Ok(true),
         Formula::And(cs) => {
             for c in cs {
-                if !eval_with(instance, c, env)? {
+                if !eval_with(instance, c, env, budget, assignments)? {
                     return Ok(false);
                 }
             }
             Ok(true)
         }
         Formula::Implies(a, b) => {
-            if eval_with(instance, a, env)? {
-                eval_with(instance, b, env)
+            if eval_with(instance, a, env, budget, assignments)? {
+                eval_with(instance, b, env, budget, assignments)
             } else {
                 Ok(true)
             }
@@ -76,8 +98,19 @@ fn eval_with(
                 env.resize(var.id + 1, None);
             }
             for elem in set.elems() {
+                *assignments += 1;
+                budget
+                    .check_counter(ResourceKind::Assignments, *assignments)
+                    .and_then(|()| {
+                        if (*assignments).is_multiple_of(4096) {
+                            budget.check_live()
+                        } else {
+                            Ok(())
+                        }
+                    })
+                    .map_err(EvalError::Exhausted)?;
                 env[var.id] = Some(elem.clone());
-                let ok = eval_with(instance, body, env)?;
+                let ok = eval_with(instance, body, env, budget, assignments)?;
                 env[var.id] = None;
                 if !ok {
                     return Ok(false);
@@ -248,6 +281,39 @@ mod tests {
         let f = translate_nfd(&schema, &RootedPath::parse("R").unwrap(), &[], &p("A")).unwrap();
         assert_eq!(eval(&konst, &f), Ok(true));
         assert_eq!(eval(&varying, &f), Ok(false));
+    }
+
+    #[test]
+    fn assignment_budget_stops_evaluation() {
+        let (s, i) = course_setup();
+        let f = translate_nfd(
+            &s,
+            &rp("Course"),
+            &[p("students:sid")],
+            &p("students:grade"),
+        )
+        .unwrap();
+        let mut budget = Budget::standard();
+        budget.max_assignments = 3;
+        assert!(matches!(
+            eval_budgeted(&i, &f, &budget),
+            Err(EvalError::Exhausted(r)) if r.kind == ResourceKind::Assignments && r.limit == 3
+        ));
+        // A generous assignment budget agrees with the unbudgeted verdict.
+        budget.max_assignments = 1_000;
+        assert_eq!(eval_budgeted(&i, &f, &budget), Ok(true));
+    }
+
+    #[test]
+    fn cancelled_token_stops_evaluation() {
+        let (s, i) = course_setup();
+        let f = translate_nfd(&s, &rp("Course"), &[p("cnum")], &p("time")).unwrap();
+        let budget = Budget::standard();
+        budget.cancel_token().cancel();
+        assert!(matches!(
+            eval_budgeted(&i, &f, &budget),
+            Err(EvalError::Exhausted(r)) if r.kind == ResourceKind::Cancelled
+        ));
     }
 
     #[test]

@@ -47,5 +47,5 @@ pub mod eval;
 pub mod translate;
 
 pub use ast::{Formula, SetRef, Term, Var};
-pub use eval::{eval, EvalError};
+pub use eval::{eval, eval_budgeted, EvalError};
 pub use translate::{translate_nfd, TranslateError};

@@ -35,6 +35,16 @@ pub enum ModelError {
         /// 1-based column.
         col: u32,
     },
+    /// Input exceeded a hard parser limit (nesting depth, input size).
+    /// These limits protect against stack overflow and memory blowup on
+    /// adversarial input; they are far above anything a legitimate schema
+    /// or instance needs.
+    Limit {
+        /// Which limit tripped (e.g. "nesting depth").
+        what: &'static str,
+        /// The configured ceiling.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -57,6 +67,9 @@ impl fmt::Display for ModelError {
             ModelError::UnexpectedField(l) => write!(f, "record has undeclared field `{l}`"),
             ModelError::Parse { msg, line, col } => {
                 write!(f, "parse error at {line}:{col}: {msg}")
+            }
+            ModelError::Limit { what, limit } => {
+                write!(f, "input exceeds the {what} limit of {limit}")
             }
         }
     }

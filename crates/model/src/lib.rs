@@ -63,6 +63,7 @@ pub mod value;
 pub use error::ModelError;
 pub use instance::Instance;
 pub use label::Label;
+pub use parse::{MAX_INPUT_LEN, MAX_NESTING_DEPTH};
 pub use schema::Schema;
 pub use types::{BaseType, Field, RecordType, Type};
 pub use value::{BaseValue, RecordValue, SetValue, Value};

@@ -71,6 +71,15 @@ impl TokenKind {
     }
 }
 
+/// Hard ceiling on parser input size (bytes). Inputs past this are
+/// rejected up front instead of being tokenized into an enormous buffer.
+pub const MAX_INPUT_LEN: usize = 8 * 1024 * 1024;
+
+/// Hard ceiling on `{`/`<` nesting depth in types and values. The
+/// recursive-descent parser recurses once per level, so unbounded depth
+/// would overflow the stack; 128 is far deeper than any real schema.
+pub const MAX_NESTING_DEPTH: usize = 128;
+
 /// Tokenizes `text`. Shared by the model parsers and (through
 /// `Lexer::tokenize`) by the NFD parser in `nfd-core`.
 pub struct Lexer;
@@ -78,6 +87,12 @@ pub struct Lexer;
 impl Lexer {
     /// Produces the token stream for `text` (ending with `Eof`).
     pub(crate) fn tokenize(text: &str) -> Result<Vec<Token>, ModelError> {
+        if text.len() > MAX_INPUT_LEN {
+            return Err(ModelError::Limit {
+                what: "input size (bytes)",
+                limit: MAX_INPUT_LEN,
+            });
+        }
         let mut tokens = Vec::new();
         let mut line: u32 = 1;
         let mut col: u32 = 1;
@@ -272,6 +287,7 @@ fn lex_int(
 pub(crate) struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    depth: usize,
 }
 
 impl Parser {
@@ -279,7 +295,21 @@ impl Parser {
         Ok(Parser {
             tokens: Lexer::tokenize(text)?,
             pos: 0,
+            depth: 0,
         })
+    }
+
+    /// Charges one level of `{`/`<` nesting; errs past
+    /// [`MAX_NESTING_DEPTH`]. Callers must pair with `self.depth -= 1`.
+    fn descend(&mut self) -> Result<(), ModelError> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING_DEPTH {
+            return Err(ModelError::Limit {
+                what: "nesting depth",
+                limit: MAX_NESTING_DEPTH,
+            });
+        }
+        Ok(())
     }
 
     fn peek(&self) -> &Token {
@@ -344,12 +374,15 @@ impl Parser {
     fn ty(&mut self) -> Result<Type, ModelError> {
         match &self.peek().kind {
             TokenKind::LBrace => {
+                self.descend()?;
                 self.advance();
                 let elem = self.ty()?;
                 self.expect(TokenKind::RBrace)?;
+                self.depth -= 1;
                 Ok(Type::Set(Box::new(elem)))
             }
             TokenKind::LAngle => {
+                self.descend()?;
                 self.advance();
                 let mut fields = Vec::new();
                 if !self.eat(&TokenKind::RAngle) {
@@ -364,6 +397,7 @@ impl Parser {
                     }
                     self.expect(TokenKind::RAngle)?;
                 }
+                self.depth -= 1;
                 Ok(Type::Record(RecordType::new(fields)?))
             }
             TokenKind::Ident(s) => {
@@ -404,6 +438,7 @@ impl Parser {
                 Ok(Value::bool(false))
             }
             TokenKind::LBrace => {
+                self.descend()?;
                 self.advance();
                 let mut elems = Vec::new();
                 if !self.eat(&TokenKind::RBrace) {
@@ -415,9 +450,11 @@ impl Parser {
                     }
                     self.expect(TokenKind::RBrace)?;
                 }
+                self.depth -= 1;
                 Ok(Value::set(elems))
             }
             TokenKind::LAngle => {
+                self.descend()?;
                 self.advance();
                 let mut fields = Vec::new();
                 if !self.eat(&TokenKind::RAngle) {
@@ -432,6 +469,7 @@ impl Parser {
                     }
                     self.expect(TokenKind::RAngle)?;
                 }
+                self.depth -= 1;
                 Ok(Value::Record(RecordValue::new(fields)?))
             }
             other => Err(self.error_at(format!("expected a value, found {}", other.describe()))),
@@ -563,6 +601,60 @@ mod tests {
     #[test]
     fn integer_overflow_detected() {
         assert!(parse_value("99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_rejected_without_stack_overflow() {
+        // Types: {{{…int…}}} nested past the limit.
+        let deep_ty = format!(
+            "{}int{}",
+            "{".repeat(MAX_NESTING_DEPTH + 10),
+            "}".repeat(MAX_NESTING_DEPTH + 10)
+        );
+        assert!(matches!(
+            parse_type(&deep_ty),
+            Err(ModelError::Limit { what, .. }) if what == "nesting depth"
+        ));
+        // Values: {{{…}}} likewise.
+        let deep_val = format!(
+            "{}1{}",
+            "{".repeat(MAX_NESTING_DEPTH + 10),
+            "}".repeat(MAX_NESTING_DEPTH + 10)
+        );
+        assert!(matches!(
+            parse_value(&deep_val),
+            Err(ModelError::Limit { what, .. }) if what == "nesting depth"
+        ));
+        // Even unbalanced deep opens must not recurse unboundedly.
+        let open_only = "<a: ".repeat(100_000);
+        assert!(parse_value(&open_only).is_err());
+    }
+
+    #[test]
+    fn nesting_at_the_limit_is_accepted() {
+        let ok = format!(
+            "{}int{}",
+            "{".repeat(MAX_NESTING_DEPTH),
+            "}".repeat(MAX_NESTING_DEPTH)
+        );
+        assert!(parse_type(&ok).is_ok());
+    }
+
+    #[test]
+    fn sibling_nesting_does_not_accumulate_depth() {
+        // Depth must be released when a nested term closes: many shallow
+        // siblings are fine even if their total bracket count is huge.
+        let elems = vec!["{1}"; MAX_NESTING_DEPTH * 4].join(", ");
+        assert!(parse_value(&format!("{{{elems}}}")).is_ok());
+    }
+
+    #[test]
+    fn oversized_input_rejected() {
+        let huge = "x".repeat(MAX_INPUT_LEN + 1);
+        assert!(matches!(
+            parse_value(&huge),
+            Err(ModelError::Limit { what, .. }) if what == "input size (bytes)"
+        ));
     }
 
     #[test]

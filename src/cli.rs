@@ -24,36 +24,80 @@
 //! The entry point [`run`] writes to the supplied sink and returns a
 //! process exit code, so the whole CLI is unit-testable.
 
-use crate::session::Session;
+use crate::session::{AttemptOutcome, Session};
 use nfd_core::engine::Engine;
-use nfd_core::{analysis, construct, nfd::parse_set, satisfy, Nfd};
+use nfd_core::{analysis, construct, nfd::parse_set, satisfy, CoreError, Nfd};
+use nfd_govern::Budget;
 use nfd_model::{render, Instance, Schema};
 use nfd_path::{Path, RootedPath};
 use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A dispatch failure, distinguishing bad input from exhausted budgets so
+/// callers (and scripts) can tell them apart by exit code.
+enum CliFail {
+    /// Usage or input error → exit 2, with the usage text.
+    Usage(String),
+    /// A resource budget/deadline ran out → exit 3.
+    Exhausted(String),
+}
+
+impl From<String> for CliFail {
+    fn from(msg: String) -> CliFail {
+        CliFail::Usage(msg)
+    }
+}
+
+impl From<&str> for CliFail {
+    fn from(msg: &str) -> CliFail {
+        CliFail::Usage(msg.to_string())
+    }
+}
+
+/// Maps a library error: budget exhaustion keeps its identity, everything
+/// else is an input/usage failure.
+fn core_fail(e: CoreError) -> CliFail {
+    match e {
+        CoreError::Exhausted(r) => CliFail::Exhausted(r.to_string()),
+        other => CliFail::Usage(other.to_string()),
+    }
+}
 
 /// Runs the CLI with the given arguments (excluding the program name),
 /// writing human-readable output to `out`. Returns the exit code:
 /// `0` success / property holds, `1` property fails (violation found or
-/// not implied), `2` usage or input error.
+/// not implied), `2` usage or input error, `3` resource budget or
+/// deadline exhausted before a verdict, `101` contained internal panic.
 pub fn run(args: &[String], out: &mut String) -> i32 {
-    match dispatch(args, out) {
-        Ok(code) => code,
-        Err(msg) => {
-            let _ = writeln!(out, "error: {msg}");
-            let _ = writeln!(out, "{USAGE}");
+    let mut inner = String::new();
+    let code = match catch_unwind(AssertUnwindSafe(|| dispatch(args, &mut inner))) {
+        Ok(Ok(code)) => code,
+        Ok(Err(CliFail::Usage(msg))) => {
+            let _ = writeln!(inner, "error: {msg}");
+            let _ = writeln!(inner, "{USAGE}");
             2
         }
-    }
+        Ok(Err(CliFail::Exhausted(msg))) => {
+            let _ = writeln!(inner, "exhausted: {msg}");
+            3
+        }
+        Err(_) => {
+            let _ = writeln!(inner, "internal error: a decision procedure panicked");
+            101
+        }
+    };
+    out.push_str(&inner);
+    code
 }
 
 const USAGE: &str = "usage:
   nfdtool check    --schema FILE --deps FILE --instance FILE
-  nfdtool implies  --schema FILE --deps FILE [--policy P] NFD
-  nfdtool implies  --schema FILE --deps FILE [--policy P] --goals FILE
-  nfdtool prove    --schema FILE --deps FILE [--policy P] NFD
-  nfdtool closure  --schema FILE --deps FILE [--policy P] --base PATH [--lhs P1,P2,…]
+  nfdtool implies  --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] NFD
+  nfdtool implies  --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] --goals FILE
+  nfdtool prove    --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] NFD
+  nfdtool closure  --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] --base PATH [--lhs P1,P2,…]
   nfdtool witness  --schema FILE --deps FILE --base PATH [--lhs P1,P2,…]
-  nfdtool keys     --schema FILE --deps FILE --relation NAME
+  nfdtool keys     --schema FILE --deps FILE --relation NAME [--budget N] [--timeout-ms T]
   nfdtool analyze  --schema FILE --deps FILE
   nfdtool render   --schema FILE --instance FILE
 
@@ -64,7 +108,17 @@ const USAGE: &str = "usage:
      strict            no instance contains an empty set (default; Theorem 3.1)
      pessimistic       empty sets anywhere; only `follows`-safe inferences
      nonempty:R:A,R:B  like pessimistic, with the listed set paths declared
-                       non-empty (the paper's NON-NULL analogue)";
+                       non-empty (the paper's NON-NULL analogue)
+
+  --budget N caps every work counter (derived dependencies, chase steps &
+  nulls, assignment enumerations, key candidates) at N; --timeout-ms T adds
+  a wall-clock deadline. With neither flag generous defaults apply. An
+  exhausted budget is an honest \"don't know\", never a wrong verdict; for
+  `implies` the tool falls back saturation -> chase -> logic-eval before
+  giving up.
+
+  exit codes: 0 holds/implied · 1 fails/not implied · 2 usage or input
+  error · 3 budget or deadline exhausted · 101 contained internal panic";
 
 struct Opts {
     schema: Option<String>,
@@ -75,6 +129,8 @@ struct Opts {
     relation: Option<String>,
     policy: Option<String>,
     goals: Option<String>,
+    budget: Option<String>,
+    timeout_ms: Option<String>,
     positional: Vec<String>,
 }
 
@@ -88,6 +144,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         relation: None,
         policy: None,
         goals: None,
+        budget: None,
+        timeout_ms: None,
         positional: Vec::new(),
     };
     let mut i = 0;
@@ -107,6 +165,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--relation" => o.relation = Some(take(&mut i)?),
             "--policy" => o.policy = Some(take(&mut i)?),
             "--goals" => o.goals = Some(take(&mut i)?),
+            "--budget" => o.budget = Some(take(&mut i)?),
+            "--timeout-ms" => o.timeout_ms = Some(take(&mut i)?),
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             other => o.positional.push(other.to_string()),
         }
@@ -163,7 +223,29 @@ fn parse_policy(o: &Opts) -> Result<nfd_core::EmptySetPolicy, String> {
     }
 }
 
-fn dispatch(args: &[String], out: &mut String) -> Result<i32, String> {
+/// Builds the [`Budget`] requested by `--budget` / `--timeout-ms`. With
+/// neither flag the standard budget applies (generous counter ceilings,
+/// no deadline) — exactly the pre-governance behaviour.
+fn parse_budget(o: &Opts) -> Result<Budget, String> {
+    let mut budget = match o.budget.as_deref() {
+        None => Budget::standard(),
+        Some(text) => {
+            let n: u64 = text
+                .parse()
+                .map_err(|_| format!("--budget must be a non-negative integer, got `{text}`"))?;
+            Budget::limited(n)
+        }
+    };
+    if let Some(text) = o.timeout_ms.as_deref() {
+        let ms: u64 = text
+            .parse()
+            .map_err(|_| format!("--timeout-ms must be a non-negative integer, got `{text}`"))?;
+        budget = budget.with_timeout_ms(ms);
+    }
+    Ok(budget)
+}
+
+fn dispatch(args: &[String], out: &mut String) -> Result<i32, CliFail> {
     let Some(cmd) = args.first() else {
         return Err("no subcommand".into());
     };
@@ -198,8 +280,9 @@ fn dispatch(args: &[String], out: &mut String) -> Result<i32, String> {
             let schema = load_schema(&o)?;
             let sigma = load_deps(&o, &schema)?;
             let policy = parse_policy(&o)?;
+            let budget = parse_budget(&o)?;
             let session =
-                Session::with_policy(&schema, &sigma, policy).map_err(|e| e.to_string())?;
+                Session::with_budget(&schema, &sigma, policy, budget.clone()).map_err(core_fail)?;
             // Batch mode: one compiled session answers every goal of the
             // file — the compilation cost is paid once, not per goal.
             if cmd == "implies" && o.goals.is_some() {
@@ -207,21 +290,29 @@ fn dispatch(args: &[String], out: &mut String) -> Result<i32, String> {
                 let goals =
                     parse_set(&schema, &read(path, "goals")?).map_err(|e| format!("goals: {e}"))?;
                 if goals.is_empty() {
-                    return Err(format!("goals file `{path}` contains no NFDs"));
+                    return Err(format!("goals file `{path}` contains no NFDs").into());
                 }
-                let mut implied = 0usize;
+                let (mut implied, mut exhausted) = (0usize, 0usize);
                 for goal in &goals {
-                    let yes = session.implies(goal).map_err(|e| e.to_string())?;
-                    if yes {
-                        implied += 1;
-                    }
-                    let _ = writeln!(
-                        out,
-                        "{}  {goal}",
-                        if yes { "implied    " } else { "not implied" }
-                    );
+                    let decision = session.implies_with(goal, &budget).map_err(core_fail)?;
+                    let word = match decision.verdict.as_bool() {
+                        Some(true) => {
+                            implied += 1;
+                            "implied    "
+                        }
+                        Some(false) => "not implied",
+                        None => {
+                            exhausted += 1;
+                            "exhausted  "
+                        }
+                    };
+                    let _ = writeln!(out, "{word}  {goal}");
                 }
                 let _ = writeln!(out, "{implied} of {} goals implied", goals.len());
+                if exhausted > 0 {
+                    let _ = writeln!(out, "({exhausted} exhausted the budget)");
+                    return Ok(3);
+                }
                 return Ok(if implied == goals.len() { 0 } else { 1 });
             }
             let goal_text = o
@@ -230,11 +321,31 @@ fn dispatch(args: &[String], out: &mut String) -> Result<i32, String> {
                 .ok_or("expected the goal NFD as a positional argument (or --goals FILE)")?;
             let goal = Nfd::parse(&schema, goal_text).map_err(|e| format!("goal: {e}"))?;
             if cmd == "implies" {
-                let yes = session.implies(&goal).map_err(|e| e.to_string())?;
-                let _ = writeln!(out, "{}", if yes { "implied" } else { "not implied" });
-                Ok(if yes { 0 } else { 1 })
+                let decision = session.implies_with(&goal, &budget).map_err(core_fail)?;
+                match decision.verdict.as_bool() {
+                    Some(yes) => {
+                        let _ = writeln!(out, "{}", if yes { "implied" } else { "not implied" });
+                        // Surface fallbacks: the verdict is just as valid,
+                        // but the user should know saturation gave up.
+                        if let Some(by) = decision.answered_by() {
+                            if by != "saturation" {
+                                let _ = writeln!(out, "(answered by {by} after fallback)");
+                            }
+                        }
+                        Ok(if yes { 0 } else { 1 })
+                    }
+                    None => {
+                        for a in &decision.attempts {
+                            if let AttemptOutcome::Exhausted(r) = &a.outcome {
+                                let _ = writeln!(out, "{}: exhausted: {r}", a.decider);
+                            }
+                        }
+                        let _ = writeln!(out, "exhausted (no decider finished within budget)");
+                        Ok(3)
+                    }
+                }
             } else {
-                match session.prove(&goal).map_err(|e| e.to_string())? {
+                match session.prove(&goal).map_err(core_fail)? {
                     Some(pf) => {
                         session
                             .verify(&pf)
@@ -256,9 +367,10 @@ fn dispatch(args: &[String], out: &mut String) -> Result<i32, String> {
             let base = RootedPath::parse(base_text).map_err(|e| format!("--base: {e}"))?;
             let lhs = parse_lhs(&o)?;
             let policy = parse_policy(&o)?;
+            let budget = parse_budget(&o)?;
             let session =
-                Session::with_policy(&schema, &sigma, policy).map_err(|e| e.to_string())?;
-            let cl = session.closure(&base, &lhs).map_err(|e| e.to_string())?;
+                Session::with_budget(&schema, &sigma, policy, budget).map_err(core_fail)?;
+            let cl = session.closure(&base, &lhs).map_err(core_fail)?;
             for p in &cl {
                 let _ = writeln!(out, "{p}");
             }
@@ -304,10 +416,11 @@ fn dispatch(args: &[String], out: &mut String) -> Result<i32, String> {
             let sigma = load_deps(&o, &schema)?;
             let rel_text = o.relation.as_deref().ok_or("--relation is required")?;
             let relation = nfd_model::Label::new(rel_text);
-            let session = Session::new(&schema, &sigma).map_err(|e| e.to_string())?;
-            let keys = session
-                .candidate_keys(relation, 4)
-                .map_err(|e| e.to_string())?;
+            let budget = parse_budget(&o)?;
+            let session =
+                Session::with_budget(&schema, &sigma, nfd_core::EmptySetPolicy::Forbidden, budget)
+                    .map_err(core_fail)?;
+            let keys = session.candidate_keys(relation, 4).map_err(core_fail)?;
             for k in &keys {
                 let _ = writeln!(
                     out,
@@ -360,7 +473,7 @@ fn dispatch(args: &[String], out: &mut String) -> Result<i32, String> {
             let _ = writeln!(out, "{USAGE}");
             Ok(0)
         }
-        other => Err(format!("unknown subcommand `{other}`")),
+        other => Err(format!("unknown subcommand `{other}`").into()),
     }
 }
 

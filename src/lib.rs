@@ -12,6 +12,7 @@
 //!
 //! | crate | contents |
 //! |---|---|
+//! | [`govern`] | resource budgets, cancellation tokens, three-valued verdicts |
 //! | [`model`] | types, values, schemas, instances, parsing, rendering, generation |
 //! | [`path`] | path expressions, typing, prefix/follows, navigation |
 //! | [`logic`] | Section 2.2 translation to first-order logic + evaluator |
@@ -52,6 +53,7 @@ pub mod session;
 
 pub use nfd_chase as chase;
 pub use nfd_core as core;
+pub use nfd_govern as govern;
 pub use nfd_logic as logic;
 pub use nfd_model as model;
 pub use nfd_path as path;
@@ -59,9 +61,12 @@ pub use nfd_relational as relational;
 
 /// The most commonly used items, for `use nfd::prelude::*`.
 pub mod prelude {
-    pub use crate::session::{Chase, Decider, LogicEval, Saturation, Session};
+    pub use crate::session::{
+        Attempt, AttemptOutcome, Chase, Decider, Decision, LogicEval, Saturation, Session,
+    };
     pub use nfd_core::engine::Engine;
     pub use nfd_core::{check, EmptySetPolicy, Nfd, SatisfyReport, Violation};
+    pub use nfd_govern::{Budget, CancelToken, ResourceKind, ResourceReport, Verdict};
     pub use nfd_model::{Instance, Label, Schema, Type, Value};
     pub use nfd_path::{Path, RootedPath};
 }

@@ -26,10 +26,12 @@
 use nfd_core::engine::Engine;
 use nfd_core::proof::{self, Proof};
 use nfd_core::{analysis, construct, satisfy, CoreError, EmptySetPolicy, Nfd, SatisfyReport};
-use nfd_logic::{eval, translate_nfd};
+use nfd_govern::{Budget, ResourceReport, Verdict};
+use nfd_logic::{eval_budgeted, translate_nfd, EvalError};
 use nfd_model::{Instance, Label, Schema};
 use nfd_path::table::SchemaTables;
 use nfd_path::{Path, RootedPath};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// An error from a [`Decider`] — a human-readable description carrying
 /// the name of the procedure that failed.
@@ -59,8 +61,30 @@ pub trait Decider {
     /// A short stable name for reports and error messages.
     fn name(&self) -> &'static str;
 
-    /// Decides `Σ ⊨ goal`.
-    fn implies(&self, schema: &Schema, sigma: &[Nfd], goal: &Nfd) -> Result<bool, DeciderError>;
+    /// Decides `Σ ⊨ goal` under a resource [`Budget`]. Running out of
+    /// budget is reported as [`Verdict::Exhausted`] — an honest "don't
+    /// know yet", never a wrong answer.
+    fn decide(
+        &self,
+        schema: &Schema,
+        sigma: &[Nfd],
+        goal: &Nfd,
+        budget: &Budget,
+    ) -> Result<Verdict, DeciderError>;
+
+    /// Decides `Σ ⊨ goal` under the standard budget, turning exhaustion
+    /// (which the standard budget only reaches on pathological inputs)
+    /// into a [`DeciderError`].
+    fn implies(&self, schema: &Schema, sigma: &[Nfd], goal: &Nfd) -> Result<bool, DeciderError> {
+        match self.decide(schema, sigma, goal, &Budget::standard())? {
+            Verdict::Implied => Ok(true),
+            Verdict::NotImplied => Ok(false),
+            Verdict::Exhausted(r) => Err(DeciderError {
+                decider: self.name(),
+                message: format!("resources exhausted: {r}"),
+            }),
+        }
+    }
 }
 
 /// The axiomatic saturation engine (Theorem 3.1).
@@ -72,13 +96,28 @@ impl Decider for Saturation {
         "saturation"
     }
 
-    fn implies(&self, schema: &Schema, sigma: &[Nfd], goal: &Nfd) -> Result<bool, DeciderError> {
+    fn decide(
+        &self,
+        schema: &Schema,
+        sigma: &[Nfd],
+        goal: &Nfd,
+        budget: &Budget,
+    ) -> Result<Verdict, DeciderError> {
         let err = |e: CoreError| DeciderError {
             decider: "saturation",
             message: e.to_string(),
         };
-        let engine = Engine::new(schema, sigma).map_err(err)?;
-        engine.implies(goal).map_err(err)
+        let engine =
+            match Engine::with_budget(schema, sigma, EmptySetPolicy::Forbidden, budget.clone()) {
+                Ok(e) => e,
+                Err(CoreError::Exhausted(r)) => return Ok(Verdict::Exhausted(r)),
+                Err(e) => return Err(err(e)),
+            };
+        match engine.implies(goal) {
+            Ok(b) => Ok(Verdict::from_bool(b)),
+            Err(CoreError::Exhausted(r)) => Ok(Verdict::Exhausted(r)),
+            Err(e) => Err(err(e)),
+        }
     }
 }
 
@@ -91,11 +130,24 @@ impl Decider for Chase {
         "chase"
     }
 
-    fn implies(&self, schema: &Schema, sigma: &[Nfd], goal: &Nfd) -> Result<bool, DeciderError> {
-        nfd_chase::implies_by_chase(schema, sigma, goal).map_err(|e| DeciderError {
-            decider: "chase",
-            message: e.to_string(),
-        })
+    fn decide(
+        &self,
+        schema: &Schema,
+        sigma: &[Nfd],
+        goal: &Nfd,
+        budget: &Budget,
+    ) -> Result<Verdict, DeciderError> {
+        match nfd_chase::chase_with(schema, sigma, goal, budget) {
+            Ok(run) => Ok(Verdict::from_bool(run.implied)),
+            Err(nfd_chase::ChaseError::Exhausted(r))
+            | Err(nfd_chase::ChaseError::Core(CoreError::Exhausted(r))) => {
+                Ok(Verdict::Exhausted(r))
+            }
+            Err(e) => Err(DeciderError {
+                decider: "chase",
+                message: e.to_string(),
+            }),
+        }
     }
 }
 
@@ -113,23 +165,101 @@ impl Decider for LogicEval {
         "logic-eval"
     }
 
-    fn implies(&self, schema: &Schema, sigma: &[Nfd], goal: &Nfd) -> Result<bool, DeciderError> {
+    fn decide(
+        &self,
+        schema: &Schema,
+        sigma: &[Nfd],
+        goal: &Nfd,
+        budget: &Budget,
+    ) -> Result<Verdict, DeciderError> {
         let err = |m: String| DeciderError {
             decider: "logic-eval",
             message: m,
         };
-        let engine = Engine::new(schema, sigma).map_err(|e| err(e.to_string()))?;
-        let built = construct::counterexample(&engine, &goal.base, goal.lhs())
-            .map_err(|e| err(e.to_string()))?;
+        let engine =
+            match Engine::with_budget(schema, sigma, EmptySetPolicy::Forbidden, budget.clone()) {
+                Ok(e) => e,
+                Err(CoreError::Exhausted(r)) => return Ok(Verdict::Exhausted(r)),
+                Err(e) => return Err(err(e.to_string())),
+            };
+        let built = match construct::counterexample(&engine, &goal.base, goal.lhs()) {
+            Ok(b) => b,
+            Err(CoreError::Exhausted(r)) => return Ok(Verdict::Exhausted(r)),
+            Err(e) => return Err(err(e.to_string())),
+        };
         let formula = translate_nfd(schema, &goal.base, goal.lhs(), &goal.rhs)
             .map_err(|e| err(e.to_string()))?;
-        eval(&built.instance, &formula).map_err(|e| err(e.to_string()))
+        match eval_budgeted(&built.instance, &formula, budget) {
+            Ok(b) => Ok(Verdict::from_bool(b)),
+            Err(EvalError::Exhausted(r)) => Ok(Verdict::Exhausted(r)),
+            Err(e) => Err(err(e.to_string())),
+        }
     }
 }
 
 /// Every built-in decision procedure, for differential testing.
 pub fn all_deciders() -> Vec<Box<dyn Decider>> {
     vec![Box::new(Saturation), Box::new(Chase), Box::new(LogicEval)]
+}
+
+/// What one decider did during a [`Session::implies_with`] cascade.
+#[derive(Clone, Debug)]
+pub enum AttemptOutcome {
+    /// The decider produced a verdict: `true` = implied.
+    Answered(bool),
+    /// The decider ran out of budget before finishing.
+    Exhausted(ResourceReport),
+    /// The decider was not run, with the reason (e.g. it is only sound
+    /// under the no-empty-sets policy).
+    Skipped(String),
+    /// The decider panicked or failed internally; the panic was contained
+    /// at the session boundary.
+    Failed(String),
+}
+
+/// One entry of a [`Decision`]'s cascade log.
+#[derive(Clone, Debug)]
+pub struct Attempt {
+    /// The decider's stable name (`"saturation"`, `"chase"`,
+    /// `"logic-eval"`).
+    pub decider: &'static str,
+    /// What happened.
+    pub outcome: AttemptOutcome,
+    /// The decider's characteristic work counter, when it finished:
+    /// derived dependencies for saturation, chase steps for the chase.
+    pub cost: Option<u64>,
+}
+
+/// The result of a budgeted implication query: the final verdict plus the
+/// full log of which deciders ran, in order, and how each fared.
+#[derive(Clone, Debug)]
+pub struct Decision {
+    /// The overall verdict — the first decider to answer wins; if none
+    /// answered, the first exhaustion report.
+    pub verdict: Verdict,
+    /// The cascade log, in execution order.
+    pub attempts: Vec<Attempt>,
+}
+
+impl Decision {
+    /// The name of the decider that produced the verdict, if any did.
+    pub fn answered_by(&self) -> Option<&'static str> {
+        self.attempts.iter().find_map(|a| match a.outcome {
+            AttemptOutcome::Answered(_) => Some(a.decider),
+            _ => None,
+        })
+    }
+}
+
+/// Renders a contained panic payload for error reporting.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// A compiled `(Schema, Σ)` serving unlimited queries.
@@ -169,7 +299,25 @@ impl<'s> Session<'s> {
         sigma: &[Nfd],
         policy: EmptySetPolicy,
     ) -> Result<Session<'s>, CoreError> {
-        let engine = Engine::with_policy(schema, sigma, policy)?;
+        Session::with_budget(schema, sigma, policy, Budget::standard())
+    }
+
+    /// Compiles a session under an explicit resource [`Budget`]. The
+    /// budget governs compilation (pool growth, deadline, cancellation)
+    /// and every subsequent query served by the cached engine; running
+    /// out surfaces as [`CoreError::Exhausted`], never a wrong answer.
+    pub fn with_budget(
+        schema: &'s Schema,
+        sigma: &[Nfd],
+        policy: EmptySetPolicy,
+        budget: Budget,
+    ) -> Result<Session<'s>, CoreError> {
+        let engine = catch_unwind(AssertUnwindSafe(|| {
+            Engine::with_budget(schema, sigma, policy, budget)
+        }))
+        .map_err(|p| {
+            CoreError::Internal(format!("engine build panicked: {}", panic_message(p)))
+        })??;
         Ok(Session { schema, engine })
     }
 
@@ -182,7 +330,7 @@ impl<'s> Session<'s> {
             self.engine.tables().clone(),
             &self.engine.sigma,
             policy,
-            self.engine.budget(),
+            self.engine.budget().clone(),
         )?;
         Ok(Session {
             schema: self.schema,
@@ -221,6 +369,159 @@ impl<'s> Session<'s> {
     pub fn implies_text(&self, text: &str) -> Result<bool, CoreError> {
         let goal = Nfd::parse(self.schema, text)?;
         self.implies(&goal)
+    }
+
+    /// Decides `Σ ⊨ goal` under an explicit [`Budget`], falling back
+    /// through the decision procedures: **saturation** first (rebuilt over
+    /// the cached path tables so the query budget governs pool growth),
+    /// then the **chase**, then **logic-eval**. The first decider to
+    /// answer wins; one that exhausts its budget or panics (contained
+    /// here — the session boundary is panic-free) yields to the next.
+    ///
+    /// The chase and logic-eval are only sound in the no-empty-sets
+    /// regime, so under any other [`EmptySetPolicy`] they are skipped
+    /// rather than risk a wrong verdict.
+    ///
+    /// Returns the final [`Verdict`] plus the full cascade log. `Err` is
+    /// reserved for invalid input (a goal that does not validate against
+    /// the schema) and the can't-happen case where every decider failed
+    /// without exhausting.
+    pub fn implies_with(&self, goal: &Nfd, budget: &Budget) -> Result<Decision, CoreError> {
+        goal.validate(self.schema)?;
+        let forbidden = *self.engine.policy() == EmptySetPolicy::Forbidden;
+        let mut attempts: Vec<Attempt> = Vec::new();
+
+        let run = |name: &'static str,
+                   f: &mut dyn FnMut() -> Result<(Verdict, Option<u64>), String>|
+         -> Attempt {
+            match catch_unwind(AssertUnwindSafe(f)) {
+                Ok(Ok((Verdict::Implied, cost))) => Attempt {
+                    decider: name,
+                    outcome: AttemptOutcome::Answered(true),
+                    cost,
+                },
+                Ok(Ok((Verdict::NotImplied, cost))) => Attempt {
+                    decider: name,
+                    outcome: AttemptOutcome::Answered(false),
+                    cost,
+                },
+                Ok(Ok((Verdict::Exhausted(r), cost))) => Attempt {
+                    decider: name,
+                    outcome: AttemptOutcome::Exhausted(r),
+                    cost,
+                },
+                Ok(Err(msg)) => Attempt {
+                    decider: name,
+                    outcome: AttemptOutcome::Failed(msg),
+                    cost: None,
+                },
+                Err(payload) => Attempt {
+                    decider: name,
+                    outcome: AttemptOutcome::Failed(format!(
+                        "panicked: {}",
+                        panic_message(payload)
+                    )),
+                    cost: None,
+                },
+            }
+        };
+
+        // 1. Saturation, re-governed by the query budget but reusing the
+        //    session's interned path tables.
+        attempts.push(run("saturation", &mut || {
+            let engine = Engine::with_tables(
+                self.schema,
+                self.engine.tables().clone(),
+                &self.engine.sigma,
+                self.engine.policy().clone(),
+                budget.clone(),
+            );
+            match engine {
+                Ok(engine) => match engine.implies(goal) {
+                    Ok(b) => Ok((Verdict::from_bool(b), Some(engine.pool_size() as u64))),
+                    Err(CoreError::Exhausted(r)) => {
+                        Ok((Verdict::Exhausted(r), Some(engine.pool_size() as u64)))
+                    }
+                    Err(e) => Err(e.to_string()),
+                },
+                Err(CoreError::Exhausted(r)) => Ok((Verdict::Exhausted(r), None)),
+                Err(e) => Err(e.to_string()),
+            }
+        }));
+
+        // 2 & 3. The independent deciders, as fallbacks.
+        if !matches!(
+            attempts.last().map(|a| &a.outcome),
+            Some(AttemptOutcome::Answered(_))
+        ) {
+            if forbidden {
+                attempts.push(run("chase", &mut || match nfd_chase::chase_with(
+                    self.schema,
+                    &self.engine.sigma,
+                    goal,
+                    budget,
+                ) {
+                    Ok(run) => Ok((Verdict::from_bool(run.implied), Some(run.steps as u64))),
+                    Err(nfd_chase::ChaseError::Exhausted(r))
+                    | Err(nfd_chase::ChaseError::Core(CoreError::Exhausted(r))) => {
+                        Ok((Verdict::Exhausted(r), None))
+                    }
+                    Err(e) => Err(e.to_string()),
+                }));
+            } else {
+                attempts.push(Attempt {
+                    decider: "chase",
+                    outcome: AttemptOutcome::Skipped(
+                        "only sound under the no-empty-sets policy".into(),
+                    ),
+                    cost: None,
+                });
+            }
+        }
+        if !attempts
+            .iter()
+            .any(|a| matches!(a.outcome, AttemptOutcome::Answered(_)))
+        {
+            if forbidden {
+                attempts.push(run("logic-eval", &mut || match LogicEval.decide(
+                    self.schema,
+                    &self.engine.sigma,
+                    goal,
+                    budget,
+                ) {
+                    Ok(v) => Ok((v, None)),
+                    Err(e) => Err(e.to_string()),
+                }));
+            } else {
+                attempts.push(Attempt {
+                    decider: "logic-eval",
+                    outcome: AttemptOutcome::Skipped(
+                        "only sound under the no-empty-sets policy".into(),
+                    ),
+                    cost: None,
+                });
+            }
+        }
+
+        let answered = attempts.iter().find_map(|a| match a.outcome {
+            AttemptOutcome::Answered(b) => Some(Verdict::from_bool(b)),
+            _ => None,
+        });
+        let exhausted = attempts.iter().find_map(|a| match &a.outcome {
+            AttemptOutcome::Exhausted(r) => Some(Verdict::Exhausted(r.clone())),
+            _ => None,
+        });
+        match answered.or(exhausted) {
+            Some(verdict) => Ok(Decision { verdict, attempts }),
+            None => Err(CoreError::Internal(format!(
+                "no decider answered: {}",
+                attempts
+                    .iter()
+                    .map(|a| format!("{}: {:?}", a.decider, a.outcome))
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            ))),
+        }
     }
 
     /// The dependency closure `(base, X, Σ)*` (Definition 3.1).

@@ -1,0 +1,278 @@
+//! Resource governance: budgets, deadlines and cancellation produce
+//! `Exhausted` — an honest "don't know" — and never a wrong verdict, a
+//! panic, or a runaway computation.
+
+use nfd::core::nfd::parse_set;
+use nfd::core::CoreError;
+use nfd::prelude::*;
+use nfd::session::AttemptOutcome;
+use std::time::{Duration, Instant};
+
+fn course() -> (Schema, Vec<Nfd>) {
+    let schema = Schema::parse(
+        "Course : { <cnum: string, time: int,
+                     students: {<sid: int, age: int, grade: string>},
+                     books: {<isbn: string, title: string>}> };",
+    )
+    .unwrap();
+    let sigma = parse_set(
+        &schema,
+        "Course:[cnum -> time]; Course:[cnum -> students]; Course:[cnum -> books];
+         Course:[books:isbn -> books:title];
+         Course:students:[sid -> grade];
+         Course:[students:sid -> students:age];
+         Course:[time, students:sid -> cnum];",
+    )
+    .unwrap();
+    (schema, sigma)
+}
+
+fn worked_example() -> (Schema, Vec<Nfd>) {
+    let schema =
+        Schema::parse("R : { <A: {<B: {<C: int>}, E: {<F: int, G: int>}>}, D: int> };").unwrap();
+    let sigma = parse_set(&schema, "R:[A:B:C, D -> A:E:F]; R:A:[B -> E:G];").unwrap();
+    (schema, sigma)
+}
+
+/// E1–E12: the paper's worked goals. The cascade under an unlimited
+/// budget must agree with the plain (unbudgeted) session verdict on every
+/// one, and must report which decider answered.
+#[test]
+fn cascade_agrees_with_unbudgeted_verdicts_on_paper_goals() {
+    let (course_schema, course_sigma) = course();
+    let (ex_schema, ex_sigma) = worked_example();
+    let course_goals = [
+        "Course:[time, students:sid -> books]",  // E1
+        "Course:[cnum -> students:age]",         // E2
+        "Course:[time -> cnum]",                 // E3
+        "Course:[books:title -> books:isbn]",    // E4
+        "Course:[cnum -> time]",                 // E5
+        "Course:[students:sid -> students:age]", // E6
+        "Course:students:[sid -> grade]",        // E7
+        "Course:[time, students:sid -> cnum]",   // E8
+    ];
+    let ex_goals = [
+        "R:A:[B -> E]",          // E9
+        "R:[D -> A]",            // E10
+        "R:[A -> D]",            // E11
+        "R:[A:B:C, D -> A:E:F]", // E12
+    ];
+    for (schema, sigma, goals) in [
+        (&course_schema, &course_sigma, &course_goals[..]),
+        (&ex_schema, &ex_sigma, &ex_goals[..]),
+    ] {
+        let session = Session::new(schema, sigma).unwrap();
+        for goal_text in goals {
+            let goal = Nfd::parse(schema, goal_text).unwrap();
+            let truth = session.implies(&goal).unwrap();
+            let decision = session.implies_with(&goal, &Budget::unlimited()).unwrap();
+            assert_eq!(
+                decision.verdict.as_bool(),
+                Some(truth),
+                "cascade disagrees with unbudgeted verdict on {goal_text}"
+            );
+            assert!(decision.answered_by().is_some(), "{goal_text}");
+        }
+    }
+}
+
+/// Sweeping budget sizes from starvation upward: every answer that does
+/// come back matches the unbudgeted truth; everything else is Exhausted.
+/// No budget size may produce a wrong verdict.
+#[test]
+fn tiny_budgets_never_give_wrong_verdicts() {
+    let (schema, sigma) = course();
+    let session = Session::new(&schema, &sigma).unwrap();
+    for goal_text in [
+        "Course:[time, students:sid -> books]",
+        "Course:[time -> cnum]",
+        "Course:[cnum -> students:grade]",
+    ] {
+        let goal = Nfd::parse(&schema, goal_text).unwrap();
+        let truth = session.implies(&goal).unwrap();
+        for n in 0..40u64 {
+            let decision = session.implies_with(&goal, &Budget::limited(n)).unwrap();
+            match decision.verdict {
+                Verdict::Implied => {
+                    assert!(truth, "budget {n} fabricated `implied` on {goal_text}")
+                }
+                Verdict::NotImplied => {
+                    assert!(!truth, "budget {n} fabricated `not implied` on {goal_text}")
+                }
+                Verdict::Exhausted(_) => {}
+            }
+        }
+        // A generous budget always answers, and correctly.
+        let decision = session
+            .implies_with(&goal, &Budget::limited(1_000_000))
+            .unwrap();
+        assert_eq!(decision.verdict.as_bool(), Some(truth), "{goal_text}");
+    }
+}
+
+/// When saturation is starved but the independent deciders are not, the
+/// cascade falls through and still produces the right answer — and the
+/// attempt log records the fallback.
+#[test]
+fn cascade_falls_back_when_saturation_is_starved() {
+    let (schema, sigma) = course();
+    let session = Session::new(&schema, &sigma).unwrap();
+    let goal = Nfd::parse(&schema, "Course:[cnum -> time]").unwrap();
+    let truth = session.implies(&goal).unwrap();
+
+    let mut starved = Budget::unlimited();
+    starved.max_pool_deps = 1; // cannot even hold Σ
+    let decision = session.implies_with(&goal, &starved).unwrap();
+    assert_eq!(decision.verdict.as_bool(), Some(truth));
+    let by = decision.answered_by().unwrap();
+    assert_ne!(by, "saturation", "saturation should have been starved");
+    assert!(
+        matches!(
+            decision.attempts[0].outcome,
+            AttemptOutcome::Exhausted(ref r) if r.kind == ResourceKind::PoolDeps
+        ),
+        "first attempt should record saturation's exhaustion: {:?}",
+        decision.attempts[0]
+    );
+}
+
+/// Under a non-strict empty-set policy the chase and logic-eval are not
+/// sound, so the cascade must skip them rather than risk a wrong verdict.
+#[test]
+fn fallbacks_are_skipped_under_non_strict_policies() {
+    let (schema, sigma) = course();
+    let session = Session::with_policy(&schema, &sigma, EmptySetPolicy::pessimistic()).unwrap();
+    let goal = Nfd::parse(&schema, "Course:[cnum -> time]").unwrap();
+
+    let mut starved = Budget::unlimited();
+    starved.max_pool_deps = 1;
+    let decision = session.implies_with(&goal, &starved).unwrap();
+    assert!(decision.verdict.is_exhausted());
+    for a in &decision.attempts[1..] {
+        assert!(
+            matches!(a.outcome, AttemptOutcome::Skipped(_)),
+            "{:?} should have been skipped under a pessimistic policy",
+            a.decider
+        );
+    }
+}
+
+/// A pre-cancelled token stops everything immediately: session build and
+/// queries both return `Cancelled` exhaustion, promptly.
+#[test]
+fn precancelled_token_stops_build_and_queries() {
+    let (schema, sigma) = course();
+    let token = CancelToken::new();
+    token.cancel();
+
+    let start = Instant::now();
+    match Session::with_budget(
+        &schema,
+        &sigma,
+        EmptySetPolicy::Forbidden,
+        Budget::standard().with_cancel(token.clone()),
+    ) {
+        Err(CoreError::Exhausted(r)) => assert_eq!(r.kind, ResourceKind::Cancelled),
+        Ok(_) => panic!("expected cancelled build"),
+        Err(e) => panic!("expected cancellation, got {e}"),
+    }
+    assert!(start.elapsed() < Duration::from_secs(5));
+
+    let session = Session::new(&schema, &sigma).unwrap();
+    let goal = Nfd::parse(&schema, "Course:[cnum -> time]").unwrap();
+    let decision = session
+        .implies_with(&goal, &Budget::unlimited().with_cancel(token))
+        .unwrap();
+    assert!(decision.verdict.is_exhausted());
+}
+
+/// Cancelling from another thread interrupts a large saturation mid-run.
+/// The run either observes the cancellation (the expected case) or — on
+/// an implausibly fast machine — completes first; it must never hang,
+/// panic, or return a fabricated verdict.
+#[test]
+fn cancellation_interrupts_saturation_mid_run() {
+    // A dense cyclic FD chain over many attributes: saturation derives
+    // O(n²) dependencies, far more work than the cancellation delay.
+    let n = 220usize;
+    let attrs = (0..n)
+        .map(|i| format!("a{i}: int"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let schema = Schema::parse(&format!("W : {{<{attrs}>}};")).unwrap();
+    let deps = (0..n)
+        .map(|i| format!("W:[a{i} -> a{}];", (i + 1) % n))
+        .collect::<String>();
+    let sigma = parse_set(&schema, &deps).unwrap();
+
+    let token = CancelToken::new();
+    let canceller = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            token.cancel();
+        })
+    };
+    let start = Instant::now();
+    let built = Engine::with_budget(
+        &schema,
+        &sigma,
+        EmptySetPolicy::Forbidden,
+        Budget::unlimited().with_cancel(token),
+    );
+    let elapsed = start.elapsed();
+    canceller.join().unwrap();
+    match built {
+        Err(CoreError::Exhausted(r)) => assert_eq!(r.kind, ResourceKind::Cancelled),
+        Ok(_) => {} // finished before the cancel fired; nothing to check
+        Err(e) => panic!("unexpected error: {e}"),
+    }
+    // Promptness: cancellation (or completion) must not be orders of
+    // magnitude slower than the polling granularity.
+    assert!(elapsed < Duration::from_secs(60), "took {elapsed:?}");
+}
+
+/// Adversarial nesting vs. a wall-clock deadline: the chase's template
+/// for a deeply nested schema is exponential, but the deadline cuts the
+/// run off within the polling granularity — well before memory blows up.
+#[test]
+fn deadline_bounds_adversarial_chase() {
+    let depth = 14usize;
+    let mut ty = String::from("int");
+    for level in (0..depth).rev() {
+        ty = format!("{{<f{level}: {ty}, g{level}: int>}}");
+    }
+    let schema = Schema::parse(&format!("R : {ty};")).unwrap();
+    let goal_path = (0..depth)
+        .map(|l| format!("f{l}"))
+        .collect::<Vec<_>>()
+        .join(":");
+    let goal_text = format!("R:[{goal_path} -> g0]");
+    let goal = Nfd::parse(&schema, &goal_text).unwrap();
+
+    let budget = Budget::unlimited().with_timeout_ms(100);
+    let start = Instant::now();
+    let result = nfd::chase::chase_with(&schema, &[], &goal, &budget);
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "deadline did not bound the run: {elapsed:?}"
+    );
+    if let Err(e) = result {
+        assert!(
+            matches!(e, nfd::chase::ChaseError::Exhausted(_)),
+            "expected exhaustion, got {e}"
+        );
+    }
+}
+
+/// The three-valued verdict helpers behave.
+#[test]
+fn verdict_accessors() {
+    assert_eq!(Verdict::from_bool(true), Verdict::Implied);
+    assert_eq!(Verdict::Implied.as_bool(), Some(true));
+    assert_eq!(Verdict::NotImplied.as_bool(), Some(false));
+    let r = ResourceReport::counter(ResourceKind::ChaseSteps, 5, 6);
+    assert_eq!(Verdict::Exhausted(r.clone()).as_bool(), None);
+    assert!(Verdict::Exhausted(r).is_exhausted());
+}

@@ -324,3 +324,104 @@ fn error_paths() {
     assert_eq!(code, 2);
     assert!(out.contains("goal:"), "{out}");
 }
+
+#[test]
+fn budget_flags_and_exhausted_exit_code() {
+    let f = Fixture::new("budget");
+    let schema = f.file("s.nfds", COURSE_SCHEMA);
+    let deps = f.file("d.nfdd", COURSE_DEPS);
+
+    // A generous budget behaves exactly like no budget.
+    let (code, out) = run(&[
+        "implies",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
+        "--budget",
+        "100000",
+        "--timeout-ms",
+        "60000",
+        "Course:[time, students:sid -> books]",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("implied"), "{out}");
+
+    // Starvation: exit 3 with an exhaustion report, not a wrong verdict.
+    let (code, out) = run(&[
+        "implies",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
+        "--budget",
+        "1",
+        "Course:[time, students:sid -> books]",
+    ]);
+    assert_eq!(code, 3, "{out}");
+    assert!(out.contains("exhausted"), "{out}");
+
+    // Bad flag values are usage errors.
+    let (code, out) = run(&[
+        "implies",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
+        "--budget",
+        "lots",
+        "Course:[cnum -> time]",
+    ]);
+    assert_eq!(code, 2, "{out}");
+    assert!(out.contains("--budget"), "{out}");
+    let (code, out) = run(&[
+        "implies",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
+        "--timeout-ms",
+        "-5",
+        "Course:[cnum -> time]",
+    ]);
+    assert_eq!(code, 2, "{out}");
+    assert!(out.contains("--timeout-ms"), "{out}");
+}
+
+#[test]
+fn budget_flags_cover_other_subcommands() {
+    let f = Fixture::new("budget2");
+    let schema = f.file("s.nfds", COURSE_SCHEMA);
+    let deps = f.file("d.nfdd", COURSE_DEPS);
+
+    // keys under starvation: exhausted, exit 3.
+    let (code, out) = run(&[
+        "keys",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
+        "--relation",
+        "Course",
+        "--budget",
+        "1",
+    ]);
+    assert_eq!(code, 3, "{out}");
+    assert!(out.contains("exhausted"), "{out}");
+
+    // closure under a generous budget still works.
+    let (code, out) = run(&[
+        "closure", "--schema", &schema, "--deps", &deps, "--base", "Course", "--lhs", "cnum",
+        "--budget", "100000",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("Course:time"), "{out}");
+
+    // batch goals under starvation: exit 3 and a per-goal marker.
+    let goals = f.file("g.nfdd", "Course:[cnum -> time]; Course:[time -> cnum];");
+    let (code, out) = run(&[
+        "implies", "--schema", &schema, "--deps", &deps, "--goals", &goals, "--budget", "1",
+    ]);
+    assert_eq!(code, 3, "{out}");
+    assert!(out.contains("exhausted"), "{out}");
+}

@@ -7,6 +7,7 @@ use common::*;
 use nfd::core::engine::Engine;
 use nfd::core::nfd::parse_set;
 use nfd::core::{CoreError, EmptySetPolicy, Nfd};
+use nfd::govern::{Budget, ResourceKind};
 use nfd::model::Schema;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -64,13 +65,23 @@ fn tight_budget_fails_cleanly_generous_budget_succeeds() {
     let schema = Schema::parse("R : {<A: int, B: int, C: int, D: int>};").unwrap();
     let sigma = parse_set(&schema, "R:[A -> B]; R:[B -> C]; R:[C -> D];").unwrap();
     // A budget of 2 cannot even hold Σ.
-    match Engine::with_policy_and_budget(&schema, &sigma, EmptySetPolicy::Forbidden, 2) {
-        Err(CoreError::Rule(msg)) => assert!(msg.contains("budget"), "{msg}"),
-        other => panic!("expected budget error, got {:?}", other.err()),
+    match Engine::with_budget(
+        &schema,
+        &sigma,
+        EmptySetPolicy::Forbidden,
+        Budget::limited(2),
+    ) {
+        Err(CoreError::Exhausted(r)) => assert_eq!(r.kind, ResourceKind::PoolDeps),
+        other => panic!("expected budget exhaustion, got {:?}", other.err()),
     }
     // A generous budget succeeds and answers the chained goal.
-    let engine =
-        Engine::with_policy_and_budget(&schema, &sigma, EmptySetPolicy::Forbidden, 10_000).unwrap();
+    let engine = Engine::with_budget(
+        &schema,
+        &sigma,
+        EmptySetPolicy::Forbidden,
+        Budget::limited(10_000),
+    )
+    .unwrap();
     assert!(engine
         .implies(&Nfd::parse(&schema, "R:[A -> D]").unwrap())
         .unwrap());

@@ -96,6 +96,68 @@ fn near_miss_nfd_inputs() {
     }
 }
 
+/// Adversarial depth: thousands of unclosed/closed nesting levels must be
+/// rejected by the depth limit, not by blowing the stack.
+#[test]
+fn deep_nesting_corpus_is_rejected_not_fatal() {
+    for depth in [200usize, 1_000, 50_000] {
+        let balanced_ty = format!("{}int{}", "{".repeat(depth), "}".repeat(depth));
+        assert!(parse_type(&balanced_ty).is_err(), "depth {depth}");
+        let balanced_val = format!("{}7{}", "{".repeat(depth), "}".repeat(depth));
+        assert!(parse_value(&balanced_val).is_err(), "depth {depth}");
+        let record_ty = format!("{}int{}", "<a: {".repeat(depth), "}>".repeat(depth));
+        assert!(parse_type(&format!("<x: {record_ty}>")).is_err(), "{depth}");
+        // Unbalanced: all opens, no closes.
+        assert!(parse_value(&"{".repeat(depth)).is_err());
+        assert!(parse_type(&"<a: ".repeat(depth)).is_err());
+        let schema = format!("R : {}int{};", "{".repeat(depth), "}".repeat(depth));
+        assert!(parse_schema(&schema).is_err());
+    }
+}
+
+/// Huge single tokens: megabyte identifiers, string literals and digit
+/// runs parse (or fail) in bounded time and memory.
+#[test]
+fn huge_token_corpus() {
+    let big_ident = "x".repeat(1_000_000);
+    assert!(parse_type(&big_ident).is_err()); // not a base type
+    let big_string = format!("\"{}\"", "s".repeat(1_000_000));
+    assert!(parse_value(&big_string).is_ok());
+    let big_digits = "9".repeat(1_000_000);
+    assert!(parse_value(&big_digits).is_err()); // i64 overflow, reported
+    let unterminated = format!("\"{}", "s".repeat(1_000_000));
+    assert!(parse_value(&unterminated).is_err());
+    // Past the hard input-size ceiling everything is rejected up front.
+    let oversized = "1".repeat(nfd::model::MAX_INPUT_LEN + 1);
+    assert!(matches!(
+        parse_value(&oversized),
+        Err(nfd::model::ModelError::Limit { .. })
+    ));
+}
+
+/// Truncations of valid inputs: every prefix of a well-formed schema,
+/// value and NFD must produce a clean error or a clean success.
+#[test]
+fn truncated_input_corpus() {
+    let schema_text =
+        "Course : { <cnum: string, time: int, students: {<sid: int, grade: string>}> };";
+    for cut in 0..schema_text.len() {
+        if schema_text.is_char_boundary(cut) {
+            let _ = parse_schema(&schema_text[..cut]);
+        }
+    }
+    let value_text = r#"{ <a: 1, b: {<c: "x\"y">, <c: "z">}>, <a: -2, b: {}> }"#;
+    for cut in 0..value_text.len() {
+        if value_text.is_char_boundary(cut) {
+            let _ = parse_value(&value_text[..cut]);
+        }
+    }
+    let nfd_text = "Course:students:[sid, grade -> sid]";
+    for cut in 0..nfd_text.len() {
+        let _ = Nfd::parse_unchecked(&nfd_text[..cut]);
+    }
+}
+
 // The instance parser typechecks against a schema; fuzz both sides.
 #[test]
 fn instance_parser_never_panics() {

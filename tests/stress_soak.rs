@@ -1,0 +1,92 @@
+//! Seeded randomized soak under tight budgets: for many random schemas
+//! and dependency sets, governed queries must terminate promptly with one
+//! of the three verdicts — and whenever a budgeted run answers, the
+//! answer must agree with the unbudgeted truth. The CI stress job runs
+//! this suite under `timeout` as a hang detector.
+
+mod common;
+
+use common::*;
+use nfd::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Mixed budget menu: starvation, tiny, moderate, deadline-only.
+fn budget_for(round: u64) -> Budget {
+    match round % 4 {
+        0 => Budget::limited(0),
+        1 => Budget::limited(round % 17),
+        2 => Budget::limited(200),
+        _ => Budget::unlimited().with_timeout_ms(50),
+    }
+}
+
+#[test]
+fn randomized_schemas_under_tight_budgets_stay_trichotomous() {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut rounds = 0u64;
+    for seed in 0..400u64 {
+        if Instant::now() > deadline {
+            break; // soak is time-boxed; coverage grows with machine speed
+        }
+        let schema = random_schema(seed, SchemaShape::default());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x50AC);
+        let n_deps = rng.gen_range(1..5);
+        let sigma = random_sigma(&mut rng, &schema, n_deps);
+        let Some(goal) = random_nfd(&mut rng, &schema) else {
+            continue;
+        };
+        let Ok(session) = Session::new(&schema, &sigma) else {
+            continue; // standard-budget build exhaustion is a legal outcome
+        };
+        let truth = session.implies(&goal).unwrap();
+
+        let budget = budget_for(seed);
+        let start = Instant::now();
+        let decision = session.implies_with(&goal, &budget).unwrap();
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "seed {seed}: governed query ran away"
+        );
+        if let Some(answer) = decision.verdict.as_bool() {
+            assert_eq!(
+                answer, truth,
+                "seed {seed}: budgeted cascade contradicts unbudgeted verdict on {goal}"
+            );
+        }
+        rounds += 1;
+    }
+    assert!(rounds > 0, "soak made no progress");
+}
+
+#[test]
+fn randomized_schemas_with_deadlines_never_panic() {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    for seed in 400..600u64 {
+        if Instant::now() > deadline {
+            break;
+        }
+        let schema = random_schema(
+            seed,
+            SchemaShape {
+                max_depth: 3,
+                fields: (2, 5),
+                set_prob: 0.6,
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD);
+        let n_deps = rng.gen_range(1..6);
+        let sigma = random_sigma(&mut rng, &schema, n_deps);
+        let Some(goal) = random_nfd(&mut rng, &schema) else {
+            continue;
+        };
+        // Drive all three deciders straight through the trait under a
+        // millisecond-scale deadline — exhaustion and errors are both
+        // fine; panics and hangs are not.
+        let budget = Budget::limited(seed % 64).with_timeout_ms(5);
+        for d in nfd::session::all_deciders() {
+            let _ = d.decide(&schema, &sigma, &goal, &budget);
+        }
+    }
+}
