@@ -22,6 +22,7 @@ use nfd_govern::{ResourceKind, ResourceReport};
 use nfd_model::{Label, Schema};
 use nfd_path::table::{PathId, PathSet};
 use nfd_path::{Path, RootedPath};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Do `a` and `b` imply each other over `schema`?
 pub fn equivalent(schema: &Schema, a: &[Nfd], b: &[Nfd]) -> Result<bool, CoreError> {
@@ -126,6 +127,38 @@ pub fn candidate_keys(
     relation: Label,
     max_key_size: usize,
 ) -> Result<Vec<Vec<Path>>, CoreError> {
+    candidate_keys_threaded(engine, relation, max_key_size, 1)
+}
+
+/// [`candidate_keys`] sharded across `threads` workers (`0` = all
+/// available parallelism). Each size level is partitioned by the first
+/// attribute of the combination — independent subsets per worker — with
+/// levels merged at a barrier so superset pruning sees exactly the keys a
+/// sequential sweep would have.
+///
+/// The result (keys, or the exhaustion report) is identical at every
+/// thread count for counter-only budgets:
+///
+/// * candidates are counted on one shared atomic, and a level enumerates
+///   a fixed candidate population, so whether the cumulative count
+///   crosses `max_key_candidates` does not depend on interleaving; the
+///   first over-limit count is canonically `limit + 1`;
+/// * pruning only ever consults keys from strictly smaller levels — a
+///   same-level "superset" would be an equal-size distinct combination,
+///   which cannot be a superset — so dropping the sequential sweep's
+///   incremental same-level pruning changes nothing;
+/// * each level's keys are merged in task order (= first-attribute
+///   order), reproducing sequential discovery order before the final
+///   sort.
+///
+/// Deadline and external-cancellation exhaustion remain timing-dependent,
+/// as they are for sequential runs.
+pub fn candidate_keys_threaded(
+    engine: &Engine<'_>,
+    relation: Label,
+    max_key_size: usize,
+    threads: usize,
+) -> Result<Vec<Vec<Path>>, CoreError> {
     engine
         .schema()
         .relation_type(relation)
@@ -141,46 +174,93 @@ pub fn candidate_keys(
         .collect();
     let universe = PathSet::from_ids(table.words(), attrs.iter().copied());
 
-    let covers = |x: &[PathId]| universe.is_subset(&rel.chain(x, None));
-
     // Subset enumeration is exponential; count candidates against the
-    // engine's budget and abort the recursion (visitor returns `false`)
+    // engine's budget (shared across workers) and stop the whole level
     // the moment it runs out.
     let budget = engine.budget();
-    let mut visited: u64 = 0;
-    let mut exhausted: Option<ResourceReport> = None;
+    let visited = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+
+    // One candidate: budget first (every enumerated candidate counts,
+    // pruned or not, exactly as in a sequential sweep), then prune
+    // against keys from completed levels, then the closure cover test.
+    let visit_one = |cand: &[PathId], known: &[Vec<PathId>]| -> Result<bool, ResourceReport> {
+        let v = visited.fetch_add(1, Ordering::Relaxed) + 1;
+        budget
+            .check_counter(ResourceKind::KeyCandidates, v)
+            .map_err(|r| {
+                // Racing workers may overshoot the limit by up to one
+                // candidate each; the first over-limit count is limit+1
+                // at any thread count, so that is the canonical report.
+                ResourceReport::counter(r.kind, r.limit, r.limit.saturating_add(1))
+            })?;
+        if v.is_multiple_of(1024) {
+            budget.check_live()?;
+        }
+        if known.iter().any(|k| k.iter().all(|p| cand.contains(p))) {
+            return Ok(false); // superset of a known key
+        }
+        Ok(universe.is_subset(&rel.chain(cand, None)))
+    };
+
     let mut keys: Vec<Vec<PathId>> = Vec::new();
     for size in 0..=max_key_size.min(attrs.len()) {
-        let mut combo = Vec::with_capacity(size);
-        search(&attrs, size, 0, &mut combo, &mut |cand| {
-            visited += 1;
-            if let Err(r) = budget
-                .check_counter(ResourceKind::KeyCandidates, visited)
-                .and_then(|()| {
-                    if visited.is_multiple_of(1024) {
-                        budget.check_live()
-                    } else {
-                        Ok(())
+        let known = &keys;
+        // Task `first` enumerates the combinations beginning with
+        // attrs[first] (size 0 has the single empty combination).
+        let tasks = if size == 0 { 1 } else { attrs.len() };
+        let results: Vec<Result<Vec<Vec<PathId>>, ResourceReport>> =
+            nfd_par::map_indexed(tasks, threads, |first| {
+                let mut found: Vec<Vec<PathId>> = Vec::new();
+                let mut fail: Option<ResourceReport> = None;
+                let mut combo: Vec<PathId> = Vec::with_capacity(size);
+                let start = if size == 0 {
+                    0
+                } else {
+                    combo.push(attrs[first]);
+                    first + 1
+                };
+                search(&attrs, size, start, &mut combo, &mut |cand| {
+                    if stop.load(Ordering::Relaxed) {
+                        // A sibling exhausted the budget: quit; partial
+                        // results are discarded with the whole level.
+                        return false;
                     }
-                })
-            {
-                exhausted = Some(r);
-                return false;
+                    match visit_one(cand, known) {
+                        Ok(true) => {
+                            found.push(cand.to_vec());
+                            true
+                        }
+                        Ok(false) => true,
+                        Err(r) => {
+                            stop.store(true, Ordering::Relaxed);
+                            fail = Some(r);
+                            false
+                        }
+                    }
+                });
+                match fail {
+                    Some(r) => Err(r),
+                    None => Ok(found),
+                }
+            });
+        // Merge in task order. On exhaustion prefer the canonical counter
+        // report (identical from every worker that trips it) over the
+        // timing-dependent liveness kinds.
+        let mut exhausted: Option<ResourceReport> = None;
+        for res in results {
+            match res {
+                Ok(found) => keys.extend(found),
+                Err(r) => {
+                    if exhausted.is_none() || r.kind == ResourceKind::KeyCandidates {
+                        exhausted = Some(r);
+                    }
+                }
             }
-            if keys.iter().any(|k| k.iter().all(|p| cand.contains(p))) {
-                return true; // superset of a known key
-            }
-            if covers(cand) {
-                keys.push(cand.to_vec());
-            }
-            true
-        });
-        if exhausted.is_some() {
-            break;
         }
-    }
-    if let Some(r) = exhausted {
-        return Err(CoreError::Exhausted(r));
+        if let Some(r) = exhausted {
+            return Err(CoreError::Exhausted(r));
+        }
     }
     let mut keys: Vec<Vec<Path>> = keys
         .into_iter()
@@ -427,6 +507,45 @@ mod tests {
                 assert_eq!(r.kind, nfd_govern::ResourceKind::KeyCandidates)
             }
             other => panic!("expected exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn threaded_key_search_matches_sequential() {
+        let (schema, sigma) = course();
+        let engine = Engine::new(&schema, &sigma).unwrap();
+        let sequential = candidate_keys(&engine, Label::new("Course"), 3).unwrap();
+        for threads in [0, 2, 8] {
+            let parallel =
+                candidate_keys_threaded(&engine, Label::new("Course"), 3, threads).unwrap();
+            assert_eq!(parallel, sequential, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn threaded_key_search_exhaustion_is_canonical() {
+        let (schema, sigma) = course();
+        let mut budget = nfd_govern::Budget::standard();
+        budget.max_key_candidates = 2;
+        let engine = Engine::with_budget(
+            &schema,
+            &sigma,
+            crate::emptyset::EmptySetPolicy::Forbidden,
+            budget,
+        )
+        .unwrap();
+        let sequential = match candidate_keys(&engine, Label::new("Course"), 3) {
+            Err(CoreError::Exhausted(r)) => r,
+            other => panic!("expected exhaustion, got {other:?}"),
+        };
+        assert_eq!(sequential.used, 3, "first over-limit count");
+        for threads in [2, 8] {
+            match candidate_keys_threaded(&engine, Label::new("Course"), 3, threads) {
+                Err(CoreError::Exhausted(r)) => {
+                    assert_eq!(r, sequential, "threads = {threads}")
+                }
+                other => panic!("expected exhaustion at {threads} threads, got {other:?}"),
+            }
         }
     }
 

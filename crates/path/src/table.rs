@@ -495,4 +495,39 @@ mod tests {
         assert_eq!(tables.get(Label::new("S")).unwrap().len(), 2);
         assert!(tables.get(Label::new("T")).is_none());
     }
+
+    #[test]
+    fn interned_tables_are_send_and_sync() {
+        // The parallel batch executor shares compiled tables across
+        // worker threads: everything here must be immutable-after-build
+        // with no interior mutability. (`Label` interning goes through a
+        // global `RwLock`, so labels stay `Send + Sync` too.)
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PathTable>();
+        assert_send_sync::<SchemaTables>();
+        assert_send_sync::<PathSet>();
+        assert_send_sync::<Label>();
+
+        // And shared reads really do agree across threads.
+        let schema = Schema::parse("R : {<A: int, B: {<C: int>}>};").unwrap();
+        let tables = SchemaTables::new(&schema).unwrap();
+        let table = tables.get(Label::new("R")).unwrap();
+        let expect: Vec<String> = (0..table.len() as PathId)
+            .map(|id| table.path(id).to_string())
+            .collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(|| {
+                        (0..table.len() as PathId)
+                            .map(|id| table.path(id).to_string())
+                            .collect::<Vec<String>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), expect);
+            }
+        });
+    }
 }

@@ -93,11 +93,11 @@ pub fn run(args: &[String], out: &mut String) -> i32 {
 const USAGE: &str = "usage:
   nfdtool check    --schema FILE --deps FILE --instance FILE
   nfdtool implies  --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] NFD
-  nfdtool implies  --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] --goals FILE
+  nfdtool implies  --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] [--threads N] --goals FILE
   nfdtool prove    --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] NFD
   nfdtool closure  --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] --base PATH [--lhs P1,P2,…]
   nfdtool witness  --schema FILE --deps FILE --base PATH [--lhs P1,P2,…]
-  nfdtool keys     --schema FILE --deps FILE --relation NAME [--budget N] [--timeout-ms T]
+  nfdtool keys     --schema FILE --deps FILE --relation NAME [--budget N] [--timeout-ms T] [--threads N]
   nfdtool analyze  --schema FILE --deps FILE
   nfdtool render   --schema FILE --instance FILE
 
@@ -117,6 +117,10 @@ const USAGE: &str = "usage:
   `implies` the tool falls back saturation -> chase -> logic-eval before
   giving up.
 
+  --threads N shards batch implication (--goals) and the candidate-key
+  search across N worker threads sharing one budget; 0 or omitted uses all
+  available parallelism. Results are identical at every thread count.
+
   exit codes: 0 holds/implied · 1 fails/not implied · 2 usage or input
   error · 3 budget or deadline exhausted · 101 contained internal panic";
 
@@ -131,6 +135,7 @@ struct Opts {
     goals: Option<String>,
     budget: Option<String>,
     timeout_ms: Option<String>,
+    threads: Option<String>,
     positional: Vec<String>,
 }
 
@@ -146,6 +151,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         goals: None,
         budget: None,
         timeout_ms: None,
+        threads: None,
         positional: Vec::new(),
     };
     let mut i = 0;
@@ -167,6 +173,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--goals" => o.goals = Some(take(&mut i)?),
             "--budget" => o.budget = Some(take(&mut i)?),
             "--timeout-ms" => o.timeout_ms = Some(take(&mut i)?),
+            "--threads" => o.threads = Some(take(&mut i)?),
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             other => o.positional.push(other.to_string()),
         }
@@ -245,6 +252,16 @@ fn parse_budget(o: &Opts) -> Result<Budget, String> {
     Ok(budget)
 }
 
+/// Parses `--threads`: `0` (the default) means all available parallelism.
+fn parse_threads(o: &Opts) -> Result<usize, String> {
+    match o.threads.as_deref() {
+        None => Ok(0),
+        Some(text) => text
+            .parse()
+            .map_err(|_| format!("--threads must be a non-negative integer, got `{text}`")),
+    }
+}
+
 fn dispatch(args: &[String], out: &mut String) -> Result<i32, CliFail> {
     let Some(cmd) = args.first() else {
         return Err("no subcommand".into());
@@ -292,22 +309,20 @@ fn dispatch(args: &[String], out: &mut String) -> Result<i32, CliFail> {
                 if goals.is_empty() {
                     return Err(format!("goals file `{path}` contains no NFDs").into());
                 }
-                let (mut implied, mut exhausted) = (0usize, 0usize);
-                for goal in &goals {
-                    let decision = session.implies_with(goal, &budget).map_err(core_fail)?;
+                let threads = parse_threads(&o)?;
+                let batch = session
+                    .implies_batch(&goals, &budget, threads)
+                    .map_err(core_fail)?;
+                for (goal, decision) in goals.iter().zip(&batch.decisions) {
                     let word = match decision.verdict.as_bool() {
-                        Some(true) => {
-                            implied += 1;
-                            "implied    "
-                        }
+                        Some(true) => "implied    ",
                         Some(false) => "not implied",
-                        None => {
-                            exhausted += 1;
-                            "exhausted  "
-                        }
+                        None => "exhausted  ",
                     };
                     let _ = writeln!(out, "{word}  {goal}");
                 }
+                let implied = batch.implied_count();
+                let exhausted = batch.exhausted_count();
                 let _ = writeln!(out, "{implied} of {} goals implied", goals.len());
                 if exhausted > 0 {
                     let _ = writeln!(out, "({exhausted} exhausted the budget)");
@@ -420,7 +435,10 @@ fn dispatch(args: &[String], out: &mut String) -> Result<i32, CliFail> {
             let session =
                 Session::with_budget(&schema, &sigma, nfd_core::EmptySetPolicy::Forbidden, budget)
                     .map_err(core_fail)?;
-            let keys = session.candidate_keys(relation, 4).map_err(core_fail)?;
+            let threads = parse_threads(&o)?;
+            let keys = session
+                .candidate_keys_threaded(relation, 4, threads)
+                .map_err(core_fail)?;
             for k in &keys {
                 let _ = writeln!(
                     out,

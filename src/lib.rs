@@ -13,6 +13,7 @@
 //! | crate | contents |
 //! |---|---|
 //! | [`govern`] | resource budgets, cancellation tokens, three-valued verdicts |
+//! | [`par`] | zero-dependency scoped worker pool for batch workloads |
 //! | [`model`] | types, values, schemas, instances, parsing, rendering, generation |
 //! | [`path`] | path expressions, typing, prefix/follows, navigation |
 //! | [`logic`] | Section 2.2 translation to first-order logic + evaluator |
@@ -56,13 +57,15 @@ pub use nfd_core as core;
 pub use nfd_govern as govern;
 pub use nfd_logic as logic;
 pub use nfd_model as model;
+pub use nfd_par as par;
 pub use nfd_path as path;
 pub use nfd_relational as relational;
 
 /// The most commonly used items, for `use nfd::prelude::*`.
 pub mod prelude {
     pub use crate::session::{
-        Attempt, AttemptOutcome, Chase, Decider, Decision, LogicEval, Saturation, Session,
+        Attempt, AttemptOutcome, BatchDecision, Chase, Decider, Decision, LogicEval, Saturation,
+        Session,
     };
     pub use nfd_core::engine::Engine;
     pub use nfd_core::{check, EmptySetPolicy, Nfd, SatisfyReport, Violation};

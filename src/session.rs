@@ -26,7 +26,7 @@
 use nfd_core::engine::Engine;
 use nfd_core::proof::{self, Proof};
 use nfd_core::{analysis, construct, satisfy, CoreError, EmptySetPolicy, Nfd, SatisfyReport};
-use nfd_govern::{Budget, ResourceReport, Verdict};
+use nfd_govern::{Budget, ResourceKind, ResourceReport, Verdict};
 use nfd_logic::{eval_budgeted, translate_nfd, EvalError};
 use nfd_model::{Instance, Label, Schema};
 use nfd_path::table::SchemaTables;
@@ -203,7 +203,7 @@ pub fn all_deciders() -> Vec<Box<dyn Decider>> {
 }
 
 /// What one decider did during a [`Session::implies_with`] cascade.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum AttemptOutcome {
     /// The decider produced a verdict: `true` = implied.
     Answered(bool),
@@ -218,7 +218,7 @@ pub enum AttemptOutcome {
 }
 
 /// One entry of a [`Decision`]'s cascade log.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Attempt {
     /// The decider's stable name (`"saturation"`, `"chase"`,
     /// `"logic-eval"`).
@@ -232,7 +232,7 @@ pub struct Attempt {
 
 /// The result of a budgeted implication query: the final verdict plus the
 /// full log of which deciders ran, in order, and how each fared.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Decision {
     /// The overall verdict — the first decider to answer wins; if none
     /// answered, the first exhaustion report.
@@ -248,6 +248,62 @@ impl Decision {
             AttemptOutcome::Answered(_) => Some(a.decider),
             _ => None,
         })
+    }
+}
+
+/// The result of [`Session::implies_batch`]: one [`Decision`] per goal,
+/// in input order, plus where the batch stopped if it ran out of budget.
+///
+/// The vector is identical at every thread count (see `implies_batch` for
+/// the argument): goals up to and including the first genuine exhaustion
+/// carry exactly the decision a sequential [`Session::implies_with`] loop
+/// would have produced, and every later goal carries the canonical
+/// "cancelled by the batch" decision.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchDecision {
+    /// One decision per input goal, in input order.
+    pub decisions: Vec<Decision>,
+    /// The index of the first goal whose decision genuinely exhausted the
+    /// budget (every later goal was cancelled), or `None` if the whole
+    /// batch was decided.
+    pub first_exhausted: Option<usize>,
+}
+
+impl BatchDecision {
+    /// How many goals were decided `Implied`.
+    pub fn implied_count(&self) -> usize {
+        self.decisions
+            .iter()
+            .filter(|d| d.verdict == Verdict::Implied)
+            .count()
+    }
+
+    /// How many goals ended `Exhausted` (including goals cancelled after
+    /// the first exhaustion).
+    pub fn exhausted_count(&self) -> usize {
+        self.decisions
+            .iter()
+            .filter(|d| d.verdict.is_exhausted())
+            .count()
+    }
+
+    /// Did every goal come back `Implied`?
+    pub fn all_implied(&self) -> bool {
+        self.decisions.iter().all(|d| d.verdict == Verdict::Implied)
+    }
+}
+
+/// The canonical decision recorded for goals the batch never (observably)
+/// ran because an earlier goal exhausted the shared budget.
+fn batch_cancelled_decision() -> Decision {
+    let report = ResourceReport::counter(ResourceKind::Cancelled, 0, 0);
+    Decision {
+        verdict: Verdict::Exhausted(report.clone()),
+        attempts: vec![Attempt {
+            decider: "batch",
+            outcome: AttemptOutcome::Exhausted(report),
+            cost: None,
+        }],
     }
 }
 
@@ -388,6 +444,52 @@ impl<'s> Session<'s> {
     /// without exhausting.
     pub fn implies_with(&self, goal: &Nfd, budget: &Budget) -> Result<Decision, CoreError> {
         goal.validate(self.schema)?;
+        let saturation = self.build_query_engine(budget);
+        self.cascade(goal, budget, &saturation)
+    }
+
+    /// Rebuilds the saturation engine over the session's cached path
+    /// tables under a query budget. A failure is returned as the complete
+    /// saturation [`Attempt`] it should appear as in a cascade log —
+    /// engine builds are deterministic, so one build serves a whole batch
+    /// and each goal replicates the same attempt.
+    fn build_query_engine(&self, budget: &Budget) -> Result<Engine<'s>, Attempt> {
+        match catch_unwind(AssertUnwindSafe(|| {
+            Engine::with_tables(
+                self.schema,
+                self.engine.tables().clone(),
+                &self.engine.sigma,
+                self.engine.policy().clone(),
+                budget.clone(),
+            )
+        })) {
+            Ok(Ok(engine)) => Ok(engine),
+            Ok(Err(CoreError::Exhausted(r))) => Err(Attempt {
+                decider: "saturation",
+                outcome: AttemptOutcome::Exhausted(r),
+                cost: None,
+            }),
+            Ok(Err(e)) => Err(Attempt {
+                decider: "saturation",
+                outcome: AttemptOutcome::Failed(e.to_string()),
+                cost: None,
+            }),
+            Err(payload) => Err(Attempt {
+                decider: "saturation",
+                outcome: AttemptOutcome::Failed(format!("panicked: {}", panic_message(payload))),
+                cost: None,
+            }),
+        }
+    }
+
+    /// The decider cascade for one (already validated) goal: saturation
+    /// over the prebuilt query engine, then the chase, then logic-eval.
+    fn cascade(
+        &self,
+        goal: &Nfd,
+        budget: &Budget,
+        saturation: &Result<Engine<'s>, Attempt>,
+    ) -> Result<Decision, CoreError> {
         let forbidden = *self.engine.policy() == EmptySetPolicy::Forbidden;
         let mut attempts: Vec<Attempt> = Vec::new();
 
@@ -427,27 +529,18 @@ impl<'s> Session<'s> {
         };
 
         // 1. Saturation, re-governed by the query budget but reusing the
-        //    session's interned path tables.
-        attempts.push(run("saturation", &mut || {
-            let engine = Engine::with_tables(
-                self.schema,
-                self.engine.tables().clone(),
-                &self.engine.sigma,
-                self.engine.policy().clone(),
-                budget.clone(),
-            );
-            match engine {
-                Ok(engine) => match engine.implies(goal) {
-                    Ok(b) => Ok((Verdict::from_bool(b), Some(engine.pool_size() as u64))),
-                    Err(CoreError::Exhausted(r)) => {
-                        Ok((Verdict::Exhausted(r), Some(engine.pool_size() as u64)))
-                    }
-                    Err(e) => Err(e.to_string()),
-                },
-                Err(CoreError::Exhausted(r)) => Ok((Verdict::Exhausted(r), None)),
+        //    session's interned path tables. The engine was prebuilt (and
+        //    build failures pre-rendered) by `build_query_engine`.
+        attempts.push(match saturation {
+            Ok(engine) => run("saturation", &mut || match engine.implies(goal) {
+                Ok(b) => Ok((Verdict::from_bool(b), Some(engine.pool_size() as u64))),
+                Err(CoreError::Exhausted(r)) => {
+                    Ok((Verdict::Exhausted(r), Some(engine.pool_size() as u64)))
+                }
                 Err(e) => Err(e.to_string()),
-            }
-        }));
+            }),
+            Err(attempt) => attempt.clone(),
+        });
 
         // 2 & 3. The independent deciders, as fallbacks.
         if !matches!(
@@ -524,6 +617,126 @@ impl<'s> Session<'s> {
         }
     }
 
+    /// Decides a whole batch of goals under one shared [`Budget`],
+    /// sharded across `threads` workers (`0` = all available
+    /// parallelism).
+    ///
+    /// The workers share this session's compiled tables and a single
+    /// prebuilt query engine (builds are deterministic, so sharing one is
+    /// indistinguishable from [`Session::implies_with`]'s per-goal
+    /// rebuild). The budget's counters and deadline govern every worker;
+    /// the pool additionally derives a [child cancellation
+    /// token](nfd_govern::CancelToken::child) from the caller's, so the
+    /// first goal to *genuinely* exhaust the budget stops the whole pool
+    /// within one poll window without disturbing the caller's token.
+    ///
+    /// The result is identical at every thread count (and to a sequential
+    /// `implies_with` loop) for counter-limited budgets:
+    ///
+    /// * goals strictly before the first genuine exhaustion are decided
+    ///   by the deterministic cascade; any result contaminated by the
+    ///   pool's own stop signal (an attempt cancelled while the caller's
+    ///   token was untouched) is discarded and re-run sequentially under
+    ///   the caller's budget;
+    /// * the first genuinely exhausted goal keeps its decision, and every
+    ///   goal after it gets the canonical "cancelled by the batch"
+    ///   decision — even if a worker happened to finish it first, because
+    ///   a sequential run would never have started it.
+    ///
+    /// Wall-clock deadlines and external cancellation remain
+    /// timing-dependent, exactly as they are for sequential queries.
+    pub fn implies_batch(
+        &self,
+        goals: &[Nfd],
+        budget: &Budget,
+        threads: usize,
+    ) -> Result<BatchDecision, CoreError> {
+        // Validate everything up front so input errors are deterministic
+        // (always the lowest offending index) regardless of scheduling.
+        for goal in goals {
+            goal.validate(self.schema)?;
+        }
+
+        // Pool-scoped stop signal layered over the caller's token: first
+        // genuine exhaustion (or a fatal error) cancels the pool but not
+        // the caller.
+        let pool_token = budget.cancel_token().child();
+        let worker_budget = budget.clone().with_cancel(pool_token.clone());
+        let saturation = self.build_query_engine(&worker_budget);
+
+        let raw: Vec<Option<Result<Decision, CoreError>>> = nfd_par::map_indexed_while(
+            goals.len(),
+            threads,
+            || !pool_token.is_cancelled(),
+            |i| {
+                let result = self.cascade(&goals[i], &worker_budget, &saturation);
+                // Fail fast: a genuine exhaustion (not our own pool stop
+                // propagating) or a fatal error ends the batch. This is
+                // purely a promptness signal — the normalization pass
+                // below re-derives the cutoff deterministically.
+                let stop = match &result {
+                    Ok(d) => match &d.verdict {
+                        Verdict::Exhausted(r) => {
+                            r.kind != ResourceKind::Cancelled
+                                || budget.cancel_token().is_cancelled()
+                        }
+                        _ => false,
+                    },
+                    Err(_) => true,
+                };
+                if stop {
+                    pool_token.cancel();
+                }
+                result
+            },
+        );
+
+        // Normalize to the sequential result, walking in input order. A
+        // decision is tainted if any attempt was cancelled by the pool's
+        // own stop signal; tainted or never-started goals before the
+        // cutoff re-run sequentially under the caller's budget.
+        let user_cancelled = budget.cancel_token().is_cancelled();
+        let tainted = |d: &Decision| {
+            !user_cancelled
+                && d.attempts.iter().any(|a| {
+                    matches!(&a.outcome,
+                        AttemptOutcome::Exhausted(r) if r.kind == ResourceKind::Cancelled)
+                })
+        };
+        let mut rerun_saturation: Option<Result<Engine<'s>, Attempt>> = None;
+        let mut decisions: Vec<Decision> = Vec::with_capacity(goals.len());
+        let mut first_exhausted: Option<usize> = None;
+        for (i, slot) in raw.into_iter().enumerate() {
+            if first_exhausted.is_some() {
+                decisions.push(batch_cancelled_decision());
+                continue;
+            }
+            let decision = match slot {
+                Some(Ok(d)) if !tainted(&d) => d,
+                Some(Err(e)) => return Err(e),
+                // Tainted by the pool stop, or never dispatched: re-run
+                // under the caller's budget, exactly as a sequential
+                // sweep would have run it. Builds are deterministic, so
+                // one re-run engine serves every re-run goal.
+                _ => {
+                    let saturation =
+                        rerun_saturation.get_or_insert_with(|| self.build_query_engine(budget));
+                    self.cascade(&goals[i], budget, saturation)?
+                }
+            };
+            // Post-normalization, an Exhausted verdict is genuine: a
+            // cancellation report here means the caller's own token.
+            if decision.verdict.is_exhausted() {
+                first_exhausted = Some(i);
+            }
+            decisions.push(decision);
+        }
+        Ok(BatchDecision {
+            decisions,
+            first_exhausted,
+        })
+    }
+
     /// The dependency closure `(base, X, Σ)*` (Definition 3.1).
     pub fn closure(&self, base: &RootedPath, lhs: &[Path]) -> Result<Vec<RootedPath>, CoreError> {
         self.engine.closure(base, lhs)
@@ -558,6 +771,18 @@ impl<'s> Session<'s> {
         max_size: usize,
     ) -> Result<Vec<Vec<Path>>, CoreError> {
         analysis::candidate_keys(&self.engine, relation, max_size)
+    }
+
+    /// [`Session::candidate_keys`] sharded across `threads` workers
+    /// (`0` = all available parallelism); results and exhaustion reports
+    /// are identical at every thread count.
+    pub fn candidate_keys_threaded(
+        &self,
+        relation: Label,
+        max_size: usize,
+        threads: usize,
+    ) -> Result<Vec<Vec<Path>>, CoreError> {
+        analysis::candidate_keys_threaded(&self.engine, relation, max_size, threads)
     }
 }
 
@@ -634,6 +859,85 @@ mod tests {
         // Under empty-set pessimism the prefix rule loses its footing for
         // B, but the given dependency itself still holds.
         assert!(pessimistic.implies_text("R:[A -> B:C]").unwrap());
+    }
+
+    #[test]
+    fn session_and_decisions_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Session<'static>>();
+        assert_send_sync::<Decision>();
+        assert_send_sync::<BatchDecision>();
+    }
+
+    #[test]
+    fn batch_matches_a_sequential_loop_at_every_thread_count() {
+        let (schema, sigma_text) = course();
+        let sigma = parse_set(&schema, sigma_text).unwrap();
+        let s = Session::new(&schema, &sigma).unwrap();
+        let goals: Vec<Nfd> = [
+            "Course:[time, students:sid -> books]",
+            "Course:[cnum -> students:age]",
+            "Course:[time -> cnum]",
+            "Course:[books:title -> books:isbn]",
+            "Course:[cnum -> books:title]",
+        ]
+        .iter()
+        .map(|t| Nfd::parse(&schema, t).unwrap())
+        .collect();
+        let budget = Budget::standard();
+        let sequential: Vec<Decision> = goals
+            .iter()
+            .map(|g| s.implies_with(g, &budget).unwrap())
+            .collect();
+        for threads in [1, 2, 8] {
+            let batch = s.implies_batch(&goals, &budget, threads).unwrap();
+            assert_eq!(batch.decisions, sequential, "threads = {threads}");
+            assert_eq!(batch.first_exhausted, None);
+            let implied = sequential
+                .iter()
+                .filter(|d| d.verdict == Verdict::Implied)
+                .count();
+            assert_eq!(batch.implied_count(), implied);
+            assert_eq!(batch.decisions[0].verdict, Verdict::Implied);
+            assert!(!batch.all_implied());
+        }
+    }
+
+    #[test]
+    fn starved_batch_is_deterministic_and_never_flips_verdicts() {
+        let (schema, sigma_text) = course();
+        let sigma = parse_set(&schema, sigma_text).unwrap();
+        let s = Session::new(&schema, &sigma).unwrap();
+        let goals: Vec<Nfd> = [
+            "Course:[time, students:sid -> books]",
+            "Course:[time -> cnum]",
+            "Course:[cnum -> students:age]",
+        ]
+        .iter()
+        .map(|t| Nfd::parse(&schema, t).unwrap())
+        .collect();
+        let budget = Budget::limited(1);
+        let reference = s.implies_batch(&goals, &budget, 1).unwrap();
+        assert!(
+            reference.exhausted_count() > 0,
+            "a budget of 1 must starve the cascade"
+        );
+        assert_eq!(reference.first_exhausted, Some(0));
+        for threads in [2, 8] {
+            let batch = s.implies_batch(&goals, &budget, threads).unwrap();
+            assert_eq!(batch, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (schema, sigma_text) = course();
+        let sigma = parse_set(&schema, sigma_text).unwrap();
+        let s = Session::new(&schema, &sigma).unwrap();
+        let batch = s.implies_batch(&[], &Budget::standard(), 8).unwrap();
+        assert!(batch.decisions.is_empty());
+        assert_eq!(batch.first_exhausted, None);
+        assert!(batch.all_implied());
     }
 
     #[test]

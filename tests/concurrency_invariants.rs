@@ -1,0 +1,242 @@
+//! Concurrency invariants of the shared [`Session`] and the batch
+//! executor: many threads hammering one compiled session must observe
+//! identical answers regardless of scheduling, and cancellation — whether
+//! from the batch's own first exhaustion or an external token — must
+//! preempt the budgeted loops promptly (they poll every ~4096 work units,
+//! so a cancelled run does a small fraction of the full work).
+
+mod common;
+
+use common::{course_schema, course_sigma, random_nfd, random_schema, random_sigma, SchemaShape};
+use nfd::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Fisher–Yates over goal indices, so every thread visits the same goals
+/// in its own seeded order.
+fn shuffled_indices(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    order
+}
+
+/// A flat transitive chain `a0 → a1 → … → a{n-1}` — saturation cost grows
+/// superlinearly with `n`, which makes it the heavy workload for the
+/// promptness tests.
+fn chain_problem(n: usize) -> (Schema, Vec<Nfd>) {
+    let fields = (0..n)
+        .map(|i| format!("a{i}: int"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let schema = Schema::parse(&format!("R : {{<{fields}>}};")).unwrap();
+    let text = (0..n - 1)
+        .map(|i| format!("R:[a{i} -> a{}];", i + 1))
+        .collect::<String>();
+    let sigma = nfd::core::nfd::parse_set(&schema, &text).unwrap();
+    (schema, sigma)
+}
+
+#[test]
+fn hammering_one_session_from_many_threads_is_deterministic() {
+    for seed in 0..6u64 {
+        let schema = random_schema(seed, SchemaShape::default());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0C0);
+        let sigma = random_sigma(&mut rng, &schema, 6);
+        let goals: Vec<Nfd> = (0..40)
+            .filter_map(|_| random_nfd(&mut rng, &schema))
+            .take(16)
+            .collect();
+        let session = Session::new(&schema, &sigma).expect("generated Σ compiles");
+        let budget = Budget::standard();
+
+        let reference: Vec<Decision> = goals
+            .iter()
+            .map(|g| session.implies_with(g, &budget).expect("decides"))
+            .collect();
+
+        // Each worker walks the same goal set in its own shuffled order;
+        // every observation must match the sequential reference.
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8u64)
+                .map(|worker| {
+                    let session = &session;
+                    let goals = &goals;
+                    let budget = &budget;
+                    scope.spawn(move || {
+                        let mut seen: Vec<(usize, Decision)> = Vec::new();
+                        for i in shuffled_indices(goals.len(), seed * 31 + worker) {
+                            let d = session.implies_with(&goals[i], budget).expect("decides");
+                            seen.push((i, d));
+                        }
+                        seen
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, d) in h.join().expect("worker completes") {
+                    assert_eq!(
+                        d, reference[i],
+                        "seed {seed}: goal {i} answered differently under contention"
+                    );
+                }
+            }
+        });
+    }
+}
+
+#[test]
+fn concurrent_batches_and_key_searches_agree() {
+    let schema = course_schema();
+    let sigma = course_sigma(&schema);
+    let session = Session::new(&schema, &sigma).unwrap();
+    let goals: Vec<Nfd> = [
+        "Course:[time, students:sid -> books]",
+        "Course:[time -> cnum]",
+        "Course:[cnum -> books]",
+        "Course:[books:isbn -> books:title]",
+    ]
+    .iter()
+    .map(|t| Nfd::parse(&schema, t).unwrap())
+    .collect();
+    let budget = Budget::standard();
+    let batch_ref = session.implies_batch(&goals, &budget, 1).unwrap();
+    let keys_ref = session.candidate_keys(Label::new("Course"), 3).unwrap();
+
+    // Batches and key searches racing on one session, at mixed thread
+    // counts, all reproduce the sequential answers.
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..6usize)
+            .map(|worker| {
+                let session = &session;
+                let goals = &goals;
+                let budget = &budget;
+                scope.spawn(move || {
+                    let threads = [1, 2, 8][worker % 3];
+                    let batch = session.implies_batch(goals, budget, threads).unwrap();
+                    let keys = session
+                        .candidate_keys_threaded(Label::new("Course"), 3, threads)
+                        .unwrap();
+                    (batch, keys)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (batch, keys) = h.join().expect("worker completes");
+            assert_eq!(batch, batch_ref);
+            assert_eq!(keys, keys_ref);
+        }
+    });
+}
+
+#[test]
+fn first_exhaustion_stops_the_whole_pool_promptly() {
+    // Reference: the full saturation of the chain is the work a runaway
+    // batch would do. A budget that exhausts almost immediately must end
+    // the whole batch in a small fraction of that time: the first
+    // exhaustion cancels the pool, and every budgeted loop polls the
+    // token at least once per ~4096 work units.
+    let (schema, sigma) = chain_problem(64);
+    let full = Instant::now();
+    let session = Session::new(&schema, &sigma).unwrap();
+    let full_time = full.elapsed();
+
+    let goals: Vec<Nfd> = (0..12)
+        .map(|i| Nfd::parse(&schema, &format!("R:[a{i} -> a{}]", i + 40)).unwrap())
+        .collect();
+    // A cap of 100 starves all three deciders on this chain (saturation
+    // needs 2016 pool entries, the chase >100 assignments, logic-eval the
+    // same pool); 500 would let the chase answer.
+    let starved = Budget::limited(100);
+    let t = Instant::now();
+    let batch = session.implies_batch(&goals, &starved, 8).unwrap();
+    let starved_time = t.elapsed();
+
+    assert_eq!(batch.first_exhausted, Some(0), "goal 0 starves first");
+    assert!(
+        batch.decisions.iter().all(|d| d.verdict.is_exhausted()),
+        "every goal is honestly exhausted, never mis-answered"
+    );
+    // Generous 2× headroom: the starved batch does a few thousand work
+    // units against the chain's ~170k-pair full saturation.
+    assert!(
+        starved_time < full_time,
+        "a starved batch ({starved_time:?}) must not redo the full \
+         saturation ({full_time:?})"
+    );
+}
+
+#[test]
+fn external_cancellation_preempts_a_heavy_batch() {
+    // Calibrate the workload so the uncancelled batch would take at least
+    // ~400ms on this machine (the n=100 chain saturates in ≈1s debug /
+    // ≈150ms release); then cancel early and require the batch to return
+    // well before the full work completes.
+    let mut calibrated = None;
+    for n in [100usize, 140, 200] {
+        let (schema, sigma) = chain_problem(n);
+        let t = Instant::now();
+        let session = Session::new(&schema, &sigma).unwrap();
+        let build = t.elapsed();
+        if build >= Duration::from_millis(400) {
+            calibrated = Some((schema, sigma, build));
+            break;
+        }
+        drop(session);
+    }
+    let Some((schema, sigma, full_time)) = calibrated else {
+        panic!("even the largest chain saturates in <400ms; grow the calibration sizes");
+    };
+    let session = Session::new(&schema, &sigma).unwrap();
+    let goals: Vec<Nfd> = (0..8)
+        .map(|i| Nfd::parse(&schema, &format!("R:[a{i} -> a{}]", i + 50)).unwrap())
+        .collect();
+
+    let token = CancelToken::new();
+    let budget = Budget::standard().with_cancel(token.clone());
+    let delay = full_time / 10;
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            std::thread::sleep(delay);
+            token.cancel();
+        });
+        // The batch re-saturates under the worker budget (≈ full_time of
+        // work); the cancel lands mid-build and must preempt it.
+        let batch = session.implies_batch(&goals, &budget, 8).unwrap();
+        let elapsed = t.elapsed();
+        assert!(
+            batch.decisions.iter().all(|d| d.verdict.is_exhausted()),
+            "a cancelled batch reports exhaustion, never a made-up verdict"
+        );
+        assert_eq!(batch.first_exhausted, Some(0));
+        assert!(
+            elapsed < full_time / 2 + delay,
+            "cancellation after {delay:?} must preempt the ≈{full_time:?} build, \
+             took {elapsed:?}"
+        );
+    });
+}
+
+#[test]
+fn already_cancelled_budget_refuses_all_work_consistently() {
+    let schema = course_schema();
+    let sigma = course_sigma(&schema);
+    let session = Session::new(&schema, &sigma).unwrap();
+    let goals: Vec<Nfd> = ["Course:[cnum -> time]", "Course:[time -> cnum]"]
+        .iter()
+        .map(|t| Nfd::parse(&schema, t).unwrap())
+        .collect();
+    let token = CancelToken::new();
+    token.cancel();
+    let budget = Budget::standard().with_cancel(token);
+    let reference = session.implies_batch(&goals, &budget, 1).unwrap();
+    assert!(reference.decisions.iter().all(|d| d.verdict.is_exhausted()));
+    for threads in [2usize, 8] {
+        let batch = session.implies_batch(&goals, &budget, threads).unwrap();
+        assert_eq!(batch, reference, "threads = {threads}");
+    }
+}

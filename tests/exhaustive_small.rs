@@ -8,7 +8,12 @@
 //!   produce a concrete witness (Lemma A.1), checked semantically.
 //!
 //! Unlike the randomized suites, this covers the complete space at its
-//! scale: no sampling gaps.
+//! scale: no sampling gaps. The sweeps shard their outer Σ loop across
+//! `nfd::par` workers (each Σ is an independent problem), which is what
+//! lets this suite run one schema-size notch deeper than it used to —
+//! the nested set now has two element attributes, growing the census from
+//! 46 to 88 NFDs and the single-dependency sweep from 2 116 to 7 744
+//! implication problems (the bound recorded in EXPERIMENTS.md).
 
 mod common;
 
@@ -19,7 +24,7 @@ use nfd::model::Schema;
 use nfd::path::{Path, RootedPath};
 
 fn small_schema() -> Schema {
-    Schema::parse("R : { <A: int, B: {<C: int>}, D: int> };").unwrap()
+    Schema::parse("R : { <A: int, B: {<C: int, E: int>}, D: int> };").unwrap()
 }
 
 /// Every well-formed NFD over the small schema with |LHS| ≤ 2.
@@ -52,23 +57,25 @@ fn all_nfds(schema: &Schema) -> Vec<Nfd> {
 fn schema_nfd_census() {
     let schema = small_schema();
     let nfds = all_nfds(&schema);
-    // Base R: 4 paths (A, B, D, B:C), LHS subsets of size ≤2: 1+4+6=11,
-    // so 44 NFDs; base R:B: 1 path (C), 2 LHS sets, 2 NFDs. Total 46.
-    assert_eq!(nfds.len(), 46);
+    // Base R: 5 paths (A, B, D, B:C, B:E), LHS subsets of size ≤2:
+    // 1+5+10=16, so 80 NFDs; base R:B: 2 paths (C, E), 4 LHS sets,
+    // 8 NFDs. Total 88.
+    assert_eq!(nfds.len(), 88);
 }
 
 /// Every (single-dependency Σ, goal) pair: engine ⇔ chase, and Lemma A.1
-/// witnesses for every refusal. 46 × 46 = 2 116 implication problems.
+/// witnesses for every refusal. 88 × 88 = 7 744 implication problems,
+/// sharded one Σ per work item.
 #[test]
 fn exhaustive_single_dependency() {
     let schema = small_schema();
     let nfds = all_nfds(&schema);
     let base_r = RootedPath::parse("R").unwrap();
-    let mut implied = 0usize;
-    let mut refused = 0usize;
-    for sigma_member in &nfds {
+    let counts = nfd::par::map_indexed(nfds.len(), 0, |si| {
+        let sigma_member = &nfds[si];
         let sigma = vec![sigma_member.clone()];
         let engine = Engine::new(&schema, &sigma).unwrap();
+        let (mut implied, mut refused) = (0usize, 0usize);
         for goal in &nfds {
             let by_engine = engine.implies(goal).unwrap();
             let by_chase = chase::implies_by_chase(&schema, &sigma, goal).unwrap();
@@ -98,14 +105,19 @@ fn exhaustive_single_dependency() {
                 );
             }
         }
-    }
+        (implied, refused)
+    });
+    let implied: usize = counts.iter().map(|(i, _)| i).sum();
+    let refused: usize = counts.iter().map(|(_, r)| r).sum();
+    assert_eq!(implied + refused, nfds.len() * nfds.len());
     // Sanity on the census: both classes are well populated.
-    assert!(implied > 200, "only {implied} implied pairs");
-    assert!(refused > 1000, "only {refused} refused pairs");
+    assert!(implied > 400, "only {implied} implied pairs");
+    assert!(refused > 4000, "only {refused} refused pairs");
 }
 
 /// A dense sample of two-dependency Σ sets (every pair where both members
-/// share the base R), engine ⇔ chase on a spread of goals.
+/// share the base R), engine ⇔ chase on a spread of goals, sharded one
+/// first-member per work item.
 #[test]
 fn exhaustive_pairs_engine_vs_chase() {
     let schema = small_schema();
@@ -115,8 +127,9 @@ fn exhaustive_pairs_engine_vs_chase() {
         .collect();
     // Goals: every single-LHS NFD at base R.
     let goals: Vec<&Nfd> = nfds.iter().filter(|n| n.lhs().len() == 1).collect();
-    let mut checked = 0usize;
-    for (i, s1) in nfds.iter().enumerate() {
+    let counts = nfd::par::map_indexed(nfds.len(), 0, |i| {
+        let s1 = &nfds[i];
+        let mut checked = 0usize;
         // Stride the second member to keep the square tractable while
         // still covering every member in both roles.
         for s2 in nfds.iter().skip(i % 2).step_by(2) {
@@ -129,6 +142,8 @@ fn exhaustive_pairs_engine_vs_chase() {
                 checked += 1;
             }
         }
-    }
-    assert!(checked > 2000, "only {checked} pairs checked");
+        checked
+    });
+    let checked: usize = counts.iter().sum();
+    assert!(checked > 12_000, "only {checked} pairs checked");
 }

@@ -3,6 +3,10 @@
 //! of the three verdicts — and whenever a budgeted run answers, the
 //! answer must agree with the unbudgeted truth. The CI stress job runs
 //! this suite under `timeout` as a hang detector.
+//!
+//! Each soak phase derives its seeds through [`phase_seed`], a bit mixer
+//! keyed by the phase number, so no phase ever replays another phase's
+//! corpus — `soak_phases_draw_distinct_corpora` locks that in.
 
 mod common;
 
@@ -11,6 +15,19 @@ use nfd::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
+
+/// Per-phase seed derivation: a splitmix64-style mixer over
+/// `(phase, index)`, so every phase draws an independent stream and a new
+/// phase can never replay an old one's inputs by reusing raw indices.
+fn phase_seed(phase: u64, index: u64) -> u64 {
+    let mut z = phase
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(index)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Mixed budget menu: starvation, tiny, moderate, deadline-only.
 fn budget_for(round: u64) -> Budget {
@@ -22,19 +39,46 @@ fn budget_for(round: u64) -> Budget {
     }
 }
 
+/// The random inputs one soak round is built from.
+fn corpus_entry(phase: u64, index: u64, shape: SchemaShape) -> (Schema, Vec<Nfd>, Option<Nfd>) {
+    let seed = phase_seed(phase, index);
+    let schema = random_schema(seed, shape);
+    let mut rng = StdRng::seed_from_u64(phase_seed(phase, index ^ 0x5EED));
+    let n_deps = rng.gen_range(1..6);
+    let sigma = random_sigma(&mut rng, &schema, n_deps);
+    let goal = random_nfd(&mut rng, &schema);
+    (schema, sigma, goal)
+}
+
+#[test]
+fn soak_phases_draw_distinct_corpora() {
+    // At every index the two phases must have drawn different problems;
+    // a replay (the bug this guards against: both phases feeding the raw
+    // index into the generators) would make them identical.
+    let mut identical = 0usize;
+    for index in 0..32u64 {
+        let a = corpus_entry(1, index, SchemaShape::default());
+        let b = corpus_entry(2, index, SchemaShape::default());
+        if a == b {
+            identical += 1;
+        }
+    }
+    assert_eq!(
+        identical, 0,
+        "{identical}/32 rounds were replayed verbatim across phases"
+    );
+}
+
 #[test]
 fn randomized_schemas_under_tight_budgets_stay_trichotomous() {
     let deadline = Instant::now() + Duration::from_secs(20);
     let mut rounds = 0u64;
-    for seed in 0..400u64 {
+    for index in 0..400u64 {
         if Instant::now() > deadline {
             break; // soak is time-boxed; coverage grows with machine speed
         }
-        let schema = random_schema(seed, SchemaShape::default());
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x50AC);
-        let n_deps = rng.gen_range(1..5);
-        let sigma = random_sigma(&mut rng, &schema, n_deps);
-        let Some(goal) = random_nfd(&mut rng, &schema) else {
+        let (schema, sigma, goal) = corpus_entry(1, index, SchemaShape::default());
+        let Some(goal) = goal else {
             continue;
         };
         let Ok(session) = Session::new(&schema, &sigma) else {
@@ -42,17 +86,17 @@ fn randomized_schemas_under_tight_budgets_stay_trichotomous() {
         };
         let truth = session.implies(&goal).unwrap();
 
-        let budget = budget_for(seed);
+        let budget = budget_for(index);
         let start = Instant::now();
         let decision = session.implies_with(&goal, &budget).unwrap();
         assert!(
             start.elapsed() < Duration::from_secs(30),
-            "seed {seed}: governed query ran away"
+            "round {index}: governed query ran away"
         );
         if let Some(answer) = decision.verdict.as_bool() {
             assert_eq!(
                 answer, truth,
-                "seed {seed}: budgeted cascade contradicts unbudgeted verdict on {goal}"
+                "round {index}: budgeted cascade contradicts unbudgeted verdict on {goal}"
             );
         }
         rounds += 1;
@@ -63,28 +107,23 @@ fn randomized_schemas_under_tight_budgets_stay_trichotomous() {
 #[test]
 fn randomized_schemas_with_deadlines_never_panic() {
     let deadline = Instant::now() + Duration::from_secs(10);
-    for seed in 400..600u64 {
+    for index in 0..200u64 {
         if Instant::now() > deadline {
             break;
         }
-        let schema = random_schema(
-            seed,
-            SchemaShape {
-                max_depth: 3,
-                fields: (2, 5),
-                set_prob: 0.6,
-            },
-        );
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD);
-        let n_deps = rng.gen_range(1..6);
-        let sigma = random_sigma(&mut rng, &schema, n_deps);
-        let Some(goal) = random_nfd(&mut rng, &schema) else {
+        let shape = SchemaShape {
+            max_depth: 3,
+            fields: (2, 5),
+            set_prob: 0.6,
+        };
+        let (schema, sigma, goal) = corpus_entry(2, index, shape);
+        let Some(goal) = goal else {
             continue;
         };
         // Drive all three deciders straight through the trait under a
         // millisecond-scale deadline — exhaustion and errors are both
         // fine; panics and hangs are not.
-        let budget = Budget::limited(seed % 64).with_timeout_ms(5);
+        let budget = Budget::limited(index % 64).with_timeout_ms(5);
         for d in nfd::session::all_deciders() {
             let _ = d.decide(&schema, &sigma, &goal, &budget);
         }
