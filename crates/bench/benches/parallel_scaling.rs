@@ -52,9 +52,9 @@ fn bench_parallel_scaling(c: &mut Criterion) {
 
         // The contract the numbers rest on: every thread count reproduces
         // the sequential loop exactly.
-        let sequential: Vec<Decision> = goals
+        let sequential: Vec<Result<Decision, nfd::prelude::CoreError>> = goals
             .iter()
-            .map(|g| session.implies_with(g, &budget).unwrap())
+            .map(|g| Ok(session.implies_with(g, &budget).unwrap()))
             .collect();
         for threads in [1usize, 2, 4, 8] {
             let batch = session.implies_batch(&goals, &budget, threads).unwrap();

@@ -2,6 +2,7 @@
 
 use crate::sym::{SymValue, Unifier};
 use nfd_core::{CoreError, Nfd};
+use nfd_faults::fail_point;
 use nfd_govern::{Budget, ResourceKind, ResourceReport};
 use nfd_model::{RecordType, Schema, Type};
 use nfd_path::{Path, PathTrie};
@@ -57,6 +58,11 @@ pub(crate) fn run(
     goal: &Nfd,
     budget: &Budget,
 ) -> Result<ChaseRun, ChaseError> {
+    fail_point!(
+        "chase::build",
+        Err(ChaseError::Exhausted(ResourceReport::injected())),
+        budget.cancel_token()
+    );
     let rec = schema
         .relation_type(goal.base.relation)
         .map_err(|e| ChaseError::Core(CoreError::Parse(e.to_string())))?
@@ -96,6 +102,11 @@ pub(crate) fn run(
     let mut steps = 0usize;
     let mut assignments = 0u64;
     loop {
+        fail_point!(
+            "chase::step",
+            Err(ChaseError::Exhausted(ResourceReport::injected())),
+            budget.cancel_token()
+        );
         budget.check_live().map_err(ChaseError::Exhausted)?;
         let mut progressed = false;
         for dep in &compiled {
@@ -318,6 +329,11 @@ fn find_violation(
     budget: &Budget,
     assignments: &mut u64,
 ) -> Result<Option<(SymValue, SymValue)>, ChaseError> {
+    fail_point!(
+        "chase::scan",
+        Err(ChaseError::Exhausted(ResourceReport::injected())),
+        budget.cancel_token()
+    );
     let trie = &dep.trie;
 
     let mut groups: HashMap<Vec<SymValue>, SymValue> = HashMap::new();

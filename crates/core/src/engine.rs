@@ -47,6 +47,7 @@ use crate::emptyset::EmptySetPolicy;
 use crate::error::CoreError;
 use crate::nfd::Nfd;
 use crate::simple;
+use nfd_faults::fail_point;
 use nfd_govern::{Budget, ResourceKind};
 use nfd_model::{Label, Schema};
 use nfd_path::table::{PathId, PathSet, PathTable, SchemaTables};
@@ -221,6 +222,11 @@ impl RelEngine {
     /// budget's liveness conditions (deadline, cancellation) every few
     /// thousand resolution pairs so a runaway saturation stops promptly.
     fn saturate(&mut self, budget: &Budget) -> Result<(), CoreError> {
+        fail_point!(
+            "engine::saturate",
+            Err(CoreError::Exhausted(nfd_govern::ResourceReport::injected())),
+            budget.cancel_token()
+        );
         let mut i = 0;
         let mut tick: u32 = 0;
         while i < self.deps.len() {
@@ -386,6 +392,11 @@ impl RelEngine {
     /// One round of singleton introduction; returns whether any new
     /// singleton conclusion joined the pool.
     fn singleton_round(&mut self, budget: &Budget) -> Result<bool, CoreError> {
+        fail_point!(
+            "engine::singleton",
+            Err(CoreError::Exhausted(nfd_govern::ResourceReport::injected())),
+            budget.cancel_token()
+        );
         let table = Arc::clone(&self.table);
         let mut added = false;
         budget.check_live().map_err(CoreError::Exhausted)?;
@@ -465,6 +476,11 @@ impl<'s> Engine<'s> {
         policy: EmptySetPolicy,
         budget: Budget,
     ) -> Result<Engine<'s>, CoreError> {
+        fail_point!(
+            "engine::build",
+            Err(CoreError::Exhausted(nfd_govern::ResourceReport::injected())),
+            budget.cancel_token()
+        );
         let mut rels: HashMap<Label, RelEngine> = HashMap::new();
         for name in schema.relation_names() {
             let table = tables
@@ -556,6 +572,11 @@ impl<'s> Engine<'s> {
     /// Does Σ logically imply `goal` (over instances consistent with the
     /// engine's empty-set policy)?
     pub fn implies(&self, goal: &Nfd) -> Result<bool, CoreError> {
+        fail_point!(
+            "engine::implies",
+            Err(CoreError::Exhausted(nfd_govern::ResourceReport::injected())),
+            self.budget.cancel_token()
+        );
         self.budget.check_live().map_err(CoreError::Exhausted)?;
         let (relation, lhs, rhs) = self.normalize_goal(goal)?;
         if lhs.contains(&rhs) {
@@ -572,6 +593,11 @@ impl<'s> Engine<'s> {
         // Normalize through a synthetic goal: the closure is the set of
         // RHS paths the normalized LHS chains to, restricted to paths
         // below x0.
+        fail_point!(
+            "engine::closure",
+            Err(CoreError::Exhausted(nfd_govern::ResourceReport::injected())),
+            self.budget.cancel_token()
+        );
         self.budget.check_live().map_err(CoreError::Exhausted)?;
         let rel = self.rel(base.relation)?;
         let prefix = &base.path;

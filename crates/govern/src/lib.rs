@@ -98,6 +98,9 @@ pub enum ResourceKind {
     Deadline,
     /// Explicit cancellation via a [`CancelToken`].
     Cancelled,
+    /// A fault injected by a `fail_point!` site (chaos testing only;
+    /// never produced in a build without the `failpoints` feature).
+    Injected,
 }
 
 impl ResourceKind {
@@ -111,6 +114,7 @@ impl ResourceKind {
             ResourceKind::KeyCandidates => "key candidates",
             ResourceKind::Deadline => "wall-clock deadline",
             ResourceKind::Cancelled => "cancellation",
+            ResourceKind::Injected => "injected fault",
         }
     }
 }
@@ -121,10 +125,13 @@ impl ResourceKind {
 pub struct ResourceReport {
     /// The exhausted resource.
     pub kind: ResourceKind,
-    /// The configured limit (0 for deadline/cancellation, where no
-    /// counter applies).
+    /// The configured limit: counter units for counter kinds, the
+    /// configured timeout in milliseconds for `Deadline` (0 when the
+    /// deadline was set as an absolute instant with no stored duration),
+    /// and 0 for `Cancelled`/`Injected`, where no limit applies.
     pub limit: u64,
-    /// Usage at the moment the limit was hit.
+    /// Usage at the moment the limit was hit: counter units, or elapsed
+    /// milliseconds for `Deadline`.
     pub used: u64,
 }
 
@@ -133,13 +140,26 @@ impl ResourceReport {
     pub fn counter(kind: ResourceKind, limit: u64, used: u64) -> ResourceReport {
         ResourceReport { kind, limit, used }
     }
+
+    /// The report attached to faults injected by `fail_point!` sites.
+    pub fn injected() -> ResourceReport {
+        ResourceReport::counter(ResourceKind::Injected, 0, 0)
+    }
 }
 
 impl fmt::Display for ResourceReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.kind {
+            ResourceKind::Deadline if self.limit > 0 => {
+                write!(
+                    f,
+                    "wall-clock deadline of {} ms exceeded ({} ms elapsed)",
+                    self.limit, self.used
+                )
+            }
             ResourceKind::Deadline => f.write_str("wall-clock deadline exceeded"),
             ResourceKind::Cancelled => f.write_str("cancelled by caller"),
+            ResourceKind::Injected => f.write_str("injected fault (failpoint)"),
             kind => write!(f, "{} limit of {} reached", kind.noun(), self.limit),
         }
     }
@@ -164,6 +184,11 @@ pub struct Budget {
     /// Max candidate subsets enumerated by the key search.
     pub max_key_candidates: u64,
     deadline: Option<Instant>,
+    /// The duration the deadline was configured from, kept so exhaustion
+    /// reports can say *which* timeout tripped ("deadline of 50 ms
+    /// exceeded") and so [`Budget::escalate`] can re-arm a fresh, scaled
+    /// deadline for a retry.
+    timeout: Option<Duration>,
     cancel: CancelToken,
 }
 
@@ -177,6 +202,7 @@ impl Budget {
             max_assignments: u64::MAX,
             max_key_candidates: u64::MAX,
             deadline: None,
+            timeout: None,
             cancel: CancelToken::new(),
         }
     }
@@ -205,9 +231,12 @@ impl Budget {
         }
     }
 
-    /// Adds a wall-clock deadline `d` from now.
+    /// Adds a wall-clock deadline `d` from now. A zero duration is
+    /// honoured literally: the budget is already past its deadline and
+    /// the first [`Budget::check_live`] reports exhaustion.
     pub fn with_timeout(mut self, d: Duration) -> Budget {
         self.deadline = Some(Instant::now() + d);
+        self.timeout = Some(d);
         self
     }
 
@@ -241,8 +270,20 @@ impl Budget {
             return Err(ResourceReport::counter(ResourceKind::Cancelled, 0, 0));
         }
         if let Some(d) = self.deadline {
-            if Instant::now() >= d {
-                return Err(ResourceReport::counter(ResourceKind::Deadline, 0, 0));
+            let now = Instant::now();
+            if now >= d {
+                // Coherent report: limit = the configured timeout in ms,
+                // used = elapsed ms (≥ limit by construction).
+                let limit = self
+                    .timeout
+                    .map(|t| t.as_millis().min(u64::MAX as u128) as u64)
+                    .unwrap_or(0);
+                let over = now.duration_since(d).as_millis().min(u64::MAX as u128) as u64;
+                return Err(ResourceReport::counter(
+                    ResourceKind::Deadline,
+                    limit,
+                    limit.saturating_add(over),
+                ));
             }
         }
         Ok(())
@@ -257,8 +298,46 @@ impl Budget {
             ResourceKind::ChaseNulls => self.max_chase_nulls,
             ResourceKind::Assignments => self.max_assignments,
             ResourceKind::KeyCandidates => self.max_key_candidates,
-            ResourceKind::Deadline | ResourceKind::Cancelled => u64::MAX,
+            ResourceKind::Deadline | ResourceKind::Cancelled | ResourceKind::Injected => u64::MAX,
         }
+    }
+
+    /// A scaled-up copy of this budget for a retry after exhaustion:
+    /// every finite counter limit is multiplied by `factor` (and grows by
+    /// at least one, so even a zero limit makes progress), and a timeout,
+    /// if one was configured, is re-armed *from now* at `factor` times
+    /// its previous duration — the original absolute deadline has by
+    /// definition already passed when a retry is considered.
+    ///
+    /// Factors below 1 (or non-finite) are treated as 1: escalation never
+    /// shrinks a budget. The cancellation token is shared with the
+    /// original, so a caller's cancel still reaches every retry.
+    pub fn escalate(&self, factor: f64) -> Budget {
+        let factor = if factor.is_finite() && factor > 1.0 {
+            factor
+        } else {
+            1.0
+        };
+        // `as u64` saturates on overflow, so huge limits stay huge
+        // instead of wrapping.
+        let scale = |v: u64| {
+            if v == u64::MAX {
+                v
+            } else {
+                ((v as f64 * factor) as u64).max(v.saturating_add(1))
+            }
+        };
+        let mut next = self.clone();
+        next.max_pool_deps = scale(self.max_pool_deps);
+        next.max_chase_steps = scale(self.max_chase_steps);
+        next.max_chase_nulls = scale(self.max_chase_nulls);
+        next.max_assignments = scale(self.max_assignments);
+        next.max_key_candidates = scale(self.max_key_candidates);
+        if let Some(t) = self.timeout {
+            let ms = t.as_millis().min(u64::MAX as u128) as u64;
+            return next.with_timeout(Duration::from_millis(scale(ms)));
+        }
+        next
     }
 
     /// Checks a counter against its limit: `Err` when `used` exceeds the
@@ -394,6 +473,67 @@ mod tests {
         assert!(b.check_live().is_ok());
         token.cancel();
         assert_eq!(b.check_live().unwrap_err().kind, ResourceKind::Cancelled);
+    }
+
+    #[test]
+    fn zero_timeout_trips_first_check_with_a_labeled_report() {
+        let b = Budget::unlimited().with_timeout_ms(0);
+        let report = b.check_live().unwrap_err();
+        assert_eq!(report.kind, ResourceKind::Deadline);
+        assert_eq!(report.limit, 0, "the configured timeout was 0 ms");
+        assert!(report.used >= report.limit);
+        assert!(report.to_string().contains("wall-clock deadline"));
+    }
+
+    #[test]
+    fn deadline_report_names_the_configured_timeout() {
+        let b = Budget::unlimited().with_timeout_ms(25);
+        assert!(b.check_live().is_ok(), "25 ms have not elapsed yet");
+        std::thread::sleep(Duration::from_millis(30));
+        let report = b.check_live().unwrap_err();
+        assert_eq!(report.kind, ResourceKind::Deadline);
+        assert_eq!(report.limit, 25);
+        assert!(report.used >= 25, "elapsed ms at the trip: {}", report.used);
+        assert!(report.to_string().contains("deadline of 25 ms"));
+    }
+
+    #[test]
+    fn zero_limit_counters_trip_on_first_unit() {
+        let b = Budget::limited(0);
+        let report = b.check_counter(ResourceKind::PoolDeps, 1).unwrap_err();
+        assert_eq!(report.kind, ResourceKind::PoolDeps);
+        assert_eq!(report.limit, 0);
+        assert_eq!(report.used, 1);
+    }
+
+    #[test]
+    fn escalate_scales_counters_and_rearms_the_deadline() {
+        let b = Budget::limited(10).with_timeout_ms(40);
+        let up = b.escalate(4.0); // deadline re-armed from now: 160 ms
+        assert_eq!(up.max_pool_deps, 40);
+        assert_eq!(up.max_chase_steps, 40);
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(b.check_live().is_err(), "original 40 ms deadline passed");
+        assert!(
+            up.check_live().is_ok(),
+            "escalated deadline was re-armed and scaled"
+        );
+
+        // Progress from zero, saturation at the top, shared cancel token.
+        assert_eq!(Budget::limited(0).escalate(4.0).max_assignments, 1);
+        assert_eq!(Budget::unlimited().escalate(4.0).max_pool_deps, u64::MAX);
+        let escalated = b.escalate(f64::NAN);
+        assert_eq!(escalated.max_pool_deps, 11, "bad factors grow by one");
+        b.cancel_token().cancel();
+        assert!(escalated.cancel_token().is_cancelled());
+    }
+
+    #[test]
+    fn injected_report_renders() {
+        let r = ResourceReport::injected();
+        assert_eq!(r.kind, ResourceKind::Injected);
+        assert!(r.to_string().contains("injected fault"));
+        assert_eq!(Budget::unlimited().limit(ResourceKind::Injected), u64::MAX);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! empty-set pathologies surface in this semantics.
 
 use crate::ast::{Formula, SetRef, Term};
+use nfd_faults::fail_point;
 use nfd_govern::{Budget, ResourceKind, ResourceReport};
 use nfd_model::{Instance, Value};
 use std::fmt;
@@ -61,6 +62,11 @@ pub fn eval_budgeted(
     formula: &Formula,
     budget: &Budget,
 ) -> Result<bool, EvalError> {
+    fail_point!(
+        "logic::eval",
+        Err(EvalError::Exhausted(ResourceReport::injected())),
+        budget.cancel_token()
+    );
     budget.check_live().map_err(EvalError::Exhausted)?;
     let mut env: Vec<Option<Value>> = Vec::new();
     let mut assignments = 0u64;
@@ -93,6 +99,11 @@ fn eval_with(
         }
         Formula::Eq(t1, t2) => Ok(resolve_term(t1, env)? == resolve_term(t2, env)?),
         Formula::Forall(var, range, body) => {
+            fail_point!(
+                "logic::forall",
+                Err(EvalError::Exhausted(ResourceReport::injected())),
+                budget.cancel_token()
+            );
             let set = resolve_set(instance, range, env)?.clone();
             if env.len() <= var.id {
                 env.resize(var.id + 1, None);

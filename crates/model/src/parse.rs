@@ -20,6 +20,7 @@ use crate::label::Label;
 use crate::schema::Schema;
 use crate::types::{BaseType, RecordType, Strictness, Type};
 use crate::value::{RecordValue, Value};
+use nfd_faults::fail_point;
 
 /// A lexical token with its position.
 #[derive(Clone, Debug, PartialEq)]
@@ -87,6 +88,13 @@ pub struct Lexer;
 impl Lexer {
     /// Produces the token stream for `text` (ending with `Eof`).
     pub(crate) fn tokenize(text: &str) -> Result<Vec<Token>, ModelError> {
+        fail_point!(
+            "model::parse_input",
+            Err(ModelError::Limit {
+                what: "input size (bytes; injected fault)",
+                limit: 0,
+            })
+        );
         if text.len() > MAX_INPUT_LEN {
             return Err(ModelError::Limit {
                 what: "input size (bytes)",
@@ -302,6 +310,13 @@ impl Parser {
     /// Charges one level of `{`/`<` nesting; errs past
     /// [`MAX_NESTING_DEPTH`]. Callers must pair with `self.depth -= 1`.
     fn descend(&mut self) -> Result<(), ModelError> {
+        fail_point!(
+            "model::parse_depth",
+            Err(ModelError::Limit {
+                what: "nesting depth (injected fault)",
+                limit: 0,
+            })
+        );
         self.depth += 1;
         if self.depth > MAX_NESTING_DEPTH {
             return Err(ModelError::Limit {

@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+use nfd_faults::fail_point;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The parallelism the hardware advertises (at least 1).
@@ -104,6 +105,9 @@ where
         local.push((i, f(i)));
         true
     });
+    // The partial map reassembles inline (same site as the total path:
+    // both are the merge step after every worker has been joined).
+    fail_point!("par::reassemble");
     let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
     for (i, v) in parts.into_iter().flatten() {
         out[i] = Some(v);
@@ -126,6 +130,11 @@ where
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
+                    // Observe-only site: a worker has no error channel, so
+                    // only the panic/delay actions apply — panics here
+                    // exercise the join-then-re-raise path below and the
+                    // caller's containment boundary.
+                    fail_point!("par::worker");
                     let mut local: Vec<(usize, T)> = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -159,6 +168,7 @@ where
 /// counter hands each index to exactly one worker, and `step` never
 /// declines in the total map).
 fn reassemble_total<T>(n: usize, parts: Vec<Vec<(usize, T)>>) -> Vec<T> {
+    fail_point!("par::reassemble");
     let mut pairs: Vec<(usize, T)> = Vec::with_capacity(n);
     for part in parts {
         pairs.extend(part);

@@ -24,7 +24,7 @@
 //! The entry point [`run`] writes to the supplied sink and returns a
 //! process exit code, so the whole CLI is unit-testable.
 
-use crate::session::{AttemptOutcome, Session};
+use crate::session::{AttemptOutcome, RetryPolicy, Session};
 use nfd_core::engine::Engine;
 use nfd_core::{analysis, construct, nfd::parse_set, satisfy, CoreError, Nfd};
 use nfd_govern::Budget;
@@ -40,6 +40,10 @@ enum CliFail {
     Usage(String),
     /// A resource budget/deadline ran out → exit 3.
     Exhausted(String),
+    /// A contained internal failure (e.g. a decision-procedure panic the
+    /// library caught and reported as `CoreError::Internal`) → exit 101.
+    /// Not a usage problem, so no usage text.
+    Internal(String),
 }
 
 impl From<String> for CliFail {
@@ -59,6 +63,7 @@ impl From<&str> for CliFail {
 fn core_fail(e: CoreError) -> CliFail {
     match e {
         CoreError::Exhausted(r) => CliFail::Exhausted(r.to_string()),
+        CoreError::Internal(msg) => CliFail::Internal(msg),
         other => CliFail::Usage(other.to_string()),
     }
 }
@@ -81,6 +86,10 @@ pub fn run(args: &[String], out: &mut String) -> i32 {
             let _ = writeln!(inner, "exhausted: {msg}");
             3
         }
+        Ok(Err(CliFail::Internal(msg))) => {
+            let _ = writeln!(inner, "internal error: {msg}");
+            101
+        }
         Err(_) => {
             let _ = writeln!(inner, "internal error: a decision procedure panicked");
             101
@@ -92,8 +101,8 @@ pub fn run(args: &[String], out: &mut String) -> i32 {
 
 const USAGE: &str = "usage:
   nfdtool check    --schema FILE --deps FILE --instance FILE
-  nfdtool implies  --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] NFD
-  nfdtool implies  --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] [--threads N] --goals FILE
+  nfdtool implies  --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] [--retry N [--escalate F]] NFD
+  nfdtool implies  --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] [--threads N] [--retry N [--escalate F]] --goals FILE
   nfdtool prove    --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] NFD
   nfdtool closure  --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] --base PATH [--lhs P1,P2,…]
   nfdtool witness  --schema FILE --deps FILE --base PATH [--lhs P1,P2,…]
@@ -121,6 +130,11 @@ const USAGE: &str = "usage:
   search across N worker threads sharing one budget; 0 or omitted uses all
   available parallelism. Results are identical at every thread count.
 
+  --retry N re-runs a goal up to N more times when it exhausts the budget,
+  multiplying every limit (and re-arming any timeout) by the --escalate
+  factor (default 4) before each run — graceful degradation instead of a
+  terminal \"don't know\". The printed attempt log records every run.
+
   exit codes: 0 holds/implied · 1 fails/not implied · 2 usage or input
   error · 3 budget or deadline exhausted · 101 contained internal panic";
 
@@ -136,6 +150,8 @@ struct Opts {
     budget: Option<String>,
     timeout_ms: Option<String>,
     threads: Option<String>,
+    retry: Option<String>,
+    escalate: Option<String>,
     positional: Vec<String>,
 }
 
@@ -152,6 +168,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         budget: None,
         timeout_ms: None,
         threads: None,
+        retry: None,
+        escalate: None,
         positional: Vec::new(),
     };
     let mut i = 0;
@@ -174,6 +192,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--budget" => o.budget = Some(take(&mut i)?),
             "--timeout-ms" => o.timeout_ms = Some(take(&mut i)?),
             "--threads" => o.threads = Some(take(&mut i)?),
+            "--retry" => o.retry = Some(take(&mut i)?),
+            "--escalate" => o.escalate = Some(take(&mut i)?),
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             other => o.positional.push(other.to_string()),
         }
@@ -252,6 +272,36 @@ fn parse_budget(o: &Opts) -> Result<Budget, String> {
     Ok(budget)
 }
 
+/// Parses `--retry N [--escalate F]` into a [`RetryPolicy`]: `N` extra
+/// attempts past the first, each under a budget escalated by `F`
+/// (default 4). `None` when `--retry` was not given.
+fn parse_retry(o: &Opts) -> Result<Option<RetryPolicy>, String> {
+    let retries: u32 = match o.retry.as_deref() {
+        None => {
+            if o.escalate.is_some() {
+                return Err("--escalate requires --retry".into());
+            }
+            return Ok(None);
+        }
+        Some(text) => text
+            .parse()
+            .map_err(|_| format!("--retry must be a non-negative integer, got `{text}`"))?,
+    };
+    let mut policy = RetryPolicy::new(retries.saturating_add(1));
+    if let Some(text) = o.escalate.as_deref() {
+        let factor: f64 = text
+            .parse()
+            .map_err(|_| format!("--escalate must be a number, got `{text}`"))?;
+        if !factor.is_finite() || factor < 1.0 {
+            return Err(format!(
+                "--escalate must be a finite factor >= 1, got `{text}`"
+            ));
+        }
+        policy = policy.with_escalation(factor);
+    }
+    Ok(Some(policy))
+}
+
 /// Parses `--threads`: `0` (the default) means all available parallelism.
 fn parse_threads(o: &Opts) -> Result<usize, String> {
     match o.threads.as_deref() {
@@ -297,9 +347,33 @@ fn dispatch(args: &[String], out: &mut String) -> Result<i32, CliFail> {
             let schema = load_schema(&o)?;
             let sigma = load_deps(&o, &schema)?;
             let policy = parse_policy(&o)?;
-            let budget = parse_budget(&o)?;
-            let session =
-                Session::with_budget(&schema, &sigma, policy, budget.clone()).map_err(core_fail)?;
+            let mut budget = parse_budget(&o)?;
+            let retry = if cmd == "implies" {
+                parse_retry(&o)?
+            } else {
+                None
+            };
+            // Session compilation runs under the same budget as the
+            // queries, so `--retry` must cover it too: a budget too tight
+            // to even build escalates here, and the queries then run
+            // under the budget that let the build finish.
+            let mut build_round: u32 = 0;
+            let session = loop {
+                match Session::with_budget(&schema, &sigma, policy.clone(), budget.clone()) {
+                    Ok(s) => break s,
+                    Err(CoreError::Exhausted(r))
+                        if r.kind != nfd_govern::ResourceKind::Cancelled
+                            && retry
+                                .as_ref()
+                                .is_some_and(|p| build_round + 1 < p.max_attempts) =>
+                    {
+                        build_round += 1;
+                        let p = retry.as_ref().expect("guarded by is_some_and");
+                        budget = budget.escalate(p.budget_escalation_factor);
+                    }
+                    Err(e) => return Err(core_fail(e)),
+                }
+            };
             // Batch mode: one compiled session answers every goal of the
             // file — the compilation cost is paid once, not per goal.
             if cmd == "implies" && o.goals.is_some() {
@@ -310,20 +384,43 @@ fn dispatch(args: &[String], out: &mut String) -> Result<i32, CliFail> {
                     return Err(format!("goals file `{path}` contains no NFDs").into());
                 }
                 let threads = parse_threads(&o)?;
-                let batch = session
-                    .implies_batch(&goals, &budget, threads)
-                    .map_err(core_fail)?;
-                for (goal, decision) in goals.iter().zip(&batch.decisions) {
-                    let word = match decision.verdict.as_bool() {
-                        Some(true) => "implied    ",
-                        Some(false) => "not implied",
-                        None => "exhausted  ",
+                let batch = match &retry {
+                    Some(policy) => session
+                        .implies_batch_retry(&goals, &budget, threads, policy)
+                        .map_err(core_fail)?,
+                    None => session
+                        .implies_batch(&goals, &budget, threads)
+                        .map_err(core_fail)?,
+                };
+                for (goal, slot) in goals.iter().zip(&batch.decisions) {
+                    let word = match slot {
+                        Ok(d) => match d.verdict.as_bool() {
+                            Some(true) => "implied    ",
+                            Some(false) => "not implied",
+                            None => "exhausted  ",
+                        },
+                        Err(_) => "failed     ",
                     };
                     let _ = writeln!(out, "{word}  {goal}");
+                    if let Ok(d) = slot {
+                        let retries = d.attempts.iter().map(|a| a.round).max().unwrap_or(0);
+                        if retries > 0 {
+                            let _ = writeln!(
+                                out,
+                                "             (after {retries} retr{})",
+                                if retries == 1 { "y" } else { "ies" }
+                            );
+                        }
+                    }
                 }
                 let implied = batch.implied_count();
                 let exhausted = batch.exhausted_count();
+                let failed = batch.failed_count();
                 let _ = writeln!(out, "{implied} of {} goals implied", goals.len());
+                if failed > 0 {
+                    let _ = writeln!(out, "({failed} failed internally)");
+                    return Ok(101);
+                }
                 if exhausted > 0 {
                     let _ = writeln!(out, "({exhausted} exhausted the budget)");
                     return Ok(3);
@@ -336,7 +433,12 @@ fn dispatch(args: &[String], out: &mut String) -> Result<i32, CliFail> {
                 .ok_or("expected the goal NFD as a positional argument (or --goals FILE)")?;
             let goal = Nfd::parse(&schema, goal_text).map_err(|e| format!("goal: {e}"))?;
             if cmd == "implies" {
-                let decision = session.implies_with(&goal, &budget).map_err(core_fail)?;
+                let decision = match &retry {
+                    Some(policy) => session
+                        .implies_retry(&goal, &budget, policy)
+                        .map_err(core_fail)?,
+                    None => session.implies_with(&goal, &budget).map_err(core_fail)?,
+                };
                 match decision.verdict.as_bool() {
                     Some(yes) => {
                         let _ = writeln!(out, "{}", if yes { "implied" } else { "not implied" });
@@ -346,6 +448,14 @@ fn dispatch(args: &[String], out: &mut String) -> Result<i32, CliFail> {
                             if by != "saturation" {
                                 let _ = writeln!(out, "(answered by {by} after fallback)");
                             }
+                        }
+                        let retries = decision.attempts.iter().map(|a| a.round).max().unwrap_or(0);
+                        if retries > 0 {
+                            let _ = writeln!(
+                                out,
+                                "(after {retries} retr{})",
+                                if retries == 1 { "y" } else { "ies" }
+                            );
                         }
                         Ok(if yes { 0 } else { 1 })
                     }

@@ -54,6 +54,7 @@ pub mod session;
 
 pub use nfd_chase as chase;
 pub use nfd_core as core;
+pub use nfd_faults as faults;
 pub use nfd_govern as govern;
 pub use nfd_logic as logic;
 pub use nfd_model as model;
@@ -64,11 +65,11 @@ pub use nfd_relational as relational;
 /// The most commonly used items, for `use nfd::prelude::*`.
 pub mod prelude {
     pub use crate::session::{
-        Attempt, AttemptOutcome, BatchDecision, Chase, Decider, Decision, LogicEval, Saturation,
-        Session,
+        Attempt, AttemptOutcome, BatchDecision, Chase, Decider, Decision, LogicEval, RetryPolicy,
+        Saturation, Session,
     };
     pub use nfd_core::engine::Engine;
-    pub use nfd_core::{check, EmptySetPolicy, Nfd, SatisfyReport, Violation};
+    pub use nfd_core::{check, CoreError, EmptySetPolicy, Nfd, SatisfyReport, Violation};
     pub use nfd_govern::{Budget, CancelToken, ResourceKind, ResourceReport, Verdict};
     pub use nfd_model::{Instance, Label, Schema, Type, Value};
     pub use nfd_path::{Path, RootedPath};

@@ -26,12 +26,14 @@
 use nfd_core::engine::Engine;
 use nfd_core::proof::{self, Proof};
 use nfd_core::{analysis, construct, satisfy, CoreError, EmptySetPolicy, Nfd, SatisfyReport};
+use nfd_faults::fail_point;
 use nfd_govern::{Budget, ResourceKind, ResourceReport, Verdict};
 use nfd_logic::{eval_budgeted, translate_nfd, EvalError};
 use nfd_model::{Instance, Label, Schema};
 use nfd_path::table::SchemaTables;
 use nfd_path::{Path, RootedPath};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
 
 /// An error from a [`Decider`] — a human-readable description carrying
 /// the name of the procedure that failed.
@@ -228,6 +230,11 @@ pub struct Attempt {
     /// The decider's characteristic work counter, when it finished:
     /// derived dependencies for saturation, chase steps for the chase.
     pub cost: Option<u64>,
+    /// Which retry round produced this attempt: 0 for the initial run,
+    /// `n` for the `n`-th [`RetryPolicy`] retry. Always 0 outside the
+    /// retrying entry points, so the log stays an honest record of
+    /// exactly how many times each decider actually ran.
+    pub round: u32,
 }
 
 /// The result of a budgeted implication query: the final verdict plus the
@@ -251,18 +258,25 @@ impl Decision {
     }
 }
 
-/// The result of [`Session::implies_batch`]: one [`Decision`] per goal,
-/// in input order, plus where the batch stopped if it ran out of budget.
+/// The result of [`Session::implies_batch`]: one result per goal, in
+/// input order, plus where the batch stopped if it ran out of budget.
+///
+/// Each slot mirrors what a sequential [`Session::implies_with`] call on
+/// that goal would return: `Ok(Decision)` normally, `Err` for a
+/// goal-local failure — in practice always [`CoreError::Internal`], the
+/// containment of a panic inside that goal's cascade. A goal-local
+/// failure does **not** abort the batch or disturb its siblings; the
+/// remaining goals are still decided and the session stays usable.
 ///
 /// The vector is identical at every thread count (see `implies_batch` for
 /// the argument): goals up to and including the first genuine exhaustion
-/// carry exactly the decision a sequential [`Session::implies_with`] loop
-/// would have produced, and every later goal carries the canonical
-/// "cancelled by the batch" decision.
+/// carry exactly the decision a sequential loop would have produced, and
+/// every later goal carries the canonical "cancelled by the batch"
+/// decision.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BatchDecision {
-    /// One decision per input goal, in input order.
-    pub decisions: Vec<Decision>,
+    /// One result per input goal, in input order.
+    pub decisions: Vec<Result<Decision, CoreError>>,
     /// The index of the first goal whose decision genuinely exhausted the
     /// budget (every later goal was cancelled), or `None` if the whole
     /// batch was decided.
@@ -274,7 +288,7 @@ impl BatchDecision {
     pub fn implied_count(&self) -> usize {
         self.decisions
             .iter()
-            .filter(|d| d.verdict == Verdict::Implied)
+            .filter(|d| matches!(d, Ok(d) if d.verdict == Verdict::Implied))
             .count()
     }
 
@@ -283,13 +297,21 @@ impl BatchDecision {
     pub fn exhausted_count(&self) -> usize {
         self.decisions
             .iter()
-            .filter(|d| d.verdict.is_exhausted())
+            .filter(|d| matches!(d, Ok(d) if d.verdict.is_exhausted()))
             .count()
+    }
+
+    /// How many goals failed internally (a contained panic inside that
+    /// goal's cascade).
+    pub fn failed_count(&self) -> usize {
+        self.decisions.iter().filter(|d| d.is_err()).count()
     }
 
     /// Did every goal come back `Implied`?
     pub fn all_implied(&self) -> bool {
-        self.decisions.iter().all(|d| d.verdict == Verdict::Implied)
+        self.decisions
+            .iter()
+            .all(|d| matches!(d, Ok(d) if d.verdict == Verdict::Implied))
     }
 }
 
@@ -303,8 +325,77 @@ fn batch_cancelled_decision() -> Decision {
             decider: "batch",
             outcome: AttemptOutcome::Exhausted(report),
             cost: None,
+            round: 0,
         }],
     }
+}
+
+/// How the retrying entry points ([`Session::implies_retry`],
+/// [`Session::implies_batch_retry`]) respond to an `Exhausted` verdict:
+/// re-run under an escalated budget, up to a total attempt cap, so
+/// exhaustion degrades gracefully instead of terminally. Cancellation is
+/// never retried — a caller's stop request is final.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the initial one (values below 1 are
+    /// treated as 1, i.e. no retries).
+    pub max_attempts: u32,
+    /// Multiplier applied to every finite counter limit — and to the
+    /// timeout, re-armed from the moment of the retry — before each new
+    /// attempt; see [`Budget::escalate`]. Factors ≤ 1 still grow each
+    /// limit by one, so retries always make progress.
+    pub budget_escalation_factor: f64,
+    /// Fixed sleep between attempts (zero by default — the workloads are
+    /// CPU-bound, so there is usually nothing to wait for).
+    pub backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// A policy with `max_attempts` total attempts, 4× escalation and no
+    /// backoff.
+    pub fn new(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            budget_escalation_factor: 4.0,
+            backoff: Duration::ZERO,
+        }
+    }
+
+    /// Replaces the escalation factor.
+    pub fn with_escalation(mut self, factor: f64) -> RetryPolicy {
+        self.budget_escalation_factor = factor;
+        self
+    }
+
+    /// Replaces the inter-attempt backoff.
+    pub fn with_backoff(mut self, backoff: Duration) -> RetryPolicy {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Is this verdict worth a retry under an escalated budget? True for
+    /// every exhaustion except an explicit cancellation.
+    fn should_retry(&self, verdict: &Verdict) -> bool {
+        matches!(verdict, Verdict::Exhausted(r) if r.kind != ResourceKind::Cancelled)
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Three total attempts at 4× escalation, no backoff.
+    fn default() -> RetryPolicy {
+        RetryPolicy::new(3)
+    }
+}
+
+/// Runs `f`, containing any panic as [`CoreError::Internal`] — the
+/// session-boundary guarantee that no query can unwind into the caller.
+fn contained<T>(what: &str, f: impl FnOnce() -> Result<T, CoreError>) -> Result<T, CoreError> {
+    catch_unwind(AssertUnwindSafe(f)).unwrap_or_else(|p| {
+        Err(CoreError::Internal(format!(
+            "{what} panicked: {}",
+            panic_message(p)
+        )))
+    })
 }
 
 /// Renders a contained panic payload for error reporting.
@@ -416,9 +507,11 @@ impl<'s> Session<'s> {
     }
 
     /// Does Σ imply `goal`? One chained bitset fixed point over the
-    /// cached saturation.
+    /// cached saturation. Panic-contained like every session entry point
+    /// (`catch_unwind` is free until a panic actually unwinds, so the hot
+    /// path does not pay for the guarantee).
     pub fn implies(&self, goal: &Nfd) -> Result<bool, CoreError> {
-        self.engine.implies(goal)
+        contained("implies", || self.engine.implies(goal))
     }
 
     /// Parses `text` as an NFD over the session schema and decides it.
@@ -468,16 +561,19 @@ impl<'s> Session<'s> {
                 decider: "saturation",
                 outcome: AttemptOutcome::Exhausted(r),
                 cost: None,
+                round: 0,
             }),
             Ok(Err(e)) => Err(Attempt {
                 decider: "saturation",
                 outcome: AttemptOutcome::Failed(e.to_string()),
                 cost: None,
+                round: 0,
             }),
             Err(payload) => Err(Attempt {
                 decider: "saturation",
                 outcome: AttemptOutcome::Failed(format!("panicked: {}", panic_message(payload))),
                 cost: None,
+                round: 0,
             }),
         }
     }
@@ -501,21 +597,25 @@ impl<'s> Session<'s> {
                     decider: name,
                     outcome: AttemptOutcome::Answered(true),
                     cost,
+                    round: 0,
                 },
                 Ok(Ok((Verdict::NotImplied, cost))) => Attempt {
                     decider: name,
                     outcome: AttemptOutcome::Answered(false),
                     cost,
+                    round: 0,
                 },
                 Ok(Ok((Verdict::Exhausted(r), cost))) => Attempt {
                     decider: name,
                     outcome: AttemptOutcome::Exhausted(r),
                     cost,
+                    round: 0,
                 },
                 Ok(Err(msg)) => Attempt {
                     decider: name,
                     outcome: AttemptOutcome::Failed(msg),
                     cost: None,
+                    round: 0,
                 },
                 Err(payload) => Attempt {
                     decider: name,
@@ -524,6 +624,7 @@ impl<'s> Session<'s> {
                         panic_message(payload)
                     )),
                     cost: None,
+                    round: 0,
                 },
             }
         };
@@ -532,12 +633,19 @@ impl<'s> Session<'s> {
         //    session's interned path tables. The engine was prebuilt (and
         //    build failures pre-rendered) by `build_query_engine`.
         attempts.push(match saturation {
-            Ok(engine) => run("saturation", &mut || match engine.implies(goal) {
-                Ok(b) => Ok((Verdict::from_bool(b), Some(engine.pool_size() as u64))),
-                Err(CoreError::Exhausted(r)) => {
-                    Ok((Verdict::Exhausted(r), Some(engine.pool_size() as u64)))
+            Ok(engine) => run("saturation", &mut || {
+                fail_point!(
+                    "session::cascade_saturation",
+                    Ok((Verdict::Exhausted(ResourceReport::injected()), None)),
+                    budget.cancel_token()
+                );
+                match engine.implies(goal) {
+                    Ok(b) => Ok((Verdict::from_bool(b), Some(engine.pool_size() as u64))),
+                    Err(CoreError::Exhausted(r)) => {
+                        Ok((Verdict::Exhausted(r), Some(engine.pool_size() as u64)))
+                    }
+                    Err(e) => Err(e.to_string()),
                 }
-                Err(e) => Err(e.to_string()),
             }),
             Err(attempt) => attempt.clone(),
         });
@@ -548,18 +656,20 @@ impl<'s> Session<'s> {
             Some(AttemptOutcome::Answered(_))
         ) {
             if forbidden {
-                attempts.push(run("chase", &mut || match nfd_chase::chase_with(
-                    self.schema,
-                    &self.engine.sigma,
-                    goal,
-                    budget,
-                ) {
-                    Ok(run) => Ok((Verdict::from_bool(run.implied), Some(run.steps as u64))),
-                    Err(nfd_chase::ChaseError::Exhausted(r))
-                    | Err(nfd_chase::ChaseError::Core(CoreError::Exhausted(r))) => {
-                        Ok((Verdict::Exhausted(r), None))
+                attempts.push(run("chase", &mut || {
+                    fail_point!(
+                        "session::cascade_chase",
+                        Ok((Verdict::Exhausted(ResourceReport::injected()), None)),
+                        budget.cancel_token()
+                    );
+                    match nfd_chase::chase_with(self.schema, &self.engine.sigma, goal, budget) {
+                        Ok(run) => Ok((Verdict::from_bool(run.implied), Some(run.steps as u64))),
+                        Err(nfd_chase::ChaseError::Exhausted(r))
+                        | Err(nfd_chase::ChaseError::Core(CoreError::Exhausted(r))) => {
+                            Ok((Verdict::Exhausted(r), None))
+                        }
+                        Err(e) => Err(e.to_string()),
                     }
-                    Err(e) => Err(e.to_string()),
                 }));
             } else {
                 attempts.push(Attempt {
@@ -568,6 +678,7 @@ impl<'s> Session<'s> {
                         "only sound under the no-empty-sets policy".into(),
                     ),
                     cost: None,
+                    round: 0,
                 });
             }
         }
@@ -576,14 +687,16 @@ impl<'s> Session<'s> {
             .any(|a| matches!(a.outcome, AttemptOutcome::Answered(_)))
         {
             if forbidden {
-                attempts.push(run("logic-eval", &mut || match LogicEval.decide(
-                    self.schema,
-                    &self.engine.sigma,
-                    goal,
-                    budget,
-                ) {
-                    Ok(v) => Ok((v, None)),
-                    Err(e) => Err(e.to_string()),
+                attempts.push(run("logic-eval", &mut || {
+                    fail_point!(
+                        "session::cascade_logic_eval",
+                        Ok((Verdict::Exhausted(ResourceReport::injected()), None)),
+                        budget.cancel_token()
+                    );
+                    match LogicEval.decide(self.schema, &self.engine.sigma, goal, budget) {
+                        Ok(v) => Ok((v, None)),
+                        Err(e) => Err(e.to_string()),
+                    }
                 }));
             } else {
                 attempts.push(Attempt {
@@ -592,6 +705,7 @@ impl<'s> Session<'s> {
                         "only sound under the no-empty-sets policy".into(),
                     ),
                     cost: None,
+                    round: 0,
                 });
             }
         }
@@ -664,32 +778,58 @@ impl<'s> Session<'s> {
         let worker_budget = budget.clone().with_cancel(pool_token.clone());
         let saturation = self.build_query_engine(&worker_budget);
 
-        let raw: Vec<Option<Result<Decision, CoreError>>> = nfd_par::map_indexed_while(
-            goals.len(),
-            threads,
-            || !pool_token.is_cancelled(),
-            |i| {
-                let result = self.cascade(&goals[i], &worker_budget, &saturation);
-                // Fail fast: a genuine exhaustion (not our own pool stop
-                // propagating) or a fatal error ends the batch. This is
-                // purely a promptness signal — the normalization pass
-                // below re-derives the cutoff deterministically.
-                let stop = match &result {
-                    Ok(d) => match &d.verdict {
-                        Verdict::Exhausted(r) => {
-                            r.kind != ResourceKind::Cancelled
-                                || budget.cancel_token().is_cancelled()
-                        }
-                        _ => false,
-                    },
-                    Err(_) => true,
-                };
-                if stop {
-                    pool_token.cancel();
-                }
-                result
-            },
-        );
+        let pool = || {
+            nfd_par::map_indexed_while(
+                goals.len(),
+                threads,
+                || !pool_token.is_cancelled(),
+                |i| {
+                    // Panics inside one goal's cascade are contained
+                    // *here*, per goal: the slot carries `Internal`, the
+                    // siblings keep running, and the pool stays usable.
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        fail_point!(
+                            "session::batch_goal",
+                            Err(CoreError::Exhausted(ResourceReport::injected())),
+                            worker_budget.cancel_token()
+                        );
+                        self.cascade(&goals[i], &worker_budget, &saturation)
+                    }))
+                    .unwrap_or_else(|p| {
+                        Err(CoreError::Internal(format!(
+                            "batch worker panicked: {}",
+                            panic_message(p)
+                        )))
+                    });
+                    // Fail fast: a genuine exhaustion (not our own pool
+                    // stop propagating) ends the batch. This is purely a
+                    // promptness signal — the normalization pass below
+                    // re-derives the cutoff deterministically. Goal-local
+                    // internal failures do NOT stop the pool.
+                    let stop = match &result {
+                        Ok(d) => match &d.verdict {
+                            Verdict::Exhausted(r) => {
+                                r.kind != ResourceKind::Cancelled
+                                    || budget.cancel_token().is_cancelled()
+                            }
+                            _ => false,
+                        },
+                        Err(_) => false,
+                    };
+                    if stop {
+                        pool_token.cancel();
+                    }
+                    result
+                },
+            )
+        };
+        // A second containment layer for the pool machinery itself
+        // (spawn/reassembly): a panic there aborts the whole batch as one
+        // `Internal` error, after every worker has been joined.
+        let raw: Vec<Option<Result<Decision, CoreError>>> = catch_unwind(AssertUnwindSafe(pool))
+            .map_err(|p| {
+                CoreError::Internal(format!("batch pool panicked: {}", panic_message(p)))
+            })?;
 
         // Normalize to the sequential result, walking in input order. A
         // decision is tainted if any attempt was cancelled by the pool's
@@ -704,16 +844,18 @@ impl<'s> Session<'s> {
                 })
         };
         let mut rerun_saturation: Option<Result<Engine<'s>, Attempt>> = None;
-        let mut decisions: Vec<Decision> = Vec::with_capacity(goals.len());
+        let mut decisions: Vec<Result<Decision, CoreError>> = Vec::with_capacity(goals.len());
         let mut first_exhausted: Option<usize> = None;
         for (i, slot) in raw.into_iter().enumerate() {
             if first_exhausted.is_some() {
-                decisions.push(batch_cancelled_decision());
+                decisions.push(Ok(batch_cancelled_decision()));
                 continue;
             }
             let decision = match slot {
-                Some(Ok(d)) if !tainted(&d) => d,
-                Some(Err(e)) => return Err(e),
+                Some(Ok(d)) if !tainted(&d) => Ok(d),
+                // A goal-local failure (contained panic) keeps its slot;
+                // the rest of the batch proceeds normally.
+                Some(Err(e)) => Err(e),
                 // Tainted by the pool stop, or never dispatched: re-run
                 // under the caller's budget, exactly as a sequential
                 // sweep would have run it. Builds are deterministic, so
@@ -721,12 +863,12 @@ impl<'s> Session<'s> {
                 _ => {
                     let saturation =
                         rerun_saturation.get_or_insert_with(|| self.build_query_engine(budget));
-                    self.cascade(&goals[i], budget, saturation)?
+                    self.cascade(&goals[i], budget, saturation)
                 }
             };
             // Post-normalization, an Exhausted verdict is genuine: a
             // cancellation report here means the caller's own token.
-            if decision.verdict.is_exhausted() {
+            if matches!(&decision, Ok(d) if d.verdict.is_exhausted()) {
                 first_exhausted = Some(i);
             }
             decisions.push(decision);
@@ -737,30 +879,160 @@ impl<'s> Session<'s> {
         })
     }
 
+    /// [`Session::implies_with`], retried under escalating budgets when
+    /// the verdict comes back `Exhausted`: each retry multiplies every
+    /// finite limit (and re-arms any timeout) by the policy's escalation
+    /// factor, up to `max_attempts` total runs. Cancellation is honoured
+    /// immediately and never retried.
+    ///
+    /// The returned [`Decision`] concatenates the cascade logs of every
+    /// run, with [`Attempt::round`] recording which run produced each
+    /// entry — the report stays an honest account of all work done, not
+    /// just the last attempt.
+    pub fn implies_retry(
+        &self,
+        goal: &Nfd,
+        budget: &Budget,
+        policy: &RetryPolicy,
+    ) -> Result<Decision, CoreError> {
+        let mut budget = budget.clone();
+        let mut log: Vec<Attempt> = Vec::new();
+        let max_attempts = policy.max_attempts.max(1);
+        let mut round: u32 = 0;
+        loop {
+            let mut decision = self.implies_with(goal, &budget)?;
+            for attempt in &mut decision.attempts {
+                attempt.round = round;
+            }
+            log.append(&mut decision.attempts);
+            round += 1;
+            if !policy.should_retry(&decision.verdict)
+                || round >= max_attempts
+                || budget.cancel_token().is_cancelled()
+            {
+                return Ok(Decision {
+                    verdict: decision.verdict,
+                    attempts: log,
+                });
+            }
+            if !policy.backoff.is_zero() {
+                std::thread::sleep(policy.backoff);
+            }
+            budget = budget.escalate(policy.budget_escalation_factor);
+        }
+    }
+
+    /// [`Session::implies_batch`] with per-goal retry: after the parallel
+    /// batch completes, every goal that came back `Exhausted` — including
+    /// goals the batch cancelled after its first exhaustion — is re-run
+    /// sequentially via [`Session::implies_retry`].
+    ///
+    /// Goals the batch cancelled before (observably) running them retry
+    /// from the caller's base budget with the full policy; goals that
+    /// genuinely exhausted start one escalation up with one fewer
+    /// attempt, since the batch itself was their first try. Merged
+    /// cascade logs keep every attempt, with [`Attempt::round`] counting
+    /// from the in-batch run. `first_exhausted` is recomputed over the
+    /// final decisions: the first goal still exhausted after retries, if
+    /// any.
+    ///
+    /// If the caller's token is cancelled, pending retries are skipped —
+    /// the batch result is returned as-is.
+    pub fn implies_batch_retry(
+        &self,
+        goals: &[Nfd],
+        budget: &Budget,
+        threads: usize,
+        policy: &RetryPolicy,
+    ) -> Result<BatchDecision, CoreError> {
+        let mut batch = self.implies_batch(goals, budget, threads)?;
+        let max_attempts = policy.max_attempts.max(1);
+        if max_attempts <= 1 {
+            return Ok(batch);
+        }
+        for (i, slot) in batch.decisions.iter_mut().enumerate() {
+            let (retryable, from_scratch) = match &*slot {
+                Ok(first) => {
+                    let from_scratch = first.verdict.is_exhausted()
+                        && first.attempts.iter().all(|a| a.decider == "batch");
+                    (
+                        from_scratch || policy.should_retry(&first.verdict),
+                        from_scratch,
+                    )
+                }
+                // A worker-level exhaustion (no decision produced at all)
+                // is as retryable as an exhausted verdict; internal
+                // failures are not exhaustion and are left in place.
+                Err(CoreError::Exhausted(r)) => (r.kind != ResourceKind::Cancelled, false),
+                Err(_) => (false, false),
+            };
+            if !retryable {
+                continue;
+            }
+            if budget.cancel_token().is_cancelled() {
+                break;
+            }
+            if !policy.backoff.is_zero() {
+                std::thread::sleep(policy.backoff);
+            }
+            let (start_budget, sub_policy) = if from_scratch {
+                (budget.clone(), policy.clone())
+            } else {
+                (
+                    budget.escalate(policy.budget_escalation_factor),
+                    RetryPolicy {
+                        max_attempts: max_attempts - 1,
+                        ..policy.clone()
+                    },
+                )
+            };
+            let mut retried = self.implies_retry(&goals[i], &start_budget, &sub_policy)?;
+            for attempt in &mut retried.attempts {
+                attempt.round += 1;
+            }
+            let mut attempts = match slot {
+                Ok(first) => std::mem::take(&mut first.attempts),
+                Err(_) => Vec::new(),
+            };
+            attempts.extend(retried.attempts);
+            *slot = Ok(Decision {
+                verdict: retried.verdict,
+                attempts,
+            });
+        }
+        batch.first_exhausted = batch
+            .decisions
+            .iter()
+            .position(|d| matches!(d, Ok(d) if d.verdict.is_exhausted()));
+        Ok(batch)
+    }
+
     /// The dependency closure `(base, X, Σ)*` (Definition 3.1).
     pub fn closure(&self, base: &RootedPath, lhs: &[Path]) -> Result<Vec<RootedPath>, CoreError> {
-        self.engine.closure(base, lhs)
+        contained("closure", || self.engine.closure(base, lhs))
     }
 
     /// Checks an instance against every NFD of Σ. The reports are in
     /// Σ order; `reports[i]` describes `self.sigma()[i]`.
     pub fn check(&self, instance: &Instance) -> Result<Vec<SatisfyReport>, CoreError> {
-        self.engine
-            .sigma
-            .iter()
-            .map(|nfd| satisfy::check(self.schema, instance, nfd))
-            .collect()
+        contained("check", || {
+            self.engine
+                .sigma
+                .iter()
+                .map(|nfd| satisfy::check(self.schema, instance, nfd))
+                .collect()
+        })
     }
 
     /// Produces a replayable derivation certificate for `goal`, or `None`
     /// when the goal is not implied.
     pub fn prove(&self, goal: &Nfd) -> Result<Option<Proof>, CoreError> {
-        proof::prove(&self.engine, goal)
+        contained("prove", || proof::prove(&self.engine, goal))
     }
 
     /// Verifies a certificate against this session's Σ.
     pub fn verify(&self, pf: &Proof) -> Result<(), CoreError> {
-        proof::verify(&self.engine, pf)
+        contained("verify", || proof::verify(&self.engine, pf))
     }
 
     /// Candidate keys of `relation` up to `max_size` paths, by closure
@@ -770,7 +1042,9 @@ impl<'s> Session<'s> {
         relation: Label,
         max_size: usize,
     ) -> Result<Vec<Vec<Path>>, CoreError> {
-        analysis::candidate_keys(&self.engine, relation, max_size)
+        contained("candidate_keys", || {
+            analysis::candidate_keys(&self.engine, relation, max_size)
+        })
     }
 
     /// [`Session::candidate_keys`] sharded across `threads` workers
@@ -782,7 +1056,9 @@ impl<'s> Session<'s> {
         max_size: usize,
         threads: usize,
     ) -> Result<Vec<Vec<Path>>, CoreError> {
-        analysis::candidate_keys_threaded(&self.engine, relation, max_size, threads)
+        contained("candidate_keys", || {
+            analysis::candidate_keys_threaded(&self.engine, relation, max_size, threads)
+        })
     }
 }
 
@@ -885,9 +1161,9 @@ mod tests {
         .map(|t| Nfd::parse(&schema, t).unwrap())
         .collect();
         let budget = Budget::standard();
-        let sequential: Vec<Decision> = goals
+        let sequential: Vec<Result<Decision, CoreError>> = goals
             .iter()
-            .map(|g| s.implies_with(g, &budget).unwrap())
+            .map(|g| Ok(s.implies_with(g, &budget).unwrap()))
             .collect();
         for threads in [1, 2, 8] {
             let batch = s.implies_batch(&goals, &budget, threads).unwrap();
@@ -895,10 +1171,14 @@ mod tests {
             assert_eq!(batch.first_exhausted, None);
             let implied = sequential
                 .iter()
-                .filter(|d| d.verdict == Verdict::Implied)
+                .filter(|d| matches!(d, Ok(d) if d.verdict == Verdict::Implied))
                 .count();
             assert_eq!(batch.implied_count(), implied);
-            assert_eq!(batch.decisions[0].verdict, Verdict::Implied);
+            assert_eq!(batch.failed_count(), 0);
+            assert_eq!(
+                batch.decisions[0].as_ref().unwrap().verdict,
+                Verdict::Implied
+            );
             assert!(!batch.all_implied());
         }
     }

@@ -276,3 +276,168 @@ fn verdict_accessors() {
     assert_eq!(Verdict::Exhausted(r.clone()).as_bool(), None);
     assert!(Verdict::Exhausted(r).is_exhausted());
 }
+
+/// Regression: a zero-millisecond timeout is a budget that is *already*
+/// past its deadline. It must trip on the first liveness check with a
+/// coherent deadline report (limit = the configured timeout, used ≥
+/// limit), not underflow, hang, or report a mislabeled counter.
+#[test]
+fn zero_timeout_exhausts_immediately_with_a_coherent_report() {
+    let (schema, sigma) = course();
+    let session = Session::new(&schema, &sigma).unwrap();
+    let goal = Nfd::parse(&schema, "Course:[cnum -> time]").unwrap();
+
+    let start = Instant::now();
+    let decision = session
+        .implies_with(&goal, &Budget::standard().with_timeout_ms(0))
+        .unwrap();
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "must trip, not spin"
+    );
+    match &decision.verdict {
+        Verdict::Exhausted(r) => {
+            assert_eq!(r.kind, ResourceKind::Deadline);
+            assert_eq!(r.limit, 0, "the report names the configured timeout");
+            assert!(
+                r.to_string().contains("deadline"),
+                "report reads as a deadline: {r}"
+            );
+        }
+        other => panic!("a zero deadline cannot produce a verdict: {other:?}"),
+    }
+
+    // Build-path too: compiling a session under an expired deadline.
+    match Session::with_budget(
+        &schema,
+        &sigma,
+        EmptySetPolicy::Forbidden,
+        Budget::standard().with_timeout_ms(0),
+    ) {
+        Err(CoreError::Exhausted(r)) => assert_eq!(r.kind, ResourceKind::Deadline),
+        Ok(_) => panic!("expected an exhausted build"),
+        Err(e) => panic!("expected deadline exhaustion, got {e}"),
+    }
+}
+
+/// Regression: zero-limit counters trip on the *first* unit of work with
+/// `used > limit` in the report, never a wrap-around or a free pass.
+#[test]
+fn zero_limit_counters_trip_coherently() {
+    let (schema, sigma) = course();
+    let session = Session::new(&schema, &sigma).unwrap();
+    let goal = Nfd::parse(&schema, "Course:[cnum -> time]").unwrap();
+
+    let decision = session.implies_with(&goal, &Budget::limited(0)).unwrap();
+    match &decision.verdict {
+        Verdict::Exhausted(r) => {
+            assert_eq!(r.limit, 0);
+            assert!(r.used > r.limit, "used ({}) must exceed limit 0", r.used);
+        }
+        other => panic!("a zero budget cannot produce a verdict: {other:?}"),
+    }
+}
+
+/// `Budget::escalate` is the retry loop's engine: each step multiplies
+/// every finite counter and re-arms the deadline, so a starved budget
+/// eventually decides. The counters must grow strictly even from zero and
+/// under nonsense factors.
+#[test]
+fn retry_escalation_heals_a_starved_budget() {
+    let (schema, sigma) = course();
+    let session = Session::new(&schema, &sigma).unwrap();
+    let goal = Nfd::parse(&schema, "Course:[time -> cnum]").unwrap();
+    let truth = session.implies(&goal).unwrap();
+
+    // Budget 1 starves every decider; factor 10 needs only a few rounds
+    // to reach the few hundred pool entries the Course schema wants.
+    let starved = Budget::limited(1);
+    assert!(session
+        .implies_with(&goal, &starved)
+        .unwrap()
+        .verdict
+        .is_exhausted());
+
+    let policy = RetryPolicy::new(6).with_escalation(10.0);
+    let decision = session.implies_retry(&goal, &starved, &policy).unwrap();
+    assert_eq!(
+        decision.verdict.as_bool(),
+        Some(truth),
+        "escalation must eventually answer: {decision:?}"
+    );
+    let max_round = decision.attempts.iter().map(|a| a.round).max().unwrap();
+    assert!(
+        (1..6).contains(&max_round),
+        "needed at least one but not all retries, got {max_round}"
+    );
+    // Earlier rounds honestly recorded their exhaustion.
+    assert!(decision
+        .attempts
+        .iter()
+        .any(|a| a.round == 0 && matches!(a.outcome, AttemptOutcome::Exhausted(_))));
+}
+
+/// Batch retry heals a genuinely starved batch: the first goal exhausts,
+/// the rest are batch-cancelled, and the retry pass re-runs them all —
+/// cancelled goals from the base budget, the exhausted one escalated.
+#[test]
+fn batch_retry_heals_a_starved_batch() {
+    let (schema, sigma) = course();
+    let session = Session::new(&schema, &sigma).unwrap();
+    let goals: Vec<Nfd> = [
+        "Course:[time, students:sid -> books]",
+        "Course:[time -> cnum]",
+        "Course:[cnum -> students:age]",
+        "Course:[books:title -> books:isbn]",
+    ]
+    .iter()
+    .map(|t| Nfd::parse(&schema, t).unwrap())
+    .collect();
+    let truth: Vec<bool> = goals.iter().map(|g| session.implies(g).unwrap()).collect();
+
+    let starved = Budget::limited(1);
+    let plain = session.implies_batch(&goals, &starved, 4).unwrap();
+    assert_eq!(plain.first_exhausted, Some(0), "budget 1 starves the batch");
+
+    let policy = RetryPolicy::new(8).with_escalation(10.0);
+    let healed = session
+        .implies_batch_retry(&goals, &starved, 4, &policy)
+        .unwrap();
+    assert_eq!(healed.first_exhausted, None, "every goal healed");
+    assert_eq!(healed.failed_count(), 0);
+    for (i, slot) in healed.decisions.iter().enumerate() {
+        let d = slot.as_ref().unwrap();
+        assert_eq!(
+            d.verdict.as_bool(),
+            Some(truth[i]),
+            "goal {i}: retried batch must match ground truth"
+        );
+        assert!(
+            d.attempts.iter().any(|a| a.round >= 1),
+            "goal {i}: the log records its retries"
+        );
+    }
+}
+
+/// A cancelled budget is never retried: escalation must not re-arm a
+/// budget whose token the caller has revoked.
+#[test]
+fn retry_honours_cancellation() {
+    let (schema, sigma) = course();
+    let session = Session::new(&schema, &sigma).unwrap();
+    let goal = Nfd::parse(&schema, "Course:[cnum -> time]").unwrap();
+    let token = CancelToken::new();
+    token.cancel();
+    let budget = Budget::standard().with_cancel(token);
+
+    let policy = RetryPolicy::new(5).with_escalation(10.0);
+    let start = Instant::now();
+    let decision = session.implies_retry(&goal, &budget, &policy).unwrap();
+    assert!(start.elapsed() < Duration::from_secs(5));
+    assert!(decision.verdict.is_exhausted());
+    assert_eq!(
+        decision.attempts.iter().map(|a| a.round).max(),
+        Some(0),
+        "no retry rounds against a cancelled token"
+    );
+}

@@ -1,0 +1,702 @@
+//! Failpoint-driven chaos harness (runs only under `--features
+//! failpoints`; see `crates/faults`).
+//!
+//! Strategy: first a *census* — run a representative workload with
+//! nothing armed and read off which `fail_point!` sites it actually
+//! reaches — then a site × action sweep injecting every fault at every
+//! reached layer and holding the library to its degradation contract:
+//!
+//! * **no panic ever escapes a `Session` entry point or `cli::run`** —
+//!   injected panics surface as `CoreError::Internal` / exit code 101;
+//! * **a produced verdict is never wrong** — whatever a faulted run
+//!   answers (if it answers at all) matches the fault-free reference;
+//!   faults may only ever downgrade an answer to `Exhausted`/`Internal`;
+//! * **errors keep their contracted shapes** — only `Exhausted` and
+//!   `Internal`, never a new variant, never a poisoned lock;
+//! * **the session outlives the fault** — once the site is disarmed the
+//!   same session answers exactly as before;
+//! * **cancellation injected inside the batch pool is repaired** — the
+//!   normalization pass re-runs tainted goals, so the batch still equals
+//!   the sequential reference bit for bit.
+//!
+//! The failpoint registry is process-global, so every test here
+//! serializes on one lock and `reset()`s between cases; CI additionally
+//! runs this binary with `--test-threads=1`.
+
+#![cfg(feature = "failpoints")]
+
+mod common;
+
+use common::{course_schema, course_sigma};
+use nfd::faults::{self, FaultAction};
+use nfd::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// One registry, one test at a time.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The goal set used throughout: a mix of implied and not-implied NFDs
+/// over the paper's Course schema.
+const GOALS: [&str; 5] = [
+    "Course:[time, students:sid -> books]",
+    "Course:[cnum -> time]",
+    "Course:[time -> cnum]",
+    "Course:[books:isbn -> books:title]",
+    "Course:[books:title -> books:isbn]",
+];
+
+fn fixture() -> (Schema, Vec<Nfd>) {
+    let schema = course_schema();
+    let sigma = course_sigma(&schema);
+    (schema, sigma)
+}
+
+fn parse_goals(schema: &Schema) -> Vec<Nfd> {
+    GOALS
+        .iter()
+        .map(|t| Nfd::parse(schema, t).unwrap())
+        .collect()
+}
+
+/// Fault-free ground truth for [`GOALS`].
+fn reference_verdicts(session: &Session, goals: &[Nfd]) -> Vec<bool> {
+    goals
+        .iter()
+        .map(|g| {
+            session
+                .implies_with(g, &Budget::standard())
+                .expect("fault-free run decides")
+                .verdict
+                .as_bool()
+                .expect("standard budget answers the Course goals")
+        })
+        .collect()
+}
+
+/// Asserts an error has one of the two contracted shapes.
+fn assert_contracted_error(site: &str, action: FaultAction, e: &CoreError) {
+    assert!(
+        matches!(e, CoreError::Exhausted(_) | CoreError::Internal(_)),
+        "{site} × {action:?}: error is neither Exhausted nor Internal: {e:?}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Phase 1: census.
+// ---------------------------------------------------------------------
+
+/// Sites the standard workload must reach; a site disappearing from this
+/// census means a refactor silently dropped its chaos coverage.
+const EXPECTED_SITES: [&str; 14] = [
+    "chase::build",
+    "chase::scan",
+    "chase::step",
+    "engine::build",
+    "engine::closure",
+    "engine::implies",
+    "engine::saturate",
+    "engine::singleton",
+    "logic::eval",
+    "model::parse_input",
+    "model::parse_depth",
+    "par::reassemble",
+    "par::worker",
+    "session::cascade_saturation",
+];
+
+#[test]
+fn census_reaches_every_layer() {
+    let _guard = serial();
+    faults::reset();
+
+    // Parse → build → query → batch → closure → direct deciders: one
+    // sweep through everything a user can drive, nothing armed.
+    let (schema, sigma) = fixture();
+    let goals = parse_goals(&schema);
+    let session = Session::new(&schema, &sigma).unwrap();
+    let budget = Budget::standard();
+    for g in &goals {
+        session.implies_with(g, &budget).unwrap();
+    }
+    // A starved query walks the whole cascade (saturation exhausts, the
+    // chase and logic-eval get their turn).
+    session
+        .implies_with(&goals[0], &Budget::limited(1))
+        .unwrap();
+    for threads in [1usize, 4] {
+        session.implies_batch(&goals, &budget, threads).unwrap();
+    }
+    session
+        .closure(
+            &RootedPath::parse("Course").unwrap(),
+            &[Path::parse("cnum").unwrap()],
+        )
+        .unwrap();
+    // The fallback deciders under a generous budget, so their deep sites
+    // (tableau violation scan, ∀-evaluation) are reached too.
+    for d in nfd::session::all_deciders() {
+        d.decide(&schema, &sigma, &goals[0], &budget).unwrap();
+    }
+
+    let hit = faults::sites_hit();
+    let names: Vec<&str> = hit.iter().map(|(n, _)| n.as_str()).collect();
+    for site in EXPECTED_SITES {
+        assert!(names.contains(&site), "census missed `{site}`: {names:?}");
+    }
+    assert!(
+        hit.len() >= 12,
+        "census must reach at least 12 sites, got {}: {names:?}",
+        hit.len()
+    );
+    faults::reset();
+}
+
+// ---------------------------------------------------------------------
+// Phase 2: site × action sweep.
+// ---------------------------------------------------------------------
+
+/// Query-phase sites, each with the *companion* faults needed to steer
+/// the cascade into the layer under test (the chase only runs once
+/// saturation yields, logic-eval once both yield). Companions are armed
+/// with plain `ReturnExhausted`, which never changes a produced verdict.
+const QUERY_SITES: [(&str, &[&str]); 12] = [
+    ("engine::build", &[]),
+    ("engine::saturate", &[]),
+    ("engine::singleton", &[]),
+    ("engine::implies", &[]),
+    ("session::cascade_saturation", &[]),
+    ("session::cascade_chase", &["session::cascade_saturation"]),
+    ("chase::build", &["session::cascade_saturation"]),
+    ("chase::step", &["session::cascade_saturation"]),
+    ("chase::scan", &["session::cascade_saturation"]),
+    (
+        "session::cascade_logic_eval",
+        &["session::cascade_saturation", "session::cascade_chase"],
+    ),
+    (
+        "logic::eval",
+        &["session::cascade_saturation", "session::cascade_chase"],
+    ),
+    (
+        "logic::forall",
+        &["session::cascade_saturation", "session::cascade_chase"],
+    ),
+];
+
+const ACTIONS: [FaultAction; 4] = [
+    FaultAction::ReturnExhausted,
+    FaultAction::Panic,
+    FaultAction::Delay(2),
+    FaultAction::Cancel,
+];
+
+#[test]
+fn every_query_site_survives_every_action() {
+    let _guard = serial();
+    faults::reset();
+    let (schema, sigma) = fixture();
+    let goals = parse_goals(&schema);
+    let session = Session::new(&schema, &sigma).unwrap();
+    let expected = reference_verdicts(&session, &goals);
+
+    for (site, companions) in QUERY_SITES {
+        for action in ACTIONS {
+            faults::reset();
+            for companion in companions {
+                faults::configure(companion, FaultAction::ReturnExhausted);
+            }
+            faults::configure(site, action);
+
+            for (goal, &want) in goals.iter().zip(&expected) {
+                // Fresh budget per query: `Cancel` poisons the token it
+                // finds in scope, by design.
+                let budget = Budget::standard();
+                let outcome =
+                    catch_unwind(AssertUnwindSafe(|| session.implies_with(goal, &budget)));
+                let result = outcome
+                    .unwrap_or_else(|_| panic!("{site} × {action:?}: panic escaped implies_with"));
+                match result {
+                    Ok(d) => {
+                        if let Some(got) = d.verdict.as_bool() {
+                            assert_eq!(
+                                got, want,
+                                "{site} × {action:?}: flipped the verdict on {goal}"
+                            );
+                        }
+                    }
+                    Err(e) => assert_contracted_error(site, action, &e),
+                }
+            }
+
+            // Disarm; the same session must answer exactly as before.
+            faults::reset();
+            for (goal, &want) in goals.iter().zip(&expected) {
+                let d = session
+                    .implies_with(goal, &Budget::standard())
+                    .unwrap_or_else(|e| {
+                        panic!("{site} × {action:?}: session unusable after fault: {e}")
+                    });
+                assert_eq!(d.verdict.as_bool(), Some(want), "{site} × {action:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn closure_contains_faults_and_recovers_on_a_fresh_session() {
+    let _guard = serial();
+    faults::reset();
+    let (schema, sigma) = fixture();
+    let base = RootedPath::parse("Course").unwrap();
+    let lhs = [Path::parse("cnum").unwrap()];
+    let reference = {
+        let session = Session::new(&schema, &sigma).unwrap();
+        session.closure(&base, &lhs).unwrap()
+    };
+
+    for action in ACTIONS {
+        faults::reset();
+        // Fresh session per case: `Cancel` here cancels the session
+        // engine's own budget token, which (correctly, cooperatively)
+        // retires that session for engine-level calls.
+        let session = Session::new(&schema, &sigma).unwrap();
+        faults::configure("engine::closure", action);
+        let result = catch_unwind(AssertUnwindSafe(|| session.closure(&base, &lhs)))
+            .unwrap_or_else(|_| panic!("engine::closure × {action:?}: panic escaped"));
+        match result {
+            Ok(c) => assert_eq!(c, reference, "engine::closure × {action:?}"),
+            Err(e) => assert_contracted_error("engine::closure", action, &e),
+        }
+        faults::reset();
+        let fresh = Session::new(&schema, &sigma).unwrap();
+        assert_eq!(fresh.closure(&base, &lhs).unwrap(), reference);
+    }
+}
+
+#[test]
+fn batch_sites_degrade_gracefully_and_normalization_repairs_cancel() {
+    let _guard = serial();
+    faults::reset();
+    let (schema, sigma) = fixture();
+    let goals = parse_goals(&schema);
+    let session = Session::new(&schema, &sigma).unwrap();
+    let expected = reference_verdicts(&session, &goals);
+    let reference = session
+        .implies_batch(&goals, &Budget::standard(), 4)
+        .unwrap();
+
+    let batch_sites = [
+        "session::batch_goal",
+        "par::worker",
+        "par::reassemble",
+        "engine::build",
+        "session::cascade_saturation",
+    ];
+    for site in batch_sites {
+        for action in ACTIONS {
+            faults::reset();
+            faults::configure(site, action);
+            let budget = Budget::standard();
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                session.implies_batch(&goals, &budget, 4)
+            }));
+            let result = outcome
+                .unwrap_or_else(|_| panic!("{site} × {action:?}: panic escaped implies_batch"));
+            match result {
+                Ok(batch) => {
+                    assert_eq!(batch.decisions.len(), goals.len());
+                    for (i, slot) in batch.decisions.iter().enumerate() {
+                        match slot {
+                            Ok(d) => {
+                                if let Some(got) = d.verdict.as_bool() {
+                                    assert_eq!(
+                                        got, expected[i],
+                                        "{site} × {action:?}: flipped goal {i}"
+                                    );
+                                }
+                            }
+                            Err(e) => assert_contracted_error(site, action, e),
+                        }
+                    }
+                }
+                // The pool machinery itself may abort the whole batch
+                // (e.g. a worker-thread panic re-raised after join) —
+                // but only as a contracted error.
+                Err(e) => assert_contracted_error(site, action, &e),
+            }
+
+            // The pool and session survive: disarmed, the same batch
+            // call reproduces the reference bit for bit.
+            faults::reset();
+            let after = session
+                .implies_batch(&goals, &Budget::standard(), 4)
+                .unwrap_or_else(|e| panic!("{site} × {action:?}: batch unusable after fault: {e}"));
+            assert_eq!(after, reference, "{site} × {action:?}: batch changed");
+        }
+    }
+
+    // The headline invariant: cancellation injected *inside* the pool is
+    // indistinguishable from a pool-internal stop, so the normalization
+    // pass must repair the batch to equal the sequential reference
+    // exactly — verdicts, cascade logs, cutoff and all.
+    faults::reset();
+    faults::configure("session::batch_goal", FaultAction::Cancel);
+    let repaired = session
+        .implies_batch(&goals, &Budget::standard(), 4)
+        .unwrap();
+    faults::reset();
+    assert_eq!(
+        repaired, reference,
+        "injected pool cancellation must be repaired by normalization"
+    );
+}
+
+#[test]
+fn build_sites_fail_closed_and_disarm_cleanly() {
+    let _guard = serial();
+    faults::reset();
+    let (schema, sigma) = fixture();
+
+    for site in ["engine::build", "engine::saturate", "engine::singleton"] {
+        for action in ACTIONS {
+            faults::reset();
+            faults::configure(site, action);
+            let result = catch_unwind(AssertUnwindSafe(|| Session::new(&schema, &sigma)))
+                .unwrap_or_else(|_| panic!("{site} × {action:?}: panic escaped Session::new"));
+            match result {
+                Ok(s) => {
+                    // Delay (and Cancel losing the race) still builds; it
+                    // must be a *working* session.
+                    faults::reset();
+                    assert!(s
+                        .implies_text("Course:[cnum -> time]")
+                        .expect("built session answers"));
+                }
+                Err(e) => assert_contracted_error(site, action, &e),
+            }
+            faults::reset();
+            Session::new(&schema, &sigma)
+                .unwrap_or_else(|e| panic!("{site} × {action:?}: build broken after reset: {e}"));
+        }
+    }
+
+    // Parser sites via the library: a fault is an input-shaped error
+    // (the model layer has no Exhausted channel), never a wrong parse.
+    for site in ["model::parse_input", "model::parse_depth"] {
+        faults::reset();
+        faults::configure(site, FaultAction::ReturnExhausted);
+        assert!(
+            Schema::parse("Course : { <cnum: string> };").is_err(),
+            "{site}: injected parse fault must surface as an error"
+        );
+        faults::reset();
+        assert!(Schema::parse("Course : { <cnum: string> };").is_ok());
+    }
+    faults::reset();
+}
+
+// ---------------------------------------------------------------------
+// Retry / budget escalation under injected faults.
+// ---------------------------------------------------------------------
+
+#[test]
+fn retry_recovers_from_transient_injected_exhaustion() {
+    let _guard = serial();
+    faults::reset();
+    let (schema, sigma) = fixture();
+    let goals = parse_goals(&schema);
+    let session = Session::new(&schema, &sigma).unwrap();
+    let expected = reference_verdicts(&session, &goals);
+
+    // Every decider of the first run reports (injected) exhaustion; the
+    // faults burn out after one firing each, so the first retry answers.
+    for cascade_site in [
+        "session::cascade_saturation",
+        "session::cascade_chase",
+        "session::cascade_logic_eval",
+    ] {
+        faults::configure_limited(cascade_site, 1, FaultAction::ReturnExhausted);
+    }
+    let policy = RetryPolicy::new(3);
+    let d = session
+        .implies_retry(&goals[0], &Budget::standard(), &policy)
+        .unwrap();
+    faults::reset();
+    assert_eq!(
+        d.verdict.as_bool(),
+        Some(expected[0]),
+        "retry must recover the fault-free verdict"
+    );
+    let rounds: Vec<u32> = d.attempts.iter().map(|a| a.round).collect();
+    assert_eq!(
+        rounds.iter().max(),
+        Some(&1),
+        "exactly one retry, recorded in the log: {rounds:?}"
+    );
+    assert!(
+        d.attempts
+            .iter()
+            .any(|a| a.round == 0 && matches!(a.outcome, AttemptOutcome::Exhausted(_))),
+        "round 0 keeps its honest exhaustion entries"
+    );
+    assert!(
+        d.attempts
+            .iter()
+            .any(|a| a.round == 1 && matches!(a.outcome, AttemptOutcome::Answered(_))),
+        "round 1 answered"
+    );
+}
+
+#[test]
+fn cancellation_is_never_retried() {
+    let _guard = serial();
+    faults::reset();
+    let (schema, sigma) = fixture();
+    let goals = parse_goals(&schema);
+    let session = Session::new(&schema, &sigma).unwrap();
+
+    // `Cancel` at the saturation cascade site cancels the query budget's
+    // token; the cascade honours it, and the retry loop must stop
+    // immediately rather than spin against a cancelled token.
+    faults::configure("session::cascade_saturation", FaultAction::Cancel);
+    let policy = RetryPolicy::new(5);
+    let d = session
+        .implies_retry(&goals[0], &Budget::standard(), &policy)
+        .unwrap();
+    faults::reset();
+    assert!(
+        matches!(&d.verdict, Verdict::Exhausted(r) if r.kind == ResourceKind::Cancelled),
+        "a cancelled run stays cancelled: {:?}",
+        d.verdict
+    );
+    assert_eq!(
+        d.attempts.iter().map(|a| a.round).max(),
+        Some(0),
+        "no retry rounds after cancellation"
+    );
+}
+
+#[test]
+fn batch_retry_heals_an_injected_exhaustion_and_logs_rounds() {
+    let _guard = serial();
+    faults::reset();
+    let (schema, sigma) = fixture();
+    let goals = parse_goals(&schema);
+    let session = Session::new(&schema, &sigma).unwrap();
+    let expected = reference_verdicts(&session, &goals);
+
+    // Exactly one worker reports injected exhaustion before producing a
+    // decision; its siblings are unaffected, and the retry pass must heal
+    // the faulted goal under an escalated budget (the fault has burned
+    // out by then).
+    faults::configure_limited("session::batch_goal", 1, FaultAction::ReturnExhausted);
+    let policy = RetryPolicy::new(3);
+    let batch = session
+        .implies_batch_retry(&goals, &Budget::standard(), 4, &policy)
+        .unwrap();
+    faults::reset();
+
+    assert_eq!(batch.first_exhausted, None, "every goal healed");
+    assert_eq!(batch.failed_count(), 0);
+    for (i, slot) in batch.decisions.iter().enumerate() {
+        let d = slot.as_ref().expect("no internal failures injected");
+        assert_eq!(
+            d.verdict.as_bool(),
+            Some(expected[i]),
+            "goal {i} recovered the reference verdict"
+        );
+    }
+    assert!(
+        batch
+            .decisions
+            .iter()
+            .flat_map(|d| &d.as_ref().unwrap().attempts)
+            .any(|a| a.round >= 1),
+        "the merged logs record the retry rounds"
+    );
+}
+
+// ---------------------------------------------------------------------
+// The CLI under faults: exit codes keep their contract.
+// ---------------------------------------------------------------------
+
+/// Writes the Course fixture to temp files and returns
+/// `(schema_path, deps_path, goals_path)`.
+fn cli_fixture_files() -> (std::path::PathBuf, std::path::PathBuf, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("nfd-chaos-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let schema = dir.join("course.schema");
+    let deps = dir.join("course.deps");
+    let goals = dir.join("course.goals");
+    std::fs::write(
+        &schema,
+        "Course : { <cnum: string, time: int,
+                     students: {<sid: int, age: int, grade: string>},
+                     books: {<isbn: string, title: string>}> };",
+    )
+    .unwrap();
+    std::fs::write(
+        &deps,
+        "Course:[cnum -> time]; Course:[cnum -> students]; Course:[cnum -> books];
+         Course:[books:isbn -> books:title];
+         Course:students:[sid -> grade];
+         Course:[students:sid -> students:age];
+         Course:[time, students:sid -> cnum];",
+    )
+    .unwrap();
+    std::fs::write(&goals, GOALS.join(";\n")).unwrap();
+    (schema, deps, goals)
+}
+
+fn cli_args(items: &[&str]) -> Vec<String> {
+    items.iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn cli_exit_codes_keep_their_contract_under_faults() {
+    let _guard = serial();
+    faults::reset();
+    let (schema, deps, goals) = cli_fixture_files();
+    let single = cli_args(&[
+        "implies",
+        "--schema",
+        schema.to_str().unwrap(),
+        "--deps",
+        deps.to_str().unwrap(),
+        "Course:[cnum -> time]",
+    ]);
+    let batch = cli_args(&[
+        "implies",
+        "--schema",
+        schema.to_str().unwrap(),
+        "--deps",
+        deps.to_str().unwrap(),
+        "--threads",
+        "4",
+        "--goals",
+        goals.to_str().unwrap(),
+    ]);
+
+    let mut out = String::new();
+    let single_baseline = nfd::cli::run(&single, &mut out);
+    assert_eq!(single_baseline, 0, "fault-free baseline: {out}");
+    out.clear();
+    let batch_baseline = nfd::cli::run(&batch, &mut out);
+    assert_eq!(batch_baseline, 1, "one GOALS entry is not implied: {out}");
+
+    let sites = [
+        "model::parse_input",
+        "model::parse_depth",
+        "engine::build",
+        "engine::saturate",
+        "engine::implies",
+        "session::cascade_saturation",
+        "session::batch_goal",
+        "par::worker",
+    ];
+    for site in sites {
+        for action in ACTIONS {
+            for (args, baseline) in [(&single, single_baseline), (&batch, batch_baseline)] {
+                faults::reset();
+                faults::configure(site, action);
+                let mut out = String::new();
+                let code = catch_unwind(AssertUnwindSafe(|| nfd::cli::run(args, &mut out)))
+                    .unwrap_or_else(|_| panic!("{site} × {action:?}: panic escaped cli::run"));
+                assert!(
+                    [0, 1, 2, 3, 101].contains(&code),
+                    "{site} × {action:?}: exit code {code} outside the contract\n{out}"
+                );
+                // A fault may downgrade a verdict to an error code, but
+                // never flip implied ↔ not-implied.
+                if code <= 1 {
+                    assert_eq!(
+                        code, baseline,
+                        "{site} × {action:?}: fault flipped the CLI verdict\n{out}"
+                    );
+                }
+            }
+        }
+    }
+    faults::reset();
+
+    // --retry heals a transient injected exhaustion end-to-end: every
+    // cascade decider fails once, the retry answers, the exit code and
+    // verdict match the baseline.
+    for cascade_site in [
+        "session::cascade_saturation",
+        "session::cascade_chase",
+        "session::cascade_logic_eval",
+    ] {
+        faults::configure_limited(cascade_site, 1, FaultAction::ReturnExhausted);
+    }
+    let mut retry_args = single.clone();
+    retry_args.splice(1..1, cli_args(&["--retry", "2"]));
+    let mut out = String::new();
+    let code = nfd::cli::run(&retry_args, &mut out);
+    faults::reset();
+    assert_eq!(code, 0, "--retry must recover the verdict: {out}");
+    assert!(
+        out.contains("after 1 retry"),
+        "retry surfaced to the user: {out}"
+    );
+
+    // Without --retry the same transient fault is terminal (exit 3).
+    for cascade_site in [
+        "session::cascade_saturation",
+        "session::cascade_chase",
+        "session::cascade_logic_eval",
+    ] {
+        faults::configure_limited(cascade_site, 1, FaultAction::ReturnExhausted);
+    }
+    let mut out = String::new();
+    let code = nfd::cli::run(&single, &mut out);
+    faults::reset();
+    assert_eq!(
+        code, 3,
+        "without --retry the injected exhaustion is final: {out}"
+    );
+}
+
+#[test]
+fn nfd_failpoints_env_var_arms_the_binary() {
+    let _guard = serial();
+    let (schema, deps, _) = cli_fixture_files();
+    let args = [
+        "implies",
+        "--schema",
+        schema.to_str().unwrap(),
+        "--deps",
+        deps.to_str().unwrap(),
+        "Course:[cnum -> time]",
+    ];
+    let run = |spec: Option<&str>| {
+        let mut cmd = std::process::Command::new(env!("CARGO_BIN_EXE_nfdtool"));
+        cmd.args(args).env_remove("NFD_FAILPOINTS");
+        if let Some(spec) = spec {
+            cmd.env("NFD_FAILPOINTS", spec);
+        }
+        cmd.output().expect("nfdtool runs")
+    };
+
+    assert_eq!(run(None).status.code(), Some(0), "fault-free baseline");
+    let faulted = run(Some("engine::build=return-exhausted"));
+    assert_eq!(
+        faulted.status.code(),
+        Some(3),
+        "an injected build exhaustion exits 3: {}",
+        String::from_utf8_lossy(&faulted.stdout)
+    );
+    assert_eq!(
+        run(Some("engine::build=delay(1)")).status.code(),
+        Some(0),
+        "a delay-only fault changes nothing"
+    );
+    // Malformed entries are skipped, not fatal.
+    assert_eq!(run(Some("garbage;;also=nonsense")).status.code(), Some(0));
+}

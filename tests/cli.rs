@@ -425,3 +425,83 @@ fn budget_flags_cover_other_subcommands() {
     assert_eq!(code, 3, "{out}");
     assert!(out.contains("exhausted"), "{out}");
 }
+
+#[test]
+fn retry_escalation_heals_a_starved_budget_end_to_end() {
+    let f = Fixture::new("retry");
+    let schema = f.file("s.nfds", COURSE_SCHEMA);
+    let deps = f.file("d.nfdd", COURSE_DEPS);
+    let goals = f.file("g.goals", "Course:[cnum -> time]; Course:[cnum -> books];");
+
+    // `--budget 1` is too small even to *build* the session, so plain
+    // implies exits 3 (asserted in budget_flags_and_exhausted_exit_code).
+    // With --retry the build and the queries escalate until they fit:
+    // the starved run becomes an answer, not an honest shrug.
+    let (code, out) = run(&[
+        "implies",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
+        "--budget",
+        "1",
+        "--retry",
+        "6",
+        "--escalate",
+        "10",
+        "Course:[cnum -> time]",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("implied"), "{out}");
+
+    // Batch mode heals the same way, and the verdicts stay per-goal.
+    let (code, out) = run(&[
+        "implies",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
+        "--goals",
+        &goals,
+        "--budget",
+        "1",
+        "--retry",
+        "6",
+        "--escalate",
+        "10",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("2 of 2 goals implied"), "{out}");
+
+    // A retry cap too small to ever fit still reports exhaustion.
+    let (code, out) = run(&[
+        "implies",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
+        "--budget",
+        "1",
+        "--retry",
+        "1",
+        "--escalate",
+        "1",
+        "Course:[cnum -> time]",
+    ]);
+    assert_eq!(code, 3, "{out}");
+    assert!(out.contains("exhausted"), "{out}");
+
+    // --escalate without --retry is a usage error.
+    let (code, out) = run(&[
+        "implies",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
+        "--escalate",
+        "4",
+        "Course:[cnum -> time]",
+    ]);
+    assert_eq!(code, 2, "{out}");
+    assert!(out.contains("--escalate requires --retry"), "{out}");
+}

@@ -157,7 +157,10 @@ fn first_exhaustion_stops_the_whole_pool_promptly() {
 
     assert_eq!(batch.first_exhausted, Some(0), "goal 0 starves first");
     assert!(
-        batch.decisions.iter().all(|d| d.verdict.is_exhausted()),
+        batch
+            .decisions
+            .iter()
+            .all(|d| matches!(d, Ok(d) if d.verdict.is_exhausted())),
         "every goal is honestly exhausted, never mis-answered"
     );
     // Generous 2× headroom: the starved batch does a few thousand work
@@ -209,7 +212,10 @@ fn external_cancellation_preempts_a_heavy_batch() {
         let batch = session.implies_batch(&goals, &budget, 8).unwrap();
         let elapsed = t.elapsed();
         assert!(
-            batch.decisions.iter().all(|d| d.verdict.is_exhausted()),
+            batch
+                .decisions
+                .iter()
+                .all(|d| matches!(d, Ok(d) if d.verdict.is_exhausted())),
             "a cancelled batch reports exhaustion, never a made-up verdict"
         );
         assert_eq!(batch.first_exhausted, Some(0));
@@ -234,9 +240,85 @@ fn already_cancelled_budget_refuses_all_work_consistently() {
     token.cancel();
     let budget = Budget::standard().with_cancel(token);
     let reference = session.implies_batch(&goals, &budget, 1).unwrap();
-    assert!(reference.decisions.iter().all(|d| d.verdict.is_exhausted()));
+    assert!(reference
+        .decisions
+        .iter()
+        .all(|d| matches!(d, Ok(d) if d.verdict.is_exhausted())));
     for threads in [2usize, 8] {
         let batch = session.implies_batch(&goals, &budget, threads).unwrap();
         assert_eq!(batch, reference, "threads = {threads}");
     }
+}
+
+/// Graceful degradation: one worker panicking mid-`implies_batch`
+/// (injected through the `session::batch_goal` failpoint) must be
+/// contained to its own goal — surfaced as `Err(Internal)` in that slot —
+/// while every sibling still matches the fault-free reference, and the
+/// same `Session` serves the next batch as if nothing happened.
+///
+/// Runs only under `--features failpoints`; the registry is
+/// process-global, so CI runs this binary with `--test-threads=1` when
+/// the feature is on (other tests here issue batches of their own and
+/// would otherwise eat the count-limited panic).
+#[cfg(feature = "failpoints")]
+#[test]
+fn one_panicking_worker_degrades_only_its_own_goal() {
+    use nfd::faults;
+
+    let schema = course_schema();
+    let sigma = course_sigma(&schema);
+    let session = Session::new(&schema, &sigma).unwrap();
+    let goals: Vec<Nfd> = [
+        "Course:[time, students:sid -> books]",
+        "Course:[cnum -> time]",
+        "Course:[time -> cnum]",
+        "Course:[books:isbn -> books:title]",
+        "Course:[books:title -> books:isbn]",
+        "Course:[cnum -> students]",
+    ]
+    .iter()
+    .map(|t| Nfd::parse(&schema, t).unwrap())
+    .collect();
+    let budget = Budget::standard();
+    let reference = session.implies_batch(&goals, &budget, 4).unwrap();
+    assert!(reference.decisions.iter().all(|d| d.is_ok()));
+
+    // Exactly one firing: whichever worker reaches the site first panics;
+    // its siblings must not notice.
+    faults::configure_limited("session::batch_goal", 1, faults::FaultAction::Panic);
+    let degraded = session.implies_batch(&goals, &budget, 4).unwrap();
+    faults::reset();
+
+    let failed: Vec<usize> = degraded
+        .decisions
+        .iter()
+        .enumerate()
+        .filter_map(|(i, d)| d.is_err().then_some(i))
+        .collect();
+    assert_eq!(failed.len(), 1, "exactly one goal fails: {failed:?}");
+    assert_eq!(degraded.failed_count(), 1);
+    match &degraded.decisions[failed[0]] {
+        Err(CoreError::Internal(msg)) => {
+            assert!(
+                msg.contains("panicked"),
+                "internal error names the panic: {msg}"
+            )
+        }
+        other => panic!("expected Err(Internal), got {other:?}"),
+    }
+    for (i, (got, want)) in degraded
+        .decisions
+        .iter()
+        .zip(&reference.decisions)
+        .enumerate()
+    {
+        if i != failed[0] {
+            assert_eq!(got, want, "sibling goal {i} deviates after a worker panic");
+        }
+    }
+
+    // The session is not poisoned: the next batch reproduces the
+    // reference exactly.
+    let after = session.implies_batch(&goals, &budget, 4).unwrap();
+    assert_eq!(after, reference, "session unusable after a contained panic");
 }

@@ -23,6 +23,11 @@ const BUDGETS: &[(&str, usize)] = &[
     ("crates/chase/src/tableau.rs", 0),
     ("crates/logic/src/eval.rs", 0),
     ("crates/model/src/parse.rs", 0),
+    // One deliberate site: `trigger`'s `FaultAction::Panic` arm — the
+    // whole point of that action is to panic so the chaos harness can
+    // prove the `catch_unwind` boundaries contain it. The module is
+    // compiled only under the (never-default) `failpoints` feature.
+    ("crates/faults/src/lib.rs", 1),
 ];
 
 /// Matches the panicking constructs we guard against. `.unwrap()` and
@@ -49,16 +54,19 @@ fn panicking_sites(code: &str) -> Vec<(usize, String)> {
         .collect()
 }
 
-/// Drops everything from the first `#[cfg(test)]` on. Test modules sit at
-/// the end of each file in this repository, so a simple prefix cut is
-/// exact; the assertion below keeps that assumption honest.
+/// Drops everything from the first test-module attribute on — plain
+/// `#[cfg(test)]` or a compound `#[cfg(all(test, …))]` (used by the
+/// feature-gated faults crate). Test modules sit at the end of each file
+/// in this repository, so a simple prefix cut is exact; the assertion
+/// below keeps that assumption honest.
 fn non_test_prefix(code: &str) -> &str {
-    match code.find("#[cfg(test)]") {
+    let markers = ["#[cfg(test)]", "#[cfg(all(test"];
+    match markers.iter().filter_map(|m| code.find(m)).min() {
         Some(pos) => {
             let rest = &code[pos..];
             assert!(
                 rest.contains("mod tests"),
-                "#[cfg(test)] not introducing a test module — update the guard"
+                "test cfg not introducing a test module — update the guard"
             );
             &code[..pos]
         }
@@ -98,4 +106,48 @@ fn guard_actually_detects_sites() {
         "let x = y.unwrap_or(0);\nlet z = w.unwrap_or_else(|| 1);\n// .unwrap() in a comment",
     );
     assert!(clean.is_empty(), "{clean:?}");
+}
+
+/// The `failpoints` feature must never be on by default: release builds
+/// carry no registry and no injected-fault code paths. This greps every
+/// workspace manifest for a `default = […]` feature list naming it, and
+/// pins the one legitimate forwarding arm (the `nfd` facade).
+#[test]
+fn failpoints_is_never_a_default_feature() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut manifests = vec![root.join("Cargo.toml")];
+    for dir in ["crates", "compat"] {
+        for entry in std::fs::read_dir(root.join(dir)).unwrap() {
+            let manifest = entry.unwrap().path().join("Cargo.toml");
+            if manifest.is_file() {
+                manifests.push(manifest);
+            }
+        }
+    }
+    assert!(manifests.len() > 10, "workspace scan looks broken");
+
+    let mut forwarding_arms = 0;
+    for manifest in manifests {
+        let toml = std::fs::read_to_string(&manifest).unwrap();
+        for line in toml.lines() {
+            let line = line.trim();
+            if line.starts_with('#') {
+                continue;
+            }
+            if line.starts_with("default") && line.contains('=') {
+                assert!(
+                    !line.contains("failpoints"),
+                    "{}: `failpoints` must never be a default feature: {line}",
+                    manifest.display()
+                );
+            }
+            if line.starts_with("failpoints") && line.contains("nfd-faults/failpoints") {
+                forwarding_arms += 1;
+            }
+        }
+    }
+    assert_eq!(
+        forwarding_arms, 1,
+        "exactly one manifest (the facade) forwards the feature"
+    );
 }
