@@ -1,0 +1,331 @@
+//! Bench `saturation_kernel` (EXPERIMENTS.md §B14): the indexed
+//! semi-naive kernel against the retained naive engine, like for like.
+//!
+//! `nfd_core::naive` preserves the pre-index saturation verbatim (full
+//! pool subsumption scans, all-pairs resolution, pass-structured
+//! chaining), so this harness times the *same* workloads through both
+//! implementations:
+//!
+//! * B1's flat-chain and ladder families (build + query);
+//! * a synthetic wide-Σ family — one flat relation, many overlapping
+//!   dependencies — where the all-pairs saturation scan is quadratic
+//!   while the occurrence-indexed worklist touches only resolvable
+//!   pairs;
+//! * B10's course session batch, reporting the session closure-cache
+//!   hit rate on a repeated all-pairs goal sweep.
+//!
+//! This is a custom `harness = false` main rather than a criterion
+//! bench so it can emit machine-readable `BENCH_B14.json` (path
+//! overridable via `BENCH_B14_OUT`) for CI to archive. It honours the
+//! workspace-wide `--test` smoke flag: one iteration on the smallest
+//! sizes, still writing the JSON.
+
+use nfd::session::Session;
+use nfd_bench::*;
+use nfd_core::engine::Engine;
+use nfd_core::naive::NaiveEngine;
+use nfd_core::{ClosureCache, Nfd, DEFAULT_CLOSURE_CACHE_CAPACITY};
+use nfd_govern::Budget;
+use nfd_model::Schema;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One naive-vs-indexed measurement.
+struct Row {
+    workload: &'static str,
+    param: usize,
+    naive_ns: u128,
+    indexed_ns: u128,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        if self.indexed_ns == 0 {
+            return f64::INFINITY;
+        }
+        self.naive_ns as f64 / self.indexed_ns as f64
+    }
+}
+
+/// Best-of-`iters` wall time of `f`, in nanoseconds. Minimum (not mean)
+/// because the quantity of interest is the cost of the work itself, not
+/// scheduler noise.
+fn time_ns<T>(iters: usize, mut f: impl FnMut() -> T) -> u128 {
+    let mut best = u128::MAX;
+    for _ in 0..iters {
+        let t = Instant::now();
+        black_box(f());
+        best = best.min(t.elapsed().as_nanos());
+    }
+    best
+}
+
+/// The wide-Σ family: a flat relation with `attrs` attributes and `n`
+/// deterministic two-LHS dependencies whose paths overlap heavily, so
+/// almost every pool entry shares paths with many others. This is the
+/// shape where all-pairs saturation degrades quadratically.
+fn wide_sigma(schema: &Schema, attrs: usize, n: usize) -> Vec<Nfd> {
+    // Deterministic splitmix-style attribute picks: a polynomial in `i`
+    // mod `attrs` would repeat with period `attrs` and collapse under
+    // subsumption, so hash `i` into well-spread 64-bit states instead.
+    let pick = |i: usize, salt: u64| -> usize {
+        let mut z = (i as u64)
+            .wrapping_add(salt)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        (z ^ (z >> 31)) as usize % attrs
+    };
+    (0..n)
+        .map(|i| {
+            let a = pick(i, 1);
+            let b = pick(i, 2);
+            let c = pick(i, 3);
+            Nfd::parse(schema, &format!("R:[a{a}, a{b} -> a{c}]")).unwrap()
+        })
+        .collect()
+}
+
+/// All-pairs single-attribute goals over a flat schema.
+fn all_pairs_goals(schema: &Schema, n: usize) -> Vec<Nfd> {
+    let mut goals = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                goals.push(Nfd::parse(schema, &format!("R:[a{i} -> a{j}]")).unwrap());
+            }
+        }
+    }
+    goals
+}
+
+/// Build-time comparison: `NaiveEngine` vs `Engine` on identical
+/// `(schema, Σ)` inputs.
+fn bench_build(
+    workload: &'static str,
+    param: usize,
+    schema: &Schema,
+    sigma: &[Nfd],
+    iters: usize,
+) -> Row {
+    let naive_ns = time_ns(iters, || NaiveEngine::new(schema, sigma).unwrap());
+    let indexed_ns = time_ns(iters, || Engine::new(schema, sigma).unwrap());
+    Row {
+        workload,
+        param,
+        naive_ns,
+        indexed_ns,
+    }
+}
+
+/// Query-time comparison over pre-built engines.
+fn bench_queries(
+    workload: &'static str,
+    param: usize,
+    naive: &NaiveEngine<'_>,
+    indexed: &Engine<'_>,
+    goals: &[Nfd],
+    iters: usize,
+) -> Row {
+    let naive_ns = time_ns(iters, || {
+        goals.iter().filter(|g| naive.implies(g).unwrap()).count()
+    });
+    let indexed_ns = time_ns(iters, || {
+        goals.iter().filter(|g| indexed.implies(g).unwrap()).count()
+    });
+    Row {
+        workload,
+        param,
+        naive_ns,
+        indexed_ns,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let iters = if smoke { 1 } else { 5 };
+    let mut rows: Vec<Row> = Vec::new();
+
+    // B1 flat chain: a0 → a1 → … → a{n-1}.
+    let flat_sizes: &[usize] = if smoke { &[8] } else { &[16, 24, 32] };
+    for &n in flat_sizes {
+        let schema = flat_schema(n);
+        let sigma = flat_chain_sigma(&schema, n);
+        rows.push(bench_build("flat_chain_build", n, &schema, &sigma, iters));
+        let naive = NaiveEngine::new(&schema, &sigma).unwrap();
+        let indexed = Engine::new(&schema, &sigma).unwrap();
+        let goals = all_pairs_goals(&schema, n);
+        rows.push(bench_queries(
+            "flat_chain_queries",
+            n,
+            &naive,
+            &indexed,
+            &goals,
+            iters,
+        ));
+
+        // The production repeated-query path: an engine with a closure
+        // cache answers the sweep twice (the second pass is all hits),
+        // against the naive engine recomputing every chain both times.
+        let cached = Engine::new(&schema, &sigma)
+            .unwrap()
+            .with_closure_cache(std::sync::Arc::new(ClosureCache::with_capacity(
+                DEFAULT_CLOSURE_CACHE_CAPACITY,
+            )));
+        let naive_ns = time_ns(iters, || {
+            (0..2)
+                .map(|_| goals.iter().filter(|g| naive.implies(g).unwrap()).count())
+                .sum::<usize>()
+        });
+        let indexed_ns = time_ns(iters, || {
+            (0..2)
+                .map(|_| goals.iter().filter(|g| cached.implies(g).unwrap()).count())
+                .sum::<usize>()
+        });
+        rows.push(Row {
+            workload: "flat_chain_queries_cached",
+            param: n,
+            naive_ns,
+            indexed_ns,
+        });
+    }
+
+    // B1 ladder: nested prefixes exercising prefix-weakening and
+    // full-locality during saturation.
+    let depths: &[usize] = if smoke { &[4] } else { &[6, 8] };
+    for &depth in depths {
+        let schema = ladder_schema(depth);
+        let sigma = ladder_sigma(&schema, depth);
+        rows.push(bench_build("ladder_build", depth, &schema, &sigma, iters));
+        let naive = NaiveEngine::new(&schema, &sigma).unwrap();
+        let indexed = Engine::new(&schema, &sigma).unwrap();
+        let goals = vec![ladder_goal(&schema, depth)];
+        rows.push(bench_queries(
+            "ladder_goal",
+            depth,
+            &naive,
+            &indexed,
+            &goals,
+            iters,
+        ));
+    }
+
+    // Wide Σ: the acceptance workload — overlapping dependencies over a
+    // flat relation, scaling |Σ|.
+    const WIDE_ATTRS: usize = 24;
+    let wide_sizes: &[usize] = if smoke { &[32] } else { &[64, 128, 256] };
+    // The naive engine takes seconds per build here — two iterations keep
+    // the whole harness under half a minute without hiding the gap.
+    let wide_iters = if smoke { 1 } else { 2 };
+    for &n in wide_sizes {
+        let schema = flat_schema(WIDE_ATTRS);
+        let sigma = wide_sigma(&schema, WIDE_ATTRS, n);
+        rows.push(bench_build(
+            "wide_sigma_build",
+            n,
+            &schema,
+            &sigma,
+            wide_iters,
+        ));
+    }
+
+    // B10 course session: a repeated all-pairs sweep through the session
+    // front end; the second sweep should be served by the closure cache.
+    let (schema, sigma) = course();
+    let session = Session::new(&schema, &sigma).unwrap();
+    let goals: Vec<Nfd> = {
+        // Every pair of top-level course attributes.
+        let attrs = ["cnum", "time", "room", "books", "students"];
+        let mut out = Vec::new();
+        for a in attrs {
+            for b in attrs {
+                if a != b {
+                    if let Ok(g) = Nfd::parse(&schema, &format!("Course:[{a} -> {b}]")) {
+                        out.push(g);
+                    }
+                }
+            }
+        }
+        out
+    };
+    let budget = Budget::standard();
+    let sweeps = if smoke { 2 } else { 8 };
+    let course_ns = time_ns(1, || {
+        for _ in 0..sweeps {
+            session.implies_batch(&goals, &budget, 1).unwrap();
+        }
+    });
+    let cache = session.cache_stats();
+
+    // Human-readable report.
+    println!(
+        "B14 saturation kernel — naive vs indexed ({} iteration(s), best-of)",
+        iters
+    );
+    println!(
+        "{:<26} {:>6} {:>14} {:>14} {:>9}",
+        "workload", "param", "naive (ns)", "indexed (ns)", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<26} {:>6} {:>14} {:>14} {:>8.2}x",
+            r.workload,
+            r.param,
+            r.naive_ns,
+            r.indexed_ns,
+            r.speedup()
+        );
+    }
+    println!(
+        "course session: {} goals x {} sweeps in {} ns; closure cache {} hits / {} misses",
+        goals.len(),
+        sweeps,
+        course_ns,
+        cache.hits,
+        cache.misses
+    );
+
+    // Machine-readable BENCH_B14.json.
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"saturation_kernel\",");
+    let _ = writeln!(json, "  \"experiment\": \"B14\",");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(json, "  \"iters\": {iters},");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"workload\": \"{}\", \"param\": {}, \"naive_ns\": {}, \"indexed_ns\": {}, \"speedup\": {:.3}}}{comma}",
+            r.workload, r.param, r.naive_ns, r.indexed_ns, r.speedup()
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"course_session\": {{\"goals\": {}, \"sweeps\": {}, \"total_ns\": {}, \"cache_hits\": {}, \"cache_misses\": {}}}",
+        goals.len(),
+        sweeps,
+        course_ns,
+        cache.hits,
+        cache.misses
+    );
+    json.push('}');
+    json.push('\n');
+
+    // `cargo bench` runs with the package as cwd; default the record to
+    // the workspace root so CI and EXPERIMENTS.md agree on one path.
+    let out = std::env::var("BENCH_B14_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_B14.json").to_string()
+    });
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("warning: could not write {out}: {e}");
+    } else {
+        println!("wrote {out}");
+    }
+}

@@ -17,6 +17,7 @@
 
 use crate::engine::Engine;
 use crate::error::CoreError;
+use crate::kernel::ChainScratch;
 use crate::nfd::Nfd;
 use nfd_govern::{ResourceKind, ResourceReport};
 use nfd_model::{Label, Schema};
@@ -184,7 +185,12 @@ pub fn candidate_keys_threaded(
     // One candidate: budget first (every enumerated candidate counts,
     // pruned or not, exactly as in a sequential sweep), then prune
     // against keys from completed levels, then the closure cover test.
-    let visit_one = |cand: &[PathId], known: &[Vec<PathId>]| -> Result<bool, ResourceReport> {
+    // Each worker owns a chain scratch, so the cover test reuses the
+    // counting kernel's buffers across every candidate it enumerates.
+    let visit_one = |cand: &[PathId],
+                     known: &[Vec<PathId>],
+                     scratch: &mut ChainScratch|
+     -> Result<bool, ResourceReport> {
         let v = visited.fetch_add(1, Ordering::Relaxed) + 1;
         budget
             .check_counter(ResourceKind::KeyCandidates, v)
@@ -200,7 +206,7 @@ pub fn candidate_keys_threaded(
         if known.iter().any(|k| k.iter().all(|p| cand.contains(p))) {
             return Ok(false); // superset of a known key
         }
-        Ok(universe.is_subset(&rel.chain(cand, None)))
+        Ok(universe.is_subset(&rel.chain_scratch(cand, scratch)))
     };
 
     let mut keys: Vec<Vec<PathId>> = Vec::new();
@@ -214,6 +220,7 @@ pub fn candidate_keys_threaded(
                 let mut found: Vec<Vec<PathId>> = Vec::new();
                 let mut fail: Option<ResourceReport> = None;
                 let mut combo: Vec<PathId> = Vec::with_capacity(size);
+                let mut scratch = ChainScratch::default();
                 let start = if size == 0 {
                     0
                 } else {
@@ -226,7 +233,7 @@ pub fn candidate_keys_threaded(
                         // results are discarded with the whole level.
                         return false;
                     }
-                    match visit_one(cand, known) {
+                    match visit_one(cand, known, &mut scratch) {
                         Ok(true) => {
                             found.push(cand.to_vec());
                             true
@@ -300,6 +307,7 @@ fn search(
 /// Section 2.1 singleton analysis). Returned as rooted paths.
 pub fn forced_singletons(engine: &Engine<'_>) -> Result<Vec<RootedPath>, CoreError> {
     let mut out = Vec::new();
+    let mut scratch = ChainScratch::default();
     for relation in engine.schema().relation_names() {
         let rel = engine.rel(relation)?;
         let table = &rel.table;
@@ -311,7 +319,7 @@ pub fn forced_singletons(engine: &Engine<'_>) -> Result<Vec<RootedPath>, CoreErr
             if attrs.is_empty() {
                 continue;
             }
-            let c = rel.chain(&[x_id], None);
+            let c = rel.chain_scratch(&[x_id], &mut scratch);
             if attrs.iter().all(|&a| c.contains(a)) {
                 out.push(RootedPath::new(relation, table.path(x_id).clone()));
             }
@@ -326,6 +334,7 @@ pub fn forced_singletons(engine: &Engine<'_>) -> Result<Vec<RootedPath>, CoreErr
 /// some child `x2`.
 pub fn equal_or_disjoint_sets(engine: &Engine<'_>) -> Result<Vec<RootedPath>, CoreError> {
     let mut out = Vec::new();
+    let mut scratch = ChainScratch::default();
     for relation in engine.schema().relation_names() {
         let rel = engine.rel(relation)?;
         let table = &rel.table;
@@ -334,7 +343,7 @@ pub fn equal_or_disjoint_sets(engine: &Engine<'_>) -> Result<Vec<RootedPath>, Co
                 continue;
             }
             for &a in table.children(x1_id) {
-                if rel.chain(&[a], None).contains(x1_id) {
+                if rel.chain_scratch(&[a], &mut scratch).contains(x1_id) {
                     out.push(RootedPath::new(relation, table.path(x1_id).clone()));
                     break;
                 }

@@ -45,6 +45,7 @@
 
 use crate::emptyset::EmptySetPolicy;
 use crate::error::CoreError;
+use crate::kernel::{self, ChainScratch, ClosureCache, DepIndex};
 use crate::nfd::Nfd;
 use crate::simple;
 use nfd_faults::fail_point;
@@ -110,7 +111,36 @@ pub struct CDep {
     /// (`lhs \ followers(rhs) \ defined`): a chain step through this entry
     /// is legal iff `need_x ⊆ X`. Empty under
     /// [`EmptySetPolicy::Forbidden`].
-    need_x: PathSet,
+    pub(crate) need_x: PathSet,
+}
+
+/// Compiles an empty-set policy to the `(non_empty, defined)` path sets
+/// of a relation — shared with the naive oracle so both engines reason
+/// under byte-identical gates.
+pub(crate) fn compile_policy(
+    relation: Label,
+    table: &PathTable,
+    policy: &EmptySetPolicy,
+) -> (PathSet, PathSet) {
+    match policy {
+        EmptySetPolicy::Forbidden => (table.full_set(), table.full_set()),
+        EmptySetPolicy::Annotated(_) => {
+            let non_empty = PathSet::from_ids(
+                table.words(),
+                (0..table.len() as PathId)
+                    .filter(|&id| policy.is_non_empty(relation, table.path(id))),
+            );
+            let defined = PathSet::from_ids(
+                table.words(),
+                (0..table.len() as PathId).filter(|&id| {
+                    let mut proper = table.prefixes_of(id).clone();
+                    proper.remove(id);
+                    proper.is_subset(&non_empty)
+                }),
+            );
+            (non_empty, defined)
+        }
+    }
 }
 
 /// Per-relation saturation state over the shared compiled path table.
@@ -119,6 +149,10 @@ pub(crate) struct RelEngine {
     /// The relation's compiled path table — the id space of the pool.
     pub(crate) table: Arc<PathTable>,
     pub(crate) deps: Vec<CDep>,
+    /// Occurrence indices over `deps`, maintained in lock-step by
+    /// [`RelEngine::add`]: RHS buckets for subsumption, LHS occurrences
+    /// for resolution candidates and the counting chain kernel.
+    pub(crate) index: DepIndex,
     seen: HashSet<(PathSet, PathId)>,
     /// Set-of-records paths whose singleton rule has fired.
     pub(crate) singletons_granted: Vec<PathId>,
@@ -131,29 +165,13 @@ pub(crate) struct RelEngine {
 
 impl RelEngine {
     fn new(relation: Label, table: Arc<PathTable>, policy: &EmptySetPolicy) -> RelEngine {
-        let (non_empty, defined) = match policy {
-            EmptySetPolicy::Forbidden => (table.full_set(), table.full_set()),
-            EmptySetPolicy::Annotated(_) => {
-                let non_empty = PathSet::from_ids(
-                    table.words(),
-                    (0..table.len() as PathId)
-                        .filter(|&id| policy.is_non_empty(relation, table.path(id))),
-                );
-                let defined = PathSet::from_ids(
-                    table.words(),
-                    (0..table.len() as PathId).filter(|&id| {
-                        let mut proper = table.prefixes_of(id).clone();
-                        proper.remove(id);
-                        proper.is_subset(&non_empty)
-                    }),
-                );
-                (non_empty, defined)
-            }
-        };
+        let (non_empty, defined) = compile_policy(relation, &table, policy);
+        let index = DepIndex::new(table.len());
         RelEngine {
             relation,
             table,
             deps: Vec::new(),
+            index,
             seen: HashSet::new(),
             singletons_granted: Vec::new(),
             non_empty,
@@ -193,13 +211,18 @@ impl RelEngine {
         if !self.seen.insert((lhs.clone(), rhs)) {
             return Ok(false);
         }
-        for d in &self.deps {
-            if !d.subsumed && d.rhs == rhs && d.lhs.is_subset(&lhs) {
+        // Subsumption only relates entries with the same RHS, so both the
+        // forward check and the backward marking scan just the RHS bucket
+        // (in pool order — the same entries the naive full scan touched).
+        for &j in self.index.same_rhs(rhs) {
+            let d = &self.deps[j];
+            if !d.subsumed && d.lhs.is_subset(&lhs) {
                 return Ok(false);
             }
         }
-        for d in &mut self.deps {
-            if !d.subsumed && d.rhs == rhs && lhs.is_subset(&d.lhs) {
+        for &j in self.index.same_rhs(rhs) {
+            let d = &mut self.deps[j];
+            if !d.subsumed && lhs.is_subset(&d.lhs) {
                 d.subsumed = true;
             }
         }
@@ -207,6 +230,7 @@ impl RelEngine {
         let mut need_x = lhs.clone();
         need_x.difference_with(self.table.followers_of(rhs));
         need_x.difference_with(&self.defined);
+        self.index.push(&lhs, rhs);
         self.deps.push(CDep {
             lhs,
             rhs,
@@ -214,6 +238,7 @@ impl RelEngine {
             subsumed: false,
             need_x,
         });
+        debug_assert_eq!(self.index.len(), self.deps.len());
         Ok(true)
     }
 
@@ -229,6 +254,7 @@ impl RelEngine {
         );
         let mut i = 0;
         let mut tick: u32 = 0;
+        let mut cands: Vec<usize> = Vec::new();
         while i < self.deps.len() {
             budget.check_live().map_err(CoreError::Exhausted)?;
             if self.deps[i].subsumed {
@@ -236,8 +262,31 @@ impl RelEngine {
                 continue;
             }
             self.unary_conclusions(i, budget)?;
-            // Resolution against every earlier entry, both directions.
-            for j in 0..i {
+            // Resolution frontier: entry `i` is the worklist head and an
+            // earlier entry `j` can interact with it only if `rhs(j) ∈
+            // lhs(i)` (j supplies i) or `rhs(i) ∈ lhs(j)` (i supplies j).
+            // The occurrence indices produce exactly those `j`s; replaying
+            // them in ascending order — the order the naive all-pairs scan
+            // considered them — grows the pool through the identical add
+            // sequence, because `resolve_pair` is a no-op on every skipped
+            // pair. LHS/RHS are immutable after `add`, so the candidate
+            // list stays exact while the loop itself appends new entries;
+            // only the `subsumed` flag moves, and it is re-read per pair.
+            cands.clear();
+            for p in self.deps[i].lhs.iter() {
+                cands.extend(self.index.same_rhs(p).iter().copied().filter(|&j| j < i));
+            }
+            let rhs_i = self.deps[i].rhs;
+            cands.extend(
+                self.index
+                    .with_lhs_containing(rhs_i)
+                    .iter()
+                    .copied()
+                    .filter(|&j| j < i),
+            );
+            cands.sort_unstable();
+            cands.dedup();
+            for &j in &cands {
                 tick = tick.wrapping_add(1);
                 if tick.is_multiple_of(4096) {
                     budget.check_live().map_err(CoreError::Exhausted)?;
@@ -351,42 +400,47 @@ impl RelEngine {
 
     /// [`RelEngine::chain`] restricted to pool entries with index `< max`
     /// — used by proof reconstruction, where provenance is well-founded by
-    /// pool index.
+    /// pool index. Subsumed entries are still sound and must stay usable
+    /// here: proof reconstruction bounds `max` below the index of the
+    /// entry that subsumed them.
+    ///
+    /// Runs on the counting kernel ([`kernel::chain_counting`]), which
+    /// replays the historical pass scan's firing order exactly, so the
+    /// `fired` maps — and therefore the reconstructed proofs — are
+    /// identical to the naive implementation's.
     pub(crate) fn chain_bounded(
         &self,
         x: &[PathId],
-        mut fired: Option<&mut HashMap<PathId, usize>>,
+        fired: Option<&mut HashMap<PathId, usize>>,
         max: usize,
     ) -> PathSet {
-        let x_set = PathSet::from_ids(self.table.words(), x.iter().copied());
-        let mut c = x_set.clone();
-        let mut changed = true;
-        while changed {
-            changed = false;
-            for (di, d) in self.deps.iter().enumerate().take(max) {
-                // Subsumed entries are still sound; they must stay usable
-                // here because proof reconstruction bounds `max` below the
-                // index of the entry that subsumed them.
-                if c.contains(d.rhs) {
-                    continue;
-                }
-                if !d.lhs.is_subset(&c) {
-                    continue;
-                }
-                // Compiled modified-transitivity gate: every intermediate
-                // LHS path either follows the RHS, is defined, or sits in
-                // the query's own X.
-                if !d.need_x.is_subset(&x_set) {
-                    continue;
-                }
-                c.insert(d.rhs);
-                if let Some(f) = fired.as_deref_mut() {
-                    f.entry(d.rhs).or_insert(di);
-                }
-                changed = true;
-            }
-        }
-        c
+        let mut scratch = ChainScratch::default();
+        self.chain_bounded_scratch(x, fired, max, &mut scratch)
+    }
+
+    /// [`RelEngine::chain`] with caller-owned scratch buffers — the
+    /// allocation-free variant for tight loops (singleton rounds,
+    /// candidate-key sweeps) that chain many times over one pool.
+    pub(crate) fn chain_scratch(&self, x: &[PathId], scratch: &mut ChainScratch) -> PathSet {
+        self.chain_bounded_scratch(x, None, self.deps.len(), scratch)
+    }
+
+    fn chain_bounded_scratch(
+        &self,
+        x: &[PathId],
+        fired: Option<&mut HashMap<PathId, usize>>,
+        max: usize,
+        scratch: &mut ChainScratch,
+    ) -> PathSet {
+        kernel::chain_counting(
+            &self.deps,
+            &self.index,
+            self.table.words(),
+            x,
+            fired,
+            max,
+            scratch,
+        )
     }
 
     /// One round of singleton introduction; returns whether any new
@@ -400,6 +454,9 @@ impl RelEngine {
         let table = Arc::clone(&self.table);
         let mut added = false;
         budget.check_live().map_err(CoreError::Exhausted)?;
+        // One scratch for the whole round: every candidate's chain reuses
+        // the counter/ready buffers instead of reallocating from scratch.
+        let mut scratch = ChainScratch::default();
         for x_id in 0..table.len() as PathId {
             if self.singletons_granted.contains(&x_id) {
                 continue;
@@ -411,7 +468,7 @@ impl RelEngine {
             if attrs.is_empty() {
                 continue;
             }
-            let c = self.chain(&[x_id], None);
+            let c = self.chain_scratch(&[x_id], &mut scratch);
             if attrs.iter().all(|&a| c.contains(a)) {
                 let lhs = PathSet::from_ids(table.words(), attrs.iter().copied());
                 self.add(lhs, x_id, Prov::Singleton { x: x_id }, budget)?;
@@ -436,6 +493,9 @@ pub struct Engine<'s> {
     pub(crate) rels: HashMap<Label, RelEngine>,
     policy: EmptySetPolicy,
     budget: Budget,
+    /// Optional shared closure cache (attached by sessions); `None` for
+    /// stand-alone engines, whose queries always chain directly.
+    cache: Option<Arc<ClosureCache>>,
 }
 
 impl<'s> Engine<'s> {
@@ -518,7 +578,18 @@ impl<'s> Engine<'s> {
             rels,
             policy,
             budget,
+            cache: None,
         })
+    }
+
+    /// Attaches a shared closure cache; subsequent `implies`/`closure`
+    /// queries consult it before chaining. The cache must be scoped to
+    /// this engine's `(Σ, policy)` compilation — sessions guarantee that
+    /// by creating one cache per configuration (see
+    /// [`ClosureCache`]'s soundness notes).
+    pub fn with_closure_cache(mut self, cache: Arc<ClosureCache>) -> Engine<'s> {
+        self.cache = Some(cache);
+        self
     }
 
     /// The schema the engine reasons over.
@@ -572,6 +643,15 @@ impl<'s> Engine<'s> {
     /// Does Σ logically imply `goal` (over instances consistent with the
     /// engine's empty-set policy)?
     pub fn implies(&self, goal: &Nfd) -> Result<bool, CoreError> {
+        self.implies_traced(goal).map(|(v, _)| v)
+    }
+
+    /// [`Engine::implies`] plus whether the verdict came from the
+    /// attached closure cache — sessions surface the flag in
+    /// `Decision.cache_hits`. The failpoint and liveness poll sit ahead
+    /// of the cache lookup, so injected faults and cancellation behave
+    /// identically whether or not the closure is cached.
+    pub fn implies_traced(&self, goal: &Nfd) -> Result<(bool, bool), CoreError> {
         fail_point!(
             "engine::implies",
             Err(CoreError::Exhausted(nfd_govern::ResourceReport::injected())),
@@ -580,10 +660,28 @@ impl<'s> Engine<'s> {
         self.budget.check_live().map_err(CoreError::Exhausted)?;
         let (relation, lhs, rhs) = self.normalize_goal(goal)?;
         if lhs.contains(&rhs) {
-            return Ok(true); // reflexivity
+            return Ok((true, false)); // reflexivity
         }
         let rel = self.rel(relation)?;
-        Ok(rel.chain(&lhs, None).contains(rhs))
+        let (c, hit) = self.chained(rel, &lhs);
+        Ok((c.contains(rhs), hit))
+    }
+
+    /// The closure of `x_ids` through the cache when one is attached.
+    /// Sound because `C(X)` is a pure function of the saturated pool and
+    /// `X`, and chaining consumes no budget counters — a hit skips work
+    /// but can never change a verdict or a counter-limited outcome.
+    fn chained(&self, rel: &RelEngine, x_ids: &[PathId]) -> (PathSet, bool) {
+        let Some(cache) = &self.cache else {
+            return (rel.chain(x_ids, None), false);
+        };
+        let key = PathSet::from_ids(rel.table.words(), x_ids.iter().copied());
+        if let Some(hit) = cache.get(rel.relation, &key) {
+            return (hit, true);
+        }
+        let c = rel.chain(x_ids, None);
+        cache.insert(rel.relation, key, c.clone());
+        (c, false)
     }
 
     /// The closure `(x0, X, Σ)*` of Appendix A: all rooted paths `x0:q`
@@ -616,7 +714,7 @@ impl<'s> Engine<'s> {
         }
         x_ids.sort_unstable();
         x_ids.dedup();
-        let mut c = rel.chain(&x_ids, None);
+        let (mut c, _) = self.chained(rel, &x_ids);
         // Only paths strictly below x0 belong to the closure (q ≥ 1
         // labels relative to x0).
         if let Some(id) = prefix_id {
@@ -639,6 +737,41 @@ impl<'s> Engine<'s> {
     /// token.
     pub fn budget(&self) -> &Budget {
         &self.budget
+    }
+
+    /// Snapshot of every relation's pool in pool order, sorted by
+    /// relation name — compared against `NaiveEngine::pool_dump` by the
+    /// differential suite.
+    #[doc(hidden)]
+    pub fn pool_dump(&self) -> crate::naive::PoolDump {
+        let mut out: crate::naive::PoolDump = self
+            .rels
+            .values()
+            .map(|r| {
+                (
+                    r.relation.to_string(),
+                    crate::naive::dump_pool_entries(&r.deps),
+                )
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Verdict, closure ids and sorted `fired` provenance pairs for a
+    /// goal. Identical dumps from the naive oracle and this engine imply
+    /// identical reconstructed proofs: the proof builder is a
+    /// deterministic function of the pool and the fired maps.
+    #[doc(hidden)]
+    pub fn chain_dump(&self, goal: &Nfd) -> Result<crate::naive::ChainDump, CoreError> {
+        let (relation, lhs, rhs) = self.normalize_goal(goal)?;
+        let rel = self.rel(relation)?;
+        let mut fired: HashMap<PathId, usize> = HashMap::new();
+        let c = rel.chain(&lhs, Some(&mut fired));
+        let verdict = lhs.contains(&rhs) || c.contains(rhs);
+        let mut fired: Vec<(PathId, usize)> = fired.into_iter().collect();
+        fired.sort_unstable();
+        Ok((verdict, c.to_vec(), fired))
     }
 
     /// Validates the engine's structural invariants; used by the test

@@ -52,6 +52,8 @@ pub mod emptyset;
 pub mod engine;
 pub mod error;
 pub mod incremental;
+mod kernel;
+pub mod naive;
 pub mod nfd;
 pub mod proof;
 pub mod rules;
@@ -61,5 +63,6 @@ pub mod view;
 
 pub use emptyset::EmptySetPolicy;
 pub use error::CoreError;
+pub use kernel::{CacheStats, ClosureCache, DEFAULT_CLOSURE_CACHE_CAPACITY};
 pub use nfd::Nfd;
 pub use satisfy::{check, SatisfyReport, Violation};

@@ -1,0 +1,563 @@
+//! The retained naive reference implementation — the differential oracle.
+//!
+//! This module preserves the pre-index saturation engine *verbatim*: `add`
+//! scans the whole pool for subsumption, `saturate` resolves all `O(n²)`
+//! pairs with no occurrence index, and `chain` re-scans every pool entry
+//! per fixed-point pass. It exists so `tests/kernel_differential.rs` can
+//! assert that the indexed engine of [`crate::engine`] produces
+//! bit-identical pools, subsumption flags, closures and `fired`
+//! provenance maps — the indexed kernel is an optimization, never a
+//! semantic change. Everything here is `#[doc(hidden)]`: it is an oracle
+//! and a benchmark baseline, not API.
+//!
+//! The two implementations share [`CDep`]/[`Prov`] and the compiled
+//! policy sets (via `engine::compile_policy`), so a divergence in the
+//! differential suite isolates the index/worklist/counting machinery
+//! itself rather than representation drift.
+
+#![doc(hidden)]
+
+use crate::emptyset::EmptySetPolicy;
+use crate::engine::{compile_policy, CDep, Prov};
+use crate::error::CoreError;
+use crate::nfd::Nfd;
+use crate::simple;
+use nfd_govern::{Budget, ResourceKind};
+use nfd_model::{Label, Schema};
+use nfd_path::table::{PathId, PathSet, PathTable, SchemaTables};
+use nfd_path::{Path, RootedPath};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// A comparable snapshot of one pool entry (see `Engine::pool_dump`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PoolEntryDump {
+    /// LHS path ids, ascending.
+    pub lhs: Vec<PathId>,
+    /// RHS path id.
+    pub rhs: PathId,
+    /// Provenance, with pool-index premises.
+    pub prov: Prov,
+    /// Whether a later entry subsumed this one.
+    pub subsumed: bool,
+}
+
+/// Snapshot of a pool as `(relation name, entries in pool order)`,
+/// sorted by relation name.
+pub type PoolDump = Vec<(String, Vec<PoolEntryDump>)>;
+
+/// A chain trace: `(verdict, closure ids ascending, fired map as sorted
+/// pairs)` — everything proof reconstruction depends on.
+pub type ChainDump = (bool, Vec<PathId>, Vec<(PathId, usize)>);
+
+pub(crate) fn dump_pool_entries(deps: &[CDep]) -> Vec<PoolEntryDump> {
+    deps.iter()
+        .map(|d| PoolEntryDump {
+            lhs: d.lhs.to_vec(),
+            rhs: d.rhs,
+            prov: d.prov.clone(),
+            subsumed: d.subsumed,
+        })
+        .collect()
+}
+
+/// Per-relation naive saturation state (the pre-index `RelEngine`).
+struct NaiveRel {
+    relation: Label,
+    table: Arc<PathTable>,
+    deps: Vec<CDep>,
+    seen: HashSet<(PathSet, PathId)>,
+    singletons_granted: Vec<PathId>,
+    non_empty: PathSet,
+    defined: PathSet,
+}
+
+impl NaiveRel {
+    fn new(relation: Label, table: Arc<PathTable>, policy: &EmptySetPolicy) -> NaiveRel {
+        let (non_empty, defined) = compile_policy(relation, &table, policy);
+        NaiveRel {
+            relation,
+            table,
+            deps: Vec::new(),
+            seen: HashSet::new(),
+            singletons_granted: Vec::new(),
+            non_empty,
+            defined,
+        }
+    }
+
+    fn path_id(&self, p: &Path) -> Result<PathId, CoreError> {
+        self.table.id_of(p).ok_or_else(|| {
+            CoreError::Nav(format!(
+                "path `{p}` is not a path of relation `{}`",
+                self.relation
+            ))
+        })
+    }
+
+    fn intern_lhs(&self, lhs: &[Path]) -> Result<PathSet, CoreError> {
+        let mut set = self.table.empty_set();
+        for p in lhs {
+            set.insert(self.path_id(p)?);
+        }
+        Ok(set)
+    }
+
+    /// The original full-scan `add`: forward subsumption check and
+    /// backward subsumption marking both walk the entire pool.
+    fn add(
+        &mut self,
+        lhs: PathSet,
+        rhs: PathId,
+        prov: Prov,
+        budget: &Budget,
+    ) -> Result<bool, CoreError> {
+        if lhs.contains(rhs) {
+            return Ok(false);
+        }
+        if !self.seen.insert((lhs.clone(), rhs)) {
+            return Ok(false);
+        }
+        for d in &self.deps {
+            if !d.subsumed && d.rhs == rhs && d.lhs.is_subset(&lhs) {
+                return Ok(false);
+            }
+        }
+        for d in &mut self.deps {
+            if !d.subsumed && d.rhs == rhs && lhs.is_subset(&d.lhs) {
+                d.subsumed = true;
+            }
+        }
+        budget.check_counter(ResourceKind::PoolDeps, self.deps.len() as u64 + 1)?;
+        let mut need_x = lhs.clone();
+        need_x.difference_with(self.table.followers_of(rhs));
+        need_x.difference_with(&self.defined);
+        self.deps.push(CDep {
+            lhs,
+            rhs,
+            prov,
+            subsumed: false,
+            need_x,
+        });
+        Ok(true)
+    }
+
+    /// The original all-pairs saturation loop: every entry resolves
+    /// against every earlier entry, both directions, no frontier.
+    fn saturate(&mut self, budget: &Budget) -> Result<(), CoreError> {
+        let mut i = 0;
+        let mut tick: u32 = 0;
+        while i < self.deps.len() {
+            budget.check_live().map_err(CoreError::Exhausted)?;
+            if self.deps[i].subsumed {
+                i += 1;
+                continue;
+            }
+            self.unary_conclusions(i, budget)?;
+            for j in 0..i {
+                tick = tick.wrapping_add(1);
+                if tick.is_multiple_of(4096) {
+                    budget.check_live().map_err(CoreError::Exhausted)?;
+                }
+                if self.deps[j].subsumed {
+                    continue;
+                }
+                self.resolve_pair(i, j, budget)?;
+                self.resolve_pair(j, i, budget)?;
+            }
+            i += 1;
+        }
+        Ok(())
+    }
+
+    fn unary_conclusions(&mut self, i: usize, budget: &Budget) -> Result<(), CoreError> {
+        let table = Arc::clone(&self.table);
+        let (lhs, rhs) = (self.deps[i].lhs.clone(), self.deps[i].rhs);
+
+        for pid in lhs.iter() {
+            let Some(x1) = table.parent(pid) else {
+                continue;
+            };
+            if table.is_prefix(x1, rhs) {
+                continue;
+            }
+            if !(self.non_empty.contains(x1) && self.defined.contains(x1)) {
+                continue;
+            }
+            let mut new_lhs = lhs.clone();
+            new_lhs.remove(pid);
+            new_lhs.insert(x1);
+            self.add(
+                new_lhs,
+                rhs,
+                Prov::Prefix {
+                    dep: i,
+                    shortened: pid,
+                },
+                budget,
+            )?;
+        }
+
+        for x_id in table.ancestors(rhs) {
+            let mut kept = lhs.clone();
+            kept.intersect_with(table.extensions_of(x_id));
+            let mut dismissed = lhs.clone();
+            dismissed.difference_with(&kept);
+            dismissed.remove(x_id);
+            dismissed.difference_with(table.followers_of(rhs));
+            dismissed.difference_with(&self.defined);
+            if !dismissed.is_empty() {
+                continue;
+            }
+            kept.insert(x_id);
+            self.add(kept, rhs, Prov::FullLocality { dep: i, x: x_id }, budget)?;
+        }
+        Ok(())
+    }
+
+    fn resolve_pair(
+        &mut self,
+        target: usize,
+        supplier: usize,
+        budget: &Budget,
+    ) -> Result<(), CoreError> {
+        let on = self.deps[supplier].rhs;
+        if !self.deps[target].lhs.contains(on) {
+            return Ok(());
+        }
+        let t_rhs = self.deps[target].rhs;
+        if !(self.table.follows(on, t_rhs) || self.defined.contains(on)) {
+            return Ok(());
+        }
+        let mut new_lhs = self.deps[target].lhs.clone();
+        new_lhs.remove(on);
+        new_lhs.union_with(&self.deps[supplier].lhs);
+        self.add(
+            new_lhs,
+            t_rhs,
+            Prov::Resolve {
+                target,
+                supplier,
+                on,
+            },
+            budget,
+        )?;
+        Ok(())
+    }
+
+    fn chain(&self, x: &[PathId], fired: Option<&mut HashMap<PathId, usize>>) -> PathSet {
+        self.chain_bounded(x, fired, self.deps.len())
+    }
+
+    /// The original pass-scan chain: repeated index-order sweeps over
+    /// `deps[..max]` until a sweep changes nothing. The counting kernel
+    /// replays this exact firing order — see `kernel::chain_counting`.
+    fn chain_bounded(
+        &self,
+        x: &[PathId],
+        mut fired: Option<&mut HashMap<PathId, usize>>,
+        max: usize,
+    ) -> PathSet {
+        let x_set = PathSet::from_ids(self.table.words(), x.iter().copied());
+        let mut c = x_set.clone();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (di, d) in self.deps.iter().enumerate().take(max) {
+                if c.contains(d.rhs) {
+                    continue;
+                }
+                if !d.lhs.is_subset(&c) {
+                    continue;
+                }
+                if !d.need_x.is_subset(&x_set) {
+                    continue;
+                }
+                c.insert(d.rhs);
+                if let Some(f) = fired.as_deref_mut() {
+                    f.entry(d.rhs).or_insert(di);
+                }
+                changed = true;
+            }
+        }
+        c
+    }
+
+    /// The original singleton round: a fresh full chain per candidate.
+    fn singleton_round(&mut self, budget: &Budget) -> Result<bool, CoreError> {
+        let table = Arc::clone(&self.table);
+        let mut added = false;
+        budget.check_live().map_err(CoreError::Exhausted)?;
+        for x_id in 0..table.len() as PathId {
+            if self.singletons_granted.contains(&x_id) {
+                continue;
+            }
+            if !table.is_set_record(x_id) {
+                continue;
+            }
+            let attrs = table.children(x_id);
+            if attrs.is_empty() {
+                continue;
+            }
+            let c = self.chain(&[x_id], None);
+            if attrs.iter().all(|&a| c.contains(a)) {
+                let lhs = PathSet::from_ids(table.words(), attrs.iter().copied());
+                self.add(lhs, x_id, Prov::Singleton { x: x_id }, budget)?;
+                self.singletons_granted.push(x_id);
+                added = true;
+            }
+        }
+        Ok(added)
+    }
+}
+
+/// The naive implication engine (pre-index algorithms, same IR).
+pub struct NaiveEngine<'s> {
+    schema: &'s Schema,
+    rels: HashMap<Label, NaiveRel>,
+    budget: Budget,
+}
+
+impl<'s> NaiveEngine<'s> {
+    /// Builds and saturates the naive engine — the old `Engine::new`
+    /// control flow, scan for scan.
+    pub fn new(schema: &'s Schema, sigma: &[Nfd]) -> Result<NaiveEngine<'s>, CoreError> {
+        NaiveEngine::with_policy_budget(
+            schema,
+            sigma,
+            EmptySetPolicy::Forbidden,
+            Budget::standard(),
+        )
+    }
+
+    /// [`NaiveEngine::new`] under an explicit policy and budget, for
+    /// differential runs that must see the same resource limits as the
+    /// indexed engine.
+    pub fn with_policy_budget(
+        schema: &'s Schema,
+        sigma: &[Nfd],
+        policy: EmptySetPolicy,
+        budget: Budget,
+    ) -> Result<NaiveEngine<'s>, CoreError> {
+        let tables = SchemaTables::new(schema).map_err(|e| CoreError::Nav(e.to_string()))?;
+        let mut rels: HashMap<Label, NaiveRel> = HashMap::new();
+        for name in schema.relation_names() {
+            let table = tables
+                .get(name)
+                .ok_or_else(|| CoreError::Nav(format!("unknown relation `{name}`")))?;
+            rels.insert(name, NaiveRel::new(name, Arc::clone(table), &policy));
+        }
+        for (i, nfd) in sigma.iter().enumerate() {
+            nfd.validate(schema)?;
+            let s = simple::to_simple(nfd);
+            let rel = rels.get_mut(&s.base.relation).ok_or_else(|| {
+                CoreError::Nav(format!(
+                    "NFD #{i} names relation `{}` which is not in the schema",
+                    s.base.relation
+                ))
+            })?;
+            let lhs = rel.intern_lhs(s.lhs())?;
+            let rhs = rel.path_id(&s.rhs)?;
+            rel.add(lhs, rhs, Prov::Given(i), &budget)?;
+        }
+        for rel in rels.values_mut() {
+            loop {
+                rel.saturate(&budget)?;
+                if !rel.singleton_round(&budget)? {
+                    break;
+                }
+            }
+        }
+        Ok(NaiveEngine {
+            schema,
+            rels,
+            budget,
+        })
+    }
+
+    fn rel(&self, relation: Label) -> Result<&NaiveRel, CoreError> {
+        self.rels
+            .get(&relation)
+            .ok_or_else(|| CoreError::WrongRelation {
+                expected: self
+                    .rels
+                    .keys()
+                    .map(|k| k.to_string())
+                    .collect::<Vec<_>>()
+                    .join(","),
+                found: relation.to_string(),
+            })
+    }
+
+    fn normalize_goal(&self, goal: &Nfd) -> Result<(Label, Vec<PathId>, PathId), CoreError> {
+        goal.validate(self.schema)?;
+        let s = simple::to_simple(goal);
+        let rel = self.rel(s.base.relation)?;
+        let lhs = rel.intern_lhs(s.lhs())?;
+        let rhs = rel.path_id(&s.rhs)?;
+        Ok((s.base.relation, lhs.to_vec(), rhs))
+    }
+
+    /// Naive implication verdict (old `Engine::implies`).
+    pub fn implies(&self, goal: &Nfd) -> Result<bool, CoreError> {
+        self.budget.check_live().map_err(CoreError::Exhausted)?;
+        let (relation, lhs, rhs) = self.normalize_goal(goal)?;
+        if lhs.contains(&rhs) {
+            return Ok(true);
+        }
+        let rel = self.rel(relation)?;
+        Ok(rel.chain(&lhs, None).contains(rhs))
+    }
+
+    /// Naive Appendix-A closure (old `Engine::closure`).
+    pub fn closure(&self, base: &RootedPath, lhs: &[Path]) -> Result<Vec<RootedPath>, CoreError> {
+        self.budget.check_live().map_err(CoreError::Exhausted)?;
+        let rel = self.rel(base.relation)?;
+        let prefix = &base.path;
+        let mut x_ids: Vec<PathId> = Vec::new();
+        let mut prefix_id = None;
+        if !prefix.is_empty() {
+            let id = rel.path_id(prefix)?;
+            prefix_id = Some(id);
+            x_ids.push(id);
+        }
+        for p in lhs {
+            if p.is_empty() {
+                return Err(CoreError::EmptyComponentPath);
+            }
+            x_ids.push(rel.path_id(&prefix.join(p))?);
+        }
+        x_ids.sort_unstable();
+        x_ids.dedup();
+        let mut c = rel.chain(&x_ids, None);
+        if let Some(id) = prefix_id {
+            c.intersect_with(rel.table.extensions_of(id));
+        }
+        let mut out: Vec<RootedPath> = c
+            .iter()
+            .map(|i| RootedPath::new(base.relation, rel.table.path(i).clone()))
+            .collect();
+        out.sort_by(|a, b| {
+            let ka: Vec<&str> = a.path.labels().iter().map(|l| l.as_str()).collect();
+            let kb: Vec<&str> = b.path.labels().iter().map(|l| l.as_str()).collect();
+            (a.path.len(), ka).cmp(&(b.path.len(), kb))
+        });
+        Ok(out)
+    }
+
+    /// Snapshot of every relation's pool, sorted by relation name — the
+    /// object the differential suite compares against
+    /// `Engine::pool_dump`.
+    pub fn pool_dump(&self) -> PoolDump {
+        let mut out: PoolDump = self
+            .rels
+            .values()
+            .map(|r| (r.relation.to_string(), dump_pool_entries(&r.deps)))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Verdict, closure and `fired` provenance for a goal — compared
+    /// against `Engine::chain_dump` (identical maps ⇒ identical proofs).
+    pub fn chain_dump(&self, goal: &Nfd) -> Result<ChainDump, CoreError> {
+        let (relation, lhs, rhs) = self.normalize_goal(goal)?;
+        let rel = self.rel(relation)?;
+        let mut fired: HashMap<PathId, usize> = HashMap::new();
+        let c = rel.chain(&lhs, Some(&mut fired));
+        let verdict = lhs.contains(&rhs) || c.contains(rhs);
+        let mut fired: Vec<(PathId, usize)> = fired.into_iter().collect();
+        fired.sort_unstable();
+        Ok((verdict, c.to_vec(), fired))
+    }
+
+    /// Sequential candidate-key sweep with the naive chain — the same
+    /// enumeration order, budget accounting and pruning discipline as
+    /// `analysis::candidate_keys` at one thread.
+    pub fn candidate_keys(
+        &self,
+        relation: Label,
+        max_key_size: usize,
+    ) -> Result<Vec<Vec<Path>>, CoreError> {
+        self.schema
+            .relation_type(relation)
+            .map_err(|_| CoreError::Nav(format!("unknown relation `{relation}`")))?
+            .element_record()
+            .ok_or_else(|| {
+                CoreError::Nav(format!("relation `{relation}` has no element record"))
+            })?;
+        let rel = self.rel(relation)?;
+        let table = &rel.table;
+        let attrs: Vec<PathId> = (0..table.len() as PathId)
+            .filter(|&id| table.parent(id).is_none())
+            .collect();
+        let universe = PathSet::from_ids(table.words(), attrs.iter().copied());
+        let mut visited: u64 = 0;
+        let mut keys: Vec<Vec<PathId>> = Vec::new();
+        for size in 0..=max_key_size.min(attrs.len()) {
+            let mut found: Vec<Vec<PathId>> = Vec::new();
+            let mut fail = None;
+            let mut combo: Vec<PathId> = Vec::with_capacity(size);
+            search(&attrs, size, 0, &mut combo, &mut |cand| {
+                visited += 1;
+                if let Err(r) = self
+                    .budget
+                    .check_counter(ResourceKind::KeyCandidates, visited)
+                {
+                    fail = Some(nfd_govern::ResourceReport::counter(
+                        r.kind,
+                        r.limit,
+                        r.limit.saturating_add(1),
+                    ));
+                    return false;
+                }
+                if visited.is_multiple_of(1024) {
+                    if let Err(r) = self.budget.check_live() {
+                        fail = Some(r);
+                        return false;
+                    }
+                }
+                if keys.iter().any(|k| k.iter().all(|p| cand.contains(p))) {
+                    return true;
+                }
+                if universe.is_subset(&rel.chain(cand, None)) {
+                    found.push(cand.to_vec());
+                }
+                true
+            });
+            if let Some(r) = fail {
+                return Err(CoreError::Exhausted(r));
+            }
+            keys.append(&mut found);
+        }
+        let mut keys: Vec<Vec<Path>> = keys
+            .into_iter()
+            .map(|k| k.into_iter().map(|id| table.path(id).clone()).collect())
+            .collect();
+        keys.sort();
+        Ok(keys)
+    }
+}
+
+/// `size`-subset enumeration in index order (mirror of
+/// `analysis::search`).
+fn search(
+    items: &[PathId],
+    size: usize,
+    start: usize,
+    combo: &mut Vec<PathId>,
+    visit: &mut dyn FnMut(&[PathId]) -> bool,
+) -> bool {
+    if combo.len() == size {
+        return visit(combo);
+    }
+    for i in start..items.len() {
+        combo.push(items[i]);
+        let keep_going = search(items, size, i + 1, combo, visit);
+        combo.pop();
+        if !keep_going {
+            return false;
+        }
+    }
+    true
+}

@@ -25,14 +25,20 @@
 
 use nfd_core::engine::Engine;
 use nfd_core::proof::{self, Proof};
-use nfd_core::{analysis, construct, satisfy, CoreError, EmptySetPolicy, Nfd, SatisfyReport};
+use nfd_core::{
+    analysis, construct, satisfy, CacheStats, ClosureCache, CoreError, EmptySetPolicy, Nfd,
+    SatisfyReport, DEFAULT_CLOSURE_CACHE_CAPACITY,
+};
 use nfd_faults::fail_point;
 use nfd_govern::{Budget, ResourceKind, ResourceReport, Verdict};
 use nfd_logic::{eval_budgeted, translate_nfd, EvalError};
 use nfd_model::{Instance, Label, Schema};
 use nfd_path::table::SchemaTables;
 use nfd_path::{Path, RootedPath};
+use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// An error from a [`Decider`] — a human-readable description carrying
@@ -239,13 +245,27 @@ pub struct Attempt {
 
 /// The result of a budgeted implication query: the final verdict plus the
 /// full log of which deciders ran, in order, and how each fared.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct Decision {
     /// The overall verdict — the first decider to answer wins; if none
     /// answered, the first exhaustion report.
     pub verdict: Verdict,
     /// The cascade log, in execution order.
     pub attempts: Vec<Attempt>,
+    /// How many closure-cache hits the session's shared [`ClosureCache`]
+    /// served while producing this decision (summed over retry rounds).
+    /// Cost metadata only: hits depend on what ran before — including
+    /// sibling goals racing in a batch — so equality ignores this field,
+    /// keeping batch results bit-identical at every thread count.
+    pub cache_hits: u64,
+}
+
+impl PartialEq for Decision {
+    fn eq(&self, other: &Decision) -> bool {
+        // `cache_hits` is deliberately excluded: it is timing/ordering
+        // metadata, not part of the decision's semantic content.
+        self.verdict == other.verdict && self.attempts == other.attempts
+    }
 }
 
 impl Decision {
@@ -327,6 +347,7 @@ fn batch_cancelled_decision() -> Decision {
             cost: None,
             round: 0,
         }],
+        cache_hits: 0,
     }
 }
 
@@ -430,7 +451,26 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 pub struct Session<'s> {
     schema: &'s Schema,
     engine: Engine<'s>,
+    /// Shared closure cache, consulted by the session engine and every
+    /// query engine rebuilt over the cached tables. Scoped to one
+    /// `(Σ, policy)` compilation — [`Session::reconfigure`] makes a fresh
+    /// one — which is what makes the `(relation, LHS set, policy)` key of
+    /// the cache sound without storing the policy per entry.
+    cache: Arc<ClosureCache>,
+    /// Memo of completed candidate-key sweeps, keyed by
+    /// `(relation, max_size)`; thread count is deliberately not part of
+    /// the key because results are bit-identical at every thread count.
+    /// Only successful sweeps are memoized: exhaustion must re-run.
+    keys_memo: Mutex<Vec<KeysMemoEntry>>,
+    keys_memo_hits: AtomicU64,
 }
+
+/// One memoized candidate-key sweep: `(relation, max_size)` → keys.
+type KeysMemoEntry = ((Label, usize), Vec<Vec<Path>>);
+
+/// Bound on the candidate-keys memo (entries; each holds one relation's
+/// full key list for one size cap, so a handful suffices).
+const KEYS_MEMO_CAPACITY: usize = 16;
 
 impl<'s> Session<'s> {
     /// Compiles a session under [`EmptySetPolicy::Forbidden`] (the
@@ -459,30 +499,54 @@ impl<'s> Session<'s> {
         policy: EmptySetPolicy,
         budget: Budget,
     ) -> Result<Session<'s>, CoreError> {
+        let cache = Arc::new(ClosureCache::with_capacity(DEFAULT_CLOSURE_CACHE_CAPACITY));
         let engine = catch_unwind(AssertUnwindSafe(|| {
             Engine::with_budget(schema, sigma, policy, budget)
         }))
-        .map_err(|p| {
-            CoreError::Internal(format!("engine build panicked: {}", panic_message(p)))
-        })??;
-        Ok(Session { schema, engine })
+        .map_err(|p| CoreError::Internal(format!("engine build panicked: {}", panic_message(p))))??
+        .with_closure_cache(Arc::clone(&cache));
+        Ok(Session {
+            schema,
+            engine,
+            cache,
+            keys_memo: Mutex::new(Vec::new()),
+            keys_memo_hits: AtomicU64::new(0),
+        })
     }
 
     /// Re-compiles this session's Σ under a different empty-set policy,
     /// reusing the already-compiled path tables (schema interning is not
     /// repeated; only saturation runs again).
     pub fn reconfigure(&self, policy: EmptySetPolicy) -> Result<Session<'s>, CoreError> {
+        // A fresh cache and memo: closures are policy-dependent, and the
+        // cache key deliberately leaves the policy implicit in the cache's
+        // scope (see the `cache` field docs).
+        let cache = Arc::new(ClosureCache::with_capacity(DEFAULT_CLOSURE_CACHE_CAPACITY));
         let engine = Engine::with_tables(
             self.schema,
             self.engine.tables().clone(),
             &self.engine.sigma,
             policy,
             self.engine.budget().clone(),
-        )?;
+        )?
+        .with_closure_cache(Arc::clone(&cache));
         Ok(Session {
             schema: self.schema,
             engine,
+            cache,
+            keys_memo: Mutex::new(Vec::new()),
+            keys_memo_hits: AtomicU64::new(0),
         })
+    }
+
+    /// Hit/miss counters of the session's shared closure cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// How many candidate-key sweeps were answered from the session memo.
+    pub fn keys_memo_hits(&self) -> u64 {
+        self.keys_memo_hits.load(Ordering::Relaxed)
     }
 
     /// The schema this session reasons over.
@@ -556,7 +620,10 @@ impl<'s> Session<'s> {
                 budget.clone(),
             )
         })) {
-            Ok(Ok(engine)) => Ok(engine),
+            // Rebuilt query engines share the session cache: builds are
+            // deterministic per (Σ, policy), so every rebuild saturates
+            // the same pool and the cached closures remain exact.
+            Ok(Ok(engine)) => Ok(engine.with_closure_cache(Arc::clone(&self.cache))),
             Ok(Err(CoreError::Exhausted(r))) => Err(Attempt {
                 decider: "saturation",
                 outcome: AttemptOutcome::Exhausted(r),
@@ -588,6 +655,10 @@ impl<'s> Session<'s> {
     ) -> Result<Decision, CoreError> {
         let forbidden = *self.engine.policy() == EmptySetPolicy::Forbidden;
         let mut attempts: Vec<Attempt> = Vec::new();
+        // Closure-cache hits observed by this cascade (only saturation
+        // consults the cache). A `Cell` because the counting happens
+        // inside the `catch_unwind`-wrapped attempt closure.
+        let cache_hits = Cell::new(0u64);
 
         let run = |name: &'static str,
                    f: &mut dyn FnMut() -> Result<(Verdict, Option<u64>), String>|
@@ -639,8 +710,13 @@ impl<'s> Session<'s> {
                     Ok((Verdict::Exhausted(ResourceReport::injected()), None)),
                     budget.cancel_token()
                 );
-                match engine.implies(goal) {
-                    Ok(b) => Ok((Verdict::from_bool(b), Some(engine.pool_size() as u64))),
+                match engine.implies_traced(goal) {
+                    Ok((b, hit)) => {
+                        if hit {
+                            cache_hits.set(cache_hits.get() + 1);
+                        }
+                        Ok((Verdict::from_bool(b), Some(engine.pool_size() as u64)))
+                    }
                     Err(CoreError::Exhausted(r)) => {
                         Ok((Verdict::Exhausted(r), Some(engine.pool_size() as u64)))
                     }
@@ -719,7 +795,11 @@ impl<'s> Session<'s> {
             _ => None,
         });
         match answered.or(exhausted) {
-            Some(verdict) => Ok(Decision { verdict, attempts }),
+            Some(verdict) => Ok(Decision {
+                verdict,
+                attempts,
+                cache_hits: cache_hits.get(),
+            }),
             None => Err(CoreError::Internal(format!(
                 "no decider answered: {}",
                 attempts
@@ -897,6 +977,7 @@ impl<'s> Session<'s> {
     ) -> Result<Decision, CoreError> {
         let mut budget = budget.clone();
         let mut log: Vec<Attempt> = Vec::new();
+        let mut hits: u64 = 0;
         let max_attempts = policy.max_attempts.max(1);
         let mut round: u32 = 0;
         loop {
@@ -905,6 +986,7 @@ impl<'s> Session<'s> {
                 attempt.round = round;
             }
             log.append(&mut decision.attempts);
+            hits += decision.cache_hits;
             round += 1;
             if !policy.should_retry(&decision.verdict)
                 || round >= max_attempts
@@ -913,6 +995,7 @@ impl<'s> Session<'s> {
                 return Ok(Decision {
                     verdict: decision.verdict,
                     attempts: log,
+                    cache_hits: hits,
                 });
             }
             if !policy.backoff.is_zero() {
@@ -990,14 +1073,15 @@ impl<'s> Session<'s> {
             for attempt in &mut retried.attempts {
                 attempt.round += 1;
             }
-            let mut attempts = match slot {
-                Ok(first) => std::mem::take(&mut first.attempts),
-                Err(_) => Vec::new(),
+            let (mut attempts, prior_hits) = match slot {
+                Ok(first) => (std::mem::take(&mut first.attempts), first.cache_hits),
+                Err(_) => (Vec::new(), 0),
             };
             attempts.extend(retried.attempts);
             *slot = Ok(Decision {
                 verdict: retried.verdict,
                 attempts,
+                cache_hits: prior_hits + retried.cache_hits,
             });
         }
         batch.first_exhausted = batch
@@ -1036,29 +1120,60 @@ impl<'s> Session<'s> {
     }
 
     /// Candidate keys of `relation` up to `max_size` paths, by closure
-    /// search over the cached saturation.
+    /// search over the cached saturation. Completed sweeps are memoized
+    /// per `(relation, max_size)`, so repeating a query is O(1).
     pub fn candidate_keys(
         &self,
         relation: Label,
         max_size: usize,
     ) -> Result<Vec<Vec<Path>>, CoreError> {
-        contained("candidate_keys", || {
-            analysis::candidate_keys(&self.engine, relation, max_size)
-        })
+        self.candidate_keys_threaded(relation, max_size, 1)
     }
 
     /// [`Session::candidate_keys`] sharded across `threads` workers
     /// (`0` = all available parallelism); results and exhaustion reports
-    /// are identical at every thread count.
+    /// are identical at every thread count — which is also why the memo
+    /// key ignores the thread count.
     pub fn candidate_keys_threaded(
         &self,
         relation: Label,
         max_size: usize,
         threads: usize,
     ) -> Result<Vec<Vec<Path>>, CoreError> {
-        contained("candidate_keys", || {
+        if let Some(keys) = self.keys_memo_get(relation, max_size) {
+            return Ok(keys);
+        }
+        let keys = contained("candidate_keys", || {
             analysis::candidate_keys_threaded(&self.engine, relation, max_size, threads)
-        })
+        })?;
+        self.keys_memo_put(relation, max_size, &keys);
+        Ok(keys)
+    }
+
+    fn keys_memo_get(&self, relation: Label, max_size: usize) -> Option<Vec<Vec<Path>>> {
+        let mut memo = match self.keys_memo.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let pos = memo.iter().position(|(k, _)| *k == (relation, max_size))?;
+        // Move-to-front LRU: the memo is tiny, so a rotate is cheap.
+        let entry = memo.remove(pos);
+        let keys = entry.1.clone();
+        memo.insert(0, entry);
+        drop(memo);
+        self.keys_memo_hits.fetch_add(1, Ordering::Relaxed);
+        Some(keys)
+    }
+
+    fn keys_memo_put(&self, relation: Label, max_size: usize, keys: &[Vec<Path>]) {
+        let mut memo = match self.keys_memo.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if memo.iter().all(|(k, _)| *k != (relation, max_size)) {
+            memo.insert(0, ((relation, max_size), keys.to_vec()));
+            memo.truncate(KEYS_MEMO_CAPACITY);
+        }
     }
 }
 

@@ -175,11 +175,12 @@ fn first_exhaustion_stops_the_whole_pool_promptly() {
 #[test]
 fn external_cancellation_preempts_a_heavy_batch() {
     // Calibrate the workload so the uncancelled batch would take at least
-    // ~400ms on this machine (the n=100 chain saturates in ≈1s debug /
-    // ≈150ms release); then cancel early and require the batch to return
-    // well before the full work completes.
+    // ~400ms on this machine, then cancel early and require the batch to
+    // return well before the full work completes. The ladder reaches well
+    // past n=200 because the indexed saturation kernel builds chains far
+    // faster than the old all-pairs scan did.
     let mut calibrated = None;
-    for n in [100usize, 140, 200] {
+    for n in [100usize, 140, 200, 280, 400, 560, 800] {
         let (schema, sigma) = chain_problem(n);
         let t = Instant::now();
         let session = Session::new(&schema, &sigma).unwrap();
