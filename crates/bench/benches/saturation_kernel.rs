@@ -27,24 +27,19 @@ use nfd_core::naive::NaiveEngine;
 use nfd_core::{ClosureCache, Nfd, DEFAULT_CLOSURE_CACHE_CAPACITY};
 use nfd_govern::Budget;
 use nfd_model::Schema;
-use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
-/// One naive-vs-indexed measurement.
-struct Row {
-    workload: &'static str,
-    param: usize,
-    naive_ns: u128,
-    indexed_ns: u128,
-}
-
-impl Row {
-    fn speedup(&self) -> f64 {
-        if self.indexed_ns == 0 {
-            return f64::INFINITY;
-        }
-        self.naive_ns as f64 / self.indexed_ns as f64
+/// One naive-vs-indexed measurement in the shared record schema.
+fn row(workload: &'static str, param: usize, naive_ns: u128, indexed_ns: u128) -> BenchRecord {
+    BenchRecord {
+        bench_id: "B14",
+        workload,
+        param,
+        baseline: "naive",
+        baseline_ns: naive_ns,
+        candidate: "indexed",
+        candidate_ns: indexed_ns,
     }
 }
 
@@ -59,32 +54,6 @@ fn time_ns<T>(iters: usize, mut f: impl FnMut() -> T) -> u128 {
         best = best.min(t.elapsed().as_nanos());
     }
     best
-}
-
-/// The wide-Σ family: a flat relation with `attrs` attributes and `n`
-/// deterministic two-LHS dependencies whose paths overlap heavily, so
-/// almost every pool entry shares paths with many others. This is the
-/// shape where all-pairs saturation degrades quadratically.
-fn wide_sigma(schema: &Schema, attrs: usize, n: usize) -> Vec<Nfd> {
-    // Deterministic splitmix-style attribute picks: a polynomial in `i`
-    // mod `attrs` would repeat with period `attrs` and collapse under
-    // subsumption, so hash `i` into well-spread 64-bit states instead.
-    let pick = |i: usize, salt: u64| -> usize {
-        let mut z = (i as u64)
-            .wrapping_add(salt)
-            .wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        (z ^ (z >> 31)) as usize % attrs
-    };
-    (0..n)
-        .map(|i| {
-            let a = pick(i, 1);
-            let b = pick(i, 2);
-            let c = pick(i, 3);
-            Nfd::parse(schema, &format!("R:[a{a}, a{b} -> a{c}]")).unwrap()
-        })
-        .collect()
 }
 
 /// All-pairs single-attribute goals over a flat schema.
@@ -108,15 +77,10 @@ fn bench_build(
     schema: &Schema,
     sigma: &[Nfd],
     iters: usize,
-) -> Row {
+) -> BenchRecord {
     let naive_ns = time_ns(iters, || NaiveEngine::new(schema, sigma).unwrap());
     let indexed_ns = time_ns(iters, || Engine::new(schema, sigma).unwrap());
-    Row {
-        workload,
-        param,
-        naive_ns,
-        indexed_ns,
-    }
+    row(workload, param, naive_ns, indexed_ns)
 }
 
 /// Query-time comparison over pre-built engines.
@@ -127,25 +91,20 @@ fn bench_queries(
     indexed: &Engine<'_>,
     goals: &[Nfd],
     iters: usize,
-) -> Row {
+) -> BenchRecord {
     let naive_ns = time_ns(iters, || {
         goals.iter().filter(|g| naive.implies(g).unwrap()).count()
     });
     let indexed_ns = time_ns(iters, || {
         goals.iter().filter(|g| indexed.implies(g).unwrap()).count()
     });
-    Row {
-        workload,
-        param,
-        naive_ns,
-        indexed_ns,
-    }
+    row(workload, param, naive_ns, indexed_ns)
 }
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--test");
     let iters = if smoke { 1 } else { 5 };
-    let mut rows: Vec<Row> = Vec::new();
+    let mut rows: Vec<BenchRecord> = Vec::new();
 
     // B1 flat chain: a0 → a1 → … → a{n-1}.
     let flat_sizes: &[usize] = if smoke { &[8] } else { &[16, 24, 32] };
@@ -183,12 +142,7 @@ fn main() {
                 .map(|_| goals.iter().filter(|g| cached.implies(g).unwrap()).count())
                 .sum::<usize>()
         });
-        rows.push(Row {
-            workload: "flat_chain_queries_cached",
-            param: n,
-            naive_ns,
-            indexed_ns,
-        });
+        rows.push(row("flat_chain_queries_cached", n, naive_ns, indexed_ns));
     }
 
     // B1 ladder: nested prefixes exercising prefix-weakening and
@@ -272,8 +226,8 @@ fn main() {
             "{:<26} {:>6} {:>14} {:>14} {:>8.2}x",
             r.workload,
             r.param,
-            r.naive_ns,
-            r.indexed_ns,
+            r.baseline_ns,
+            r.candidate_ns,
             r.speedup()
         );
     }
@@ -286,46 +240,24 @@ fn main() {
         cache.misses
     );
 
-    // Machine-readable BENCH_B14.json.
-    let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"bench\": \"saturation_kernel\",");
-    let _ = writeln!(json, "  \"experiment\": \"B14\",");
-    let _ = writeln!(
-        json,
-        "  \"mode\": \"{}\",",
-        if smoke { "smoke" } else { "full" }
-    );
-    let _ = writeln!(json, "  \"iters\": {iters},");
-    let _ = writeln!(json, "  \"results\": [");
-    for (i, r) in rows.iter().enumerate() {
-        let comma = if i + 1 < rows.len() { "," } else { "" };
-        let _ = writeln!(
-            json,
-            "    {{\"workload\": \"{}\", \"param\": {}, \"naive_ns\": {}, \"indexed_ns\": {}, \"speedup\": {:.3}}}{comma}",
-            r.workload, r.param, r.naive_ns, r.indexed_ns, r.speedup()
-        );
-    }
-    let _ = writeln!(json, "  ],");
-    let _ = writeln!(
-        json,
-        "  \"course_session\": {{\"goals\": {}, \"sweeps\": {}, \"total_ns\": {}, \"cache_hits\": {}, \"cache_misses\": {}}}",
+    // Machine-readable BENCH_B14.json in the shared record schema
+    // (workspace root by default so CI and EXPERIMENTS.md agree on one
+    // path; override with BENCH_B14_OUT).
+    let course_session = format!(
+        "{{\"goals\": {}, \"sweeps\": {}, \"total_ns\": {}, \"cache_hits\": {}, \"cache_misses\": {}}}",
         goals.len(),
         sweeps,
         course_ns,
         cache.hits,
         cache.misses
     );
-    json.push('}');
-    json.push('\n');
-
-    // `cargo bench` runs with the package as cwd; default the record to
-    // the workspace root so CI and EXPERIMENTS.md agree on one path.
-    let out = std::env::var("BENCH_B14_OUT").unwrap_or_else(|_| {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_B14.json").to_string()
-    });
-    if let Err(e) = std::fs::write(&out, &json) {
-        eprintln!("warning: could not write {out}: {e}");
-    } else {
-        println!("wrote {out}");
+    BenchReport {
+        bench_id: "B14",
+        bench: "saturation_kernel",
+        mode: if smoke { "smoke" } else { "full" },
+        iters,
+        records: rows,
+        extra: vec![("course_session".to_string(), course_session)],
     }
+    .write("BENCH_B14_OUT");
 }

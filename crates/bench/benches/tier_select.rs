@@ -1,0 +1,291 @@
+//! Bench `tier_select` (EXPERIMENTS.md §B15): the tiered engine router
+//! against the fixed baselines it arbitrates between.
+//!
+//! B14 exposed the motivating asymmetry: the indexed kernel wins big on
+//! wide-Σ builds but loses (≈0.6×) on uncached one-shot flat-chain
+//! queries, the naive scan's best case. The tiered router is the fix,
+//! and this harness measures it on exactly those shapes:
+//!
+//! * `flat_chain_uncached` — the former 0.6× case. One cold all-pairs
+//!   sweep through a bare auto-routed engine (no closure cache), against
+//!   the naive engine. Tier 0's goal-directed pass scan plus mid-sweep
+//!   promotion to the dense matrix must hold this at ≥ 1.0×.
+//! * `flat_chain_sweep_dense` — the B14 cached-sweep shape (repeated
+//!   all-pairs passes) with the candidate forced onto the dense tier,
+//!   against the naive engine recomputing every chain. The dense closure
+//!   matrix answers each goal with a handful of bitset word ops, so this
+//!   is the ≥ 10× acceptance row.
+//! * `ladder_goal_auto` / `wide_sigma_auto` — the remaining B14 query
+//!   families through cold auto-routed sessions, confirming auto never
+//!   gives back what the indexed kernel won.
+//!
+//! Custom `harness = false` main emitting `BENCH_B15.json` (path
+//! overridable via `BENCH_B15_OUT`) in the shared record schema, for CI
+//! to archive next to B14. Honours the `--test` smoke flag.
+
+use nfd::session::Session;
+use nfd_bench::*;
+use nfd_core::engine::Engine;
+use nfd_core::naive::NaiveEngine;
+use nfd_core::{EmptySetPolicy, Nfd, SelectState, Tier, TierPreference};
+use nfd_govern::Budget;
+use nfd_model::Schema;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Best-of-`iters` wall time of `f`, in nanoseconds (minimum, to shed
+/// scheduler noise).
+fn time_ns<T>(iters: usize, mut f: impl FnMut() -> T) -> u128 {
+    let mut best = u128::MAX;
+    for _ in 0..iters {
+        let t = Instant::now();
+        black_box(f());
+        best = best.min(t.elapsed().as_nanos());
+    }
+    best
+}
+
+/// All-pairs single-attribute goals over a flat schema.
+fn all_pairs_goals(schema: &Schema, n: usize) -> Vec<Nfd> {
+    let mut goals = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                goals.push(Nfd::parse(schema, &format!("R:[a{i} -> a{j}]")).unwrap());
+            }
+        }
+    }
+    goals
+}
+
+/// Sweep `goals` `passes` times through a prebuilt naive engine.
+fn naive_sweep_ns(naive: &NaiveEngine<'_>, goals: &[Nfd], passes: usize, iters: usize) -> u128 {
+    time_ns(iters, || {
+        (0..passes)
+            .map(|_| goals.iter().filter(|g| naive.implies(g).unwrap()).count())
+            .sum::<usize>()
+    })
+}
+
+/// Sweep `goals` `passes` times through a cold tier-routed engine built
+/// with `pref`: fresh selection state every iteration, so the router's
+/// query counting, promotion and dense build all land inside the timed
+/// region, and no closure cache — like-for-like against the bare naive
+/// engine, exactly how B14 measured the indexed kernel.
+fn cold_engine_sweep_ns(
+    schema: &Schema,
+    sigma: &[Nfd],
+    pref: TierPreference,
+    goals: &[Nfd],
+    passes: usize,
+    iters: usize,
+) -> u128 {
+    let mut best = u128::MAX;
+    for _ in 0..iters {
+        let engine = Engine::new(schema, sigma)
+            .unwrap()
+            .with_engine_select(Arc::new(SelectState::new(pref)));
+        let t = Instant::now();
+        let implied = (0..passes)
+            .map(|_| goals.iter().filter(|g| engine.implies(g).unwrap()).count())
+            .sum::<usize>();
+        black_box(implied);
+        best = best.min(t.elapsed().as_nanos());
+    }
+    best
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let iters = if smoke { 1 } else { 5 };
+    let mut rows: Vec<BenchRecord> = Vec::new();
+
+    // The former 0.6× case: one cold, uncached all-pairs sweep.
+    let flat_sizes: &[usize] = if smoke { &[8] } else { &[16, 24, 32] };
+    for &n in flat_sizes {
+        let schema = flat_schema(n);
+        let sigma = flat_chain_sigma(&schema, n);
+        let goals = all_pairs_goals(&schema, n);
+        let naive = NaiveEngine::new(&schema, &sigma).unwrap();
+        rows.push(BenchRecord {
+            bench_id: "B15",
+            workload: "flat_chain_uncached",
+            param: n,
+            baseline: "naive",
+            baseline_ns: naive_sweep_ns(&naive, &goals, 1, iters),
+            candidate: "auto",
+            candidate_ns: cold_engine_sweep_ns(
+                &schema,
+                &sigma,
+                TierPreference::Auto,
+                &goals,
+                1,
+                iters,
+            ),
+        });
+    }
+
+    // The B14 cached-sweep shape, candidate forced onto the dense tier:
+    // the matrix is built on the first query and every later goal is a
+    // row union. Per-query fixed costs (goal interning, liveness polls)
+    // are identical on both sides, so the ratio tracks chain length —
+    // the larger sizes are where the dense tier's constant-time query
+    // pulls decisively ahead of the naive pass scan's O(k·n).
+    let dense_sizes: &[usize] = if smoke { &[8] } else { &[16, 24, 32, 48, 64] };
+    for &n in dense_sizes {
+        let schema = flat_schema(n);
+        let sigma = flat_chain_sigma(&schema, n);
+        let goals = all_pairs_goals(&schema, n);
+        let naive = NaiveEngine::new(&schema, &sigma).unwrap();
+        let passes = 4;
+        rows.push(BenchRecord {
+            bench_id: "B15",
+            workload: "flat_chain_sweep_dense",
+            param: n,
+            baseline: "naive",
+            baseline_ns: naive_sweep_ns(&naive, &goals, passes, iters),
+            candidate: "dense",
+            candidate_ns: cold_engine_sweep_ns(
+                &schema,
+                &sigma,
+                TierPreference::Fixed(Tier::Dense),
+                &goals,
+                passes,
+                iters,
+            ),
+        });
+    }
+
+    // Ladder: one deep goal, repeated — the closure cache and (once
+    // promoted) the dense matrix both amortize it.
+    let depths: &[usize] = if smoke { &[4] } else { &[6, 8] };
+    for &depth in depths {
+        let schema = ladder_schema(depth);
+        let sigma = ladder_sigma(&schema, depth);
+        let goals = vec![ladder_goal(&schema, depth)];
+        let naive = NaiveEngine::new(&schema, &sigma).unwrap();
+        let passes = 32;
+        rows.push(BenchRecord {
+            bench_id: "B15",
+            workload: "ladder_goal_auto",
+            param: depth,
+            baseline: "naive",
+            baseline_ns: naive_sweep_ns(&naive, &goals, passes, iters),
+            candidate: "auto",
+            candidate_ns: cold_engine_sweep_ns(
+                &schema,
+                &sigma,
+                TierPreference::Auto,
+                &goals,
+                passes,
+                iters,
+            ),
+        });
+    }
+
+    // Wide Σ: the indexed kernel's home turf — auto must keep the win.
+    const WIDE_ATTRS: usize = 24;
+    let wide_sizes: &[usize] = if smoke { &[32] } else { &[64, 128] };
+    let wide_iters = if smoke { 1 } else { 2 };
+    for &n in wide_sizes {
+        let schema = flat_schema(WIDE_ATTRS);
+        let sigma = wide_sigma(&schema, WIDE_ATTRS, n);
+        let mut goals = all_pairs_goals(&schema, WIDE_ATTRS);
+        goals.truncate(200);
+        let naive = NaiveEngine::new(&schema, &sigma).unwrap();
+        rows.push(BenchRecord {
+            bench_id: "B15",
+            workload: "wide_sigma_auto",
+            param: n,
+            baseline: "naive",
+            baseline_ns: naive_sweep_ns(&naive, &goals, 1, wide_iters),
+            candidate: "auto",
+            candidate_ns: cold_engine_sweep_ns(
+                &schema,
+                &sigma,
+                TierPreference::Auto,
+                &goals,
+                1,
+                wide_iters,
+            ),
+        });
+    }
+
+    // Course session trailer: the hot-relation batch shape; by the
+    // second sweep auto is on the dense tier.
+    let (schema, sigma) = course();
+    let session = Session::with_tiers(
+        &schema,
+        &sigma,
+        EmptySetPolicy::Forbidden,
+        Budget::standard(),
+        TierPreference::Auto,
+    )
+    .unwrap();
+    let attrs = ["cnum", "time", "room", "books", "students"];
+    let mut goals = Vec::new();
+    for a in attrs {
+        for b in attrs {
+            if a != b {
+                if let Ok(g) = Nfd::parse(&schema, &format!("Course:[{a} -> {b}]")) {
+                    goals.push(g);
+                }
+            }
+        }
+    }
+    let budget = Budget::standard();
+    let sweeps = if smoke { 2 } else { 8 };
+    let course_ns = time_ns(1, || {
+        for _ in 0..sweeps {
+            session.implies_batch(&goals, &budget, 1).unwrap();
+        }
+    });
+    let relation = nfd_model::Label::new("Course");
+    let dense_built = session.select_state().dense_built(relation);
+
+    println!(
+        "B15 tier selection — tiered router vs fixed baselines ({} iteration(s), best-of)",
+        iters
+    );
+    println!(
+        "{:<26} {:>6} {:>10} {:>14} {:>10} {:>14} {:>9}",
+        "workload", "param", "baseline", "ns", "candidate", "ns", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<26} {:>6} {:>10} {:>14} {:>10} {:>14} {:>8.2}x",
+            r.workload,
+            r.param,
+            r.baseline,
+            r.baseline_ns,
+            r.candidate,
+            r.candidate_ns,
+            r.speedup()
+        );
+    }
+    println!(
+        "course session (auto): {} goals x {} sweeps in {} ns; dense tier built: {}",
+        goals.len(),
+        sweeps,
+        course_ns,
+        dense_built
+    );
+
+    let course_session = format!(
+        "{{\"goals\": {}, \"sweeps\": {}, \"total_ns\": {}, \"dense_built\": {}}}",
+        goals.len(),
+        sweeps,
+        course_ns,
+        dense_built
+    );
+    BenchReport {
+        bench_id: "B15",
+        bench: "tier_select",
+        mode: if smoke { "smoke" } else { "full" },
+        iters,
+        records: rows,
+        extra: vec![("course_session".to_string(), course_session)],
+    }
+    .write("BENCH_B15_OUT");
+}

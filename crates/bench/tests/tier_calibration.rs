@@ -1,0 +1,137 @@
+//! Cost-model calibration: replaying the B14 workload shapes through the
+//! session front end, the auto router must never be more than 1.5x
+//! slower than the best fixed tier on the same workload.
+//!
+//! This is the guard on the `CostModel` constants in
+//! `nfd_core::select`: if a threshold drifts so far that auto routes a
+//! workload to a tier grossly worse than the best available one, this
+//! test fails. Timing comparisons are inherently noisy, so each workload
+//! gets several attempts and passes if any attempt lands inside the bar;
+//! the bar itself (1.5x) is deliberately generous — the target is
+//! "never catastrophically misrouted", not "always optimal".
+
+use nfd::session::Session;
+use nfd_bench::*;
+use nfd_core::{EmptySetPolicy, Nfd, Tier, TierPreference};
+use nfd_govern::Budget;
+use nfd_model::Schema;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Auto may be at most this much slower than the best fixed tier.
+const SLOWDOWN_BAR: f64 = 1.5;
+
+/// Noise-tolerance: attempts before the workload is declared misrouted.
+const ATTEMPTS: usize = 6;
+
+/// Wall time of `passes` full sweeps over `goals` through a fresh
+/// session built with `pref`. The session is fresh per measurement so
+/// the auto router pays its whole decision cost — query counting,
+/// promotion, dense build — inside the timed region, exactly as a cold
+/// client would experience it.
+fn sweep_ns(
+    schema: &Schema,
+    sigma: &[Nfd],
+    pref: TierPreference,
+    goals: &[Nfd],
+    passes: usize,
+) -> u128 {
+    let session = Session::with_tiers(
+        schema,
+        sigma,
+        EmptySetPolicy::Forbidden,
+        Budget::standard(),
+        pref,
+    )
+    .unwrap();
+    let t = Instant::now();
+    for _ in 0..passes {
+        let implied = goals.iter().filter(|g| session.implies(g).unwrap()).count();
+        black_box(implied);
+    }
+    t.elapsed().as_nanos().max(1)
+}
+
+/// One calibration attempt: (auto ns, best fixed-tier ns).
+fn measure(schema: &Schema, sigma: &[Nfd], goals: &[Nfd], passes: usize) -> (u128, u128) {
+    let fixed = [Tier::Naive, Tier::Indexed, Tier::Dense]
+        .map(|t| sweep_ns(schema, sigma, TierPreference::Fixed(t), goals, passes));
+    let auto = sweep_ns(schema, sigma, TierPreference::Auto, goals, passes);
+    (auto, fixed.into_iter().min().unwrap())
+}
+
+fn assert_calibrated(name: &str, schema: &Schema, sigma: &[Nfd], goals: &[Nfd], passes: usize) {
+    let mut worst = (0u128, 0u128);
+    for attempt in 0..ATTEMPTS {
+        let (auto_ns, best_ns) = measure(schema, sigma, goals, passes);
+        if auto_ns as f64 <= best_ns as f64 * SLOWDOWN_BAR {
+            return;
+        }
+        worst = (auto_ns, best_ns);
+        eprintln!(
+            "{name}: attempt {attempt}: auto {auto_ns} ns vs best fixed {best_ns} ns — retrying"
+        );
+    }
+    panic!(
+        "{name}: auto tier is consistently >{SLOWDOWN_BAR}x slower than the best \
+         fixed tier ({} ns vs {} ns) — the cost model is miscalibrated",
+        worst.0, worst.1
+    );
+}
+
+/// All-pairs single-attribute goals over a flat schema (the B14 query
+/// sweep shape).
+fn all_pairs_goals(schema: &Schema, n: usize) -> Vec<Nfd> {
+    let mut goals = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                goals.push(Nfd::parse(schema, &format!("R:[a{i} -> a{j}]")).unwrap());
+            }
+        }
+    }
+    goals
+}
+
+/// B14's flat transitive chain, all-pairs sweep: the shape where the
+/// one-shot naive scan used to beat the indexed kernel uncached, and
+/// where the dense matrix wins once the sweep repeats.
+#[test]
+fn flat_chain_sweep_is_calibrated() {
+    let n = 16;
+    let schema = flat_schema(n);
+    let sigma = flat_chain_sigma(&schema, n);
+    let goals = all_pairs_goals(&schema, n);
+    assert_calibrated("flat_chain", &schema, &sigma, &goals, 2);
+}
+
+/// B14's ladder goal, repeated: deep nested chaining where every tier
+/// answers from the closure cache after the first query.
+#[test]
+fn ladder_goal_is_calibrated() {
+    let depth = 6;
+    let schema = ladder_schema(depth);
+    let sigma = ladder_sigma(&schema, depth);
+    let goals = vec![ladder_goal(&schema, depth)];
+    assert_calibrated("ladder", &schema, &sigma, &goals, 64);
+}
+
+/// B14's course session sweep, repeated: the hot-relation shape the
+/// promotion machinery targets — by the second pass auto should be on
+/// the dense tier (or the closure cache), never far behind the best.
+#[test]
+fn course_sweep_is_calibrated() {
+    let (schema, sigma) = course();
+    let attrs = ["cnum", "time", "room", "books", "students"];
+    let mut goals = Vec::new();
+    for a in attrs {
+        for b in attrs {
+            if a != b {
+                if let Ok(g) = Nfd::parse(&schema, &format!("Course:[{a} -> {b}]")) {
+                    goals.push(g);
+                }
+            }
+        }
+    }
+    assert_calibrated("course", &schema, &sigma, &goals, 8);
+}

@@ -167,6 +167,10 @@ pub fn candidate_keys_threaded(
         .element_record()
         .ok_or_else(|| CoreError::Nav(format!("relation `{relation}` has no element record")))?;
     let rel = engine.rel(relation)?;
+    // Tier routing for the sweep: any forced or already-due dense build
+    // happens here, once, so the per-candidate cover test stays
+    // infallible (see `Engine::prepare_analysis`).
+    engine.prepare_analysis(rel)?;
     let table = &rel.table;
     // Candidate components and the coverage universe: top-level
     // attributes (paths of length 1 — the ids with no parent).
@@ -206,7 +210,7 @@ pub fn candidate_keys_threaded(
         if known.iter().any(|k| k.iter().all(|p| cand.contains(p))) {
             return Ok(false); // superset of a known key
         }
-        Ok(universe.is_subset(&rel.chain_scratch(cand, scratch)))
+        Ok(universe.is_subset(&engine.analysis_chain(rel, cand, scratch)))
     };
 
     let mut keys: Vec<Vec<PathId>> = Vec::new();

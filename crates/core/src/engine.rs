@@ -43,10 +43,12 @@
 //! then sound for instances with empty sets (completeness in that regime
 //! is the paper's stated future work).
 
+use crate::dense::DenseClosure;
 use crate::emptyset::EmptySetPolicy;
 use crate::error::CoreError;
 use crate::kernel::{self, ChainScratch, ClosureCache, DepIndex};
 use crate::nfd::Nfd;
+use crate::select::{CostFeatures, QueryTrace, RelSelect, SelectState, Tier, TierPreference};
 use crate::simple;
 use nfd_faults::fail_point;
 use nfd_govern::{Budget, ResourceKind};
@@ -496,6 +498,19 @@ pub struct Engine<'s> {
     /// Optional shared closure cache (attached by sessions); `None` for
     /// stand-alone engines, whose queries always chain directly.
     cache: Option<Arc<ClosureCache>>,
+    /// Optional tier-selection layer (attached by sessions); `None` for
+    /// stand-alone engines, whose queries keep the historical
+    /// cache-then-counting-kernel routing.
+    select: Option<EngineSelect>,
+}
+
+/// The attached tier-selection layer: the session-shared promotion state
+/// plus, per relation, the promotion handle and the static tier-0/1 cost
+/// pick. The pick is computed once at attach time — the pool is immutable
+/// after saturation, so the [`CostFeatures`] never change.
+struct EngineSelect {
+    state: Arc<SelectState>,
+    rels: HashMap<Label, (Arc<RelSelect>, Tier)>,
 }
 
 impl<'s> Engine<'s> {
@@ -579,6 +594,7 @@ impl<'s> Engine<'s> {
             policy,
             budget,
             cache: None,
+            select: None,
         })
     }
 
@@ -589,6 +605,34 @@ impl<'s> Engine<'s> {
     /// [`ClosureCache`]'s soundness notes).
     pub fn with_closure_cache(mut self, cache: Arc<ClosureCache>) -> Engine<'s> {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Attaches a tier-selection layer; subsequent queries route through
+    /// its cost model and promotion state instead of always running the
+    /// counting kernel. Like the closure cache, the state must be scoped
+    /// to this engine's `(Σ, policy)` compilation — engine builds are
+    /// deterministic, so promotion state (including built dense closures)
+    /// carries soundly across a session's rebuilt query engines.
+    pub fn with_engine_select(mut self, state: Arc<SelectState>) -> Engine<'s> {
+        let mut rels = HashMap::new();
+        for (name, rel) in &self.rels {
+            let mut active_deps = 0usize;
+            let mut lhs_paths = 0usize;
+            for d in rel.deps.iter().filter(|d| !d.subsumed) {
+                active_deps += 1;
+                lhs_paths += d.lhs.len();
+            }
+            let features = CostFeatures {
+                active_deps,
+                lhs_paths,
+                words: rel.table.words(),
+                table_len: rel.table.len(),
+            };
+            let pick = state.model().pick(&features);
+            rels.insert(*name, (state.rel(*name), pick));
+        }
+        self.select = Some(EngineSelect { state, rels });
         self
     }
 
@@ -652,6 +696,14 @@ impl<'s> Engine<'s> {
     /// of the cache lookup, so injected faults and cancellation behave
     /// identically whether or not the closure is cached.
     pub fn implies_traced(&self, goal: &Nfd) -> Result<(bool, bool), CoreError> {
+        self.implies_queried(goal).map(|(v, t)| (v, t.cache_hit))
+    }
+
+    /// [`Engine::implies`] plus the full [`QueryTrace`] — which tier
+    /// served the query (`None` when reflexivity decided it without
+    /// chaining) and whether the closure came from the cache. Sessions
+    /// surface the trace as `Decision.tier`.
+    pub fn implies_queried(&self, goal: &Nfd) -> Result<(bool, QueryTrace), CoreError> {
         fail_point!(
             "engine::implies",
             Err(CoreError::Exhausted(nfd_govern::ResourceReport::injected())),
@@ -660,18 +712,165 @@ impl<'s> Engine<'s> {
         self.budget.check_live().map_err(CoreError::Exhausted)?;
         let (relation, lhs, rhs) = self.normalize_goal(goal)?;
         if lhs.contains(&rhs) {
-            return Ok((true, false)); // reflexivity
+            // Reflexivity: no chaining ran, so no tier was selected.
+            return Ok((
+                true,
+                QueryTrace {
+                    tier: None,
+                    cache_hit: false,
+                },
+            ));
         }
         let rel = self.rel(relation)?;
-        let (c, hit) = self.chained(rel, &lhs);
-        Ok((c.contains(rhs), hit))
+        let (c, trace) = self.chained_goal(rel, &lhs, Some(rhs))?;
+        Ok((c.contains(rhs), trace))
     }
 
-    /// The closure of `x_ids` through the cache when one is attached.
-    /// Sound because `C(X)` is a pure function of the saturated pool and
+    /// Routes one closure query through the tier-selection layer. With no
+    /// layer attached this is exactly the historical path
+    /// ([`Engine::chained_indexed`], reported as [`Tier::Indexed`]).
+    ///
+    /// Routing order, mirroring hotness: a promoted (or forced) dense
+    /// closure answers first — its word-union query is hotter than a
+    /// cache probe, and bypassing the cache keeps dense timings
+    /// insensitive to cache pressure. Otherwise the cache is consulted,
+    /// then the cost model's static tier-0/1 pick (or the forced tier)
+    /// chains. `goal` enables tier 0's early exit on uncached implication
+    /// queries; early-exited closures are partial and are never cached.
+    ///
+    /// Every tier computes the same least fixpoint (see
+    /// [`crate::dense`] and [`kernel::chain_scan`] for the arguments), so
+    /// routing can change latency but never a verdict.
+    fn chained_goal(
+        &self,
+        rel: &RelEngine,
+        x_ids: &[PathId],
+        goal: Option<PathId>,
+    ) -> Result<(PathSet, QueryTrace), CoreError> {
+        let handle_pick = self
+            .select
+            .as_ref()
+            .and_then(|sel| sel.rels.get(&rel.relation).map(|hp| (sel, hp)));
+        let Some((sel, (handle, pick))) = handle_pick else {
+            let (c, hit) = self.chained_indexed(rel, x_ids);
+            return Ok((
+                c,
+                QueryTrace {
+                    tier: Some(Tier::Indexed),
+                    cache_hit: hit,
+                },
+            ));
+        };
+        let queries = handle.record_query();
+        let preference = sel.state.preference();
+        let forced_dense = preference == TierPreference::Fixed(Tier::Dense);
+        let auto_promote = preference == TierPreference::Auto
+            && sel.state.model().should_promote(queries)
+            && !handle.dense_failed();
+        if forced_dense || auto_promote {
+            if let Some(d) = self.dense_handle(rel, handle, forced_dense)? {
+                return Ok((
+                    d.closure(x_ids),
+                    QueryTrace {
+                        tier: Some(Tier::Dense),
+                        cache_hit: false,
+                    },
+                ));
+            }
+        }
+        let tier = match preference {
+            TierPreference::Fixed(Tier::Naive) => Tier::Naive,
+            TierPreference::Fixed(Tier::Indexed) => Tier::Indexed,
+            // A failed auto promotion (or a forced-dense build that could
+            // not happen) falls back to the static cost pick.
+            TierPreference::Auto | TierPreference::Fixed(Tier::Dense) => *pick,
+        };
+        if tier != Tier::Naive {
+            let (c, hit) = self.chained_indexed(rel, x_ids);
+            return Ok((
+                c,
+                QueryTrace {
+                    tier: Some(Tier::Indexed),
+                    cache_hit: hit,
+                },
+            ));
+        }
+        let Some(cache) = &self.cache else {
+            // No cache: nothing to poison, so the scan may stop at the
+            // goal (the partial closure is dropped after the verdict).
+            let c = kernel::chain_scan(&rel.deps, rel.table.words(), x_ids, goal);
+            return Ok((
+                c,
+                QueryTrace {
+                    tier: Some(Tier::Naive),
+                    cache_hit: false,
+                },
+            ));
+        };
+        let key = PathSet::from_ids(rel.table.words(), x_ids.iter().copied());
+        if let Some(hit) = cache.get(rel.relation, &key) {
+            return Ok((
+                hit,
+                QueryTrace {
+                    tier: Some(Tier::Naive),
+                    cache_hit: true,
+                },
+            ));
+        }
+        let c = kernel::chain_scan(&rel.deps, rel.table.words(), x_ids, None);
+        cache.insert(rel.relation, key, c.clone());
+        Ok((
+            c,
+            QueryTrace {
+                tier: Some(Tier::Naive),
+                cache_hit: false,
+            },
+        ))
+    }
+
+    /// The promoted dense closure for `rel`, building (and charging the
+    /// budget for) it on first use. Under `forced` every build error
+    /// propagates — the caller asked for this tier and deserves the
+    /// honest exhaustion report. Under auto promotion a
+    /// [`ResourceKind::DenseCells`] exhaustion instead latches the
+    /// relation as unpromotable and degrades gracefully to the cost pick
+    /// (`Ok(None)`); liveness faults (deadline, cancellation) still
+    /// propagate, since every query path must observe them.
+    fn dense_handle(
+        &self,
+        rel: &RelEngine,
+        handle: &RelSelect,
+        forced: bool,
+    ) -> Result<Option<Arc<DenseClosure>>, CoreError> {
+        if let Some(d) = handle.dense() {
+            return Ok(Some(d));
+        }
+        match DenseClosure::build(&rel.table, &rel.deps, &self.budget) {
+            Ok(d) => {
+                let d = Arc::new(d);
+                handle.set_dense(Arc::clone(&d));
+                Ok(Some(d))
+            }
+            Err(e) => {
+                if !forced {
+                    if let CoreError::Exhausted(report) = &e {
+                        if report.kind == ResourceKind::DenseCells {
+                            handle.mark_dense_failed();
+                            return Ok(None);
+                        }
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// The closure of `x_ids` through the cache when one is attached —
+    /// the tier-1 path, and the engine's historical behaviour. Sound
+    /// because `C(X)` is a pure function of the saturated pool and
     /// `X`, and chaining consumes no budget counters — a hit skips work
     /// but can never change a verdict or a counter-limited outcome.
-    fn chained(&self, rel: &RelEngine, x_ids: &[PathId]) -> (PathSet, bool) {
+    fn chained_indexed(&self, rel: &RelEngine, x_ids: &[PathId]) -> (PathSet, bool) {
         let Some(cache) = &self.cache else {
             return (rel.chain(x_ids, None), false);
         };
@@ -688,6 +887,16 @@ impl<'s> Engine<'s> {
     /// with `x0:[X → q]` derivable. Sorted by (length, path) for stable
     /// output.
     pub fn closure(&self, base: &RootedPath, lhs: &[Path]) -> Result<Vec<RootedPath>, CoreError> {
+        self.closure_traced(base, lhs).map(|(c, _)| c)
+    }
+
+    /// [`Engine::closure`] plus the [`QueryTrace`] of the chaining run —
+    /// which tier served it and whether the closure came from the cache.
+    pub fn closure_traced(
+        &self,
+        base: &RootedPath,
+        lhs: &[Path],
+    ) -> Result<(Vec<RootedPath>, QueryTrace), CoreError> {
         // Normalize through a synthetic goal: the closure is the set of
         // RHS paths the normalized LHS chains to, restricted to paths
         // below x0.
@@ -714,7 +923,7 @@ impl<'s> Engine<'s> {
         }
         x_ids.sort_unstable();
         x_ids.dedup();
-        let (mut c, _) = self.chained(rel, &x_ids);
+        let (mut c, trace) = self.chained_goal(rel, &x_ids, None)?;
         // Only paths strictly below x0 belong to the closure (q ≥ 1
         // labels relative to x0).
         if let Some(id) = prefix_id {
@@ -729,7 +938,66 @@ impl<'s> Engine<'s> {
             let kb: Vec<&str> = b.path.labels().iter().map(|l| l.as_str()).collect();
             (a.path.len(), ka).cmp(&(b.path.len(), kb))
         });
-        Ok(out)
+        Ok((out, trace))
+    }
+
+    /// Pre-flight for an analysis sweep (candidate keys) over `rel`:
+    /// builds the dense closure up front when the preference forces it
+    /// (propagating build errors honestly) or when auto promotion is
+    /// already due, so the sweep itself can stay infallible. Auto builds
+    /// degrade like any auto promotion: cell exhaustion latches the
+    /// relation and the sweep falls back to the cost pick.
+    pub(crate) fn prepare_analysis(&self, rel: &RelEngine) -> Result<(), CoreError> {
+        let Some(sel) = &self.select else {
+            return Ok(());
+        };
+        let Some((handle, _)) = sel.rels.get(&rel.relation) else {
+            return Ok(());
+        };
+        match sel.state.preference() {
+            TierPreference::Fixed(Tier::Dense) => {
+                self.dense_handle(rel, handle, true)?;
+            }
+            TierPreference::Auto => {
+                let queries = sel.state.queries(rel.relation);
+                if sel.state.model().should_promote(queries) && !handle.dense_failed() {
+                    self.dense_handle(rel, handle, false)?;
+                }
+            }
+            TierPreference::Fixed(_) => {}
+        }
+        Ok(())
+    }
+
+    /// One chaining step of an analysis sweep, routed by tier: a built
+    /// dense closure answers directly, a (forced or picked) tier 0 runs
+    /// the pass scan, and everything else uses the counting kernel with
+    /// the sweep's reusable scratch. Infallible by design — fallible
+    /// setup happens once in [`Engine::prepare_analysis`] — and each call
+    /// counts toward the relation's promotion threshold, so a hot keys
+    /// sweep warms the same state `implies` promotes on.
+    pub(crate) fn analysis_chain(
+        &self,
+        rel: &RelEngine,
+        x: &[PathId],
+        scratch: &mut ChainScratch,
+    ) -> PathSet {
+        if let Some(sel) = &self.select {
+            if let Some((handle, pick)) = sel.rels.get(&rel.relation) {
+                handle.record_query();
+                if let Some(d) = handle.dense() {
+                    return d.closure(x);
+                }
+                let tier = match sel.state.preference() {
+                    TierPreference::Fixed(t) => t,
+                    TierPreference::Auto => *pick,
+                };
+                if tier == Tier::Naive {
+                    return kernel::chain_scan(&rel.deps, rel.table.words(), x, None);
+                }
+            }
+        }
+        rel.chain_scratch(x, scratch)
     }
 
     /// The resource budget the engine was built under; queries made

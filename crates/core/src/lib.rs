@@ -48,6 +48,7 @@
 pub mod analysis;
 pub mod closure;
 pub mod construct;
+pub mod dense;
 pub mod emptyset;
 pub mod engine;
 pub mod error;
@@ -58,11 +59,14 @@ pub mod nfd;
 pub mod proof;
 pub mod rules;
 pub mod satisfy;
+pub mod select;
 pub mod simple;
 pub mod view;
 
+pub use dense::DenseClosure;
 pub use emptyset::EmptySetPolicy;
 pub use error::CoreError;
 pub use kernel::{CacheStats, ClosureCache, DEFAULT_CLOSURE_CACHE_CAPACITY};
 pub use nfd::Nfd;
 pub use satisfy::{check, SatisfyReport, Violation};
+pub use select::{CostFeatures, CostModel, QueryTrace, SelectState, Tier, TierPreference};

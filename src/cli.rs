@@ -26,7 +26,7 @@
 
 use crate::session::{AttemptOutcome, RetryPolicy, Session};
 use nfd_core::engine::Engine;
-use nfd_core::{analysis, construct, nfd::parse_set, satisfy, CoreError, Nfd};
+use nfd_core::{analysis, construct, nfd::parse_set, satisfy, CoreError, Nfd, TierPreference};
 use nfd_govern::Budget;
 use nfd_model::{render, Instance, Schema};
 use nfd_path::{Path, RootedPath};
@@ -101,12 +101,12 @@ pub fn run(args: &[String], out: &mut String) -> i32 {
 
 const USAGE: &str = "usage:
   nfdtool check    --schema FILE --deps FILE --instance FILE
-  nfdtool implies  --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] [--retry N [--escalate F]] NFD
-  nfdtool implies  --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] [--threads N] [--retry N [--escalate F]] --goals FILE
-  nfdtool prove    --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] NFD
-  nfdtool closure  --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] --base PATH [--lhs P1,P2,…]
+  nfdtool implies  --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] [--retry N [--escalate F]] [--engine E] NFD
+  nfdtool implies  --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] [--threads N] [--retry N [--escalate F]] [--engine E] --goals FILE
+  nfdtool prove    --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] [--engine E] NFD
+  nfdtool closure  --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] [--engine E] --base PATH [--lhs P1,P2,…]
   nfdtool witness  --schema FILE --deps FILE --base PATH [--lhs P1,P2,…]
-  nfdtool keys     --schema FILE --deps FILE --relation NAME [--budget N] [--timeout-ms T] [--threads N]
+  nfdtool keys     --schema FILE --deps FILE --relation NAME [--budget N] [--timeout-ms T] [--threads N] [--engine E]
   nfdtool analyze  --schema FILE --deps FILE
   nfdtool render   --schema FILE --instance FILE
 
@@ -135,6 +135,15 @@ const USAGE: &str = "usage:
   factor (default 4) before each run — graceful degradation instead of a
   terminal \"don't know\". The printed attempt log records every run.
 
+  --engine E picks the closure-query engine tier: `auto` (the default —
+  a cost model routes each query between the naive scan and the indexed
+  kernel, and promotes repeatedly-queried relations to a precomputed
+  dense tier), or a forced `naive`, `indexed` or `dense`. Every tier
+  returns bit-identical verdicts; the flag exists for debugging and
+  differential testing, and giving it makes the tool report which tier
+  served each query. A forced `dense` charges the closure-matrix build
+  to the budget and reports exhaustion honestly instead of falling back.
+
   exit codes: 0 holds/implied · 1 fails/not implied · 2 usage or input
   error · 3 budget or deadline exhausted · 101 contained internal panic";
 
@@ -152,6 +161,7 @@ struct Opts {
     threads: Option<String>,
     retry: Option<String>,
     escalate: Option<String>,
+    engine: Option<String>,
     positional: Vec<String>,
 }
 
@@ -170,6 +180,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         threads: None,
         retry: None,
         escalate: None,
+        engine: None,
         positional: Vec::new(),
     };
     let mut i = 0;
@@ -194,6 +205,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--threads" => o.threads = Some(take(&mut i)?),
             "--retry" => o.retry = Some(take(&mut i)?),
             "--escalate" => o.escalate = Some(take(&mut i)?),
+            "--engine" => o.engine = Some(take(&mut i)?),
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             other => o.positional.push(other.to_string()),
         }
@@ -302,6 +314,16 @@ fn parse_retry(o: &Opts) -> Result<Option<RetryPolicy>, String> {
     Ok(Some(policy))
 }
 
+/// Parses `--engine {auto,naive,indexed,dense}` into a
+/// [`TierPreference`]; `auto` (the default without the flag) routes
+/// through the cost model with dense-tier promotion on hot relations.
+fn parse_engine(o: &Opts) -> Result<TierPreference, String> {
+    match o.engine.as_deref() {
+        None => Ok(TierPreference::Auto),
+        Some(text) => TierPreference::parse(text).map_err(|e| format!("--engine: {e}")),
+    }
+}
+
 /// Parses `--threads`: `0` (the default) means all available parallelism.
 fn parse_threads(o: &Opts) -> Result<usize, String> {
     match o.threads.as_deref() {
@@ -348,6 +370,7 @@ fn dispatch(args: &[String], out: &mut String) -> Result<i32, CliFail> {
             let sigma = load_deps(&o, &schema)?;
             let policy = parse_policy(&o)?;
             let mut budget = parse_budget(&o)?;
+            let preference = parse_engine(&o)?;
             let retry = if cmd == "implies" {
                 parse_retry(&o)?
             } else {
@@ -359,7 +382,13 @@ fn dispatch(args: &[String], out: &mut String) -> Result<i32, CliFail> {
             // under the budget that let the build finish.
             let mut build_round: u32 = 0;
             let session = loop {
-                match Session::with_budget(&schema, &sigma, policy.clone(), budget.clone()) {
+                match Session::with_tiers(
+                    &schema,
+                    &sigma,
+                    policy.clone(),
+                    budget.clone(),
+                    preference,
+                ) {
                     Ok(s) => break s,
                     Err(CoreError::Exhausted(r))
                         if r.kind != nfd_govern::ResourceKind::Cancelled
@@ -413,6 +442,23 @@ fn dispatch(args: &[String], out: &mut String) -> Result<i32, CliFail> {
                         }
                     }
                 }
+                // Tier report, only when the user opted in with --engine
+                // (existing outputs stay byte-identical without it).
+                if o.engine.is_some() {
+                    let (mut naive, mut indexed, mut dense, mut none) = (0usize, 0, 0, 0);
+                    for d in batch.decisions.iter().filter_map(|d| d.as_ref().ok()) {
+                        match d.tier {
+                            Some(nfd_core::Tier::Naive) => naive += 1,
+                            Some(nfd_core::Tier::Indexed) => indexed += 1,
+                            Some(nfd_core::Tier::Dense) => dense += 1,
+                            None => none += 1,
+                        }
+                    }
+                    let _ = writeln!(
+                        out,
+                        "(engine tiers: naive={naive} indexed={indexed} dense={dense} none={none})"
+                    );
+                }
                 let implied = batch.implied_count();
                 let exhausted = batch.exhausted_count();
                 let failed = batch.failed_count();
@@ -457,6 +503,13 @@ fn dispatch(args: &[String], out: &mut String) -> Result<i32, CliFail> {
                                 if retries == 1 { "y" } else { "ies" }
                             );
                         }
+                        if o.engine.is_some() {
+                            let _ = writeln!(
+                                out,
+                                "(engine tier: {})",
+                                decision.tier.map_or("none", |t| t.name())
+                            );
+                        }
                         Ok(if yes { 0 } else { 1 })
                     }
                     None => {
@@ -476,6 +529,12 @@ fn dispatch(args: &[String], out: &mut String) -> Result<i32, CliFail> {
                             .verify(&pf)
                             .map_err(|e| format!("internal: certificate rejected: {e}"))?;
                         let _ = write!(out, "{pf}");
+                        if o.engine.is_some() {
+                            let _ = writeln!(
+                                out,
+                                "(proof replay always uses the indexed kernel; --engine governs implication queries)"
+                            );
+                        }
                         Ok(0)
                     }
                     None => {
@@ -493,13 +552,21 @@ fn dispatch(args: &[String], out: &mut String) -> Result<i32, CliFail> {
             let lhs = parse_lhs(&o)?;
             let policy = parse_policy(&o)?;
             let budget = parse_budget(&o)?;
-            let session =
-                Session::with_budget(&schema, &sigma, policy, budget).map_err(core_fail)?;
-            let cl = session.closure(&base, &lhs).map_err(core_fail)?;
+            let preference = parse_engine(&o)?;
+            let session = Session::with_tiers(&schema, &sigma, policy, budget, preference)
+                .map_err(core_fail)?;
+            let (cl, trace) = session.closure_traced(&base, &lhs).map_err(core_fail)?;
             for p in &cl {
                 let _ = writeln!(out, "{p}");
             }
             let _ = writeln!(out, "({} paths)", cl.len());
+            if o.engine.is_some() {
+                let _ = writeln!(
+                    out,
+                    "(engine tier: {})",
+                    trace.tier.map_or("none", |t| t.name())
+                );
+            }
             Ok(0)
         }
         "witness" => {
@@ -542,9 +609,15 @@ fn dispatch(args: &[String], out: &mut String) -> Result<i32, CliFail> {
             let rel_text = o.relation.as_deref().ok_or("--relation is required")?;
             let relation = nfd_model::Label::new(rel_text);
             let budget = parse_budget(&o)?;
-            let session =
-                Session::with_budget(&schema, &sigma, nfd_core::EmptySetPolicy::Forbidden, budget)
-                    .map_err(core_fail)?;
+            let preference = parse_engine(&o)?;
+            let session = Session::with_tiers(
+                &schema,
+                &sigma,
+                nfd_core::EmptySetPolicy::Forbidden,
+                budget,
+                preference,
+            )
+            .map_err(core_fail)?;
             let threads = parse_threads(&o)?;
             let keys = session
                 .candidate_keys_threaded(relation, 4, threads)
@@ -557,6 +630,17 @@ fn dispatch(args: &[String], out: &mut String) -> Result<i32, CliFail> {
                 );
             }
             let _ = writeln!(out, "({} candidate keys of size ≤ 4)", keys.len());
+            if o.engine.is_some() {
+                let _ = writeln!(
+                    out,
+                    "(engine: {preference}, dense closure built: {})",
+                    if session.select_state().dense_built(relation) {
+                        "yes"
+                    } else {
+                        "no"
+                    }
+                );
+            }
             Ok(0)
         }
         "analyze" => {

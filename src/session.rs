@@ -27,7 +27,7 @@ use nfd_core::engine::Engine;
 use nfd_core::proof::{self, Proof};
 use nfd_core::{
     analysis, construct, satisfy, CacheStats, ClosureCache, CoreError, EmptySetPolicy, Nfd,
-    SatisfyReport, DEFAULT_CLOSURE_CACHE_CAPACITY,
+    QueryTrace, SatisfyReport, SelectState, Tier, TierPreference, DEFAULT_CLOSURE_CACHE_CAPACITY,
 };
 use nfd_faults::fail_point;
 use nfd_govern::{Budget, ResourceKind, ResourceReport, Verdict};
@@ -37,7 +37,7 @@ use nfd_path::table::SchemaTables;
 use nfd_path::{Path, RootedPath};
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -258,12 +258,27 @@ pub struct Decision {
     /// sibling goals racing in a batch — so equality ignores this field,
     /// keeping batch results bit-identical at every thread count.
     pub cache_hits: u64,
+    /// Which engine tier served the saturation attempt's closure query
+    /// (`None` when saturation never chained: reflexivity answered, the
+    /// build failed, or another decider produced the verdict). Like
+    /// `cache_hits` this is cost metadata — promotion state depends on
+    /// query history, including sibling goals racing in a batch — so
+    /// equality ignores it.
+    pub tier: Option<Tier>,
+    /// True on the first decision a session produces after
+    /// [`Session::reconfigure`] discarded the closure cache, the
+    /// candidate-keys memo and the tier promotion counters — the signal
+    /// that explains the latency cliff of re-warming them. Timing
+    /// metadata (exactly one decision after the rebuild observes it, in
+    /// racing batches an arbitrary one), so equality ignores it.
+    pub caches_invalidated: bool,
 }
 
 impl PartialEq for Decision {
     fn eq(&self, other: &Decision) -> bool {
-        // `cache_hits` is deliberately excluded: it is timing/ordering
-        // metadata, not part of the decision's semantic content.
+        // `cache_hits`, `tier` and `caches_invalidated` are deliberately
+        // excluded: they are timing/ordering metadata, not part of the
+        // decision's semantic content.
         self.verdict == other.verdict && self.attempts == other.attempts
     }
 }
@@ -348,6 +363,8 @@ fn batch_cancelled_decision() -> Decision {
             round: 0,
         }],
         cache_hits: 0,
+        tier: None,
+        caches_invalidated: false,
     }
 }
 
@@ -463,6 +480,17 @@ pub struct Session<'s> {
     /// Only successful sweeps are memoized: exhaustion must re-run.
     keys_memo: Mutex<Vec<KeysMemoEntry>>,
     keys_memo_hits: AtomicU64,
+    /// Shared tier-selection state (routing preference, cost model,
+    /// per-relation promotion counters and built dense closures),
+    /// attached to the resident engine and to every rebuilt query engine
+    /// so promotion hysteresis survives per-query rebuilds. Scoped to one
+    /// `(Σ, policy)` compilation exactly like `cache`;
+    /// [`Session::reconfigure`] makes a fresh one.
+    select: Arc<SelectState>,
+    /// Latched true by [`Session::reconfigure`] on the session it
+    /// returns; the first decision produced drains it into
+    /// [`Decision::caches_invalidated`].
+    caches_invalidated: AtomicBool,
 }
 
 /// One memoized candidate-key sweep: `(relation, max_size)` → keys.
@@ -499,18 +527,38 @@ impl<'s> Session<'s> {
         policy: EmptySetPolicy,
         budget: Budget,
     ) -> Result<Session<'s>, CoreError> {
+        Session::with_tiers(schema, sigma, policy, budget, TierPreference::Auto)
+    }
+
+    /// [`Session::with_budget`] with an explicit engine-tier routing
+    /// preference — the session-level form of the CLI's `--engine` flag.
+    /// [`TierPreference::Auto`] (what every other constructor uses)
+    /// routes each query through the cost model with promotion to the
+    /// dense tier on hot relations; `Fixed(t)` forces tier `t` for
+    /// debugging and differential testing.
+    pub fn with_tiers(
+        schema: &'s Schema,
+        sigma: &[Nfd],
+        policy: EmptySetPolicy,
+        budget: Budget,
+        preference: TierPreference,
+    ) -> Result<Session<'s>, CoreError> {
         let cache = Arc::new(ClosureCache::with_capacity(DEFAULT_CLOSURE_CACHE_CAPACITY));
+        let select = Arc::new(SelectState::new(preference));
         let engine = catch_unwind(AssertUnwindSafe(|| {
             Engine::with_budget(schema, sigma, policy, budget)
         }))
         .map_err(|p| CoreError::Internal(format!("engine build panicked: {}", panic_message(p))))??
-        .with_closure_cache(Arc::clone(&cache));
+        .with_closure_cache(Arc::clone(&cache))
+        .with_engine_select(Arc::clone(&select));
         Ok(Session {
             schema,
             engine,
             cache,
             keys_memo: Mutex::new(Vec::new()),
             keys_memo_hits: AtomicU64::new(0),
+            select,
+            caches_invalidated: AtomicBool::new(false),
         })
     }
 
@@ -520,8 +568,14 @@ impl<'s> Session<'s> {
     pub fn reconfigure(&self, policy: EmptySetPolicy) -> Result<Session<'s>, CoreError> {
         // A fresh cache and memo: closures are policy-dependent, and the
         // cache key deliberately leaves the policy implicit in the cache's
-        // scope (see the `cache` field docs).
+        // scope (see the `cache` field docs). Tier promotion state is
+        // policy-scoped for the same reason — dense closures are built
+        // from the policy's saturated pool — so the counters reset and
+        // every relation starts cold; the returned session's first
+        // decision carries `caches_invalidated` to explain the re-warming
+        // cliff.
         let cache = Arc::new(ClosureCache::with_capacity(DEFAULT_CLOSURE_CACHE_CAPACITY));
+        let select = Arc::new(SelectState::new(self.select.preference()));
         let engine = Engine::with_tables(
             self.schema,
             self.engine.tables().clone(),
@@ -529,13 +583,16 @@ impl<'s> Session<'s> {
             policy,
             self.engine.budget().clone(),
         )?
-        .with_closure_cache(Arc::clone(&cache));
+        .with_closure_cache(Arc::clone(&cache))
+        .with_engine_select(Arc::clone(&select));
         Ok(Session {
             schema: self.schema,
             engine,
             cache,
             keys_memo: Mutex::new(Vec::new()),
             keys_memo_hits: AtomicU64::new(0),
+            select,
+            caches_invalidated: AtomicBool::new(true),
         })
     }
 
@@ -547,6 +604,13 @@ impl<'s> Session<'s> {
     /// How many candidate-key sweeps were answered from the session memo.
     pub fn keys_memo_hits(&self) -> u64 {
         self.keys_memo_hits.load(Ordering::Relaxed)
+    }
+
+    /// The session's shared tier-selection state: routing preference,
+    /// cost model and per-relation promotion observability
+    /// ([`SelectState::queries`], [`SelectState::dense_built`]).
+    pub fn select_state(&self) -> &SelectState {
+        &self.select
     }
 
     /// The schema this session reasons over.
@@ -620,10 +684,14 @@ impl<'s> Session<'s> {
                 budget.clone(),
             )
         })) {
-            // Rebuilt query engines share the session cache: builds are
-            // deterministic per (Σ, policy), so every rebuild saturates
-            // the same pool and the cached closures remain exact.
-            Ok(Ok(engine)) => Ok(engine.with_closure_cache(Arc::clone(&self.cache))),
+            // Rebuilt query engines share the session cache and tier
+            // state: builds are deterministic per (Σ, policy), so every
+            // rebuild saturates the same pool, the cached closures remain
+            // exact, and promotion counters (plus built dense closures)
+            // carry over — the hysteresis that makes promotion stick.
+            Ok(Ok(engine)) => Ok(engine
+                .with_closure_cache(Arc::clone(&self.cache))
+                .with_engine_select(Arc::clone(&self.select))),
             Ok(Err(CoreError::Exhausted(r))) => Err(Attempt {
                 decider: "saturation",
                 outcome: AttemptOutcome::Exhausted(r),
@@ -655,10 +723,12 @@ impl<'s> Session<'s> {
     ) -> Result<Decision, CoreError> {
         let forbidden = *self.engine.policy() == EmptySetPolicy::Forbidden;
         let mut attempts: Vec<Attempt> = Vec::new();
-        // Closure-cache hits observed by this cascade (only saturation
-        // consults the cache). A `Cell` because the counting happens
-        // inside the `catch_unwind`-wrapped attempt closure.
+        // Closure-cache hits and the serving tier observed by this
+        // cascade (only saturation consults either). `Cell`s because the
+        // recording happens inside the `catch_unwind`-wrapped attempt
+        // closure.
         let cache_hits = Cell::new(0u64);
+        let tier = Cell::new(None::<Tier>);
 
         let run = |name: &'static str,
                    f: &mut dyn FnMut() -> Result<(Verdict, Option<u64>), String>|
@@ -710,11 +780,12 @@ impl<'s> Session<'s> {
                     Ok((Verdict::Exhausted(ResourceReport::injected()), None)),
                     budget.cancel_token()
                 );
-                match engine.implies_traced(goal) {
-                    Ok((b, hit)) => {
-                        if hit {
+                match engine.implies_queried(goal) {
+                    Ok((b, trace)) => {
+                        if trace.cache_hit {
                             cache_hits.set(cache_hits.get() + 1);
                         }
+                        tier.set(trace.tier);
                         Ok((Verdict::from_bool(b), Some(engine.pool_size() as u64)))
                     }
                     Err(CoreError::Exhausted(r)) => {
@@ -799,6 +870,10 @@ impl<'s> Session<'s> {
                 verdict,
                 attempts,
                 cache_hits: cache_hits.get(),
+                tier: tier.get(),
+                // Exactly one decision drains the latch — the swap is
+                // atomic, so racing batch goals cannot double-report.
+                caches_invalidated: self.caches_invalidated.swap(false, Ordering::Relaxed),
             }),
             None => Err(CoreError::Internal(format!(
                 "no decider answered: {}",
@@ -978,6 +1053,7 @@ impl<'s> Session<'s> {
         let mut budget = budget.clone();
         let mut log: Vec<Attempt> = Vec::new();
         let mut hits: u64 = 0;
+        let mut invalidated = false;
         let max_attempts = policy.max_attempts.max(1);
         let mut round: u32 = 0;
         loop {
@@ -987,6 +1063,7 @@ impl<'s> Session<'s> {
             }
             log.append(&mut decision.attempts);
             hits += decision.cache_hits;
+            invalidated |= decision.caches_invalidated;
             round += 1;
             if !policy.should_retry(&decision.verdict)
                 || round >= max_attempts
@@ -996,6 +1073,8 @@ impl<'s> Session<'s> {
                     verdict: decision.verdict,
                     attempts: log,
                     cache_hits: hits,
+                    tier: decision.tier,
+                    caches_invalidated: invalidated,
                 });
             }
             if !policy.backoff.is_zero() {
@@ -1073,15 +1152,21 @@ impl<'s> Session<'s> {
             for attempt in &mut retried.attempts {
                 attempt.round += 1;
             }
-            let (mut attempts, prior_hits) = match slot {
-                Ok(first) => (std::mem::take(&mut first.attempts), first.cache_hits),
-                Err(_) => (Vec::new(), 0),
+            let (mut attempts, prior_hits, prior_invalidated) = match slot {
+                Ok(first) => (
+                    std::mem::take(&mut first.attempts),
+                    first.cache_hits,
+                    first.caches_invalidated,
+                ),
+                Err(_) => (Vec::new(), 0, false),
             };
             attempts.extend(retried.attempts);
             *slot = Ok(Decision {
                 verdict: retried.verdict,
                 attempts,
                 cache_hits: prior_hits + retried.cache_hits,
+                tier: retried.tier,
+                caches_invalidated: prior_invalidated || retried.caches_invalidated,
             });
         }
         batch.first_exhausted = batch
@@ -1094,6 +1179,16 @@ impl<'s> Session<'s> {
     /// The dependency closure `(base, X, Σ)*` (Definition 3.1).
     pub fn closure(&self, base: &RootedPath, lhs: &[Path]) -> Result<Vec<RootedPath>, CoreError> {
         contained("closure", || self.engine.closure(base, lhs))
+    }
+
+    /// [`Session::closure`] plus the [`QueryTrace`] of the chaining run —
+    /// which engine tier served it and whether it came from the cache.
+    pub fn closure_traced(
+        &self,
+        base: &RootedPath,
+        lhs: &[Path],
+    ) -> Result<(Vec<RootedPath>, QueryTrace), CoreError> {
+        contained("closure", || self.engine.closure_traced(base, lhs))
     }
 
     /// Checks an instance against every NFD of Σ. The reports are in

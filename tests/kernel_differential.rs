@@ -14,7 +14,11 @@
 //! * Appendix-A closures, candidate keys at every thread count, and
 //!   proofs that verify on the indexed engine;
 //! * all of the above under the pessimistic empty-set policy too, so the
-//!   counting kernel's lazy `need_x` gate is exercised.
+//!   counting kernel's lazy `need_x` gate is exercised;
+//! * the tiered router (`--engine` / `TierPreference`): every forced tier
+//!   and the auto cost model produce bit-identical verdicts, closures and
+//!   candidate keys, including across the promotion boundary where auto
+//!   switches a hot relation to the dense closure matrix.
 
 mod common;
 
@@ -23,7 +27,7 @@ use nfd::core::analysis;
 use nfd::core::engine::{Engine, Prov};
 use nfd::core::naive::NaiveEngine;
 use nfd::core::proof;
-use nfd::core::{EmptySetPolicy, Nfd};
+use nfd::core::{EmptySetPolicy, Nfd, Tier, TierPreference};
 use nfd::govern::{Budget, Verdict};
 use nfd::path::RootedPath;
 use nfd::session::Session;
@@ -356,4 +360,221 @@ fn singleton_conclusions_pinned_on_appendix_a_examples() {
         naive.closure(&base, &[]).unwrap(),
         engine.closure(&base, &[]).unwrap()
     );
+}
+
+fn verdict_bool(v: &Verdict) -> bool {
+    match v {
+        Verdict::Implied => true,
+        Verdict::NotImplied => false,
+        other => panic!("unexpected verdict {other:?}"),
+    }
+}
+
+/// Every engine tier against the naive oracle: forced naive-scan, forced
+/// indexed, forced dense and the auto router all return bit-identical
+/// verdicts, closures and candidate keys (at thread counts 1/2/8), under
+/// both empty-set policies. The saturated pool — the provenance store
+/// proofs replay against — is shared by all tiers, so pool equality here
+/// extends the bit-identical guarantee to certificates.
+#[test]
+fn tier_differential_sweep() {
+    let prefs = [
+        TierPreference::Auto,
+        TierPreference::Fixed(Tier::Naive),
+        TierPreference::Fixed(Tier::Indexed),
+        TierPreference::Fixed(Tier::Dense),
+    ];
+    for seed in 0..12u64 {
+        for policy in [EmptySetPolicy::Forbidden, EmptySetPolicy::pessimistic()] {
+            let schema = random_schema(seed, SchemaShape::default());
+            // One rng per (seed, policy) with a fixed constant: both
+            // policies see the same Σ and the same goal stream.
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x7157_3157) | 1);
+            let sigma = random_sigma(&mut rng, &schema, 6);
+            let relation = only_relation(&schema);
+            let naive = NaiveEngine::with_policy_budget(
+                &schema,
+                &sigma,
+                policy.clone(),
+                Budget::standard(),
+            )
+            .unwrap();
+
+            let sessions: Vec<(TierPreference, Session)> = prefs
+                .iter()
+                .map(|p| {
+                    let s = Session::with_tiers(
+                        &schema,
+                        &sigma,
+                        policy.clone(),
+                        Budget::standard(),
+                        *p,
+                    )
+                    .unwrap();
+                    (*p, s)
+                })
+                .collect();
+
+            for (pref, s) in &sessions {
+                assert_eq!(
+                    naive.pool_dump(),
+                    s.engine().pool_dump(),
+                    "pool dump diverged at seed {seed} under {pref}"
+                );
+            }
+
+            let goals: Vec<Nfd> = (0..GOALS_PER_SEED)
+                .filter_map(|_| random_nfd(&mut rng, &schema))
+                .collect();
+            for goal in &goals {
+                let expected = naive.implies(goal).unwrap();
+                let want_closure = naive.closure(&goal.base, goal.lhs()).unwrap();
+                for (pref, s) in &sessions {
+                    let d = s.implies_with(goal, &Budget::standard()).unwrap();
+                    assert_eq!(
+                        expected,
+                        verdict_bool(&d.verdict),
+                        "verdict diverged at seed {seed} under {pref} on `{goal}`"
+                    );
+                    // A forced tier must be the tier that actually ran
+                    // (None means a pre-engine decider answered, e.g.
+                    // reflexivity — no chain was computed at all).
+                    if let (TierPreference::Fixed(t), Some(ran)) = (pref, d.tier) {
+                        assert_eq!(
+                            *t, ran,
+                            "forced {pref} but tier {ran} ran at seed {seed} on `{goal}`"
+                        );
+                    }
+                    let (got_closure, _) = s.closure_traced(&goal.base, goal.lhs()).unwrap();
+                    assert_eq!(
+                        want_closure, got_closure,
+                        "closure diverged at seed {seed} under {pref} on `{goal}`"
+                    );
+                }
+            }
+
+            // Candidate keys route the analysis sweep through the same
+            // tier selection; every tier, every thread count.
+            let expected_keys = naive.candidate_keys(relation, 3).unwrap();
+            for (pref, s) in &sessions {
+                for threads in [1usize, 2, 8] {
+                    assert_eq!(
+                        expected_keys,
+                        s.candidate_keys_threaded(relation, 3, threads).unwrap(),
+                        "keys diverged at seed {seed} under {pref}, {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The promotion boundary: under `TierPreference::Auto` a hot relation is
+/// promoted to the dense tier after `promote_after` queries. The same
+/// goal asked on both sides of the boundary gets the same verdict and the
+/// same closure; batch sweeps that cross the boundary mid-flight agree
+/// with the oracle at thread counts 1/2/8; and `reconfigure` both resets
+/// the promotion history and latches `caches_invalidated` onto exactly
+/// one decision.
+#[test]
+fn tier_promotion_boundary_preserves_answers() {
+    let schema = course_schema();
+    let sigma = course_sigma(&schema);
+    let relation = only_relation(&schema);
+    let goal = Nfd::parse(&schema, "Course:[time, students:sid -> books]").unwrap();
+
+    for policy in [EmptySetPolicy::Forbidden, EmptySetPolicy::pessimistic()] {
+        let naive =
+            NaiveEngine::with_policy_budget(&schema, &sigma, policy.clone(), Budget::standard())
+                .unwrap();
+        let expected = naive.implies(&goal).unwrap();
+        let want_closure = naive.closure(&goal.base, goal.lhs()).unwrap();
+
+        let session = Session::with_tiers(
+            &schema,
+            &sigma,
+            policy.clone(),
+            Budget::standard(),
+            TierPreference::Auto,
+        )
+        .unwrap();
+        let mut saw_dense = false;
+        for i in 0..16 {
+            let d = session.implies_with(&goal, &Budget::standard()).unwrap();
+            assert_eq!(
+                expected,
+                verdict_bool(&d.verdict),
+                "verdict flipped at query {i}"
+            );
+            if i == 0 {
+                assert_ne!(d.tier, Some(Tier::Dense), "promoted with no query history");
+                assert!(
+                    !session.select_state().dense_built(relation),
+                    "dense structure built before promotion"
+                );
+            }
+            saw_dense |= d.tier == Some(Tier::Dense);
+            let (got, _) = session.closure_traced(&goal.base, goal.lhs()).unwrap();
+            assert_eq!(want_closure, got, "closure drifted at query {i}");
+        }
+        assert!(saw_dense, "auto never promoted the hot relation to dense");
+        assert!(
+            session.select_state().dense_built(relation),
+            "promotion reported but no dense structure exists"
+        );
+
+        // `reconfigure` starts selection from scratch: no dense carry-over,
+        // and the invalidation flag rides on exactly one decision.
+        let re = session.reconfigure(policy.clone()).unwrap();
+        assert!(
+            !re.select_state().dense_built(relation),
+            "dense structure leaked across reconfigure"
+        );
+        let d = re.implies_with(&goal, &Budget::standard()).unwrap();
+        assert!(
+            d.caches_invalidated,
+            "first post-reconfigure decision must carry caches_invalidated"
+        );
+        assert_ne!(
+            d.tier,
+            Some(Tier::Dense),
+            "promotion history leaked across reconfigure"
+        );
+        assert_eq!(expected, verdict_bool(&d.verdict));
+        let d2 = re.implies_with(&goal, &Budget::standard()).unwrap();
+        assert!(
+            !d2.caches_invalidated,
+            "caches_invalidated is a one-shot latch"
+        );
+
+        // Batch sweeps long enough to cross the boundary mid-flight: the
+        // early goals run pre-promotion, the late ones on the dense tier.
+        let mut rng = StdRng::seed_from_u64(0x00d5_7ea5 | 1);
+        let goals: Vec<Nfd> = (0..24)
+            .filter_map(|_| random_nfd(&mut rng, &schema))
+            .collect();
+        let expected_batch: Vec<bool> = goals.iter().map(|g| naive.implies(g).unwrap()).collect();
+        for threads in [1usize, 2, 8] {
+            let fresh = Session::with_tiers(
+                &schema,
+                &sigma,
+                policy.clone(),
+                Budget::standard(),
+                TierPreference::Auto,
+            )
+            .unwrap();
+            let batch = fresh
+                .implies_batch(&goals, &Budget::standard(), threads)
+                .unwrap();
+            let got: Vec<bool> = batch
+                .decisions
+                .iter()
+                .map(|d| verdict_bool(&d.as_ref().unwrap().verdict))
+                .collect();
+            assert_eq!(
+                expected_batch, got,
+                "boundary-crossing batch diverged at {threads} threads"
+            );
+        }
+    }
 }

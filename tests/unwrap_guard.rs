@@ -21,6 +21,8 @@ const BUDGETS: &[(&str, usize)] = &[
     ("crates/core/src/naive.rs", 0),
     ("crates/core/src/satisfy.rs", 0),
     ("crates/core/src/analysis.rs", 0),
+    ("crates/core/src/dense.rs", 0),
+    ("crates/core/src/select.rs", 0),
     ("crates/par/src/lib.rs", 0),
     ("crates/chase/src/tableau.rs", 0),
     ("crates/logic/src/eval.rs", 0),
