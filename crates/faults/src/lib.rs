@@ -102,12 +102,21 @@ mod registry {
         static REGISTRY: OnceLock<Mutex<HashMap<String, Arc<Site>>>> = OnceLock::new();
         REGISTRY.get_or_init(|| {
             let mut map = HashMap::new();
-            // Malformed entries are skipped: a library must not panic on
-            // a bad environment string, and there is no logging layer to
-            // report through. Tests cover the parser directly.
+            // A malformed spec arms NOTHING: silently arming the entries
+            // that happened to parse would hand a chaos run a different
+            // fault plan than the one it asked for, which is worse than
+            // no faults at all. A library must not panic on a bad
+            // environment string, so the failure is a logged no-op.
             if let Ok(spec) = std::env::var("NFD_FAILPOINTS") {
-                for (name, action, remaining) in parse_spec(&spec).into_iter().flatten() {
-                    map.insert(name, Arc::new(Site::new(action, remaining)));
+                match parse_spec_strict(&spec) {
+                    Ok(entries) => {
+                        for (name, action, remaining) in entries {
+                            map.insert(name, Arc::new(Site::new(action, remaining)));
+                        }
+                    }
+                    Err(bad) => {
+                        eprintln!("warning: NFD_FAILPOINTS ignored ({bad}); no failpoints armed");
+                    }
                 }
             }
             Mutex::new(map)
@@ -127,7 +136,7 @@ mod registry {
     }
 
     /// Parses one `site=action` list; `None` entries are malformed.
-    /// Shared by the env reader and [`apply_env_str`].
+    /// Blank entries (so trailing/doubled `;` separators) are fine.
     #[allow(clippy::type_complexity)]
     fn parse_spec(spec: &str) -> Vec<Option<(String, FaultAction, Option<u64>)>> {
         spec.split(';')
@@ -145,6 +154,19 @@ mod registry {
                 };
                 Some((name.to_string(), parse_action(action)?, remaining))
             })
+            .collect()
+    }
+
+    /// All-or-nothing form of [`parse_spec`]: every entry parses, or the
+    /// first malformed entry is reported and the whole spec is rejected.
+    /// Shared by the env reader and [`apply_env_str`] so a partial fault
+    /// plan can never be armed silently.
+    #[allow(clippy::type_complexity)]
+    fn parse_spec_strict(spec: &str) -> Result<Vec<(String, FaultAction, Option<u64>)>, String> {
+        parse_spec(spec)
+            .into_iter()
+            .zip(spec.split(';').map(str::trim).filter(|e| !e.is_empty()))
+            .map(|(parsed, raw)| parsed.ok_or_else(|| format!("malformed failpoint entry `{raw}`")))
             .collect()
     }
 
@@ -182,14 +204,11 @@ mod registry {
     }
 
     /// Applies an `NFD_FAILPOINTS`-syntax string programmatically.
-    /// Returns the number of sites armed, or the first malformed entry.
+    /// Returns the number of sites armed, or the first malformed entry —
+    /// in which case nothing is armed (all-or-nothing, like the env
+    /// reader).
     pub fn apply_env_str(spec: &str) -> Result<usize, String> {
-        let parsed = parse_spec(spec);
-        let entries: Vec<_> = parsed
-            .into_iter()
-            .zip(spec.split(';').map(str::trim).filter(|e| !e.is_empty()))
-            .map(|(parsed, raw)| parsed.ok_or_else(|| format!("malformed failpoint entry `{raw}`")))
-            .collect::<Result<_, String>>()?;
+        let entries = parse_spec_strict(spec)?;
         let n = entries.len();
         for (name, action, remaining) in entries {
             match remaining {
@@ -426,6 +445,29 @@ mod tests {
         assert!(apply_env_str("x=delay(abc)").is_err());
         assert!(apply_env_str("=panic").is_err());
         assert_eq!(apply_env_str(" ; ; "), Ok(0), "empty entries are fine");
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_whole() {
+        let _guard = serial();
+        reset();
+        // Empty action, unparsable count, dangling count marker, and the
+        // same shapes buried mid-list.
+        for bad in ["x=", "x=abc*panic", "x=3*", "a=panic;x=", "x= ;b=panic"] {
+            let err = apply_env_str(bad).expect_err(bad);
+            assert!(err.contains("malformed failpoint entry"), "{bad}: {err}");
+        }
+        // All-or-nothing: a valid prefix of a bad spec is NOT armed.
+        assert!(apply_env_str("t::strict_ok=return-exhausted;oops=").is_err());
+        assert_eq!(
+            run("t::strict_ok"),
+            Ok("fine"),
+            "valid prefix stayed unarmed"
+        );
+        // Trailing and doubled separators are fine, though.
+        assert_eq!(apply_env_str("t::trail=off;"), Ok(1));
+        assert_eq!(apply_env_str(";;t::trail=off;;"), Ok(1));
+        reset();
     }
 
     #[test]

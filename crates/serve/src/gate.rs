@@ -1,0 +1,212 @@
+//! Bounded admission: at most `max_inflight` workload requests run at
+//! once, at most `queue_depth` more may wait, and a waiter gives up
+//! after `queue_wait` — everything else is shed with `BUSY`.
+//!
+//! The point of the bound is that an overloaded server answers *fast*
+//! with an honest refusal instead of queueing unboundedly until every
+//! client times out and the process dies of memory. Shedding is a
+//! feature; see DESIGN.md's crash-containment section.
+
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Default)]
+struct GateState {
+    /// Requests currently holding a permit.
+    inflight: usize,
+    /// Requests blocked in [`Gate::admit`] waiting for a permit.
+    waiting: usize,
+}
+
+/// A counting admission gate with a bounded wait queue.
+#[derive(Debug)]
+pub struct Gate {
+    state: Mutex<GateState>,
+    freed: Condvar,
+    max_inflight: usize,
+    queue_depth: usize,
+    queue_wait: Duration,
+}
+
+/// Why [`Gate::admit`] refused a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Shed {
+    /// The wait queue was already full: refused immediately.
+    QueueFull,
+    /// Queued, but no permit freed up within the configured wait.
+    WaitExpired,
+}
+
+impl Shed {
+    /// The human-readable payload of the `BUSY` response.
+    pub fn reason(self) -> &'static str {
+        match self {
+            Shed::QueueFull => "admission queue full, request shed",
+            Shed::WaitExpired => "no capacity within wait deadline, request shed",
+        }
+    }
+}
+
+impl Gate {
+    /// A gate admitting `max_inflight` concurrent holders (min 1), with
+    /// up to `queue_depth` waiters each willing to wait `queue_wait`.
+    pub fn new(max_inflight: usize, queue_depth: usize, queue_wait: Duration) -> Gate {
+        Gate {
+            state: Mutex::new(GateState::default()),
+            freed: Condvar::new(),
+            max_inflight: max_inflight.max(1),
+            queue_depth,
+            queue_wait,
+        }
+    }
+
+    /// Tries to acquire a permit, waiting up to the configured queue
+    /// wait if the gate is at capacity but the queue has room.
+    pub fn admit(&self) -> Result<Permit<'_>, Shed> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if state.inflight < self.max_inflight {
+            state.inflight += 1;
+            return Ok(Permit { gate: self });
+        }
+        if state.waiting >= self.queue_depth {
+            return Err(Shed::QueueFull);
+        }
+        state.waiting += 1;
+        let deadline = Instant::now() + self.queue_wait;
+        loop {
+            let now = Instant::now();
+            if state.inflight < self.max_inflight {
+                state.waiting -= 1;
+                state.inflight += 1;
+                return Ok(Permit { gate: self });
+            }
+            if now >= deadline {
+                state.waiting -= 1;
+                return Err(Shed::WaitExpired);
+            }
+            let (next, _timeout) = self
+                .freed
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = next;
+        }
+    }
+
+    /// Current `(inflight, waiting)` snapshot, for `STATS`.
+    pub fn snapshot(&self) -> (usize, usize) {
+        let state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        (state.inflight, state.waiting)
+    }
+
+    fn release(&self) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.inflight = state.inflight.saturating_sub(1);
+        drop(state);
+        self.freed.notify_one();
+    }
+}
+
+/// An admission permit; releases its slot on drop — including when the
+/// request it admitted panics and unwinds.
+#[derive(Debug)]
+pub struct Permit<'g> {
+    gate: &'g Gate,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.gate.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn admits_up_to_capacity_then_sheds() {
+        let gate = Gate::new(2, 0, Duration::from_millis(10));
+        let a = gate.admit().expect("first");
+        let _b = gate.admit().expect("second");
+        assert_eq!(gate.admit().unwrap_err(), Shed::QueueFull);
+        drop(a);
+        let _c = gate.admit().expect("slot freed");
+    }
+
+    #[test]
+    fn waiter_gets_the_freed_slot() {
+        let gate = Arc::new(Gate::new(1, 4, Duration::from_secs(5)));
+        let held = gate.admit().expect("hold");
+        let got = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let (gate, got) = (Arc::clone(&gate), Arc::clone(&got));
+                std::thread::spawn(move || {
+                    if gate.admit().is_ok() {
+                        got.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        // Wait until all three are queued, then release the held permit.
+        while gate.snapshot().1 < 3 {
+            std::thread::yield_now();
+        }
+        drop(held);
+        for h in handles {
+            h.join().expect("waiter thread");
+        }
+        assert_eq!(
+            got.load(Ordering::SeqCst),
+            3,
+            "the slot cascades to each waiter"
+        );
+    }
+
+    #[test]
+    fn wait_expires_into_shed() {
+        let gate = Gate::new(1, 4, Duration::from_millis(20));
+        let _held = gate.admit().expect("hold");
+        let start = Instant::now();
+        assert_eq!(gate.admit().unwrap_err(), Shed::WaitExpired);
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn queue_overflow_sheds_immediately() {
+        let gate = Arc::new(Gate::new(1, 1, Duration::from_secs(5)));
+        let _held = gate.admit().expect("hold");
+        let waiter = {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || gate.admit().map(drop))
+        };
+        while gate.snapshot().1 < 1 {
+            std::thread::yield_now();
+        }
+        // Queue (depth 1) now full: the next admit must not block at all.
+        let start = Instant::now();
+        assert_eq!(gate.admit().unwrap_err(), Shed::QueueFull);
+        assert!(start.elapsed() < Duration::from_secs(1));
+        drop(_held);
+        waiter.join().expect("waiter").expect("gets slot");
+    }
+
+    #[test]
+    fn permit_released_on_panic_unwind() {
+        let gate = Arc::new(Gate::new(1, 0, Duration::from_millis(5)));
+        let g2 = Arc::clone(&gate);
+        let _ = std::panic::catch_unwind(move || {
+            let _permit = g2.admit().expect("admit");
+            panic!("request poisoned");
+        });
+        assert!(gate.admit().is_ok(), "unwound permit must free its slot");
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let gate = Gate::new(0, 0, Duration::from_millis(5));
+        assert!(gate.admit().is_ok());
+    }
+}

@@ -1,0 +1,29 @@
+//! `nfd-serve` — the crash-contained TCP serving shell for the schema
+//! registry.
+//!
+//! Zero-dependency (std + the workspace's `nfd-govern`/`nfd-faults`
+//! only), deliberately ignorant of nested functional dependencies: the
+//! decision work arrives through the [`Handler`] trait, implemented by
+//! the `nfd` facade's multi-tenant session registry. This split keeps
+//! the crate graph acyclic (the facade depends on us, not vice versa)
+//! and keeps the robustness envelope — unwind boundaries, admission
+//! gate, drain protocol — testable with stub handlers in milliseconds.
+//!
+//! The three pieces:
+//!
+//! * [`proto`] — the line-oriented request grammar ([`Command`]) and
+//!   the four-word response grammar ([`Response`]:
+//!   `OK`/`ERR`/`BUSY`/`EXHAUSTED`);
+//! * [`gate`] — bounded admission with explicit load-shedding
+//!   ([`Gate`], [`Shed`]);
+//! * [`server`] — the accept loop, per-connection threads, two
+//!   `catch_unwind` boundaries, and drain-then-exit shutdown
+//!   ([`Server`], [`ServerConfig`], [`ServerStats`]).
+
+pub mod gate;
+pub mod proto;
+pub mod server;
+
+pub use gate::{Gate, Permit, Shed};
+pub use proto::{sanitize, Command, Response, MAX_TENANT_NAME};
+pub use server::{Handler, Server, ServerConfig, ServerStats};

@@ -1,0 +1,433 @@
+//! The line-oriented request/response protocol.
+//!
+//! One request per `\n`-terminated line, one single-line response per
+//! request. The request grammar (verbs are case-insensitive, tenant
+//! names are `[A-Za-z0-9._-]{1,64}`):
+//!
+//! ```text
+//! LOAD <name> <schema-src> | <deps-src>   compile and keep a session resident
+//! IMPLIES <name> <nfd>                    Σ ⊨ σ against the resident session
+//! BATCH <name> <nfd;nfd;…>                many goals, one line, per-goal verdicts
+//! CLOSURE <name> <base> [<p1,p2,…>]       dependency closure of the LHS
+//! KEYS <name> <relation>                  candidate keys (size ≤ 4)
+//! QUOTA <name> <units>                    set the tenant's remaining work quota
+//! EVICT <name>                            drop the resident session
+//! STATS                                   registry + server counters
+//! PING                                    liveness probe
+//! SHUTDOWN                                drain in-flight work, then exit
+//! ```
+//!
+//! Schema and dependency sources ride on the line verbatim (the text
+//! syntaxes need no newlines); `|` separates them in `LOAD` — it appears
+//! in neither grammar.
+//!
+//! The response grammar has exactly four first words, so a client can
+//! dispatch on `line.split(' ').next()`:
+//!
+//! ```text
+//! OK [payload]          the request succeeded
+//! ERR <message>         bad input, unknown tenant, or a contained crash
+//! BUSY <message>        load-shed: admission queue full or wait expired
+//! EXHAUSTED <message>   a budget, deadline or tenant quota ran out
+//! ```
+//!
+//! `EXHAUSTED` is the wire form of the workspace's three-valued
+//! [`Verdict`](nfd_govern::Verdict) discipline: an honest "don't know
+//! yet", never a wrong answer. `ERR` is the wire form of the CLI's
+//! exit-code-101 discipline: a contained panic costs one request its
+//! answer, not the process its life.
+
+/// Hard cap on tenant names: short, shell-safe, log-safe.
+pub const MAX_TENANT_NAME: usize = 64;
+
+/// A parsed request line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// Compile `schema`/`deps` and keep the session resident as `name`.
+    Load {
+        /// Tenant name the session is registered under.
+        name: String,
+        /// Schema source text (the `nfd_model` grammar).
+        schema: String,
+        /// Dependency-set source text (the `nfd_core::nfd` grammar).
+        deps: String,
+    },
+    /// Decide `Σ ⊨ goal` against the resident session `name`.
+    Implies {
+        /// Tenant name.
+        name: String,
+        /// Goal NFD source text.
+        goal: String,
+    },
+    /// Decide every goal of a `;`-separated set against `name`.
+    Batch {
+        /// Tenant name.
+        name: String,
+        /// Goal set source text.
+        goals: String,
+    },
+    /// The dependency closure `(base, lhs, Σ)*` against `name`.
+    Closure {
+        /// Tenant name.
+        name: String,
+        /// Base rooted path, e.g. `Course` or `Course:students`.
+        base: String,
+        /// Comma-separated LHS paths (empty = the empty LHS).
+        lhs: Option<String>,
+    },
+    /// Candidate keys of `relation` against `name`.
+    Keys {
+        /// Tenant name.
+        name: String,
+        /// Relation label.
+        relation: String,
+    },
+    /// Set the tenant's remaining work-unit quota.
+    Quota {
+        /// Tenant name.
+        name: String,
+        /// Remaining units (0 denies every subsequent query).
+        units: u64,
+    },
+    /// Drop the resident session `name`.
+    Evict {
+        /// Tenant name.
+        name: String,
+    },
+    /// Registry and server counters, one line.
+    Stats,
+    /// Liveness probe; answered by the server itself.
+    Ping,
+    /// Drain in-flight work, then exit.
+    Shutdown,
+}
+
+impl Command {
+    /// Parses one request line. Errors are human-readable fragments
+    /// suitable for an `ERR` response.
+    pub fn parse(line: &str) -> Result<Command, String> {
+        let line = line.trim();
+        let (verb, rest) = match line.split_once(char::is_whitespace) {
+            Some((v, r)) => (v, r.trim()),
+            None => (line, ""),
+        };
+        let arg_free = |cmd: Command| {
+            if rest.is_empty() {
+                Ok(cmd)
+            } else {
+                Err(format!(
+                    "`{}` takes no arguments",
+                    verb.to_ascii_uppercase()
+                ))
+            }
+        };
+        match verb.to_ascii_uppercase().as_str() {
+            "" => Err("empty request".to_string()),
+            "STATS" => arg_free(Command::Stats),
+            "PING" => arg_free(Command::Ping),
+            "SHUTDOWN" => arg_free(Command::Shutdown),
+            "LOAD" => {
+                let (name, rest) = take_name(rest, "LOAD")?;
+                let (schema, deps) = rest
+                    .split_once('|')
+                    .ok_or("LOAD needs `<name> <schema-src> | <deps-src>`")?;
+                let (schema, deps) = (schema.trim(), deps.trim());
+                if schema.is_empty() {
+                    return Err("LOAD: empty schema source".to_string());
+                }
+                Ok(Command::Load {
+                    name,
+                    schema: schema.to_string(),
+                    deps: deps.to_string(),
+                })
+            }
+            "IMPLIES" => {
+                let (name, goal) = take_name(rest, "IMPLIES")?;
+                if goal.is_empty() {
+                    return Err("IMPLIES needs `<name> <nfd>`".to_string());
+                }
+                Ok(Command::Implies {
+                    name,
+                    goal: goal.to_string(),
+                })
+            }
+            "BATCH" => {
+                let (name, goals) = take_name(rest, "BATCH")?;
+                if goals.is_empty() {
+                    return Err("BATCH needs `<name> <nfd;nfd;…>`".to_string());
+                }
+                Ok(Command::Batch {
+                    name,
+                    goals: goals.to_string(),
+                })
+            }
+            "CLOSURE" => {
+                let (name, rest) = take_name(rest, "CLOSURE")?;
+                let mut parts = rest.split_whitespace();
+                let base = parts
+                    .next()
+                    .ok_or("CLOSURE needs `<name> <base> [<p1,p2,…>]`")?
+                    .to_string();
+                let lhs = parts.next().map(str::to_string);
+                if parts.next().is_some() {
+                    return Err("CLOSURE takes at most `<base> <p1,p2,…>`".to_string());
+                }
+                Ok(Command::Closure { name, base, lhs })
+            }
+            "KEYS" => {
+                let (name, relation) = take_name(rest, "KEYS")?;
+                let relation = relation.trim();
+                if relation.is_empty() || relation.contains(char::is_whitespace) {
+                    return Err("KEYS needs `<name> <relation>`".to_string());
+                }
+                Ok(Command::Keys {
+                    name,
+                    relation: relation.to_string(),
+                })
+            }
+            "QUOTA" => {
+                let (name, units) = take_name(rest, "QUOTA")?;
+                let units: u64 = units.trim().parse().map_err(|_| {
+                    format!(
+                        "QUOTA units must be a non-negative integer, got `{}`",
+                        units.trim()
+                    )
+                })?;
+                Ok(Command::Quota { name, units })
+            }
+            "EVICT" => {
+                let (name, tail) = take_name(rest, "EVICT")?;
+                if !tail.is_empty() {
+                    return Err("EVICT takes only `<name>`".to_string());
+                }
+                Ok(Command::Evict { name })
+            }
+            other => Err(format!("unknown command `{other}`")),
+        }
+    }
+
+    /// The verb, for logs and dispatch tables.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Command::Load { .. } => "LOAD",
+            Command::Implies { .. } => "IMPLIES",
+            Command::Batch { .. } => "BATCH",
+            Command::Closure { .. } => "CLOSURE",
+            Command::Keys { .. } => "KEYS",
+            Command::Quota { .. } => "QUOTA",
+            Command::Evict { .. } => "EVICT",
+            Command::Stats => "STATS",
+            Command::Ping => "PING",
+            Command::Shutdown => "SHUTDOWN",
+        }
+    }
+
+    /// Does this command do real decision-procedure work (and therefore
+    /// pass through the admission gate)? Control-plane commands must
+    /// keep working under overload — `STATS` under load shedding is how
+    /// an operator sees the shedding.
+    pub fn is_workload(&self) -> bool {
+        matches!(
+            self,
+            Command::Load { .. }
+                | Command::Implies { .. }
+                | Command::Batch { .. }
+                | Command::Closure { .. }
+                | Command::Keys { .. }
+        )
+    }
+}
+
+/// Splits a validated tenant name off the front of `rest`.
+fn take_name<'a>(rest: &'a str, verb: &str) -> Result<(String, &'a str), String> {
+    let (name, tail) = match rest.split_once(char::is_whitespace) {
+        Some((n, t)) => (n, t.trim()),
+        None => (rest, ""),
+    };
+    if name.is_empty() {
+        return Err(format!("{verb} needs a tenant name"));
+    }
+    if name.len() > MAX_TENANT_NAME {
+        return Err(format!("tenant name longer than {MAX_TENANT_NAME} bytes"));
+    }
+    if !name
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+    {
+        return Err(format!("tenant name `{name}` must match [A-Za-z0-9._-]+"));
+    }
+    Ok((name.to_string(), tail))
+}
+
+/// A single-line response, rendered to the wire by [`Response::wire`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Success, with an optional payload.
+    Ok(String),
+    /// Bad input, unknown tenant, or a contained internal failure.
+    Err(String),
+    /// Load-shed by the admission gate.
+    Busy(String),
+    /// A budget, deadline or tenant quota ran out before a verdict.
+    Exhausted(String),
+}
+
+impl Response {
+    /// The wire form: first word is the kind, the rest the sanitized
+    /// payload; always exactly one line (no trailing newline).
+    pub fn wire(&self) -> String {
+        let (word, payload) = match self {
+            Response::Ok(p) => ("OK", p),
+            Response::Err(p) => ("ERR", p),
+            Response::Busy(p) => ("BUSY", p),
+            Response::Exhausted(p) => ("EXHAUSTED", p),
+        };
+        let payload = sanitize(payload);
+        if payload.is_empty() {
+            word.to_string()
+        } else {
+            format!("{word} {payload}")
+        }
+    }
+
+    /// Is this the success variant?
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Response::Ok(_))
+    }
+}
+
+/// Collapses newlines so any payload fits the one-line-per-response
+/// framing (panic messages and parser errors can be multi-line).
+pub fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| if c == '\n' || c == '\r' { ' ' } else { c })
+        .collect::<String>()
+        .trim()
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_verb() {
+        assert_eq!(
+            Command::parse("LOAD t R:{<A:int>}; | R:[A -> A];"),
+            Ok(Command::Load {
+                name: "t".into(),
+                schema: "R:{<A:int>};".into(),
+                deps: "R:[A -> A];".into()
+            })
+        );
+        assert_eq!(
+            Command::parse("implies t R:[A -> B]"),
+            Ok(Command::Implies {
+                name: "t".into(),
+                goal: "R:[A -> B]".into()
+            })
+        );
+        assert_eq!(
+            Command::parse("BATCH t R:[A -> B]; R:[B -> A];"),
+            Ok(Command::Batch {
+                name: "t".into(),
+                goals: "R:[A -> B]; R:[B -> A];".into()
+            })
+        );
+        assert_eq!(
+            Command::parse("CLOSURE t Course cnum,time"),
+            Ok(Command::Closure {
+                name: "t".into(),
+                base: "Course".into(),
+                lhs: Some("cnum,time".into())
+            })
+        );
+        assert_eq!(
+            Command::parse("CLOSURE t Course"),
+            Ok(Command::Closure {
+                name: "t".into(),
+                base: "Course".into(),
+                lhs: None
+            })
+        );
+        assert_eq!(
+            Command::parse("KEYS t Course"),
+            Ok(Command::Keys {
+                name: "t".into(),
+                relation: "Course".into()
+            })
+        );
+        assert_eq!(
+            Command::parse("QUOTA t 500"),
+            Ok(Command::Quota {
+                name: "t".into(),
+                units: 500
+            })
+        );
+        assert_eq!(
+            Command::parse("EVICT t"),
+            Ok(Command::Evict { name: "t".into() })
+        );
+        assert_eq!(Command::parse("STATS"), Ok(Command::Stats));
+        assert_eq!(Command::parse("ping"), Ok(Command::Ping));
+        assert_eq!(Command::parse("SHUTDOWN"), Ok(Command::Shutdown));
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            "",
+            "   ",
+            "FROB x",
+            "LOAD",
+            "LOAD t no-separator",
+            "LOAD t | R:[A -> A];",
+            "IMPLIES t",
+            "BATCH t",
+            "CLOSURE t",
+            "CLOSURE t base lhs extra",
+            "KEYS t",
+            "QUOTA t notanumber",
+            "QUOTA t -3",
+            "EVICT t extra",
+            "STATS now",
+            "PING x",
+            "SHUTDOWN please",
+            "IMPLIES bad/name R:[A -> B]",
+        ] {
+            assert!(Command::parse(bad).is_err(), "should reject: {bad:?}");
+        }
+        let long = "x".repeat(MAX_TENANT_NAME + 1);
+        assert!(Command::parse(&format!("EVICT {long}")).is_err());
+    }
+
+    #[test]
+    fn workload_classification_gates_the_right_verbs() {
+        assert!(Command::parse("IMPLIES t R:[A -> B]")
+            .unwrap()
+            .is_workload());
+        assert!(Command::parse("LOAD t s | d").unwrap().is_workload());
+        assert!(!Command::parse("STATS").unwrap().is_workload());
+        assert!(!Command::parse("EVICT t").unwrap().is_workload());
+        assert!(!Command::parse("SHUTDOWN").unwrap().is_workload());
+    }
+
+    #[test]
+    fn responses_render_one_sanitized_line() {
+        assert_eq!(Response::Ok(String::new()).wire(), "OK");
+        assert_eq!(Response::Ok("implied".into()).wire(), "OK implied");
+        assert_eq!(
+            Response::Err("panicked:\nboom\r\n".into()).wire(),
+            "ERR panicked: boom"
+        );
+        assert_eq!(
+            Response::Busy("queue full".into()).wire(),
+            "BUSY queue full"
+        );
+        assert_eq!(
+            Response::Exhausted("quota".into()).wire(),
+            "EXHAUSTED quota"
+        );
+        assert!(!Response::Err("a\nb".into()).wire().contains('\n'));
+    }
+}

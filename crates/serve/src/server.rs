@@ -1,0 +1,579 @@
+//! The TCP server shell: accept loop, per-connection threads, bounded
+//! admission, per-request crash containment, and drain-then-exit
+//! shutdown.
+//!
+//! This crate knows nothing about nested functional dependencies — the
+//! decision work lives behind the [`Handler`] trait, which the `nfd`
+//! facade implements with its session registry. What lives *here* is
+//! the robustness envelope:
+//!
+//! * every connection runs on its own thread inside `catch_unwind`, so
+//!   a transport-layer panic drops one connection, never the process;
+//! * every dispatched request runs inside a second `catch_unwind`, so a
+//!   poisoned request costs one `ERR` line on one connection — the
+//!   CLI's exit-code-101 discipline translated to the wire;
+//! * workload requests pass a bounded admission [`Gate`] and are shed
+//!   with `BUSY` under overload instead of queueing without bound;
+//! * `SHUTDOWN` flips a flag the accept loop and every connection poll
+//!   observe: no new connections, in-flight requests finish, threads
+//!   are joined, then [`Handler::on_shutdown`] runs and the server
+//!   returns its counters.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use nfd_faults::fail_point;
+
+use crate::gate::{Gate, Shed};
+use crate::proto::{Command, Response};
+
+/// The decision-procedure side of the server, implemented by the `nfd`
+/// facade's session registry (and by stubs in this crate's tests).
+///
+/// `handle` may panic: the server contains it and answers `ERR`. It may
+/// block: admission control bounds how many do so at once. It must not
+/// assume it is called from any particular thread.
+pub trait Handler: Send + Sync + 'static {
+    /// Answers one already-parsed, already-admitted request.
+    fn handle(&self, cmd: Command) -> Response;
+
+    /// One line of handler-side counters appended to `STATS` output.
+    fn stats_line(&self) -> String {
+        String::new()
+    }
+
+    /// Called once after the accept loop has drained and every
+    /// connection thread has been joined.
+    fn on_shutdown(&self) {}
+}
+
+/// Tuning knobs for the serving shell. `Default` is sized for tests
+/// and small deployments; the CLI maps its flags onto this.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Workload requests allowed to run concurrently (min 1).
+    pub max_inflight: usize,
+    /// Workload requests allowed to *wait* for a slot; beyond this the
+    /// gate sheds immediately.
+    pub queue_depth: usize,
+    /// How long a queued request waits before being shed.
+    pub queue_wait_ms: u64,
+    /// Hard cap on one request line (the parser itself caps sources at
+    /// 8 MiB, so the default matches).
+    pub max_line_bytes: usize,
+    /// Poll granularity of the accept loop and idle connections; this
+    /// bounds how stale the shutdown flag can get.
+    pub idle_poll_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_inflight: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            queue_depth: 16,
+            queue_wait_ms: 100,
+            max_line_bytes: 8 * 1024 * 1024,
+            idle_poll_ms: 50,
+        }
+    }
+}
+
+/// Lifetime counters, returned by [`Server::run`] after a clean drain.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Request lines received (including ones that failed to parse).
+    pub requests: u64,
+    /// Requests refused with `BUSY` by the admission gate.
+    pub shed: u64,
+    /// Panics contained by either unwind boundary.
+    pub contained_panics: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    shed: AtomicU64,
+    contained_panics: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            contained_panics: self.contained_panics.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A bound-but-not-yet-running server; [`Server::run`] consumes it.
+pub struct Server<H: Handler> {
+    listener: TcpListener,
+    cfg: ServerConfig,
+    handler: Arc<H>,
+}
+
+impl<H: Handler> Server<H> {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral test port).
+    pub fn bind<A: ToSocketAddrs>(addr: A, cfg: ServerConfig, handler: H) -> io::Result<Server<H>> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            cfg,
+            handler: Arc::new(handler),
+        })
+    }
+
+    /// The bound address — read this after binding port 0.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until a `SHUTDOWN` request, then drains and returns the
+    /// lifetime counters. Blocks the calling thread.
+    pub fn run(self) -> io::Result<ServerStats> {
+        let Server {
+            listener,
+            cfg,
+            handler,
+        } = self;
+        listener.set_nonblocking(true)?;
+        let poll = Duration::from_millis(cfg.idle_poll_ms.max(1));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(Counters::default());
+        let gate = Arc::new(Gate::new(
+            cfg.max_inflight,
+            cfg.queue_depth,
+            Duration::from_millis(cfg.queue_wait_ms),
+        ));
+        let mut workers: Vec<JoinHandle<()>> = Vec::new();
+
+        while !shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    counters.connections.fetch_add(1, Ordering::Relaxed);
+                    let cfg = cfg.clone();
+                    let handler = Arc::clone(&handler);
+                    let gate = Arc::clone(&gate);
+                    let counters = Arc::clone(&counters);
+                    let shutdown = Arc::clone(&shutdown);
+                    workers.push(std::thread::spawn(move || {
+                        // First unwind boundary: a panic anywhere in the
+                        // connection (transport included) costs exactly
+                        // this connection.
+                        let contained = catch_unwind(AssertUnwindSafe(|| {
+                            fail_point!("serve::accept");
+                            let _ = serve_connection(
+                                stream, &cfg, &*handler, &gate, &counters, &shutdown,
+                            );
+                        }));
+                        if contained.is_err() {
+                            counters.contained_panics.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }));
+                    // Reap finished connection threads so a long-lived
+                    // server does not accumulate handles.
+                    workers = workers
+                        .into_iter()
+                        .filter_map(|w| {
+                            if w.is_finished() {
+                                let _ = w.join();
+                                None
+                            } else {
+                                Some(w)
+                            }
+                        })
+                        .collect();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(poll);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Drain: no more accepts; idle connections notice the flag on
+        // their next read-timeout tick, busy ones finish their request.
+        drop(listener);
+        for worker in workers {
+            let _ = worker.join();
+        }
+        handler.on_shutdown();
+        Ok(counters.snapshot())
+    }
+}
+
+/// One connection: read request lines, answer each with one response
+/// line, until EOF, an I/O failure, or shutdown.
+fn serve_connection<H: Handler>(
+    stream: TcpStream,
+    cfg: &ServerConfig,
+    handler: &H,
+    gate: &Gate,
+    counters: &Counters,
+    shutdown: &AtomicBool,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(cfg.idle_poll_ms.max(1))))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        let line = match read_line_capped(&mut reader, cfg.max_line_bytes, shutdown) {
+            Ok(Some(line)) => line,
+            Ok(None) => return Ok(()),
+            Err(e) => {
+                // Over-long or undecodable request: answer once, then
+                // drop the connection (framing is no longer trustworthy).
+                let _ = respond(&mut writer, &Response::Err(e.to_string()));
+                return Ok(());
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        counters.requests.fetch_add(1, Ordering::Relaxed);
+        let cmd = match parse_cmd(&line) {
+            Ok(cmd) => cmd,
+            Err(msg) => {
+                respond(&mut writer, &Response::Err(msg))?;
+                continue;
+            }
+        };
+        let resp = match &cmd {
+            // Control plane: must answer even when the gate is shedding.
+            Command::Ping => Response::Ok("pong".to_string()),
+            Command::Stats => {
+                let (inflight, waiting) = gate.snapshot();
+                let s = counters.snapshot();
+                let handler_line = handler.stats_line();
+                let server_line = format!(
+                    "inflight={inflight} waiting={waiting} connections={} requests={} shed={} contained_panics={}",
+                    s.connections, s.requests, s.shed, s.contained_panics
+                );
+                Response::Ok(if handler_line.is_empty() {
+                    server_line
+                } else {
+                    format!("{handler_line} {server_line}")
+                })
+            }
+            Command::Shutdown => {
+                shutdown.store(true, Ordering::SeqCst);
+                respond(&mut writer, &Response::Ok("draining".to_string()))?;
+                return Ok(());
+            }
+            _ if cmd.is_workload() => match gate.admit() {
+                Ok(_permit) => dispatch_contained(handler, cmd.clone(), counters),
+                Err(shed @ (Shed::QueueFull | Shed::WaitExpired)) => {
+                    counters.shed.fetch_add(1, Ordering::Relaxed);
+                    Response::Busy(shed.reason().to_string())
+                }
+            },
+            // EVICT / QUOTA: cheap registry mutations, no admission,
+            // but still panic-contained.
+            _ => dispatch_contained(handler, cmd.clone(), counters),
+        };
+        respond(&mut writer, &resp)?;
+    }
+}
+
+/// Second unwind boundary: a panicking handler (or an armed
+/// `serve::dispatch=panic` failpoint) becomes an `ERR` line.
+fn dispatch_contained<H: Handler>(handler: &H, cmd: Command, counters: &Counters) -> Response {
+    match catch_unwind(AssertUnwindSafe(|| dispatch_one(handler, cmd))) {
+        Ok(resp) => resp,
+        Err(payload) => {
+            counters.contained_panics.fetch_add(1, Ordering::Relaxed);
+            Response::Err(format!(
+                "contained panic: {}",
+                panic_message(payload.as_ref())
+            ))
+        }
+    }
+}
+
+fn dispatch_one<H: Handler>(handler: &H, cmd: Command) -> Response {
+    fail_point!(
+        "serve::dispatch",
+        Response::Exhausted("injected fault (failpoint)".to_string())
+    );
+    handler.handle(cmd)
+}
+
+fn parse_cmd(line: &str) -> Result<Command, String> {
+    fail_point!(
+        "serve::parse",
+        Err("injected fault (failpoint)".to_string())
+    );
+    Command::parse(line)
+}
+
+fn respond(writer: &mut impl Write, resp: &Response) -> io::Result<()> {
+    fail_point!(
+        "serve::respond",
+        Err(io::Error::other("injected fault (failpoint)"))
+    );
+    writeln!(writer, "{}", resp.wire())?;
+    writer.flush()
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "unknown panic payload"
+    }
+}
+
+/// Reads one `\n`-terminated line, enforcing the byte cap, polling the
+/// shutdown flag on every read-timeout tick. `Ok(None)` means the
+/// connection is done (EOF, or the server is draining).
+fn read_line_capped(
+    reader: &mut BufReader<TcpStream>,
+    cap: usize,
+    shutdown: &AtomicBool,
+) -> io::Result<Option<String>> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(None);
+        }
+        let buf = match reader.fill_buf() {
+            Ok(buf) => buf,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        if buf.is_empty() {
+            // EOF. A final unterminated line still gets served.
+            return Ok((!line.is_empty()).then(|| String::from_utf8_lossy(&line).into_owned()));
+        }
+        let (chunk, done) = match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => (pos + 1, true),
+            None => (buf.len(), false),
+        };
+        line.extend_from_slice(&buf[..chunk - usize::from(done)]);
+        reader.consume(chunk);
+        if line.len() > cap {
+            return Err(io::Error::other(format!(
+                "request line exceeds {cap} bytes"
+            )));
+        }
+        if done {
+            return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+    use std::net::TcpStream;
+
+    /// A handler that sleeps on goals containing `slow` and panics on
+    /// goals containing `boom` — enough to exercise every envelope.
+    struct Stub {
+        delay: Duration,
+    }
+
+    impl Handler for Stub {
+        fn handle(&self, cmd: Command) -> Response {
+            if let Command::Implies { goal, .. } = &cmd {
+                if goal.contains("slow") {
+                    std::thread::sleep(self.delay);
+                }
+                if goal.contains("boom") {
+                    panic!("stub poisoned by {goal}");
+                }
+            }
+            Response::Ok(cmd.verb().to_lowercase())
+        }
+
+        fn stats_line(&self) -> String {
+            "stub=1".to_string()
+        }
+    }
+
+    fn start(cfg: ServerConfig, delay_ms: u64) -> (SocketAddr, JoinHandle<ServerStats>) {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            cfg,
+            Stub {
+                delay: Duration::from_millis(delay_ms),
+            },
+        )
+        .expect("bind");
+        let addr = server.local_addr().expect("addr");
+        let handle = std::thread::spawn(move || server.run().expect("run"));
+        (addr, handle)
+    }
+
+    struct Client {
+        reader: BufReader<TcpStream>,
+        writer: TcpStream,
+    }
+
+    impl Client {
+        fn connect(addr: SocketAddr) -> Client {
+            let stream = TcpStream::connect(addr).expect("connect");
+            Client {
+                reader: BufReader::new(stream.try_clone().expect("clone")),
+                writer: stream,
+            }
+        }
+
+        fn send(&mut self, line: &str) {
+            writeln!(self.writer, "{line}").expect("send");
+            self.writer.flush().expect("flush");
+        }
+
+        fn recv(&mut self) -> String {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("recv");
+            line.trim_end().to_string()
+        }
+
+        fn ask(&mut self, line: &str) -> String {
+            self.send(line);
+            self.recv()
+        }
+    }
+
+    fn quick_cfg() -> ServerConfig {
+        ServerConfig {
+            idle_poll_ms: 5,
+            ..ServerConfig::default()
+        }
+    }
+
+    #[test]
+    fn round_trips_and_drains_on_shutdown() {
+        let (addr, server) = start(quick_cfg(), 0);
+        let mut c = Client::connect(addr);
+        assert_eq!(c.ask("PING"), "OK pong");
+        assert_eq!(c.ask("IMPLIES t R:[A -> B]"), "OK implies");
+        assert_eq!(c.ask("EVICT t"), "OK evict");
+        assert!(c.ask("FROB x").starts_with("ERR "));
+        let stats = c.ask("STATS");
+        assert!(stats.starts_with("OK stub=1 inflight="), "{stats}");
+        assert_eq!(c.ask("SHUTDOWN"), "OK draining");
+        let stats = server.join().expect("server thread");
+        assert_eq!(stats.connections, 1);
+        assert_eq!(stats.requests, 6);
+        assert_eq!(stats.contained_panics, 0);
+    }
+
+    #[test]
+    fn panicking_request_answers_err_and_connection_survives() {
+        let (addr, server) = start(quick_cfg(), 0);
+        let mut a = Client::connect(addr);
+        let mut b = Client::connect(addr);
+        let err = a.ask("IMPLIES t boom");
+        assert!(
+            err.starts_with("ERR contained panic:") && err.contains("boom"),
+            "{err}"
+        );
+        // Same connection keeps working; other connections never notice.
+        assert_eq!(a.ask("IMPLIES t fine"), "OK implies");
+        assert_eq!(b.ask("PING"), "OK pong");
+        assert_eq!(b.ask("SHUTDOWN"), "OK draining");
+        let stats = server.join().expect("server thread");
+        assert_eq!(stats.contained_panics, 1);
+    }
+
+    #[test]
+    fn overload_sheds_busy_instead_of_queueing() {
+        let cfg = ServerConfig {
+            max_inflight: 1,
+            queue_depth: 0,
+            queue_wait_ms: 10,
+            ..quick_cfg()
+        };
+        let (addr, server) = start(cfg, 500);
+        let mut slow = Client::connect(addr);
+        slow.send("IMPLIES t slow");
+        // Let the slow request occupy the single slot.
+        std::thread::sleep(Duration::from_millis(100));
+        let mut shed = Client::connect(addr);
+        let busy = shed.ask("IMPLIES t quick");
+        assert!(busy.starts_with("BUSY "), "{busy}");
+        // Control plane still answers while the gate sheds.
+        assert_eq!(shed.ask("PING"), "OK pong");
+        assert_eq!(slow.recv(), "OK implies", "the admitted request completes");
+        assert_eq!(shed.ask("SHUTDOWN"), "OK draining");
+        let stats = server.join().expect("server thread");
+        assert_eq!(stats.shed, 1);
+    }
+
+    #[test]
+    fn shutdown_waits_for_inflight_work() {
+        let cfg = quick_cfg();
+        let (addr, server) = start(cfg, 300);
+        let mut slow = Client::connect(addr);
+        slow.send("IMPLIES t slow");
+        std::thread::sleep(Duration::from_millis(50));
+        let mut ctl = Client::connect(addr);
+        assert_eq!(ctl.ask("SHUTDOWN"), "OK draining");
+        // The in-flight request still gets its answer before exit.
+        assert_eq!(slow.recv(), "OK implies");
+        let stats = server.join().expect("server thread");
+        assert_eq!(stats.requests, 2);
+    }
+
+    #[test]
+    fn oversized_line_gets_err_then_disconnect() {
+        let cfg = ServerConfig {
+            max_line_bytes: 64,
+            ..quick_cfg()
+        };
+        let (addr, server) = start(cfg, 0);
+        let mut c = Client::connect(addr);
+        let resp = c.ask(&"x".repeat(200));
+        assert!(
+            resp.starts_with("ERR ") && resp.contains("exceeds"),
+            "{resp}"
+        );
+        let mut line = String::new();
+        assert_eq!(
+            c.reader.read_line(&mut line).expect("EOF read"),
+            0,
+            "server hangs up after a framing violation"
+        );
+        let mut ctl = Client::connect(addr);
+        assert_eq!(ctl.ask("SHUTDOWN"), "OK draining");
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn blank_lines_are_ignored_not_errors() {
+        let (addr, server) = start(quick_cfg(), 0);
+        let mut c = Client::connect(addr);
+        c.send("");
+        c.send("   ");
+        assert_eq!(c.ask("PING"), "OK pong");
+        assert_eq!(c.ask("SHUTDOWN"), "OK draining");
+        let stats = server.join().expect("server thread");
+        assert_eq!(stats.requests, 2, "blank lines are not requests");
+    }
+}

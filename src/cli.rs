@@ -15,6 +15,7 @@
 //! nfdtool keys     --schema S --deps D --relation R
 //! nfdtool analyze  --schema S --deps D            # singletons, redundancy, minimal cover
 //! nfdtool render   --schema S --instance I        # nested tables
+//! nfdtool serve    --addr HOST:PORT               # multi-tenant registry daemon
 //! ```
 //!
 //! The `implies`, `prove`, `closure` and `keys` subcommands are served by
@@ -109,6 +110,7 @@ const USAGE: &str = "usage:
   nfdtool keys     --schema FILE --deps FILE --relation NAME [--budget N] [--timeout-ms T] [--threads N] [--engine E]
   nfdtool analyze  --schema FILE --deps FILE
   nfdtool render   --schema FILE --instance FILE
+  nfdtool serve    --addr HOST:PORT [--max-resident N] [--max-inflight N] [--queue N] [--quota N] [--budget N] [--timeout-ms T]
 
   --goals FILE decides every NFD of the (semicolon-separated) file against
   one compiled session; exit 0 iff all goals are implied.
@@ -144,6 +146,15 @@ const USAGE: &str = "usage:
   served each query. A forced `dense` charges the closure-matrix build
   to the budget and reports exhaustion honestly instead of falling back.
 
+  serve runs the crash-contained multi-tenant registry daemon: named
+  schemas stay resident as compiled sessions behind a line protocol
+  (LOAD/IMPLIES/BATCH/CLOSURE/KEYS/QUOTA/EVICT/STATS/PING/SHUTDOWN; see
+  the README). --max-resident caps warm sessions (LRU eviction, default
+  8); --max-inflight and --queue bound admission (overflow answers BUSY);
+  --quota meters each tenant's work units (EXHAUSTED when drained);
+  --budget caps per-query counters and --timeout-ms (default 30000) is
+  the per-request deadline. Exits 0 on a clean SHUTDOWN drain.
+
   exit codes: 0 holds/implied · 1 fails/not implied · 2 usage or input
   error · 3 budget or deadline exhausted · 101 contained internal panic";
 
@@ -162,6 +173,11 @@ struct Opts {
     retry: Option<String>,
     escalate: Option<String>,
     engine: Option<String>,
+    addr: Option<String>,
+    max_resident: Option<String>,
+    max_inflight: Option<String>,
+    queue: Option<String>,
+    quota: Option<String>,
     positional: Vec<String>,
 }
 
@@ -181,6 +197,11 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         retry: None,
         escalate: None,
         engine: None,
+        addr: None,
+        max_resident: None,
+        max_inflight: None,
+        queue: None,
+        quota: None,
         positional: Vec::new(),
     };
     let mut i = 0;
@@ -206,6 +227,11 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--retry" => o.retry = Some(take(&mut i)?),
             "--escalate" => o.escalate = Some(take(&mut i)?),
             "--engine" => o.engine = Some(take(&mut i)?),
+            "--addr" => o.addr = Some(take(&mut i)?),
+            "--max-resident" => o.max_resident = Some(take(&mut i)?),
+            "--max-inflight" => o.max_inflight = Some(take(&mut i)?),
+            "--queue" => o.queue = Some(take(&mut i)?),
+            "--quota" => o.quota = Some(take(&mut i)?),
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             other => o.positional.push(other.to_string()),
         }
@@ -679,6 +705,53 @@ fn dispatch(args: &[String], out: &mut String) -> Result<i32, CliFail> {
             let schema = load_schema(&o)?;
             let inst = load_instance(&o, &schema)?;
             let _ = write!(out, "{}", render::render_instance(&schema, &inst));
+            Ok(0)
+        }
+        "serve" => {
+            let addr = o
+                .addr
+                .as_deref()
+                .ok_or("--addr is required (e.g. --addr 127.0.0.1:7171)")?;
+            let parse_u64 = |text: Option<&str>, flag: &str| -> Result<Option<u64>, String> {
+                text.map(|t| {
+                    t.parse::<u64>()
+                        .map_err(|_| format!("{flag} must be a non-negative integer, got `{t}`"))
+                })
+                .transpose()
+            };
+            let registry_cfg = crate::serve::RegistryConfig {
+                max_resident: parse_u64(o.max_resident.as_deref(), "--max-resident")?
+                    .map(|n| n as usize)
+                    .unwrap_or(8),
+                default_quota: parse_u64(o.quota.as_deref(), "--quota")?,
+                query_budget: parse_u64(o.budget.as_deref(), "--budget")?,
+                request_timeout_ms: parse_u64(o.timeout_ms.as_deref(), "--timeout-ms")?
+                    .unwrap_or(30_000),
+            };
+            let mut server_cfg = nfd_serve::ServerConfig::default();
+            if let Some(n) = parse_u64(o.max_inflight.as_deref(), "--max-inflight")? {
+                server_cfg.max_inflight = n as usize;
+            }
+            if let Some(n) = parse_u64(o.queue.as_deref(), "--queue")? {
+                server_cfg.queue_depth = n as usize;
+            }
+            let registry = crate::serve::Registry::new(registry_cfg);
+            let server = nfd_serve::Server::bind(addr, server_cfg, registry)
+                .map_err(|e| format!("cannot bind `{addr}`: {e}"))?;
+            let local = server
+                .local_addr()
+                .map_err(|e| CliFail::Internal(format!("local_addr: {e}")))?;
+            // Directly to stderr, not the buffered sink: scripts need the
+            // "listening" line (with the resolved port) *before* exit.
+            eprintln!("nfdtool serve: listening on {local} (send SHUTDOWN to drain)");
+            let stats = server
+                .run()
+                .map_err(|e| CliFail::Internal(format!("server failed: {e}")))?;
+            let _ = writeln!(
+                out,
+                "serve: drained cleanly — {} connections, {} requests, {} shed, {} contained panics",
+                stats.connections, stats.requests, stats.shed, stats.contained_panics
+            );
             Ok(0)
         }
         "help" | "--help" | "-h" => {

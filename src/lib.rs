@@ -20,6 +20,10 @@
 //! | [`core`] | NFDs, satisfaction, rules, engine, proofs, closure, construction |
 //! | [`relational`] | Armstrong's axioms / attribute closure baseline |
 //! | [`chase`] | nested tableau chase (the paper's future work) |
+//! | [`net`] | crash-contained TCP serving shell (line protocol, admission, drain) |
+//!
+//! The [`serve`] module (this crate, not a re-export) implements the
+//! multi-tenant session [`serve::Registry`] behind `nfdtool serve`.
 //!
 //! ## Quickstart
 //!
@@ -50,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod serve;
 pub mod session;
 
 pub use nfd_chase as chase;
@@ -61,9 +66,11 @@ pub use nfd_model as model;
 pub use nfd_par as par;
 pub use nfd_path as path;
 pub use nfd_relational as relational;
+pub use nfd_serve as net;
 
 /// The most commonly used items, for `use nfd::prelude::*`.
 pub mod prelude {
+    pub use crate::serve::{Registry, RegistryConfig};
     pub use crate::session::{
         Attempt, AttemptOutcome, BatchDecision, Chase, Decider, Decision, LogicEval, RetryPolicy,
         Saturation, Session,
@@ -73,4 +80,5 @@ pub mod prelude {
     pub use nfd_govern::{Budget, CancelToken, ResourceKind, ResourceReport, Verdict};
     pub use nfd_model::{Instance, Label, Schema, Type, Value};
     pub use nfd_path::{Path, RootedPath};
+    pub use nfd_serve::{Command, Handler, Response, Server, ServerConfig, ServerStats};
 }

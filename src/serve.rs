@@ -1,0 +1,792 @@
+//! The multi-tenant schema registry behind `nfdtool serve`.
+//!
+//! [`Registry`] implements [`nfd_serve::Handler`]: it keeps many named
+//! schemas resident as compiled [`Session`]s and answers the protocol's
+//! workload verbs against them. The transport, admission gate, unwind
+//! boundaries and drain protocol all live in the `nfd-serve` crate;
+//! what lives here is the NFD side:
+//!
+//! * **Resident sessions without `'static` gymnastics.** `Session<'s>`
+//!   borrows its `Schema`, which is exactly right for one CLI
+//!   invocation and exactly wrong for a daemon. Rather than leak or
+//!   unsafely self-reference, each tenant gets an *actor thread* that
+//!   owns `(Schema, Σ, Session)` on its stack and serves queries over
+//!   an `mpsc` channel. Evicting a tenant drops the channel sender; the
+//!   actor sees the hangup and unwinds its stack naturally — no leaks,
+//!   no `unsafe`.
+//! * **Crash containment in depth.** The actor wraps every query in
+//!   `catch_unwind` (on top of the server's per-request boundary), so a
+//!   poisoned query answers `ERR` and the *session survives* — the next
+//!   query on the same tenant is served from the same warm caches.
+//!   Should an actor die anyway, the failed channel send is detected,
+//!   the tenant is evicted, and the client gets `ERR`, never a hang.
+//! * **Per-tenant quotas.** A tenant's remaining work units (set at
+//!   `LOAD` from [`RegistryConfig::default_quota`], adjusted by
+//!   `QUOTA`) cap the [`Budget`] of every query; a drained quota
+//!   answers `EXHAUSTED` *before* dispatch. Queries are charged their
+//!   actual decider cost (max attempt counter, min 1), so expensive
+//!   tenants drain faster — the budget-constrained-FD framing from
+//!   PAPERS.md as an admission policy.
+//! * **LRU residency.** At most [`RegistryConfig::max_resident`]
+//!   sessions stay warm; loading past the cap retires the
+//!   least-recently-used tenant (its actor exits, freeing the compiled
+//!   tables).
+//!
+//! Per-request deadlines ([`RegistryConfig::request_timeout_ms`]) apply
+//! to the *query* budgets only. The resident engine is compiled under a
+//! counters-only budget: a deadline baked into the session at `LOAD`
+//! would be in the past for every later query, poisoning `CLOSURE` and
+//! `KEYS`, which run on the resident engine.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+use nfd_core::{CoreError, EmptySetPolicy, Nfd};
+use nfd_faults::fail_point;
+use nfd_govern::{Budget, Verdict};
+use nfd_model::{Label, Schema};
+use nfd_path::{Path, RootedPath};
+use nfd_serve::{Command, Handler, Response};
+
+use crate::session::Session;
+
+/// Tuning for the registry side of the server (the transport side is
+/// [`nfd_serve::ServerConfig`]).
+#[derive(Clone, Debug)]
+pub struct RegistryConfig {
+    /// Resident-session cap; loading past it evicts the LRU tenant.
+    pub max_resident: usize,
+    /// Work-unit quota a tenant starts with (`None` = unmetered).
+    pub default_quota: Option<u64>,
+    /// Per-query budget counters ([`Budget::limited`]); `None` uses
+    /// [`Budget::standard`]. Also governs session compilation and the
+    /// resident engine serving `CLOSURE`/`KEYS`.
+    pub query_budget: Option<u64>,
+    /// Wall-clock deadline per `IMPLIES`/`BATCH` query (ms; 0 = none).
+    pub request_timeout_ms: u64,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> RegistryConfig {
+        RegistryConfig {
+            max_resident: 8,
+            default_quota: None,
+            query_budget: None,
+            request_timeout_ms: 30_000,
+        }
+    }
+}
+
+/// A query shipped to a tenant's actor thread.
+enum Query {
+    Implies { goal: String },
+    Batch { goals: String },
+    Closure { base: String, lhs: Option<String> },
+    Keys { relation: String },
+}
+
+struct Request {
+    query: Query,
+    budget: Budget,
+    reply: mpsc::Sender<Reply>,
+}
+
+struct Reply {
+    response: Response,
+    /// Work units to charge against the tenant quota.
+    cost: u64,
+}
+
+/// One resident tenant: the channel to its actor and its quota state.
+/// The `Vec<Tenant>` in [`Registry`] is kept in most-recently-used
+/// order, front first — that ordering *is* the LRU policy.
+struct Tenant {
+    name: String,
+    tx: Option<mpsc::Sender<Request>>,
+    quota: Option<u64>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Tenant {
+    /// Hangs up the actor's channel and joins it. Joining may wait for
+    /// an in-flight query on another connection to finish — that is the
+    /// drain guarantee, not a bug.
+    fn retire(mut self) {
+        self.tx.take();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Tenant {
+    fn drop(&mut self) {
+        // `retire` already took both; this path covers tenants dropped
+        // without an explicit retire (e.g. an unwinding test).
+        self.tx.take();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryCounters {
+    loads: AtomicU64,
+    reloads: AtomicU64,
+    evicted: AtomicU64,
+    evicted_lru: AtomicU64,
+    queries: AtomicU64,
+    quota_denials: AtomicU64,
+    worker_failures: AtomicU64,
+}
+
+/// The multi-tenant session registry; implement [`Handler`] and hand it
+/// to [`nfd_serve::Server::bind`].
+pub struct Registry {
+    cfg: RegistryConfig,
+    tenants: Mutex<Vec<Tenant>>,
+    counters: RegistryCounters,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new(cfg: RegistryConfig) -> Registry {
+        Registry {
+            cfg,
+            tenants: Mutex::new(Vec::new()),
+            counters: RegistryCounters::default(),
+        }
+    }
+
+    /// The budget sessions are *compiled* under and the resident engine
+    /// serves `CLOSURE`/`KEYS` with: counters only, never a deadline
+    /// (see the module docs for why).
+    fn build_budget(&self) -> Budget {
+        match self.cfg.query_budget {
+            Some(n) => Budget::limited(n),
+            None => Budget::standard(),
+        }
+    }
+
+    /// The budget for one `IMPLIES`/`BATCH` query: configured counters
+    /// tightened to the tenant's remaining quota, plus the per-request
+    /// deadline. A deadline this close to the wire is what keeps a
+    /// pathological goal from holding an admission slot forever.
+    fn query_budget(&self, remaining_quota: Option<u64>) -> Budget {
+        let budget = match (self.cfg.query_budget, remaining_quota) {
+            (None, None) => Budget::standard(),
+            (cap, quota) => Budget::limited(cap.unwrap_or(u64::MAX).min(quota.unwrap_or(u64::MAX))),
+        };
+        if self.cfg.request_timeout_ms > 0 {
+            budget.with_timeout_ms(self.cfg.request_timeout_ms)
+        } else {
+            budget
+        }
+    }
+
+    fn load(&self, name: String, schema: String, deps: String) -> Response {
+        let (ready_tx, ready_rx) = mpsc::channel();
+        let (tx, rx) = mpsc::channel();
+        let budget = self.build_budget();
+        let worker = std::thread::spawn(move || actor(schema, deps, budget, rx, ready_tx));
+        match ready_rx.recv() {
+            Ok(Ok(dep_count)) => {
+                let tenant = Tenant {
+                    name: name.clone(),
+                    tx: Some(tx),
+                    quota: self.cfg.default_quota,
+                    worker: Some(worker),
+                };
+                let mut retired: Vec<Tenant> = Vec::new();
+                {
+                    let mut tenants = self.tenants.lock().unwrap_or_else(PoisonError::into_inner);
+                    if let Some(pos) = tenants.iter().position(|t| t.name == name) {
+                        retired.push(tenants.remove(pos));
+                        self.counters.reloads.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.counters.loads.fetch_add(1, Ordering::Relaxed);
+                    }
+                    tenants.insert(0, tenant);
+                    while tenants.len() > self.cfg.max_resident.max(1) {
+                        if let Some(cold) = tenants.pop() {
+                            self.counters.evicted_lru.fetch_add(1, Ordering::Relaxed);
+                            retired.push(cold);
+                        }
+                    }
+                }
+                // Join retired actors outside the lock: an in-flight
+                // query on a replaced tenant may still need to finish.
+                for tenant in retired {
+                    tenant.retire();
+                }
+                Response::Ok(format!("loaded deps={dep_count}"))
+            }
+            Ok(Err(resp)) => {
+                drop(tx);
+                let _ = worker.join();
+                resp
+            }
+            Err(_) => {
+                // The actor died before the handshake — nothing was
+                // registered, so nothing to evict.
+                drop(tx);
+                let _ = worker.join();
+                self.counters
+                    .worker_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                Response::Err("session worker died during load".to_string())
+            }
+        }
+    }
+
+    fn run_query(&self, name: &str, query: Query) -> Response {
+        fail_point!(
+            "serve::tenant_query",
+            Response::Exhausted("injected fault (failpoint)".to_string())
+        );
+        let (tx, remaining) = {
+            let mut tenants = self.tenants.lock().unwrap_or_else(PoisonError::into_inner);
+            let Some(pos) = tenants.iter().position(|t| t.name == name) else {
+                return Response::Err(format!("unknown tenant `{name}` (LOAD it first)"));
+            };
+            if tenants[pos].quota == Some(0) {
+                self.counters.quota_denials.fetch_add(1, Ordering::Relaxed);
+                return Response::Exhausted(format!("tenant `{name}` quota exhausted"));
+            }
+            // Touch for LRU: most-recently-used lives at the front.
+            let tenant = tenants.remove(pos);
+            let handle = (tenant.tx.clone(), tenant.quota);
+            tenants.insert(0, tenant);
+            handle
+        };
+        let Some(tx) = tx else {
+            return self.worker_failed(name);
+        };
+        let budget = self.query_budget(remaining);
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let request = Request {
+            query,
+            budget,
+            reply: reply_tx,
+        };
+        if tx.send(request).is_err() {
+            return self.worker_failed(name);
+        }
+        match reply_rx.recv() {
+            Ok(reply) => {
+                self.counters.queries.fetch_add(1, Ordering::Relaxed);
+                self.charge(name, reply.cost);
+                reply.response
+            }
+            Err(_) => self.worker_failed(name),
+        }
+    }
+
+    /// A tenant's actor hung up mid-request: evict it so the registry
+    /// converges back to a healthy state, and say so honestly.
+    fn worker_failed(&self, name: &str) -> Response {
+        self.counters
+            .worker_failures
+            .fetch_add(1, Ordering::Relaxed);
+        let dead = {
+            let mut tenants = self.tenants.lock().unwrap_or_else(PoisonError::into_inner);
+            tenants
+                .iter()
+                .position(|t| t.name == name)
+                .map(|pos| tenants.remove(pos))
+        };
+        if let Some(tenant) = dead {
+            self.counters.evicted.fetch_add(1, Ordering::Relaxed);
+            tenant.retire();
+        }
+        Response::Err(format!("tenant `{name}` worker failed; session evicted"))
+    }
+
+    fn charge(&self, name: &str, cost: u64) {
+        let mut tenants = self.tenants.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(tenant) = tenants.iter_mut().find(|t| t.name == name) {
+            if let Some(quota) = tenant.quota.as_mut() {
+                *quota = quota.saturating_sub(cost.max(1));
+            }
+        }
+    }
+
+    fn set_quota(&self, name: &str, units: u64) -> Response {
+        let mut tenants = self.tenants.lock().unwrap_or_else(PoisonError::into_inner);
+        match tenants.iter_mut().find(|t| t.name == name) {
+            Some(tenant) => {
+                tenant.quota = Some(units);
+                Response::Ok(format!("quota={units}"))
+            }
+            None => Response::Err(format!("unknown tenant `{name}` (LOAD it first)")),
+        }
+    }
+
+    fn evict(&self, name: &str) -> Response {
+        let gone = {
+            let mut tenants = self.tenants.lock().unwrap_or_else(PoisonError::into_inner);
+            tenants
+                .iter()
+                .position(|t| t.name == name)
+                .map(|pos| tenants.remove(pos))
+        };
+        match gone {
+            Some(tenant) => {
+                self.counters.evicted.fetch_add(1, Ordering::Relaxed);
+                tenant.retire();
+                Response::Ok("evicted".to_string())
+            }
+            None => Response::Err(format!("unknown tenant `{name}`")),
+        }
+    }
+}
+
+impl Handler for Registry {
+    fn handle(&self, cmd: Command) -> Response {
+        match cmd {
+            Command::Load { name, schema, deps } => self.load(name, schema, deps),
+            Command::Implies { name, goal } => self.run_query(&name, Query::Implies { goal }),
+            Command::Batch { name, goals } => self.run_query(&name, Query::Batch { goals }),
+            Command::Closure { name, base, lhs } => {
+                self.run_query(&name, Query::Closure { base, lhs })
+            }
+            Command::Keys { name, relation } => self.run_query(&name, Query::Keys { relation }),
+            Command::Quota { name, units } => self.set_quota(&name, units),
+            Command::Evict { name } => self.evict(&name),
+            // The server answers these itself; reaching here means a
+            // custom harness skipped it — answer something sane.
+            Command::Stats => Response::Ok(self.stats_line()),
+            Command::Ping => Response::Ok("pong".to_string()),
+            Command::Shutdown => Response::Ok("draining".to_string()),
+        }
+    }
+
+    fn stats_line(&self) -> String {
+        let resident: Vec<String> = {
+            let tenants = self.tenants.lock().unwrap_or_else(PoisonError::into_inner);
+            tenants.iter().map(|t| t.name.clone()).collect()
+        };
+        let c = &self.counters;
+        format!(
+            "sessions={} resident=[{}] loads={} reloads={} evicted={} evicted_lru={} queries={} quota_denials={} worker_failures={}",
+            resident.len(),
+            resident.join(","),
+            c.loads.load(Ordering::Relaxed),
+            c.reloads.load(Ordering::Relaxed),
+            c.evicted.load(Ordering::Relaxed),
+            c.evicted_lru.load(Ordering::Relaxed),
+            c.queries.load(Ordering::Relaxed),
+            c.quota_denials.load(Ordering::Relaxed),
+            c.worker_failures.load(Ordering::Relaxed),
+        )
+    }
+
+    fn on_shutdown(&self) {
+        let tenants =
+            std::mem::take(&mut *self.tenants.lock().unwrap_or_else(PoisonError::into_inner));
+        for tenant in tenants {
+            tenant.retire();
+        }
+    }
+}
+
+/// The actor: owns the compiled `(Schema, Σ, Session)` on its stack and
+/// serves queries until every channel sender is dropped (eviction,
+/// reload, or shutdown). This is what makes borrowed `Session<'s>`
+/// residency safe: the borrow lives inside one thread's stack frame.
+fn actor(
+    schema_src: String,
+    deps_src: String,
+    budget: Budget,
+    rx: mpsc::Receiver<Request>,
+    ready: mpsc::Sender<Result<usize, Response>>,
+) {
+    let schema = match Schema::parse(&schema_src) {
+        Ok(schema) => schema,
+        Err(e) => {
+            let _ = ready.send(Err(Response::Err(format!("schema: {e}"))));
+            return;
+        }
+    };
+    let sigma = match nfd_core::nfd::parse_set(&schema, &deps_src) {
+        Ok(sigma) => sigma,
+        Err(e) => {
+            let _ = ready.send(Err(Response::Err(format!("deps: {e}"))));
+            return;
+        }
+    };
+    let session = match Session::with_budget(&schema, &sigma, EmptySetPolicy::Forbidden, budget) {
+        Ok(session) => session,
+        Err(e) => {
+            let _ = ready.send(Err(core_error_response(e)));
+            return;
+        }
+    };
+    if ready.send(Ok(sigma.len())).is_err() {
+        return;
+    }
+    while let Ok(request) = rx.recv() {
+        // Inner unwind boundary: a poisoned query answers ERR and the
+        // warm session keeps serving (the server's per-request boundary
+        // would otherwise only save the connection, not the tenant).
+        let reply = catch_unwind(AssertUnwindSafe(|| {
+            answer(&session, &schema, request.query, &request.budget)
+        }))
+        .unwrap_or_else(|payload| Reply {
+            response: Response::Err(format!("contained panic: {}", panic_text(payload.as_ref()))),
+            cost: 1,
+        });
+        let _ = request.reply.send(reply);
+    }
+}
+
+fn answer(session: &Session<'_>, schema: &Schema, query: Query, budget: &Budget) -> Reply {
+    match query {
+        Query::Implies { goal } => {
+            let goal = match Nfd::parse(schema, &goal) {
+                Ok(goal) => goal,
+                Err(e) => return input_error(e),
+            };
+            match session.implies_with(&goal, budget) {
+                Ok(decision) => {
+                    let cost = decision_cost(&decision);
+                    Reply {
+                        response: verdict_response(&decision.verdict),
+                        cost,
+                    }
+                }
+                Err(e) => input_error(e),
+            }
+        }
+        Query::Batch { goals } => {
+            let goals = match nfd_core::nfd::parse_set(schema, &goals) {
+                Ok(goals) => goals,
+                Err(e) => return input_error(e),
+            };
+            if goals.is_empty() {
+                return Reply {
+                    response: Response::Err("BATCH: empty goal set".to_string()),
+                    cost: 1,
+                };
+            }
+            match session.implies_batch(&goals, budget, 1) {
+                Ok(batch) => {
+                    let statuses: Vec<&str> = batch
+                        .decisions
+                        .iter()
+                        .map(|d| match d {
+                            Ok(d) => match d.verdict {
+                                Verdict::Implied => "implied",
+                                Verdict::NotImplied => "not-implied",
+                                Verdict::Exhausted(_) => "exhausted",
+                            },
+                            Err(_) => "failed",
+                        })
+                        .collect();
+                    let cost = batch
+                        .decisions
+                        .iter()
+                        .map(|d| d.as_ref().map(decision_cost).unwrap_or(1))
+                        .sum::<u64>()
+                        .max(1);
+                    Reply {
+                        response: Response::Ok(statuses.join(",")),
+                        cost,
+                    }
+                }
+                Err(e) => input_error(e),
+            }
+        }
+        Query::Closure { base, lhs } => {
+            let base = match RootedPath::parse(&base) {
+                Ok(base) => base,
+                Err(e) => {
+                    return Reply {
+                        response: Response::Err(format!("base: {e}")),
+                        cost: 1,
+                    }
+                }
+            };
+            let lhs: Vec<Path> = match lhs
+                .as_deref()
+                .unwrap_or("")
+                .split(',')
+                .filter(|s| !s.trim().is_empty())
+                .map(|s| Path::parse(s.trim()))
+                .collect()
+            {
+                Ok(lhs) => lhs,
+                Err(e) => {
+                    return Reply {
+                        response: Response::Err(format!("lhs: {e}")),
+                        cost: 1,
+                    }
+                }
+            };
+            match session.closure(&base, &lhs) {
+                Ok(closure) => Reply {
+                    response: Response::Ok(
+                        closure
+                            .iter()
+                            .map(RootedPath::to_string)
+                            .collect::<Vec<_>>()
+                            .join(" "),
+                    ),
+                    cost: 1,
+                },
+                Err(e) => input_error(e),
+            }
+        }
+        Query::Keys { relation } => match session.candidate_keys(Label::new(&relation), 4) {
+            Ok(keys) if keys.is_empty() => Reply {
+                response: Response::Ok("(no candidate keys of size <= 4)".to_string()),
+                cost: 1,
+            },
+            Ok(keys) => Reply {
+                response: Response::Ok(
+                    keys.iter()
+                        .map(|k| {
+                            format!(
+                                "{{{}}}",
+                                k.iter().map(Path::to_string).collect::<Vec<_>>().join(",")
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                        .join(" "),
+                ),
+                cost: 1,
+            },
+            Err(e) => input_error(e),
+        },
+    }
+}
+
+/// The wire form of a three-valued verdict.
+fn verdict_response(verdict: &Verdict) -> Response {
+    match verdict {
+        Verdict::Implied => Response::Ok("implied".to_string()),
+        Verdict::NotImplied => Response::Ok("not-implied".to_string()),
+        Verdict::Exhausted(report) => Response::Exhausted(report.to_string()),
+    }
+}
+
+/// Work units one decision costs its tenant: the largest decider
+/// counter in the cascade log, floored at 1 so even cache hits meter.
+fn decision_cost(decision: &crate::session::Decision) -> u64 {
+    decision
+        .attempts
+        .iter()
+        .filter_map(|a| a.cost)
+        .max()
+        .unwrap_or(0)
+        .max(1)
+}
+
+fn input_error(e: CoreError) -> Reply {
+    let response = core_error_response(e);
+    Reply { response, cost: 1 }
+}
+
+fn core_error_response(e: CoreError) -> Response {
+    match e {
+        CoreError::Exhausted(report) => Response::Exhausted(report.to_string()),
+        other => Response::Err(other.to_string()),
+    }
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "unknown panic payload"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCHEMA: &str = "R : {<A: int, B: int, C: int>};";
+    const DEPS: &str = "R:[A -> B]; R:[B -> C];";
+
+    fn cmd(line: &str) -> Command {
+        Command::parse(line).expect("test command parses")
+    }
+
+    fn load(reg: &Registry, name: &str) -> Response {
+        reg.handle(cmd(&format!("LOAD {name} {SCHEMA} | {DEPS}")))
+    }
+
+    #[test]
+    fn load_then_query_round_trip() {
+        let reg = Registry::new(RegistryConfig::default());
+        assert_eq!(load(&reg, "t"), Response::Ok("loaded deps=2".to_string()));
+        assert_eq!(
+            reg.handle(cmd("IMPLIES t R:[A -> C]")),
+            Response::Ok("implied".to_string())
+        );
+        assert_eq!(
+            reg.handle(cmd("IMPLIES t R:[C -> A]")),
+            Response::Ok("not-implied".to_string())
+        );
+        assert_eq!(
+            reg.handle(cmd("BATCH t R:[A -> C]; R:[C -> A];")),
+            Response::Ok("implied,not-implied".to_string())
+        );
+        let keys = reg.handle(cmd("KEYS t R"));
+        assert!(
+            matches!(&keys, Response::Ok(p) if p.contains("{A}")),
+            "{keys:?}"
+        );
+        let closure = reg.handle(cmd("CLOSURE t R A"));
+        assert!(
+            matches!(&closure, Response::Ok(p) if p.contains("R:B") && p.contains("R:C")),
+            "{closure:?}"
+        );
+        reg.on_shutdown();
+    }
+
+    #[test]
+    fn unknown_tenant_and_bad_sources_answer_err() {
+        let reg = Registry::new(RegistryConfig::default());
+        assert!(matches!(
+            reg.handle(cmd("IMPLIES ghost R:[A -> B]")),
+            Response::Err(msg) if msg.contains("unknown tenant")
+        ));
+        assert!(matches!(
+            reg.handle(cmd("LOAD bad not-a-schema | whatever")),
+            Response::Err(msg) if msg.starts_with("schema:")
+        ));
+        assert!(matches!(
+            reg.handle(cmd(&format!("LOAD bad {SCHEMA} | not-deps"))),
+            Response::Err(msg) if msg.starts_with("deps:")
+        ));
+        // A malformed goal against a healthy tenant: ERR, and the
+        // session keeps answering.
+        assert!(load(&reg, "t").is_ok());
+        assert!(matches!(
+            reg.handle(cmd("IMPLIES t R:[Nope -> B]")),
+            Response::Err(_)
+        ));
+        assert_eq!(
+            reg.handle(cmd("IMPLIES t R:[A -> B]")),
+            Response::Ok("implied".to_string())
+        );
+        reg.on_shutdown();
+    }
+
+    #[test]
+    fn quota_zero_denies_before_dispatch_and_is_recoverable() {
+        let reg = Registry::new(RegistryConfig::default());
+        assert!(load(&reg, "t").is_ok());
+        assert_eq!(
+            reg.handle(cmd("QUOTA t 0")),
+            Response::Ok("quota=0".to_string())
+        );
+        assert!(matches!(
+            reg.handle(cmd("IMPLIES t R:[A -> B]")),
+            Response::Exhausted(msg) if msg.contains("quota")
+        ));
+        // Raising the quota restores service on the same warm session.
+        assert_eq!(
+            reg.handle(cmd("QUOTA t 100000")),
+            Response::Ok("quota=100000".to_string())
+        );
+        assert_eq!(
+            reg.handle(cmd("IMPLIES t R:[A -> B]")),
+            Response::Ok("implied".to_string())
+        );
+        assert!(reg.stats_line().contains("quota_denials=1"));
+        reg.on_shutdown();
+    }
+
+    #[test]
+    fn queries_deplete_a_metered_quota() {
+        let reg = Registry::new(RegistryConfig {
+            default_quota: Some(1),
+            ..RegistryConfig::default()
+        });
+        assert!(load(&reg, "t").is_ok());
+        // First query runs (cost ≥ 1 drains the single unit), second is
+        // denied before dispatch. The first may itself exhaust its
+        // quota-tightened budget — either way it is never an ERR.
+        assert!(!matches!(
+            reg.handle(cmd("IMPLIES t R:[A -> B]")),
+            Response::Err(_)
+        ));
+        assert!(matches!(
+            reg.handle(cmd("IMPLIES t R:[A -> B]")),
+            Response::Exhausted(msg) if msg.contains("quota")
+        ));
+        reg.on_shutdown();
+    }
+
+    #[test]
+    fn lru_eviction_under_resident_cap() {
+        let reg = Registry::new(RegistryConfig {
+            max_resident: 2,
+            ..RegistryConfig::default()
+        });
+        assert!(load(&reg, "a").is_ok());
+        assert!(load(&reg, "b").is_ok());
+        // Touch `a` so `b` is the LRU when `c` arrives.
+        assert!(reg.handle(cmd("IMPLIES a R:[A -> B]")).is_ok());
+        assert!(load(&reg, "c").is_ok());
+        assert!(matches!(
+            reg.handle(cmd("IMPLIES b R:[A -> B]")),
+            Response::Err(msg) if msg.contains("unknown tenant")
+        ));
+        assert!(reg.handle(cmd("IMPLIES a R:[A -> B]")).is_ok());
+        assert!(reg.handle(cmd("IMPLIES c R:[A -> B]")).is_ok());
+        let stats = reg.stats_line();
+        assert!(stats.contains("evicted_lru=1"), "{stats}");
+        assert!(
+            stats.contains("resident=[c,a]") || stats.contains("resident=[a,c]"),
+            "{stats}"
+        );
+        reg.on_shutdown();
+    }
+
+    #[test]
+    fn evict_and_reload_lifecycle() {
+        let reg = Registry::new(RegistryConfig::default());
+        assert!(load(&reg, "t").is_ok());
+        assert_eq!(
+            reg.handle(cmd("EVICT t")),
+            Response::Ok("evicted".to_string())
+        );
+        assert!(matches!(
+            reg.handle(cmd("EVICT t")),
+            Response::Err(msg) if msg.contains("unknown tenant")
+        ));
+        assert!(load(&reg, "t").is_ok());
+        assert!(load(&reg, "t").is_ok(), "reload replaces in place");
+        assert_eq!(
+            reg.handle(cmd("IMPLIES t R:[A -> C]")),
+            Response::Ok("implied".to_string())
+        );
+        let stats = reg.stats_line();
+        assert!(stats.contains("reloads=1"), "{stats}");
+        assert!(stats.contains("evicted=1"), "{stats}");
+        reg.on_shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_every_actor() {
+        let reg = Registry::new(RegistryConfig::default());
+        assert!(load(&reg, "a").is_ok());
+        assert!(load(&reg, "b").is_ok());
+        reg.on_shutdown();
+        assert!(reg.stats_line().contains("sessions=0"));
+        assert!(matches!(
+            reg.handle(cmd("IMPLIES a R:[A -> B]")),
+            Response::Err(msg) if msg.contains("unknown tenant")
+        ));
+    }
+}

@@ -697,6 +697,25 @@ fn nfd_failpoints_env_var_arms_the_binary() {
         Some(0),
         "a delay-only fault changes nothing"
     );
-    // Malformed entries are skipped, not fatal.
+    // A malformed spec is a logged no-op: nothing is armed — not even
+    // the entries that would have parsed — and the process warns on
+    // stderr instead of running a partial fault plan silently.
+    let partial = run(Some("engine::build=return-exhausted;garbage"));
+    assert_eq!(
+        partial.status.code(),
+        Some(0),
+        "valid prefix of a malformed spec must not arm"
+    );
+    assert!(
+        String::from_utf8_lossy(&partial.stderr).contains("NFD_FAILPOINTS ignored"),
+        "the no-op is logged: {}",
+        String::from_utf8_lossy(&partial.stderr)
+    );
     assert_eq!(run(Some("garbage;;also=nonsense")).status.code(), Some(0));
+    // Trailing separators are not malformed.
+    assert_eq!(
+        run(Some("engine::build=return-exhausted;")).status.code(),
+        Some(3),
+        "trailing separator still arms the spec"
+    );
 }

@@ -1,0 +1,349 @@
+//! End-to-end tests of `nfdtool serve`'s registry daemon, feature-off
+//! (the armed chaos-side tests live in `serve_chaos.rs`).
+//!
+//! The load-bearing assertion is *differential*: every verdict served
+//! over the wire must be bit-identical to a direct in-process
+//! [`Session`] on the same `(Schema, Σ)` — the transport, actor
+//! threads, admission gate and quota metering may refuse or delay an
+//! answer, but may never change one.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::thread::JoinHandle;
+
+use nfd::prelude::*;
+use nfd::serve::{Registry, RegistryConfig};
+
+/// The paper's Course schema (one line, as the `LOAD` verb wants it).
+fn course_sources() -> (String, String) {
+    let schema = std::fs::read_to_string("examples/data/course.nfds").expect("course.nfds");
+    let deps = std::fs::read_to_string("examples/data/course.nfdd").expect("course.nfdd");
+    (one_line(&schema), one_line(&deps))
+}
+
+/// Protocol lines are `\n`-framed, so multi-line sources ride flattened —
+/// with `#` comments stripped first, since flattening would otherwise
+/// extend the first comment over the whole request.
+fn one_line(src: &str) -> String {
+    src.lines()
+        .map(|line| line.split('#').next().unwrap_or(""))
+        .flat_map(str::split_whitespace)
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn start(
+    registry_cfg: RegistryConfig,
+    server_cfg: ServerConfig,
+) -> (SocketAddr, JoinHandle<ServerStats>) {
+    let server =
+        Server::bind("127.0.0.1:0", server_cfg, Registry::new(registry_cfg)).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    (addr, std::thread::spawn(move || server.run().expect("run")))
+}
+
+fn quick_server_cfg() -> ServerConfig {
+    ServerConfig {
+        idle_poll_ms: 5,
+        ..ServerConfig::default()
+    }
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            writer: stream,
+        }
+    }
+
+    fn ask(&mut self, line: &str) -> String {
+        writeln!(self.writer, "{line}").expect("send");
+        self.writer.flush().expect("flush");
+        let mut resp = String::new();
+        self.reader.read_line(&mut resp).expect("recv");
+        resp.trim_end().to_string()
+    }
+}
+
+/// A sweep of goals spanning implied / not-implied / nested shapes on
+/// the Course schema — the differential corpus.
+const SWEEP: [&str; 8] = [
+    "Course:[time, students:sid -> books]",
+    "Course:[students:sid -> books]",
+    "Course:[cnum -> time]",
+    "Course:[time -> cnum]",
+    "Course:[cnum -> books:title]",
+    "Course:[books:isbn -> books:title]",
+    "Course:students:[sid -> grade]",
+    "Course:[students:sid -> students:age]",
+];
+
+#[test]
+fn wire_verdicts_are_bit_identical_to_a_direct_session() {
+    let (schema_src, deps_src) = course_sources();
+    let schema = Schema::parse(&schema_src).expect("schema parses");
+    let sigma = nfd::core::nfd::parse_set(&schema, &deps_src).expect("deps parse");
+    let direct = Session::new(&schema, &sigma).expect("direct session");
+
+    let (addr, server) = start(RegistryConfig::default(), quick_server_cfg());
+    let mut c = Client::connect(addr);
+    let loaded = c.ask(&format!("LOAD course {schema_src} | {deps_src}"));
+    assert_eq!(loaded, format!("OK loaded deps={}", sigma.len()));
+
+    for goal in SWEEP {
+        let expected = if direct.implies_text(goal).expect("direct verdict") {
+            "OK implied"
+        } else {
+            "OK not-implied"
+        };
+        assert_eq!(
+            c.ask(&format!("IMPLIES course {goal}")),
+            expected,
+            "wire and in-process verdicts must agree on {goal}"
+        );
+    }
+
+    // BATCH over the same sweep: one line, per-goal verdicts, same bits.
+    let batch_goals = SWEEP.join("; ");
+    let expected: Vec<&str> = SWEEP
+        .iter()
+        .map(|g| {
+            if direct.implies_text(g).expect("direct") {
+                "implied"
+            } else {
+                "not-implied"
+            }
+        })
+        .collect();
+    assert_eq!(
+        c.ask(&format!("BATCH course {batch_goals}")),
+        format!("OK {}", expected.join(","))
+    );
+
+    // CLOSURE and KEYS agree with the direct session too.
+    let base = RootedPath::parse("Course").expect("base");
+    let lhs = [Path::parse("cnum").expect("lhs")];
+    let direct_closure = direct
+        .closure(&base, &lhs)
+        .expect("direct closure")
+        .iter()
+        .map(|p| p.to_string())
+        .collect::<Vec<_>>()
+        .join(" ");
+    assert_eq!(
+        c.ask("CLOSURE course Course cnum"),
+        format!("OK {direct_closure}")
+    );
+    let wire_keys = c.ask("KEYS course Course");
+    let direct_keys = direct
+        .candidate_keys(Label::new("Course"), 4)
+        .expect("direct keys");
+    for key in &direct_keys {
+        let rendered = format!(
+            "{{{}}}",
+            key.iter()
+                .map(|p| p.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        assert!(
+            wire_keys.contains(&rendered),
+            "{wire_keys} missing {rendered}"
+        );
+    }
+
+    assert_eq!(c.ask("SHUTDOWN"), "OK draining");
+    let stats = server.join().expect("server");
+    assert_eq!(stats.contained_panics, 0);
+}
+
+#[test]
+fn protocol_failures_are_typed_not_fatal() {
+    let (schema_src, deps_src) = course_sources();
+    let (addr, server) = start(RegistryConfig::default(), quick_server_cfg());
+    let mut c = Client::connect(addr);
+
+    // Unknown tenant, unparsable sources, malformed requests: all ERR,
+    // all on a connection that keeps serving afterwards.
+    let unknown = c.ask("IMPLIES ghost Course:[cnum -> time]");
+    assert!(
+        unknown.starts_with("ERR") && unknown.contains("unknown tenant"),
+        "{unknown}"
+    );
+    let bad_schema = c.ask("LOAD bad not a schema | junk");
+    assert!(bad_schema.starts_with("ERR"), "{bad_schema}");
+    let bad_verb = c.ask("FROBNICATE x");
+    assert!(bad_verb.starts_with("ERR"), "{bad_verb}");
+    let no_sep = c.ask("LOAD t missing-the-separator");
+    assert!(no_sep.starts_with("ERR"), "{no_sep}");
+
+    assert_eq!(
+        c.ask(&format!("LOAD course {schema_src} | {deps_src}")),
+        "OK loaded deps=7"
+    );
+    // A goal that fails to parse against the loaded schema: ERR, and
+    // the very next request on the same tenant answers normally.
+    let bad_goal = c.ask("IMPLIES course Course:[nope -> nothing]");
+    assert!(bad_goal.starts_with("ERR"), "{bad_goal}");
+    assert_eq!(c.ask("IMPLIES course Course:[cnum -> time]"), "OK implied");
+
+    assert_eq!(c.ask("SHUTDOWN"), "OK draining");
+    server.join().expect("server");
+}
+
+#[test]
+fn tenant_quotas_meter_exhaust_and_recover() {
+    let (schema_src, deps_src) = course_sources();
+    let (addr, server) = start(
+        RegistryConfig {
+            default_quota: Some(50_000),
+            ..RegistryConfig::default()
+        },
+        quick_server_cfg(),
+    );
+    let mut c = Client::connect(addr);
+    assert_eq!(
+        c.ask(&format!("LOAD course {schema_src} | {deps_src}")),
+        "OK loaded deps=7"
+    );
+    assert_eq!(c.ask("IMPLIES course Course:[cnum -> time]"), "OK implied");
+
+    // Drain the quota to zero: the next query is refused *typed* —
+    // EXHAUSTED, not ERR, not a dropped connection.
+    assert_eq!(c.ask("QUOTA course 0"), "OK quota=0");
+    let denied = c.ask("IMPLIES course Course:[cnum -> time]");
+    assert!(
+        denied.starts_with("EXHAUSTED") && denied.contains("quota"),
+        "{denied}"
+    );
+    // Control plane still works while the tenant is starved.
+    let stats = c.ask("STATS");
+    assert!(stats.contains("quota_denials=1"), "{stats}");
+
+    // Refill: the same warm session serves again.
+    assert_eq!(c.ask("QUOTA course 50000"), "OK quota=50000");
+    assert_eq!(c.ask("IMPLIES course Course:[cnum -> time]"), "OK implied");
+
+    assert_eq!(c.ask("SHUTDOWN"), "OK draining");
+    server.join().expect("server");
+}
+
+#[test]
+fn lru_keeps_hot_tenants_resident() {
+    let (schema_src, deps_src) = course_sources();
+    let (addr, server) = start(
+        RegistryConfig {
+            max_resident: 2,
+            ..RegistryConfig::default()
+        },
+        quick_server_cfg(),
+    );
+    let mut c = Client::connect(addr);
+    let load = |c: &mut Client, name: &str| {
+        assert_eq!(
+            c.ask(&format!("LOAD {name} {schema_src} | {deps_src}")),
+            "OK loaded deps=7",
+            "loading {name}"
+        );
+    };
+    load(&mut c, "a");
+    load(&mut c, "b");
+    // Touch `a`, making `b` the coldest when `c` arrives.
+    assert_eq!(c.ask("IMPLIES a Course:[cnum -> time]"), "OK implied");
+    load(&mut c, "cc");
+    let evicted = c.ask("IMPLIES b Course:[cnum -> time]");
+    assert!(
+        evicted.starts_with("ERR") && evicted.contains("unknown tenant"),
+        "{evicted}"
+    );
+    assert_eq!(c.ask("IMPLIES a Course:[cnum -> time]"), "OK implied");
+    assert_eq!(c.ask("IMPLIES cc Course:[cnum -> time]"), "OK implied");
+    let stats = c.ask("STATS");
+    assert!(stats.contains("evicted_lru=1"), "{stats}");
+    assert!(stats.contains("sessions=2"), "{stats}");
+
+    assert_eq!(c.ask("SHUTDOWN"), "OK draining");
+    server.join().expect("server");
+}
+
+#[test]
+fn concurrent_connections_share_one_tenant() {
+    let (schema_src, deps_src) = course_sources();
+    let (addr, server) = start(RegistryConfig::default(), quick_server_cfg());
+    let mut c = Client::connect(addr);
+    assert_eq!(
+        c.ask(&format!("LOAD course {schema_src} | {deps_src}")),
+        "OK loaded deps=7"
+    );
+    let workers: Vec<_> = (0..8)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr);
+                let goal = SWEEP[i % SWEEP.len()];
+                c.ask(&format!("IMPLIES course {goal}"))
+            })
+        })
+        .collect();
+    for (i, worker) in workers.into_iter().enumerate() {
+        let resp = worker.join().expect("client thread");
+        assert!(
+            resp == "OK implied" || resp == "OK not-implied",
+            "connection {i}: {resp}"
+        );
+    }
+    assert_eq!(c.ask("SHUTDOWN"), "OK draining");
+    let stats = server.join().expect("server");
+    assert_eq!(stats.connections, 9);
+}
+
+/// The real binary: boot `nfdtool serve`, scrape the resolved port off
+/// stderr, drive a session over TCP, and assert a clean drain (exit 0).
+#[test]
+fn spawned_binary_serves_and_drains_cleanly() {
+    use std::process::{Command, Stdio};
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_nfdtool"))
+        .args(["serve", "--addr", "127.0.0.1:0"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("nfdtool serve spawns");
+
+    let stderr = child.stderr.take().expect("stderr piped");
+    let mut lines = BufReader::new(stderr);
+    let mut banner = String::new();
+    lines.read_line(&mut banner).expect("listening banner");
+    let addr: SocketAddr = banner
+        .split("listening on ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .expect("banner names the address")
+        .parse()
+        .expect("address parses");
+
+    let (schema_src, deps_src) = course_sources();
+    let mut c = Client::connect(addr);
+    assert_eq!(c.ask("PING"), "OK pong");
+    assert_eq!(
+        c.ask(&format!("LOAD course {schema_src} | {deps_src}")),
+        "OK loaded deps=7"
+    );
+    assert_eq!(
+        c.ask("IMPLIES course Course:[time, students:sid -> books]"),
+        "OK implied"
+    );
+    assert_eq!(c.ask("SHUTDOWN"), "OK draining");
+
+    let out = child.wait_with_output().expect("child exits");
+    assert_eq!(out.status.code(), Some(0), "clean drain exits 0");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("drained cleanly"), "{stdout}");
+}

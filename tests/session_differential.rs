@@ -244,3 +244,104 @@ fn session_keys_on_the_worked_example() {
         "cnum is a key: {keys:?}"
     );
 }
+
+/// [`Session::reconfigure`] discards the closure cache, keys memo and
+/// tier state, and signals it through `Decision.caches_invalidated` —
+/// which must latch on the rebuilt session exactly once, including when
+/// the first decision after the rebuild goes through the retrying entry
+/// point.
+#[test]
+fn reconfigure_invalidation_latches_exactly_once() {
+    use nfd::govern::Budget;
+    use nfd::session::RetryPolicy;
+
+    let schema = Schema::parse("R : { <A: int, B: {<C: int>}, D: int> };").unwrap();
+    let sigma = parse_set(&schema, "R:[A -> B:C]; R:[B:C -> D];").unwrap();
+    let goal = Nfd::parse(&schema, "R:[A -> D]").unwrap();
+    let budget = Budget::standard();
+
+    let strict = Session::new(&schema, &sigma).unwrap();
+    assert!(
+        !strict
+            .implies_with(&goal, &budget)
+            .unwrap()
+            .caches_invalidated,
+        "a freshly compiled session never claims invalidation"
+    );
+
+    let pessimistic = strict.reconfigure(EmptySetPolicy::pessimistic()).unwrap();
+    let first = pessimistic.implies_with(&goal, &budget).unwrap();
+    assert!(
+        first.caches_invalidated,
+        "the first decision drains the latch"
+    );
+    let second = pessimistic.implies_with(&goal, &budget).unwrap();
+    assert!(!second.caches_invalidated, "the latch fires exactly once");
+    assert!(
+        !strict
+            .implies_with(&goal, &budget)
+            .unwrap()
+            .caches_invalidated,
+        "the original session's latch is untouched by reconfigure"
+    );
+
+    // Same contract when the first post-reconfigure decision runs (and
+    // retries) through implies_retry: one latched decision, then clear.
+    let restrict = pessimistic.reconfigure(EmptySetPolicy::Forbidden).unwrap();
+    let policy = RetryPolicy::new(3);
+    let retried = restrict.implies_retry(&goal, &budget, &policy).unwrap();
+    assert!(retried.caches_invalidated, "retry path surfaces the latch");
+    let after = restrict.implies_retry(&goal, &budget, &policy).unwrap();
+    assert!(!after.caches_invalidated, "and drains it exactly once too");
+}
+
+/// The E12 schema flips its verdict between the strict and pessimistic
+/// regimes — which makes it the sharpest probe for a stale closure
+/// cache: if `reconfigure` leaked the old policy's cached closures,
+/// `implies_retry` on the rebuilt session would serve the *old* verdict
+/// from a cache hit. It must instead recompute under the new policy,
+/// from a cold cache.
+#[test]
+fn implies_retry_after_reconfigure_never_serves_a_stale_closure() {
+    use nfd::govern::{Budget, Verdict};
+    use nfd::session::RetryPolicy;
+
+    let schema = Schema::parse("R : { <A: int, B: {<C: int>}, D: int> };").unwrap();
+    let sigma = parse_set(&schema, "R:[A -> B:C]; R:[B:C -> D];").unwrap();
+    let goal = Nfd::parse(&schema, "R:[A -> D]").unwrap();
+    let budget = Budget::standard();
+    let policy = RetryPolicy::new(2);
+
+    // Warm the strict session's closure cache on exactly this goal.
+    let strict = Session::new(&schema, &sigma).unwrap();
+    for _ in 0..3 {
+        let warm = strict.implies_retry(&goal, &budget, &policy).unwrap();
+        assert_eq!(warm.verdict, Verdict::Implied, "strict regime: implied");
+    }
+    assert!(
+        strict.cache_stats().hits > 0,
+        "the repeat queries were served from the warm cache: {:?}",
+        strict.cache_stats()
+    );
+
+    // Rebuild under the pessimistic policy: the same goal must flip to
+    // not-implied, and must not be answered from the old cache.
+    let pessimistic = strict.reconfigure(EmptySetPolicy::pessimistic()).unwrap();
+    let flipped = pessimistic.implies_retry(&goal, &budget, &policy).unwrap();
+    assert_eq!(
+        flipped.verdict,
+        Verdict::NotImplied,
+        "pessimistic regime must recompute, not replay the strict cache"
+    );
+    assert_eq!(
+        flipped.cache_hits, 0,
+        "the first post-reconfigure decision cannot hit any cache"
+    );
+
+    // And back again: a second reconfigure restores the strict verdict,
+    // proving the pessimistic cache did not leak either.
+    let strict_again = pessimistic.reconfigure(EmptySetPolicy::Forbidden).unwrap();
+    let restored = strict_again.implies_retry(&goal, &budget, &policy).unwrap();
+    assert_eq!(restored.verdict, Verdict::Implied);
+    assert_eq!(restored.cache_hits, 0, "cold again after the round trip");
+}
