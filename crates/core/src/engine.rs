@@ -507,10 +507,29 @@ pub struct Engine<'s> {
 /// The attached tier-selection layer: the session-shared promotion state
 /// plus, per relation, the promotion handle and the static tier-0/1 cost
 /// pick. The pick is computed once at attach time — the pool is immutable
-/// after saturation, so the [`CostFeatures`] never change.
+/// between saturations, and the Σ-mutation path
+/// (`Engine::rebuild_relation`) recomputes the touched relation's entry —
+/// so the [`CostFeatures`] a handle was picked from always describe the
+/// pool it routes for.
 struct EngineSelect {
     state: Arc<SelectState>,
     rels: HashMap<Label, (Arc<RelSelect>, Tier)>,
+}
+
+/// The static cost-model features of a saturated relation pool.
+fn rel_features(rel: &RelEngine) -> CostFeatures {
+    let mut active_deps = 0usize;
+    let mut lhs_paths = 0usize;
+    for d in rel.deps.iter().filter(|d| !d.subsumed) {
+        active_deps += 1;
+        lhs_paths += d.lhs.len();
+    }
+    CostFeatures {
+        active_deps,
+        lhs_paths,
+        words: rel.table.words(),
+        table_len: rel.table.len(),
+    }
 }
 
 impl<'s> Engine<'s> {
@@ -617,23 +636,57 @@ impl<'s> Engine<'s> {
     pub fn with_engine_select(mut self, state: Arc<SelectState>) -> Engine<'s> {
         let mut rels = HashMap::new();
         for (name, rel) in &self.rels {
-            let mut active_deps = 0usize;
-            let mut lhs_paths = 0usize;
-            for d in rel.deps.iter().filter(|d| !d.subsumed) {
-                active_deps += 1;
-                lhs_paths += d.lhs.len();
-            }
-            let features = CostFeatures {
-                active_deps,
-                lhs_paths,
-                words: rel.table.words(),
-                table_len: rel.table.len(),
-            };
-            let pick = state.model().pick(&features);
+            let pick = state.model().pick(&rel_features(rel));
             rels.insert(*name, (state.rel(*name), pick));
         }
         self.select = Some(EngineSelect { state, rels });
         self
+    }
+
+    /// Replays the [`Engine::with_tables`] build sequence for one
+    /// relation against the engine's *current* `sigma`, swapping the
+    /// fresh pool in only on success — the commit step of
+    /// [`Engine::add_dep`](crate::delta) / `remove_dep`. The fresh
+    /// [`RelEngine`] sees the identical add order a from-scratch build
+    /// would (its `Prov::Given` entries in Σ order, then saturation
+    /// interleaved with singleton rounds), relation pools never interact,
+    /// and builds are deterministic — so the committed pool, subsumption
+    /// flags and provenance are bit-identical to a full rebuild's. On
+    /// success the attached closure cache and tier-selection state are
+    /// invalidated for this relation only (every other relation stays
+    /// warm); on error `self` is unchanged.
+    pub(crate) fn rebuild_relation(&mut self, relation: Label) -> Result<(), CoreError> {
+        let table = Arc::clone(
+            self.tables
+                .get(relation)
+                .ok_or_else(|| CoreError::Nav(format!("unknown relation `{relation}`")))?,
+        );
+        let mut rel = RelEngine::new(relation, table, &self.policy);
+        for (i, nfd) in self.sigma.iter().enumerate() {
+            let s = simple::to_simple(nfd);
+            if s.base.relation != relation {
+                continue;
+            }
+            let lhs = rel.intern_lhs(s.lhs())?;
+            let rhs = rel.path_id(&s.rhs)?;
+            rel.add(lhs, rhs, Prov::Given(i), &self.budget)?;
+        }
+        loop {
+            rel.saturate(&self.budget)?;
+            if !rel.singleton_round(&self.budget)? {
+                break;
+            }
+        }
+        if let Some(cache) = &self.cache {
+            cache.invalidate_relation(relation);
+        }
+        if let Some(sel) = &mut self.select {
+            sel.state.invalidate_relation(relation);
+            let pick = sel.state.model().pick(&rel_features(&rel));
+            sel.rels.insert(relation, (sel.state.rel(relation), pick));
+        }
+        self.rels.insert(relation, rel);
+        Ok(())
     }
 
     /// The schema the engine reasons over.

@@ -430,6 +430,21 @@ impl ClosureCache {
         inner.map.insert((relation, x), (closure, now));
     }
 
+    /// Drops every cached closure for `relation`, returning how many
+    /// entries were evicted. Scoped invalidation for live Σ mutation:
+    /// closures are pure functions of a *relation's* saturated pool, so
+    /// when `Engine::add_dep`/`remove_dep` rebuild one relation the other
+    /// relations' entries stay warm (see DESIGN.md §12).
+    pub fn invalidate_relation(&self, relation: Label) -> usize {
+        let mut inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let before = inner.map.len();
+        inner.map.retain(|&(r, _), _| r != relation);
+        before - inner.map.len()
+    }
+
     /// Hit/miss counters accumulated so far.
     pub fn stats(&self) -> CacheStats {
         CacheStats {

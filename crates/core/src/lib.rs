@@ -48,6 +48,7 @@
 pub mod analysis;
 pub mod closure;
 pub mod construct;
+pub mod delta;
 pub mod dense;
 pub mod emptyset;
 pub mod engine;
@@ -63,6 +64,7 @@ pub mod select;
 pub mod simple;
 pub mod view;
 
+pub use delta::DeltaReport;
 pub use dense::DenseClosure;
 pub use emptyset::EmptySetPolicy;
 pub use error::CoreError;

@@ -304,6 +304,22 @@ impl SelectState {
         Arc::clone(rels.entry(relation).or_default())
     }
 
+    /// Replaces `relation`'s promotion handle with a fresh one, dropping
+    /// any built dense closure and resetting the query counter and the
+    /// demotion latch. Scoped invalidation for live Σ mutation: after
+    /// `Engine::add_dep`/`remove_dep` rebuild a relation, dense rows
+    /// built over the old pool are stale for it, while every other
+    /// relation's promotion state stays warm. Engines attached to this
+    /// state must re-fetch the handle (see `Engine` internals) — the old
+    /// `Arc` they hold is detached, never consulted for the new pool.
+    pub fn invalidate_relation(&self, relation: Label) {
+        let mut rels = match self.rels.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        rels.remove(&relation);
+    }
+
     /// Queries observed on `relation` so far (observability for tests
     /// and reports).
     pub fn queries(&self, relation: Label) -> u64 {

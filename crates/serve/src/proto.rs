@@ -10,6 +10,8 @@
 //! BATCH <name> <nfd;nfd;…>                many goals, one line, per-goal verdicts
 //! CLOSURE <name> <base> [<p1,p2,…>]       dependency closure of the LHS
 //! KEYS <name> <relation>                  candidate keys (size ≤ 4)
+//! ADDDEP <name> <nfd>                     add the NFD to the resident Σ (delta)
+//! DROPDEP <name> <nfd>                    retract the NFD from the resident Σ
 //! QUOTA <name> <units>                    set the tenant's remaining work quota
 //! EVICT <name>                            drop the resident session
 //! STATS                                   registry + server counters
@@ -81,6 +83,22 @@ pub enum Command {
         name: String,
         /// Relation label.
         relation: String,
+    },
+    /// Add `dep` to the resident session's Σ (incremental delta
+    /// saturation; only the named relation re-saturates).
+    AddDep {
+        /// Tenant name.
+        name: String,
+        /// NFD source text to add.
+        dep: String,
+    },
+    /// Retract `dep` from the resident session's Σ (counting
+    /// retraction; the NFD must be present).
+    DropDep {
+        /// Tenant name.
+        name: String,
+        /// NFD source text to remove.
+        dep: String,
     },
     /// Set the tenant's remaining work-unit quota.
     Quota {
@@ -185,6 +203,26 @@ impl Command {
                     relation: relation.to_string(),
                 })
             }
+            "ADDDEP" => {
+                let (name, dep) = take_name(rest, "ADDDEP")?;
+                if dep.is_empty() {
+                    return Err("ADDDEP needs `<name> <nfd>`".to_string());
+                }
+                Ok(Command::AddDep {
+                    name,
+                    dep: dep.to_string(),
+                })
+            }
+            "DROPDEP" => {
+                let (name, dep) = take_name(rest, "DROPDEP")?;
+                if dep.is_empty() {
+                    return Err("DROPDEP needs `<name> <nfd>`".to_string());
+                }
+                Ok(Command::DropDep {
+                    name,
+                    dep: dep.to_string(),
+                })
+            }
             "QUOTA" => {
                 let (name, units) = take_name(rest, "QUOTA")?;
                 let units: u64 = units.trim().parse().map_err(|_| {
@@ -214,6 +252,8 @@ impl Command {
             Command::Batch { .. } => "BATCH",
             Command::Closure { .. } => "CLOSURE",
             Command::Keys { .. } => "KEYS",
+            Command::AddDep { .. } => "ADDDEP",
+            Command::DropDep { .. } => "DROPDEP",
             Command::Quota { .. } => "QUOTA",
             Command::Evict { .. } => "EVICT",
             Command::Stats => "STATS",
@@ -234,6 +274,8 @@ impl Command {
                 | Command::Batch { .. }
                 | Command::Closure { .. }
                 | Command::Keys { .. }
+                | Command::AddDep { .. }
+                | Command::DropDep { .. }
         )
     }
 }
@@ -358,6 +400,20 @@ mod tests {
             })
         );
         assert_eq!(
+            Command::parse("ADDDEP t R:[A -> B]"),
+            Ok(Command::AddDep {
+                name: "t".into(),
+                dep: "R:[A -> B]".into()
+            })
+        );
+        assert_eq!(
+            Command::parse("dropdep t R:[A -> B]"),
+            Ok(Command::DropDep {
+                name: "t".into(),
+                dep: "R:[A -> B]".into()
+            })
+        );
+        assert_eq!(
             Command::parse("QUOTA t 500"),
             Ok(Command::Quota {
                 name: "t".into(),
@@ -387,6 +443,10 @@ mod tests {
             "CLOSURE t",
             "CLOSURE t base lhs extra",
             "KEYS t",
+            "ADDDEP t",
+            "ADDDEP",
+            "DROPDEP t",
+            "DROPDEP",
             "QUOTA t notanumber",
             "QUOTA t -3",
             "EVICT t extra",
@@ -407,6 +467,10 @@ mod tests {
             .unwrap()
             .is_workload());
         assert!(Command::parse("LOAD t s | d").unwrap().is_workload());
+        assert!(Command::parse("ADDDEP t R:[A -> B]").unwrap().is_workload());
+        assert!(Command::parse("DROPDEP t R:[A -> B]")
+            .unwrap()
+            .is_workload());
         assert!(!Command::parse("STATS").unwrap().is_workload());
         assert!(!Command::parse("EVICT t").unwrap().is_workload());
         assert!(!Command::parse("SHUTDOWN").unwrap().is_workload());

@@ -102,10 +102,10 @@ pub fn run(args: &[String], out: &mut String) -> i32 {
 
 const USAGE: &str = "usage:
   nfdtool check    --schema FILE --deps FILE --instance FILE
-  nfdtool implies  --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] [--retry N [--escalate F]] [--engine E] NFD
-  nfdtool implies  --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] [--threads N] [--retry N [--escalate F]] [--engine E] --goals FILE
+  nfdtool implies  --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] [--retry N [--escalate F]] [--engine E] [--add-dep NFD]… [--drop-dep NFD]… NFD
+  nfdtool implies  --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] [--threads N] [--retry N [--escalate F]] [--engine E] [--add-dep NFD]… [--drop-dep NFD]… --goals FILE
   nfdtool prove    --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] [--engine E] NFD
-  nfdtool closure  --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] [--engine E] --base PATH [--lhs P1,P2,…]
+  nfdtool closure  --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] [--engine E] [--add-dep NFD]… [--drop-dep NFD]… --base PATH [--lhs P1,P2,…]
   nfdtool witness  --schema FILE --deps FILE --base PATH [--lhs P1,P2,…]
   nfdtool keys     --schema FILE --deps FILE --relation NAME [--budget N] [--timeout-ms T] [--threads N] [--engine E]
   nfdtool analyze  --schema FILE --deps FILE
@@ -136,6 +136,13 @@ const USAGE: &str = "usage:
   multiplying every limit (and re-arming any timeout) by the --escalate
   factor (default 4) before each run — graceful degradation instead of a
   terminal \"don't know\". The printed attempt log records every run.
+
+  --add-dep / --drop-dep mutate the dependency set after the session
+  compiles (every --add-dep in flag order, then every --drop-dep; a
+  dropped NFD must be present). Each mutation re-saturates only the
+  relation it names — incremental delta maintenance, bit-identical to
+  recompiling from the mutated --deps file — so queries after the flags
+  see exactly the mutated Σ.
 
   --engine E picks the closure-query engine tier: `auto` (the default —
   a cost model routes each query between the naive scan and the indexed
@@ -178,6 +185,12 @@ struct Opts {
     max_inflight: Option<String>,
     queue: Option<String>,
     quota: Option<String>,
+    /// Repeatable `--add-dep NFD`: dependencies added to Σ after the
+    /// session compiles, via incremental delta saturation.
+    add_dep: Vec<String>,
+    /// Repeatable `--drop-dep NFD`: dependencies retracted from Σ after
+    /// the session compiles (and after every `--add-dep`).
+    drop_dep: Vec<String>,
     positional: Vec<String>,
 }
 
@@ -202,6 +215,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         max_inflight: None,
         queue: None,
         quota: None,
+        add_dep: Vec::new(),
+        drop_dep: Vec::new(),
         positional: Vec::new(),
     };
     let mut i = 0;
@@ -232,6 +247,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--max-inflight" => o.max_inflight = Some(take(&mut i)?),
             "--queue" => o.queue = Some(take(&mut i)?),
             "--quota" => o.quota = Some(take(&mut i)?),
+            "--add-dep" => o.add_dep.push(take(&mut i)?),
+            "--drop-dep" => o.drop_dep.push(take(&mut i)?),
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             other => o.positional.push(other.to_string()),
         }
@@ -350,6 +367,28 @@ fn parse_engine(o: &Opts) -> Result<TierPreference, String> {
     }
 }
 
+/// Applies `--add-dep` / `--drop-dep` mutations to a compiled session:
+/// every `--add-dep` first (in flag order), then every `--drop-dep`.
+/// Each mutation re-saturates only the relation it names (the rest of
+/// the session stays warm) and is atomic — a failure leaves the session
+/// reflecting the mutations applied so far, and aborts the command.
+fn apply_mutations(session: &mut Session, schema: &Schema, o: &Opts) -> Result<(), CliFail> {
+    if o.add_dep.is_empty() && o.drop_dep.is_empty() {
+        return Ok(());
+    }
+    let parse = |texts: &[String], flag: &str| -> Result<Vec<Nfd>, CliFail> {
+        texts
+            .iter()
+            .map(|t| Nfd::parse(schema, t).map_err(|e| CliFail::Usage(format!("{flag}: {e}"))))
+            .collect()
+    };
+    let adds = parse(&o.add_dep, "--add-dep")?;
+    let drops = parse(&o.drop_dep, "--drop-dep")?;
+    session.add_deps(&adds).map_err(core_fail)?;
+    session.remove_deps(&drops).map_err(core_fail)?;
+    Ok(())
+}
+
 /// Parses `--threads`: `0` (the default) means all available parallelism.
 fn parse_threads(o: &Opts) -> Result<usize, String> {
     match o.threads.as_deref() {
@@ -407,7 +446,7 @@ fn dispatch(args: &[String], out: &mut String) -> Result<i32, CliFail> {
             // to even build escalates here, and the queries then run
             // under the budget that let the build finish.
             let mut build_round: u32 = 0;
-            let session = loop {
+            let mut session = loop {
                 match Session::with_tiers(
                     &schema,
                     &sigma,
@@ -429,6 +468,7 @@ fn dispatch(args: &[String], out: &mut String) -> Result<i32, CliFail> {
                     Err(e) => return Err(core_fail(e)),
                 }
             };
+            apply_mutations(&mut session, &schema, &o)?;
             // Batch mode: one compiled session answers every goal of the
             // file — the compilation cost is paid once, not per goal.
             if cmd == "implies" && o.goals.is_some() {
@@ -579,8 +619,9 @@ fn dispatch(args: &[String], out: &mut String) -> Result<i32, CliFail> {
             let policy = parse_policy(&o)?;
             let budget = parse_budget(&o)?;
             let preference = parse_engine(&o)?;
-            let session = Session::with_tiers(&schema, &sigma, policy, budget, preference)
+            let mut session = Session::with_tiers(&schema, &sigma, policy, budget, preference)
                 .map_err(core_fail)?;
+            apply_mutations(&mut session, &schema, &o)?;
             let (cl, trace) = session.closure_traced(&base, &lhs).map_err(core_fail)?;
             for p in &cl {
                 let _ = writeln!(out, "{p}");

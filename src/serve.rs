@@ -86,6 +86,8 @@ enum Query {
     Batch { goals: String },
     Closure { base: String, lhs: Option<String> },
     Keys { relation: String },
+    AddDep { dep: String },
+    DropDep { dep: String },
 }
 
 struct Request {
@@ -355,6 +357,8 @@ impl Handler for Registry {
                 self.run_query(&name, Query::Closure { base, lhs })
             }
             Command::Keys { name, relation } => self.run_query(&name, Query::Keys { relation }),
+            Command::AddDep { name, dep } => self.run_query(&name, Query::AddDep { dep }),
+            Command::DropDep { name, dep } => self.run_query(&name, Query::DropDep { dep }),
             Command::Quota { name, units } => self.set_quota(&name, units),
             Command::Evict { name } => self.evict(&name),
             // The server answers these itself; reaching here means a
@@ -419,7 +423,8 @@ fn actor(
             return;
         }
     };
-    let session = match Session::with_budget(&schema, &sigma, EmptySetPolicy::Forbidden, budget) {
+    let mut session = match Session::with_budget(&schema, &sigma, EmptySetPolicy::Forbidden, budget)
+    {
         Ok(session) => session,
         Err(e) => {
             let _ = ready.send(Err(core_error_response(e)));
@@ -434,7 +439,7 @@ fn actor(
         // warm session keeps serving (the server's per-request boundary
         // would otherwise only save the connection, not the tenant).
         let reply = catch_unwind(AssertUnwindSafe(|| {
-            answer(&session, &schema, request.query, &request.budget)
+            answer(&mut session, &schema, request.query, &request.budget)
         }))
         .unwrap_or_else(|payload| Reply {
             response: Response::Err(format!("contained panic: {}", panic_text(payload.as_ref()))),
@@ -444,7 +449,7 @@ fn actor(
     }
 }
 
-fn answer(session: &Session<'_>, schema: &Schema, query: Query, budget: &Budget) -> Reply {
+fn answer(session: &mut Session<'_>, schema: &Schema, query: Query, budget: &Budget) -> Reply {
     match query {
         Query::Implies { goal } => {
             let goal = match Nfd::parse(schema, &goal) {
@@ -541,6 +546,26 @@ fn answer(session: &Session<'_>, schema: &Schema, query: Query, budget: &Budget)
                 Err(e) => input_error(e),
             }
         }
+        Query::AddDep { dep } => {
+            let nfd = match Nfd::parse(schema, &dep) {
+                Ok(nfd) => nfd,
+                Err(e) => return input_error(e),
+            };
+            match session.add_deps(std::slice::from_ref(&nfd)) {
+                Ok(reports) => mutation_reply("added", &reports),
+                Err(e) => input_error(e),
+            }
+        }
+        Query::DropDep { dep } => {
+            let nfd = match Nfd::parse(schema, &dep) {
+                Ok(nfd) => nfd,
+                Err(e) => return input_error(e),
+            };
+            match session.remove_deps(std::slice::from_ref(&nfd)) {
+                Ok(reports) => mutation_reply("dropped", &reports),
+                Err(e) => input_error(e),
+            }
+        }
         Query::Keys { relation } => match session.candidate_keys(Label::new(&relation), 4) {
             Ok(keys) if keys.is_empty() => Reply {
                 response: Response::Ok("(no candidate keys of size <= 4)".to_string()),
@@ -571,6 +596,30 @@ fn verdict_response(verdict: &Verdict) -> Response {
         Verdict::Implied => Response::Ok("implied".to_string()),
         Verdict::NotImplied => Response::Ok("not-implied".to_string()),
         Verdict::Exhausted(report) => Response::Exhausted(report.to_string()),
+    }
+}
+
+/// The wire form of a Σ mutation, charged the rebuilt pool size: a
+/// delta mutation replays the touched relation's saturation, so the
+/// fresh pool length is the work the tenant actually bought.
+fn mutation_reply(verb: &str, reports: &[nfd_core::DeltaReport]) -> Reply {
+    let line: Vec<String> = reports
+        .iter()
+        .map(|r| {
+            format!(
+                "{verb} relation={} pool={}->{} overdeleted={}",
+                r.relation, r.pool_before, r.pool_after, r.overdeleted
+            )
+        })
+        .collect();
+    let cost = reports
+        .iter()
+        .map(|r| r.pool_after as u64)
+        .sum::<u64>()
+        .max(1);
+    Reply {
+        response: Response::Ok(line.join("; ")),
+        cost,
     }
 }
 
@@ -678,6 +727,64 @@ mod tests {
             reg.handle(cmd("IMPLIES t R:[A -> B]")),
             Response::Ok("implied".to_string())
         );
+        reg.on_shutdown();
+    }
+
+    #[test]
+    fn adddep_dropdep_mutate_the_resident_session() {
+        let reg = Registry::new(RegistryConfig::default());
+        assert!(load(&reg, "t").is_ok());
+        assert_eq!(
+            reg.handle(cmd("IMPLIES t R:[C -> A]")),
+            Response::Ok("not-implied".to_string())
+        );
+        let resp = reg.handle(cmd("ADDDEP t R:[C -> A]"));
+        assert!(
+            matches!(&resp, Response::Ok(msg) if msg.starts_with("added relation=R")),
+            "{resp:?}"
+        );
+        assert_eq!(
+            reg.handle(cmd("IMPLIES t R:[C -> A]")),
+            Response::Ok("implied".to_string())
+        );
+        let resp = reg.handle(cmd("DROPDEP t R:[C -> A]"));
+        assert!(
+            matches!(&resp, Response::Ok(msg) if msg.starts_with("dropped relation=R")),
+            "{resp:?}"
+        );
+        assert_eq!(
+            reg.handle(cmd("IMPLIES t R:[C -> A]")),
+            Response::Ok("not-implied".to_string())
+        );
+        // Retracting an NFD that is not in Σ answers ERR and leaves the
+        // warm session serving.
+        assert!(matches!(
+            reg.handle(cmd("DROPDEP t R:[C -> A]")),
+            Response::Err(msg) if msg.contains("not in")
+        ));
+        assert_eq!(
+            reg.handle(cmd("IMPLIES t R:[A -> C]")),
+            Response::Ok("implied".to_string())
+        );
+        reg.on_shutdown();
+    }
+
+    #[test]
+    fn mutations_are_charged_to_the_tenant_quota() {
+        let reg = Registry::new(RegistryConfig::default());
+        assert!(load(&reg, "t").is_ok());
+        assert_eq!(
+            reg.handle(cmd("QUOTA t 2")),
+            Response::Ok("quota=2".to_string())
+        );
+        // The mutation costs the rebuilt pool size (>= 2 here), so the
+        // quota drains to zero and the next workload verb is denied
+        // before dispatch.
+        assert!(reg.handle(cmd("ADDDEP t R:[C -> A]")).is_ok());
+        assert!(matches!(
+            reg.handle(cmd("ADDDEP t R:[B -> A]")),
+            Response::Exhausted(msg) if msg.contains("quota")
+        ));
         reg.on_shutdown();
     }
 

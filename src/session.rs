@@ -26,8 +26,9 @@
 use nfd_core::engine::Engine;
 use nfd_core::proof::{self, Proof};
 use nfd_core::{
-    analysis, construct, satisfy, CacheStats, ClosureCache, CoreError, EmptySetPolicy, Nfd,
-    QueryTrace, SatisfyReport, SelectState, Tier, TierPreference, DEFAULT_CLOSURE_CACHE_CAPACITY,
+    analysis, construct, satisfy, CacheStats, ClosureCache, CoreError, DeltaReport, EmptySetPolicy,
+    Nfd, QueryTrace, SatisfyReport, SelectState, Tier, TierPreference,
+    DEFAULT_CLOSURE_CACHE_CAPACITY,
 };
 use nfd_faults::fail_point;
 use nfd_govern::{Budget, ResourceKind, ResourceReport, Verdict};
@@ -594,6 +595,54 @@ impl<'s> Session<'s> {
             select,
             caches_invalidated: AtomicBool::new(true),
         })
+    }
+
+    /// Adds `deps` to the session's Σ in order, maintaining the resident
+    /// engine incrementally ([`nfd_core::delta`]): only the relations the
+    /// deps name are re-saturated (bit-identical to a from-scratch
+    /// compile over the extended Σ), and invalidation is scoped — the
+    /// closure cache, dense rows, promotion counters and candidate-key
+    /// memo drop their entries for the touched relations only, while
+    /// every other relation's stay warm. The `caches_invalidated` latch
+    /// is extended so the next decision reports the re-warming cliff.
+    ///
+    /// Deps apply one at a time; on the first failure (validation, budget
+    /// exhaustion, injected fault) the already-applied prefix remains in
+    /// force and the session stays fully consistent — each engine
+    /// mutation is atomic, so there is never a stale hybrid.
+    pub fn add_deps(&mut self, deps: &[Nfd]) -> Result<Vec<DeltaReport>, CoreError> {
+        self.mutate_deps(deps, Engine::add_dep)
+    }
+
+    /// Removes `deps` from the session's Σ (first content match each),
+    /// maintaining the resident engine incrementally via counting
+    /// retraction — see [`Session::add_deps`] for the scoped-invalidation
+    /// and prefix-on-failure contracts, which are identical.
+    pub fn remove_deps(&mut self, deps: &[Nfd]) -> Result<Vec<DeltaReport>, CoreError> {
+        self.mutate_deps(deps, Engine::remove_dep)
+    }
+
+    fn mutate_deps(
+        &mut self,
+        deps: &[Nfd],
+        op: fn(&mut Engine<'s>, &Nfd) -> Result<DeltaReport, CoreError>,
+    ) -> Result<Vec<DeltaReport>, CoreError> {
+        let mut reports = Vec::with_capacity(deps.len());
+        for dep in deps {
+            // Panic containment mirrors the query entry points; the
+            // engine rolls Σ back before a panic unwinds through here, so
+            // converting it to an error cannot strand a half-mutation.
+            let report = contained("mutate", || op(&mut self.engine, dep))?;
+            let mut memo = match self.keys_memo.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            memo.retain(|((rel, _), _)| *rel != report.relation);
+            drop(memo);
+            self.caches_invalidated.store(true, Ordering::Relaxed);
+            reports.push(report);
+        }
+        Ok(reports)
     }
 
     /// Hit/miss counters of the session's shared closure cache.

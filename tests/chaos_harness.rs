@@ -93,10 +93,12 @@ fn assert_contracted_error(site: &str, action: FaultAction, e: &CoreError) {
 
 /// Sites the standard workload must reach; a site disappearing from this
 /// census means a refactor silently dropped its chaos coverage.
-const EXPECTED_SITES: [&str; 14] = [
+const EXPECTED_SITES: [&str; 16] = [
     "chase::build",
     "chase::scan",
     "chase::step",
+    "delta::insert",
+    "delta::retract",
     "engine::build",
     "engine::closure",
     "engine::implies",
@@ -119,7 +121,7 @@ fn census_reaches_every_layer() {
     // sweep through everything a user can drive, nothing armed.
     let (schema, sigma) = fixture();
     let goals = parse_goals(&schema);
-    let session = Session::new(&schema, &sigma).unwrap();
+    let mut session = Session::new(&schema, &sigma).unwrap();
     let budget = Budget::standard();
     for g in &goals {
         session.implies_with(g, &budget).unwrap();
@@ -143,6 +145,10 @@ fn census_reaches_every_layer() {
     for d in nfd::session::all_deciders() {
         d.decide(&schema, &sigma, &goals[0], &budget).unwrap();
     }
+    // Σ maintenance: one insert and one retraction reach the delta sites.
+    let extra = Nfd::parse(&schema, "Course:[time -> books:isbn]").unwrap();
+    session.add_deps(std::slice::from_ref(&extra)).unwrap();
+    session.remove_deps(std::slice::from_ref(&extra)).unwrap();
 
     let hit = faults::sites_hit();
     let names: Vec<&str> = hit.iter().map(|(n, _)| n.as_str()).collect();
@@ -718,4 +724,86 @@ fn nfd_failpoints_env_var_arms_the_binary() {
         Some(3),
         "trailing separator still arms the spec"
     );
+}
+
+// ---------------------------------------------------------------------
+// Phase 5: Σ-maintenance faults (the delta sites).
+// ---------------------------------------------------------------------
+
+/// Faults on `delta::insert` / `delta::retract` and mid-rebuild: an
+/// injected exhaustion or panic during a mutation surfaces as a
+/// contracted error, rolls the engine back to the pre-mutation Σ —
+/// bit-identical to a fresh build over it, never a half-applied hybrid —
+/// and the session keeps answering; disarmed, the same mutation applies.
+#[test]
+fn delta_faults_roll_back_and_the_session_survives() {
+    let _guard = serial();
+    faults::reset();
+    let (schema, sigma) = fixture();
+    let goals = parse_goals(&schema);
+    let mut session = Session::new(&schema, &sigma).unwrap();
+    let reference = reference_verdicts(&session, &goals);
+    let extra = Nfd::parse(&schema, "Course:[time -> books:isbn]").unwrap();
+
+    // Insert faults: Σ and pools untouched, answers unchanged.
+    for action in [FaultAction::ReturnExhausted, FaultAction::Panic] {
+        faults::configure_limited("delta::insert", 1, action);
+        let e = session.add_deps(std::slice::from_ref(&extra)).unwrap_err();
+        assert_contracted_error("delta::insert", action, &e);
+        assert_eq!(
+            session.engine().pool_dump(),
+            Session::new(&schema, &sigma).unwrap().engine().pool_dump(),
+            "a faulted insert must leave Σ and pools untouched ({action:?})"
+        );
+        assert_eq!(
+            reference,
+            reference_verdicts(&session, &goals),
+            "session must survive a faulted insert ({action:?})"
+        );
+    }
+    faults::reset();
+
+    // Disarmed, the insert applies; then fault its retraction.
+    session.add_deps(std::slice::from_ref(&extra)).unwrap();
+    let mut grown = sigma.clone();
+    grown.push(extra.clone());
+    let grown_pool = Session::new(&schema, &grown).unwrap().engine().pool_dump();
+    assert_eq!(session.engine().pool_dump(), grown_pool);
+    for action in [FaultAction::ReturnExhausted, FaultAction::Panic] {
+        faults::configure_limited("delta::retract", 1, action);
+        let e = session
+            .remove_deps(std::slice::from_ref(&extra))
+            .unwrap_err();
+        assert_contracted_error("delta::retract", action, &e);
+        assert_eq!(
+            session.engine().pool_dump(),
+            grown_pool,
+            "a faulted retraction must leave Σ and pools untouched ({action:?})"
+        );
+    }
+    faults::reset();
+
+    // A panic injected *mid-rebuild* (the saturation loop inside the
+    // relation replay) during a retraction: the catch-and-rollback seam
+    // in `remove_dep` must restore Σ, not leave a stale hybrid.
+    faults::configure_limited("engine::saturate", 1, FaultAction::Panic);
+    let e = session
+        .remove_deps(std::slice::from_ref(&extra))
+        .unwrap_err();
+    assert_contracted_error("engine::saturate", FaultAction::Panic, &e);
+    assert_eq!(
+        session.engine().pool_dump(),
+        grown_pool,
+        "a mid-rebuild panic must roll Σ back, not leave a hybrid"
+    );
+    faults::reset();
+
+    // Disarmed, the retraction applies and the round trip is exact.
+    session.remove_deps(std::slice::from_ref(&extra)).unwrap();
+    assert_eq!(
+        session.engine().pool_dump(),
+        Session::new(&schema, &sigma).unwrap().engine().pool_dump()
+    );
+    assert_eq!(reference, reference_verdicts(&session, &goals));
+    faults::reset();
 }

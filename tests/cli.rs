@@ -570,3 +570,104 @@ fn engine_flag_forces_tiers_and_reports_them() {
     assert_eq!(code, 2, "{out}");
     assert!(out.contains("--engine"), "{out}");
 }
+
+#[test]
+fn implies_add_dep_supplies_missing_dependency() {
+    let f = Fixture::new("adddep");
+    let schema = f.file("s.nfds", COURSE_SCHEMA);
+    // Deps file without `Course:[cnum -> time]`.
+    let deps = f.file(
+        "d.nfdd",
+        "Course:[cnum -> students]; Course:[books:isbn -> books:title];",
+    );
+    let (code, out) = run(&[
+        "implies",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
+        "Course:[cnum -> time]",
+    ]);
+    assert_eq!(code, 1, "{out}");
+    let (code, out) = run(&[
+        "implies",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
+        "--add-dep",
+        "Course:[cnum -> time]",
+        "Course:[cnum -> time]",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("implied"), "{out}");
+}
+
+#[test]
+fn implies_drop_dep_retracts_and_flips_verdict() {
+    let f = Fixture::new("dropdep");
+    let schema = f.file("s.nfds", COURSE_SCHEMA);
+    let deps = f.file("d.nfdd", COURSE_DEPS);
+    let (code, out) = run(&[
+        "implies",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
+        "--drop-dep",
+        "Course:[cnum -> time]",
+        "Course:[cnum -> time]",
+    ]);
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("not implied"), "{out}");
+    // Dropping an NFD that is not in the set is a usage error (exit 2).
+    let (code, out) = run(&[
+        "implies",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
+        "--drop-dep",
+        "Course:[time -> books]",
+        "Course:[cnum -> time]",
+    ]);
+    assert_eq!(code, 2, "{out}");
+    assert!(out.contains("not in"), "{out}");
+}
+
+#[test]
+fn closure_respects_mutations() {
+    let f = Fixture::new("closure-mut");
+    let schema = f.file("s.nfds", COURSE_SCHEMA);
+    let deps = f.file("d.nfdd", "Course:[cnum -> time];");
+    let (code, out) = run(&[
+        "closure",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
+        "--add-dep",
+        "Course:[time -> students]",
+        "--base",
+        "Course",
+        "--lhs",
+        "cnum",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("students"), "{out}");
+    let (code, out) = run(&[
+        "closure",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
+        "--drop-dep",
+        "Course:[cnum -> time]",
+        "--base",
+        "Course",
+        "--lhs",
+        "cnum",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(!out.contains("time"), "{out}");
+}

@@ -6,7 +6,10 @@
 
 #![allow(dead_code)] // each integration test binary uses a subset
 
-use nfd::core::Nfd;
+use nfd::core::engine::Engine;
+use nfd::core::naive::NaiveEngine;
+use nfd::core::{EmptySetPolicy, Nfd};
+use nfd::govern::{Budget, Verdict};
 use nfd::model::gen::{GenConfig, Generator};
 use nfd::model::{BaseType, Field, Instance, Label, RecordType, Schema, Type};
 use nfd::path::typing::paths_of_record;
@@ -84,6 +87,25 @@ fn random_record(
     RecordType::new(fields).expect("labels are unique by construction")
 }
 
+/// Generates a random schema with `relations` relations named
+/// `R{seed}x{k}`, sharing one label counter so every label stays
+/// globally unique. With `relations == 1` this is [`random_schema`]
+/// modulo the relation name.
+pub fn random_multi_schema(seed: u64, shape: SchemaShape, relations: usize) -> Schema {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut counter = 0usize;
+    let rels = (0..relations.max(1))
+        .map(|k| {
+            let rec = random_record(&mut rng, &mut counter, shape.max_depth, &shape, seed);
+            (
+                Label::new(&format!("R{seed}x{k}")),
+                Type::Set(Box::new(Type::Record(rec))),
+            )
+        })
+        .collect();
+    Schema::new(rels, nfd::model::types::Strictness::Strict).expect("generated schema is valid")
+}
+
 /// The single relation of a [`random_schema`] result.
 pub fn only_relation(schema: &Schema) -> Label {
     schema.relation_names().next().expect("one relation")
@@ -111,6 +133,12 @@ pub fn base_candidates(schema: &Schema, relation: Label) -> Vec<RootedPath> {
 /// path; LHS of size 0..=3).
 pub fn random_nfd(rng: &mut StdRng, schema: &Schema) -> Option<Nfd> {
     let relation = only_relation(schema);
+    random_nfd_in(rng, schema, relation)
+}
+
+/// [`random_nfd`] scoped to one relation of a (possibly multi-relation)
+/// schema.
+pub fn random_nfd_in(rng: &mut StdRng, schema: &Schema, relation: Label) -> Option<Nfd> {
     let bases = base_candidates(schema, relation);
     let base = bases[rng.gen_range(0..bases.len())].clone();
     let rec = nfd::path::typing::base_element_record(schema, &base).ok()?;
@@ -127,6 +155,29 @@ pub fn random_nfd(rng: &mut StdRng, schema: &Schema) -> Option<Nfd> {
 /// A random set of `n` NFDs.
 pub fn random_sigma(rng: &mut StdRng, schema: &Schema, n: usize) -> Vec<Nfd> {
     (0..n).filter_map(|_| random_nfd(rng, schema)).collect()
+}
+
+/// A `(naive oracle, indexed engine)` pair compiled from the same
+/// `(schema, Σ, policy)` — the standard differential fixture.
+pub fn build_pair<'s>(
+    schema: &'s Schema,
+    sigma: &[Nfd],
+    policy: EmptySetPolicy,
+) -> (NaiveEngine<'s>, Engine<'s>) {
+    let naive =
+        NaiveEngine::with_policy_budget(schema, sigma, policy.clone(), Budget::standard()).unwrap();
+    let engine = Engine::with_policy(schema, sigma, policy).unwrap();
+    (naive, engine)
+}
+
+/// Collapses a decided two-valued verdict to `bool`; panics on
+/// `Exhausted` (differential suites run under ample budgets).
+pub fn verdict_bool(v: &Verdict) -> bool {
+    match v {
+        Verdict::Implied => true,
+        Verdict::NotImplied => false,
+        other => panic!("unexpected verdict {other:?}"),
+    }
 }
 
 /// A small random instance of the schema with colliding base values and

@@ -41,17 +41,6 @@ const SWEEP_SEEDS: std::ops::Range<u64> = 0..32;
 /// Random goals compared per seed.
 const GOALS_PER_SEED: usize = 24;
 
-fn build_pair<'s>(
-    schema: &'s nfd::model::Schema,
-    sigma: &[Nfd],
-    policy: EmptySetPolicy,
-) -> (NaiveEngine<'s>, Engine<'s>) {
-    let naive =
-        NaiveEngine::with_policy_budget(schema, sigma, policy.clone(), Budget::standard()).unwrap();
-    let engine = Engine::with_policy(schema, sigma, policy).unwrap();
-    (naive, engine)
-}
-
 /// Pools, verdicts, closures and fired maps agree on random schemas under
 /// the Forbidden policy (Theorem 3.1's regime).
 #[test]
@@ -360,14 +349,6 @@ fn singleton_conclusions_pinned_on_appendix_a_examples() {
         naive.closure(&base, &[]).unwrap(),
         engine.closure(&base, &[]).unwrap()
     );
-}
-
-fn verdict_bool(v: &Verdict) -> bool {
-    match v {
-        Verdict::Implied => true,
-        Verdict::NotImplied => false,
-        other => panic!("unexpected verdict {other:?}"),
-    }
 }
 
 /// Every engine tier against the naive oracle: forced naive-scan, forced

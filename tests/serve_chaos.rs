@@ -329,3 +329,82 @@ fn parse_fault_is_an_err_line_not_a_hangup() {
     server.join().expect("server");
     faults::reset();
 }
+
+/// The ISSUE's mutation-chaos criterion: an armed `delta::retract` panic
+/// answers `ERR` on its own connection only, and the resident session —
+/// including a mutation applied *before* the fault — still matches a
+/// fresh in-process rebuild bit for bit; disarmed, the retraction lands.
+#[test]
+fn retraction_panic_is_contained_and_session_matches_fresh_rebuild() {
+    let _guard = serial();
+    faults::reset();
+    let (schema_src, deps_src) = course_sources();
+    let schema = Schema::parse(&schema_src).expect("schema");
+    let sigma = nfd::core::nfd::parse_set(&schema, &deps_src).expect("deps");
+
+    let (addr, server) = start(RegistryConfig::default(), quick_cfg());
+    let mut a = Client::connect(addr);
+    let mut b = Client::connect(addr);
+    assert_eq!(
+        a.ask(&format!("LOAD course {schema_src} | {deps_src}")),
+        "OK loaded deps=7"
+    );
+
+    // Mutate once so the resident Σ differs from the LOAD sources — the
+    // later rebuild comparison must see this survive the fault.
+    let added = Nfd::parse(&schema, "Course:[students:sid -> cnum]").expect("added");
+    assert!(a
+        .ask("ADDDEP course Course:[students:sid -> cnum]")
+        .starts_with("OK added"));
+
+    // Armed: the retraction panics before touching Σ; the request
+    // answers ERR on connection A only.
+    faults::configure_limited("delta::retract", 1, FaultAction::Panic);
+    let err = a.ask("DROPDEP course Course:[cnum -> time]");
+    assert!(
+        err.starts_with("ERR") && err.contains("delta::retract"),
+        "the poisoned retraction answers a typed ERR: {err}"
+    );
+    assert_eq!(b.ask("PING"), "OK pong", "connection B never noticed");
+    faults::reset();
+
+    // The resident session matches a fresh rebuild over (Σ + added):
+    // the faulted retraction must not have been half-applied.
+    let mut grown = sigma.clone();
+    grown.push(added);
+    let direct = Session::new(&schema, &grown).expect("fresh rebuild");
+    for goal in SWEEP {
+        let expected = if direct.implies_text(goal).expect("direct verdict") {
+            "OK implied"
+        } else {
+            "OK not-implied"
+        };
+        assert_eq!(a.ask(&format!("IMPLIES course {goal}")), expected, "{goal}");
+        assert_eq!(b.ask(&format!("IMPLIES course {goal}")), expected, "{goal}");
+    }
+
+    // Disarmed, the same retraction applies; the sweep tracks it.
+    assert!(b
+        .ask("DROPDEP course Course:[cnum -> time]")
+        .starts_with("OK dropped"));
+    let retracted: Vec<Nfd> = {
+        let target = Nfd::parse(&schema, "Course:[cnum -> time]").expect("target");
+        let mut s = grown.clone();
+        let pos = s.iter().position(|n| *n == target).expect("present");
+        s.remove(pos);
+        s
+    };
+    let direct = Session::new(&schema, &retracted).expect("fresh rebuild");
+    for goal in SWEEP {
+        let expected = if direct.implies_text(goal).expect("direct verdict") {
+            "OK implied"
+        } else {
+            "OK not-implied"
+        };
+        assert_eq!(a.ask(&format!("IMPLIES course {goal}")), expected, "{goal}");
+    }
+
+    assert_eq!(a.ask("SHUTDOWN"), "OK draining");
+    server.join().expect("server");
+    faults::reset();
+}

@@ -347,3 +347,130 @@ fn spawned_binary_serves_and_drains_cleanly() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("drained cleanly"), "{stdout}");
 }
+
+/// The tentpole's wire contract: `ADDDEP`/`DROPDEP` mutate the resident
+/// session and every verdict afterwards is bit-identical to an
+/// in-process [`Session`] mutated through the same
+/// `add_deps`/`remove_deps` API. Eviction then proves mutations are
+/// resident-state only: a reload recompiles from the `LOAD` sources and
+/// the sweep reverts to the unmutated session.
+#[test]
+fn wire_mutations_match_an_in_process_mutated_session() {
+    let (schema_src, deps_src) = course_sources();
+    let schema = Schema::parse(&schema_src).expect("schema parses");
+    let sigma = nfd::core::nfd::parse_set(&schema, &deps_src).expect("deps parse");
+    let mut direct = Session::new(&schema, &sigma).expect("direct session");
+
+    let (addr, server) = start(RegistryConfig::default(), quick_server_cfg());
+    let mut c = Client::connect(addr);
+    assert_eq!(
+        c.ask(&format!("LOAD course {schema_src} | {deps_src}")),
+        "OK loaded deps=7"
+    );
+
+    let sweep = |c: &mut Client, direct: &Session, ctx: &str| {
+        for goal in SWEEP {
+            let expected = if direct.implies_text(goal).expect("direct verdict") {
+                "OK implied"
+            } else {
+                "OK not-implied"
+            };
+            assert_eq!(
+                c.ask(&format!("IMPLIES course {goal}")),
+                expected,
+                "{ctx}: wire and in-process verdicts must agree on {goal}"
+            );
+        }
+    };
+
+    // ADDDEP: students:sid now determines cnum, which flips the sweep's
+    // "students:sid -> books" goal from not-implied to implied.
+    let added = Nfd::parse(&schema, "Course:[students:sid -> cnum]").expect("added dep");
+    direct
+        .add_deps(std::slice::from_ref(&added))
+        .expect("direct add");
+    let resp = c.ask("ADDDEP course Course:[students:sid -> cnum]");
+    assert!(resp.starts_with("OK added relation=Course pool="), "{resp}");
+    sweep(&mut c, &direct, "after ADDDEP");
+
+    // DROPDEP: retracting cnum -> time flips that goal back off.
+    let dropped = Nfd::parse(&schema, "Course:[cnum -> time]").expect("dropped dep");
+    direct
+        .remove_deps(std::slice::from_ref(&dropped))
+        .expect("direct drop");
+    let resp = c.ask("DROPDEP course Course:[cnum -> time]");
+    assert!(
+        resp.starts_with("OK dropped relation=Course pool="),
+        "{resp}"
+    );
+    sweep(&mut c, &direct, "after DROPDEP");
+
+    // Closures ride the same mutated Σ.
+    let base = RootedPath::parse("Course").expect("base");
+    let lhs = [Path::parse("cnum").expect("lhs")];
+    let direct_closure = direct
+        .closure(&base, &lhs)
+        .expect("direct closure")
+        .iter()
+        .map(|p| p.to_string())
+        .collect::<Vec<_>>()
+        .join(" ");
+    assert_eq!(
+        c.ask("CLOSURE course Course cnum"),
+        format!("OK {direct_closure}")
+    );
+
+    // Retracting an absent dep: typed ERR, warm session keeps serving.
+    let err = c.ask("DROPDEP course Course:[cnum -> time]");
+    assert!(err.starts_with("ERR") && err.contains("not in"), "{err}");
+    sweep(&mut c, &direct, "after failed DROPDEP");
+
+    // Evict and reload: mutations were resident-state only, so the
+    // recompiled tenant answers from the original `LOAD` sources.
+    assert_eq!(c.ask("EVICT course"), "OK evicted");
+    assert_eq!(
+        c.ask(&format!("LOAD course {schema_src} | {deps_src}")),
+        "OK loaded deps=7"
+    );
+    let pristine = Session::new(&schema, &sigma).expect("pristine session");
+    sweep(&mut c, &pristine, "after evict + reload");
+
+    assert_eq!(c.ask("SHUTDOWN"), "OK draining");
+    let stats = server.join().expect("server");
+    assert_eq!(stats.contained_panics, 0);
+}
+
+/// Mutations are workload verbs: metered against the tenant quota (the
+/// charge is the rebuilt pool size) and refused typed once it drains.
+#[test]
+fn mutations_are_metered_against_the_tenant_quota() {
+    let (schema_src, deps_src) = course_sources();
+    let (addr, server) = start(RegistryConfig::default(), quick_server_cfg());
+    let mut c = Client::connect(addr);
+    assert_eq!(
+        c.ask(&format!("LOAD course {schema_src} | {deps_src}")),
+        "OK loaded deps=7"
+    );
+
+    // A Course rebuild replays far more than 2 pool entries, so one
+    // mutation drains this quota to zero.
+    assert_eq!(c.ask("QUOTA course 2"), "OK quota=2");
+    let resp = c.ask("ADDDEP course Course:[students:sid -> cnum]");
+    assert!(resp.starts_with("OK added"), "{resp}");
+    let denied = c.ask("DROPDEP course Course:[students:sid -> cnum]");
+    assert!(
+        denied.starts_with("EXHAUSTED") && denied.contains("quota"),
+        "mutations must be admission-gated like any workload verb: {denied}"
+    );
+
+    // Refill: the mutation applied before the drain is still in force.
+    assert_eq!(c.ask("QUOTA course 50000"), "OK quota=50000");
+    assert_eq!(
+        c.ask("IMPLIES course Course:[students:sid -> books]"),
+        "OK implied",
+        "the charged mutation must have been applied, not rolled back"
+    );
+
+    assert_eq!(c.ask("SHUTDOWN"), "OK draining");
+    server.join().expect("server");
+}

@@ -129,3 +129,88 @@ fn randomized_schemas_with_deadlines_never_panic() {
         }
     }
 }
+
+/// Phase 3: mutation soak. Interleaved Σ adds/removes and queries on one
+/// session under the mixed budget menu. The contract under exhaustion is
+/// atomicity: a mutation either fully applies or fails typed
+/// (`Exhausted`/`Internal`) leaving Σ exactly where it was — so the
+/// session's answers always agree with the unbudgeted truth over the
+/// mirror Σ, never a stale or half-applied hybrid.
+#[test]
+fn mutation_soak_under_tight_budgets_never_goes_stale() {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut mutations = 0u64;
+    let mut exhausted = 0u64;
+    for index in 0..200u64 {
+        if Instant::now() > deadline {
+            break;
+        }
+        let (schema, sigma, _) = corpus_entry(3, index, SchemaShape::default());
+        let budget = budget_for(index);
+        let Ok(mut session) =
+            Session::with_budget(&schema, &sigma, EmptySetPolicy::Forbidden, budget)
+        else {
+            continue; // tight-budget build exhaustion is a legal outcome
+        };
+        let mut mirror = sigma.clone();
+        let mut rng = StdRng::seed_from_u64(phase_seed(3, index ^ 0xA11));
+
+        for step in 0..6u64 {
+            // One mutation under the session's (possibly starved) budget.
+            if mirror.is_empty() || rng.gen_bool(0.5) {
+                if let Some(dep) = random_nfd(&mut rng, &schema) {
+                    match session.add_deps(std::slice::from_ref(&dep)) {
+                        Ok(_) => {
+                            mirror.push(dep);
+                            mutations += 1;
+                        }
+                        Err(CoreError::Exhausted(_)) | Err(CoreError::Internal(_)) => {
+                            exhausted += 1; // rolled back; mirror unchanged
+                        }
+                        Err(e) => panic!("round {index} step {step}: untyped add failure: {e}"),
+                    }
+                }
+            } else {
+                let dep = mirror[rng.gen_range(0..mirror.len())].clone();
+                match session.remove_deps(std::slice::from_ref(&dep)) {
+                    Ok(_) => {
+                        let pos = mirror.iter().position(|n| n == &dep).unwrap();
+                        mirror.remove(pos);
+                        mutations += 1;
+                    }
+                    Err(CoreError::Exhausted(_)) | Err(CoreError::Internal(_)) => {
+                        exhausted += 1; // mid-retraction exhaustion rolls back
+                    }
+                    Err(e) => panic!("round {index} step {step}: untyped remove failure: {e}"),
+                }
+            }
+            // Atomicity: the session's Σ tracks the mirror exactly.
+            assert_eq!(
+                session.engine().sigma,
+                mirror,
+                "round {index} step {step}: Σ diverged from the mirror"
+            );
+
+            // A query (its own ample budget) must agree with the
+            // unbudgeted truth over the mirror Σ — never stale.
+            let Some(goal) = random_nfd(&mut rng, &schema) else {
+                continue;
+            };
+            let Ok(truth_session) = Session::new(&schema, &mirror) else {
+                continue;
+            };
+            let truth = truth_session.implies(&goal).unwrap();
+            let decision = session.implies_with(&goal, &Budget::standard()).unwrap();
+            if let Some(answer) = decision.verdict.as_bool() {
+                assert_eq!(
+                    answer, truth,
+                    "round {index} step {step}: stale answer after mutation on {goal}"
+                );
+            }
+        }
+    }
+    assert!(
+        mutations > 0,
+        "mutation soak made no progress ({exhausted} exhausted)"
+    );
+}
