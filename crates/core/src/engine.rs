@@ -116,6 +116,35 @@ pub struct CDep {
     pub(crate) need_x: PathSet,
 }
 
+/// One pool dependency as exported by [`Engine::export_pools`] — the
+/// portable form of a [`CDep`]. `need_x` is deliberately absent: it is a
+/// pure function of `(lhs, rhs, policy)` and is recomputed on thaw, so a
+/// snapshot can never smuggle in an inconsistent gate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrozenDep {
+    /// LHS path ids.
+    pub lhs: PathSet,
+    /// RHS path id.
+    pub rhs: PathId,
+    /// How the dependency was derived (validated for well-foundedness on
+    /// thaw).
+    pub prov: Prov,
+    /// Subsumption flag at export time — thaw replays the pool and
+    /// requires the replayed flags to match exactly.
+    pub subsumed: bool,
+}
+
+/// One relation's saturated pool in portable form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrozenPool {
+    /// The relation the pool belongs to.
+    pub relation: Label,
+    /// Pool entries in pool order.
+    pub deps: Vec<FrozenDep>,
+    /// Set-of-records paths whose singleton rule has fired.
+    pub singletons: Vec<PathId>,
+}
+
 /// Compiles an empty-set policy to the `(non_empty, defined)` path sets
 /// of a relation — shared with the naive oracle so both engines reason
 /// under byte-identical gates.
@@ -604,6 +633,139 @@ impl<'s> Engine<'s> {
                     break;
                 }
             }
+        }
+        Ok(Engine {
+            schema,
+            tables,
+            sigma: sigma.to_vec(),
+            rels,
+            policy,
+            budget,
+            cache: None,
+            select: None,
+        })
+    }
+
+    /// Exports every relation's saturated pool in portable form, sorted
+    /// by relation name — the compiled payload of a session snapshot.
+    pub fn export_pools(&self) -> Vec<FrozenPool> {
+        let mut out: Vec<FrozenPool> = self
+            .rels
+            .values()
+            .map(|r| FrozenPool {
+                relation: r.relation,
+                deps: r
+                    .deps
+                    .iter()
+                    .map(|d| FrozenDep {
+                        lhs: d.lhs.clone(),
+                        rhs: d.rhs,
+                        prov: d.prov.clone(),
+                        subsumed: d.subsumed,
+                    })
+                    .collect(),
+                singletons: r.singletons_granted.clone(),
+            })
+            .collect();
+        out.sort_by_key(|p| p.relation.to_string());
+        out
+    }
+
+    /// Rebuilds an engine from pools exported by
+    /// [`Engine::export_pools`], skipping the saturation fixpoint — the
+    /// thaw path of compiled-session snapshots.
+    ///
+    /// This is a *validated replay*, not a blind install: every frozen
+    /// entry is pushed through the same [`RelEngine::add`] a fresh build
+    /// uses, in pool order. `add` is deterministic and its subsumption
+    /// bookkeeping depends only on the entries accepted so far, so an
+    /// honest export replays to a bit-identical pool (same entries, same
+    /// `seen` set, same occurrence indices, same subsumption flags, same
+    /// recomputed `need_x` gates). Any deviation — an entry `add`
+    /// rejects, a replayed subsumption flag differing from the frozen
+    /// one, an out-of-range id or premise index — is a typed
+    /// [`CoreError::Internal`], and the caller falls back to a fresh
+    /// compile. The budget is charged exactly as a fresh build's pool
+    /// growth would be, so thawing under a tighter budget reports
+    /// honest exhaustion.
+    pub fn from_frozen(
+        schema: &'s Schema,
+        tables: SchemaTables,
+        sigma: &[Nfd],
+        policy: EmptySetPolicy,
+        budget: Budget,
+        pools: Vec<FrozenPool>,
+    ) -> Result<Engine<'s>, CoreError> {
+        let mut rels: HashMap<Label, RelEngine> = HashMap::new();
+        for name in schema.relation_names() {
+            let table = tables
+                .get(name)
+                .ok_or_else(|| CoreError::Nav(format!("unknown relation `{name}`")))?;
+            rels.insert(name, RelEngine::new(name, Arc::clone(table), &policy));
+        }
+        for pool in pools {
+            let rel = rels.get_mut(&pool.relation).ok_or_else(|| {
+                CoreError::Internal(format!(
+                    "frozen pool names relation `{}` which is not in the schema",
+                    pool.relation
+                ))
+            })?;
+            if !rel.deps.is_empty() {
+                return Err(CoreError::Internal(format!(
+                    "duplicate frozen pool for relation `{}`",
+                    pool.relation
+                )));
+            }
+            let relation = rel.relation;
+            let table_len = rel.table.len() as PathId;
+            let words = rel.table.words();
+            let expected_flags: Vec<bool> = pool.deps.iter().map(|d| d.subsumed).collect();
+            for (i, fd) in pool.deps.into_iter().enumerate() {
+                let ctx = move |what: &str| {
+                    CoreError::Internal(format!("frozen pool of `{relation}`, entry {i}: {what}"))
+                };
+                if fd.lhs.as_words().len() != words {
+                    return Err(ctx("LHS bitset width does not match the path table"));
+                }
+                if fd.rhs >= table_len || fd.lhs.iter().any(|p| p >= table_len) {
+                    return Err(ctx("path id out of range for the relation"));
+                }
+                let well_founded = match &fd.prov {
+                    Prov::Given(k) => *k < sigma.len(),
+                    Prov::Prefix { dep, shortened } => *dep < i && *shortened < table_len,
+                    Prov::FullLocality { dep, x } => *dep < i && *x < table_len,
+                    Prov::Resolve {
+                        target,
+                        supplier,
+                        on,
+                    } => *target < i && *supplier < i && *on < table_len,
+                    Prov::Singleton { x } => *x < table_len,
+                };
+                if !well_founded {
+                    return Err(ctx("provenance is not well-founded"));
+                }
+                if !rel.add(fd.lhs, fd.rhs, fd.prov, &budget)? {
+                    return Err(ctx(
+                        "replay rejected the entry (reflexive, duplicate, or subsumed)",
+                    ));
+                }
+            }
+            for (i, expected) in expected_flags.iter().enumerate() {
+                if rel.deps[i].subsumed != *expected {
+                    return Err(CoreError::Internal(format!(
+                        "frozen pool of `{}`, entry {i}: replayed subsumption flag \
+                         disagrees with the snapshot",
+                        rel.relation
+                    )));
+                }
+            }
+            if pool.singletons.iter().any(|&x| x >= table_len) {
+                return Err(CoreError::Internal(format!(
+                    "frozen pool of `{}`: singleton id out of range",
+                    rel.relation
+                )));
+            }
+            rel.singletons_granted = pool.singletons;
         }
         Ok(Engine {
             schema,

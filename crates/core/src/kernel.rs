@@ -445,6 +445,41 @@ impl ClosureCache {
         before - inner.map.len()
     }
 
+    /// Dumps every cached closure as `(relation, key, closure)` triples,
+    /// sorted by `(relation text, key words)` so the dump — and therefore
+    /// a snapshot embedding it — is deterministic regardless of hash
+    /// order. LRU stamps are not exported: recency is an ephemeral
+    /// property of the serving process, not of the closures.
+    pub fn export(&self) -> Vec<(Label, PathSet, PathSet)> {
+        let inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let mut out: Vec<(Label, PathSet, PathSet)> = inner
+            .map
+            .iter()
+            .map(|((r, k), (c, _))| (*r, k.clone(), c.clone()))
+            .collect();
+        drop(inner);
+        out.sort_by(|a, b| {
+            (a.0.to_string(), a.1.as_words()).cmp(&(b.0.to_string(), b.1.as_words()))
+        });
+        out
+    }
+
+    /// Bulk-inserts entries (from [`ClosureCache::export`] of a prior
+    /// process), assigning fresh monotone LRU stamps in iteration order.
+    /// Entries beyond capacity are subject to the usual halving eviction.
+    /// Soundness is the caller's obligation: the entries must come from
+    /// the same `(Σ, policy)` compilation this cache is scoped to —
+    /// snapshot thaw only imports after the full differential validation
+    /// of the compiled sections.
+    pub fn import(&self, entries: impl IntoIterator<Item = (Label, PathSet, PathSet)>) {
+        for (relation, key, closure) in entries {
+            self.insert(relation, key, closure);
+        }
+    }
+
     /// Hit/miss counters accumulated so far.
     pub fn stats(&self) -> CacheStats {
         CacheStats {

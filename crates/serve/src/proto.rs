@@ -12,6 +12,8 @@
 //! KEYS <name> <relation>                  candidate keys (size ≤ 4)
 //! ADDDEP <name> <nfd>                     add the NFD to the resident Σ (delta)
 //! DROPDEP <name> <nfd>                    retract the NFD from the resident Σ
+//! SNAPSHOT <name> <path>                  freeze the resident session to a file
+//! RESTORE <name> <path>                   thaw a session from a snapshot file
 //! QUOTA <name> <units>                    set the tenant's remaining work quota
 //! EVICT <name>                            drop the resident session
 //! STATS                                   registry + server counters
@@ -99,6 +101,23 @@ pub enum Command {
         name: String,
         /// NFD source text to remove.
         dep: String,
+    },
+    /// Freeze the resident session `name` to a checksummed snapshot
+    /// file (written atomically: temp file, flush, rename).
+    Snapshot {
+        /// Tenant name.
+        name: String,
+        /// Filesystem path the snapshot is written to.
+        path: String,
+    },
+    /// Thaw a session from a snapshot file and keep it resident as
+    /// `name`. A corrupt or partial image degrades to a fresh compile
+    /// of the sources salvaged from the snapshot when possible.
+    Restore {
+        /// Tenant name.
+        name: String,
+        /// Filesystem path the snapshot is read from.
+        path: String,
     },
     /// Set the tenant's remaining work-unit quota.
     Quota {
@@ -223,6 +242,26 @@ impl Command {
                     dep: dep.to_string(),
                 })
             }
+            "SNAPSHOT" => {
+                let (name, path) = take_name(rest, "SNAPSHOT")?;
+                if path.is_empty() {
+                    return Err("SNAPSHOT needs `<name> <path>`".to_string());
+                }
+                Ok(Command::Snapshot {
+                    name,
+                    path: path.to_string(),
+                })
+            }
+            "RESTORE" => {
+                let (name, path) = take_name(rest, "RESTORE")?;
+                if path.is_empty() {
+                    return Err("RESTORE needs `<name> <path>`".to_string());
+                }
+                Ok(Command::Restore {
+                    name,
+                    path: path.to_string(),
+                })
+            }
             "QUOTA" => {
                 let (name, units) = take_name(rest, "QUOTA")?;
                 let units: u64 = units.trim().parse().map_err(|_| {
@@ -254,6 +293,8 @@ impl Command {
             Command::Keys { .. } => "KEYS",
             Command::AddDep { .. } => "ADDDEP",
             Command::DropDep { .. } => "DROPDEP",
+            Command::Snapshot { .. } => "SNAPSHOT",
+            Command::Restore { .. } => "RESTORE",
             Command::Quota { .. } => "QUOTA",
             Command::Evict { .. } => "EVICT",
             Command::Stats => "STATS",
@@ -276,6 +317,8 @@ impl Command {
                 | Command::Keys { .. }
                 | Command::AddDep { .. }
                 | Command::DropDep { .. }
+                | Command::Snapshot { .. }
+                | Command::Restore { .. }
         )
     }
 }
@@ -414,6 +457,20 @@ mod tests {
             })
         );
         assert_eq!(
+            Command::parse("SNAPSHOT t /tmp/t.snap"),
+            Ok(Command::Snapshot {
+                name: "t".into(),
+                path: "/tmp/t.snap".into()
+            })
+        );
+        assert_eq!(
+            Command::parse("restore t /tmp/t.snap"),
+            Ok(Command::Restore {
+                name: "t".into(),
+                path: "/tmp/t.snap".into()
+            })
+        );
+        assert_eq!(
             Command::parse("QUOTA t 500"),
             Ok(Command::Quota {
                 name: "t".into(),
@@ -447,6 +504,10 @@ mod tests {
             "ADDDEP",
             "DROPDEP t",
             "DROPDEP",
+            "SNAPSHOT t",
+            "SNAPSHOT",
+            "RESTORE t",
+            "RESTORE",
             "QUOTA t notanumber",
             "QUOTA t -3",
             "EVICT t extra",
@@ -471,6 +532,8 @@ mod tests {
         assert!(Command::parse("DROPDEP t R:[A -> B]")
             .unwrap()
             .is_workload());
+        assert!(Command::parse("SNAPSHOT t /tmp/x").unwrap().is_workload());
+        assert!(Command::parse("RESTORE t /tmp/x").unwrap().is_workload());
         assert!(!Command::parse("STATS").unwrap().is_workload());
         assert!(!Command::parse("EVICT t").unwrap().is_workload());
         assert!(!Command::parse("SHUTDOWN").unwrap().is_workload());

@@ -15,12 +15,16 @@
 //! nfdtool keys     --schema S --deps D --relation R
 //! nfdtool analyze  --schema S --deps D            # singletons, redundancy, minimal cover
 //! nfdtool render   --schema S --instance I        # nested tables
+//! nfdtool snapshot --schema S --deps D --out F    # freeze the compiled session
 //! nfdtool serve    --addr HOST:PORT               # multi-tenant registry daemon
 //! ```
 //!
 //! The `implies`, `prove`, `closure` and `keys` subcommands are served by
 //! one compiled [`Session`]; batch mode (`--goals`) amortizes that
-//! compilation over every goal in the file.
+//! compilation over every goal in the file, and `--snapshot FILE` warm
+//! starts the session from a [`crate::snap`] image written by
+//! `nfdtool snapshot` (falling back to a fresh compile when the image is
+//! corrupt or stale).
 //!
 //! The entry point [`run`] writes to the supplied sink and returns a
 //! process exit code, so the whole CLI is unit-testable.
@@ -102,14 +106,15 @@ pub fn run(args: &[String], out: &mut String) -> i32 {
 
 const USAGE: &str = "usage:
   nfdtool check    --schema FILE --deps FILE --instance FILE
-  nfdtool implies  --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] [--retry N [--escalate F]] [--engine E] [--add-dep NFD]… [--drop-dep NFD]… NFD
-  nfdtool implies  --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] [--threads N] [--retry N [--escalate F]] [--engine E] [--add-dep NFD]… [--drop-dep NFD]… --goals FILE
-  nfdtool prove    --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] [--engine E] NFD
-  nfdtool closure  --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] [--engine E] [--add-dep NFD]… [--drop-dep NFD]… --base PATH [--lhs P1,P2,…]
+  nfdtool implies  --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] [--retry N [--escalate F]] [--engine E] [--snapshot FILE] [--add-dep NFD]… [--drop-dep NFD]… NFD
+  nfdtool implies  --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] [--threads N] [--retry N [--escalate F]] [--engine E] [--snapshot FILE] [--add-dep NFD]… [--drop-dep NFD]… --goals FILE
+  nfdtool prove    --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] [--engine E] [--snapshot FILE] [--add-dep NFD]… [--drop-dep NFD]… NFD
+  nfdtool closure  --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] [--engine E] [--snapshot FILE] [--add-dep NFD]… [--drop-dep NFD]… --base PATH [--lhs P1,P2,…]
   nfdtool witness  --schema FILE --deps FILE --base PATH [--lhs P1,P2,…]
-  nfdtool keys     --schema FILE --deps FILE --relation NAME [--budget N] [--timeout-ms T] [--threads N] [--engine E]
+  nfdtool keys     --schema FILE --deps FILE --relation NAME [--budget N] [--timeout-ms T] [--threads N] [--engine E] [--snapshot FILE] [--add-dep NFD]… [--drop-dep NFD]…
   nfdtool analyze  --schema FILE --deps FILE
   nfdtool render   --schema FILE --instance FILE
+  nfdtool snapshot --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] [--engine E] [--add-dep NFD]… [--drop-dep NFD]… --out FILE
   nfdtool serve    --addr HOST:PORT [--max-resident N] [--max-inflight N] [--queue N] [--quota N] [--budget N] [--timeout-ms T]
 
   --goals FILE decides every NFD of the (semicolon-separated) file against
@@ -153,9 +158,22 @@ const USAGE: &str = "usage:
   served each query. A forced `dense` charges the closure-matrix build
   to the budget and reports exhaustion honestly instead of falling back.
 
+  snapshot compiles the session and writes it — interned path tables,
+  the saturated Σ pool with full provenance, the empty-set policy and
+  the warm closure cache — to --out as a length-prefixed, per-section
+  CRC-checksummed binary image, atomically (temp file, flush, rename).
+  The other session subcommands accept --snapshot FILE to warm-start
+  from such an image: a valid image matching the --schema/--deps/--policy
+  on the command line skips the saturation fixpoint entirely, while a
+  corrupt, truncated or mismatched one is rejected with a typed reason
+  and the tool transparently compiles fresh. Degraded startup is a
+  logged event, never a failure and never a wrong answer; --add-dep /
+  --drop-dep mutations apply after the thaw exactly as after a compile.
+
   serve runs the crash-contained multi-tenant registry daemon: named
   schemas stay resident as compiled sessions behind a line protocol
-  (LOAD/IMPLIES/BATCH/CLOSURE/KEYS/QUOTA/EVICT/STATS/PING/SHUTDOWN; see
+  (LOAD/IMPLIES/BATCH/CLOSURE/KEYS/SNAPSHOT/RESTORE/QUOTA/EVICT/STATS/
+  PING/SHUTDOWN; see
   the README). --max-resident caps warm sessions (LRU eviction, default
   8); --max-inflight and --queue bound admission (overflow answers BUSY);
   --quota meters each tenant's work units (EXHAUSTED when drained);
@@ -191,6 +209,11 @@ struct Opts {
     /// Repeatable `--drop-dep NFD`: dependencies retracted from Σ after
     /// the session compiles (and after every `--add-dep`).
     drop_dep: Vec<String>,
+    /// `--snapshot FILE`: warm-start the session from a frozen image,
+    /// falling back to a fresh compile when the image is rejected.
+    snapshot: Option<String>,
+    /// `--out FILE`: where the `snapshot` subcommand writes its image.
+    out: Option<String>,
     positional: Vec<String>,
 }
 
@@ -217,6 +240,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         quota: None,
         add_dep: Vec::new(),
         drop_dep: Vec::new(),
+        snapshot: None,
+        out: None,
         positional: Vec::new(),
     };
     let mut i = 0;
@@ -249,6 +274,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--quota" => o.quota = Some(take(&mut i)?),
             "--add-dep" => o.add_dep.push(take(&mut i)?),
             "--drop-dep" => o.drop_dep.push(take(&mut i)?),
+            "--snapshot" => o.snapshot = Some(take(&mut i)?),
+            "--out" => o.out = Some(take(&mut i)?),
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             other => o.positional.push(other.to_string()),
         }
@@ -389,6 +416,46 @@ fn apply_mutations(session: &mut Session, schema: &Schema, o: &Opts) -> Result<(
     Ok(())
 }
 
+/// Attempts the `--snapshot FILE` warm start. `None` means "compile
+/// fresh": either the flag was absent, or the image was rejected —
+/// unreadable, corrupt, truncated, version-skewed, or frozen from a
+/// different schema/Σ/policy. Rejection is graceful degradation, not an
+/// error: the typed reason is logged to `out` and the caller proceeds
+/// with an ordinary [`Session::with_tiers`] compile.
+fn thaw_from_flag<'s>(
+    o: &Opts,
+    schema: &'s Schema,
+    sigma: &[Nfd],
+    policy: &nfd_core::EmptySetPolicy,
+    budget: &Budget,
+    preference: TierPreference,
+    out: &mut String,
+) -> Option<Session<'s>> {
+    let path = o.snapshot.as_deref()?;
+    let attempt = || -> Result<Session<'s>, nfd_snap::SnapError> {
+        let bytes = nfd_snap::read_file(std::path::Path::new(path))?;
+        let snapshot = nfd_snap::decode(&bytes)?;
+        Session::thaw(
+            schema,
+            sigma,
+            policy.clone(),
+            budget.clone(),
+            preference,
+            &snapshot,
+        )
+    };
+    match attempt() {
+        Ok(session) => {
+            let _ = writeln!(out, "(warm start: thawed snapshot `{path}`)");
+            Some(session)
+        }
+        Err(e) => {
+            let _ = writeln!(out, "(snapshot `{path}` rejected: {e}; compiling fresh)");
+            None
+        }
+    }
+}
+
 /// Parses `--threads`: `0` (the default) means all available parallelism.
 fn parse_threads(o: &Opts) -> Result<usize, String> {
     match o.threads.as_deref() {
@@ -444,29 +511,34 @@ fn dispatch(args: &[String], out: &mut String) -> Result<i32, CliFail> {
             // Session compilation runs under the same budget as the
             // queries, so `--retry` must cover it too: a budget too tight
             // to even build escalates here, and the queries then run
-            // under the budget that let the build finish.
+            // under the budget that let the build finish. A `--snapshot`
+            // warm start replaces the compile when the image is accepted.
+            let thawed = thaw_from_flag(&o, &schema, &sigma, &policy, &budget, preference, out);
             let mut build_round: u32 = 0;
-            let mut session = loop {
-                match Session::with_tiers(
-                    &schema,
-                    &sigma,
-                    policy.clone(),
-                    budget.clone(),
-                    preference,
-                ) {
-                    Ok(s) => break s,
-                    Err(CoreError::Exhausted(r))
-                        if r.kind != nfd_govern::ResourceKind::Cancelled
-                            && retry
-                                .as_ref()
-                                .is_some_and(|p| build_round + 1 < p.max_attempts) =>
-                    {
-                        build_round += 1;
-                        let p = retry.as_ref().expect("guarded by is_some_and");
-                        budget = budget.escalate(p.budget_escalation_factor);
+            let mut session = match thawed {
+                Some(s) => s,
+                None => loop {
+                    match Session::with_tiers(
+                        &schema,
+                        &sigma,
+                        policy.clone(),
+                        budget.clone(),
+                        preference,
+                    ) {
+                        Ok(s) => break s,
+                        Err(CoreError::Exhausted(r))
+                            if r.kind != nfd_govern::ResourceKind::Cancelled
+                                && retry
+                                    .as_ref()
+                                    .is_some_and(|p| build_round + 1 < p.max_attempts) =>
+                        {
+                            build_round += 1;
+                            let p = retry.as_ref().expect("guarded by is_some_and");
+                            budget = budget.escalate(p.budget_escalation_factor);
+                        }
+                        Err(e) => return Err(core_fail(e)),
                     }
-                    Err(e) => return Err(core_fail(e)),
-                }
+                },
             };
             apply_mutations(&mut session, &schema, &o)?;
             // Batch mode: one compiled session answers every goal of the
@@ -619,8 +691,12 @@ fn dispatch(args: &[String], out: &mut String) -> Result<i32, CliFail> {
             let policy = parse_policy(&o)?;
             let budget = parse_budget(&o)?;
             let preference = parse_engine(&o)?;
-            let mut session = Session::with_tiers(&schema, &sigma, policy, budget, preference)
-                .map_err(core_fail)?;
+            let mut session =
+                match thaw_from_flag(&o, &schema, &sigma, &policy, &budget, preference, out) {
+                    Some(s) => s,
+                    None => Session::with_tiers(&schema, &sigma, policy, budget, preference)
+                        .map_err(core_fail)?,
+                };
             apply_mutations(&mut session, &schema, &o)?;
             let (cl, trace) = session.closure_traced(&base, &lhs).map_err(core_fail)?;
             for p in &cl {
@@ -677,14 +753,14 @@ fn dispatch(args: &[String], out: &mut String) -> Result<i32, CliFail> {
             let relation = nfd_model::Label::new(rel_text);
             let budget = parse_budget(&o)?;
             let preference = parse_engine(&o)?;
-            let session = Session::with_tiers(
-                &schema,
-                &sigma,
-                nfd_core::EmptySetPolicy::Forbidden,
-                budget,
-                preference,
-            )
-            .map_err(core_fail)?;
+            let policy = nfd_core::EmptySetPolicy::Forbidden;
+            let mut session =
+                match thaw_from_flag(&o, &schema, &sigma, &policy, &budget, preference, out) {
+                    Some(s) => s,
+                    None => Session::with_tiers(&schema, &sigma, policy, budget, preference)
+                        .map_err(core_fail)?,
+                };
+            apply_mutations(&mut session, &schema, &o)?;
             let threads = parse_threads(&o)?;
             let keys = session
                 .candidate_keys_threaded(relation, 4, threads)
@@ -746,6 +822,29 @@ fn dispatch(args: &[String], out: &mut String) -> Result<i32, CliFail> {
             let schema = load_schema(&o)?;
             let inst = load_instance(&o, &schema)?;
             let _ = write!(out, "{}", render::render_instance(&schema, &inst));
+            Ok(0)
+        }
+        "snapshot" => {
+            let schema = load_schema(&o)?;
+            let sigma = load_deps(&o, &schema)?;
+            let policy = parse_policy(&o)?;
+            let budget = parse_budget(&o)?;
+            let preference = parse_engine(&o)?;
+            let out_path = o.out.as_deref().ok_or("--out is required")?;
+            let mut session = Session::with_tiers(&schema, &sigma, policy, budget, preference)
+                .map_err(core_fail)?;
+            apply_mutations(&mut session, &schema, &o)?;
+            let image = session.freeze();
+            let bytes = nfd_snap::encode(&image);
+            nfd_snap::write_atomic(std::path::Path::new(out_path), &bytes)
+                .map_err(|e| CliFail::Usage(format!("cannot write snapshot `{out_path}`: {e}")))?;
+            let _ = writeln!(
+                out,
+                "snapshot: wrote {} bytes to `{out_path}` ({} pools, {} cached closures)",
+                bytes.len(),
+                image.pools.len(),
+                image.cache.len()
+            );
             Ok(0)
         }
         "serve" => {

@@ -21,9 +21,13 @@
 //! | [`relational`] | Armstrong's axioms / attribute closure baseline |
 //! | [`chase`] | nested tableau chase (the paper's future work) |
 //! | [`net`] | crash-contained TCP serving shell (line protocol, admission, drain) |
+//! | [`snap`] | crash-safe checksummed snapshots of compiled sessions |
 //!
 //! The [`serve`] module (this crate, not a re-export) implements the
-//! multi-tenant session [`serve::Registry`] behind `nfdtool serve`.
+//! multi-tenant session [`serve::Registry`] behind `nfdtool serve`, and
+//! the [`snapshot`] module converts between live sessions and the
+//! portable [`snap`] representation ([`session::Session::freeze`] /
+//! [`session::Session::thaw`]).
 //!
 //! ## Quickstart
 //!
@@ -56,6 +60,7 @@
 pub mod cli;
 pub mod serve;
 pub mod session;
+pub mod snapshot;
 
 pub use nfd_chase as chase;
 pub use nfd_core as core;
@@ -67,6 +72,7 @@ pub use nfd_par as par;
 pub use nfd_path as path;
 pub use nfd_relational as relational;
 pub use nfd_serve as net;
+pub use nfd_snap as snap;
 
 /// The most commonly used items, for `use nfd::prelude::*`.
 pub mod prelude {

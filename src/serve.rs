@@ -88,6 +88,7 @@ enum Query {
     Keys { relation: String },
     AddDep { dep: String },
     DropDep { dep: String },
+    Snapshot { path: String },
 }
 
 struct Request {
@@ -144,6 +145,15 @@ struct RegistryCounters {
     queries: AtomicU64,
     quota_denials: AtomicU64,
     worker_failures: AtomicU64,
+    /// `SNAPSHOT` verbs that wrote an image to disk.
+    snapshots_written: AtomicU64,
+    /// `RESTORE` verbs answered from a bit-identical thaw.
+    restores_ok: AtomicU64,
+    /// `RESTORE` verbs whose image was unusable even for salvage.
+    restores_rejected: AtomicU64,
+    /// `RESTORE` verbs that degraded to a fresh compile (corrupt or
+    /// stale compiled sections with salvageable sources).
+    thaw_fallbacks: AtomicU64,
 }
 
 /// The multi-tenant session registry; implement [`Handler`] and hand it
@@ -190,6 +200,39 @@ impl Registry {
         }
     }
 
+    /// Registers a freshly handshaken tenant: MRU-front insert, reload
+    /// bookkeeping, and LRU eviction past the residency cap.
+    fn adopt(&self, name: String, tx: mpsc::Sender<Request>, worker: JoinHandle<()>) {
+        let tenant = Tenant {
+            name: name.clone(),
+            tx: Some(tx),
+            quota: self.cfg.default_quota,
+            worker: Some(worker),
+        };
+        let mut retired: Vec<Tenant> = Vec::new();
+        {
+            let mut tenants = self.tenants.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(pos) = tenants.iter().position(|t| t.name == name) {
+                retired.push(tenants.remove(pos));
+                self.counters.reloads.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.counters.loads.fetch_add(1, Ordering::Relaxed);
+            }
+            tenants.insert(0, tenant);
+            while tenants.len() > self.cfg.max_resident.max(1) {
+                if let Some(cold) = tenants.pop() {
+                    self.counters.evicted_lru.fetch_add(1, Ordering::Relaxed);
+                    retired.push(cold);
+                }
+            }
+        }
+        // Join retired actors outside the lock: an in-flight query on a
+        // replaced tenant may still need to finish.
+        for tenant in retired {
+            tenant.retire();
+        }
+    }
+
     fn load(&self, name: String, schema: String, deps: String) -> Response {
         let (ready_tx, ready_rx) = mpsc::channel();
         let (tx, rx) = mpsc::channel();
@@ -197,34 +240,7 @@ impl Registry {
         let worker = std::thread::spawn(move || actor(schema, deps, budget, rx, ready_tx));
         match ready_rx.recv() {
             Ok(Ok(dep_count)) => {
-                let tenant = Tenant {
-                    name: name.clone(),
-                    tx: Some(tx),
-                    quota: self.cfg.default_quota,
-                    worker: Some(worker),
-                };
-                let mut retired: Vec<Tenant> = Vec::new();
-                {
-                    let mut tenants = self.tenants.lock().unwrap_or_else(PoisonError::into_inner);
-                    if let Some(pos) = tenants.iter().position(|t| t.name == name) {
-                        retired.push(tenants.remove(pos));
-                        self.counters.reloads.fetch_add(1, Ordering::Relaxed);
-                    } else {
-                        self.counters.loads.fetch_add(1, Ordering::Relaxed);
-                    }
-                    tenants.insert(0, tenant);
-                    while tenants.len() > self.cfg.max_resident.max(1) {
-                        if let Some(cold) = tenants.pop() {
-                            self.counters.evicted_lru.fetch_add(1, Ordering::Relaxed);
-                            retired.push(cold);
-                        }
-                    }
-                }
-                // Join retired actors outside the lock: an in-flight
-                // query on a replaced tenant may still need to finish.
-                for tenant in retired {
-                    tenant.retire();
-                }
+                self.adopt(name, tx, worker);
                 Response::Ok(format!("loaded deps={dep_count}"))
             }
             Ok(Err(resp)) => {
@@ -241,6 +257,52 @@ impl Registry {
                     .worker_failures
                     .fetch_add(1, Ordering::Relaxed);
                 Response::Err("session worker died during load".to_string())
+            }
+        }
+    }
+
+    /// `RESTORE <name> <path>`: resurrect a session from a snapshot
+    /// file. A clean image thaws without re-running saturation; an image
+    /// with corrupt compiled sections but salvageable sources (or one
+    /// whose thaw is rejected by replay validation) degrades to a fresh
+    /// compile of those sources — a logged fallback, not a failure. Only
+    /// an image too damaged to recover the sources answers `ERR`.
+    fn restore(&self, name: String, path: String) -> Response {
+        let (ready_tx, ready_rx) = mpsc::channel();
+        let (tx, rx) = mpsc::channel();
+        let budget = self.build_budget();
+        let worker = std::thread::spawn(move || restore_actor(path, budget, rx, ready_tx));
+        match ready_rx.recv() {
+            Ok(Ok((dep_count, fallback))) => {
+                self.adopt(name, tx, worker);
+                if fallback {
+                    self.counters.thaw_fallbacks.fetch_add(1, Ordering::Relaxed);
+                    Response::Ok(format!(
+                        "restored deps={dep_count} (thaw rejected; compiled fresh)"
+                    ))
+                } else {
+                    self.counters.restores_ok.fetch_add(1, Ordering::Relaxed);
+                    Response::Ok(format!("restored deps={dep_count} (thawed)"))
+                }
+            }
+            Ok(Err(resp)) => {
+                self.counters
+                    .restores_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                drop(tx);
+                let _ = worker.join();
+                resp
+            }
+            Err(_) => {
+                drop(tx);
+                let _ = worker.join();
+                self.counters
+                    .restores_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .worker_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                Response::Err("session worker died during restore".to_string())
             }
         }
     }
@@ -359,6 +421,16 @@ impl Handler for Registry {
             Command::Keys { name, relation } => self.run_query(&name, Query::Keys { relation }),
             Command::AddDep { name, dep } => self.run_query(&name, Query::AddDep { dep }),
             Command::DropDep { name, dep } => self.run_query(&name, Query::DropDep { dep }),
+            Command::Snapshot { name, path } => {
+                let response = self.run_query(&name, Query::Snapshot { path });
+                if response.is_ok() {
+                    self.counters
+                        .snapshots_written
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                response
+            }
+            Command::Restore { name, path } => self.restore(name, path),
             Command::Quota { name, units } => self.set_quota(&name, units),
             Command::Evict { name } => self.evict(&name),
             // The server answers these itself; reaching here means a
@@ -376,7 +448,7 @@ impl Handler for Registry {
         };
         let c = &self.counters;
         format!(
-            "sessions={} resident=[{}] loads={} reloads={} evicted={} evicted_lru={} queries={} quota_denials={} worker_failures={}",
+            "sessions={} resident=[{}] loads={} reloads={} evicted={} evicted_lru={} queries={} quota_denials={} worker_failures={} snapshots_written={} restores_ok={} restores_rejected={} thaw_fallbacks={}",
             resident.len(),
             resident.join(","),
             c.loads.load(Ordering::Relaxed),
@@ -386,6 +458,10 @@ impl Handler for Registry {
             c.queries.load(Ordering::Relaxed),
             c.quota_denials.load(Ordering::Relaxed),
             c.worker_failures.load(Ordering::Relaxed),
+            c.snapshots_written.load(Ordering::Relaxed),
+            c.restores_ok.load(Ordering::Relaxed),
+            c.restores_rejected.load(Ordering::Relaxed),
+            c.thaw_fallbacks.load(Ordering::Relaxed),
         )
     }
 
@@ -434,12 +510,101 @@ fn actor(
     if ready.send(Ok(sigma.len())).is_err() {
         return;
     }
+    serve_loop(&mut session, &schema, rx);
+}
+
+/// The actor behind `RESTORE`: reads the snapshot, thaws it when the
+/// image is intact, and degrades to a fresh compile of the sources
+/// salvaged from the image otherwise. The ready handshake reports
+/// `(dep_count, fell_back_to_fresh_compile)` so the registry can keep
+/// honest counters; only an image whose schema/Σ sources cannot be
+/// recovered at all answers `Err`.
+fn restore_actor(
+    path: String,
+    budget: Budget,
+    rx: mpsc::Receiver<Request>,
+    ready: mpsc::Sender<Result<(usize, bool), Response>>,
+) {
+    let salvaged = match nfd_snap::read_file(std::path::Path::new(&path))
+        .and_then(|bytes| nfd_snap::decode_lenient(&bytes))
+    {
+        Ok(salvaged) => salvaged,
+        Err(e) => {
+            let _ = ready.send(Err(Response::Err(format!("restore: {e}"))));
+            return;
+        }
+    };
+    let snap = salvaged.snapshot;
+    let schema = match Schema::parse(&snap.schema_text) {
+        Ok(schema) => schema,
+        Err(e) => {
+            let _ = ready.send(Err(Response::Err(format!("restore: schema: {e}"))));
+            return;
+        }
+    };
+    let sigma = match nfd_core::nfd::parse_set(&schema, &snap.sigma_text) {
+        Ok(sigma) => sigma,
+        Err(e) => {
+            let _ = ready.send(Err(Response::Err(format!("restore: deps: {e}"))));
+            return;
+        }
+    };
+    let policy = match crate::snapshot::policy_from_snap(&snap.policy) {
+        Ok(policy) => policy,
+        Err(e) => {
+            let _ = ready.send(Err(Response::Err(format!("restore: policy: {e}"))));
+            return;
+        }
+    };
+    // Warm path first: a clean image replays without re-running
+    // saturation. Any thaw rejection — truncated compiled sections in a
+    // lenient salvage, or replay validation refusing the pools — falls
+    // back to compiling the salvaged sources fresh.
+    let mut fallback = salvaged.degraded;
+    let thawed = if fallback {
+        None
+    } else {
+        match Session::thaw(
+            &schema,
+            &sigma,
+            policy.clone(),
+            budget.clone(),
+            nfd_core::TierPreference::Auto,
+            &snap,
+        ) {
+            Ok(session) => Some(session),
+            Err(_) => {
+                fallback = true;
+                None
+            }
+        }
+    };
+    let mut session = match thawed {
+        Some(session) => session,
+        None => match Session::with_budget(&schema, &sigma, policy, budget) {
+            Ok(session) => session,
+            Err(e) => {
+                let _ = ready.send(Err(core_error_response(e)));
+                return;
+            }
+        },
+    };
+    if ready.send(Ok((sigma.len(), fallback))).is_err() {
+        return;
+    }
+    serve_loop(&mut session, &schema, rx);
+}
+
+/// Serves queries until every channel sender is dropped (eviction,
+/// reload, or shutdown), containing per-query panics so the warm
+/// session survives a poisoned request.
+fn serve_loop(session: &mut Session<'_>, schema: &Schema, rx: mpsc::Receiver<Request>) {
     while let Ok(request) = rx.recv() {
         // Inner unwind boundary: a poisoned query answers ERR and the
         // warm session keeps serving (the server's per-request boundary
         // would otherwise only save the connection, not the tenant).
         let reply = catch_unwind(AssertUnwindSafe(|| {
-            answer(&mut session, &schema, request.query, &request.budget)
+            answer(session, schema, request.query, &request.budget)
         }))
         .unwrap_or_else(|payload| Reply {
             response: Response::Err(format!("contained panic: {}", panic_text(payload.as_ref()))),
@@ -564,6 +729,22 @@ fn answer(session: &mut Session<'_>, schema: &Schema, query: Query, budget: &Bud
             match session.remove_deps(std::slice::from_ref(&nfd)) {
                 Ok(reports) => mutation_reply("dropped", &reports),
                 Err(e) => input_error(e),
+            }
+        }
+        Query::Snapshot { path } => {
+            let image = session.freeze();
+            let bytes = nfd_snap::encode(&image);
+            match nfd_snap::write_atomic(std::path::Path::new(&path), &bytes) {
+                // Charged by image size: persisting a bigger compiled
+                // session is more of the tenant's work made durable.
+                Ok(()) => Reply {
+                    response: Response::Ok(format!("snapshot bytes={} path={path}", bytes.len())),
+                    cost: (bytes.len() as u64 / 1024).max(1),
+                },
+                Err(e) => Reply {
+                    response: Response::Err(format!("snapshot: {e}")),
+                    cost: 1,
+                },
             }
         }
         Query::Keys { relation } => match session.candidate_keys(Label::new(&relation), 4) {
@@ -881,6 +1062,140 @@ mod tests {
         let stats = reg.stats_line();
         assert!(stats.contains("reloads=1"), "{stats}");
         assert!(stats.contains("evicted=1"), "{stats}");
+        reg.on_shutdown();
+    }
+
+    /// A scratch file path in the system temp dir, removed on drop.
+    struct TempSnap(std::path::PathBuf);
+
+    impl TempSnap {
+        fn new(tag: &str) -> TempSnap {
+            TempSnap(
+                std::env::temp_dir().join(format!("nfd-serve-{tag}-{}.snap", std::process::id())),
+            )
+        }
+
+        fn as_str(&self) -> String {
+            self.0.to_string_lossy().into_owned()
+        }
+    }
+
+    impl Drop for TempSnap {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    #[test]
+    fn snapshot_then_restore_round_trips_a_tenant() {
+        let file = TempSnap::new("roundtrip");
+        let path = file.as_str();
+        let reg = Registry::new(RegistryConfig::default());
+        assert!(load(&reg, "t").is_ok());
+        let resp = reg.handle(cmd(&format!("SNAPSHOT t {path}")));
+        assert!(
+            matches!(&resp, Response::Ok(msg) if msg.starts_with("snapshot bytes=")),
+            "{resp:?}"
+        );
+        // Evict, then resurrect from disk under a new name: the thawed
+        // session answers exactly like the compiled one did.
+        assert!(reg.handle(cmd("EVICT t")).is_ok());
+        let resp = reg.handle(cmd(&format!("RESTORE warm {path}")));
+        assert_eq!(resp, Response::Ok("restored deps=2 (thawed)".to_string()));
+        assert_eq!(
+            reg.handle(cmd("IMPLIES warm R:[A -> C]")),
+            Response::Ok("implied".to_string())
+        );
+        assert_eq!(
+            reg.handle(cmd("IMPLIES warm R:[C -> A]")),
+            Response::Ok("not-implied".to_string())
+        );
+        // Mutations work on the thawed session too.
+        assert!(reg.handle(cmd("ADDDEP warm R:[C -> A]")).is_ok());
+        assert_eq!(
+            reg.handle(cmd("IMPLIES warm R:[C -> A]")),
+            Response::Ok("implied".to_string())
+        );
+        let stats = reg.stats_line();
+        assert!(stats.contains("snapshots_written=1"), "{stats}");
+        assert!(stats.contains("restores_ok=1"), "{stats}");
+        assert!(stats.contains("restores_rejected=0"), "{stats}");
+        assert!(stats.contains("thaw_fallbacks=0"), "{stats}");
+        reg.on_shutdown();
+    }
+
+    #[test]
+    fn corrupt_restore_falls_back_or_rejects_with_typed_reason() {
+        let file = TempSnap::new("corrupt");
+        let path = file.as_str();
+        let reg = Registry::new(RegistryConfig::default());
+        assert!(load(&reg, "t").is_ok());
+        assert!(reg.handle(cmd(&format!("SNAPSHOT t {path}"))).is_ok());
+
+        // Corrupt a compiled section (late in the file): the sources
+        // salvage, so RESTORE degrades to a fresh compile and the
+        // session still answers correctly.
+        let pristine = std::fs::read(&file.0).unwrap();
+        let mut bytes = pristine.clone();
+        let late = bytes.len() - 9;
+        bytes[late] ^= 0xFF;
+        std::fs::write(&file.0, &bytes).unwrap();
+        let resp = reg.handle(cmd(&format!("RESTORE hurt {path}")));
+        assert!(
+            matches!(&resp, Response::Ok(msg) if msg.contains("compiled fresh")),
+            "{resp:?}"
+        );
+        assert_eq!(
+            reg.handle(cmd("IMPLIES hurt R:[A -> C]")),
+            Response::Ok("implied".to_string())
+        );
+
+        // Destroy the header: nothing salvages, RESTORE answers ERR and
+        // no tenant appears.
+        std::fs::write(&file.0, b"garbage").unwrap();
+        let resp = reg.handle(cmd(&format!("RESTORE dead {path}")));
+        assert!(
+            matches!(&resp, Response::Err(msg) if msg.starts_with("restore:")),
+            "{resp:?}"
+        );
+        assert!(matches!(
+            reg.handle(cmd("IMPLIES dead R:[A -> B]")),
+            Response::Err(msg) if msg.contains("unknown tenant")
+        ));
+
+        // A missing file is the same typed rejection.
+        let resp = reg.handle(cmd("RESTORE ghost /nonexistent/nope.snap"));
+        assert!(
+            matches!(&resp, Response::Err(msg) if msg.starts_with("restore:")),
+            "{resp:?}"
+        );
+        let stats = reg.stats_line();
+        assert!(stats.contains("thaw_fallbacks=1"), "{stats}");
+        assert!(stats.contains("restores_rejected=2"), "{stats}");
+        reg.on_shutdown();
+    }
+
+    #[test]
+    fn snapshot_is_quota_charged_and_unknown_tenant_rejected() {
+        let file = TempSnap::new("quota");
+        let path = file.as_str();
+        let reg = Registry::new(RegistryConfig::default());
+        assert!(matches!(
+            reg.handle(cmd(&format!("SNAPSHOT ghost {path}"))),
+            Response::Err(msg) if msg.contains("unknown tenant")
+        ));
+        assert!(load(&reg, "t").is_ok());
+        assert_eq!(
+            reg.handle(cmd("QUOTA t 1")),
+            Response::Ok("quota=1".to_string())
+        );
+        // The snapshot drains the single unit; the next workload verb is
+        // denied before dispatch.
+        assert!(reg.handle(cmd(&format!("SNAPSHOT t {path}"))).is_ok());
+        assert!(matches!(
+            reg.handle(cmd("IMPLIES t R:[A -> B]")),
+            Response::Exhausted(msg) if msg.contains("quota")
+        ));
         reg.on_shutdown();
     }
 

@@ -563,6 +563,86 @@ impl<'s> Session<'s> {
         })
     }
 
+    /// Freezes this session's compiled state into a portable
+    /// [`nfd_snap::Snapshot`]: schema and Σ source texts, the empty-set
+    /// policy, the interned path-table matrices, the saturated pools
+    /// with provenance, and the current contents of the warm closure
+    /// cache. Pure export — the session is untouched, and the snapshot
+    /// is deterministic for a given compiled state (cache contents
+    /// excepted, which depend on query history). Encode with
+    /// [`nfd_snap::encode`] and persist with [`nfd_snap::write_atomic`].
+    pub fn freeze(&self) -> nfd_snap::Snapshot {
+        crate::snapshot::freeze_parts(self.schema, &self.engine, &self.cache)
+    }
+
+    /// Rebuilds a session from a [`Session::freeze`] snapshot, skipping
+    /// the saturation fixpoint — the warm-start path.
+    ///
+    /// The caller supplies the live `(schema, sigma, policy, budget,
+    /// preference)` exactly as for [`Session::with_tiers`]; the snapshot
+    /// must match them or thawing fails with a typed
+    /// [`SnapError::Mismatch`] — the schema/Σ/policy texts are compared
+    /// against the embedded ones, the path tables are recompiled and
+    /// required to be bit-identical to the embedded matrices, the pools
+    /// replay through the engine's own validated `add` path, and cache
+    /// entries are range-checked before import. A rejected thaw leaves
+    /// nothing behind: callers fall back to a fresh compile
+    /// ([`Session::with_tiers`]) and the degradation is an event to
+    /// report, not a failure. Thawed sessions are bit-identical to
+    /// freshly compiled ones (proved by `tests/snapshot_differential.rs`).
+    pub fn thaw(
+        schema: &'s Schema,
+        sigma: &[Nfd],
+        policy: EmptySetPolicy,
+        budget: Budget,
+        preference: TierPreference,
+        snapshot: &nfd_snap::Snapshot,
+    ) -> Result<Session<'s>, nfd_snap::SnapError> {
+        use nfd_snap::SnapError;
+        let schema_text = schema.to_string();
+        if snapshot.schema_text != schema_text {
+            return Err(SnapError::Mismatch(
+                "schema text differs from the snapshot's".to_string(),
+            ));
+        }
+        if snapshot.sigma_text != crate::snapshot::render_sigma(sigma) {
+            return Err(SnapError::Mismatch(
+                "dependency set differs from the snapshot's".to_string(),
+            ));
+        }
+        if snapshot.policy != crate::snapshot::policy_snap(&policy) {
+            return Err(SnapError::Mismatch(
+                "empty-set policy differs from the snapshot's".to_string(),
+            ));
+        }
+        let tables = SchemaTables::new(schema)
+            .map_err(|e| SnapError::Mismatch(format!("schema does not compile: {e}")))?;
+        crate::snapshot::verify_tables(&tables, &snapshot.tables)?;
+        let pools = crate::snapshot::frozen_pools(snapshot, schema)?;
+        let imports = crate::snapshot::cache_entries(snapshot, schema, &tables)?;
+        let cache = Arc::new(ClosureCache::with_capacity(DEFAULT_CLOSURE_CACHE_CAPACITY));
+        let select = Arc::new(SelectState::new(preference));
+        let engine = catch_unwind(AssertUnwindSafe(|| {
+            Engine::from_frozen(schema, tables, sigma, policy, budget, pools)
+        }))
+        .map_err(|p| {
+            SnapError::Mismatch(format!("snapshot replay panicked: {}", panic_message(p)))
+        })?
+        .map_err(|e| SnapError::Mismatch(format!("snapshot replay rejected: {e}")))?
+        .with_closure_cache(Arc::clone(&cache))
+        .with_engine_select(Arc::clone(&select));
+        cache.import(imports);
+        Ok(Session {
+            schema,
+            engine,
+            cache,
+            keys_memo: Mutex::new(Vec::new()),
+            keys_memo_hits: AtomicU64::new(0),
+            select,
+            caches_invalidated: AtomicBool::new(false),
+        })
+    }
+
     /// Re-compiles this session's Σ under a different empty-set policy,
     /// reusing the already-compiled path tables (schema interning is not
     /// repeated; only saturation runs again).

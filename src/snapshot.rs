@@ -1,0 +1,357 @@
+//! Conversions between live compiled sessions and the portable
+//! [`nfd_snap::Snapshot`] representation.
+//!
+//! The `nfd-snap` crate owns the bytes (format, checksums, atomic I/O)
+//! and deliberately knows nothing about engines; this module owns the
+//! meaning. Freezing dumps the compiled state — schema and Σ source
+//! texts, the empty-set policy, every relation's interned path-table
+//! matrices, the saturated pools with provenance, and the warm closure
+//! cache. Thawing is *verified reinstallation*:
+//!
+//! 1. the embedded schema/Σ/policy texts must equal the caller's
+//!    (rendered through the same `Display` impls they were frozen with);
+//! 2. the path tables are recompiled from the schema and required to be
+//!    bit-identical to the embedded matrices — any skew (a schema edit,
+//!    an interning change) is a typed [`SnapError::Mismatch`];
+//! 3. the pools replay through the engine's own `add` path
+//!    ([`nfd_core::engine::Engine::from_frozen`]), which re-derives
+//!    subsumption flags and policy gates and rejects any entry the
+//!    original build would have rejected;
+//! 4. cache entries are range-checked against the tables before import.
+//!
+//! A snapshot can therefore never produce a session that answers
+//! differently from a fresh compile — the differential suite
+//! (`tests/snapshot_differential.rs`) proves bit-identity, and the
+//! corruption sweep (`tests/snapshot_corruption.rs`) proves damaged
+//! bytes are rejected, never misread.
+
+use nfd_core::engine::{Engine, FrozenDep, FrozenPool, Prov};
+use nfd_core::{ClosureCache, EmptySetPolicy, Nfd};
+use nfd_model::{Label, Schema};
+use nfd_path::table::{PathId, PathSet, PathTable, SchemaTables};
+use nfd_path::RootedPath;
+use nfd_snap::{
+    CacheEntrySnap, DepSnap, PolicySnap, PoolSnap, ProvSnap, SnapError, Snapshot, TableSnap,
+};
+use std::collections::HashMap;
+
+/// Renders Σ in the canonical snapshot form: one `Display`-rendered NFD
+/// per line, each terminated by `;`. Round-trips through
+/// [`nfd_core::nfd::parse_set`].
+pub fn render_sigma(sigma: &[Nfd]) -> String {
+    sigma
+        .iter()
+        .map(|n| format!("{n};"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// The portable form of an empty-set policy: `Forbidden`, or the sorted
+/// rendered rooted paths declared non-empty.
+pub fn policy_snap(policy: &EmptySetPolicy) -> PolicySnap {
+    match policy {
+        EmptySetPolicy::Forbidden => PolicySnap::Forbidden,
+        EmptySetPolicy::Annotated(paths) => {
+            let mut rendered: Vec<String> = paths.iter().map(|p| p.to_string()).collect();
+            rendered.sort();
+            PolicySnap::Annotated(rendered)
+        }
+    }
+}
+
+/// Parses a portable policy back to a live [`EmptySetPolicy`].
+pub fn policy_from_snap(snap: &PolicySnap) -> Result<EmptySetPolicy, SnapError> {
+    match snap {
+        PolicySnap::Forbidden => Ok(EmptySetPolicy::Forbidden),
+        PolicySnap::Annotated(rendered) => {
+            let mut paths = Vec::with_capacity(rendered.len());
+            for text in rendered {
+                paths.push(RootedPath::parse(text).map_err(|e| {
+                    SnapError::Malformed(format!("policy path `{text}` does not parse: {e}"))
+                })?);
+            }
+            Ok(EmptySetPolicy::non_empty(paths))
+        }
+    }
+}
+
+/// `None` encoded as `u32::MAX` in [`TableSnap::parents`].
+const NO_PARENT: u32 = u32::MAX;
+
+/// Dumps one relation's compiled path table verbatim.
+fn table_snap(table: &PathTable) -> TableSnap {
+    let n = table.len() as PathId;
+    TableSnap {
+        relation: table.relation().to_string(),
+        words: table.words() as u64,
+        paths: table.paths().iter().map(|p| p.to_string()).collect(),
+        parents: (0..n)
+            .map(|id| table.parent(id).unwrap_or(NO_PARENT))
+            .collect(),
+        set_record: (0..n).map(|id| table.is_set_record(id)).collect(),
+        prefixes: (0..n)
+            .map(|id| table.prefixes_of(id).as_words().to_vec())
+            .collect(),
+        extensions: (0..n)
+            .map(|id| table.extensions_of(id).as_words().to_vec())
+            .collect(),
+        followers: (0..n)
+            .map(|id| table.followers_of(id).as_words().to_vec())
+            .collect(),
+    }
+}
+
+/// Dumps every table, sorted by relation text (deterministic bytes).
+fn tables_snap(tables: &SchemaTables) -> Vec<TableSnap> {
+    let mut out: Vec<TableSnap> = tables.iter().map(|(_, t)| table_snap(t)).collect();
+    out.sort_by(|a, b| a.relation.cmp(&b.relation));
+    out
+}
+
+/// Verifies that freshly compiled tables are bit-identical to the
+/// embedded dumps — the skew check that catches schema edits and
+/// interning changes between freeze and thaw.
+pub(crate) fn verify_tables(tables: &SchemaTables, snaps: &[TableSnap]) -> Result<(), SnapError> {
+    let fresh = tables_snap(tables);
+    if fresh.len() != snaps.len() {
+        return Err(SnapError::Mismatch(format!(
+            "snapshot has {} path table(s), the schema compiles to {}",
+            snaps.len(),
+            fresh.len()
+        )));
+    }
+    for (f, s) in fresh.iter().zip(snaps) {
+        if f != s {
+            return Err(SnapError::Mismatch(format!(
+                "path table of relation `{}` differs from the snapshot's",
+                s.relation
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn prov_snap(prov: &Prov) -> ProvSnap {
+    match prov {
+        Prov::Given(i) => ProvSnap::Given(*i as u64),
+        Prov::Prefix { dep, shortened } => ProvSnap::Prefix {
+            dep: *dep as u64,
+            shortened: *shortened,
+        },
+        Prov::FullLocality { dep, x } => ProvSnap::FullLocality {
+            dep: *dep as u64,
+            x: *x,
+        },
+        Prov::Resolve {
+            target,
+            supplier,
+            on,
+        } => ProvSnap::Resolve {
+            target: *target as u64,
+            supplier: *supplier as u64,
+            on: *on,
+        },
+        Prov::Singleton { x } => ProvSnap::Singleton { x: *x },
+    }
+}
+
+fn prov_from_snap(snap: &ProvSnap) -> Prov {
+    match snap {
+        ProvSnap::Given(i) => Prov::Given(*i as usize),
+        ProvSnap::Prefix { dep, shortened } => Prov::Prefix {
+            dep: *dep as usize,
+            shortened: *shortened,
+        },
+        ProvSnap::FullLocality { dep, x } => Prov::FullLocality {
+            dep: *dep as usize,
+            x: *x,
+        },
+        ProvSnap::Resolve {
+            target,
+            supplier,
+            on,
+        } => Prov::Resolve {
+            target: *target as usize,
+            supplier: *supplier as usize,
+            on: *on,
+        },
+        ProvSnap::Singleton { x } => Prov::Singleton { x: *x },
+    }
+}
+
+/// Freezes a compiled engine (plus its warm closure cache) into the
+/// portable snapshot form. Pure export — deterministic for a given
+/// compiled state, and the relation/cache orderings are sorted so the
+/// encoded bytes are reproducible.
+pub(crate) fn freeze_parts(schema: &Schema, engine: &Engine<'_>, cache: &ClosureCache) -> Snapshot {
+    let pools = engine
+        .export_pools()
+        .into_iter()
+        .map(|p| PoolSnap {
+            relation: p.relation.to_string(),
+            deps: p
+                .deps
+                .iter()
+                .map(|d| DepSnap {
+                    lhs: d.lhs.as_words().to_vec(),
+                    rhs: d.rhs,
+                    prov: prov_snap(&d.prov),
+                    subsumed: d.subsumed,
+                })
+                .collect(),
+            singletons: p.singletons.clone(),
+        })
+        .collect();
+    let cache_entries = cache
+        .export()
+        .into_iter()
+        .map(|(relation, key, closure)| CacheEntrySnap {
+            relation: relation.to_string(),
+            key: key.as_words().to_vec(),
+            closure: closure.as_words().to_vec(),
+        })
+        .collect();
+    Snapshot {
+        schema_text: schema.to_string(),
+        sigma_text: render_sigma(&engine.sigma),
+        policy: policy_snap(engine.policy()),
+        tables: tables_snap(engine.tables()),
+        pools,
+        cache: cache_entries,
+    }
+}
+
+/// A `relation text → Label` index over the schema's relations.
+fn label_index(schema: &Schema) -> HashMap<String, Label> {
+    schema
+        .relation_names()
+        .map(|l| (l.to_string(), l))
+        .collect()
+}
+
+/// Converts the snapshot's pools back to the engine's frozen form,
+/// resolving relation names and rebuilding the LHS bitsets. Id-range and
+/// width validation happens inside `Engine::from_frozen`; this layer
+/// rejects unknown relations.
+pub(crate) fn frozen_pools(
+    snapshot: &Snapshot,
+    schema: &Schema,
+) -> Result<Vec<FrozenPool>, SnapError> {
+    let labels = label_index(schema);
+    let mut out = Vec::with_capacity(snapshot.pools.len());
+    for pool in &snapshot.pools {
+        let relation = *labels.get(&pool.relation).ok_or_else(|| {
+            SnapError::Mismatch(format!(
+                "snapshot pool names relation `{}` which the schema does not define",
+                pool.relation
+            ))
+        })?;
+        out.push(FrozenPool {
+            relation,
+            deps: pool
+                .deps
+                .iter()
+                .map(|d| FrozenDep {
+                    lhs: PathSet::from_words(d.lhs.clone()),
+                    rhs: d.rhs,
+                    prov: prov_from_snap(&d.prov),
+                    subsumed: d.subsumed,
+                })
+                .collect(),
+            singletons: pool.singletons.clone(),
+        });
+    }
+    Ok(out)
+}
+
+/// Converts and range-checks the snapshot's closure-cache entries for
+/// import into a live cache. Every entry must name a known relation and
+/// carry bitsets of the relation's exact word width with ids inside the
+/// table — anything else is a typed mismatch, not a tolerated oddity.
+pub(crate) fn cache_entries(
+    snapshot: &Snapshot,
+    schema: &Schema,
+    tables: &SchemaTables,
+) -> Result<Vec<(Label, PathSet, PathSet)>, SnapError> {
+    let labels = label_index(schema);
+    let mut out = Vec::with_capacity(snapshot.cache.len());
+    for entry in &snapshot.cache {
+        let relation = *labels.get(&entry.relation).ok_or_else(|| {
+            SnapError::Mismatch(format!(
+                "snapshot cache entry names unknown relation `{}`",
+                entry.relation
+            ))
+        })?;
+        let table = tables.get(relation).ok_or_else(|| {
+            SnapError::Mismatch(format!(
+                "no compiled table for relation `{}`",
+                entry.relation
+            ))
+        })?;
+        let len = table.len() as PathId;
+        let words = table.words();
+        if entry.key.len() != words || entry.closure.len() != words {
+            return Err(SnapError::Mismatch(format!(
+                "cache entry for `{}` has the wrong bitset width",
+                entry.relation
+            )));
+        }
+        let key = PathSet::from_words(entry.key.clone());
+        let closure = PathSet::from_words(entry.closure.clone());
+        if key.iter().any(|id| id >= len) || closure.iter().any(|id| id >= len) {
+            return Err(SnapError::Mismatch(format!(
+                "cache entry for `{}` has path ids outside the table",
+                entry.relation
+            )));
+        }
+        out.push((relation, key, closure));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_round_trips_through_portable_form() {
+        let forbidden = EmptySetPolicy::Forbidden;
+        assert_eq!(
+            policy_from_snap(&policy_snap(&forbidden)).unwrap(),
+            forbidden
+        );
+        let annotated = EmptySetPolicy::non_empty([
+            RootedPath::parse("R:B").unwrap(),
+            RootedPath::parse("R:A").unwrap(),
+        ]);
+        let snap = policy_snap(&annotated);
+        assert_eq!(
+            snap,
+            PolicySnap::Annotated(vec!["R:A".to_string(), "R:B".to_string()])
+        );
+        assert_eq!(policy_from_snap(&snap).unwrap(), annotated);
+    }
+
+    #[test]
+    fn bad_policy_paths_are_typed_errors() {
+        let snap = PolicySnap::Annotated(vec!["not a path !!".to_string()]);
+        assert!(matches!(
+            policy_from_snap(&snap),
+            Err(SnapError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn table_verification_catches_schema_skew() {
+        let schema = Schema::parse("R : {<A: int, B: int>};").unwrap();
+        let other = Schema::parse("R : {<A: int, B: int, C: int>};").unwrap();
+        let tables = SchemaTables::new(&schema).unwrap();
+        let snaps = tables_snap(&tables);
+        assert!(verify_tables(&tables, &snaps).is_ok());
+        let other_tables = SchemaTables::new(&other).unwrap();
+        assert!(matches!(
+            verify_tables(&other_tables, &snaps),
+            Err(SnapError::Mismatch(_))
+        ));
+    }
+}

@@ -93,7 +93,7 @@ fn assert_contracted_error(site: &str, action: FaultAction, e: &CoreError) {
 
 /// Sites the standard workload must reach; a site disappearing from this
 /// census means a refactor silently dropped its chaos coverage.
-const EXPECTED_SITES: [&str; 16] = [
+const EXPECTED_SITES: [&str; 20] = [
     "chase::build",
     "chase::scan",
     "chase::step",
@@ -110,6 +110,10 @@ const EXPECTED_SITES: [&str; 16] = [
     "par::reassemble",
     "par::worker",
     "session::cascade_saturation",
+    "snap::read",
+    "snap::rename",
+    "snap::verify",
+    "snap::write",
 ];
 
 #[test]
@@ -149,6 +153,23 @@ fn census_reaches_every_layer() {
     let extra = Nfd::parse(&schema, "Course:[time -> books:isbn]").unwrap();
     session.add_deps(std::slice::from_ref(&extra)).unwrap();
     session.remove_deps(std::slice::from_ref(&extra)).unwrap();
+    // Snapshot persistence: freeze → atomic write → read back → strict
+    // decode → thaw reaches all four snap sites.
+    let dir = std::env::temp_dir().join(format!("nfd-chaos-census-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap_path = dir.join("census.snap");
+    nfd::snap::write_atomic(&snap_path, &nfd::snap::encode(&session.freeze())).unwrap();
+    let decoded = nfd::snap::decode(&nfd::snap::read_file(&snap_path).unwrap()).unwrap();
+    Session::thaw(
+        &schema,
+        &sigma,
+        EmptySetPolicy::Forbidden,
+        Budget::standard(),
+        nfd_core::TierPreference::Auto,
+        &decoded,
+    )
+    .unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
 
     let hit = faults::sites_hit();
     let names: Vec<&str> = hit.iter().map(|(n, _)| n.as_str()).collect();
@@ -806,4 +827,200 @@ fn delta_faults_roll_back_and_the_session_survives() {
     );
     assert_eq!(reference, reference_verdicts(&session, &goals));
     faults::reset();
+}
+
+// ---------------------------------------------------------------------
+// Phase 6: snapshot persistence faults (the snap sites).
+// ---------------------------------------------------------------------
+
+/// Every `snap::*` site injects its *typed* error — `SnapError::Io` for
+/// the filesystem sites, `SnapError::Injected` for verification — and a
+/// failed write is crash-atomic: no torn target, no temp debris, an
+/// existing snapshot left byte-identical.
+#[test]
+fn snap_sites_inject_typed_errors_and_writes_stay_atomic() {
+    let _guard = serial();
+    faults::reset();
+    let (schema, sigma) = fixture();
+    let session = Session::new(&schema, &sigma).unwrap();
+    let image = session.freeze();
+    let bytes = nfd::snap::encode(&image);
+    let dir = std::env::temp_dir().join(format!("nfd-chaos-snap-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("image.snap");
+
+    // Faulted first-time writes: typed error, no target file, no temp
+    // file left behind.
+    for (site, needle) in [
+        ("snap::write", "injected write fault"),
+        ("snap::rename", "injected rename fault"),
+    ] {
+        faults::configure(site, FaultAction::ReturnExhausted);
+        match nfd::snap::write_atomic(&path, &bytes) {
+            Err(nfd::snap::SnapError::Io(msg)) => {
+                assert!(msg.contains(needle), "{site}: wrong message: {msg}");
+            }
+            other => panic!("{site}: want a typed Io error, got {other:?}"),
+        }
+        faults::reset();
+        assert!(!path.exists(), "{site}: faulted write left a target file");
+        assert_eq!(
+            std::fs::read_dir(&dir).unwrap().count(),
+            0,
+            "{site}: faulted write left temp debris"
+        );
+    }
+
+    // A faulted *overwrite* leaves the previous snapshot byte-identical:
+    // either the old file or the new one, never a torn hybrid.
+    nfd::snap::write_atomic(&path, &bytes).unwrap();
+    let mut newer = bytes.clone();
+    newer.push(0);
+    faults::configure("snap::rename", FaultAction::ReturnExhausted);
+    assert!(nfd::snap::write_atomic(&path, &newer).is_err());
+    faults::reset();
+    assert_eq!(
+        nfd::snap::read_file(&path).unwrap(),
+        bytes,
+        "a failed overwrite must leave the previous snapshot intact"
+    );
+
+    // Faulted read: typed error; disarmed, the same path reads back.
+    faults::configure("snap::read", FaultAction::ReturnExhausted);
+    match nfd::snap::read_file(&path) {
+        Err(nfd::snap::SnapError::Io(msg)) => {
+            assert!(msg.contains("injected read fault"), "{msg}");
+        }
+        other => panic!("snap::read: want a typed Io error, got {other:?}"),
+    }
+    faults::reset();
+    assert_eq!(nfd::snap::read_file(&path).unwrap(), bytes);
+
+    // Faulted verification: both decoders reject with the dedicated
+    // `Injected` variant; disarmed, the same bytes decode losslessly.
+    for action in [FaultAction::ReturnExhausted, FaultAction::Cancel] {
+        faults::configure("snap::verify", action);
+        assert!(
+            matches!(
+                nfd::snap::decode(&bytes),
+                Err(nfd::snap::SnapError::Injected)
+            ),
+            "snap::verify × {action:?}: strict decode must reject typed"
+        );
+        assert!(
+            matches!(
+                nfd::snap::decode_lenient(&bytes),
+                Err(nfd::snap::SnapError::Injected)
+            ),
+            "snap::verify × {action:?}: lenient decode must reject typed"
+        );
+        faults::reset();
+    }
+    assert_eq!(nfd::snap::decode(&bytes).unwrap(), image);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The CLI's warm-start contract under injected snapshot faults: a
+/// rejected thaw is a *logged degradation to a fresh compile* — same
+/// exit code, same verdict — and a faulted `nfdtool snapshot` write is a
+/// clean typed CLI error that leaves no file behind.
+#[test]
+fn cli_warm_start_degrades_gracefully_under_snap_faults() {
+    let _guard = serial();
+    faults::reset();
+    let (schema, deps, _) = cli_fixture_files();
+    let dir = std::env::temp_dir().join(format!("nfd-chaos-snapcli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap_path = dir.join("warm.snap");
+
+    // Write a pristine snapshot through the CLI itself.
+    let write_args = cli_args(&[
+        "snapshot",
+        "--schema",
+        schema.to_str().unwrap(),
+        "--deps",
+        deps.to_str().unwrap(),
+        "--out",
+        snap_path.to_str().unwrap(),
+    ]);
+    let mut out = String::new();
+    assert_eq!(nfd::cli::run(&write_args, &mut out), 0, "{out}");
+
+    let query = cli_args(&[
+        "implies",
+        "--schema",
+        schema.to_str().unwrap(),
+        "--deps",
+        deps.to_str().unwrap(),
+        "--snapshot",
+        snap_path.to_str().unwrap(),
+        "Course:[cnum -> time]",
+    ]);
+    let mut out = String::new();
+    let baseline = nfd::cli::run(&query, &mut out);
+    assert_eq!(baseline, 0, "fault-free warm start: {out}");
+    assert!(out.contains("warm start"), "{out}");
+
+    for site in ["snap::read", "snap::verify"] {
+        for action in ACTIONS {
+            faults::reset();
+            faults::configure(site, action);
+            let mut out = String::new();
+            let code = catch_unwind(AssertUnwindSafe(|| nfd::cli::run(&query, &mut out)))
+                .unwrap_or_else(|_| panic!("{site} × {action:?}: panic escaped cli::run"));
+            assert!(
+                [0, 1, 2, 3, 101].contains(&code),
+                "{site} × {action:?}: exit code {code} outside the contract\n{out}"
+            );
+            if code <= 1 {
+                assert_eq!(
+                    code, baseline,
+                    "{site} × {action:?}: fault flipped the CLI verdict\n{out}"
+                );
+            }
+            // An injected rejection is a logged degradation, never a
+            // failure: the query is answered from a fresh compile.
+            if matches!(action, FaultAction::ReturnExhausted | FaultAction::Cancel) {
+                assert_eq!(
+                    code, baseline,
+                    "{site} × {action:?}: degradation failed\n{out}"
+                );
+                assert!(
+                    out.contains("compiling fresh"),
+                    "{site} × {action:?}: fallback not logged\n{out}"
+                );
+            }
+        }
+    }
+    faults::reset();
+
+    // A faulted snapshot write surfaces the typed error as a clean CLI
+    // failure and leaves nothing at --out.
+    for site in ["snap::write", "snap::rename"] {
+        faults::reset();
+        faults::configure(site, FaultAction::ReturnExhausted);
+        let faulted_out = dir.join("faulted.snap");
+        let args = cli_args(&[
+            "snapshot",
+            "--schema",
+            schema.to_str().unwrap(),
+            "--deps",
+            deps.to_str().unwrap(),
+            "--out",
+            faulted_out.to_str().unwrap(),
+        ]);
+        let mut out = String::new();
+        let code = nfd::cli::run(&args, &mut out);
+        assert_eq!(code, 2, "{site}: faulted write must fail cleanly: {out}");
+        assert!(out.contains("injected"), "{site}: typed reason lost: {out}");
+        faults::reset();
+        assert!(
+            !faulted_out.exists(),
+            "{site}: faulted CLI write left a file behind"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }

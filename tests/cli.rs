@@ -671,3 +671,294 @@ fn closure_respects_mutations() {
     assert_eq!(code, 0, "{out}");
     assert!(!out.contains("time"), "{out}");
 }
+
+#[test]
+fn keys_respects_mutation_flags() {
+    let f = Fixture::new("keys-mut");
+    let schema = f.file("s.nfds", COURSE_SCHEMA);
+    let deps = f.file("d.nfdd", COURSE_DEPS);
+    // Baseline: {time, students:sid} determines cnum, so adding nothing
+    // keeps {cnum} the only singleton-rooted key.
+    let (code, out) = run(&[
+        "keys",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
+        "--relation",
+        "Course",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("{cnum}"), "{out}");
+    // Adding Course:[time -> cnum] makes {time} a candidate key too.
+    let (code, out) = run(&[
+        "keys",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
+        "--relation",
+        "Course",
+        "--add-dep",
+        "Course:[time -> cnum]",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("{time}"), "{out}");
+    // Dropping Course:[cnum -> time] dethrones {cnum}.
+    let (code, out) = run(&[
+        "keys",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
+        "--relation",
+        "Course",
+        "--drop-dep",
+        "Course:[cnum -> time]",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(!out.contains("{cnum}\n"), "{out}");
+    // Dropping an absent NFD stays a usage error here too.
+    let (code, out) = run(&[
+        "keys",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
+        "--relation",
+        "Course",
+        "--drop-dep",
+        "Course:[time -> books]",
+    ]);
+    assert_eq!(code, 2, "{out}");
+    assert!(out.contains("not in"), "{out}");
+}
+
+#[test]
+fn prove_respects_mutation_flags() {
+    let f = Fixture::new("prove-mut");
+    let schema = f.file("s.nfds", COURSE_SCHEMA);
+    let deps = f.file("d.nfdd", "Course:[cnum -> students];");
+    // Unprovable from the file alone…
+    let (code, out) = run(&[
+        "prove",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
+        "Course:[cnum -> time]",
+    ]);
+    assert_eq!(code, 1, "{out}");
+    // …provable once --add-dep supplies the premise.
+    let (code, out) = run(&[
+        "prove",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
+        "--add-dep",
+        "Course:[cnum -> time]",
+        "Course:[cnum -> time]",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("Proof of"), "{out}");
+    // --drop-dep retracts a premise and the proof disappears.
+    let (code, out) = run(&[
+        "prove",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
+        "--drop-dep",
+        "Course:[cnum -> students]",
+        "Course:[cnum -> students]",
+    ]);
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("not implied"), "{out}");
+}
+
+#[test]
+fn snapshot_roundtrip_warm_starts_every_session_subcommand() {
+    let f = Fixture::new("snap-rt");
+    let schema = f.file("s.nfds", COURSE_SCHEMA);
+    let deps = f.file("d.nfdd", COURSE_DEPS);
+    let snap = f.dir.join("course.snap").to_string_lossy().into_owned();
+
+    let (code, out) = run(&[
+        "snapshot", "--schema", &schema, "--deps", &deps, "--out", &snap,
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("snapshot: wrote"), "{out}");
+    assert!(std::path::Path::new(&snap).exists());
+
+    // implies: warm-started, same verdicts as a fresh compile.
+    let goal = "Course:[time, students:sid -> books]";
+    let (code, out) = run(&[
+        "implies",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
+        "--snapshot",
+        &snap,
+        goal,
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("(warm start: thawed snapshot"), "{out}");
+    assert!(out.contains("implied"), "{out}");
+    let (code, out) = run(&[
+        "implies",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
+        "--snapshot",
+        &snap,
+        "Course:[time -> cnum]",
+    ]);
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("not implied"), "{out}");
+
+    // prove: the certificate still verifies after a thaw.
+    let (code, out) = run(&[
+        "prove",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
+        "--snapshot",
+        &snap,
+        goal,
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("Proof of"), "{out}");
+
+    // closure and keys warm-start too.
+    let (code, out) = run(&[
+        "closure",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
+        "--snapshot",
+        &snap,
+        "--base",
+        "Course",
+        "--lhs",
+        "cnum",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("Course:time"), "{out}");
+    let (code, out) = run(&[
+        "keys",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
+        "--snapshot",
+        &snap,
+        "--relation",
+        "Course",
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("{cnum}"), "{out}");
+
+    // Mutations apply after the thaw exactly as after a compile.
+    let (code, out) = run(&[
+        "implies",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
+        "--snapshot",
+        &snap,
+        "--drop-dep",
+        "Course:[cnum -> time]",
+        "Course:[cnum -> time]",
+    ]);
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("(warm start:"), "{out}");
+    assert!(out.contains("not implied"), "{out}");
+}
+
+#[test]
+fn snapshot_rejection_degrades_to_a_fresh_compile() {
+    let f = Fixture::new("snap-degrade");
+    let schema = f.file("s.nfds", COURSE_SCHEMA);
+    let deps = f.file("d.nfdd", COURSE_DEPS);
+    let goal = "Course:[time, students:sid -> books]";
+
+    // A missing file: logged, then answered from a fresh compile.
+    let missing = f.dir.join("nope.snap").to_string_lossy().into_owned();
+    let (code, out) = run(&[
+        "implies",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
+        "--snapshot",
+        &missing,
+        goal,
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("rejected"), "{out}");
+    assert!(out.contains("compiling fresh"), "{out}");
+    assert!(out.contains("implied"), "{out}");
+
+    // A corrupt image (flipped byte): typed rejection, correct verdict.
+    let snap = f.dir.join("c.snap").to_string_lossy().into_owned();
+    let (code, out) = run(&[
+        "snapshot", "--schema", &schema, "--deps", &deps, "--out", &snap,
+    ]);
+    assert_eq!(code, 0, "{out}");
+    let mut bytes = std::fs::read(&snap).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&snap, &bytes).unwrap();
+    let (code, out) = run(&[
+        "implies",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
+        "--snapshot",
+        &snap,
+        goal,
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("rejected"), "{out}");
+    assert!(out.contains("implied"), "{out}");
+
+    // A stale image — frozen from a *different* Σ — is a typed mismatch,
+    // never a silently wrong warm start.
+    let other_deps = f.file("other.nfdd", "Course:[cnum -> time];");
+    let stale = f.dir.join("stale.snap").to_string_lossy().into_owned();
+    let (code, out) = run(&[
+        "snapshot",
+        "--schema",
+        &schema,
+        "--deps",
+        &other_deps,
+        "--out",
+        &stale,
+    ]);
+    assert_eq!(code, 0, "{out}");
+    let (code, out) = run(&[
+        "implies",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
+        "--snapshot",
+        &stale,
+        goal,
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("rejected"), "{out}");
+    assert!(out.contains("implied"), "{out}");
+
+    // Without --out the snapshot subcommand is a usage error.
+    let (code, out) = run(&["snapshot", "--schema", &schema, "--deps", &deps]);
+    assert_eq!(code, 2, "{out}");
+    assert!(out.contains("--out is required"), "{out}");
+}

@@ -214,3 +214,111 @@ fn mutation_soak_under_tight_budgets_never_goes_stale() {
         "mutation soak made no progress ({exhausted} exhausted)"
     );
 }
+
+/// Phase 4: persistence soak. One session per round serves interleaved
+/// freeze/encode/decode/thaw cycles, Σ mutations and queries under the
+/// mixed budget menu, with a random single-bit corruption injected into
+/// half the images. The contract mirrors phase 3's atomicity, lifted to
+/// persistence: an accepted thaw replaces the session bit-identically,
+/// and a *rejected* thaw (corrupt image, starved replay budget) leaves
+/// the serving session exactly as it was — answers always agree with
+/// the unbudgeted truth over the mirror Σ, never a stale or hybrid
+/// session resurrected from a torn image.
+#[test]
+fn snapshot_soak_interleaves_freeze_thaw_and_mutation() {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut thaws = 0u64;
+    let mut rejections = 0u64;
+    let mut mutations = 0u64;
+    for index in 0..120u64 {
+        if Instant::now() > deadline {
+            break;
+        }
+        let (schema, sigma, _) = corpus_entry(4, index, SchemaShape::default());
+        let budget = budget_for(index);
+        let Ok(mut session) =
+            Session::with_budget(&schema, &sigma, EmptySetPolicy::Forbidden, budget.clone())
+        else {
+            continue; // tight-budget build exhaustion is a legal outcome
+        };
+        let mut mirror = sigma.clone();
+        let mut rng = StdRng::seed_from_u64(phase_seed(4, index ^ 0xF00D));
+
+        for step in 0..6u64 {
+            match rng.gen_range(0..3) {
+                // Σ mutation (same atomicity contract as phase 3).
+                0 => {
+                    if let Some(dep) = random_nfd(&mut rng, &schema) {
+                        match session.add_deps(std::slice::from_ref(&dep)) {
+                            Ok(_) => {
+                                mirror.push(dep);
+                                mutations += 1;
+                            }
+                            Err(CoreError::Exhausted(_)) | Err(CoreError::Internal(_)) => {}
+                            Err(e) => {
+                                panic!("round {index} step {step}: untyped add failure: {e}")
+                            }
+                        }
+                    }
+                }
+                // Freeze → encode → (maybe corrupt) → decode → thaw.
+                1 => {
+                    let image = session.freeze();
+                    let mut bytes = nfd::snap::encode(&image);
+                    if rng.gen_bool(0.5) && !bytes.is_empty() {
+                        let at = rng.gen_range(0..bytes.len());
+                        bytes[at] ^= 1u8 << rng.gen_range(0..8);
+                    }
+                    let thawed = nfd::snap::decode(&bytes).and_then(|decoded| {
+                        Session::thaw(
+                            &schema,
+                            &mirror,
+                            EmptySetPolicy::Forbidden,
+                            budget.clone(),
+                            nfd_core::TierPreference::Auto,
+                            &decoded,
+                        )
+                    });
+                    match thawed {
+                        Ok(warm) => {
+                            // An accepted thaw replaces the session; it
+                            // must carry the exact mirror Σ.
+                            session = warm;
+                            thaws += 1;
+                        }
+                        Err(_) => {
+                            // Typed rejection: the old session keeps
+                            // serving, untouched.
+                            rejections += 1;
+                        }
+                    }
+                }
+                // Plain query step.
+                _ => {}
+            }
+            assert_eq!(
+                session.engine().sigma,
+                mirror,
+                "round {index} step {step}: Σ diverged after a freeze/thaw cycle"
+            );
+            let Some(goal) = random_nfd(&mut rng, &schema) else {
+                continue;
+            };
+            let Ok(truth_session) = Session::new(&schema, &mirror) else {
+                continue;
+            };
+            let truth = truth_session.implies(&goal).unwrap();
+            let decision = session.implies_with(&goal, &Budget::standard()).unwrap();
+            if let Some(answer) = decision.verdict.as_bool() {
+                assert_eq!(
+                    answer, truth,
+                    "round {index} step {step}: stale answer after thaw on {goal}"
+                );
+            }
+        }
+    }
+    assert!(
+        thaws > 0 && mutations > 0,
+        "snapshot soak made no progress (thaws={thaws} mutations={mutations} rejections={rejections})"
+    );
+}

@@ -40,6 +40,11 @@ const BUDGETS: &[(&str, usize)] = &[
     ("crates/serve/src/gate.rs", 0),
     ("crates/serve/src/server.rs", 0),
     ("src/serve.rs", 0),
+    // The snapshot decoder's whole contract is "malformed bytes become
+    // typed errors, never panics" — zero tolerance, and the same for
+    // the freeze/thaw conversion layer in the facade.
+    ("crates/snap/src/lib.rs", 0),
+    ("src/snapshot.rs", 0),
 ];
 
 /// Matches the panicking constructs we guard against. `.unwrap()` and
