@@ -356,10 +356,18 @@ pub struct CacheStats {
 /// a monotone clock; when the map exceeds capacity, the older half (by
 /// stamp) is dropped in one O(n) sweep, amortizing eviction to O(1) per
 /// insert without a linked-list LRU.
+///
+/// Caches at or above [`CACHE_SHARD_THRESHOLD`] capacity are split into
+/// [`CACHE_SHARDS`] independently locked shards (selected by key hash),
+/// so a read-parallel pool sharing one cache does not serialize on a
+/// single mutex. Capacity, clocks and halving eviction are per shard;
+/// keys hash uniformly, so the bound still holds globally. Tiny caches
+/// stay single-sharded — splitting a handful of entries would make the
+/// per-shard LRU meaningless.
 #[derive(Debug)]
 pub struct ClosureCache {
-    inner: Mutex<CacheInner>,
-    capacity: usize,
+    shards: Box<[Mutex<CacheInner>]>,
+    shard_capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -373,25 +381,52 @@ struct CacheInner {
 /// Default capacity used by sessions (entries, not bytes).
 pub const DEFAULT_CLOSURE_CACHE_CAPACITY: usize = 4096;
 
+/// Caches with at least this capacity are lock-sharded.
+pub const CACHE_SHARD_THRESHOLD: usize = 256;
+
+/// Shard count for lock-sharded caches.
+pub const CACHE_SHARDS: usize = 8;
+
+fn lock_shard(shard: &Mutex<CacheInner>) -> std::sync::MutexGuard<'_, CacheInner> {
+    match shard.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
 impl ClosureCache {
     /// An empty cache holding at most `capacity` entries (minimum 2, so
     /// the halving eviction always makes progress).
     pub fn with_capacity(capacity: usize) -> ClosureCache {
+        let capacity = capacity.max(2);
+        let n = if capacity >= CACHE_SHARD_THRESHOLD {
+            CACHE_SHARDS
+        } else {
+            1
+        };
         ClosureCache {
-            inner: Mutex::new(CacheInner::default()),
-            capacity: capacity.max(2),
+            shards: (0..n).map(|_| Mutex::new(CacheInner::default())).collect(),
+            shard_capacity: (capacity / n).max(2),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
     }
 
+    fn shard_of(&self, relation: &Label, x: &PathSet) -> &Mutex<CacheInner> {
+        if self.shards.len() == 1 {
+            return &self.shards[0];
+        }
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        relation.hash(&mut h);
+        x.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
     /// Looks up the closure of `x` in `relation`, refreshing its LRU
     /// stamp on a hit.
     pub fn get(&self, relation: Label, x: &PathSet) -> Option<PathSet> {
-        let mut inner = match self.inner.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        };
+        let mut inner = lock_shard(self.shard_of(&relation, x));
         inner.clock += 1;
         let now = inner.clock;
         // Key by reference would need a borrowed key type; the clone is a
@@ -412,16 +447,14 @@ impl ClosureCache {
         }
     }
 
-    /// Stores a computed closure, evicting the older half of the cache
-    /// if it is full.
+    /// Stores a computed closure, evicting the older half of its shard
+    /// if the shard is full.
     pub fn insert(&self, relation: Label, x: PathSet, closure: PathSet) {
-        let mut inner = match self.inner.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        };
+        let mut inner = lock_shard(self.shard_of(&relation, &x));
         inner.clock += 1;
         let now = inner.clock;
-        if inner.map.len() >= self.capacity && !inner.map.contains_key(&(relation, x.clone())) {
+        if inner.map.len() >= self.shard_capacity && !inner.map.contains_key(&(relation, x.clone()))
+        {
             let mut stamps: Vec<u64> = inner.map.values().map(|&(_, s)| s).collect();
             let mid = stamps.len() / 2;
             let (_, &mut cutoff, _) = stamps.select_nth_unstable(mid);
@@ -436,31 +469,33 @@ impl ClosureCache {
     /// when `Engine::add_dep`/`remove_dep` rebuild one relation the other
     /// relations' entries stay warm (see DESIGN.md §12).
     pub fn invalidate_relation(&self, relation: Label) -> usize {
-        let mut inner = match self.inner.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        };
-        let before = inner.map.len();
-        inner.map.retain(|&(r, _), _| r != relation);
-        before - inner.map.len()
+        let mut evicted = 0;
+        for shard in self.shards.iter() {
+            let mut inner = lock_shard(shard);
+            let before = inner.map.len();
+            inner.map.retain(|&(r, _), _| r != relation);
+            evicted += before - inner.map.len();
+        }
+        evicted
     }
 
     /// Dumps every cached closure as `(relation, key, closure)` triples,
     /// sorted by `(relation text, key words)` so the dump — and therefore
     /// a snapshot embedding it — is deterministic regardless of hash
-    /// order. LRU stamps are not exported: recency is an ephemeral
-    /// property of the serving process, not of the closures.
+    /// order (and of shard layout). LRU stamps are not exported: recency
+    /// is an ephemeral property of the serving process, not of the
+    /// closures.
     pub fn export(&self) -> Vec<(Label, PathSet, PathSet)> {
-        let inner = match self.inner.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        };
-        let mut out: Vec<(Label, PathSet, PathSet)> = inner
-            .map
-            .iter()
-            .map(|((r, k), (c, _))| (*r, k.clone(), c.clone()))
-            .collect();
-        drop(inner);
+        let mut out: Vec<(Label, PathSet, PathSet)> = Vec::new();
+        for shard in self.shards.iter() {
+            let inner = lock_shard(shard);
+            out.extend(
+                inner
+                    .map
+                    .iter()
+                    .map(|((r, k), (c, _))| (*r, k.clone(), c.clone())),
+            );
+        }
         out.sort_by(|a, b| {
             (a.0.to_string(), a.1.as_words()).cmp(&(b.0.to_string(), b.1.as_words()))
         });
@@ -490,10 +525,10 @@ impl ClosureCache {
 
     /// Current number of cached closures.
     pub fn len(&self) -> usize {
-        match self.inner.lock() {
-            Ok(g) => g.map.len(),
-            Err(poisoned) => poisoned.into_inner().map.len(),
-        }
+        self.shards
+            .iter()
+            .map(|shard| lock_shard(shard).map.len())
+            .sum()
     }
 
     /// Whether the cache is empty.
@@ -541,6 +576,35 @@ mod tests {
             cache.get(r, &set(1, &[0])).is_some(),
             "most recently used entry must survive the eviction sweep"
         );
+    }
+
+    #[test]
+    fn sharded_cache_bound_export_and_invalidate() {
+        let cache = ClosureCache::with_capacity(CACHE_SHARD_THRESHOLD);
+        let r = label("R");
+        let s = label("S");
+        for i in 0..200u32 {
+            cache.insert(r, set(4, &[i]), set(4, &[i]));
+            cache.insert(s, set(4, &[i]), set(4, &[i]));
+        }
+        // 400 distinct keys against a 256-entry bound: per-shard halving
+        // keeps the global bound.
+        assert!(cache.len() <= CACHE_SHARD_THRESHOLD);
+        // Round trip through the sharded lookup path.
+        cache.insert(r, set(4, &[7, 9]), set(4, &[7, 9, 11]));
+        assert_eq!(cache.get(r, &set(4, &[7, 9])), Some(set(4, &[7, 9, 11])));
+        // Export is sorted regardless of shard layout.
+        let dump = cache.export();
+        let keys: Vec<_> = dump
+            .iter()
+            .map(|(rel, k, _)| (rel.to_string(), k.as_words()))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        // Relation invalidation sweeps every shard.
+        assert!(cache.invalidate_relation(r) > 0);
+        assert!(cache.export().iter().all(|(rel, _, _)| *rel != r));
     }
 
     #[test]

@@ -106,7 +106,7 @@ pub fn run(args: &[String], out: &mut String) -> i32 {
 
 const USAGE: &str = "usage:
   nfdtool check    --schema FILE --deps FILE --instance FILE
-  nfdtool implies  --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] [--retry N [--escalate F]] [--engine E] [--snapshot FILE] [--add-dep NFD]… [--drop-dep NFD]… NFD
+  nfdtool implies  --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] [--retry N [--escalate F]] [--engine E] [--snapshot FILE [--thaw-min-bytes N]] [--add-dep NFD]… [--drop-dep NFD]… NFD
   nfdtool implies  --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] [--threads N] [--retry N [--escalate F]] [--engine E] [--snapshot FILE] [--add-dep NFD]… [--drop-dep NFD]… --goals FILE
   nfdtool prove    --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] [--engine E] [--snapshot FILE] [--add-dep NFD]… [--drop-dep NFD]… NFD
   nfdtool closure  --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] [--engine E] [--snapshot FILE] [--add-dep NFD]… [--drop-dep NFD]… --base PATH [--lhs P1,P2,…]
@@ -115,7 +115,7 @@ const USAGE: &str = "usage:
   nfdtool analyze  --schema FILE --deps FILE
   nfdtool render   --schema FILE --instance FILE
   nfdtool snapshot --schema FILE --deps FILE [--policy P] [--budget N] [--timeout-ms T] [--engine E] [--add-dep NFD]… [--drop-dep NFD]… --out FILE
-  nfdtool serve    --addr HOST:PORT [--max-resident N] [--max-inflight N] [--queue N] [--quota N] [--budget N] [--timeout-ms T]
+  nfdtool serve    --addr HOST:PORT [--max-resident N] [--max-inflight N] [--queue N] [--quota N] [--budget N] [--timeout-ms T] [--workers N]
 
   --goals FILE decides every NFD of the (semicolon-separated) file against
   one compiled session; exit 0 iff all goals are implied.
@@ -169,6 +169,9 @@ const USAGE: &str = "usage:
   and the tool transparently compiles fresh. Degraded startup is a
   logged event, never a failure and never a wrong answer; --add-dep /
   --drop-dep mutations apply after the thaw exactly as after a compile.
+  Images smaller than --thaw-min-bytes (default 16384) compile fresh
+  without decoding: tiny sessions compile faster than they thaw (B17),
+  so the warm start only engages where it wins. 0 disables the floor.
 
   serve runs the crash-contained multi-tenant registry daemon: named
   schemas stay resident as compiled sessions behind a line protocol
@@ -178,7 +181,12 @@ const USAGE: &str = "usage:
   8); --max-inflight and --queue bound admission (overflow answers BUSY);
   --quota meters each tenant's work units (EXHAUSTED when drained);
   --budget caps per-query counters and --timeout-ms (default 30000) is
-  the per-request deadline. Exits 0 on a clean SHUTDOWN drain.
+  the per-request deadline. --workers N runs N concurrent read workers
+  per resident tenant (IMPLIES/BATCH/CLOSURE/KEYS execute in parallel
+  against the compiled session; ADDDEP/DROPDEP build the next epoch
+  aside and atomically swap it in, never blocking readers); 1 forces
+  the sequential reference mode, 0 or omitted uses all available
+  cores. Exits 0 on a clean SHUTDOWN drain.
 
   exit codes: 0 holds/implied · 1 fails/not implied · 2 usage or input
   error · 3 budget or deadline exhausted · 101 contained internal panic";
@@ -212,6 +220,11 @@ struct Opts {
     /// `--snapshot FILE`: warm-start the session from a frozen image,
     /// falling back to a fresh compile when the image is rejected.
     snapshot: Option<String>,
+    /// `--thaw-min-bytes N`: image-size floor below which `--snapshot`
+    /// compiles fresh instead of thawing (`0` disables the gate).
+    thaw_min_bytes: Option<String>,
+    /// `--workers N`: per-tenant concurrent read workers in `serve`.
+    workers: Option<String>,
     /// `--out FILE`: where the `snapshot` subcommand writes its image.
     out: Option<String>,
     positional: Vec<String>,
@@ -241,6 +254,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         add_dep: Vec::new(),
         drop_dep: Vec::new(),
         snapshot: None,
+        thaw_min_bytes: None,
+        workers: None,
         out: None,
         positional: Vec::new(),
     };
@@ -275,6 +290,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--add-dep" => o.add_dep.push(take(&mut i)?),
             "--drop-dep" => o.drop_dep.push(take(&mut i)?),
             "--snapshot" => o.snapshot = Some(take(&mut i)?),
+            "--thaw-min-bytes" => o.thaw_min_bytes = Some(take(&mut i)?),
+            "--workers" => o.workers = Some(take(&mut i)?),
             "--out" => o.out = Some(take(&mut i)?),
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             other => o.positional.push(other.to_string()),
@@ -422,6 +439,15 @@ fn apply_mutations(session: &mut Session, schema: &Schema, o: &Opts) -> Result<(
 /// different schema/Σ/policy. Rejection is graceful degradation, not an
 /// error: the typed reason is logged to `out` and the caller proceeds
 /// with an ordinary [`Session::with_tiers`] compile.
+/// Image-size floor (bytes) below which `--snapshot` compiles fresh by
+/// default. B17 measured the crossover honestly: a 7-NFD Course image
+/// (1.6 KiB) thaws at 0.48× a fresh compile — decode + checksum +
+/// replay validation costs more than the saturation it skips — while a
+/// wide 64-NFD image (774 KiB) thaws at 7.4×. The gate sits well above
+/// the regressing size and well below the winning one; `--thaw-min-bytes`
+/// moves it (0 disables the gate).
+const DEFAULT_THAW_MIN_BYTES: u64 = 16 * 1024;
+
 fn thaw_from_flag<'s>(
     o: &Opts,
     schema: &'s Schema,
@@ -432,8 +458,29 @@ fn thaw_from_flag<'s>(
     out: &mut String,
 ) -> Option<Session<'s>> {
     let path = o.snapshot.as_deref()?;
-    let attempt = || -> Result<Session<'s>, nfd_snap::SnapError> {
+    let floor = match o.thaw_min_bytes.as_deref() {
+        None => DEFAULT_THAW_MIN_BYTES,
+        Some(text) => match text.parse::<u64>() {
+            Ok(n) => n,
+            Err(_) => {
+                let _ = writeln!(
+                    out,
+                    "(--thaw-min-bytes `{text}` is not a non-negative integer; using {DEFAULT_THAW_MIN_BYTES})"
+                );
+                DEFAULT_THAW_MIN_BYTES
+            }
+        },
+    };
+    let mut attempt = || -> Result<Option<Session<'s>>, nfd_snap::SnapError> {
         let bytes = nfd_snap::read_file(std::path::Path::new(path))?;
+        if (bytes.len() as u64) < floor {
+            let _ = writeln!(
+                out,
+                "(snapshot `{path}` is {} bytes, under the {floor}-byte warm-start floor; tiny sessions compile faster than they thaw — compiling fresh)",
+                bytes.len()
+            );
+            return Ok(None);
+        }
         let snapshot = nfd_snap::decode(&bytes)?;
         Session::thaw(
             schema,
@@ -443,12 +490,14 @@ fn thaw_from_flag<'s>(
             preference,
             &snapshot,
         )
+        .map(Some)
     };
     match attempt() {
-        Ok(session) => {
+        Ok(Some(session)) => {
             let _ = writeln!(out, "(warm start: thawed snapshot `{path}`)");
             Some(session)
         }
+        Ok(None) => None,
         Err(e) => {
             let _ = writeln!(out, "(snapshot `{path}` rejected: {e}; compiling fresh)");
             None
@@ -867,6 +916,10 @@ fn dispatch(args: &[String], out: &mut String) -> Result<i32, CliFail> {
                 query_budget: parse_u64(o.budget.as_deref(), "--budget")?,
                 request_timeout_ms: parse_u64(o.timeout_ms.as_deref(), "--timeout-ms")?
                     .unwrap_or(30_000),
+                // 0 = all available parallelism, matching --threads.
+                workers: parse_u64(o.workers.as_deref(), "--workers")?
+                    .map(|n| n as usize)
+                    .unwrap_or(0),
             };
             let mut server_cfg = nfd_serve::ServerConfig::default();
             if let Some(n) = parse_u64(o.max_inflight.as_deref(), "--max-inflight")? {

@@ -6,30 +6,56 @@
 //! boundaries and drain protocol all live in the `nfd-serve` crate;
 //! what lives here is the NFD side:
 //!
-//! * **Resident sessions without `'static` gymnastics.** `Session<'s>`
-//!   borrows its `Schema`, which is exactly right for one CLI
-//!   invocation and exactly wrong for a daemon. Rather than leak or
-//!   unsafely self-reference, each tenant gets an *actor thread* that
-//!   owns `(Schema, Σ, Session)` on its stack and serves queries over
-//!   an `mpsc` channel. Evicting a tenant drops the channel sender; the
-//!   actor sees the hangup and unwinds its stack naturally — no leaks,
-//!   no `unsafe`.
-//! * **Crash containment in depth.** The actor wraps every query in
+//! * **Read-parallel epochs without `'static` gymnastics.**
+//!   `Session<'s>` borrows its `Schema`, which is exactly right for one
+//!   CLI invocation and exactly wrong for a daemon. Rather than leak or
+//!   unsafely self-reference, each tenant gets an *epoch thread* that
+//!   owns `(Schema, Σ, Session)` on its stack and serves work over an
+//!   `mpsc` channel — but unlike the one-actor model this replaced, the
+//!   epoch runs a pool of [`RegistryConfig::workers`] readers
+//!   (`nfd_par::scoped_workers`) draining the channel concurrently: the
+//!   session read path is `&self`, so IMPLIES/BATCH/CLOSURE/KEYS on one
+//!   hot tenant execute in parallel. At `workers == 1` the epoch serves
+//!   sequentially with a per-query engine rebuild — bit-identical to
+//!   the historical daemon, and the differential reference for the
+//!   parallel mode. At `workers >= 2` reads are served from the
+//!   *resident* compiled engine ([`Session::implies_with_resident`]),
+//!   amortizing the per-request saturation rebuild away; builds are
+//!   deterministic and query-time chaining consumes no budget counters,
+//!   so verdicts match the sequential mode (see DESIGN.md
+//!   §"Read-parallel registry" for the argument and the metered-tenant
+//!   caveat).
+//! * **Epoch-swap mutation.** Write verbs (ADDDEP/DROPDEP) never touch
+//!   the serving session: under a per-tenant write gate, the registry
+//!   freezes the current epoch (an in-memory snapshot over the channel
+//!   it already serves), builds the *next* epoch off to the side —
+//!   thaw, apply the delta, ready-handshake — and atomically swaps the
+//!   tenant's handle. Readers in flight finish on the old epoch, which
+//!   drains on channel hangup; no reader ever observes a half-applied
+//!   Σ, and a failure (or injected panic) anywhere before the swap
+//!   leaves the old epoch serving untouched.
+//! * **A shared cross-tenant closure cache.** Tenants loaded from
+//!   identical `(schema source, Σ source, policy)` under the daemon's
+//!   single build budget compile bit-identical engines, so they share
+//!   one [`ClosureCache`] from a registry-held pool and warm each
+//!   other. A mutated tenant's next epoch deliberately gets a private
+//!   cache: its Σ has diverged, and writing its closures into the
+//!   shared pool would poison the tenants still serving the original.
+//! * **Crash containment in depth.** Every query is answered inside
 //!   `catch_unwind` (on top of the server's per-request boundary), so a
-//!   poisoned query answers `ERR` and the *session survives* — the next
+//!   poisoned query answers `ERR` and the *epoch survives* — the next
 //!   query on the same tenant is served from the same warm caches.
-//!   Should an actor die anyway, the failed channel send is detected,
+//!   Should an epoch die anyway, the failed channel send is detected,
 //!   the tenant is evicted, and the client gets `ERR`, never a hang.
 //! * **Per-tenant quotas.** A tenant's remaining work units (set at
 //!   `LOAD` from [`RegistryConfig::default_quota`], adjusted by
 //!   `QUOTA`) cap the [`Budget`] of every query; a drained quota
 //!   answers `EXHAUSTED` *before* dispatch. Queries are charged their
 //!   actual decider cost (max attempt counter, min 1), so expensive
-//!   tenants drain faster — the budget-constrained-FD framing from
-//!   PAPERS.md as an admission policy.
+//!   tenants drain faster.
 //! * **LRU residency.** At most [`RegistryConfig::max_resident`]
 //!   sessions stay warm; loading past the cap retires the
-//!   least-recently-used tenant (its actor exits, freeing the compiled
+//!   least-recently-used tenant (its epoch exits, freeing the compiled
 //!   tables).
 //!
 //! Per-request deadlines ([`RegistryConfig::request_timeout_ms`]) apply
@@ -38,13 +64,16 @@
 //! would be in the past for every later query, poisoning `CLOSURE` and
 //! `KEYS`, which run on the resident engine.
 
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
-use nfd_core::{CoreError, EmptySetPolicy, Nfd};
+use nfd_core::{
+    ClosureCache, CoreError, EmptySetPolicy, Nfd, TierPreference, DEFAULT_CLOSURE_CACHE_CAPACITY,
+};
 use nfd_faults::fail_point;
 use nfd_govern::{Budget, Verdict};
 use nfd_model::{Label, Schema};
@@ -52,6 +81,10 @@ use nfd_path::{Path, RootedPath};
 use nfd_serve::{Command, Handler, Response};
 
 use crate::session::Session;
+
+/// Cap on distinct shared closure caches the registry keeps pooled;
+/// past it, entries no resident tenant holds are dropped first.
+const SHARED_CACHE_POOL_CAP: usize = 32;
 
 /// Tuning for the registry side of the server (the transport side is
 /// [`nfd_serve::ServerConfig`]).
@@ -67,6 +100,12 @@ pub struct RegistryConfig {
     pub query_budget: Option<u64>,
     /// Wall-clock deadline per `IMPLIES`/`BATCH` query (ms; 0 = none).
     pub request_timeout_ms: u64,
+    /// Concurrent read workers per resident tenant. `1` is the
+    /// sequential reference mode (per-query engine rebuild, exactly the
+    /// historical daemon); `>= 2` serves reads concurrently from the
+    /// resident compiled engine and runs `BATCH` goals at this thread
+    /// count; `0` means all available parallelism.
+    pub workers: usize,
 }
 
 impl Default for RegistryConfig {
@@ -76,18 +115,19 @@ impl Default for RegistryConfig {
             default_quota: None,
             query_budget: None,
             request_timeout_ms: 30_000,
+            workers: 1,
         }
     }
 }
 
-/// A query shipped to a tenant's actor thread.
+/// A read-only query shipped to a tenant's epoch pool. Mutations do not
+/// appear here: they build the next epoch instead (see
+/// [`Registry::run_write`]).
 enum Query {
     Implies { goal: String },
     Batch { goals: String },
     Closure { base: String, lhs: Option<String> },
     Keys { relation: String },
-    AddDep { dep: String },
-    DropDep { dep: String },
     Snapshot { path: String },
 }
 
@@ -103,24 +143,51 @@ struct Reply {
     cost: u64,
 }
 
-/// One resident tenant: the channel to its actor and its quota state.
+/// Work an epoch's reader pool drains: queries, plus the freeze request
+/// the write path uses to fork the next epoch off the current one.
+enum Work {
+    Query(Request),
+    Freeze(mpsc::Sender<Box<nfd_snap::Snapshot>>),
+}
+
+/// The registry's handle on one live epoch: the work channel, the
+/// queue-depth gauge, and the closure cache the epoch serves from (held
+/// here so STATS can read it without a channel round trip).
+struct EpochHandle {
+    tx: mpsc::Sender<Work>,
+    depth: Arc<AtomicU64>,
+    cache: Arc<ClosureCache>,
+}
+
+/// One resident tenant: its current epoch, quota state, the write gate
+/// serializing its mutations, and the epoch threads still draining.
 /// The `Vec<Tenant>` in [`Registry`] is kept in most-recently-used
 /// order, front first — that ordering *is* the LRU policy.
 struct Tenant {
     name: String,
-    tx: Option<mpsc::Sender<Request>>,
+    epoch: Option<EpochHandle>,
     quota: Option<u64>,
-    worker: Option<JoinHandle<()>>,
+    /// Serializes ADDDEP/DROPDEP on this tenant; readers never take it.
+    write_gate: Arc<Mutex<()>>,
+    /// The current epoch's thread plus superseded epochs still draining
+    /// in-flight readers. Reaped opportunistically, joined on retire.
+    threads: Vec<JoinHandle<()>>,
 }
 
 impl Tenant {
-    /// Hangs up the actor's channel and joins it. Joining may wait for
-    /// an in-flight query on another connection to finish — that is the
-    /// drain guarantee, not a bug.
+    /// Drops finished epoch threads (already drained; join is a no-op
+    /// we skip by detaching). Called under the registry lock — cheap.
+    fn reap(&mut self) {
+        self.threads.retain(|t| !t.is_finished());
+    }
+
+    /// Hangs up the current epoch's channel and joins every epoch
+    /// thread. Joining may wait for an in-flight query on another
+    /// connection to finish — that is the drain guarantee, not a bug.
     fn retire(mut self) {
-        self.tx.take();
-        if let Some(worker) = self.worker.take() {
-            let _ = worker.join();
+        self.epoch.take();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
         }
     }
 }
@@ -129,9 +196,9 @@ impl Drop for Tenant {
     fn drop(&mut self) {
         // `retire` already took both; this path covers tenants dropped
         // without an explicit retire (e.g. an unwinding test).
-        self.tx.take();
-        if let Some(worker) = self.worker.take() {
-            let _ = worker.join();
+        self.epoch.take();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
         }
     }
 }
@@ -154,13 +221,25 @@ struct RegistryCounters {
     /// `RESTORE` verbs that degraded to a fresh compile (corrupt or
     /// stale compiled sections with salvageable sources).
     thaw_fallbacks: AtomicU64,
+    /// Mutations that built and atomically installed a next epoch.
+    epoch_swaps: AtomicU64,
 }
+
+/// The key under which tenants may share one closure cache: the literal
+/// `(schema source, Σ source, policy)` triple. Keying on full text (not
+/// a hash of it) makes accidental cross-schema sharing impossible; the
+/// pool map hashes the strings internally anyway. Sound because the
+/// daemon compiles every tenant under one fixed build budget and engine
+/// builds are deterministic — same key, same saturated pool, same
+/// closures (see DESIGN.md §"Read-parallel registry").
+type CacheKey = (String, String, String);
 
 /// The multi-tenant session registry; implement [`Handler`] and hand it
 /// to [`nfd_serve::Server::bind`].
 pub struct Registry {
     cfg: RegistryConfig,
     tenants: Mutex<Vec<Tenant>>,
+    shared_caches: Mutex<HashMap<CacheKey, Arc<ClosureCache>>>,
     counters: RegistryCounters,
 }
 
@@ -170,7 +249,16 @@ impl Registry {
         Registry {
             cfg,
             tenants: Mutex::new(Vec::new()),
+            shared_caches: Mutex::new(HashMap::new()),
             counters: RegistryCounters::default(),
+        }
+    }
+
+    /// The resolved per-epoch reader count (`0` = all available).
+    fn read_workers(&self) -> usize {
+        match self.cfg.workers {
+            0 => nfd_par::available(),
+            n => n,
         }
     }
 
@@ -200,14 +288,32 @@ impl Registry {
         }
     }
 
+    /// The shared closure cache for `key`, created on first use. The
+    /// pool is bounded: past [`SHARED_CACHE_POOL_CAP`], entries no
+    /// resident epoch holds (sole `Arc` here) are dropped first.
+    fn shared_cache_for(&self, key: CacheKey) -> Arc<ClosureCache> {
+        fail_point!("serve::shared_cache");
+        let mut pool = self
+            .shared_caches
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if pool.len() >= SHARED_CACHE_POOL_CAP && !pool.contains_key(&key) {
+            pool.retain(|_, cache| Arc::strong_count(cache) > 1);
+        }
+        Arc::clone(pool.entry(key).or_insert_with(|| {
+            Arc::new(ClosureCache::with_capacity(DEFAULT_CLOSURE_CACHE_CAPACITY))
+        }))
+    }
+
     /// Registers a freshly handshaken tenant: MRU-front insert, reload
     /// bookkeeping, and LRU eviction past the residency cap.
-    fn adopt(&self, name: String, tx: mpsc::Sender<Request>, worker: JoinHandle<()>) {
+    fn adopt(&self, name: String, epoch: EpochHandle, thread: JoinHandle<()>) {
         let tenant = Tenant {
             name: name.clone(),
-            tx: Some(tx),
+            epoch: Some(epoch),
             quota: self.cfg.default_quota,
-            worker: Some(worker),
+            write_gate: Arc::new(Mutex::new(())),
+            threads: vec![thread],
         };
         let mut retired: Vec<Tenant> = Vec::new();
         {
@@ -226,7 +332,7 @@ impl Registry {
                 }
             }
         }
-        // Join retired actors outside the lock: an in-flight query on a
+        // Join retired epochs outside the lock: an in-flight query on a
         // replaced tenant may still need to finish.
         for tenant in retired {
             tenant.retire();
@@ -234,25 +340,40 @@ impl Registry {
     }
 
     fn load(&self, name: String, schema: String, deps: String) -> Response {
+        let key: CacheKey = (
+            schema.clone(),
+            deps.clone(),
+            format!("{:?}", EmptySetPolicy::Forbidden),
+        );
+        let cache = self.shared_cache_for(key);
         let (ready_tx, ready_rx) = mpsc::channel();
         let (tx, rx) = mpsc::channel();
         let budget = self.build_budget();
-        let worker = std::thread::spawn(move || actor(schema, deps, budget, rx, ready_tx));
+        let depth = Arc::new(AtomicU64::new(0));
+        let epoch = EpochHandle {
+            tx,
+            depth: Arc::clone(&depth),
+            cache: Arc::clone(&cache),
+        };
+        let workers = self.read_workers();
+        let thread = std::thread::spawn(move || {
+            load_epoch(schema, deps, budget, cache, workers, depth, rx, ready_tx)
+        });
         match ready_rx.recv() {
             Ok(Ok(dep_count)) => {
-                self.adopt(name, tx, worker);
+                self.adopt(name, epoch, thread);
                 Response::Ok(format!("loaded deps={dep_count}"))
             }
             Ok(Err(resp)) => {
-                drop(tx);
-                let _ = worker.join();
+                drop(epoch);
+                let _ = thread.join();
                 resp
             }
             Err(_) => {
-                // The actor died before the handshake — nothing was
+                // The epoch died before the handshake — nothing was
                 // registered, so nothing to evict.
-                drop(tx);
-                let _ = worker.join();
+                drop(epoch);
+                let _ = thread.join();
                 self.counters
                     .worker_failures
                     .fetch_add(1, Ordering::Relaxed);
@@ -268,13 +389,52 @@ impl Registry {
     /// compile of those sources — a logged fallback, not a failure. Only
     /// an image too damaged to recover the sources answers `ERR`.
     fn restore(&self, name: String, path: String) -> Response {
+        // Decode on the connection thread so the shared-cache key (the
+        // snapshot's canonical source texts) is known before any epoch
+        // spawns; a typed rejection never registers anything.
+        let salvaged = match nfd_snap::read_file(std::path::Path::new(&path))
+            .and_then(|bytes| nfd_snap::decode_lenient(&bytes))
+        {
+            Ok(salvaged) => salvaged,
+            Err(e) => {
+                self.counters
+                    .restores_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                return Response::Err(format!("restore: {e}"));
+            }
+        };
+        let key: CacheKey = (
+            salvaged.snapshot.schema_text.clone(),
+            salvaged.snapshot.sigma_text.clone(),
+            match crate::snapshot::policy_from_snap(&salvaged.snapshot.policy) {
+                Ok(policy) => format!("{policy:?}"),
+                Err(e) => {
+                    self.counters
+                        .restores_rejected
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Response::Err(format!("restore: policy: {e}"));
+                }
+            },
+        );
+        let cache = self.shared_cache_for(key);
         let (ready_tx, ready_rx) = mpsc::channel();
         let (tx, rx) = mpsc::channel();
         let budget = self.build_budget();
-        let worker = std::thread::spawn(move || restore_actor(path, budget, rx, ready_tx));
+        let depth = Arc::new(AtomicU64::new(0));
+        let epoch = EpochHandle {
+            tx,
+            depth: Arc::clone(&depth),
+            cache: Arc::clone(&cache),
+        };
+        let workers = self.read_workers();
+        let degraded = salvaged.degraded;
+        let snap = Box::new(salvaged.snapshot);
+        let thread = std::thread::spawn(move || {
+            restore_epoch(snap, degraded, budget, cache, workers, depth, rx, ready_tx)
+        });
         match ready_rx.recv() {
             Ok(Ok((dep_count, fallback))) => {
-                self.adopt(name, tx, worker);
+                self.adopt(name, epoch, thread);
                 if fallback {
                     self.counters.thaw_fallbacks.fetch_add(1, Ordering::Relaxed);
                     Response::Ok(format!(
@@ -289,13 +449,13 @@ impl Registry {
                 self.counters
                     .restores_rejected
                     .fetch_add(1, Ordering::Relaxed);
-                drop(tx);
-                let _ = worker.join();
+                drop(epoch);
+                let _ = thread.join();
                 resp
             }
             Err(_) => {
-                drop(tx);
-                let _ = worker.join();
+                drop(epoch);
+                let _ = thread.join();
                 self.counters
                     .restores_rejected
                     .fetch_add(1, Ordering::Relaxed);
@@ -312,7 +472,7 @@ impl Registry {
             "serve::tenant_query",
             Response::Exhausted("injected fault (failpoint)".to_string())
         );
-        let (tx, remaining) = {
+        let (tx, depth, remaining) = {
             let mut tenants = self.tenants.lock().unwrap_or_else(PoisonError::into_inner);
             let Some(pos) = tenants.iter().position(|t| t.name == name) else {
                 return Response::Err(format!("unknown tenant `{name}` (LOAD it first)"));
@@ -322,8 +482,13 @@ impl Registry {
                 return Response::Exhausted(format!("tenant `{name}` quota exhausted"));
             }
             // Touch for LRU: most-recently-used lives at the front.
-            let tenant = tenants.remove(pos);
-            let handle = (tenant.tx.clone(), tenant.quota);
+            let mut tenant = tenants.remove(pos);
+            tenant.reap();
+            let handle = (
+                tenant.epoch.as_ref().map(|e| e.tx.clone()),
+                tenant.epoch.as_ref().map(|e| Arc::clone(&e.depth)),
+                tenant.quota,
+            );
             tenants.insert(0, tenant);
             handle
         };
@@ -337,7 +502,13 @@ impl Registry {
             budget,
             reply: reply_tx,
         };
-        if tx.send(request).is_err() {
+        if let Some(depth) = &depth {
+            depth.fetch_add(1, Ordering::Relaxed);
+        }
+        if tx.send(Work::Query(request)).is_err() {
+            if let Some(depth) = &depth {
+                depth.fetch_sub(1, Ordering::Relaxed);
+            }
             return self.worker_failed(name);
         }
         match reply_rx.recv() {
@@ -350,7 +521,146 @@ impl Registry {
         }
     }
 
-    /// A tenant's actor hung up mid-request: evict it so the registry
+    /// ADDDEP/DROPDEP: freeze the current epoch, build the next one off
+    /// to the side (thaw + delta, under a private closure cache), and
+    /// atomically swap it in. Readers in flight finish on the old
+    /// epoch; any failure — or the armed `serve::epoch_swap` failpoint
+    /// — before the swap leaves the old epoch serving untouched.
+    fn run_write(&self, name: &str, verb: &'static str, dep: String) -> Response {
+        fail_point!(
+            "serve::tenant_query",
+            Response::Exhausted("injected fault (failpoint)".to_string())
+        );
+        // Quota gate + LRU touch, as for reads; then take the tenant's
+        // write gate so concurrent mutations serialize per tenant.
+        let gate = {
+            let mut tenants = self.tenants.lock().unwrap_or_else(PoisonError::into_inner);
+            let Some(pos) = tenants.iter().position(|t| t.name == name) else {
+                return Response::Err(format!("unknown tenant `{name}` (LOAD it first)"));
+            };
+            if tenants[pos].quota == Some(0) {
+                self.counters.quota_denials.fetch_add(1, Ordering::Relaxed);
+                return Response::Exhausted(format!("tenant `{name}` quota exhausted"));
+            }
+            let mut tenant = tenants.remove(pos);
+            tenant.reap();
+            let gate = Arc::clone(&tenant.write_gate);
+            tenants.insert(0, tenant);
+            gate
+        };
+        let _write = gate.lock().unwrap_or_else(PoisonError::into_inner);
+        // Re-read the *current* epoch under the gate: a racing writer
+        // may have swapped since the lookup above.
+        let tx = {
+            let tenants = self.tenants.lock().unwrap_or_else(PoisonError::into_inner);
+            match tenants
+                .iter()
+                .find(|t| t.name == name && Arc::ptr_eq(&t.write_gate, &gate))
+            {
+                Some(t) => match &t.epoch {
+                    Some(e) => e.tx.clone(),
+                    None => return self.worker_failed(name),
+                },
+                None => {
+                    return Response::Err(format!(
+                        "tenant `{name}` changed during mutation; not applied"
+                    ))
+                }
+            }
+        };
+        let (snap_tx, snap_rx) = mpsc::channel();
+        if tx.send(Work::Freeze(snap_tx)).is_err() {
+            return self.worker_failed(name);
+        }
+        let snapshot = match snap_rx.recv() {
+            Ok(snap) => snap,
+            Err(_) => return self.worker_failed(name),
+        };
+        let budget = self.build_budget();
+        let workers = self.read_workers();
+        let depth = Arc::new(AtomicU64::new(0));
+        // The next epoch's Σ diverges from whatever this tenant shared
+        // before, so it gets a *private* cache — writing its closures
+        // into the shared pool would poison same-key tenants.
+        let cache = Arc::new(ClosureCache::with_capacity(DEFAULT_CLOSURE_CACHE_CAPACITY));
+        let (ready_tx, ready_rx) = mpsc::channel();
+        let (next_tx, next_rx) = mpsc::channel();
+        let op_depth = Arc::clone(&depth);
+        let op_cache = Arc::clone(&cache);
+        let thread = std::thread::spawn(move || {
+            mutate_epoch(
+                snapshot, verb, dep, budget, op_cache, workers, op_depth, next_rx, ready_tx,
+            )
+        });
+        match ready_rx.recv() {
+            Ok(Ok(reports)) => {
+                // The armed mid-swap failpoint: the next epoch is built
+                // and ready, the old one still installed. A panic here
+                // unwinds past `next_tx` and `thread`, hanging up the
+                // next epoch — which exits before serving anything —
+                // while the old epoch keeps serving (proved by
+                // tests/serve_chaos.rs).
+                fail_point!(
+                    "serve::epoch_swap",
+                    Response::Exhausted("injected fault (failpoint)".to_string())
+                );
+                let epoch = EpochHandle {
+                    tx: next_tx,
+                    depth,
+                    cache,
+                };
+                let swapped = {
+                    let mut tenants = self.tenants.lock().unwrap_or_else(PoisonError::into_inner);
+                    match tenants
+                        .iter_mut()
+                        .find(|t| t.name == name && Arc::ptr_eq(&t.write_gate, &gate))
+                    {
+                        Some(t) => {
+                            let old = t.epoch.replace(epoch);
+                            t.threads.push(thread);
+                            // Hang up the superseded epoch inside the
+                            // lock (cheap — just a sender drop); it
+                            // drains its in-flight queue in background.
+                            drop(old);
+                            true
+                        }
+                        None => false,
+                    }
+                };
+                if !swapped {
+                    return Response::Err(format!(
+                        "tenant `{name}` changed during mutation; not applied"
+                    ));
+                }
+                self.counters.epoch_swaps.fetch_add(1, Ordering::Relaxed);
+                let reply = mutation_reply(verb, &reports);
+                self.counters.queries.fetch_add(1, Ordering::Relaxed);
+                self.charge(name, reply.cost);
+                reply.response
+            }
+            Ok(Err(resp)) => {
+                // Typed input failure (bad dep, not in Σ, exhausted):
+                // the next epoch never started; the old one serves on.
+                drop(next_tx);
+                let _ = thread.join();
+                self.counters.queries.fetch_add(1, Ordering::Relaxed);
+                self.charge(name, 1);
+                resp
+            }
+            Err(_) => {
+                drop(next_tx);
+                let _ = thread.join();
+                self.counters
+                    .worker_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                Response::Err(format!(
+                    "tenant `{name}` mutation worker died; previous epoch keeps serving"
+                ))
+            }
+        }
+    }
+
+    /// A tenant's epoch hung up mid-request: evict it so the registry
     /// converges back to a healthy state, and say so honestly.
     fn worker_failed(&self, name: &str) -> Response {
         self.counters
@@ -419,8 +729,8 @@ impl Handler for Registry {
                 self.run_query(&name, Query::Closure { base, lhs })
             }
             Command::Keys { name, relation } => self.run_query(&name, Query::Keys { relation }),
-            Command::AddDep { name, dep } => self.run_query(&name, Query::AddDep { dep }),
-            Command::DropDep { name, dep } => self.run_query(&name, Query::DropDep { dep }),
+            Command::AddDep { name, dep } => self.run_write(&name, "added", dep),
+            Command::DropDep { name, dep } => self.run_write(&name, "dropped", dep),
             Command::Snapshot { name, path } => {
                 let response = self.run_query(&name, Query::Snapshot { path });
                 if response.is_ok() {
@@ -442,13 +752,48 @@ impl Handler for Registry {
     }
 
     fn stats_line(&self) -> String {
-        let resident: Vec<String> = {
+        let (resident, tenant_cache, queue_depth, closure) = {
             let tenants = self.tenants.lock().unwrap_or_else(PoisonError::into_inner);
-            tenants.iter().map(|t| t.name.clone()).collect()
+            let resident: Vec<String> = tenants.iter().map(|t| t.name.clone()).collect();
+            let mut per_tenant: Vec<String> = Vec::new();
+            let mut depth = 0u64;
+            // Sum hit/miss over *distinct* caches: tenants sharing one
+            // pool entry must not double-count it.
+            let mut seen: Vec<*const ClosureCache> = Vec::new();
+            let mut hits = 0u64;
+            let mut misses = 0u64;
+            for t in tenants.iter() {
+                if let Some(e) = &t.epoch {
+                    let stats = e.cache.stats();
+                    per_tenant.push(format!("{}:{}/{}", t.name, stats.hits, stats.misses));
+                    depth += e.depth.load(Ordering::Relaxed);
+                    let ptr = Arc::as_ptr(&e.cache);
+                    if !seen.contains(&ptr) {
+                        seen.push(ptr);
+                        hits += stats.hits;
+                        misses += stats.misses;
+                    }
+                }
+            }
+            (resident, per_tenant, depth, (hits, misses))
+        };
+        let (pool_len, shared_hits, shared_misses) = {
+            let pool = self
+                .shared_caches
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            let mut hits = 0u64;
+            let mut misses = 0u64;
+            for cache in pool.values() {
+                let stats = cache.stats();
+                hits += stats.hits;
+                misses += stats.misses;
+            }
+            (pool.len(), hits, misses)
         };
         let c = &self.counters;
         format!(
-            "sessions={} resident=[{}] loads={} reloads={} evicted={} evicted_lru={} queries={} quota_denials={} worker_failures={} snapshots_written={} restores_ok={} restores_rejected={} thaw_fallbacks={}",
+            "sessions={} resident=[{}] loads={} reloads={} evicted={} evicted_lru={} queries={} quota_denials={} worker_failures={} snapshots_written={} restores_ok={} restores_rejected={} thaw_fallbacks={} workers={} epoch_swaps={} worker_queue_depth={} closure_hits={} closure_misses={} shared_caches={} shared_cache_hits={} shared_cache_misses={} tenant_cache=[{}]",
             resident.len(),
             resident.join(","),
             c.loads.load(Ordering::Relaxed),
@@ -462,6 +807,15 @@ impl Handler for Registry {
             c.restores_ok.load(Ordering::Relaxed),
             c.restores_rejected.load(Ordering::Relaxed),
             c.thaw_fallbacks.load(Ordering::Relaxed),
+            self.read_workers(),
+            c.epoch_swaps.load(Ordering::Relaxed),
+            queue_depth,
+            closure.0,
+            closure.1,
+            pool_len,
+            shared_hits,
+            shared_misses,
+            tenant_cache.join(","),
         )
     }
 
@@ -474,15 +828,20 @@ impl Handler for Registry {
     }
 }
 
-/// The actor: owns the compiled `(Schema, Σ, Session)` on its stack and
-/// serves queries until every channel sender is dropped (eviction,
-/// reload, or shutdown). This is what makes borrowed `Session<'s>`
-/// residency safe: the borrow lives inside one thread's stack frame.
-fn actor(
+/// The epoch thread behind `LOAD`: owns the compiled `(Schema, Σ,
+/// Session)` on its stack and runs the reader pool until every channel
+/// sender is dropped (eviction, reload, swap, or shutdown). This is
+/// what makes borrowed `Session<'s>` residency safe: the borrow lives
+/// inside one thread's stack frame.
+#[allow(clippy::too_many_arguments)]
+fn load_epoch(
     schema_src: String,
     deps_src: String,
     budget: Budget,
-    rx: mpsc::Receiver<Request>,
+    cache: Arc<ClosureCache>,
+    workers: usize,
+    depth: Arc<AtomicU64>,
+    rx: mpsc::Receiver<Work>,
     ready: mpsc::Sender<Result<usize, Response>>,
 ) {
     let schema = match Schema::parse(&schema_src) {
@@ -499,8 +858,14 @@ fn actor(
             return;
         }
     };
-    let mut session = match Session::with_budget(&schema, &sigma, EmptySetPolicy::Forbidden, budget)
-    {
+    let session = match Session::with_tiers_cached(
+        &schema,
+        &sigma,
+        EmptySetPolicy::Forbidden,
+        budget,
+        TierPreference::Auto,
+        cache,
+    ) {
         Ok(session) => session,
         Err(e) => {
             let _ = ready.send(Err(core_error_response(e)));
@@ -510,31 +875,25 @@ fn actor(
     if ready.send(Ok(sigma.len())).is_err() {
         return;
     }
-    serve_loop(&mut session, &schema, rx);
+    epoch_loop(&session, &schema, workers, &depth, rx);
 }
 
-/// The actor behind `RESTORE`: reads the snapshot, thaws it when the
-/// image is intact, and degrades to a fresh compile of the sources
-/// salvaged from the image otherwise. The ready handshake reports
-/// `(dep_count, fell_back_to_fresh_compile)` so the registry can keep
-/// honest counters; only an image whose schema/Σ sources cannot be
-/// recovered at all answers `Err`.
-fn restore_actor(
-    path: String,
+/// The epoch thread behind `RESTORE`: thaws the (pre-decoded) snapshot
+/// when its compiled sections are intact, and degrades to a fresh
+/// compile of the salvaged sources otherwise. The ready handshake
+/// reports `(dep_count, fell_back_to_fresh_compile)` so the registry
+/// keeps honest counters.
+#[allow(clippy::too_many_arguments)]
+fn restore_epoch(
+    snap: Box<nfd_snap::Snapshot>,
+    degraded: bool,
     budget: Budget,
-    rx: mpsc::Receiver<Request>,
+    cache: Arc<ClosureCache>,
+    workers: usize,
+    depth: Arc<AtomicU64>,
+    rx: mpsc::Receiver<Work>,
     ready: mpsc::Sender<Result<(usize, bool), Response>>,
 ) {
-    let salvaged = match nfd_snap::read_file(std::path::Path::new(&path))
-        .and_then(|bytes| nfd_snap::decode_lenient(&bytes))
-    {
-        Ok(salvaged) => salvaged,
-        Err(e) => {
-            let _ = ready.send(Err(Response::Err(format!("restore: {e}"))));
-            return;
-        }
-    };
-    let snap = salvaged.snapshot;
     let schema = match Schema::parse(&snap.schema_text) {
         Ok(schema) => schema,
         Err(e) => {
@@ -560,17 +919,18 @@ fn restore_actor(
     // saturation. Any thaw rejection — truncated compiled sections in a
     // lenient salvage, or replay validation refusing the pools — falls
     // back to compiling the salvaged sources fresh.
-    let mut fallback = salvaged.degraded;
+    let mut fallback = degraded;
     let thawed = if fallback {
         None
     } else {
-        match Session::thaw(
+        match Session::thaw_cached(
             &schema,
             &sigma,
             policy.clone(),
             budget.clone(),
-            nfd_core::TierPreference::Auto,
+            TierPreference::Auto,
             &snap,
+            Arc::clone(&cache),
         ) {
             Ok(session) => Some(session),
             Err(_) => {
@@ -579,9 +939,16 @@ fn restore_actor(
             }
         }
     };
-    let mut session = match thawed {
+    let session = match thawed {
         Some(session) => session,
-        None => match Session::with_budget(&schema, &sigma, policy, budget) {
+        None => match Session::with_tiers_cached(
+            &schema,
+            &sigma,
+            policy,
+            budget,
+            TierPreference::Auto,
+            cache,
+        ) {
             Ok(session) => session,
             Err(e) => {
                 let _ = ready.send(Err(core_error_response(e)));
@@ -592,36 +959,215 @@ fn restore_actor(
     if ready.send(Ok((sigma.len(), fallback))).is_err() {
         return;
     }
-    serve_loop(&mut session, &schema, rx);
+    epoch_loop(&session, &schema, workers, &depth, rx);
 }
 
-/// Serves queries until every channel sender is dropped (eviction,
-/// reload, or shutdown), containing per-query panics so the warm
-/// session survives a poisoned request.
-fn serve_loop(session: &mut Session<'_>, schema: &Schema, rx: mpsc::Receiver<Request>) {
-    while let Ok(request) = rx.recv() {
-        // Inner unwind boundary: a poisoned query answers ERR and the
-        // warm session keeps serving (the server's per-request boundary
-        // would otherwise only save the connection, not the tenant).
-        let reply = catch_unwind(AssertUnwindSafe(|| {
-            answer(session, schema, request.query, &request.budget)
-        }))
-        .unwrap_or_else(|payload| Reply {
-            response: Response::Err(format!("contained panic: {}", panic_text(payload.as_ref()))),
-            cost: 1,
-        });
-        let _ = request.reply.send(reply);
+/// The next-epoch thread behind ADDDEP/DROPDEP: rebuild the tenant from
+/// the current epoch's freeze (thaw; fresh compile as a fallback),
+/// apply the delta, and — only if the delta succeeded — handshake ready
+/// and start serving. The closure cache is deliberately *private*: the
+/// mutated Σ has diverged from whatever shared pool entry the previous
+/// epoch used, and `Session::thaw` already imports the frozen entries
+/// before `add_deps`/`remove_deps` invalidate the touched relation.
+#[allow(clippy::too_many_arguments)]
+fn mutate_epoch(
+    snap: Box<nfd_snap::Snapshot>,
+    verb: &'static str,
+    dep: String,
+    budget: Budget,
+    cache: Arc<ClosureCache>,
+    workers: usize,
+    depth: Arc<AtomicU64>,
+    rx: mpsc::Receiver<Work>,
+    ready: mpsc::Sender<Result<Vec<nfd_core::DeltaReport>, Response>>,
+) {
+    let schema = match Schema::parse(&snap.schema_text) {
+        Ok(schema) => schema,
+        Err(e) => {
+            let _ = ready.send(Err(Response::Err(format!("mutate: schema: {e}"))));
+            return;
+        }
+    };
+    let sigma = match nfd_core::nfd::parse_set(&schema, &snap.sigma_text) {
+        Ok(sigma) => sigma,
+        Err(e) => {
+            let _ = ready.send(Err(Response::Err(format!("mutate: deps: {e}"))));
+            return;
+        }
+    };
+    let policy = match crate::snapshot::policy_from_snap(&snap.policy) {
+        Ok(policy) => policy,
+        Err(e) => {
+            let _ = ready.send(Err(Response::Err(format!("mutate: policy: {e}"))));
+            return;
+        }
+    };
+    let nfd = match Nfd::parse(&schema, &dep) {
+        Ok(nfd) => nfd,
+        Err(e) => {
+            let _ = ready.send(Err(core_error_response(e)));
+            return;
+        }
+    };
+    // Build + mutate under an unwind boundary: a panic while applying
+    // the delta (e.g. an armed `delta::retract` fault) answers a typed
+    // `contained panic` ERR — exactly as the in-place actor did — and
+    // the old epoch keeps serving untouched.
+    let built = catch_unwind(AssertUnwindSafe(
+        || -> Result<(Session<'_>, Vec<nfd_core::DeltaReport>), Response> {
+            // The freeze came from a live session moments ago, so the
+            // thaw is expected to succeed; the fresh-compile fallback
+            // keeps a mutation from failing on a replay technicality.
+            let mut session = match Session::thaw_cached(
+                &schema,
+                &sigma,
+                policy.clone(),
+                budget.clone(),
+                TierPreference::Auto,
+                &snap,
+                Arc::clone(&cache),
+            ) {
+                Ok(session) => session,
+                Err(_) => Session::with_tiers_cached(
+                    &schema,
+                    &sigma,
+                    policy.clone(),
+                    budget.clone(),
+                    TierPreference::Auto,
+                    Arc::clone(&cache),
+                )
+                .map_err(core_error_response)?,
+            };
+            let reports = match verb {
+                "added" => session.add_deps(std::slice::from_ref(&nfd)),
+                _ => session.remove_deps(std::slice::from_ref(&nfd)),
+            }
+            .map_err(core_error_response)?;
+            Ok((session, reports))
+        },
+    ));
+    match built {
+        Ok(Ok((session, reports))) => {
+            if ready.send(Ok(reports)).is_err() {
+                return;
+            }
+            epoch_loop(&session, &schema, workers, &depth, rx);
+        }
+        Ok(Err(resp)) => {
+            let _ = ready.send(Err(resp));
+        }
+        Err(payload) => {
+            let _ = ready.send(Err(Response::Err(format!(
+                "contained panic: {}",
+                panic_text(payload.as_ref())
+            ))));
+        }
     }
 }
 
-fn answer(session: &mut Session<'_>, schema: &Schema, query: Query, budget: &Budget) -> Reply {
+/// The reader pool every epoch runs: `workers` threads drain one shared
+/// channel until every sender is dropped. With one worker the loop runs
+/// inline on the epoch thread — exactly the historical sequential
+/// actor. Per-query panics are contained so the warm session survives a
+/// poisoned request; queries answer from the *resident* engine when the
+/// pool is parallel (`workers >= 2`) and via the historical per-query
+/// rebuild when sequential, keeping the 1-worker daemon bit-identical
+/// to its predecessor.
+fn epoch_loop(
+    session: &Session<'_>,
+    schema: &Schema,
+    workers: usize,
+    depth: &AtomicU64,
+    rx: mpsc::Receiver<Work>,
+) {
+    let resident = workers >= 2;
+    if !resident {
+        while let Ok(work) = rx.recv() {
+            serve_one(session, schema, work, depth, false, 1);
+        }
+        return;
+    }
+    let shared_rx = Mutex::new(rx);
+    nfd_par::scoped_workers(workers, |_| loop {
+        // Hold the receiver lock only to take one work item; processing
+        // happens unlocked, so workers genuinely serve concurrently.
+        let work = match shared_rx
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .recv()
+        {
+            Ok(work) => work,
+            Err(_) => break,
+        };
+        serve_one(session, schema, work, depth, true, workers);
+    });
+}
+
+/// One unit of epoch work, with the inner unwind boundary: a poisoned
+/// query answers ERR and the warm session keeps serving (the server's
+/// per-request boundary would otherwise only save the connection, not
+/// the tenant).
+fn serve_one(
+    session: &Session<'_>,
+    schema: &Schema,
+    work: Work,
+    depth: &AtomicU64,
+    resident: bool,
+    batch_threads: usize,
+) {
+    match work {
+        Work::Freeze(reply) => {
+            let snap = catch_unwind(AssertUnwindSafe(|| Box::new(session.freeze())));
+            if let Ok(snap) = snap {
+                let _ = reply.send(snap);
+            }
+            // A panicked freeze drops `reply`; the write path sees the
+            // hangup and reports the worker failure.
+        }
+        Work::Query(request) => {
+            depth.fetch_sub(1, Ordering::Relaxed);
+            let reply = catch_unwind(AssertUnwindSafe(|| {
+                answer(
+                    session,
+                    schema,
+                    request.query,
+                    &request.budget,
+                    resident,
+                    batch_threads,
+                )
+            }))
+            .unwrap_or_else(|payload| Reply {
+                response: Response::Err(format!(
+                    "contained panic: {}",
+                    panic_text(payload.as_ref())
+                )),
+                cost: 1,
+            });
+            let _ = request.reply.send(reply);
+        }
+    }
+}
+
+fn answer(
+    session: &Session<'_>,
+    schema: &Schema,
+    query: Query,
+    budget: &Budget,
+    resident: bool,
+    batch_threads: usize,
+) -> Reply {
     match query {
         Query::Implies { goal } => {
             let goal = match Nfd::parse(schema, &goal) {
                 Ok(goal) => goal,
                 Err(e) => return input_error(e),
             };
-            match session.implies_with(&goal, budget) {
+            let decision = if resident {
+                session.implies_with_resident(&goal, budget)
+            } else {
+                session.implies_with(&goal, budget)
+            };
+            match decision {
                 Ok(decision) => {
                     let cost = decision_cost(&decision);
                     Reply {
@@ -643,7 +1189,12 @@ fn answer(session: &mut Session<'_>, schema: &Schema, query: Query, budget: &Bud
                     cost: 1,
                 };
             }
-            match session.implies_batch(&goals, budget, 1) {
+            let batch = if resident {
+                session.implies_batch_resident(&goals, budget, batch_threads)
+            } else {
+                session.implies_batch(&goals, budget, 1)
+            };
+            match batch {
                 Ok(batch) => {
                     let statuses: Vec<&str> = batch
                         .decisions
@@ -708,26 +1259,6 @@ fn answer(session: &mut Session<'_>, schema: &Schema, query: Query, budget: &Bud
                     ),
                     cost: 1,
                 },
-                Err(e) => input_error(e),
-            }
-        }
-        Query::AddDep { dep } => {
-            let nfd = match Nfd::parse(schema, &dep) {
-                Ok(nfd) => nfd,
-                Err(e) => return input_error(e),
-            };
-            match session.add_deps(std::slice::from_ref(&nfd)) {
-                Ok(reports) => mutation_reply("added", &reports),
-                Err(e) => input_error(e),
-            }
-        }
-        Query::DropDep { dep } => {
-            let nfd = match Nfd::parse(schema, &dep) {
-                Ok(nfd) => nfd,
-                Err(e) => return input_error(e),
-            };
-            match session.remove_deps(std::slice::from_ref(&nfd)) {
-                Ok(reports) => mutation_reply("dropped", &reports),
                 Err(e) => input_error(e),
             }
         }
@@ -837,7 +1368,6 @@ fn panic_text(payload: &(dyn std::any::Any + Send)) -> &str {
         "unknown panic payload"
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1210,5 +1740,157 @@ mod tests {
             reg.handle(cmd("IMPLIES a R:[A -> B]")),
             Response::Err(msg) if msg.contains("unknown tenant")
         ));
+    }
+
+    /// The differential pin for the tentpole: the parallel pool answers
+    /// every verb — reads, mutations, reads-after-mutation — with the
+    /// same wire responses the sequential daemon gives.
+    #[test]
+    fn parallel_pool_matches_the_sequential_daemon() {
+        let reg = Registry::new(RegistryConfig {
+            workers: 4,
+            ..RegistryConfig::default()
+        });
+        assert_eq!(load(&reg, "t"), Response::Ok("loaded deps=2".to_string()));
+        assert_eq!(
+            reg.handle(cmd("IMPLIES t R:[A -> C]")),
+            Response::Ok("implied".to_string())
+        );
+        assert_eq!(
+            reg.handle(cmd("IMPLIES t R:[C -> A]")),
+            Response::Ok("not-implied".to_string())
+        );
+        assert_eq!(
+            reg.handle(cmd("BATCH t R:[A -> C]; R:[C -> A];")),
+            Response::Ok("implied,not-implied".to_string())
+        );
+        let keys = reg.handle(cmd("KEYS t R"));
+        assert!(
+            matches!(&keys, Response::Ok(p) if p.contains("{A}")),
+            "{keys:?}"
+        );
+        let closure = reg.handle(cmd("CLOSURE t R A"));
+        assert!(
+            matches!(&closure, Response::Ok(p) if p.contains("R:B") && p.contains("R:C")),
+            "{closure:?}"
+        );
+        // A mutation swaps the epoch under the pool; verdicts follow.
+        let resp = reg.handle(cmd("ADDDEP t R:[C -> A]"));
+        assert!(
+            matches!(&resp, Response::Ok(msg) if msg.starts_with("added relation=R")),
+            "{resp:?}"
+        );
+        assert_eq!(
+            reg.handle(cmd("IMPLIES t R:[C -> A]")),
+            Response::Ok("implied".to_string())
+        );
+        let resp = reg.handle(cmd("DROPDEP t R:[C -> A]"));
+        assert!(
+            matches!(&resp, Response::Ok(msg) if msg.starts_with("dropped relation=R")),
+            "{resp:?}"
+        );
+        assert_eq!(
+            reg.handle(cmd("IMPLIES t R:[C -> A]")),
+            Response::Ok("not-implied".to_string())
+        );
+        assert!(matches!(
+            reg.handle(cmd("DROPDEP t R:[C -> A]")),
+            Response::Err(msg) if msg.contains("not in")
+        ));
+        assert_eq!(
+            reg.handle(cmd("BATCH t R:[A -> C]; R:[C -> A];")),
+            Response::Ok("implied,not-implied".to_string())
+        );
+        reg.on_shutdown();
+    }
+
+    /// Two tenants loaded from identical sources resolve to the *same*
+    /// pooled closure cache and warm each other; a mutation forks the
+    /// mutated tenant onto a private cache, leaving the pool entry to
+    /// the tenants still serving the original Σ.
+    #[test]
+    fn same_source_tenants_share_a_cache_until_one_mutates() {
+        let reg = Registry::new(RegistryConfig::default());
+        assert!(load(&reg, "a").is_ok());
+        assert!(load(&reg, "b").is_ok());
+        let (cache_a, cache_b) = {
+            let tenants = reg.tenants.lock().unwrap();
+            let find = |name: &str| {
+                Arc::clone(
+                    &tenants
+                        .iter()
+                        .find(|t| t.name == name)
+                        .unwrap()
+                        .epoch
+                        .as_ref()
+                        .unwrap()
+                        .cache,
+                )
+            };
+            (find("a"), find("b"))
+        };
+        assert!(
+            Arc::ptr_eq(&cache_a, &cache_b),
+            "identical sources must share one pooled cache"
+        );
+        assert!(reg.handle(cmd("ADDDEP b R:[C -> A]")).is_ok());
+        let cache_b2 = {
+            let tenants = reg.tenants.lock().unwrap();
+            Arc::clone(
+                &tenants
+                    .iter()
+                    .find(|t| t.name == "b")
+                    .unwrap()
+                    .epoch
+                    .as_ref()
+                    .unwrap()
+                    .cache,
+            )
+        };
+        assert!(
+            !Arc::ptr_eq(&cache_a, &cache_b2),
+            "a mutated tenant must not keep writing into the shared cache"
+        );
+        // The un-mutated tenant still answers from the original Σ.
+        assert_eq!(
+            reg.handle(cmd("IMPLIES a R:[C -> A]")),
+            Response::Ok("not-implied".to_string())
+        );
+        assert_eq!(
+            reg.handle(cmd("IMPLIES b R:[C -> A]")),
+            Response::Ok("implied".to_string())
+        );
+        reg.on_shutdown();
+    }
+
+    /// The new observability fields ride at the end of the STATS line:
+    /// worker count, epoch swaps, queue depth, and closure-cache
+    /// hit/miss broken out per tenant and for the shared pool.
+    #[test]
+    fn stats_line_reports_parallel_and_cache_observability() {
+        let reg = Registry::new(RegistryConfig {
+            workers: 2,
+            ..RegistryConfig::default()
+        });
+        assert!(load(&reg, "t").is_ok());
+        // CLOSURE twice: the second is a cache hit on the shared entry.
+        assert!(reg.handle(cmd("CLOSURE t R A")).is_ok());
+        assert!(reg.handle(cmd("CLOSURE t R A")).is_ok());
+        assert!(reg.handle(cmd("ADDDEP t R:[C -> A]")).is_ok());
+        let stats = reg.stats_line();
+        for field in [
+            "workers=2",
+            "epoch_swaps=1",
+            "worker_queue_depth=0",
+            "closure_hits=",
+            "closure_misses=",
+            "shared_caches=1",
+            "shared_cache_hits=",
+            "shared_cache_misses=",
+            "tenant_cache=[t:",
+        ] {
+            assert!(stats.contains(field), "missing `{field}` in: {stats}");
+        }
+        reg.on_shutdown();
     }
 }

@@ -545,6 +545,28 @@ impl<'s> Session<'s> {
         preference: TierPreference,
     ) -> Result<Session<'s>, CoreError> {
         let cache = Arc::new(ClosureCache::with_capacity(DEFAULT_CLOSURE_CACHE_CAPACITY));
+        Session::with_tiers_cached(schema, sigma, policy, budget, preference, cache)
+    }
+
+    /// [`Session::with_tiers`] with a caller-supplied closure cache — the
+    /// sharing hook behind `nfdtool serve`'s cross-tenant cache pool.
+    ///
+    /// Sharing one cache between sessions is sound exactly when they were
+    /// compiled from the same `(schema, Σ, policy)` under the same build
+    /// budget: engine builds are deterministic, so every such session
+    /// saturates the identical pool and computes the identical closures —
+    /// a hit only skips work another session already did bit-for-bit (see
+    /// the soundness note on [`nfd_core::ClosureCache`]). Callers that
+    /// mutate Σ afterwards must NOT share the cache (the serve layer
+    /// gives mutated epochs a private one for this reason).
+    pub fn with_tiers_cached(
+        schema: &'s Schema,
+        sigma: &[Nfd],
+        policy: EmptySetPolicy,
+        budget: Budget,
+        preference: TierPreference,
+        cache: Arc<ClosureCache>,
+    ) -> Result<Session<'s>, CoreError> {
         let select = Arc::new(SelectState::new(preference));
         let engine = catch_unwind(AssertUnwindSafe(|| {
             Engine::with_budget(schema, sigma, policy, budget)
@@ -598,6 +620,24 @@ impl<'s> Session<'s> {
         preference: TierPreference,
         snapshot: &nfd_snap::Snapshot,
     ) -> Result<Session<'s>, nfd_snap::SnapError> {
+        let cache = Arc::new(ClosureCache::with_capacity(DEFAULT_CLOSURE_CACHE_CAPACITY));
+        Session::thaw_cached(schema, sigma, policy, budget, preference, snapshot, cache)
+    }
+
+    /// [`Session::thaw`] with a caller-supplied closure cache, under the
+    /// same sharing contract as [`Session::with_tiers_cached`]. The
+    /// snapshot's validated cache entries are imported *into* the shared
+    /// cache — sound because they were computed over the same `(schema,
+    /// Σ, policy)` the thaw verifies against.
+    pub fn thaw_cached(
+        schema: &'s Schema,
+        sigma: &[Nfd],
+        policy: EmptySetPolicy,
+        budget: Budget,
+        preference: TierPreference,
+        snapshot: &nfd_snap::Snapshot,
+        cache: Arc<ClosureCache>,
+    ) -> Result<Session<'s>, nfd_snap::SnapError> {
         use nfd_snap::SnapError;
         let schema_text = schema.to_string();
         if snapshot.schema_text != schema_text {
@@ -620,7 +660,6 @@ impl<'s> Session<'s> {
         crate::snapshot::verify_tables(&tables, &snapshot.tables)?;
         let pools = crate::snapshot::frozen_pools(snapshot, schema)?;
         let imports = crate::snapshot::cache_entries(snapshot, schema, &tables)?;
-        let cache = Arc::new(ClosureCache::with_capacity(DEFAULT_CLOSURE_CACHE_CAPACITY));
         let select = Arc::new(SelectState::new(preference));
         let engine = catch_unwind(AssertUnwindSafe(|| {
             Engine::from_frozen(schema, tables, sigma, policy, budget, pools)
@@ -730,6 +769,13 @@ impl<'s> Session<'s> {
         self.cache.stats()
     }
 
+    /// The session's closure cache handle — lets an embedder observe the
+    /// cache a [`Session::with_tiers_cached`] pool shares, or hand it to
+    /// the next compatible session.
+    pub fn closure_cache(&self) -> &Arc<ClosureCache> {
+        &self.cache
+    }
+
     /// How many candidate-key sweeps were answered from the session memo.
     pub fn keys_memo_hits(&self) -> u64 {
         self.keys_memo_hits.load(Ordering::Relaxed)
@@ -795,7 +841,49 @@ impl<'s> Session<'s> {
     pub fn implies_with(&self, goal: &Nfd, budget: &Budget) -> Result<Decision, CoreError> {
         goal.validate(self.schema)?;
         let saturation = self.build_query_engine(budget);
-        self.cascade(goal, budget, &saturation)
+        self.cascade(goal, budget, saturation.as_ref())
+    }
+
+    /// [`Session::implies_with`] served from the session's *resident*
+    /// compiled engine instead of a per-query rebuild — the amortized
+    /// read path behind `nfdtool serve --workers N`.
+    ///
+    /// Engine builds are deterministic and query-time chaining consumes
+    /// no budget counters (a closure-chain hit skips work but can never
+    /// change a verdict or a counter-limited outcome — see
+    /// `nfd_core::Engine::implies_queried`), so serving every goal from
+    /// the one resident engine yields verdicts identical to
+    /// [`Session::implies_with`] whenever `budget`'s counters are at
+    /// least the session's build budget. The differences are exactly the
+    /// ones [`Session::closure`] and [`Session::candidate_keys`] already
+    /// accept by running on the resident engine: a *tighter* query
+    /// budget's counters cannot retroactively exhaust an
+    /// already-saturated pool, and the per-request deadline/cancellation
+    /// is honoured at the cascade layer rather than inside saturation.
+    pub fn implies_with_resident(
+        &self,
+        goal: &Nfd,
+        budget: &Budget,
+    ) -> Result<Decision, CoreError> {
+        goal.validate(self.schema)?;
+        let saturation = self.resident_saturation(budget);
+        self.cascade(goal, budget, saturation.as_ref().map(|e| *e))
+    }
+
+    /// The resident engine as a cascade input: alive budgets serve from
+    /// `self.engine`; a dead one (cancelled, past deadline) pre-renders
+    /// the same exhausted saturation [`Attempt`] a per-query rebuild
+    /// would have produced, so the cascade falls through identically.
+    fn resident_saturation(&self, budget: &Budget) -> Result<&Engine<'s>, Attempt> {
+        match budget.check_live() {
+            Ok(()) => Ok(&self.engine),
+            Err(r) => Err(Attempt {
+                decider: "saturation",
+                outcome: AttemptOutcome::Exhausted(r),
+                cost: None,
+                round: 0,
+            }),
+        }
     }
 
     /// Rebuilds the saturation engine over the session's cached path
@@ -848,7 +936,7 @@ impl<'s> Session<'s> {
         &self,
         goal: &Nfd,
         budget: &Budget,
-        saturation: &Result<Engine<'s>, Attempt>,
+        saturation: Result<&Engine<'s>, &Attempt>,
     ) -> Result<Decision, CoreError> {
         let forbidden = *self.engine.policy() == EmptySetPolicy::Forbidden;
         let mut attempts: Vec<Attempt> = Vec::new();
@@ -923,7 +1011,7 @@ impl<'s> Session<'s> {
                     Err(e) => Err(e.to_string()),
                 }
             }),
-            Err(attempt) => attempt.clone(),
+            Err(attempt) => (*attempt).clone(),
         });
 
         // 2 & 3. The independent deciders, as fallbacks.
@@ -1049,6 +1137,33 @@ impl<'s> Session<'s> {
         budget: &Budget,
         threads: usize,
     ) -> Result<BatchDecision, CoreError> {
+        self.implies_batch_impl(goals, budget, threads, false)
+    }
+
+    /// [`Session::implies_batch`] served from the session's *resident*
+    /// compiled engine — the batch form of
+    /// [`Session::implies_with_resident`], with the same equivalence
+    /// argument and the same caveats (a tighter query budget's counters
+    /// do not re-govern the already-saturated pool; deadlines and
+    /// cancellation are honoured at the cascade layer). The batch
+    /// normalization contract (deterministic cutoff, taint re-runs) is
+    /// identical; re-runs also serve from the resident engine.
+    pub fn implies_batch_resident(
+        &self,
+        goals: &[Nfd],
+        budget: &Budget,
+        threads: usize,
+    ) -> Result<BatchDecision, CoreError> {
+        self.implies_batch_impl(goals, budget, threads, true)
+    }
+
+    fn implies_batch_impl(
+        &self,
+        goals: &[Nfd],
+        budget: &Budget,
+        threads: usize,
+        resident: bool,
+    ) -> Result<BatchDecision, CoreError> {
         // Validate everything up front so input errors are deterministic
         // (always the lowest offending index) regardless of scheduling.
         for goal in goals {
@@ -1060,7 +1175,15 @@ impl<'s> Session<'s> {
         // the caller.
         let pool_token = budget.cancel_token().child();
         let worker_budget = budget.clone().with_cancel(pool_token.clone());
-        let saturation = self.build_query_engine(&worker_budget);
+        let built;
+        let resident_sat;
+        let saturation: Result<&Engine<'s>, &Attempt> = if resident {
+            resident_sat = self.resident_saturation(&worker_budget);
+            resident_sat.as_ref().map(|e| *e)
+        } else {
+            built = self.build_query_engine(&worker_budget);
+            built.as_ref()
+        };
 
         let pool = || {
             nfd_par::map_indexed_while(
@@ -1077,7 +1200,7 @@ impl<'s> Session<'s> {
                             Err(CoreError::Exhausted(ResourceReport::injected())),
                             worker_budget.cancel_token()
                         );
-                        self.cascade(&goals[i], &worker_budget, &saturation)
+                        self.cascade(&goals[i], &worker_budget, saturation)
                     }))
                     .unwrap_or_else(|p| {
                         Err(CoreError::Internal(format!(
@@ -1145,9 +1268,14 @@ impl<'s> Session<'s> {
                 // sweep would have run it. Builds are deterministic, so
                 // one re-run engine serves every re-run goal.
                 _ => {
-                    let saturation =
-                        rerun_saturation.get_or_insert_with(|| self.build_query_engine(budget));
-                    self.cascade(&goals[i], budget, saturation)
+                    if resident {
+                        let sat = self.resident_saturation(budget);
+                        self.cascade(&goals[i], budget, sat.as_ref().map(|e| *e))
+                    } else {
+                        let saturation =
+                            rerun_saturation.get_or_insert_with(|| self.build_query_engine(budget));
+                        self.cascade(&goals[i], budget, saturation.as_ref())
+                    }
                 }
             };
             // Post-normalization, an Exhausted verdict is genuine: a

@@ -957,6 +957,10 @@ fn cli_warm_start_degrades_gracefully_under_snap_faults() {
         deps.to_str().unwrap(),
         "--snapshot",
         snap_path.to_str().unwrap(),
+        // The fixture image is tiny; disable the size floor so the
+        // faulted *thaw* path is what this test drives.
+        "--thaw-min-bytes",
+        "0",
         "Course:[cnum -> time]",
     ]);
     let mut out = String::new();

@@ -801,6 +801,8 @@ fn snapshot_roundtrip_warm_starts_every_session_subcommand() {
         &deps,
         "--snapshot",
         &snap,
+        "--thaw-min-bytes",
+        "0",
         goal,
     ]);
     assert_eq!(code, 0, "{out}");
@@ -814,6 +816,8 @@ fn snapshot_roundtrip_warm_starts_every_session_subcommand() {
         &deps,
         "--snapshot",
         &snap,
+        "--thaw-min-bytes",
+        "0",
         "Course:[time -> cnum]",
     ]);
     assert_eq!(code, 1, "{out}");
@@ -828,6 +832,8 @@ fn snapshot_roundtrip_warm_starts_every_session_subcommand() {
         &deps,
         "--snapshot",
         &snap,
+        "--thaw-min-bytes",
+        "0",
         goal,
     ]);
     assert_eq!(code, 0, "{out}");
@@ -842,6 +848,8 @@ fn snapshot_roundtrip_warm_starts_every_session_subcommand() {
         &deps,
         "--snapshot",
         &snap,
+        "--thaw-min-bytes",
+        "0",
         "--base",
         "Course",
         "--lhs",
@@ -857,6 +865,8 @@ fn snapshot_roundtrip_warm_starts_every_session_subcommand() {
         &deps,
         "--snapshot",
         &snap,
+        "--thaw-min-bytes",
+        "0",
         "--relation",
         "Course",
     ]);
@@ -872,6 +882,8 @@ fn snapshot_roundtrip_warm_starts_every_session_subcommand() {
         &deps,
         "--snapshot",
         &snap,
+        "--thaw-min-bytes",
+        "0",
         "--drop-dep",
         "Course:[cnum -> time]",
         "Course:[cnum -> time]",
@@ -923,6 +935,8 @@ fn snapshot_rejection_degrades_to_a_fresh_compile() {
         &deps,
         "--snapshot",
         &snap,
+        "--thaw-min-bytes",
+        "0",
         goal,
     ]);
     assert_eq!(code, 0, "{out}");
@@ -951,6 +965,8 @@ fn snapshot_rejection_degrades_to_a_fresh_compile() {
         &deps,
         "--snapshot",
         &stale,
+        "--thaw-min-bytes",
+        "0",
         goal,
     ]);
     assert_eq!(code, 0, "{out}");
@@ -961,4 +977,79 @@ fn snapshot_rejection_degrades_to_a_fresh_compile() {
     let (code, out) = run(&["snapshot", "--schema", &schema, "--deps", &deps]);
     assert_eq!(code, 2, "{out}");
     assert!(out.contains("--out is required"), "{out}");
+}
+
+/// The B17 pin: a tiny image (the 7-NFD Course schema freezes to
+/// ~1.6 KiB, which B17 measured thawing at 0.48× a fresh compile) is
+/// gated out of the warm start by default — the tool logs the floor and
+/// compiles fresh, with identical verdicts — while `--thaw-min-bytes 0`
+/// still forces the thaw and `--thaw-min-bytes` huge still degrades
+/// gracefully.
+#[test]
+fn tiny_snapshot_is_gated_to_a_fresh_compile_by_default() {
+    let f = Fixture::new("snap-floor");
+    let schema = f.file("s.nfds", COURSE_SCHEMA);
+    let deps = f.file("d.nfdd", COURSE_DEPS);
+    let snap = f.dir.join("tiny.snap").to_string_lossy().into_owned();
+    let goal = "Course:[time, students:sid -> books]";
+
+    let (code, out) = run(&[
+        "snapshot", "--schema", &schema, "--deps", &deps, "--out", &snap,
+    ]);
+    assert_eq!(code, 0, "{out}");
+    let image_bytes = std::fs::metadata(&snap).unwrap().len();
+    assert!(
+        image_bytes < 16 * 1024,
+        "fixture drifted: the Course image is no longer tiny ({image_bytes} bytes)"
+    );
+
+    // Default: the floor gates the thaw; same verdict, honest log line.
+    let (code, out) = run(&[
+        "implies",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
+        "--snapshot",
+        &snap,
+        goal,
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("warm-start floor"), "{out}");
+    assert!(out.contains("compiling fresh"), "{out}");
+    assert!(!out.contains("(warm start: thawed"), "{out}");
+    assert!(out.contains("implied"), "{out}");
+
+    // Explicit floor of 0: the same image thaws.
+    let (code, out) = run(&[
+        "implies",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
+        "--snapshot",
+        &snap,
+        "--thaw-min-bytes",
+        "0",
+        goal,
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("(warm start: thawed snapshot"), "{out}");
+
+    // A floor larger than any image: always fresh, never an error.
+    let (code, out) = run(&[
+        "implies",
+        "--schema",
+        &schema,
+        "--deps",
+        &deps,
+        "--snapshot",
+        &snap,
+        "--thaw-min-bytes",
+        "999999999",
+        goal,
+    ]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("warm-start floor"), "{out}");
+    assert!(out.contains("implied"), "{out}");
 }

@@ -115,6 +115,10 @@ fn census_reaches_every_serve_site() {
         "OK loaded deps=7"
     );
     assert_eq!(c.ask("IMPLIES course Course:[cnum -> time]"), "OK implied");
+    // A mutation drives the epoch-swap write path.
+    assert!(c
+        .ask("ADDDEP course Course:[time -> cnum]")
+        .starts_with("OK added"));
     assert_eq!(c.ask("SHUTDOWN"), "OK draining");
     server.join().expect("server");
 
@@ -125,6 +129,8 @@ fn census_reaches_every_serve_site() {
         "serve::dispatch",
         "serve::respond",
         "serve::tenant_query",
+        "serve::shared_cache",
+        "serve::epoch_swap",
     ] {
         assert!(
             hit.iter().any(|n| n == site),
@@ -406,5 +412,128 @@ fn retraction_panic_is_contained_and_session_matches_fresh_rebuild() {
 
     assert_eq!(a.ask("SHUTDOWN"), "OK draining");
     server.join().expect("server");
+    faults::reset();
+}
+
+/// The ISSUE's epoch-swap criterion: a fault armed at `serve::epoch_swap`
+/// fires *after* the next epoch is fully built and *before* it is
+/// installed — the worst possible moment. Both the typed-return and the
+/// panic leg must leave the old epoch serving its pre-mutation Σ, and a
+/// disarmed retry must land the mutation cleanly.
+#[test]
+fn mid_swap_fault_leaves_the_old_epoch_serving() {
+    let _guard = serial();
+    faults::reset();
+    let (schema_src, deps_src) = course_sources();
+    let flipped = "Course:[time -> cnum]";
+
+    let (addr, server) = start(
+        RegistryConfig {
+            workers: 2,
+            ..RegistryConfig::default()
+        },
+        quick_cfg(),
+    );
+    let mut a = Client::connect(addr);
+    let mut b = Client::connect(addr);
+    assert_eq!(
+        a.ask(&format!("LOAD course {schema_src} | {deps_src}")),
+        "OK loaded deps=7"
+    );
+    assert_eq!(
+        a.ask(&format!("IMPLIES course {flipped}")),
+        "OK not-implied"
+    );
+
+    // Leg 1: typed return at the swap point — the mutation reports
+    // EXHAUSTED, the built next epoch is discarded, the old one serves.
+    faults::configure_limited("serve::epoch_swap", 1, FaultAction::ReturnExhausted);
+    let resp = a.ask(&format!("ADDDEP course {flipped}"));
+    assert_eq!(resp, "EXHAUSTED injected fault (failpoint)", "{resp}");
+    assert_eq!(
+        a.ask(&format!("IMPLIES course {flipped}")),
+        "OK not-implied",
+        "the discarded epoch must not have leaked its Σ"
+    );
+    faults::reset();
+
+    // Leg 2: a panic mid-swap — contained to the request, old epoch
+    // untouched, both connections keep serving.
+    faults::configure_limited("serve::epoch_swap", 1, FaultAction::Panic);
+    let err = a.ask(&format!("ADDDEP course {flipped}"));
+    assert!(
+        err.starts_with("ERR contained panic:") && err.contains("serve::epoch_swap"),
+        "{err}"
+    );
+    assert_eq!(b.ask("PING"), "OK pong", "connection B never noticed");
+    assert_eq!(
+        b.ask(&format!("IMPLIES course {flipped}")),
+        "OK not-implied",
+        "a mid-swap panic must leave the old epoch serving"
+    );
+    assert_eq!(
+        a.ask(&format!("IMPLIES course {flipped}")),
+        "OK not-implied"
+    );
+    faults::reset();
+
+    // Disarmed: the same mutation lands and the verdict flips.
+    assert!(a
+        .ask(&format!("ADDDEP course {flipped}"))
+        .starts_with("OK added"));
+    assert_eq!(a.ask(&format!("IMPLIES course {flipped}")), "OK implied");
+    assert_eq!(b.ask(&format!("IMPLIES course {flipped}")), "OK implied");
+
+    assert_eq!(a.ask("SHUTDOWN"), "OK draining");
+    let stats = server.join().expect("server");
+    assert_eq!(stats.contained_panics, 1, "exactly the injected panic");
+    faults::reset();
+}
+
+/// A panic armed at `serve::shared_cache` (the cross-tenant cache-pool
+/// lookup inside LOAD/RESTORE) is contained to that request: no tenant
+/// is half-registered, other tenants keep serving, and a disarmed
+/// reload succeeds.
+#[test]
+fn shared_cache_fault_contains_the_load() {
+    let _guard = serial();
+    faults::reset();
+    let (schema_src, deps_src) = course_sources();
+
+    let (addr, server) = start(RegistryConfig::default(), quick_cfg());
+    let mut a = Client::connect(addr);
+    assert_eq!(
+        a.ask(&format!("LOAD stable {schema_src} | {deps_src}")),
+        "OK loaded deps=7"
+    );
+
+    faults::configure_limited("serve::shared_cache", 1, FaultAction::Panic);
+    let err = a.ask(&format!("LOAD broken {schema_src} | {deps_src}"));
+    assert!(
+        err.starts_with("ERR contained panic:") && err.contains("serve::shared_cache"),
+        "{err}"
+    );
+    faults::reset();
+
+    // Nothing half-registered; the stable tenant kept its epoch.
+    assert!(matches!(
+        a.ask("IMPLIES broken Course:[cnum -> time]").as_str(),
+        resp if resp.starts_with("ERR") && resp.contains("unknown tenant")
+    ));
+    assert_eq!(a.ask("IMPLIES stable Course:[cnum -> time]"), "OK implied");
+
+    // Disarmed, the same LOAD lands and shares the stable tenant's
+    // pooled cache.
+    assert_eq!(
+        a.ask(&format!("LOAD broken {schema_src} | {deps_src}")),
+        "OK loaded deps=7"
+    );
+    assert_eq!(a.ask("IMPLIES broken Course:[cnum -> time]"), "OK implied");
+    let stats_line = a.ask("STATS");
+    assert!(stats_line.contains("shared_caches=1"), "{stats_line}");
+
+    assert_eq!(a.ask("SHUTDOWN"), "OK draining");
+    let stats = server.join().expect("server");
+    assert_eq!(stats.contained_panics, 1, "exactly the injected panic");
     faults::reset();
 }

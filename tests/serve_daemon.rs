@@ -474,3 +474,72 @@ fn mutations_are_metered_against_the_tenant_quota() {
     assert_eq!(c.ask("SHUTDOWN"), "OK draining");
     server.join().expect("server");
 }
+
+/// The read-parallel observability fields ride on STATS: worker count,
+/// epoch swaps, queue depth, closure-cache hits/misses (per tenant and
+/// for the shared cross-tenant pool). Two tenants loaded from identical
+/// sources share one pooled cache, so the second tenant's CLOSURE is a
+/// hit on closures the first tenant computed.
+#[test]
+fn stats_reports_cache_and_epoch_observability() {
+    let (schema_src, deps_src) = course_sources();
+    let (addr, server) = start(
+        RegistryConfig {
+            workers: 2,
+            ..RegistryConfig::default()
+        },
+        quick_server_cfg(),
+    );
+    let mut c = Client::connect(addr);
+    assert!(c
+        .ask(&format!("LOAD a {schema_src} | {deps_src}"))
+        .starts_with("OK"));
+    assert!(c
+        .ask(&format!("LOAD b {schema_src} | {deps_src}"))
+        .starts_with("OK"));
+
+    // Tenant `a` computes a closure; tenant `b` asks for the same one
+    // and hits the shared pool entry.
+    assert!(c.ask("CLOSURE a Course cnum").starts_with("OK"));
+    assert!(c.ask("CLOSURE b Course cnum").starts_with("OK"));
+
+    let stats = c.ask("STATS");
+    for field in [
+        "workers=2",
+        "epoch_swaps=0",
+        "worker_queue_depth=",
+        "closure_hits=",
+        "closure_misses=",
+        "shared_caches=1",
+        "shared_cache_hits=",
+        "shared_cache_misses=",
+        "tenant_cache=[",
+    ] {
+        assert!(stats.contains(field), "missing `{field}` in: {stats}");
+    }
+    let hits: u64 = stats
+        .split("closure_hits=")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|v| v.parse().ok())
+        .expect("closure_hits parses");
+    assert!(
+        hits >= 1,
+        "cross-tenant cache sharing produced no hit: {stats}"
+    );
+
+    // A mutation swaps tenant `b` onto a fresh epoch (and a private
+    // cache): epoch_swaps ticks, and the shared pool keeps serving `a`.
+    assert!(c
+        .ask("ADDDEP b Course:[time -> cnum]")
+        .starts_with("OK added"));
+    let stats = c.ask("STATS");
+    assert!(stats.contains("epoch_swaps=1"), "{stats}");
+    assert!(stats.contains("shared_caches=1"), "{stats}");
+    assert_eq!(c.ask("IMPLIES a Course:[time -> cnum]"), "OK not-implied");
+    assert_eq!(c.ask("IMPLIES b Course:[time -> cnum]"), "OK implied");
+
+    assert_eq!(c.ask("SHUTDOWN"), "OK draining");
+    let stats = server.join().expect("server");
+    assert_eq!(stats.contained_panics, 0);
+}
